@@ -1,0 +1,276 @@
+package tiledcfd
+
+import (
+	"fmt"
+	"math"
+
+	"tiledcfd/internal/core"
+	"tiledcfd/internal/mapping"
+	"tiledcfd/internal/perf"
+	"tiledcfd/internal/scf"
+	"tiledcfd/internal/sig"
+	"tiledcfd/internal/soc"
+)
+
+// Config selects the platform geometry and detection settings for Sense.
+// Zero values take the paper's configuration (K=256, M=64, Q=4 cores at
+// 100 MHz, one integration block).
+type Config struct {
+	// K is the FFT size.
+	K int
+	// M is the DSCF grid half-extent: f and a span [-(M-1), M-1].
+	M int
+	// Q is the number of Montium tiles.
+	Q int
+	// Blocks is the number of K-sample integration steps.
+	Blocks int
+	// ClockMHz is the tile clock for the evaluation figures.
+	ClockMHz float64
+	// MinAbsA is the smallest |a| the blind detector searches (default 2).
+	MinAbsA int
+	// Threshold is the decision threshold on the CFD statistic.
+	Threshold float64
+}
+
+// Sensing is the outcome of a spectrum-sensing run.
+type Sensing struct {
+	// Detected reports whether the cyclostationary statistic exceeded the
+	// threshold.
+	Detected bool
+	// Statistic and Threshold echo the decision inputs.
+	Statistic, Threshold float64
+	// FeatureF/FeatureA locate the strongest cyclic feature (a != 0).
+	FeatureF, FeatureA int
+	// Surface is the DSCF magnitude grid [a+M-1][f+M-1] from the platform.
+	Surface [][]complex128
+	// AlphaProfile is the cycle-frequency profile Σ_f |S_f^a| per offset.
+	AlphaProfile []float64
+	// CyclesPerBlock is the measured per-integration-step critical path.
+	CyclesPerBlock int64
+	// Breakdown is the measured Table 1 of the busiest tile.
+	Breakdown CycleBreakdown
+	// TotalMACs counts complex multiply-accumulates over all tiles/blocks.
+	TotalMACs int64
+	// NoCValues counts chain boundary values that crossed the inter-tile
+	// network (the paper's factor-T-slower data exchange).
+	NoCValues int64
+	// Evaluation figures (paper section 5).
+	BlockTimeMicros      float64
+	AnalysedBandwidthkHz float64
+	AreaMM2              float64
+	PowerMW              float64
+}
+
+// CycleBreakdown mirrors the rows of the paper's Table 1.
+type CycleBreakdown struct {
+	MultiplyAccumulate int64
+	ReadData           int64
+	FFT                int64
+	Reshuffle          int64
+	Initialisation     int64
+	Total              int64
+}
+
+// Sense runs the full spectrum-sensing pipeline of the paper on the
+// sampled band x (complex samples; real signals carry zero imaginary
+// parts). It needs K·Blocks samples.
+func Sense(x []complex128, cfg Config) (*Sensing, error) {
+	res, err := core.Run(x, core.Config{
+		SoC: soc.Config{
+			K: cfg.K, M: cfg.M, Q: cfg.Q,
+			Blocks: cfg.Blocks, ClockMHz: cfg.ClockMHz,
+		},
+		MinAbsA:   cfg.MinAbsA,
+		Threshold: cfg.Threshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f, a, _ := res.Surface.MaxFeature(true)
+	busiest := res.Report.Tiles[0].Table1
+	for _, tr := range res.Report.Tiles[1:] {
+		if tr.Table1.Total() > busiest.Total() {
+			busiest = tr.Table1
+		}
+	}
+	out := &Sensing{
+		Detected:       res.Decision.Detected,
+		Statistic:      res.Decision.Statistic,
+		Threshold:      res.Decision.Threshold,
+		FeatureF:       f,
+		FeatureA:       a,
+		Surface:        res.Surface.Data,
+		AlphaProfile:   res.Surface.AlphaProfile(),
+		CyclesPerBlock: res.Report.CyclesPerBlock,
+		TotalMACs:      res.Report.TotalMACs,
+		NoCValues:      res.Report.NoCSent,
+		Breakdown: CycleBreakdown{
+			MultiplyAccumulate: busiest.MultiplyAccumulate,
+			ReadData:           busiest.ReadData,
+			FFT:                busiest.FFT,
+			Reshuffle:          busiest.Reshuffle,
+			Initialisation:     busiest.Initialisation,
+			Total:              busiest.Total(),
+		},
+		BlockTimeMicros:      res.BlockTimeMicros,
+		AnalysedBandwidthkHz: res.AnalysedBandwidthkHz,
+		AreaMM2:              res.AreaMM2,
+		PowerMW:              res.PowerMW,
+	}
+	return out, nil
+}
+
+// WindowVerdict is one window's outcome of a monitored stream.
+type WindowVerdict struct {
+	// Window is the 0-based window index.
+	Window int
+	// Detected reports whether the window's statistic exceeded the
+	// threshold; Statistic carries the value.
+	Detected  bool
+	Statistic float64
+	// FeatureA is the strongest cyclic feature's offset in the window.
+	FeatureA int
+}
+
+// Watch senses a continuous stream window by window (window = K·Blocks
+// samples; a trailing partial window is ignored) and returns the
+// per-window verdicts — the operational Cognitive-Radio mode: track when
+// a licensed user appears in or vacates the band.
+func Watch(stream []complex128, cfg Config) ([]WindowVerdict, error) {
+	mon, err := core.NewMonitor(core.Config{
+		SoC: soc.Config{
+			K: cfg.K, M: cfg.M, Q: cfg.Q,
+			Blocks: cfg.Blocks, ClockMHz: cfg.ClockMHz,
+		},
+		MinAbsA:   cfg.MinAbsA,
+		Threshold: cfg.Threshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	decisions, err := mon.Process(stream)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WindowVerdict, len(decisions))
+	for i, d := range decisions {
+		out[i] = WindowVerdict{
+			Window:    d.Window,
+			Detected:  d.Decision.Detected,
+			Statistic: d.Decision.Statistic,
+			FeatureA:  d.FeatureA,
+		}
+	}
+	return out, nil
+}
+
+// DSCF computes the reference (float64) Discrete Spectral Correlation
+// Function of x: a (2m-1)×(2m-1) grid indexed [a+m-1][f+m-1], accumulated
+// over blocks non-overlapping k-sample FFT blocks and normalised by the
+// block count.
+func DSCF(x []complex128, k, m, blocks int) ([][]complex128, error) {
+	s, _, err := scf.Compute(x, scf.Params{K: k, M: m, Blocks: blocks})
+	if err != nil {
+		return nil, err
+	}
+	return s.Data, nil
+}
+
+// Mapping summarises a step-1 derivation for half-extent m on q cores.
+type Mapping struct {
+	// P is the logical processor count 2m-1; T the tasks-per-core bound.
+	P, Q, T int
+	// TaskRanges lists each core's half-open task interval [lo, hi).
+	TaskRanges [][2]int
+	// ChainRegisters is the per-chain register count of the minimal
+	// structure (one per inter-PE hop).
+	ChainRegisters int
+	// MemoryWordsPerCore is the per-core DSCF accumulator footprint in
+	// 16-bit words (2·T·F).
+	MemoryWordsPerCore int
+}
+
+// DeriveMapping runs the paper's verified step-1 derivation (projections,
+// space-time transform, register synthesis, folding) for half-extent m
+// and q cores.
+func DeriveMapping(m, q int) (*Mapping, error) {
+	la, err := mapping.DeriveLineArray(m, 2)
+	if err != nil {
+		return nil, err
+	}
+	chains, err := mapping.SynthesiseChains(m)
+	if err != nil {
+		return nil, err
+	}
+	fold, err := mapping.NewFolding(la.P(), q)
+	if err != nil {
+		return nil, err
+	}
+	if err := fold.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Mapping{
+		P: la.P(), Q: q, T: fold.T,
+		ChainRegisters:     chains[0].Registers,
+		MemoryWordsPerCore: 2 * fold.T * la.F(),
+	}
+	for c := 0; c < q; c++ {
+		lo, hi := fold.TasksOf(c)
+		out.TaskRanges = append(out.TaskRanges, [2]int{lo, hi})
+	}
+	return out, nil
+}
+
+// Evaluation bundles the section 5 figures for a platform of q cores
+// whose integration step takes the given cycle count.
+type Evaluation struct {
+	BlockTimeMicros      float64
+	AnalysedBandwidthkHz float64
+	AreaMM2              float64
+	PowerMW              float64
+}
+
+// Evaluate applies the paper's technology constants (100 MHz, 2 mm²/core,
+// 500 µW/MHz) to a measured cycle count.
+func Evaluate(k, q int, cyclesPerBlock int64) (*Evaluation, error) {
+	if k < 1 || q < 1 || cyclesPerBlock < 1 {
+		return nil, fmt.Errorf("tiledcfd: Evaluate(k=%d, q=%d, cycles=%d) needs positive arguments",
+			k, q, cyclesPerBlock)
+	}
+	m := perf.Paper()
+	bt := m.BlockTimeMicros(cyclesPerBlock)
+	return &Evaluation{
+		BlockTimeMicros:      bt,
+		AnalysedBandwidthkHz: m.AnalysedBandwidthkHz(k, bt),
+		AreaMM2:              m.AreaMM2(q),
+		PowerMW:              m.PowerMW(q),
+	}, nil
+}
+
+// NewBPSKBand synthesises a test band: a real BPSK carrier (normalised
+// carrier frequency, samples per symbol) in real white Gaussian noise at
+// the given SNR, n samples long, deterministic in seed. It is the
+// licensed-user scenario used throughout the examples.
+func NewBPSKBand(n int, carrierFreq float64, symbolLen int, snrDB float64, seed uint64) ([]complex128, error) {
+	if n < 1 || symbolLen < 1 {
+		return nil, fmt.Errorf("tiledcfd: NewBPSKBand(n=%d, symbolLen=%d) needs positive sizes", n, symbolLen)
+	}
+	rng := sig.NewRand(seed)
+	b := &sig.BPSK{Amp: 1, Carrier: carrierFreq, SymbolLen: symbolLen, Rng: rng}
+	x := sig.Samples(b, n)
+	noisy, _, err := sig.AddAWGN(x, snrDB, true, rng)
+	if err != nil {
+		return nil, err
+	}
+	return noisy, nil
+}
+
+// NewNoiseBand synthesises an idle band: real white Gaussian noise of the
+// given power, n samples, deterministic in seed.
+func NewNoiseBand(n int, power float64, seed uint64) ([]complex128, error) {
+	if n < 1 || power <= 0 {
+		return nil, fmt.Errorf("tiledcfd: NewNoiseBand(n=%d, power=%v) invalid", n, power)
+	}
+	rng := sig.NewRand(seed)
+	return sig.Samples(&sig.WGN{Sigma: math.Sqrt(power), Real: true, Rng: rng}, n), nil
+}

@@ -1,0 +1,243 @@
+package tiledcfd
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestSensePaperConfiguration(t *testing.T) {
+	// Full paper geometry: K=256, M=64, Q=4, with a licensed BPSK user.
+	const blocks = 2
+	x, err := NewBPSKBand(256*blocks, 32.0/256, 8, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Sense(x, Config{Blocks: blocks, Threshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Detected {
+		t.Fatalf("licensed user not detected: statistic %v", s.Statistic)
+	}
+	if s.CyclesPerBlock != 13996 {
+		t.Fatalf("cycles per block %d, want 13996", s.CyclesPerBlock)
+	}
+	if s.Breakdown.Total != 13996 || s.Breakdown.MultiplyAccumulate != 12192 ||
+		s.Breakdown.ReadData != 381 || s.Breakdown.FFT != 1040 ||
+		s.Breakdown.Reshuffle != 256 || s.Breakdown.Initialisation != 127 {
+		t.Fatalf("Table 1 breakdown: %+v", s.Breakdown)
+	}
+	if math.Abs(s.BlockTimeMicros-139.96) > 1e-9 {
+		t.Fatalf("block time %v", s.BlockTimeMicros)
+	}
+	if s.AnalysedBandwidthkHz < 910 || s.AnalysedBandwidthkHz > 920 {
+		t.Fatalf("bandwidth %v kHz", s.AnalysedBandwidthkHz)
+	}
+	if s.AreaMM2 != 8 || s.PowerMW != 200 {
+		t.Fatalf("area/power %v/%v", s.AreaMM2, s.PowerMW)
+	}
+	// The doubled-carrier feature sits at a = ±carrier bin (±32).
+	if s.FeatureA != 32 && s.FeatureA != -32 {
+		t.Fatalf("feature at a=%d, want ±32", s.FeatureA)
+	}
+	if len(s.AlphaProfile) != 127 || len(s.Surface) != 127 {
+		t.Fatalf("output shapes %d/%d", len(s.AlphaProfile), len(s.Surface))
+	}
+}
+
+func TestSenseIdleBand(t *testing.T) {
+	x, err := NewNoiseBand(64*16, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Sense(x, Config{K: 64, M: 16, Q: 4, Blocks: 16, Threshold: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Detected {
+		t.Fatalf("false alarm on idle band: statistic %v", s.Statistic)
+	}
+}
+
+func TestSenseErrors(t *testing.T) {
+	if _, err := Sense(make([]complex128, 5), Config{}); err == nil {
+		t.Error("short input should fail")
+	}
+	x, _ := NewNoiseBand(256, 0.1, 3)
+	if _, err := Sense(x, Config{Q: 1}); err == nil {
+		t.Error("Q=1 at paper grid should fail the memory budget")
+	}
+}
+
+func TestSenseBitExactAcrossCoreCounts(t *testing.T) {
+	// The folding changes which tile computes which cell but not any
+	// arithmetic: the DSCF surface (and hence the statistic) is
+	// bit-identical for any feasible Q.
+	const k, m, blocks = 64, 16, 4
+	x, err := NewBPSKBand(k*blocks, 8.0/k, 8, 6, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *Sensing
+	for _, q := range []int{1, 2, 4, 8} {
+		s, err := Sense(x, Config{K: k, M: m, Q: q, Blocks: blocks, Threshold: 0.3})
+		if err != nil {
+			t.Fatalf("Q=%d: %v", q, err)
+		}
+		if ref == nil {
+			ref = s
+			continue
+		}
+		if s.Statistic != ref.Statistic {
+			t.Fatalf("Q=%d statistic %v != Q=1 %v", q, s.Statistic, ref.Statistic)
+		}
+		for ai := range s.Surface {
+			for fi := range s.Surface[ai] {
+				if s.Surface[ai][fi] != ref.Surface[ai][fi] {
+					t.Fatalf("Q=%d surface differs at (%d,%d)", q, ai, fi)
+				}
+			}
+		}
+	}
+}
+
+func TestWatchTracksOccupancy(t *testing.T) {
+	const k, blocks = 64, 16
+	window := k * blocks
+	idle, err := NewNoiseBand(window, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := NewBPSKBand(window, 8.0/k, 8, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := append(idle, busy...)
+	verdicts, err := Watch(stream, Config{K: k, M: 16, Q: 2, Blocks: blocks, Threshold: 0.4, MinAbsA: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 2 {
+		t.Fatalf("windows %d", len(verdicts))
+	}
+	if verdicts[0].Detected {
+		t.Fatalf("false alarm in idle window: %+v", verdicts[0])
+	}
+	if !verdicts[1].Detected {
+		t.Fatalf("missed user: %+v", verdicts[1])
+	}
+	if verdicts[1].FeatureA != 8 && verdicts[1].FeatureA != -8 {
+		t.Fatalf("feature at a=%d, want ±8", verdicts[1].FeatureA)
+	}
+}
+
+func TestWatchErrors(t *testing.T) {
+	if _, err := Watch(make([]complex128, 4), Config{K: 64, M: 16, Q: 2, Blocks: 2}); err == nil {
+		t.Error("short stream should fail")
+	}
+	if _, err := Watch(make([]complex128, 512), Config{Q: 1}); err == nil {
+		t.Error("infeasible config should fail")
+	}
+}
+
+func TestDSCFFacade(t *testing.T) {
+	// Real tone at bin 4: doubled-carrier features at (f=0, a=±4).
+	const k, m = 64, 8
+	x := make([]complex128, k)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*4*float64(i)/k), 0)
+	}
+	grid, err := DSCF(x, k, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 15 || len(grid[0]) != 15 {
+		t.Fatalf("grid %dx%d", len(grid), len(grid[0]))
+	}
+	feature := cmplx.Abs(grid[4+m-1][0+m-1]) // a=4, f=0
+	psd := cmplx.Abs(grid[m-1][4+m-1])       // a=0, f=4
+	if feature < psd/2 {
+		t.Fatalf("doubled-carrier feature %v vs PSD %v", feature, psd)
+	}
+	if _, err := DSCF(x, 60, 8, 1); err == nil {
+		t.Error("non-pow2 K should fail")
+	}
+}
+
+func TestDeriveMappingPaper(t *testing.T) {
+	mp, err := DeriveMapping(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.P != 127 || mp.T != 32 {
+		t.Fatalf("P=%d T=%d", mp.P, mp.T)
+	}
+	if mp.ChainRegisters != 126 {
+		t.Fatalf("chain registers %d", mp.ChainRegisters)
+	}
+	if mp.MemoryWordsPerCore != 8128 {
+		t.Fatalf("memory words %d, want 8128", mp.MemoryWordsPerCore)
+	}
+	want := [][2]int{{0, 32}, {32, 64}, {64, 96}, {96, 127}}
+	for q, r := range mp.TaskRanges {
+		if r != want[q] {
+			t.Fatalf("core %d range %v", q, r)
+		}
+	}
+	if _, err := DeriveMapping(0, 4); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := DeriveMapping(8, 0); err == nil {
+		t.Error("q=0 should fail")
+	}
+}
+
+func TestEvaluateFacade(t *testing.T) {
+	e, err := Evaluate(256, 4, 13996)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.BlockTimeMicros-139.96) > 1e-9 || e.AreaMM2 != 8 || e.PowerMW != 200 {
+		t.Fatalf("evaluation %+v", e)
+	}
+	if _, err := Evaluate(0, 4, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := Evaluate(256, 0, 1); err == nil {
+		t.Error("q=0 should fail")
+	}
+	if _, err := Evaluate(256, 4, 0); err == nil {
+		t.Error("cycles=0 should fail")
+	}
+}
+
+func TestBandGenerators(t *testing.T) {
+	x, err := NewBPSKBand(1000, 0.1, 8, 5, 7)
+	if err != nil || len(x) != 1000 {
+		t.Fatalf("NewBPSKBand: %d, %v", len(x), err)
+	}
+	// Deterministic in seed.
+	y, _ := NewBPSKBand(1000, 0.1, 8, 5, 7)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("NewBPSKBand not deterministic")
+		}
+	}
+	if _, err := NewBPSKBand(0, 0.1, 8, 5, 7); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewBPSKBand(10, 0.1, 0, 5, 7); err == nil {
+		t.Error("symbolLen=0 should fail")
+	}
+	n, err := NewNoiseBand(500, 0.25, 8)
+	if err != nil || len(n) != 500 {
+		t.Fatalf("NewNoiseBand: %d, %v", len(n), err)
+	}
+	if _, err := NewNoiseBand(10, 0, 8); err == nil {
+		t.Error("zero power should fail")
+	}
+	if _, err := NewNoiseBand(0, 1, 8); err == nil {
+		t.Error("n=0 should fail")
+	}
+}

@@ -1,0 +1,89 @@
+// Command cfdmap runs the paper's step-1 mapping derivation for arbitrary
+// grid sizes and core counts and prints the resulting artefacts: the
+// verified line array, the space/time-delay diagrams (for small grids),
+// the register chains, and the folding table with its memory budget.
+//
+// Usage:
+//
+//	cfdmap [-m 64] [-q 4] [-diagrams]
+//
+// -m sets the grid half-extent (f, a span ±(m-1)); -q the core count;
+// -diagrams renders the Figure 5 diagrams (only sensible for m <= 8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tiledcfd/internal/mapping"
+	"tiledcfd/internal/montium"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cfdmap: ")
+	m := flag.Int("m", 64, "grid half-extent M (f, a span ±(M-1))")
+	q := flag.Int("q", 4, "number of cores Q")
+	diagrams := flag.Bool("diagrams", false, "render space/time-delay diagrams (m <= 8)")
+	flag.Parse()
+
+	if err := run(*m, *q, *diagrams); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(m, q int, diagrams bool) error {
+	if err := mapping.VerifyComposition(); err != nil {
+		return err
+	}
+	fmt.Println("composition law P2b'·P2a1' = P2' = P2b'·P2a2': verified")
+
+	la, err := mapping.DeriveLineArray(m, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nstep 1 line array: P = %d PEs (a = %+d..%+d), F = %d frequencies, %d complex words of result storage\n",
+		la.P(), -(m - 1), m-1, la.F(), la.TotalMemoryWords())
+
+	chains, err := mapping.SynthesiseChains(m)
+	if err != nil {
+		return err
+	}
+	for _, c := range chains {
+		fmt.Printf("%-3s chain: %d taps, %d registers, inject end a=%+d, flow %+d\n",
+			c.Kind, c.Taps, c.Registers, c.InjectEnd, c.Kind.Dir())
+	}
+
+	if diagrams {
+		if m > 8 {
+			fmt.Fprintln(os.Stderr, "cfdmap: -diagrams skipped (m too large to render)")
+		} else {
+			fmt.Println()
+			fmt.Print(mapping.RenderSpaceTime(m, mapping.XConjChain))
+			fmt.Println()
+			fmt.Print(mapping.RenderSpaceTime(m, mapping.XChain))
+		}
+	}
+
+	fold, err := mapping.NewFolding(la.P(), q)
+	if err != nil {
+		return err
+	}
+	if err := fold.Validate(); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(fold)
+	fmt.Printf("inter-core exchange rate: 1/%d of the computation rate\n", fold.CommReductionFactor())
+
+	// Montium memory feasibility for this (m, q).
+	words := 2 * fold.T * la.F()
+	fmt.Printf("\nMontium budget: %d accumulator words per core of %d available", words, montium.AccumCapacityWords)
+	if words > montium.AccumCapacityWords {
+		fmt.Printf("  -> INFEASIBLE on the Montium; increase Q")
+	}
+	fmt.Println()
+	return nil
+}

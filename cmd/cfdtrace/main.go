@@ -1,0 +1,57 @@
+// Command cfdtrace runs one platform simulation with span tracing enabled
+// and emits the per-tile execution timeline as CSV
+// (source,section,start,cycles) — the raw material for Gantt-style
+// visualisation of the Table 1 phases across tiles.
+//
+// Usage:
+//
+//	cfdtrace [-k 256] [-m 64] [-q 4] [-blocks 1] [-seed 1] > timeline.csv
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/sig"
+	"tiledcfd/internal/soc"
+	"tiledcfd/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cfdtrace: ")
+	k := flag.Int("k", 256, "FFT size K")
+	m := flag.Int("m", 0, "grid half-extent M (0 = K/4)")
+	q := flag.Int("q", 4, "number of tiles")
+	blocks := flag.Int("blocks", 1, "integration blocks")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *m == 0 {
+		*m = *k / 4
+	}
+	platform, err := soc.New(soc.Config{K: *k, M: *m, Q: *q, Blocks: *blocks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rec trace.Recorder
+	platform.EnableTrace(&rec)
+
+	rng := sig.NewRand(*seed)
+	b := &sig.BPSK{Amp: 1, Carrier: 0.125, SymbolLen: 8, Rng: rng}
+	x := sig.Samples(b, *k**blocks)
+	noisy, _, err := sig.AddAWGN(x, 10, true, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixed.ScaleSliceFloat(noisy, 0.5)
+
+	if _, _, err := platform.Run(fixed.FromFloatSlice(noisy)); err != nil {
+		log.Fatal(err)
+	}
+	if err := rec.WriteCSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

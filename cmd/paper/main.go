@@ -1,0 +1,323 @@
+// Command paper regenerates every quantitative table, figure and claim of
+// "Cyclostationary Feature Detection on a tiled-SoC" (DATE 2007) from the
+// simulation stack and prints a paper-vs-measured record — the source of
+// EXPERIMENTS.md. Experiment IDs (E1..E13) follow DESIGN.md.
+//
+// Usage: paper [-trials 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"tiledcfd/internal/detect"
+	"tiledcfd/internal/dg"
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/mapping"
+	"tiledcfd/internal/montium"
+	"tiledcfd/internal/perf"
+	"tiledcfd/internal/scf"
+	"tiledcfd/internal/sig"
+	"tiledcfd/internal/soc"
+	"tiledcfd/internal/systolic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paper: ")
+	trials := flag.Int("trials", 50, "Monte-Carlo trials for E13")
+	flag.Parse()
+	if err := run(*trials); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(trials int) error {
+	fmt.Println("reproduction record: Kokkeler et al., \"Cyclostationary Feature")
+	fmt.Println("Detection on a tiled-SoC\", DATE 2007 — paper vs measured")
+	fmt.Println()
+
+	x, err := testBand(256, 2)
+	if err != nil {
+		return err
+	}
+
+	// --- E1: section 2 complexity claim ---
+	_, stats, err := scf.Compute(x, scf.Params{K: 256, M: 64})
+	if err != nil {
+		return err
+	}
+	fmt.Println("E1  section 2 complexity (256-point spectrum, per block)")
+	fmt.Printf("    DSCF complex mults:   %6d   (paper: ~¼N² = 16384)\n", stats.DSCFMults)
+	fmt.Printf("    FFT complex mults:    %6d   (paper: ½N·log₂N = 1024)\n", stats.FFTMults)
+	fmt.Printf("    ratio:                %6.2f   (paper: \"16 times\")\n", stats.Ratio())
+
+	// --- E2: Figures 1/2 dependence graph ---
+	g3, err := dg.BuildDSCF3D(64, 2)
+	if err != nil {
+		return err
+	}
+	g2, err := dg.BuildDSCF2D(64)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E2  Figures 1/2 dependence graph (M=64)")
+	fmt.Printf("    nodes per plane:      %6d   (paper: 127×127 = 16129)\n", len(g3.Nodes)/2)
+	fmt.Printf("    accumulation edges:   %6d   (one per node between planes)\n", len(g3.Edges))
+	fmt.Printf("    2-D propagation edges:%6d   (X and X* diagonal families)\n", len(g2.Edges))
+
+	// --- E3: expressions 4/5 projections ---
+	la, err := mapping.DeriveLineArray(64, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E3  expressions 4/5 projections (Figures 3/4)")
+	fmt.Printf("    line array PEs:       %6d   (paper: \"127 complex multipliers\")\n", la.P())
+	fmt.Printf("    per-PE result cells:  %6d   (frequencies, time-multiplexed)\n", la.F())
+
+	// --- E4: Figure 5 + composition law ---
+	if err := mapping.VerifyComposition(); err != nil {
+		return err
+	}
+	if _, _, err := mapping.SharedTrajectory(64, mapping.XConjChain); err != nil {
+		return err
+	}
+	if _, _, err := mapping.SharedTrajectory(64, mapping.XChain); err != nil {
+		return err
+	}
+	fmt.Println("E4  Figure 5 space/time-delay + section 3.2 composition law")
+	fmt.Println("    P2b'·P2a1' = P2' = P2b'·P2a2': verified")
+	fmt.Println("    all values of each family share one register trajectory: verified")
+
+	// --- E5/E6: systolic equivalence ---
+	qx := fixed.FromFloatSlice(x)
+	spectra, err := scf.FixedSpectra(qx, scf.Params{K: 256, M: 64, Blocks: 2})
+	if err != nil {
+		return err
+	}
+	ref, err := scf.AccumulateFixed(spectra, scf.Params{K: 256, M: 64, Blocks: 2})
+	if err != nil {
+		return err
+	}
+	unf, err := systolic.NewFixedArray(64)
+	if err != nil {
+		return err
+	}
+	fld, err := systolic.NewFoldedArray(64, 4)
+	if err != nil {
+		return err
+	}
+	for _, spec := range spectra {
+		if err := unf.ProcessBlock(spec); err != nil {
+			return err
+		}
+		if err := fld.ProcessBlock(spec); err != nil {
+			return err
+		}
+	}
+	okU, _ := unf.Surface().Equal(ref)
+	okF, _ := fld.Surface().Equal(ref)
+	macs, shifts, loads := unf.Ops()
+	fmt.Println("E5  Figure 7 unfolded systolic array (127 PEs)")
+	fmt.Printf("    bit-exact vs reference: %v;  MACs/block %d, shifts %d, init loads %d\n",
+		okU, macs/2, shifts/2, loads/2)
+	fmt.Println("E6  Figures 8/9 folded array (Q=4, T=32)")
+	fmt.Printf("    bit-exact vs reference: %v;  task loads:", okF)
+	for _, s := range fld.Stats() {
+		fmt.Printf(" %d", s.Tasks)
+	}
+	fmt.Printf("   (paper: 32/32/32/31)\n")
+
+	// --- E7: memory budget ---
+	cfg, err := montium.NewCFDConfig(256, 64, 4, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E7  section 4.1 memory budget")
+	fmt.Printf("    accumulator words:    %6d of %d   (paper: <8K words)\n",
+		cfg.AccumWordsUsed(), montium.AccumCapacityWords)
+	fmt.Printf("    16-bit dynamic range: %6.2f dB      (paper: 96 dB)\n", fixed.DynamicRangeDB(16))
+
+	// --- E8/E9/E12: platform run ---
+	platform, err := soc.New(soc.Config{K: 256, M: 64, Q: 4, Blocks: 1})
+	if err != nil {
+		return err
+	}
+	surfHW, report, err := platform.Run(qx[:256])
+	if err != nil {
+		return err
+	}
+	refHW, err := scf.ComputeFixed(qx[:256], scf.Params{K: 256, M: 64, Blocks: 1})
+	if err != nil {
+		return err
+	}
+	okHW, _ := surfHW.Equal(refHW)
+	t1 := report.Tiles[0].Table1
+	paper := montium.PaperTable1()
+	fmt.Println("E8  Table 1 cycle counts (measured on tile 0 of the 4-tile platform)")
+	fmt.Printf("    %-22s %9s %9s\n", "row", "measured", "paper")
+	rows := []struct {
+		name     string
+		got, ref int64
+	}{
+		{"multiply accumulate", t1.MultiplyAccumulate, paper.MultiplyAccumulate},
+		{"read data", t1.ReadData, paper.ReadData},
+		{"FFT", t1.FFT, paper.FFT},
+		{"reshuffling", t1.Reshuffle, paper.Reshuffle},
+		{"initialisation", t1.Initialisation, paper.Initialisation},
+		{"total", t1.Total(), paper.Total()},
+	}
+	for _, r := range rows {
+		fmt.Printf("    %-22s %9d %9d\n", r.name, r.got, r.ref)
+	}
+	fmt.Printf("    platform DSCF bit-exact vs reference: %v\n", okHW)
+
+	model := perf.Paper()
+	bt := model.BlockTimeMicros(report.CyclesPerBlock)
+	fmt.Println("E9  section 4/5 headline")
+	fmt.Printf("    integration step:     %8.2f µs   (paper: 139.96 µs)\n", bt)
+	fmt.Printf("    analysed bandwidth:   %8.1f kHz  (paper: ~915 kHz)\n",
+		model.AnalysedBandwidthkHz(256, bt))
+
+	fmt.Println("E10 section 5 area & power")
+	fmt.Printf("    area:                 %8.1f mm²  (paper: ~8 mm²)\n", model.AreaMM2(4))
+	fmt.Printf("    power:                %8.1f mW   (paper: 200 mW)\n", model.PowerMW(4))
+
+	scaling, err := model.ScalingTable(4, report.CyclesPerBlock, 256, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Println("E11 section 5 linear scaling (platform instances)")
+	fmt.Printf("    %9s %7s %14s %9s %9s\n", "platforms", "cores", "bandwidth/kHz", "area/mm²", "power/mW")
+	for _, r := range scaling {
+		fmt.Printf("    %9d %7d %14.1f %9.1f %9.1f\n",
+			r.Platforms, r.Cores, r.BandwidthkHz, r.AreaMM2, r.PowerMW)
+	}
+	fmt.Printf("    linear: %v\n", perf.IsLinear(scaling))
+
+	fmt.Println("E12 section 4 inter-core traffic")
+	fmt.Printf("    MACs: %d, NoC boundary values: %d, per-tile compute/comm ratio: %.1f (T=32)\n",
+		report.TotalMACs, report.NoCSent,
+		float64(report.TotalMACs)/float64(report.NoCSent))
+
+	// --- E13: detector comparison ---
+	pdCFD, pdE, err := detectorComparison(trials)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E13 motivation: CFD vs energy detection (extension experiment)")
+	fmt.Printf("    BPSK at -4 dB SNR, ±2 dB noise uncertainty, Pfa=0.1, %d trials\n", trials)
+	fmt.Printf("    Pd(CFD)    = %.2f\n", pdCFD)
+	fmt.Printf("    Pd(energy) = %.2f   (the SNR-wall collapse that motivates CFD)\n", pdE)
+
+	return ablations(qx[:256])
+}
+
+// ablations prints the design-choice studies of EXPERIMENTS.md §Ablations.
+func ablations(qx []fixed.Complex) error {
+	fmt.Println()
+	fmt.Println("ablations (extensions; see EXPERIMENTS.md)")
+
+	// MAC latency sensitivity.
+	fmt.Print("    MAC latency 1/2/3 cycles -> block cycles ")
+	for _, mc := range []int{1, 2, 3} {
+		model := mapping.PaperCycleModel()
+		model.MACCycles = mc
+		s, err := mapping.BuildCoreSchedule(64, 256, 4, 0, model)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d ", s.TotalCycles())
+	}
+	fmt.Println()
+
+	// Real-input FFT.
+	model := mapping.PaperCycleModel()
+	model.RealInputFFT = true
+	s, err := mapping.BuildCoreSchedule(64, 256, 4, 0, model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    real-input FFT: FFT row 1040 -> %d, block total -> %d\n",
+		s.CyclesOf(mapping.OpFFT), s.TotalCycles())
+
+	// Intra-platform core sweep.
+	pts, err := soc.SweepCores(256, 64, []int{4, 8, 16, 32}, qx)
+	if err != nil {
+		return err
+	}
+	fmt.Print("    core sweep Q=4/8/16/32 -> cycles ")
+	for _, p := range pts {
+		if p.Feasible {
+			fmt.Printf("%d ", p.CyclesPerBlock)
+		}
+	}
+	fmt.Printf("(serial floor %d)\n", soc.SerialCycles(256, 64))
+
+	// Configuration amortisation.
+	plan, err := montium.CFDConfigurationPlan(256)
+	if err != nil {
+		return err
+	}
+	n, err := plan.AmortisationBlocks(13996, 0.01)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    reconfiguration: %d words, < 1%% of compute after %d block(s)\n",
+		plan.TotalWords(), n)
+	return nil
+}
+
+// testBand builds the deterministic licensed-user band used by the
+// deterministic experiments.
+func testBand(k, blocks int) ([]complex128, error) {
+	rng := sig.NewRand(42)
+	b := &sig.BPSK{Amp: 1, Carrier: 32.0 / float64(k), SymbolLen: 8, Rng: rng}
+	x := sig.Samples(b, k*blocks)
+	noisy, _, err := sig.AddAWGN(x, 10, true, rng)
+	if err != nil {
+		return nil, err
+	}
+	fixed.ScaleSliceFloat(noisy, 0.5)
+	return noisy, nil
+}
+
+// detectorComparison runs the E13 Monte-Carlo at -4 dB with ±2 dB noise
+// uncertainty.
+func detectorComparison(trials int) (pdCFD, pdEnergy float64, err error) {
+	const k, m, blocks = 64, 16, 32
+	params := scf.Params{K: k, M: m, Blocks: blocks}
+	nominal := 0.5 / math.Pow(10, -4.0/10)
+	sc := func(rng *sig.Rand, present bool) []complex128 {
+		du := 2 * (2*rng.Float64() - 1)
+		actual := nominal * math.Pow(10, du/10)
+		noise := sig.Samples(&sig.WGN{Sigma: math.Sqrt(actual), Real: true, Rng: rng}, k*blocks)
+		if !present {
+			return noise
+		}
+		s := sig.Samples(&sig.BPSK{Amp: 1, Carrier: 8.0 / k, SymbolLen: 8, Rng: rng}, k*blocks)
+		for i := range s {
+			s[i] += noise[i]
+		}
+		return s
+	}
+	cfd := detect.CFDDetector{Params: params, MinAbsA: 2}
+	energy := detect.EnergyDetector{AssumedNoisePower: nominal}
+	thC, err := detect.CalibrateThreshold(cfd, sc, trials, 0.1, 101)
+	if err != nil {
+		return 0, 0, err
+	}
+	if pdCFD, _, err = detect.PdAtThreshold(cfd, sc, trials, thC, 102); err != nil {
+		return 0, 0, err
+	}
+	thE, err := detect.CalibrateThreshold(energy, sc, trials, 0.1, 103)
+	if err != nil {
+		return 0, 0, err
+	}
+	if pdEnergy, _, err = detect.PdAtThreshold(energy, sc, trials, thE, 104); err != nil {
+		return 0, 0, err
+	}
+	return pdCFD, pdEnergy, nil
+}

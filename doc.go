@@ -1,0 +1,23 @@
+// Package tiledcfd reproduces "Cyclostationary Feature Detection on a
+// tiled-SoC" (Kokkeler, Smit, Krol, Kuper — DATE 2007): the computation of
+// the Discrete Spectral Correlation Function (DSCF) for Cognitive-Radio
+// spectrum sensing, mapped onto a simulated platform of four Montium
+// coarse-grain reconfigurable cores via the paper's two-step methodology.
+//
+// The root package is a thin facade over the internal engine. Typical
+// uses:
+//
+//   - Sense: run full spectrum sensing (quantise → 4-tile platform
+//     simulation → DSCF → cyclostationary detection verdict → section 5
+//     evaluation figures);
+//   - DSCF: compute a reference spectral-correlation surface of a sampled
+//     signal in float64;
+//   - DeriveMapping: run the paper's step-1 derivation for any grid size
+//     and core count, returning the task distribution and interconnect
+//     figures;
+//   - Table1: measure the paper's Table 1 cycle breakdown from the
+//     simulated platform.
+//
+// See the examples directory for runnable scenarios and EXPERIMENTS.md for
+// the per-table/per-figure reproduction record.
+package tiledcfd

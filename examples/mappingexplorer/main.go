@@ -1,0 +1,62 @@
+// Command mappingexplorer renders the paper's step-1 artefacts for a
+// small, human-readable grid (m = 4, the size of the paper's own Figures
+// 1 and 5–7): the space/time-delay diagrams of both register chains, the
+// derived chain properties, and the folding table — then verifies the
+// composition law and prints the same artefacts for the paper's full
+// M = 64 grid numerically.
+//
+// Run: go run ./examples/mappingexplorer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tiledcfd"
+	"tiledcfd/internal/mapping"
+)
+
+func main() {
+	fmt.Println("== composition law (section 3.2) ==")
+	if err := mapping.VerifyComposition(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("P2b'·P2a1' = P2' = P2b'·P2a2'  -- verified")
+	fmt.Println()
+
+	fmt.Println("== space/time-delay diagrams, m = 4 (paper Figure 5) ==")
+	fmt.Println(mapping.RenderSpaceTime(4, mapping.XConjChain))
+	fmt.Println(mapping.RenderSpaceTime(4, mapping.XChain))
+
+	fmt.Println("== register chains, m = 4 (Figures 6/7) ==")
+	chains, err := mapping.SynthesiseChains(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range chains {
+		fmt.Printf("%-3s chain: %d taps, %d registers, injects at a=%+d, flow direction %+d\n",
+			c.Kind, c.Taps, c.Registers, c.InjectEnd, c.Kind.Dir())
+	}
+	fmt.Println()
+
+	fmt.Println("== folding onto 4 cores, m = 4 (expressions 8/9) ==")
+	fold, err := mapping.NewFolding(7, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fold)
+	fmt.Println()
+
+	fmt.Println("== the paper's full grid: M = 64 on Q = 4 ==")
+	mp, err := tiledcfd.DeriveMapping(64, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P = %d logical processors, T = %d tasks per core\n", mp.P, mp.T)
+	fmt.Printf("chain registers: %d per chain\n", mp.ChainRegisters)
+	fmt.Printf("DSCF accumulators per core: %d words of the Montium's 8192\n", mp.MemoryWordsPerCore)
+	for q, r := range mp.TaskRanges {
+		fmt.Printf("  core %d executes tasks %3d..%3d  (offsets a = %+d..%+d)\n",
+			q, r[0], r[1]-1, r[0]-63, r[1]-1-63)
+	}
+}

@@ -1,0 +1,68 @@
+// Command monitor demonstrates continuous spectrum monitoring: a licensed
+// user appears in the band partway through a long capture and vacates it
+// again; the per-window verdicts track the occupancy timeline — the
+// operational loop of the paper's Cognitive-Radio application.
+//
+// Run: go run ./examples/monitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tiledcfd"
+)
+
+func main() {
+	const (
+		k       = 64
+		m       = 16
+		blocks  = 16
+		window  = k * blocks
+		windows = 8
+	)
+
+	// Timeline: windows 0-2 idle, 3-5 occupied (BPSK user at 0 dB),
+	// 6-7 idle again.
+	idleA, err := tiledcfd.NewNoiseBand(3*window, 0.2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	busy, err := tiledcfd.NewBPSKBand(3*window, 8.0/k, 8, 0, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idleB, err := tiledcfd.NewNoiseBand(2*window, 0.2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := append(append(idleA, busy...), idleB...)
+
+	verdicts, err := tiledcfd.Watch(stream, tiledcfd.Config{
+		K: k, M: m, Q: 4, Blocks: blocks, Threshold: 0.35, MinAbsA: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== continuous monitoring: 8 sensing windows ==")
+	fmt.Printf("%-8s %-10s %-10s %s\n", "window", "verdict", "statistic", "timeline")
+	var bar strings.Builder
+	for _, v := range verdicts {
+		verdict := "idle"
+		mark := "."
+		if v.Detected {
+			verdict = "OCCUPIED"
+			mark = "#"
+		}
+		bar.WriteString(mark)
+		fmt.Printf("%-8d %-10s %-10.3f %s\n", v.Window, verdict, v.Statistic, bar.String())
+	}
+	fmt.Println()
+	fmt.Printf("occupancy bar: [%s]  (truth: ...###..)\n", bar.String())
+	fmt.Println("the network can transmit during '.' windows and must vacate during '#'.")
+	if windows != len(verdicts) {
+		fmt.Printf("note: %d windows expected, %d sensed\n", windows, len(verdicts))
+	}
+}

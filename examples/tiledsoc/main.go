@@ -1,0 +1,99 @@
+// Command tiledsoc walks through the paper's two-step methodology itself:
+// derive the step-1 mapping (task distribution, chains, memory budget) for
+// several core counts, then execute the paper's 4-core configuration on
+// the simulated platform and compare every measured number with the
+// published one — Table 1, the 139.96 µs integration step, the NoC traffic
+// argument, and the section 5 scaling.
+//
+// Run: go run ./examples/tiledsoc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tiledcfd"
+)
+
+func main() {
+	fmt.Println("== step 1: mapping derivation (M = 64, P = 127 tasks) ==")
+	for _, q := range []int{1, 2, 4, 8} {
+		mp, err := tiledcfd.DeriveMapping(64, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Q=%d: T=%3d tasks/core, accumulator footprint %5d words/core",
+			q, mp.T, mp.MemoryWordsPerCore)
+		if mp.MemoryWordsPerCore > 8192 {
+			fmt.Printf("  -> exceeds the Montium's 8K words (infeasible, as the paper implies)")
+		}
+		fmt.Println()
+		if q == 4 {
+			fmt.Println("   task table (paper section 3.3):")
+			for c, r := range mp.TaskRanges {
+				fmt.Printf("     core %d: tasks %3d..%3d (%d tasks)\n", c, r[0], r[1]-1, r[1]-r[0])
+			}
+			fmt.Printf("   register chains: %d taps, %d registers each (Figure 6/7)\n",
+				mp.P, mp.ChainRegisters)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("== step 2: execution on the 4-tile platform ==")
+	const blocks = 2
+	band, err := tiledcfd.NewBPSKBand(256*blocks, 32.0/256, 8, 10, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := tiledcfd.Sense(band, tiledcfd.Config{Blocks: blocks, Threshold: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %10s %10s\n", "Table 1 row", "measured", "paper")
+	rows := []struct {
+		name     string
+		got, ref int64
+	}{
+		{"multiply accumulate", s.Breakdown.MultiplyAccumulate, 12192},
+		{"read data", s.Breakdown.ReadData, 381},
+		{"FFT", s.Breakdown.FFT, 1040},
+		{"reshuffling", s.Breakdown.Reshuffle, 256},
+		{"initialisation", s.Breakdown.Initialisation, 127},
+		{"total", s.Breakdown.Total, 13996},
+	}
+	for _, r := range rows {
+		mark := "ok"
+		if r.got != r.ref {
+			mark = "MISMATCH"
+		}
+		fmt.Printf("%-22s %10d %10d   %s\n", r.name, r.got, r.ref, mark)
+	}
+
+	fmt.Println()
+	fmt.Println("== NoC traffic (paper section 4) ==")
+	perBlockMACs := s.TotalMACs / int64(blocks)
+	perBlockNoC := s.NoCValues / int64(blocks)
+	fmt.Printf("MACs per block:              %d\n", perBlockMACs)
+	fmt.Printf("NoC boundary values/block:   %d\n", perBlockNoC)
+	fmt.Printf("compute/communication ratio: %.1f (chains shift once per T=32 operations)\n",
+		float64(perBlockMACs)/float64(perBlockNoC))
+
+	fmt.Println()
+	fmt.Println("== section 5 evaluation and scaling ==")
+	fmt.Printf("integration step: %.2f µs, bandwidth %.1f kHz, %0.f mm², %0.f mW\n",
+		s.BlockTimeMicros, s.AnalysedBandwidthkHz, s.AreaMM2, s.PowerMW)
+	fmt.Println("linear scaling over platform instances (each sensing its own band):")
+	fmt.Printf("%10s %8s %14s %10s %10s\n", "platforms", "cores", "bandwidth/kHz", "area/mm²", "power/mW")
+	base, err := tiledcfd.Evaluate(256, 4, s.CyclesPerBlock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		e, err := tiledcfd.Evaluate(256, 4*n, s.CyclesPerBlock)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d %8d %14.1f %10.1f %10.1f\n",
+			n, 4*n, float64(n)*base.AnalysedBandwidthkHz, e.AreaMM2, e.PowerMW)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/detect"
+)
+
+// WindowDecision is the verdict for one sensing window of a monitored
+// stream.
+type WindowDecision struct {
+	// Window is the 0-based window index; the window covers samples
+	// [Window·N, (Window+1)·N) for N = window samples.
+	Window int
+	// Decision is the detector verdict for the window.
+	Decision detect.Decision
+	// FeatureA is the strongest cyclic feature's offset in the window.
+	FeatureA int
+}
+
+// Monitor senses a continuous sample stream window by window, the
+// operational mode of the paper's Cognitive-Radio application: the
+// platform repeatedly analyses blocks of fresh samples and the decision
+// layer tracks per-window occupancy.
+type Monitor struct {
+	cfg Config
+}
+
+// NewMonitor validates the configuration once and returns a reusable
+// monitor.
+func NewMonitor(cfg Config) (*Monitor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.SoC.Validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{cfg: cfg}, nil
+}
+
+// WindowSamples returns the samples consumed per sensing window:
+// K·Blocks.
+func (m *Monitor) WindowSamples() int { return m.cfg.SoC.K * m.cfg.SoC.Blocks }
+
+// Process senses every complete window in the stream (a trailing partial
+// window is ignored) and returns the per-window decisions in order.
+func (m *Monitor) Process(stream []complex128) ([]WindowDecision, error) {
+	w := m.WindowSamples()
+	if len(stream) < w {
+		return nil, fmt.Errorf("core: stream of %d samples shorter than one window (%d)", len(stream), w)
+	}
+	var out []WindowDecision
+	for i := 0; (i+1)*w <= len(stream); i++ {
+		res, err := Run(stream[i*w:(i+1)*w], m.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: window %d: %w", i, err)
+		}
+		_, a, _ := res.Surface.MaxFeature(true)
+		out = append(out, WindowDecision{Window: i, Decision: res.Decision, FeatureA: a})
+	}
+	return out, nil
+}
+
+// OccupancyRatio returns the fraction of windows declared occupied.
+func OccupancyRatio(decisions []WindowDecision) float64 {
+	if len(decisions) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range decisions {
+		if d.Decision.Detected {
+			n++
+		}
+	}
+	return float64(n) / float64(len(decisions))
+}

@@ -1,0 +1,125 @@
+// Package core ties the reproduction together into the application the
+// paper targets: spectrum sensing for Cognitive Radio on the tiled SoC.
+//
+// One Run executes the full chain exactly as the platform would:
+// condition and quantise the sampled band to the Montium's Q15 datapath,
+// run the 4-tile platform simulation (FFT → reshuffle → init → folded MAC
+// loop per block, tiles exchanging chain values over the NoC), read the
+// DSCF out of the tiles' accumulator memories, apply the cyclostationary
+// detection statistic to that hardware-produced surface, and convert the
+// measured cycle counts into the paper's evaluation figures (time per
+// integration step, analysed bandwidth, area, power).
+package core
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/detect"
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/perf"
+	"tiledcfd/internal/scf"
+	"tiledcfd/internal/soc"
+)
+
+// Config configures a spectrum-sensing run.
+type Config struct {
+	// SoC is the platform configuration; zero fields take the paper's
+	// values (K=256, M=64, Q=4, 100 MHz).
+	SoC soc.Config
+	// MinAbsA is the smallest |a| the blind detector searches (default 2,
+	// keeping clear of PSD leakage around a=0).
+	MinAbsA int
+	// Threshold is the detection threshold on the CFD statistic; calibrate
+	// with detect.CalibrateThreshold for a target false-alarm rate.
+	Threshold float64
+	// InputScale is the peak amplitude the input is conditioned to before
+	// Q15 quantisation (default 0.5, leaving 6 dB of headroom).
+	InputScale float64
+	// Perf supplies the technology constants; zero takes the paper's.
+	Perf perf.Model
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	c.SoC = c.SoC.WithDefaults()
+	if c.MinAbsA == 0 {
+		c.MinAbsA = 2
+	}
+	if c.InputScale == 0 {
+		c.InputScale = 0.5
+	}
+	if c.Perf == (perf.Model{}) {
+		c.Perf = perf.Paper()
+	}
+	return c
+}
+
+// Result is the outcome of one spectrum-sensing run.
+type Result struct {
+	// Fixed is the raw Q15 DSCF read from the tiles' memories.
+	Fixed *scf.FixedSurface
+	// Surface is the float view of Fixed, normalised by the block count.
+	Surface *scf.Surface
+	// Report is the platform execution report (per-tile Table 1, cycles,
+	// NoC traffic).
+	Report *soc.Report
+	// Decision is the detector verdict on the hardware surface.
+	Decision detect.Decision
+	// Evaluation figures derived from the measured cycles (section 5).
+	BlockTimeMicros      float64
+	AnalysedBandwidthkHz float64
+	AreaMM2              float64
+	PowerMW              float64
+}
+
+// Run executes spectrum sensing over the sampled band x.
+func Run(x []complex128, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.SoC.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InputScale <= 0 || cfg.InputScale > 1 {
+		return nil, fmt.Errorf("core: InputScale %v outside (0,1]", cfg.InputScale)
+	}
+	need := cfg.SoC.K * cfg.SoC.Blocks
+	if len(x) < need {
+		return nil, fmt.Errorf("core: need %d samples, have %d", need, len(x))
+	}
+	// Condition to Q15: scale a copy so the peak component sits at
+	// InputScale. The CFD statistic is self-normalising, so the gain does
+	// not bias the decision.
+	cond := make([]complex128, need)
+	copy(cond, x[:need])
+	fixed.ScaleSliceFloat(cond, cfg.InputScale)
+	qx := fixed.FromFloatSlice(cond)
+
+	platform, err := soc.New(cfg.SoC)
+	if err != nil {
+		return nil, err
+	}
+	fx, report, err := platform.Run(qx)
+	if err != nil {
+		return nil, err
+	}
+	surface := fx.Float(cfg.SoC.Blocks)
+	stat, err := detect.CFDStatistic(surface, cfg.MinAbsA)
+	if err != nil {
+		return nil, err
+	}
+	bt := cfg.Perf.BlockTimeMicros(report.CyclesPerBlock)
+	return &Result{
+		Fixed:   fx,
+		Surface: surface,
+		Report:  report,
+		Decision: detect.Decision{
+			Detector:  "cfd",
+			Statistic: stat,
+			Threshold: cfg.Threshold,
+			Detected:  stat > cfg.Threshold,
+		},
+		BlockTimeMicros:      bt,
+		AnalysedBandwidthkHz: cfg.Perf.AnalysedBandwidthkHz(cfg.SoC.K, bt),
+		AreaMM2:              cfg.Perf.AreaMM2(cfg.SoC.Q),
+		PowerMW:              cfg.Perf.PowerMW(cfg.SoC.Q),
+	}, nil
+}

@@ -1,0 +1,140 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"tiledcfd/internal/sig"
+)
+
+// Scenario generates one Monte-Carlo trial input: a sampled block with
+// (present=true) or without (present=false) the target signal, using the
+// provided generator for all randomness.
+type Scenario func(rng *sig.Rand, present bool) []complex128
+
+// PdAtThreshold estimates detection and false-alarm probabilities of a
+// detector at a fixed threshold over the given number of trials per
+// hypothesis.
+func PdAtThreshold(d Detector, sc Scenario, trials int, threshold float64, seed uint64) (pd, pfa float64, err error) {
+	if trials < 1 {
+		return 0, 0, fmt.Errorf("detect: trials=%d must be >= 1", trials)
+	}
+	rng := sig.NewRand(seed)
+	var detH1, detH0 int
+	for i := 0; i < trials; i++ {
+		s1, err := d.Statistic(sc(rng, true))
+		if err != nil {
+			return 0, 0, err
+		}
+		if s1 > threshold {
+			detH1++
+		}
+		s0, err := d.Statistic(sc(rng, false))
+		if err != nil {
+			return 0, 0, err
+		}
+		if s0 > threshold {
+			detH0++
+		}
+	}
+	return float64(detH1) / float64(trials), float64(detH0) / float64(trials), nil
+}
+
+// CalibrateThreshold estimates the threshold achieving the requested
+// false-alarm probability empirically: it runs noise-only trials and
+// returns the (1-pfa) quantile of the statistic. This is how a detector
+// without a closed-form H0 distribution (the CFD statistics) is fielded.
+func CalibrateThreshold(d Detector, sc Scenario, trials int, pfa float64, seed uint64) (float64, error) {
+	if trials < 4 {
+		return 0, fmt.Errorf("detect: calibration needs >= 4 trials, got %d", trials)
+	}
+	if pfa <= 0 || pfa >= 1 {
+		return 0, fmt.Errorf("detect: pfa=%v outside (0,1)", pfa)
+	}
+	rng := sig.NewRand(seed)
+	stats := make([]float64, trials)
+	for i := range stats {
+		s, err := d.Statistic(sc(rng, false))
+		if err != nil {
+			return 0, err
+		}
+		stats[i] = s
+	}
+	sort.Float64s(stats)
+	idx := int(float64(trials) * (1 - pfa))
+	if idx >= trials {
+		idx = trials - 1
+	}
+	return stats[idx], nil
+}
+
+// ROCPoint is one operating point of a receiver operating characteristic.
+type ROCPoint struct {
+	Threshold float64
+	Pfa, Pd   float64
+}
+
+// ROC estimates the full receiver operating characteristic by scoring
+// `trials` trials of each hypothesis and sweeping the threshold through
+// every observed H0 statistic.
+func ROC(d Detector, sc Scenario, trials int, seed uint64) ([]ROCPoint, error) {
+	if trials < 2 {
+		return nil, fmt.Errorf("detect: ROC needs >= 2 trials, got %d", trials)
+	}
+	rng := sig.NewRand(seed)
+	h0 := make([]float64, trials)
+	h1 := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		s0, err := d.Statistic(sc(rng, false))
+		if err != nil {
+			return nil, err
+		}
+		s1, err := d.Statistic(sc(rng, true))
+		if err != nil {
+			return nil, err
+		}
+		h0[i] = s0
+		h1[i] = s1
+	}
+	sort.Float64s(h0)
+	var out []ROCPoint
+	for i, th := range h0 {
+		pfa := float64(trials-i-1) / float64(trials) // strictly above th
+		pd := 0.0
+		for _, s := range h1 {
+			if s > th {
+				pd++
+			}
+		}
+		out = append(out, ROCPoint{Threshold: th, Pfa: pfa, Pd: pd / float64(trials)})
+	}
+	return out, nil
+}
+
+// SweepPoint is one row of a Pd-vs-SNR sweep.
+type SweepPoint struct {
+	SNRdB float64
+	Pd    float64
+	Pfa   float64
+}
+
+// PdVsSNR runs, for each SNR, a threshold calibration at the requested
+// false-alarm rate followed by a Pd estimate — the experiment E13 sweep.
+// makeScenario builds the scenario for one SNR.
+func PdVsSNR(d Detector, makeScenario func(snrDB float64) Scenario, snrs []float64,
+	trials int, pfa float64, seed uint64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for i, snr := range snrs {
+		sc := makeScenario(snr)
+		th, err := CalibrateThreshold(d, sc, trials, pfa, seed+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		pd, pfaHat, err := PdAtThreshold(d, sc, trials, th, seed+uint64(i)+1000)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{SNRdB: snr, Pd: pd, Pfa: pfaHat})
+	}
+	return out, nil
+}

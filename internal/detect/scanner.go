@@ -1,0 +1,67 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ChannelDecision is the per-channel outcome of a scan.
+type ChannelDecision struct {
+	Channel int
+	Decision
+}
+
+// Scanner applies one detector with one threshold across a set of
+// channels — the Cognitive-Radio scan loop of the paper's introduction
+// (find under-utilised spectrum for the AAF ad-hoc network).
+type Scanner struct {
+	Detector  Detector
+	Threshold float64
+}
+
+// Scan evaluates every channel and returns the per-channel decisions in
+// channel order.
+func (s Scanner) Scan(channels [][]complex128) ([]ChannelDecision, error) {
+	if s.Detector == nil {
+		return nil, fmt.Errorf("detect: scanner has no detector")
+	}
+	out := make([]ChannelDecision, len(channels))
+	for i, x := range channels {
+		dec, err := Apply(s.Detector, x, s.Threshold)
+		if err != nil {
+			return nil, fmt.Errorf("detect: channel %d: %w", i, err)
+		}
+		out[i] = ChannelDecision{Channel: i, Decision: dec}
+	}
+	return out, nil
+}
+
+// FreeChannels returns the indices of channels a scan declared idle, in
+// ascending order.
+func FreeChannels(decisions []ChannelDecision) []int {
+	var out []int
+	for _, d := range decisions {
+		if !d.Detected {
+			out = append(out, d.Channel)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BestFreeChannel returns the idle channel with the lowest statistic (the
+// quietest), or -1 if every channel is occupied.
+func BestFreeChannel(decisions []ChannelDecision) int {
+	best := -1
+	bestStat := 0.0
+	for _, d := range decisions {
+		if d.Detected {
+			continue
+		}
+		if best == -1 || d.Statistic < bestStat {
+			best = d.Channel
+			bestStat = d.Statistic
+		}
+	}
+	return best
+}

@@ -1,0 +1,96 @@
+package detect
+
+import (
+	"testing"
+
+	"tiledcfd/internal/sig"
+)
+
+func scanChannels(t *testing.T) [][]complex128 {
+	t.Helper()
+	const k, blocks = 64, 16
+	n := k * blocks
+	mk := func(seed uint64, occupied bool, snr float64, carrier float64) []complex128 {
+		rng := sig.NewRand(seed)
+		noise := sig.Samples(&sig.WGN{Sigma: 0.3, Real: true, Rng: rng}, n)
+		if !occupied {
+			return noise
+		}
+		b := &sig.BPSK{Amp: 1, Carrier: carrier, SymbolLen: 8, Rng: rng}
+		x := sig.Samples(b, n)
+		y, _, err := sig.AddAWGN(x, snr, true, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return y
+	}
+	return [][]complex128{
+		mk(1, true, 8, 8.0/64),  // occupied
+		mk(2, false, 0, 0),      // idle
+		mk(3, true, 5, 12.0/64), // occupied
+		mk(4, false, 0, 0),      // idle
+	}
+}
+
+func TestScannerFindsFreeChannels(t *testing.T) {
+	channels := scanChannels(t)
+	sc := Scanner{
+		Detector:  CFDDetector{Params: cfdParams(16), MinAbsA: 2},
+		Threshold: 0.4,
+	}
+	decisions, err := sc.Scan(channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 4 {
+		t.Fatalf("decisions %d", len(decisions))
+	}
+	if !decisions[0].Detected || !decisions[2].Detected {
+		t.Fatalf("occupied channels missed: %+v", decisions)
+	}
+	if decisions[1].Detected || decisions[3].Detected {
+		t.Fatalf("false alarms on idle channels: %+v", decisions)
+	}
+	free := FreeChannels(decisions)
+	if len(free) != 2 || free[0] != 1 || free[1] != 3 {
+		t.Fatalf("free channels %v", free)
+	}
+	best := BestFreeChannel(decisions)
+	if best != 1 && best != 3 {
+		t.Fatalf("best free channel %d", best)
+	}
+}
+
+func TestScannerErrors(t *testing.T) {
+	if _, err := (Scanner{}).Scan(nil); err == nil {
+		t.Error("nil detector should fail")
+	}
+	sc := Scanner{Detector: EnergyDetector{AssumedNoisePower: 0}, Threshold: 1}
+	if _, err := sc.Scan([][]complex128{{1, 2}}); err == nil {
+		t.Error("detector error should propagate with channel index")
+	}
+}
+
+func TestBestFreeChannelAllOccupied(t *testing.T) {
+	decisions := []ChannelDecision{
+		{Channel: 0, Decision: Decision{Detected: true, Statistic: 2}},
+		{Channel: 1, Decision: Decision{Detected: true, Statistic: 3}},
+	}
+	if got := BestFreeChannel(decisions); got != -1 {
+		t.Fatalf("BestFreeChannel = %d, want -1", got)
+	}
+	if free := FreeChannels(decisions); len(free) != 0 {
+		t.Fatalf("FreeChannels = %v", free)
+	}
+}
+
+func TestBestFreeChannelPicksQuietest(t *testing.T) {
+	decisions := []ChannelDecision{
+		{Channel: 0, Decision: Decision{Detected: false, Statistic: 0.3}},
+		{Channel: 1, Decision: Decision{Detected: false, Statistic: 0.1}},
+		{Channel: 2, Decision: Decision{Detected: true, Statistic: 0.9}},
+	}
+	if got := BestFreeChannel(decisions); got != 1 {
+		t.Fatalf("BestFreeChannel = %d, want 1", got)
+	}
+}

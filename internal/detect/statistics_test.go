@@ -1,0 +1,119 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"tiledcfd/internal/scf"
+)
+
+func TestEnergyStatisticValues(t *testing.T) {
+	x := []complex128{complex(1, 0), complex(0, 1)} // mean |x|² = 1
+	got, err := EnergyStatistic(x, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("EnergyStatistic = %v, want 2", got)
+	}
+	if _, err := EnergyStatistic(nil, 1); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := EnergyStatistic(x, 0); err == nil {
+		t.Error("zero noise power should fail")
+	}
+	if _, err := EnergyStatistic(x, -1); err == nil {
+		t.Error("negative noise power should fail")
+	}
+}
+
+func TestCFDStatisticOnSyntheticSurface(t *testing.T) {
+	s := scf.NewSurface(4)
+	// PSD row total 10; feature row a=2 total 5 -> statistic 0.5.
+	s.Add(0, 0, complex(10, 0))
+	s.Add(1, 2, complex(3, 4)) // |.| = 5
+	got, err := CFDStatistic(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CFDStatistic = %v, want 0.5", got)
+	}
+	// Excluding |a| < 3 hides the feature.
+	got, err = CFDStatistic(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("CFDStatistic(minAbsA=3) = %v, want 0", got)
+	}
+}
+
+func TestCFDStatisticErrors(t *testing.T) {
+	s := scf.NewSurface(4)
+	if _, err := CFDStatistic(s, 0); err == nil {
+		t.Error("minAbsA=0 should fail")
+	}
+	if _, err := CFDStatistic(s, 4); err == nil {
+		t.Error("minAbsA beyond grid should fail")
+	}
+	if _, err := CFDStatistic(s, 1); err == nil {
+		t.Error("zero PSD row should fail")
+	}
+}
+
+func TestKnownCycleStatistic(t *testing.T) {
+	s := scf.NewSurface(4)
+	s.Add(0, 0, complex(8, 0))
+	s.Add(-1, -2, complex(0, 2))
+	got, err := KnownCycleStatistic(s, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("KnownCycleStatistic = %v, want 0.25", got)
+	}
+	if _, err := KnownCycleStatistic(s, 0); err == nil {
+		t.Error("a=0 should fail")
+	}
+	if _, err := KnownCycleStatistic(s, 5); err == nil {
+		t.Error("a out of grid should fail")
+	}
+	empty := scf.NewSurface(4)
+	if _, err := KnownCycleStatistic(empty, 1); err == nil {
+		t.Error("zero PSD should fail")
+	}
+}
+
+func TestInvQ(t *testing.T) {
+	if got := InvQ(0.5); math.Abs(got) > 1e-12 {
+		t.Fatalf("InvQ(0.5) = %v, want 0", got)
+	}
+	// Standard value: Q(1.6449) ~ 0.05.
+	if got := InvQ(0.05); math.Abs(got-1.6449) > 1e-3 {
+		t.Fatalf("InvQ(0.05) = %v, want ~1.6449", got)
+	}
+	if got := InvQ(0.001); math.Abs(got-3.0902) > 1e-3 {
+		t.Fatalf("InvQ(0.001) = %v, want ~3.0902", got)
+	}
+}
+
+func TestEnergyThresholdForPfa(t *testing.T) {
+	th, err := EnergyThresholdForPfa(1024, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 1.6449/32
+	if math.Abs(th-want) > 1e-3 {
+		t.Fatalf("threshold %v, want ~%v", th, want)
+	}
+	if _, err := EnergyThresholdForPfa(0, 0.05); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := EnergyThresholdForPfa(16, 0); err == nil {
+		t.Error("pfa=0 should fail")
+	}
+	if _, err := EnergyThresholdForPfa(16, 1); err == nil {
+		t.Error("pfa=1 should fail")
+	}
+}

@@ -1,0 +1,27 @@
+// Package dg provides the dependence-graph (DG) machinery of the paper's
+// first mapping step — the array-processor design techniques of Kung's
+// "VLSI Array Processors" (the paper's reference [4]) applied to the DSCF.
+//
+// A DG is a set of integer lattice points (one per elementary operation)
+// with displacement edges between them. The DSCF of expression 3 is a
+// three-dimensional DG: each point v = (f, a, n)ᵀ is one complex
+// multiplication X_{n,f+a}·conj(X_{n,f-a}), and each edge
+// (v, Δv) = ((f,a,n)ᵀ, (0,0,1)ᵀ) carries the running sum from integration
+// plane n-1 to plane n (the paper's Figure 2).
+//
+// Mapping a DG onto fewer processors uses a processor-assignment matrix P
+// and a scheduling vector s:
+//
+//	processor(v) = Pᵀ·v      time(v) = sᵀ·v      Δprocessor = Pᵀ·Δv
+//
+// This package supplies exact integer vectors/matrices (Vec, Mat), DG
+// construction for the DSCF in both its 3-D form and the 2-D form that
+// remains after projecting out n (the paper's Figure 1, with localised
+// propagation edges along the spectral-value diagonals), and the Apply
+// transform with the admissibility checks (causality sᵀΔv > 0 on
+// accumulation edges, processor/time collision freedom) that array
+// processor theory requires of a valid mapping.
+//
+// The concrete matrices of the paper (P1, s1, P2, s2, P2a1, P2a2, P2b)
+// live in internal/mapping, which drives this package.
+package dg

@@ -1,0 +1,76 @@
+package dg
+
+import "fmt"
+
+// BuildDSCF3D constructs the paper's Figure 2 dependence graph for a DSCF
+// with f, a in [-(m-1), +(m-1)] and n in [0, blocks): one node per complex
+// multiplication, with accumulation edges (0,0,1) linking each node to its
+// successor in the next integration plane. Node coordinates are (f, a, n).
+func BuildDSCF3D(m, blocks int) (*Graph, error) {
+	if m < 1 || blocks < 1 {
+		return nil, fmt.Errorf("dg: BuildDSCF3D(m=%d, blocks=%d) needs m, blocks >= 1", m, blocks)
+	}
+	g := &Graph{Dim: 3}
+	ext := m - 1
+	for n := 0; n < blocks; n++ {
+		for a := -ext; a <= ext; a++ {
+			for f := -ext; f <= ext; f++ {
+				g.Nodes = append(g.Nodes, Vec{f, a, n})
+				if n+1 < blocks {
+					g.Edges = append(g.Edges, Edge{
+						From:  Vec{f, a, n},
+						Delta: Vec{0, 0, 1},
+						Kind:  AccumEdge,
+					})
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// BuildDSCF2D constructs the two-dimensional DG that remains after the
+// paper's P1/s1 projection (Figure 1 with localised propagation edges).
+// Node coordinates are (f, a). Spectral values travel along diagonals:
+//
+//   - X_{n,j} is consumed by every node with f+a = j; localised as edges
+//     (f, a) → (f+1, a-1) of kind XPropEdge (towards lower a),
+//   - conj(X_{n,j}) is consumed by every node with f-a = j; localised as
+//     edges (f, a) → (f+1, a+1) of kind XConjPropEdge (towards higher a),
+//
+// exactly the solid and dotted line families of Figure 1.
+func BuildDSCF2D(m int) (*Graph, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("dg: BuildDSCF2D(m=%d) needs m >= 1", m)
+	}
+	g := &Graph{Dim: 2}
+	ext := m - 1
+	for a := -ext; a <= ext; a++ {
+		for f := -ext; f <= ext; f++ {
+			g.Nodes = append(g.Nodes, Vec{f, a})
+		}
+	}
+	for a := -ext; a <= ext; a++ {
+		for f := -ext; f <= ext; f++ {
+			if f+1 <= ext && a-1 >= -ext {
+				g.Edges = append(g.Edges, Edge{From: Vec{f, a}, Delta: Vec{1, -1}, Kind: XPropEdge})
+			}
+			if f+1 <= ext && a+1 <= ext {
+				g.Edges = append(g.Edges, Edge{From: Vec{f, a}, Delta: Vec{1, 1}, Kind: XConjPropEdge})
+			}
+		}
+	}
+	return g, nil
+}
+
+// ConsumedBins returns, for DSCF node (f, a), the spectrum bin indices of
+// the two operands: the normal value at f+a and the conjugated value at
+// f-a. It is the semantic payload behind the Figure 1 interconnection
+// pattern ("every multiplication connects to a 'normal' value and to a
+// conjugated value").
+func ConsumedBins(f, a int) (xBin, xConjBin int) { return f + a, f - a }
+
+// CountDiagonals returns how many distinct spectral values feed a 2M-1
+// grid: bins f±a span [-2(m-1), +2(m-1)], i.e. 4(m-1)+1 distinct values
+// per family.
+func CountDiagonals(m int) int { return 4*(m-1) + 1 }

@@ -1,0 +1,168 @@
+package dg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildDSCF3DStructure(t *testing.T) {
+	// m=3, blocks=2: grid 5x5, nodes 5*5*2 = 50, accumulation edges 25
+	// (plane 0 -> plane 1 only).
+	g, err := BuildDSCF3D(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 50 {
+		t.Fatalf("nodes = %d, want 50", len(g.Nodes))
+	}
+	if len(g.Edges) != 25 {
+		t.Fatalf("edges = %d, want 25", len(g.Edges))
+	}
+	for _, e := range g.Edges {
+		if e.Kind != AccumEdge || !VecEqual(e.Delta, Vec{0, 0, 1}) {
+			t.Fatalf("bad accumulation edge: %+v", e)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
+	}
+}
+
+func TestBuildDSCF3DPaperSize(t *testing.T) {
+	// E2: the paper's full grid (M=64) has 127x127 operations per plane.
+	g, err := BuildDSCF3D(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 127*127 {
+		t.Fatalf("nodes = %d, want 16129", len(g.Nodes))
+	}
+	if len(g.Edges) != 0 {
+		t.Fatalf("single plane has no accumulation edges, got %d", len(g.Edges))
+	}
+}
+
+func TestBuildDSCF3DErrors(t *testing.T) {
+	if _, err := BuildDSCF3D(0, 1); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := BuildDSCF3D(2, 0); err == nil {
+		t.Error("blocks=0 should fail")
+	}
+}
+
+func TestBuildDSCF2DStructure(t *testing.T) {
+	// m=3: 5x5 nodes; each interior step produces one X and one X* edge.
+	g, err := BuildDSCF2D(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 25 {
+		t.Fatalf("nodes = %d, want 25", len(g.Nodes))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
+	}
+	var x, xc int
+	for _, e := range g.Edges {
+		switch e.Kind {
+		case XPropEdge:
+			if !VecEqual(e.Delta, Vec{1, -1}) {
+				t.Fatalf("X edge delta %v", e.Delta)
+			}
+			x++
+		case XConjPropEdge:
+			if !VecEqual(e.Delta, Vec{1, 1}) {
+				t.Fatalf("X* edge delta %v", e.Delta)
+			}
+			xc++
+		default:
+			t.Fatalf("unexpected edge kind %v", e.Kind)
+		}
+	}
+	// Each (f,a) with f+1 and a∓1 in range: 4x4 = 16 of each family.
+	if x != 16 || xc != 16 {
+		t.Fatalf("edge families %d/%d, want 16/16", x, xc)
+	}
+}
+
+func TestConsumedBins(t *testing.T) {
+	// Figure 1 semantics: node (f,a) multiplies X_{f+a} by conj(X_{f-a}).
+	xb, cb := ConsumedBins(2, -3)
+	if xb != -1 || cb != 5 {
+		t.Fatalf("ConsumedBins(2,-3) = %d,%d", xb, cb)
+	}
+	xb, cb = ConsumedBins(0, 0)
+	if xb != 0 || cb != 0 {
+		t.Fatalf("ConsumedBins(0,0) = %d,%d", xb, cb)
+	}
+}
+
+func TestConsumedBinsConstantAlongDiagonals(t *testing.T) {
+	// Walking an X edge (1,-1) keeps f+a constant; walking an X* edge
+	// (1,1) keeps f-a constant. That is what lets the lines share wires.
+	f, a := -2, 1
+	xb0, _ := ConsumedBins(f, a)
+	xb1, _ := ConsumedBins(f+1, a-1)
+	if xb0 != xb1 {
+		t.Fatal("X diagonal does not preserve f+a")
+	}
+	_, cb0 := ConsumedBins(f, a)
+	_, cb1 := ConsumedBins(f+1, a+1)
+	if cb0 != cb1 {
+		t.Fatal("X* diagonal does not preserve f-a")
+	}
+}
+
+func TestCountDiagonals(t *testing.T) {
+	if got := CountDiagonals(64); got != 253 {
+		t.Fatalf("CountDiagonals(64) = %d, want 253", got)
+	}
+	if got := CountDiagonals(2); got != 5 {
+		t.Fatalf("CountDiagonals(2) = %d, want 5", got)
+	}
+}
+
+func TestGraphValidateCatchesBadEdges(t *testing.T) {
+	g := &Graph{
+		Dim:   2,
+		Nodes: []Vec{{0, 0}, {1, 1}},
+		Edges: []Edge{{From: Vec{0, 0}, Delta: Vec{1, 1}, Kind: XPropEdge}},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	g.Edges = append(g.Edges, Edge{From: Vec{5, 5}, Delta: Vec{0, 0}})
+	if err := g.Validate(); err == nil {
+		t.Error("edge from non-node should fail")
+	}
+	g.Edges = []Edge{{From: Vec{0, 0}, Delta: Vec{7, 7}}}
+	if err := g.Validate(); err == nil {
+		t.Error("edge to non-node should fail")
+	}
+	g.Edges = []Edge{{From: Vec{0}, Delta: Vec{0}}}
+	if err := g.Validate(); err == nil {
+		t.Error("wrong-dim edge should fail")
+	}
+	g2 := &Graph{Dim: 2, Nodes: []Vec{{0}}}
+	if err := g2.Validate(); err == nil {
+		t.Error("wrong-dim node should fail")
+	}
+}
+
+// Property: node and edge counts of the 3-D builder follow closed forms.
+func TestQuickDSCF3DCounts(t *testing.T) {
+	f := func(m8, b8 uint8) bool {
+		m := int(m8%5) + 1
+		b := int(b8%4) + 1
+		g, err := BuildDSCF3D(m, b)
+		if err != nil {
+			return false
+		}
+		side := 2*m - 1
+		return len(g.Nodes) == side*side*b && len(g.Edges) == side*side*(b-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

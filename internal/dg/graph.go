@@ -1,0 +1,182 @@
+package dg
+
+import "fmt"
+
+// EdgeKind labels what an edge of the DSCF dependence graph carries.
+type EdgeKind int
+
+// Edge kinds of the DSCF dependence graphs.
+const (
+	// AccumEdge carries the running DSCF sum between integration planes
+	// (the (0,0,1) edges of the paper's Figure 2).
+	AccumEdge EdgeKind = iota
+	// XPropEdge propagates a spectral value X_{n,j} along a solid diagonal
+	// of the paper's Figure 1.
+	XPropEdge
+	// XConjPropEdge propagates a conjugated value conj(X_{n,j}) along a
+	// dotted diagonal of Figure 1.
+	XConjPropEdge
+)
+
+// String returns a short label for the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case AccumEdge:
+		return "accum"
+	case XPropEdge:
+		return "X"
+	case XConjPropEdge:
+		return "X*"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// Edge is a displacement edge of a dependence graph: it leaves node From
+// towards From+Delta and carries Kind.
+type Edge struct {
+	From  Vec
+	Delta Vec
+	Kind  EdgeKind
+}
+
+// Graph is a dependence graph over integer lattice points.
+type Graph struct {
+	// Dim is the dimensionality of the node coordinates.
+	Dim int
+	// Nodes lists every operation point.
+	Nodes []Vec
+	// Edges lists every displacement edge.
+	Edges []Edge
+}
+
+// Validate checks that all nodes and edges have the graph's dimension and
+// that every edge endpoint (From and From+Delta) is a node of the graph.
+func (g *Graph) Validate() error {
+	idx := make(map[string]bool, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if len(n) != g.Dim {
+			return fmt.Errorf("dg: node %d has dim %d, want %d", i, len(n), g.Dim)
+		}
+		idx[VecString(n)] = true
+	}
+	for i, e := range g.Edges {
+		if len(e.From) != g.Dim || len(e.Delta) != g.Dim {
+			return fmt.Errorf("dg: edge %d has wrong dim", i)
+		}
+		if !idx[VecString(e.From)] {
+			return fmt.Errorf("dg: edge %d leaves non-node %s", i, VecString(e.From))
+		}
+		to := make(Vec, g.Dim)
+		for d := range to {
+			to[d] = e.From[d] + e.Delta[d]
+		}
+		if !idx[VecString(to)] {
+			return fmt.Errorf("dg: edge %d enters non-node %s", i, VecString(to))
+		}
+	}
+	return nil
+}
+
+// Mapped is the image of a graph under a processor assignment matrix P and
+// scheduling vector s.
+type Mapped struct {
+	// Procs[i] = Pᵀ·Nodes[i]: the processor coordinates of each node.
+	Procs []Vec
+	// Times[i] = sᵀ·Nodes[i]: the execution time of each node.
+	Times []int
+	// EdgeProcDeltas[i] = Pᵀ·Edges[i].Delta.
+	EdgeProcDeltas []Vec
+	// EdgeTimeDeltas[i] = sᵀ·Edges[i].Delta.
+	EdgeTimeDeltas []int
+}
+
+// Apply maps graph g with assignment matrix p (Dim×k) and scheduling
+// vector s (length Dim), returning processor coordinates of dimension k.
+func Apply(g *Graph, p Mat, s Vec) (*Mapped, error) {
+	if p.Rows() != g.Dim {
+		return nil, fmt.Errorf("dg: P has %d rows, graph dim %d", p.Rows(), g.Dim)
+	}
+	if len(s) != g.Dim {
+		return nil, fmt.Errorf("dg: s has length %d, graph dim %d", len(s), g.Dim)
+	}
+	pt := p.Transpose()
+	m := &Mapped{
+		Procs:          make([]Vec, len(g.Nodes)),
+		Times:          make([]int, len(g.Nodes)),
+		EdgeProcDeltas: make([]Vec, len(g.Edges)),
+		EdgeTimeDeltas: make([]int, len(g.Edges)),
+	}
+	for i, n := range g.Nodes {
+		proc, err := pt.MulVec(n)
+		if err != nil {
+			return nil, err
+		}
+		t, err := Dot(s, n)
+		if err != nil {
+			return nil, err
+		}
+		m.Procs[i] = proc
+		m.Times[i] = t
+	}
+	for i, e := range g.Edges {
+		d, err := pt.MulVec(e.Delta)
+		if err != nil {
+			return nil, err
+		}
+		dt, err := Dot(s, e.Delta)
+		if err != nil {
+			return nil, err
+		}
+		m.EdgeProcDeltas[i] = d
+		m.EdgeTimeDeltas[i] = dt
+	}
+	return m, nil
+}
+
+// CheckCausal verifies that every edge of the given kind has a strictly
+// positive time displacement under the mapping — the fundamental
+// admissibility condition for a scheduling vector (a dependence cannot
+// travel backwards in time).
+func (m *Mapped) CheckCausal(g *Graph, kind EdgeKind) error {
+	for i, e := range g.Edges {
+		if e.Kind != kind {
+			continue
+		}
+		if m.EdgeTimeDeltas[i] <= 0 {
+			return fmt.Errorf("dg: %s edge %d from %s has time delta %d (must be > 0)",
+				kind, i, VecString(e.From), m.EdgeTimeDeltas[i])
+		}
+	}
+	return nil
+}
+
+// CheckCollisionFree verifies that no two nodes share both processor and
+// time — two operations cannot execute on the same processor in the same
+// cycle.
+func (m *Mapped) CheckCollisionFree() error {
+	seen := make(map[string]int, len(m.Procs))
+	for i := range m.Procs {
+		key := fmt.Sprintf("%s@%d", VecString(m.Procs[i]), m.Times[i])
+		if j, dup := seen[key]; dup {
+			return fmt.Errorf("dg: nodes %d and %d collide at %s", j, i, key)
+		}
+		seen[key] = i
+	}
+	return nil
+}
+
+// ProcessorSet returns the distinct processor coordinates of the mapping,
+// in first-appearance order.
+func (m *Mapped) ProcessorSet() []Vec {
+	var out []Vec
+	seen := make(map[string]bool)
+	for _, p := range m.Procs {
+		k := VecString(p)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package dg
+
+import "testing"
+
+func TestApplyDimensionChecks(t *testing.T) {
+	g, err := BuildDSCF2D(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P with wrong row count.
+	badP := MustMat([]int{1}, []int{0}, []int{0})
+	if _, err := Apply(g, badP, Vec{1, 0}); err == nil {
+		t.Error("wrong P rows should fail")
+	}
+	// s with wrong length.
+	goodP := MustMat([]int{0}, []int{1})
+	if _, err := Apply(g, goodP, Vec{1, 0, 0}); err == nil {
+		t.Error("wrong s length should fail")
+	}
+}
+
+func TestCheckCausalDetectsViolation(t *testing.T) {
+	g, err := BuildDSCF3D(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustMat([]int{1, 0}, []int{0, 1}, []int{0, 0})
+	// Schedule t = -n: accumulation edges travel backwards in time.
+	m, err := Apply(g, p, Vec{0, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckCausal(g, AccumEdge); err == nil {
+		t.Error("anti-causal schedule should fail")
+	}
+	// The paper's schedule passes.
+	m2, err := Apply(g, p, Vec{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.CheckCausal(g, AccumEdge); err != nil {
+		t.Errorf("causal schedule rejected: %v", err)
+	}
+	// Kind filtering: checking a kind with no edges passes trivially.
+	if err := m.CheckCausal(g, XPropEdge); err != nil {
+		t.Errorf("no-edge kind should pass: %v", err)
+	}
+}
+
+func TestCheckCollisionFreeDetectsCollision(t *testing.T) {
+	g, err := BuildDSCF3D(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Project everything to processor (0) with time 0: total collision.
+	p := MustMat([]int{0}, []int{0}, []int{0})
+	m, err := Apply(g, p, Vec{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckCollisionFree(); err == nil {
+		t.Error("total collision should fail")
+	}
+}
+
+func TestProcessorSet(t *testing.T) {
+	g, err := BuildDSCF2D(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P2 projection: processors are the distinct a values: -1, 0, 1.
+	p := MustMat([]int{0}, []int{1})
+	m, err := Apply(g, p, Vec{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := m.ProcessorSet()
+	if len(procs) != 3 {
+		t.Fatalf("processors %d, want 3", len(procs))
+	}
+	seen := map[string]bool{}
+	for _, pr := range procs {
+		seen[VecString(pr)] = true
+	}
+	for _, want := range []string{"(-1)", "(0)", "(1)"} {
+		if !seen[want] {
+			t.Fatalf("missing processor %s in %v", want, procs)
+		}
+	}
+}
+
+func TestEdgeKindString(t *testing.T) {
+	if AccumEdge.String() != "accum" || XPropEdge.String() != "X" || XConjPropEdge.String() != "X*" {
+		t.Error("edge kind names wrong")
+	}
+	if EdgeKind(9).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}

@@ -1,0 +1,162 @@
+package dg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vec is an integer column vector.
+type Vec []int
+
+// Mat is an integer matrix stored as rows: Mat[i][j] is row i, column j.
+type Mat [][]int
+
+// NewMat builds a matrix from rows, validating that all rows have equal
+// length.
+func NewMat(rows ...[]int) (Mat, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dg: empty matrix")
+	}
+	w := len(rows[0])
+	for i, r := range rows {
+		if len(r) != w {
+			return nil, fmt.Errorf("dg: row %d has %d columns, want %d", i, len(r), w)
+		}
+	}
+	return Mat(rows), nil
+}
+
+// MustMat is NewMat that panics on error; for package-level constants.
+func MustMat(rows ...[]int) Mat {
+	m, err := NewMat(rows...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m Mat) Rows() int { return len(m) }
+
+// Cols returns the number of columns (0 for an empty matrix).
+func (m Mat) Cols() int {
+	if len(m) == 0 {
+		return 0
+	}
+	return len(m[0])
+}
+
+// Transpose returns mᵀ.
+func (m Mat) Transpose() Mat {
+	t := make(Mat, m.Cols())
+	for j := range t {
+		t[j] = make([]int, m.Rows())
+		for i := range m {
+			t[j][i] = m[i][j]
+		}
+	}
+	return t
+}
+
+// MulVec returns m·v. It returns an error on dimension mismatch.
+func (m Mat) MulVec(v Vec) (Vec, error) {
+	if m.Cols() != len(v) {
+		return nil, fmt.Errorf("dg: %dx%d matrix times %d-vector", m.Rows(), m.Cols(), len(v))
+	}
+	out := make(Vec, m.Rows())
+	for i, row := range m {
+		s := 0
+		for j, c := range row {
+			s += c * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Mul returns m·o. It returns an error on dimension mismatch.
+func (m Mat) Mul(o Mat) (Mat, error) {
+	if m.Cols() != o.Rows() {
+		return nil, fmt.Errorf("dg: %dx%d times %dx%d", m.Rows(), m.Cols(), o.Rows(), o.Cols())
+	}
+	out := make(Mat, m.Rows())
+	for i := range out {
+		out[i] = make([]int, o.Cols())
+		for j := 0; j < o.Cols(); j++ {
+			s := 0
+			for k := 0; k < m.Cols(); k++ {
+				s += m[i][k] * o[k][j]
+			}
+			out[i][j] = s
+		}
+	}
+	return out, nil
+}
+
+// Equal reports elementwise equality.
+func (m Mat) Equal(o Mat) bool {
+	if m.Rows() != o.Rows() || m.Cols() != o.Cols() {
+		return false
+	}
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != o[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix in a compact bracket form.
+func (m Mat) String() string {
+	var b strings.Builder
+	b.WriteString("[")
+	for i, row := range m {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j, c := range row {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%d", c)
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Dot returns the inner product of two vectors of equal length.
+func Dot(a, b Vec) (int, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("dg: dot of %d- and %d-vectors", len(a), len(b))
+	}
+	s := 0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, nil
+}
+
+// VecEqual reports elementwise vector equality.
+func VecEqual(a, b Vec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VecString renders a vector as (a, b, ...).
+func VecString(v Vec) string {
+	parts := make([]string, len(v))
+	for i, c := range v {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,147 @@
+package dg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatValidation(t *testing.T) {
+	if _, err := NewMat(); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	if _, err := NewMat([]int{1, 2}, []int{3}); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	m, err := NewMat([]int{1, 2}, []int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("dims %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestMustMatPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMat on ragged input should panic")
+		}
+	}()
+	MustMat([]int{1}, []int{2, 3})
+}
+
+func TestTranspose(t *testing.T) {
+	m := MustMat([]int{1, 2, 3}, []int{4, 5, 6}) // 2x3
+	tr := m.Transpose()                          // 3x2
+	want := MustMat([]int{1, 4}, []int{2, 5}, []int{3, 6})
+	if !tr.Equal(want) {
+		t.Fatalf("transpose = %v", tr)
+	}
+	// Involution.
+	if !tr.Transpose().Equal(m) {
+		t.Fatal("double transpose != original")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := MustMat([]int{1, 0, 2}, []int{0, -1, 1})
+	v, err := m.MulVec(Vec{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqual(v, Vec{13, 1}) {
+		t.Fatalf("MulVec = %v", v)
+	}
+	if _, err := m.MulVec(Vec{1, 2}); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := MustMat([]int{1, 2}, []int{3, 4})
+	b := MustMat([]int{0, 1}, []int{1, 0})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustMat([]int{2, 1}, []int{4, 3})
+	if !got.Equal(want) {
+		t.Fatalf("Mul = %v", got)
+	}
+	if _, err := a.Mul(MustMat([]int{1, 2, 3})); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+}
+
+func TestMatString(t *testing.T) {
+	m := MustMat([]int{1, 0}, []int{0, 1})
+	if m.String() != "[1 0; 0 1]" {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestDot(t *testing.T) {
+	got, err := Dot(Vec{1, 2, 3}, Vec{4, 5, 6})
+	if err != nil || got != 32 {
+		t.Fatalf("Dot = %d, %v", got, err)
+	}
+	if _, err := Dot(Vec{1}, Vec{1, 2}); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	if !VecEqual(Vec{1, 2}, Vec{1, 2}) || VecEqual(Vec{1}, Vec{1, 2}) || VecEqual(Vec{1, 2}, Vec{2, 1}) {
+		t.Error("VecEqual wrong")
+	}
+	if VecString(Vec{1, -2}) != "(1, -2)" {
+		t.Errorf("VecString = %q", VecString(Vec{1, -2}))
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ for random small matrices.
+func TestQuickTransposeOfProduct(t *testing.T) {
+	f := func(vals [12]int8) bool {
+		a := MustMat(
+			[]int{int(vals[0]), int(vals[1]), int(vals[2])},
+			[]int{int(vals[3]), int(vals[4]), int(vals[5])},
+		) // 2x3
+		b := MustMat(
+			[]int{int(vals[6]), int(vals[7])},
+			[]int{int(vals[8]), int(vals[9])},
+			[]int{int(vals[10]), int(vals[11])},
+		) // 3x2
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		btat, err := b.Transpose().Mul(a.Transpose())
+		if err != nil {
+			return false
+		}
+		return ab.Transpose().Equal(btat)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matrix-vector product distributes over vector addition.
+func TestQuickMulVecLinear(t *testing.T) {
+	f := func(vals [6]int8, x, y [3]int8) bool {
+		m := MustMat(
+			[]int{int(vals[0]), int(vals[1]), int(vals[2])},
+			[]int{int(vals[3]), int(vals[4]), int(vals[5])},
+		)
+		vx := Vec{int(x[0]), int(x[1]), int(x[2])}
+		vy := Vec{int(y[0]), int(y[1]), int(y[2])}
+		sum := Vec{vx[0] + vy[0], vx[1] + vy[1], vx[2] + vy[2]}
+		mx, _ := m.MulVec(vx)
+		my, _ := m.MulVec(vy)
+		ms, _ := m.MulVec(sum)
+		return VecEqual(ms, Vec{mx[0] + my[0], mx[1] + my[1]})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

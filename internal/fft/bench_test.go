@@ -1,0 +1,69 @@
+package fft
+
+import (
+	"math"
+	"testing"
+
+	"tiledcfd/internal/fixed"
+)
+
+func benchInput(n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(0.4*math.Sin(0.31*float64(i)), 0.4*math.Cos(0.17*float64(i)))
+	}
+	return x
+}
+
+func BenchmarkPlanForward256(b *testing.B) {
+	p, err := NewPlan(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchInput(256)
+	dst := make([]complex128, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Forward(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanForward1024(b *testing.B) {
+	p, err := NewPlan(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchInput(1024)
+	dst := make([]complex128, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Forward(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFixedForward256(b *testing.B) {
+	p, err := NewFixedPlan(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := fixed.FromFloatSlice(benchInput(256))
+	dst := make([]fixed.Complex, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Forward(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDFT64(b *testing.B) {
+	x := benchInput(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DFT(x)
+	}
+}

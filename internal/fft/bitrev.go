@@ -1,0 +1,43 @@
+package fft
+
+import "fmt"
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Log2 returns log2(n) for a positive power of two n, or an error.
+func Log2(n int) (int, error) {
+	if !IsPow2(n) {
+		return 0, fmt.Errorf("fft: size %d is not a positive power of two", n)
+	}
+	b := 0
+	for v := n; v > 1; v >>= 1 {
+		b++
+	}
+	return b, nil
+}
+
+// bitrevTable returns the bit-reversal permutation for size n (a power of
+// two): table[i] is i with its log2(n) low bits reversed.
+func bitrevTable(n int) []int {
+	bits, _ := Log2(n)
+	t := make([]int, n)
+	for i := range t {
+		r := 0
+		for b := 0; b < bits; b++ {
+			r = (r << 1) | ((i >> b) & 1)
+		}
+		t[i] = r
+	}
+	return t
+}
+
+// permuteInPlace applies the bit-reversal permutation to x in place by
+// swapping each pair (i, rev[i]) once.
+func permuteInPlace[T any](x []T, rev []int) {
+	for i, r := range rev {
+		if i < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// DFT computes the forward discrete Fourier transform of x by direct
+// O(n²) evaluation. It accepts any length and serves as the ground truth
+// for FFT tests.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for v := 0; v < n; v++ {
+		var sum complex128
+		for k := 0; k < n; k++ {
+			sum += x[k] * cmplx.Exp(complex(0, -2*math.Pi*float64(k)*float64(v)/float64(n)))
+		}
+		out[v] = sum
+	}
+	return out
+}
+
+// IDFT computes the inverse discrete Fourier transform (1/n normalised) of
+// x by direct evaluation.
+func IDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for v := 0; v < n; v++ {
+			sum += x[v] * cmplx.Exp(complex(0, 2*math.Pi*float64(k)*float64(v)/float64(n)))
+		}
+		out[k] = sum / complex(float64(n), 0)
+	}
+	return out
+}
+
+// Bin returns the spectrum entry for a possibly negative bin index v,
+// interpreting the length-n spectrum X as periodic: Bin(X, -1) is X[n-1].
+// The DSCF addresses bins f±a with f,a spanning negative values; this
+// helper centralises the wrap-around.
+func Bin(x []complex128, v int) complex128 {
+	n := len(x)
+	v %= n
+	if v < 0 {
+		v += n
+	}
+	return x[v]
+}
+
+// BinIndex maps a possibly negative bin index to its position in a
+// length-n spectrum slice.
+func BinIndex(n, v int) int {
+	v %= n
+	if v < 0 {
+		v += n
+	}
+	return v
+}

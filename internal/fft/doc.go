@@ -1,0 +1,23 @@
+// Package fft provides the discrete Fourier transforms used throughout the
+// reproduction: a float64 radix-2 FFT for reference computations, a slow
+// reference DFT for testing, and a Q15 fixed-point FFT that is
+// bit-identical to the FFT kernel executed by the Montium core model.
+//
+// # Conventions
+//
+// The forward transform uses the engineering sign convention
+//
+//	X[v] = Σ_{k=0}^{K-1} x[k] · e^{-j2πkv/K}
+//
+// and applies no normalisation; the inverse applies 1/K. The paper's
+// expression 2 uses e^{+j…}, which is the global complex conjugate of this
+// convention; the Discrete Spectral Correlation Function magnitudes are
+// unaffected (see DESIGN.md §4).
+//
+// The fixed-point transform (FixedPlan) scales by 1/2 after every
+// butterfly stage, so its output is DFT(x)/K. This is the unconditional
+// block-scaling policy used by 16-bit DSP FFT kernels to make overflow
+// impossible, and it is the policy assumed by the paper's 1040-cycle
+// 256-point Montium FFT. The same fixed.BFly primitive is used here and in
+// internal/montium so the two implementations agree bit for bit.
+package fft

@@ -1,0 +1,129 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Plan holds precomputed tables for float64 transforms of one size.
+// A Plan is safe for concurrent use once created (its tables are never
+// mutated after NewPlan).
+type Plan struct {
+	n   int
+	rev []int
+	// tw[s] holds the twiddles of stage s (span 2<<s): e^{-j2πi/(2<<s)}.
+	tw [][]complex128
+}
+
+// NewPlan creates transform tables for size n, which must be a power of
+// two not smaller than 2.
+func NewPlan(n int) (*Plan, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("fft: size %d too small (need >= 2)", n)
+	}
+	stages, err := Log2(n)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{n: n, rev: bitrevTable(n), tw: make([][]complex128, stages)}
+	for s := 0; s < stages; s++ {
+		span := 2 << s
+		half := span / 2
+		w := make([]complex128, half)
+		for i := 0; i < half; i++ {
+			w[i] = cmplx.Exp(complex(0, -2*math.Pi*float64(i)/float64(span)))
+		}
+		p.tw[s] = w
+	}
+	return p, nil
+}
+
+// Size returns the transform length of the plan.
+func (p *Plan) Size() int { return p.n }
+
+// Forward computes the unnormalised forward DFT of src into dst. dst and
+// src must both have length Size(); they may alias each other.
+func (p *Plan) Forward(dst, src []complex128) error {
+	if len(src) != p.n || len(dst) != p.n {
+		return fmt.Errorf("fft: Forward length %d/%d, plan size %d", len(dst), len(src), p.n)
+	}
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	permuteInPlace(dst, p.rev)
+	for s := range p.tw {
+		span := 2 << s
+		half := span / 2
+		w := p.tw[s]
+		for base := 0; base < p.n; base += span {
+			for i := 0; i < half; i++ {
+				a := dst[base+i]
+				b := dst[base+i+half] * w[i]
+				dst[base+i] = a + b
+				dst[base+i+half] = a - b
+			}
+		}
+	}
+	return nil
+}
+
+// Inverse computes the inverse DFT (with 1/N normalisation) of src into
+// dst. dst and src may alias.
+func (p *Plan) Inverse(dst, src []complex128) error {
+	if len(src) != p.n || len(dst) != p.n {
+		return fmt.Errorf("fft: Inverse length %d/%d, plan size %d", len(dst), len(src), p.n)
+	}
+	// IDFT(x) = conj(DFT(conj(x)))/N.
+	tmp := make([]complex128, p.n)
+	for i, v := range src {
+		tmp[i] = cmplx.Conj(v)
+	}
+	if err := p.Forward(tmp, tmp); err != nil {
+		return err
+	}
+	inv := 1 / float64(p.n)
+	for i, v := range tmp {
+		dst[i] = cmplx.Conj(v) * complex(inv, 0)
+	}
+	return nil
+}
+
+// FFT is a convenience wrapper computing the forward transform of x into a
+// new slice. The length of x must be a power of two.
+func FFT(x []complex128) ([]complex128, error) {
+	p, err := NewPlan(len(x))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(x))
+	if err := p.Forward(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IFFT is a convenience wrapper computing the inverse transform of x into
+// a new slice.
+func IFFT(x []complex128) ([]complex128, error) {
+	p, err := NewPlan(len(x))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(x))
+	if err := p.Inverse(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ComplexMults returns the number of complex multiplications of a radix-2
+// FFT of size n: (n/2)·log2(n). This is the operation count the paper uses
+// in its section 2 complexity comparison.
+func ComplexMults(n int) int {
+	bits, err := Log2(n)
+	if err != nil {
+		return 0
+	}
+	return n / 2 * bits
+}

@@ -1,0 +1,28 @@
+// Package fixed implements the 16-bit saturating fixed-point arithmetic of
+// the Montium datapath.
+//
+// The Montium is a word-level reconfigurable core with a 16-bit datapath
+// (Heysters, 2004). All signal values in this reproduction are represented
+// in Q15 format: a signed 16-bit integer whose value is interpreted as
+// i/2^15, covering the range [-1.0, +1.0). Arithmetic saturates instead of
+// wrapping, which is what DSP datapaths of this class do, and what the
+// dynamic-range argument of the paper's section 4.1 (96 dB in 16-bit
+// memories) relies on.
+//
+// The package provides:
+//
+//   - scalar Q15 values with saturating add/sub/mul and rounding conversion,
+//   - complex Q15 values (Complex) with the complex multiply and
+//     multiply-by-conjugate used by the Discrete Spectral Correlation
+//     Function (DSCF),
+//   - the radix-2 FFT butterfly with the per-stage 1/2 scaling used by the
+//     Montium FFT kernel (BFly), shared between internal/fft and
+//     internal/montium so that all fixed-point paths are bit-identical,
+//   - a wide complex accumulator (CAcc) with guard bits, used to analyse
+//     accumulation headroom against the 16-bit in-memory accumulation the
+//     paper uses.
+//
+// All operations are pure functions of their inputs; there is no global
+// rounding state. The rounding used in multiplications is round-half-up on
+// the Q30 intermediate product, matching the common DSP convention.
+package fixed

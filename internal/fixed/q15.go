@@ -1,0 +1,100 @@
+package fixed
+
+// Q15 is a signed 16-bit fixed-point number with 15 fractional bits.
+// The represented value is int16(q) / 32768, i.e. the range [-1, 1-2^-15].
+type Q15 int16
+
+// Extremes and useful constants of the Q15 range.
+const (
+	// MaxQ15 is the largest representable value, 1 - 2^-15.
+	MaxQ15 Q15 = 32767
+	// MinQ15 is the smallest representable value, -1.
+	MinQ15 Q15 = -32768
+	// OneQ15 is the closest representation of +1.0 (saturated).
+	OneQ15 = MaxQ15
+	// HalfQ15 is exactly 0.5.
+	HalfQ15 Q15 = 16384
+	// scale is the Q15 scaling factor 2^15.
+	scale = 1 << 15
+)
+
+// FromFloat converts f to Q15 with round-to-nearest and saturation.
+// Values outside [-1, 1-2^-15] saturate to the nearest representable value.
+func FromFloat(f float64) Q15 {
+	v := f * scale
+	// Round half away from zero, as DSP converters conventionally do.
+	if v >= 0 {
+		v += 0.5
+	} else {
+		v -= 0.5
+	}
+	i := int64(v)
+	return saturate32(int32(clampInt64(i, -1<<31, 1<<31-1)))
+}
+
+// Float converts q to its exact float64 value.
+func (q Q15) Float() float64 { return float64(q) / scale }
+
+// Add returns a+b with saturation.
+func Add(a, b Q15) Q15 { return saturate32(int32(a) + int32(b)) }
+
+// Sub returns a-b with saturation.
+func Sub(a, b Q15) Q15 { return saturate32(int32(a) - int32(b)) }
+
+// Neg returns -a with saturation (Neg(MinQ15) == MaxQ15).
+func Neg(a Q15) Q15 { return saturate32(-int32(a)) }
+
+// Abs returns |a| with saturation (Abs(MinQ15) == MaxQ15).
+func Abs(a Q15) Q15 {
+	if a < 0 {
+		return Neg(a)
+	}
+	return a
+}
+
+// Mul returns the Q15 product a*b, rounded half-up at bit 14 and saturated.
+// The only product that can overflow is MinQ15*MinQ15 (== +1.0), which
+// saturates to MaxQ15.
+func Mul(a, b Q15) Q15 {
+	p := int32(a) * int32(b) // Q30, fits in 31 bits
+	return saturate32((p + (1 << 14)) >> 15)
+}
+
+// MulNoRound returns the Q15 product a*b truncated (floor) at bit 15.
+// It models datapaths without a rounding adder; kept for ablation studies.
+func MulNoRound(a, b Q15) Q15 {
+	p := int32(a) * int32(b)
+	return saturate32(p >> 15)
+}
+
+// Half returns a/2 rounded toward negative infinity (arithmetic shift),
+// the scaling step applied per FFT stage by the Montium FFT kernel.
+func Half(a Q15) Q15 { return a >> 1 }
+
+// saturate32 clamps a 32-bit intermediate result into the Q15 range.
+func saturate32(v int32) Q15 {
+	if v > int32(MaxQ15) {
+		return MaxQ15
+	}
+	if v < int32(MinQ15) {
+		return MinQ15
+	}
+	return Q15(v)
+}
+
+// clampInt64 clamps v into [lo, hi].
+func clampInt64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SaturateInt returns v clamped into the Q15 integer range. It is the
+// saturation function applied by memory write-back paths.
+func SaturateInt(v int64) Q15 {
+	return Q15(clampInt64(v, int64(MinQ15), int64(MaxQ15)))
+}

@@ -1,0 +1,219 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatExactValues(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want Q15
+	}{
+		{0, 0},
+		{0.5, HalfQ15},
+		{-0.5, -16384},
+		{1.0, MaxQ15},            // saturates: +1.0 is not representable
+		{-1.0, MinQ15},           // exactly representable
+		{2.0, MaxQ15},            // saturates high
+		{-2.0, MinQ15},           // saturates low
+		{1.0 / scale, 1},         // one LSB
+		{-1.0 / scale, -1},       // minus one LSB
+		{0.25, 8192},             // exact
+		{0.75, 24576},            // exact
+		{32766.4 / scale, 32766}, // rounds down
+		{32766.6 / scale, 32767}, // rounds up
+	}
+	for _, c := range cases {
+		if got := FromFloat(c.in); got != c.want {
+			t.Errorf("FromFloat(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	for i := int(MinQ15); i <= int(MaxQ15); i += 37 {
+		q := Q15(i)
+		if got := FromFloat(q.Float()); got != q {
+			t.Fatalf("round trip failed for %d: got %d", q, got)
+		}
+	}
+	// And the extremes exactly.
+	for _, q := range []Q15{MinQ15, MaxQ15, 0, 1, -1} {
+		if got := FromFloat(q.Float()); got != q {
+			t.Errorf("round trip failed for %d: got %d", q, got)
+		}
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	if got := Add(MaxQ15, 1); got != MaxQ15 {
+		t.Errorf("Add(max,1) = %d, want saturation at %d", got, MaxQ15)
+	}
+	if got := Add(MinQ15, -1); got != MinQ15 {
+		t.Errorf("Add(min,-1) = %d, want saturation at %d", got, MinQ15)
+	}
+	if got := Add(20000, 20000); got != MaxQ15 {
+		t.Errorf("Add(20000,20000) = %d, want %d", got, MaxQ15)
+	}
+	if got := Add(-20000, -20000); got != MinQ15 {
+		t.Errorf("Add(-20000,-20000) = %d, want %d", got, MinQ15)
+	}
+	if got := Add(1000, -2000); got != -1000 {
+		t.Errorf("Add(1000,-2000) = %d, want -1000", got)
+	}
+}
+
+func TestSubSaturates(t *testing.T) {
+	if got := Sub(MaxQ15, MinQ15); got != MaxQ15 {
+		t.Errorf("Sub(max,min) = %d, want %d", got, MaxQ15)
+	}
+	if got := Sub(MinQ15, MaxQ15); got != MinQ15 {
+		t.Errorf("Sub(min,max) = %d, want %d", got, MinQ15)
+	}
+	if got := Sub(5, 3); got != 2 {
+		t.Errorf("Sub(5,3) = %d, want 2", got)
+	}
+}
+
+func TestNegAbsEdge(t *testing.T) {
+	if got := Neg(MinQ15); got != MaxQ15 {
+		t.Errorf("Neg(MinQ15) = %d, want %d (saturated)", got, MaxQ15)
+	}
+	if got := Abs(MinQ15); got != MaxQ15 {
+		t.Errorf("Abs(MinQ15) = %d, want %d (saturated)", got, MaxQ15)
+	}
+	if got := Abs(-5); got != 5 {
+		t.Errorf("Abs(-5) = %d, want 5", got)
+	}
+	if got := Abs(5); got != 5 {
+		t.Errorf("Abs(5) = %d, want 5", got)
+	}
+}
+
+func TestMulKnownProducts(t *testing.T) {
+	cases := []struct {
+		a, b, want Q15
+	}{
+		{HalfQ15, HalfQ15, 8192}, // 0.5*0.5 = 0.25
+		{MinQ15, MinQ15, MaxQ15}, // -1*-1 saturates to +1
+		{MinQ15, MaxQ15, -32767}, // -1*(1-eps): exactly -32767 LSB
+		{MaxQ15, MaxQ15, 32766},  // (1-eps)^2
+		{0, MaxQ15, 0},
+		{OneQ15, 1234, 1234},          // *~1.0 keeps value (within rounding)
+		{MinQ15, HalfQ15, MinQ15 / 2}, // -1 * 0.5 = -0.5
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulMatchesFloatWithinLSB(t *testing.T) {
+	vals := []Q15{MinQ15, -12345, -1, 0, 1, 777, HalfQ15, MaxQ15}
+	for _, a := range vals {
+		for _, b := range vals {
+			got := Mul(a, b).Float()
+			want := a.Float() * b.Float()
+			if want > MaxQ15.Float() {
+				want = MaxQ15.Float()
+			}
+			if math.Abs(got-want) > 1.0/scale {
+				t.Errorf("Mul(%d,%d): got %v, float %v, |diff| > 1 LSB", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulNoRoundTruncates(t *testing.T) {
+	// 3/32768 * 16384/32768 = 1.5/32768: rounding gives 2, truncation gives 1.
+	if got := Mul(3, HalfQ15); got != 2 {
+		t.Errorf("Mul(3,half) = %d, want 2 (rounded)", got)
+	}
+	if got := MulNoRound(3, HalfQ15); got != 1 {
+		t.Errorf("MulNoRound(3,half) = %d, want 1 (truncated)", got)
+	}
+}
+
+func TestHalf(t *testing.T) {
+	if got := Half(10); got != 5 {
+		t.Errorf("Half(10) = %d, want 5", got)
+	}
+	// Arithmetic shift: floor division for negatives.
+	if got := Half(-3); got != -2 {
+		t.Errorf("Half(-3) = %d, want -2 (floor)", got)
+	}
+	if got := Half(MinQ15); got != -16384 {
+		t.Errorf("Half(min) = %d, want -16384", got)
+	}
+}
+
+func TestSaturateInt(t *testing.T) {
+	if got := SaturateInt(1 << 40); got != MaxQ15 {
+		t.Errorf("SaturateInt(huge) = %d, want %d", got, MaxQ15)
+	}
+	if got := SaturateInt(-(1 << 40)); got != MinQ15 {
+		t.Errorf("SaturateInt(-huge) = %d, want %d", got, MinQ15)
+	}
+	if got := SaturateInt(-7); got != -7 {
+		t.Errorf("SaturateInt(-7) = %d, want -7", got)
+	}
+}
+
+// Property: Add never leaves the Q15 range and equals clamped integer sum.
+func TestQuickAddIsClampedSum(t *testing.T) {
+	f := func(a, b int16) bool {
+		got := Add(Q15(a), Q15(b))
+		want := SaturateInt(int64(a) + int64(b))
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mul is commutative.
+func TestQuickMulCommutative(t *testing.T) {
+	f := func(a, b int16) bool {
+		return Mul(Q15(a), Q15(b)) == Mul(Q15(b), Q15(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multiplying by +0.5 then doubling via add returns within 1 LSB
+// of the original for values that cannot saturate.
+func TestQuickMulHalfDoubles(t *testing.T) {
+	f := func(a int16) bool {
+		q := Q15(a)
+		h := Mul(q, HalfQ15)
+		d := Add(h, h)
+		diff := int(q) - int(d)
+		return diff >= -2 && diff <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FromFloat is monotonic.
+func TestQuickFromFloatMonotonic(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		// Confine to a sane range to keep the test meaningful.
+		a = math.Mod(a, 4)
+		b = math.Mod(b, 4)
+		if a > b {
+			a, b = b, a
+		}
+		return FromFloat(a) <= FromFloat(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,29 @@
+// Package mapping implements step 1 of the paper's two-step methodology:
+// the structured derivation of processor tasks and interconnect for the
+// DSCF on a multi-core platform, using the array-processor projection
+// technique of Kung (the paper's section 3).
+//
+// The derivation chain is:
+//
+//  1. P1/s1 project the 3-D dependence graph (f, a, n) along n: every
+//     (f, a, ·) column becomes one multiply-accumulate PE executing its
+//     integration steps in n order (paper Figure 3, expression 4).
+//  2. P2/s2 project the remaining 2-D graph along f: the PEs collapse to a
+//     line array of P = 2M-1 processors indexed by a, time-multiplexed
+//     over frequencies with t = f, each with a result memory addressed by
+//     f (paper Figure 4, expression 5).
+//  3. The same projection, split as P2a1/P2a2 (space-time transforms that
+//     remove absolute time per diagonal family) followed by P2b, derives
+//     the interconnect: after the transform all conjugate lines coincide
+//     on one trajectory and all normal lines on the mirrored one — two
+//     counter-flowing register chains shared by all spectral values
+//     (Figures 5–7). The composition law P2bᵀ·P2a1ᵀ = P2ᵀ =
+//     P2bᵀ·P2a2ᵀ guarantees the split changes nothing about task
+//     placement (section 3.2).
+//  4. Folding (expressions 8/9) maps the P-processor line array onto Q
+//     physical cores, T = ⌈P/Q⌉ tasks each, task p on core q = ⌊p/T⌋;
+//     chains then shift once every T basic operations (Figures 8/9).
+//
+// Every artefact is an inspectable Go value with validation, so the E3–E6
+// experiments can assert the paper's structures rather than re-draw them.
+package mapping

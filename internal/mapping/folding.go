@@ -1,0 +1,123 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Folding is the final mapping step of section 3.3: P logical tasks
+// (initial-array processors) distributed over Q physical cores, T = ⌈P/Q⌉
+// tasks per core, task p on core ⌊p/T⌋ (expressions 8 and 9).
+type Folding struct {
+	// P is the logical processor (task) count, 2M-1.
+	P int
+	// Q is the physical core count.
+	Q int
+	// T is the tasks-per-core bound ⌈P/Q⌉.
+	T int
+}
+
+// NewFolding validates and constructs a folding. Q may exceed P (trailing
+// cores are simply idle), matching the ceil/floor algebra of the paper.
+func NewFolding(p, q int) (Folding, error) {
+	if p < 1 || q < 1 {
+		return Folding{}, fmt.Errorf("mapping: NewFolding(P=%d, Q=%d) needs positive counts", p, q)
+	}
+	return Folding{P: p, Q: q, T: (p + q - 1) / q}, nil
+}
+
+// CoreOf returns the physical core executing task p (0-based), expression
+// 9's q = ⌊p/T⌋. It panics if p is out of range (programming error).
+func (f Folding) CoreOf(p int) int {
+	if p < 0 || p >= f.P {
+		panic(fmt.Sprintf("mapping: task %d outside [0,%d)", p, f.P))
+	}
+	return p / f.T
+}
+
+// TasksOf returns the half-open task range [lo, hi) of core q: tasks
+// qT .. min((q+1)T, P)-1 per section 3.3.
+func (f Folding) TasksOf(q int) (lo, hi int) {
+	if q < 0 || q >= f.Q {
+		panic(fmt.Sprintf("mapping: core %d outside [0,%d)", q, f.Q))
+	}
+	lo = q * f.T
+	hi = lo + f.T
+	if lo > f.P {
+		lo = f.P
+	}
+	if hi > f.P {
+		hi = f.P
+	}
+	return lo, hi
+}
+
+// LoadOf returns the number of tasks on core q.
+func (f Folding) LoadOf(q int) int {
+	lo, hi := f.TasksOf(q)
+	return hi - lo
+}
+
+// UsedCores returns how many cores receive at least one task.
+func (f Folding) UsedCores() int {
+	n := 0
+	for q := 0; q < f.Q; q++ {
+		if f.LoadOf(q) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the partition invariants: every task lands on exactly
+// one core, ranges are disjoint and ordered, and no core exceeds T tasks.
+func (f Folding) Validate() error {
+	covered := 0
+	prevHi := 0
+	for q := 0; q < f.Q; q++ {
+		lo, hi := f.TasksOf(q)
+		if lo != prevHi {
+			return fmt.Errorf("mapping: core %d range [%d,%d) not contiguous with previous end %d", q, lo, hi, prevHi)
+		}
+		if hi-lo > f.T {
+			return fmt.Errorf("mapping: core %d load %d exceeds T=%d", q, hi-lo, f.T)
+		}
+		for p := lo; p < hi; p++ {
+			if f.CoreOf(p) != q {
+				return fmt.Errorf("mapping: task %d maps to core %d, expected %d", p, f.CoreOf(p), q)
+			}
+		}
+		covered += hi - lo
+		prevHi = hi
+	}
+	if covered != f.P {
+		return fmt.Errorf("mapping: %d of %d tasks covered", covered, f.P)
+	}
+	return nil
+}
+
+// AOf converts a 0-based task index p to the frequency offset a it
+// computes, for half-extent m: a = p - (M-1). Task 0 is the leftmost
+// processor a = -(M-1).
+func AOf(p, m int) int { return p - (m - 1) }
+
+// TaskOfA converts a frequency offset to its 0-based task index.
+func TaskOfA(a, m int) int { return a + (m - 1) }
+
+// CommReductionFactor returns how much less often the folded architecture
+// exchanges inter-core data than it computes: the chains shift once per T
+// basic operations, so the factor is T (the paper's section 4 observation
+// that inter-core communication "is a factor T times lower" than the
+// computation rate).
+func (f Folding) CommReductionFactor() int { return f.T }
+
+// String renders the task table, e.g. for the cfdmap tool.
+func (f Folding) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P=%d tasks on Q=%d cores, T=%d:\n", f.P, f.Q, f.T)
+	for q := 0; q < f.Q; q++ {
+		lo, hi := f.TasksOf(q)
+		fmt.Fprintf(&b, "  core %d: tasks %d..%d (%d tasks)\n", q, lo, hi-1, hi-lo)
+	}
+	return b.String()
+}

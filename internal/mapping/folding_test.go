@@ -1,0 +1,184 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFoldingPaperCase(t *testing.T) {
+	// E6: P=127 tasks on Q=4 Montium cores -> T=32 (expression 8), loads
+	// 32/32/32/31, task table {0..31},{32..63},{64..95},{96..126}.
+	f, err := NewFolding(127, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.T != 32 {
+		t.Fatalf("T = %d, want 32", f.T)
+	}
+	wantRanges := [][2]int{{0, 32}, {32, 64}, {64, 96}, {96, 127}}
+	for q, want := range wantRanges {
+		lo, hi := f.TasksOf(q)
+		if lo != want[0] || hi != want[1] {
+			t.Fatalf("core %d range [%d,%d), want [%d,%d)", q, lo, hi, want[0], want[1])
+		}
+	}
+	if f.LoadOf(3) != 31 {
+		t.Fatalf("core 3 load %d, want 31", f.LoadOf(3))
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("paper folding invalid: %v", err)
+	}
+	if f.CommReductionFactor() != 32 {
+		t.Fatalf("comm reduction %d, want T=32", f.CommReductionFactor())
+	}
+}
+
+func TestCoreOfBoundaries(t *testing.T) {
+	f, _ := NewFolding(127, 4)
+	cases := []struct{ p, q int }{
+		{0, 0}, {31, 0}, {32, 1}, {63, 1}, {64, 2}, {95, 2}, {96, 3}, {126, 3},
+	}
+	for _, c := range cases {
+		if got := f.CoreOf(c.p); got != c.q {
+			t.Errorf("CoreOf(%d) = %d, want %d", c.p, got, c.q)
+		}
+	}
+}
+
+func TestCoreOfPanics(t *testing.T) {
+	f, _ := NewFolding(8, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("CoreOf(-1) should panic")
+		}
+	}()
+	f.CoreOf(-1)
+}
+
+func TestTasksOfPanics(t *testing.T) {
+	f, _ := NewFolding(8, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("TasksOf(2) should panic")
+		}
+	}()
+	f.TasksOf(2)
+}
+
+func TestNewFoldingErrors(t *testing.T) {
+	if _, err := NewFolding(0, 4); err == nil {
+		t.Error("P=0 should fail")
+	}
+	if _, err := NewFolding(4, 0); err == nil {
+		t.Error("Q=0 should fail")
+	}
+}
+
+func TestFoldingMoreCoresThanTasks(t *testing.T) {
+	// Q > P: T=1, trailing cores idle.
+	f, err := NewFolding(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.T != 1 {
+		t.Fatalf("T = %d, want 1", f.T)
+	}
+	if f.UsedCores() != 3 {
+		t.Fatalf("used cores %d, want 3", f.UsedCores())
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestFoldingEvenDivision(t *testing.T) {
+	f, _ := NewFolding(128, 4)
+	if f.T != 32 {
+		t.Fatalf("T = %d", f.T)
+	}
+	for q := 0; q < 4; q++ {
+		if f.LoadOf(q) != 32 {
+			t.Fatalf("core %d load %d", q, f.LoadOf(q))
+		}
+	}
+}
+
+func TestSingleCoreFolding(t *testing.T) {
+	// Q=1 degenerates to fully time-multiplexed execution: T=P.
+	f, _ := NewFolding(127, 1)
+	if f.T != 127 {
+		t.Fatalf("T = %d, want 127", f.T)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAOfRoundTrip(t *testing.T) {
+	const m = 64
+	for p := 0; p < 127; p++ {
+		a := AOf(p, m)
+		if a < -63 || a > 63 {
+			t.Fatalf("AOf(%d) = %d out of range", p, a)
+		}
+		if TaskOfA(a, m) != p {
+			t.Fatalf("TaskOfA(AOf(%d)) = %d", p, TaskOfA(a, m))
+		}
+	}
+	if AOf(0, m) != -63 || AOf(126, m) != 63 {
+		t.Fatal("AOf endpoints wrong")
+	}
+}
+
+func TestFoldingString(t *testing.T) {
+	f, _ := NewFolding(127, 4)
+	s := f.String()
+	if !strings.Contains(s, "T=32") || !strings.Contains(s, "core 3: tasks 96..126 (31 tasks)") {
+		t.Fatalf("String output: %q", s)
+	}
+}
+
+// Property: for random P, Q the folding is always a valid partition with
+// balanced loads (every used core has T tasks except possibly the last).
+func TestQuickFoldingPartition(t *testing.T) {
+	f := func(p16, q8 uint16) bool {
+		p := int(p16%500) + 1
+		q := int(q8%32) + 1
+		fold, err := NewFolding(p, q)
+		if err != nil {
+			return false
+		}
+		if fold.Validate() != nil {
+			return false
+		}
+		// Balance: all non-empty cores except the last used one carry
+		// exactly T tasks.
+		last := fold.UsedCores() - 1
+		for c := 0; c < last; c++ {
+			if fold.LoadOf(c) != fold.T {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ceil semantics of expression 8: (T-1)·Q < P <= T·Q.
+func TestQuickCeilBound(t *testing.T) {
+	f := func(p16, q8 uint16) bool {
+		p := int(p16%1000) + 1
+		q := int(q8%64) + 1
+		fold, err := NewFolding(p, q)
+		if err != nil {
+			return false
+		}
+		return (fold.T-1)*q < p && p <= fold.T*q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package mapping
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/dg"
+)
+
+// P1 returns the paper's expression 4 processor-assignment matrix, which
+// projects the 3-D DG (f, a, n) onto the (f, a) plane.
+func P1() dg.Mat {
+	return dg.MustMat(
+		[]int{1, 0},
+		[]int{0, 1},
+		[]int{0, 0},
+	)
+}
+
+// S1 returns the expression 4 scheduling vector: t = n, so integration
+// plane n-1 executes before plane n.
+func S1() dg.Vec { return dg.Vec{0, 0, 1} }
+
+// P2 returns the expression 5 assignment matrix for the second projection:
+// the 2-D graph (f, a) collapses to the line coordinate a.
+func P2() dg.Mat {
+	return dg.MustMat(
+		[]int{0},
+		[]int{1},
+	)
+}
+
+// S2 returns the expression 5 scheduling vector: t = f, the
+// time-multiplexing over frequencies.
+func S2() dg.Vec { return dg.Vec{1, 0} }
+
+// P2a1 returns the expression 6 space-time transform that removes absolute
+// time for the conjugate (dotted) diagonal family.
+func P2a1() dg.Mat {
+	return dg.MustMat(
+		[]int{0, 0},
+		[]int{1, 1},
+	)
+}
+
+// P2a2 returns the expression 6 space-time transform for the normal
+// (solid) diagonal family.
+func P2a2() dg.Mat {
+	return dg.MustMat(
+		[]int{0, 0},
+		[]int{-1, 1},
+	)
+}
+
+// P2b returns the expression 7 trivial final projection onto the line
+// array.
+func P2b() dg.Mat {
+	return dg.MustMat(
+		[]int{0},
+		[]int{1},
+	)
+}
+
+// VerifyComposition checks the paper's section 3.2 composition law: the
+// two-stage interconnect mapping equals the single-stage task mapping,
+// P2bᵀ·P2a1ᵀ = P2ᵀ and P2bᵀ·P2a2ᵀ = P2ᵀ. It returns an error naming the
+// first identity that fails.
+func VerifyComposition() error {
+	p2t := P2().Transpose()
+	for _, c := range []struct {
+		name string
+		m    dg.Mat
+	}{
+		{"P2b'·P2a1'", mustMul(P2b().Transpose(), P2a1().Transpose())},
+		{"P2b'·P2a2'", mustMul(P2b().Transpose(), P2a2().Transpose())},
+	} {
+		if !c.m.Equal(p2t) {
+			return fmt.Errorf("mapping: %s = %s, want P2' = %s", c.name, c.m, p2t)
+		}
+	}
+	return nil
+}
+
+func mustMul(a, b dg.Mat) dg.Mat {
+	m, err := a.Mul(b)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

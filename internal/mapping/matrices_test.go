@@ -1,0 +1,85 @@
+package mapping
+
+import (
+	"testing"
+
+	"tiledcfd/internal/dg"
+)
+
+func TestPaperMatrices(t *testing.T) {
+	// Expression 4.
+	if !P1().Equal(dg.MustMat([]int{1, 0}, []int{0, 1}, []int{0, 0})) {
+		t.Error("P1 differs from expression 4")
+	}
+	if !dg.VecEqual(S1(), dg.Vec{0, 0, 1}) {
+		t.Error("s1 differs from expression 4")
+	}
+	// Expression 5.
+	if !P2().Equal(dg.MustMat([]int{0}, []int{1})) {
+		t.Error("P2 differs from expression 5")
+	}
+	if !dg.VecEqual(S2(), dg.Vec{1, 0}) {
+		t.Error("s2 differs from expression 5")
+	}
+	// Expression 6.
+	if !P2a1().Equal(dg.MustMat([]int{0, 0}, []int{1, 1})) {
+		t.Error("P2a1 differs from expression 6")
+	}
+	if !P2a2().Equal(dg.MustMat([]int{0, 0}, []int{-1, 1})) {
+		t.Error("P2a2 differs from expression 6")
+	}
+	// Expression 7.
+	if !P2b().Equal(dg.MustMat([]int{0}, []int{1})) {
+		t.Error("P2b differs from expression 7")
+	}
+}
+
+func TestCompositionLaw(t *testing.T) {
+	// E4: P2b'·P2a1' = P2' = P2b'·P2a2' (section 3.2).
+	if err := VerifyComposition(); err != nil {
+		t.Fatalf("composition law fails: %v", err)
+	}
+}
+
+func TestP1MapsAllPlanesToSamePE(t *testing.T) {
+	// Expression 4 semantics: operations with identical (f, a) execute on
+	// the same processor, ordered by n.
+	g, err := dg.BuildDSCF3D(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dg.Apply(g, P1(), S1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, node := range g.Nodes {
+		wantProc := dg.Vec{node[0], node[1]}
+		if !dg.VecEqual(m.Procs[i], wantProc) {
+			t.Fatalf("node %v maps to proc %v, want %v", node, m.Procs[i], wantProc)
+		}
+		if m.Times[i] != node[2] {
+			t.Fatalf("node %v scheduled at %d, want n=%d", node, m.Times[i], node[2])
+		}
+	}
+}
+
+func TestP2MapsFrequenciesToTime(t *testing.T) {
+	// Expression 5 semantics: processor = a, time = f ("results for f = 0
+	// are calculated at t = 0, etc.").
+	g, err := dg.BuildDSCF2D(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dg.Apply(g, P2(), S2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, node := range g.Nodes {
+		if !dg.VecEqual(m.Procs[i], dg.Vec{node[1]}) {
+			t.Fatalf("node %v on proc %v, want a=%d", node, m.Procs[i], node[1])
+		}
+		if m.Times[i] != node[0] {
+			t.Fatalf("node %v at time %d, want f=%d", node, m.Times[i], node[0])
+		}
+	}
+}

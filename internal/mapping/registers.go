@@ -1,0 +1,75 @@
+package mapping
+
+import "fmt"
+
+// RegisterChain describes one of the two synthesised communication
+// structures of Figures 6/7: a shift-register chain threading the line
+// array, one tap per PE, advancing one position per time step in the
+// chain's flow direction.
+type RegisterChain struct {
+	Kind ChainKind
+	// Taps is the number of PE read taps, equal to the processor count P.
+	Taps int
+	// Registers is the number of clocked registers between adjacent taps,
+	// the "minimal register structure" count of Figure 6: P-1 inter-PE
+	// registers (the first tap is fed directly by the injection port).
+	Registers int
+	// InjectEnd is the processor index whose end of the array receives
+	// fresh values: +(M-1) for the X chain (values flow towards -a),
+	// -(M-1) for the conjugate chain (values flow towards +a).
+	InjectEnd int
+}
+
+// SynthesiseChains builds the two register chains for half-extent m from
+// the verified shared trajectories. The register count is minimal by the
+// Figure 6 argument: delays can only be realised by clocked registers, the
+// trajectory advances exactly one processor per clock, so one register per
+// hop and no more.
+func SynthesiseChains(m int) ([2]RegisterChain, error) {
+	var out [2]RegisterChain
+	if m < 1 {
+		return out, fmt.Errorf("mapping: SynthesiseChains m=%d must be >= 1", m)
+	}
+	p := 2*m - 1
+	for i, kind := range []ChainKind{XChain, XConjChain} {
+		dp, dt, err := SharedTrajectory(m, kind)
+		if err != nil {
+			return out, err
+		}
+		if dt != 1 || (dp != 1 && dp != -1) {
+			return out, fmt.Errorf("mapping: %s trajectory (Δp=%d,Δt=%d) not register-realisable", kind, dp, dt)
+		}
+		inject := m - 1 // X chain: values enter at +(M-1) and flow to -a
+		if kind == XConjChain {
+			inject = -(m - 1)
+		}
+		out[i] = RegisterChain{Kind: kind, Taps: p, Registers: p - 1, InjectEnd: inject}
+	}
+	return out, nil
+}
+
+// InitialValue returns the spectral index resident at tap a (processor a)
+// of the chain at the first time step t0 = -(M-1): the values the
+// "initialisation" phase must preload. For the conjugate chain the tap
+// holds j = t0 - a; for the normal chain j = t0 + a.
+func (c RegisterChain) InitialValue(m, a int) int {
+	t0 := -(m - 1)
+	if c.Kind == XConjChain {
+		return t0 - a
+	}
+	return t0 + a
+}
+
+// InjectedValue returns the spectral index injected at the chain's entry
+// end when the array advances from time t to t+1. Both chains inject the
+// index t + m at their respective ends (derived by evaluating the tap
+// expression at the entry processor for time t+1):
+// conjugate chain at a = -(M-1): j = (t+1) - a = t + M;
+// normal chain at a = +(M-1): j = (t+1) + a = t + M.
+func (c RegisterChain) InjectedValue(m, t int) int { return t + m }
+
+// TotalInitialLoads returns how many chain values the whole array must
+// preload before the first time step: P taps per chain. With two chains
+// loading in parallel (each memory has its own write port) the paper's
+// single "initialisation: 127 cycles" line corresponds to P cycles.
+func TotalInitialLoads(m int) int { return 2*m - 1 }

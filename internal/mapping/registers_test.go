@@ -1,0 +1,118 @@
+package mapping
+
+import "testing"
+
+func TestSynthesiseChainsPaperSize(t *testing.T) {
+	chains, err := SynthesiseChains(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, xc := chains[0], chains[1]
+	if x.Kind != XChain || xc.Kind != XConjChain {
+		t.Fatal("chain order wrong")
+	}
+	if x.Taps != 127 || xc.Taps != 127 {
+		t.Fatalf("taps %d/%d, want 127", x.Taps, xc.Taps)
+	}
+	if x.Registers != 126 || xc.Registers != 126 {
+		t.Fatalf("registers %d/%d, want 126 (minimal: one per hop)", x.Registers, xc.Registers)
+	}
+	// X values flow towards -a, so they enter at +63; conjugates mirror.
+	if x.InjectEnd != 63 {
+		t.Fatalf("X chain injects at %d, want +63", x.InjectEnd)
+	}
+	if xc.InjectEnd != -63 {
+		t.Fatalf("X* chain injects at %d, want -63", xc.InjectEnd)
+	}
+}
+
+func TestSynthesiseChainsErrors(t *testing.T) {
+	if _, err := SynthesiseChains(0); err == nil {
+		t.Error("m=0 should fail")
+	}
+}
+
+func TestInitialValues(t *testing.T) {
+	// m=64, t0=-63. Conjugate chain: tap a holds j = -63-a, spanning
+	// 0 (a=-63) down to -126 (a=+63). X chain: j = -63+a, spanning -126..0.
+	chains, err := SynthesiseChains(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, xc := chains[0], chains[1]
+	if got := xc.InitialValue(64, -63); got != 0 {
+		t.Fatalf("X* initial at a=-63: %d, want 0", got)
+	}
+	if got := xc.InitialValue(64, 63); got != -126 {
+		t.Fatalf("X* initial at a=+63: %d, want -126", got)
+	}
+	if got := x.InitialValue(64, -63); got != -126 {
+		t.Fatalf("X initial at a=-63: %d, want -126", got)
+	}
+	if got := x.InitialValue(64, 63); got != 0 {
+		t.Fatalf("X initial at a=+63: %d, want 0", got)
+	}
+}
+
+func TestInitialValuesMatchFirstTimeStep(t *testing.T) {
+	// At t0 the PE at offset a must read X[f+a] and conj(X[f-a]) with
+	// f = t0. The preloaded chain contents must be exactly those operands.
+	const m = 8
+	chains, err := SynthesiseChains(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, xc := chains[0], chains[1]
+	t0 := -(m - 1)
+	for a := -(m - 1); a <= m-1; a++ {
+		if got, want := x.InitialValue(m, a), t0+a; got != want {
+			t.Fatalf("X tap %d: %d, want f+a=%d", a, got, want)
+		}
+		if got, want := xc.InitialValue(m, a), t0-a; got != want {
+			t.Fatalf("X* tap %d: %d, want f-a=%d", a, got, want)
+		}
+	}
+}
+
+func TestInjectedValues(t *testing.T) {
+	// Advancing from t to t+1 injects bin t+m at each chain's entry end.
+	const m = 64
+	chains, _ := SynthesiseChains(m)
+	for _, c := range chains {
+		if got := c.InjectedValue(m, -63); got != 1 {
+			t.Fatalf("%s inject at t=-63: %d, want 1", c.Kind, got)
+		}
+		if got := c.InjectedValue(m, 62); got != 126 {
+			t.Fatalf("%s inject at t=62: %d, want 126", c.Kind, got)
+		}
+	}
+}
+
+func TestInjectedValueConsistentWithTaps(t *testing.T) {
+	// After injection at the entry end, the tap expression must hold for
+	// the new time step: entry tap value at t+1 equals InjectedValue(m,t).
+	const m = 8
+	chains, _ := SynthesiseChains(m)
+	x, xc := chains[0], chains[1]
+	for tm := -(m - 1); tm < m-1; tm++ {
+		// X chain entry at a=+(m-1): value needed at t+1 is (t+1)+(m-1).
+		if want, got := (tm+1)+(m-1), x.InjectedValue(m, tm); want != got {
+			t.Fatalf("X inject at t=%d: %d, want %d", tm, got, want)
+		}
+		// X* chain entry at a=-(m-1): value needed is (t+1)+(m-1) too.
+		if want, got := (tm+1)+(m-1), xc.InjectedValue(m, tm); want != got {
+			t.Fatalf("X* inject at t=%d: %d, want %d", tm, got, want)
+		}
+	}
+}
+
+func TestTotalInitialLoads(t *testing.T) {
+	// E8 link: the paper's Table 1 "initialisation: 127" equals the P
+	// parallel chain loads for M=64.
+	if got := TotalInitialLoads(64); got != 127 {
+		t.Fatalf("TotalInitialLoads(64) = %d, want 127", got)
+	}
+	if got := TotalInitialLoads(4); got != 7 {
+		t.Fatalf("TotalInitialLoads(4) = %d, want 7", got)
+	}
+}

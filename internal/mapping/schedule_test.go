@@ -1,0 +1,274 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoreSchedulePaperNumbers(t *testing.T) {
+	// The analytic schedule must reproduce Table 1 exactly for the
+	// paper's configuration (core 0: 32 tasks).
+	s, err := BuildCoreSchedule(64, 256, 4, 0, PaperCycleModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		kind OpKind
+		want int
+	}{
+		{OpMAC, 12192},
+		{OpReadData, 381},
+		{OpFFT, 1040},
+		{OpReshuffle, 256},
+		{OpInit, 127},
+	}
+	for _, c := range cases {
+		if got := s.CyclesOf(c.kind); got != c.want {
+			t.Errorf("%v cycles = %d, want %d", c.kind, got, c.want)
+		}
+	}
+	if s.TotalCycles() != 13996 {
+		t.Fatalf("total %d, want 13996", s.TotalCycles())
+	}
+}
+
+func TestCoreScheduleLastCore(t *testing.T) {
+	s, err := BuildCoreSchedule(64, 256, 4, 3, PaperCycleModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OwnT != 31 {
+		t.Fatalf("core 3 owns %d tasks", s.OwnT)
+	}
+	if got := s.CyclesOf(OpMAC); got != 31*127*3 {
+		t.Fatalf("core 3 MAC cycles %d", got)
+	}
+	// Shared phases identical to core 0.
+	if s.CyclesOf(OpFFT) != 1040 || s.CyclesOf(OpInit) != 127 {
+		t.Fatal("shared phases differ")
+	}
+}
+
+func TestCoreScheduleAblationModels(t *testing.T) {
+	// A 2-cycle MAC datapath would reduce the block to 13996 - 4064.
+	fast := PaperCycleModel()
+	fast.MACCycles = 2
+	s, err := BuildCoreSchedule(64, 256, 4, 0, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalCycles(); got != 13996-4064 {
+		t.Fatalf("2-cycle MAC total %d, want %d", got, 13996-4064)
+	}
+	// A single-cycle MAC would make the FFT a fifth of the budget.
+	fast.MACCycles = 1
+	s, err = BuildCoreSchedule(64, 256, 4, 0, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalCycles(); got != 13996-2*4064 {
+		t.Fatalf("1-cycle MAC total %d", got)
+	}
+}
+
+func TestCoreScheduleRealFFTAblation(t *testing.T) {
+	// Real-input FFT: 7 stages x 64 butterflies + 7x2 setup + 128
+	// untangle = 590 cycles instead of 1040; total drops accordingly.
+	model := PaperCycleModel()
+	model.RealInputFFT = true
+	s, err := BuildCoreSchedule(64, 256, 4, 0, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CyclesOf(OpFFT); got != 590 {
+		t.Fatalf("real FFT cycles %d, want 590", got)
+	}
+	if got := s.TotalCycles(); got != 13996-(1040-590) {
+		t.Fatalf("real-FFT total %d, want %d", got, 13996-450)
+	}
+}
+
+func TestCompareDedicatedFFTPaperConfig(t *testing.T) {
+	// Q=4: dedicating a core to the FFT leaves 3 MAC cores with
+	// T' = ceil(127/3) = 43, whose accumulators (2·43·127 = 10922 words)
+	// overflow the Montium's 8K budget — the paper's homogeneous choice
+	// is not just simpler, it is the only feasible one at Q=4.
+	cmp, err := CompareDedicatedFFT(64, 256, 4, PaperCycleModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.HomogeneousCycles != 13996 {
+		t.Fatalf("homogeneous %d", cmp.HomogeneousCycles)
+	}
+	if cmp.Feasible {
+		t.Fatal("Q=4 dedicated split must overflow the memory budget (T'=43)")
+	}
+	if cmp.DedicatedT != 43 {
+		t.Fatalf("dedicated T' = %d, want ceil(127/3)=43", cmp.DedicatedT)
+	}
+}
+
+func TestCompareDedicatedFFTFiveCores(t *testing.T) {
+	// Q=5 is the smallest feasible dedicated split (T'=32); the
+	// homogeneous mapping at Q=5 (T=26) still beats it:
+	// 1804+26·127·3 = 11710 vs 127+381+32·127·3 = 12700.
+	cmp, err := CompareDedicatedFFT(64, 256, 5, PaperCycleModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Feasible {
+		t.Fatal("Q=5 dedicated split should be feasible")
+	}
+	if cmp.DedicatedT != 32 {
+		t.Fatalf("dedicated T' = %d, want 32", cmp.DedicatedT)
+	}
+	if cmp.DedicatedCycles != 12700 {
+		t.Fatalf("dedicated cycles %d, want 12700", cmp.DedicatedCycles)
+	}
+	if cmp.HomogeneousCycles != 11710 {
+		t.Fatalf("homogeneous cycles %d, want 11710", cmp.HomogeneousCycles)
+	}
+	if cmp.DedicatedCycles <= cmp.HomogeneousCycles {
+		t.Fatal("expected the homogeneous mapping to win at Q=5")
+	}
+}
+
+func TestCompareDedicatedFFTManyCores(t *testing.T) {
+	// With many cores the MAC loop shrinks and the dedicated front-end
+	// becomes competitive; at Q=16, T'=ceil(127/15)=9: MAC core
+	// 127+381+9·127·3 = 3937 vs homogeneous 1804+8·127·3 = 4852.
+	cmp, err := CompareDedicatedFFT(64, 256, 16, PaperCycleModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Feasible {
+		t.Fatal("Q=16 split should be feasible")
+	}
+	if cmp.DedicatedCycles >= cmp.HomogeneousCycles {
+		t.Fatalf("dedicated (%d) should beat homogeneous (%d) at Q=16",
+			cmp.DedicatedCycles, cmp.HomogeneousCycles)
+	}
+}
+
+func TestCompareDedicatedFFTEdges(t *testing.T) {
+	// Q=1: no core left for MACs.
+	cmp, err := CompareDedicatedFFT(16, 64, 1, PaperCycleModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Feasible {
+		t.Fatal("Q=1 dedicated split cannot be feasible")
+	}
+	// Q=2 at the paper grid: T'=127 overflows the accumulator budget.
+	cmp, err = CompareDedicatedFFT(64, 256, 2, PaperCycleModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Feasible {
+		t.Fatal("Q=2 dedicated split must overflow the memory budget")
+	}
+	if _, err := CompareDedicatedFFT(1, 64, 4, PaperCycleModel()); err == nil {
+		t.Error("bad geometry should fail")
+	}
+}
+
+func TestCoreScheduleErrors(t *testing.T) {
+	model := PaperCycleModel()
+	if _, err := BuildCoreSchedule(1, 256, 4, 0, model); err == nil {
+		t.Error("m=1 should fail")
+	}
+	if _, err := BuildCoreSchedule(64, 100, 4, 0, model); err == nil {
+		t.Error("non-pow2 K should fail")
+	}
+	if _, err := BuildCoreSchedule(64, 256, 0, 0, model); err == nil {
+		t.Error("Q=0 should fail")
+	}
+	if _, err := BuildCoreSchedule(64, 256, 4, 4, model); err == nil {
+		t.Error("core index out of range should fail")
+	}
+	bad := model
+	bad.MACCycles = 0
+	if _, err := BuildCoreSchedule(64, 256, 4, 0, bad); err == nil {
+		t.Error("invalid model should fail")
+	}
+}
+
+func TestCycleModelValidate(t *testing.T) {
+	if err := PaperCycleModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := CycleModel{MACCycles: 3, ReadDataCycles: 0, ButterflyCycles: 1, MoveCycles: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero read-data cycles should fail")
+	}
+}
+
+func TestOpKindNames(t *testing.T) {
+	names := map[OpKind]string{
+		OpFFT:       "FFT",
+		OpReshuffle: "reshuffling",
+		OpInit:      "initialisation",
+		OpReadData:  "read data",
+		OpMAC:       "multiply accumulate",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d named %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if OpKind(42).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestCoreScheduleString(t *testing.T) {
+	s, err := BuildCoreSchedule(64, 256, 4, 0, PaperCycleModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.String()
+	for _, frag := range []string{"multiply accumulate", "12192", "13996", "core 0/4"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("schedule rendering missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// Property: for any geometry, the busiest core's MAC share equals
+// T·F·MACCycles and totals are consistent across cores (shared phases
+// identical, MAC proportional to owned tasks).
+func TestQuickScheduleConsistency(t *testing.T) {
+	f := func(m8, q8 uint8) bool {
+		m := int(m8%14) + 2 // 2..15
+		q := int(q8%6) + 1  // 1..6
+		model := PaperCycleModel()
+		ref, err := BuildCoreSchedule(m, 64, q, 0, model)
+		if err != nil {
+			return false
+		}
+		fold, err := NewFolding(2*m-1, q)
+		if err != nil {
+			return false
+		}
+		for c := 0; c < q; c++ {
+			s, err := BuildCoreSchedule(m, 64, q, c, model)
+			if err != nil {
+				return false
+			}
+			if s.CyclesOf(OpFFT) != ref.CyclesOf(OpFFT) ||
+				s.CyclesOf(OpInit) != ref.CyclesOf(OpInit) ||
+				s.CyclesOf(OpReshuffle) != ref.CyclesOf(OpReshuffle) ||
+				s.CyclesOf(OpReadData) != ref.CyclesOf(OpReadData) {
+				return false
+			}
+			if s.CyclesOf(OpMAC) != fold.LoadOf(c)*(2*m-1)*model.MACCycles {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tiledcfd/internal/dg"
+)
+
+// ChainKind identifies one of the two register chains of the derived
+// architecture.
+type ChainKind int
+
+// The two chain families of Figures 6/7.
+const (
+	// XChain carries the normal spectral values X_{n,j}; it flows towards
+	// decreasing a (right-to-left in the paper's figures).
+	XChain ChainKind = iota
+	// XConjChain carries the conjugated values conj(X_{n,j}); it flows
+	// towards increasing a (left-to-right).
+	XConjChain
+)
+
+// String names the chain family.
+func (c ChainKind) String() string {
+	if c == XChain {
+		return "X"
+	}
+	return "X*"
+}
+
+// Dir returns the processor-index step the chain's values take per time
+// step: -1 for the X chain, +1 for the conjugate chain.
+func (c ChainKind) Dir() int {
+	if c == XChain {
+		return -1
+	}
+	return 1
+}
+
+// Usage records that chain value with spectral index Value is consumed by
+// processor Proc at time Time (the coordinates of the paper's Figure 5).
+type Usage struct {
+	Value int // spectral bin index j
+	Proc  int // processor (offset a)
+	Time  int // schedule time (frequency f)
+}
+
+// SpaceTimeDiagram enumerates, for half-extent m and the given chain, the
+// usage points of every spectral value across the line array — the content
+// of the paper's Figure 5. For the conjugate chain, value j is used by
+// processor a at time t = j + a (f - a = j); for the normal chain at
+// t = j - a (f + a = j). Only usages with t within the schedule
+// [-(m-1), m-1] appear.
+func SpaceTimeDiagram(m int, kind ChainKind) []Usage {
+	var out []Usage
+	ext := m - 1
+	for j := -2 * ext; j <= 2*ext; j++ {
+		for a := -ext; a <= ext; a++ {
+			var t int
+			if kind == XConjChain {
+				t = j + a
+			} else {
+				t = j - a
+			}
+			if t >= -ext && t <= ext {
+				out = append(out, Usage{Value: j, Proc: a, Time: t})
+			}
+		}
+	}
+	return out
+}
+
+// SharedTrajectory applies the paper's expression 6 space-time transform
+// to the usage points of a chain and verifies the observation of section
+// 3.2 ("all dotted lines are mapped on top of each other"): the image of a
+// usage point under the transform depends only on the processor, never on
+// which spectral value is travelling, so every value of the family shares
+// one register trajectory. It also verifies that consecutive usages of
+// each value (ordered by time) hop exactly one processor in the chain's
+// flow direction per time step, the property that makes a single register
+// per hop sufficient (Figure 6). It returns the common per-hop
+// displacement (Δproc, Δt) = (Dir(), 1), or an error if any value
+// deviates.
+func SharedTrajectory(m int, kind ChainKind) (dProc, dTime int, err error) {
+	var tr dg.Mat
+	if kind == XConjChain {
+		tr = P2a1().Transpose()
+	} else {
+		tr = P2a2().Transpose()
+	}
+	usages := SpaceTimeDiagram(m, kind)
+	byValue := make(map[int][]Usage)
+	for _, u := range usages {
+		byValue[u.Value] = append(byValue[u.Value], u)
+	}
+	// imageAt records, per processor, the transform image first seen there;
+	// every other value must reproduce it exactly (the coincidence).
+	imageAt := make(map[int]dg.Vec)
+	for j, us := range byValue {
+		sort.Slice(us, func(x, y int) bool { return us[x].Time < us[y].Time })
+		for i, u := range us {
+			// Nodes are (f, a) = (Time, Proc) in the 2-D graph coordinates.
+			img, err := tr.MulVec(dg.Vec{u.Time, u.Proc})
+			if err != nil {
+				return 0, 0, err
+			}
+			// Quotient out the value index: shift the time coordinate by j
+			// before transforming would keep images literally equal; the
+			// transforms have a zero first row, so the image already
+			// depends only on Proc. Verify that.
+			if prev, ok := imageAt[u.Proc]; ok {
+				if !dg.VecEqual(prev, img) {
+					return 0, 0, fmt.Errorf("mapping: value %d image %v at proc %d, others map to %v",
+						j, img, u.Proc, prev)
+				}
+			} else {
+				imageAt[u.Proc] = img
+			}
+			if i == 0 {
+				continue
+			}
+			dp := u.Proc - us[i-1].Proc
+			dt := u.Time - us[i-1].Time
+			if dp != kindStep(kind) || dt != 1 {
+				return 0, 0, fmt.Errorf("mapping: value %d hops (Δp=%d,Δt=%d), want (%d,1)",
+					j, dp, dt, kindStep(kind))
+			}
+		}
+	}
+	return kindStep(kind), 1, nil
+}
+
+func kindStep(kind ChainKind) int {
+	if kind == XChain {
+		return -1
+	}
+	return 1
+}
+
+// RenderSpaceTime draws the Figure 5 style diagram as ASCII for a small m:
+// rows are time steps, columns processors, cells show the value index
+// consumed. Values outside single digits render in hex-like base36 to
+// keep columns aligned; intended for the cfdmap tool at m <= 5.
+func RenderSpaceTime(m int, kind ChainKind) string {
+	ext := m - 1
+	grid := make(map[[2]int]int)
+	for _, u := range SpaceTimeDiagram(m, kind) {
+		grid[[2]int{u.Time, u.Proc}] = u.Value
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s chain (m=%d): rows t=f, cols a; cell = spectral index j\n", kind, m)
+	b.WriteString("  t\\a |")
+	for a := -ext; a <= ext; a++ {
+		fmt.Fprintf(&b, "%4d", a)
+	}
+	b.WriteString("\n")
+	b.WriteString("  ----+" + strings.Repeat("----", 2*ext+1) + "\n")
+	for t := -ext; t <= ext; t++ {
+		fmt.Fprintf(&b, "%5d |", t)
+		for a := -ext; a <= ext; a++ {
+			if v, ok := grid[[2]int{t, a}]; ok {
+				fmt.Fprintf(&b, "%4d", v)
+			} else {
+				b.WriteString("   .")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

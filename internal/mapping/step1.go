@@ -1,0 +1,126 @@
+package mapping
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/dg"
+)
+
+// PE describes one processing element of the line array after both
+// projections: it owns frequency offset A and computes, at every time step
+// t = f, the multiply-accumulate for grid cell (f, A), storing the running
+// sum in a result memory addressed by f (paper Figure 4).
+type PE struct {
+	// A is the frequency offset this PE owns.
+	A int
+	// MemoryWords is the per-PE result storage in complex words: one cell
+	// per frequency, F = 2M-1.
+	MemoryWords int
+}
+
+// LineArray is the systolic line architecture derived by step 1 before
+// folding: P = 2M-1 PEs indexed by a in [-(M-1), +(M-1)], two
+// counter-flowing register chains, time-multiplexed over F frequencies.
+type LineArray struct {
+	M   int
+	PEs []PE
+}
+
+// DeriveLineArray runs the P1/s1 and P2/s2 projections on the DSCF
+// dependence graph for half-extent m and returns the resulting line array.
+// It verifies the admissibility of both mappings (causality of
+// accumulation edges under s1, collision freedom of the final placement)
+// and the composition law before constructing the result, so a returned
+// array is a proven-correct derivation, not a drawn one.
+//
+// The blocks parameter sets how many integration planes the 3-D check
+// uses; 2 suffices to exercise the accumulation edges and keeps the
+// verification cheap for large m.
+func DeriveLineArray(m, blocks int) (*LineArray, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("mapping: DeriveLineArray m=%d must be >= 1", m)
+	}
+	if blocks < 2 {
+		blocks = 2
+	}
+	if err := VerifyComposition(); err != nil {
+		return nil, err
+	}
+
+	// Step 1a: project out n with P1/s1 and check admissibility.
+	g3, err := dg.BuildDSCF3D(m, blocks)
+	if err != nil {
+		return nil, err
+	}
+	m3, err := dg.Apply(g3, P1(), S1())
+	if err != nil {
+		return nil, err
+	}
+	if err := m3.CheckCausal(g3, dg.AccumEdge); err != nil {
+		return nil, fmt.Errorf("mapping: P1/s1 violates causality: %w", err)
+	}
+	if err := m3.CheckCollisionFree(); err != nil {
+		return nil, fmt.Errorf("mapping: P1/s1 collides: %w", err)
+	}
+	// Every accumulation edge must stay on its processor: Pᵀ·(0,0,1) = 0.
+	for i, e := range g3.Edges {
+		if e.Kind == dg.AccumEdge && !dg.VecEqual(m3.EdgeProcDeltas[i], dg.Vec{0, 0}) {
+			return nil, fmt.Errorf("mapping: accumulation edge leaves its PE: %v", m3.EdgeProcDeltas[i])
+		}
+	}
+
+	// Step 1b: project out f with P2/s2 and check admissibility.
+	g2, err := dg.BuildDSCF2D(m)
+	if err != nil {
+		return nil, err
+	}
+	m2, err := dg.Apply(g2, P2(), S2())
+	if err != nil {
+		return nil, err
+	}
+	if err := m2.CheckCollisionFree(); err != nil {
+		return nil, fmt.Errorf("mapping: P2/s2 collides: %w", err)
+	}
+	// Propagation edges must hop exactly one processor per time step in
+	// opposite directions: that is what makes single-register chains work.
+	for i, e := range g2.Edges {
+		dt := m2.EdgeTimeDeltas[i]
+		dp := m2.EdgeProcDeltas[i]
+		switch e.Kind {
+		case dg.XPropEdge:
+			if dt != 1 || !dg.VecEqual(dp, dg.Vec{-1}) {
+				return nil, fmt.Errorf("mapping: X edge maps to Δproc=%v Δt=%d, want (-1)/1", dp, dt)
+			}
+		case dg.XConjPropEdge:
+			if dt != 1 || !dg.VecEqual(dp, dg.Vec{1}) {
+				return nil, fmt.Errorf("mapping: X* edge maps to Δproc=%v Δt=%d, want (+1)/1", dp, dt)
+			}
+		}
+	}
+
+	// Construct the verified array.
+	la := &LineArray{M: m}
+	f := 2*m - 1
+	for a := -(m - 1); a <= m-1; a++ {
+		la.PEs = append(la.PEs, PE{A: a, MemoryWords: f})
+	}
+	return la, nil
+}
+
+// P returns the processor count 2M-1 (127 for the paper's M = 64).
+func (l *LineArray) P() int { return len(l.PEs) }
+
+// F returns the frequencies each PE multiplexes over, 2M-1.
+func (l *LineArray) F() int { return 2*l.M - 1 }
+
+// TotalMemoryWords returns the summed per-PE result storage in complex
+// words: P·F.
+func (l *LineArray) TotalMemoryWords() int { return l.P() * l.F() }
+
+// PEOf returns the PE owning offset a, or an error if a is out of range.
+func (l *LineArray) PEOf(a int) (PE, error) {
+	if a < -(l.M-1) || a > l.M-1 {
+		return PE{}, fmt.Errorf("mapping: offset %d outside ±%d", a, l.M-1)
+	}
+	return l.PEs[a+l.M-1], nil
+}

@@ -1,0 +1,155 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveLineArrayPaperSize(t *testing.T) {
+	// E3/E5: M=64 must yield the paper's 127-processor line array, each PE
+	// with a 127-deep result memory (Figure 4), P·F = 16129 complex words.
+	la, err := DeriveLineArray(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.P() != 127 {
+		t.Fatalf("P = %d, want 127 complex multipliers", la.P())
+	}
+	if la.F() != 127 {
+		t.Fatalf("F = %d, want 127", la.F())
+	}
+	if la.TotalMemoryWords() != 16129 {
+		t.Fatalf("total memory %d complex words, want 16129", la.TotalMemoryWords())
+	}
+	// PEs indexed -63..+63 in order.
+	if la.PEs[0].A != -63 || la.PEs[126].A != 63 {
+		t.Fatalf("PE index range %d..%d", la.PEs[0].A, la.PEs[126].A)
+	}
+}
+
+func TestDeriveLineArraySmall(t *testing.T) {
+	la, err := DeriveLineArray(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.P() != 7 || la.F() != 7 {
+		t.Fatalf("P/F = %d/%d", la.P(), la.F())
+	}
+	pe, err := la.PEOf(-3)
+	if err != nil || pe.A != -3 || pe.MemoryWords != 7 {
+		t.Fatalf("PEOf(-3) = %+v, %v", pe, err)
+	}
+	if _, err := la.PEOf(4); err == nil {
+		t.Error("PEOf out of range should fail")
+	}
+	if _, err := la.PEOf(-4); err == nil {
+		t.Error("PEOf out of range should fail")
+	}
+}
+
+func TestDeriveLineArrayErrors(t *testing.T) {
+	if _, err := DeriveLineArray(0, 2); err == nil {
+		t.Error("m=0 should fail")
+	}
+}
+
+func TestSpaceTimeDiagramConjChain(t *testing.T) {
+	// Figure 5 (m=4): conjugate value j is used by processor a at time j+a.
+	usages := SpaceTimeDiagram(4, XConjChain)
+	// Value 0 is used by all 7 processors wherever t=a is in range: 7 uses.
+	count0 := 0
+	for _, u := range usages {
+		if u.Value == 0 {
+			count0++
+			if u.Time != u.Proc {
+				t.Fatalf("X*_0 used at (a=%d,t=%d), want t=a", u.Proc, u.Time)
+			}
+		}
+	}
+	if count0 != 7 {
+		t.Fatalf("X*_0 used %d times, want 7", count0)
+	}
+	// Extreme value j=-6 is used only by a=+3 at t=-3.
+	found := false
+	for _, u := range usages {
+		if u.Value == -6 {
+			if u.Proc != 3 || u.Time != -3 {
+				t.Fatalf("X*_{-6} at (a=%d,t=%d)", u.Proc, u.Time)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("X*_{-6} missing")
+	}
+}
+
+func TestSpaceTimeDiagramXChainMirrors(t *testing.T) {
+	// The X chain is the mirror image: value j used by a at t = j-a.
+	for _, u := range SpaceTimeDiagram(4, XChain) {
+		if u.Time != u.Value-u.Proc {
+			t.Fatalf("X_%d at (a=%d,t=%d), want t=j-a", u.Value, u.Proc, u.Time)
+		}
+	}
+}
+
+func TestSharedTrajectories(t *testing.T) {
+	// E4: after the expression 6 transforms, every value of a family moves
+	// with the same per-hop displacement — the shared-wire observation.
+	dp, dt, err := SharedTrajectory(8, XConjChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp != 1 || dt != 1 {
+		t.Fatalf("conj trajectory (Δp=%d,Δt=%d), want (1,1)", dp, dt)
+	}
+	dp, dt, err = SharedTrajectory(8, XChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp != -1 || dt != 1 {
+		t.Fatalf("X trajectory (Δp=%d,Δt=%d), want (-1,1)", dp, dt)
+	}
+}
+
+func TestChainKindHelpers(t *testing.T) {
+	if XChain.String() != "X" || XConjChain.String() != "X*" {
+		t.Error("chain names wrong")
+	}
+	if XChain.Dir() != -1 || XConjChain.Dir() != 1 {
+		t.Error("chain directions wrong")
+	}
+}
+
+func TestRenderSpaceTime(t *testing.T) {
+	out := RenderSpaceTime(4, XConjChain)
+	if !strings.Contains(out, "X* chain (m=4)") {
+		t.Fatalf("missing header: %q", out)
+	}
+	// t=0, a=0 consumes value 0.
+	if !strings.Contains(out, "0 |") {
+		t.Fatal("missing time rows")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3+7 { // header + axis + separator + 7 time rows
+		t.Fatalf("rendered %d lines", len(lines))
+	}
+}
+
+// Property: every consecutive usage pair of every value hops exactly
+// (Dir, +1), for random m.
+func TestQuickTrajectoryUniform(t *testing.T) {
+	f := func(m8 uint8, conj bool) bool {
+		m := int(m8%10) + 2
+		kind := XChain
+		if conj {
+			kind = XConjChain
+		}
+		_, _, err := SharedTrajectory(m, kind)
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package montium
+
+import "fmt"
+
+// AGU is a two-level affine address generation unit, the pattern the
+// Montium memory AGUs provide ([3]): a nested loop
+//
+//	for outer := 0; outer < OuterCount; outer++ {
+//	    for inner := 0; inner < InnerCount; inner++ {
+//	        addr = (Base + outer·OuterStride + inner·InnerStride) mod Modulo
+//	    }
+//	}
+//
+// Next walks that sequence one address per call. Modulo 0 means no
+// wrap-around. Every sequential, strided or modular access pattern the CFD
+// kernels need (FFT stages, chain windows, reversed reshuffle order) is
+// expressible this way, which is the architectural point: the address
+// streams cost no ALU cycles.
+type AGU struct {
+	Base        int
+	InnerCount  int
+	InnerStride int
+	OuterCount  int
+	OuterStride int
+	Modulo      int
+
+	inner, outer int
+	done         bool
+}
+
+// Reset rewinds the generator to its first address.
+func (g *AGU) Reset() { g.inner, g.outer, g.done = 0, 0, false }
+
+// Validate checks the loop bounds.
+func (g *AGU) Validate() error {
+	if g.InnerCount < 1 || g.OuterCount < 1 {
+		return fmt.Errorf("montium: AGU counts %d/%d must be >= 1", g.InnerCount, g.OuterCount)
+	}
+	if g.Modulo < 0 {
+		return fmt.Errorf("montium: AGU modulo %d must be >= 0", g.Modulo)
+	}
+	return nil
+}
+
+// Next returns the next address in the pattern. ok is false once the
+// pattern is exhausted.
+func (g *AGU) Next() (addr int, ok bool) {
+	if g.done {
+		return 0, false
+	}
+	addr = g.Base + g.outer*g.OuterStride + g.inner*g.InnerStride
+	if g.Modulo > 0 {
+		addr %= g.Modulo
+		if addr < 0 {
+			addr += g.Modulo
+		}
+	}
+	g.inner++
+	if g.inner >= g.InnerCount {
+		g.inner = 0
+		g.outer++
+		if g.outer >= g.OuterCount {
+			g.done = true
+		}
+	}
+	return addr, true
+}
+
+// Remaining returns how many addresses the pattern will still produce.
+func (g *AGU) Remaining() int {
+	if g.done {
+		return 0
+	}
+	return (g.OuterCount-g.outer)*g.InnerCount - g.inner
+}

@@ -1,0 +1,111 @@
+package montium
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The Montium is a *reconfigurable* core: before an application runs, its
+// sequencer tables, AGU patterns and interconnect settings are loaded by
+// the control/configuration/communication block (paper Figure 10). The
+// paper does not budget this one-time cost, because the CFD configuration
+// is loaded once and the core then streams blocks indefinitely; this file
+// models it explicitly so the trade-off against per-block work is
+// quantified (an extension, clearly separated from the Table 1 numbers).
+//
+// The model: each kernel contributes sequencer words (one per distinct
+// micro-instruction of its inner loops), AGU descriptors (one per memory
+// access pattern) and interconnect settings (one per routing change). One
+// configuration word loads per clock cycle over the same interface that
+// streams samples, which is how the cited Montium literature describes
+// configuration sizes of a few hundred words loading in microseconds.
+
+// KernelConfig sizes one kernel's configuration.
+type KernelConfig struct {
+	Name              string
+	SequencerWords    int
+	AGUDescriptors    int
+	InterconnectWords int
+}
+
+// Words returns the total configuration words of the kernel (each AGU
+// descriptor occupies two words: base/stride and count/modulo).
+func (k KernelConfig) Words() int {
+	return k.SequencerWords + 2*k.AGUDescriptors + k.InterconnectWords
+}
+
+// ConfigurationPlan is the full CFD application configuration of one core.
+type ConfigurationPlan struct {
+	Kernels []KernelConfig
+}
+
+// CFDConfigurationPlan sizes the four CFD kernels for FFT size k. The
+// sizes follow the kernel structures implemented in this package:
+//
+//   - FFT: one micro-instruction per stage loop plus stage setup — the
+//     sequencer iterates, so words grow with log2(K), not K;
+//   - reshuffle: a single reversed-copy loop;
+//   - init: a single shift-in loop;
+//   - MAC loop: the read-data/shift step plus the T-iteration MAC loop.
+func CFDConfigurationPlan(k int) (ConfigurationPlan, error) {
+	if k < 4 || k&(k-1) != 0 {
+		return ConfigurationPlan{}, fmt.Errorf("montium: configuration for K=%d (need power of two >= 4)", k)
+	}
+	stages := 0
+	for v := k; v > 1; v >>= 1 {
+		stages++
+	}
+	return ConfigurationPlan{Kernels: []KernelConfig{
+		{Name: "FFT", SequencerWords: 4 * stages, AGUDescriptors: 3 * stages, InterconnectWords: stages},
+		{Name: "reshuffling", SequencerWords: 4, AGUDescriptors: 2, InterconnectWords: 1},
+		{Name: "initialisation", SequencerWords: 4, AGUDescriptors: 4, InterconnectWords: 2},
+		{Name: "multiply accumulate", SequencerWords: 12, AGUDescriptors: 6, InterconnectWords: 3},
+	}}, nil
+}
+
+// TotalWords returns the summed configuration size.
+func (p ConfigurationPlan) TotalWords() int {
+	sum := 0
+	for _, k := range p.Kernels {
+		sum += k.Words()
+	}
+	return sum
+}
+
+// LoadCycles returns the one-time configuration load time in cycles at
+// one word per cycle.
+func (p ConfigurationPlan) LoadCycles() int64 { return int64(p.TotalWords()) }
+
+// AmortisationBlocks returns after how many integration steps the
+// one-time configuration cost falls below the given fraction of the
+// cumulative compute time (e.g. 0.01 for 1%).
+func (p ConfigurationPlan) AmortisationBlocks(cyclesPerBlock int64, fraction float64) (int, error) {
+	if cyclesPerBlock < 1 {
+		return 0, fmt.Errorf("montium: cyclesPerBlock %d must be >= 1", cyclesPerBlock)
+	}
+	if fraction <= 0 || fraction >= 1 {
+		return 0, fmt.Errorf("montium: fraction %v outside (0,1)", fraction)
+	}
+	// load <= fraction · n · perBlock  =>  n >= load / (fraction·perBlock)
+	n := float64(p.LoadCycles()) / (fraction * float64(cyclesPerBlock))
+	blocks := int(n)
+	if float64(blocks) < n {
+		blocks++
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks, nil
+}
+
+// String renders the plan.
+func (p ConfigurationPlan) String() string {
+	var b strings.Builder
+	b.WriteString("configuration plan:\n")
+	for _, k := range p.Kernels {
+		fmt.Fprintf(&b, "  %-22s %4d words (%d seq, %d AGU, %d interconnect)\n",
+			k.Name, k.Words(), k.SequencerWords, k.AGUDescriptors, k.InterconnectWords)
+	}
+	fmt.Fprintf(&b, "  %-22s %4d words (%d cycles to load)\n", "total", p.TotalWords(), p.LoadCycles())
+	return b.String()
+}

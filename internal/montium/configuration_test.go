@@ -1,0 +1,104 @@
+package montium
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCFDConfigurationPlan(t *testing.T) {
+	p, err := CFDConfigurationPlan(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Kernels) != 4 {
+		t.Fatalf("kernels %d", len(p.Kernels))
+	}
+	// The plan must stay small relative to one integration step: the
+	// reconfigurable-core premise (configuration loads in a few hundred
+	// cycles, then streams indefinitely).
+	if p.TotalWords() < 50 || p.TotalWords() > 500 {
+		t.Fatalf("total configuration %d words, expected a few hundred", p.TotalWords())
+	}
+	if p.LoadCycles() != int64(p.TotalWords()) {
+		t.Fatal("load cycles must equal words at 1 word/cycle")
+	}
+	// FFT dominates (per-stage tables).
+	if p.Kernels[0].Name != "FFT" || p.Kernels[0].Words() < p.Kernels[1].Words() {
+		t.Fatalf("FFT should be the largest kernel config: %+v", p.Kernels)
+	}
+}
+
+func TestConfigurationScalesWithStages(t *testing.T) {
+	small, err := CFDConfigurationPlan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := CFDConfigurationPlan(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.TotalWords() <= small.TotalWords() {
+		t.Fatalf("configuration should grow with log2(K): %d vs %d", big.TotalWords(), small.TotalWords())
+	}
+	// But only logarithmically: 1024-point config is far less than 16x
+	// the 64-point one.
+	if big.TotalWords() > 4*small.TotalWords() {
+		t.Fatalf("configuration grows too fast: %d vs %d", big.TotalWords(), small.TotalWords())
+	}
+}
+
+func TestConfigurationErrors(t *testing.T) {
+	if _, err := CFDConfigurationPlan(100); err == nil {
+		t.Error("non-pow2 K should fail")
+	}
+	if _, err := CFDConfigurationPlan(2); err == nil {
+		t.Error("tiny K should fail")
+	}
+}
+
+func TestAmortisationBlocks(t *testing.T) {
+	p, err := CFDConfigurationPlan(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Against the paper's 13996-cycle block, the configuration amortises
+	// below 1% within a handful of blocks.
+	n, err := p.AmortisationBlocks(13996, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || n > 10 {
+		t.Fatalf("amortisation %d blocks, expected single digits", n)
+	}
+	// The bound is tight: at n blocks the fraction is <= 1%, at n-1 it
+	// is not (unless n == 1).
+	load := float64(p.LoadCycles())
+	if load/(float64(n)*13996) > 0.01 {
+		t.Fatalf("fraction at %d blocks still above 1%%", n)
+	}
+	if n > 1 && load/(float64(n-1)*13996) <= 0.01 {
+		t.Fatalf("amortisation bound not tight at %d", n)
+	}
+	if _, err := p.AmortisationBlocks(0, 0.01); err == nil {
+		t.Error("zero cycles should fail")
+	}
+	if _, err := p.AmortisationBlocks(100, 0); err == nil {
+		t.Error("zero fraction should fail")
+	}
+	if _, err := p.AmortisationBlocks(100, 1); err == nil {
+		t.Error("fraction 1 should fail")
+	}
+}
+
+func TestConfigurationString(t *testing.T) {
+	p, err := CFDConfigurationPlan(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, frag := range []string{"FFT", "multiply accumulate", "total", "cycles to load"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("rendering missing %q:\n%s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package montium models the Montium coarse-grain reconfigurable
+// processor core (Heysters 2004, the paper's reference [3]) at the level
+// of detail the paper's step-2 analysis uses, and executes the CFD
+// application kernels on it so that the cycle counts of Table 1 are
+// measured from simulation rather than asserted.
+//
+// # Modelled micro-architecture (paper Figure 10)
+//
+//   - ten single-cycle memories M01..M10 of 1024 16-bit words each
+//     ("the total memory capacity of the Montium memories M01 to M08
+//     equals 8K words of 16 bits"), addressable in parallel, each with an
+//     address-generation unit (AGU);
+//   - a complex ALU executing one complex multiplication (or one radix-2
+//     butterfly, or one complex addition) per clock cycle;
+//   - five register files and an interconnection network, abstracted into
+//     the kernels' ability to move one operand set per cycle between
+//     memories and the ALU;
+//   - a sequencer (control/configuration block) represented by the kernel
+//     methods, each of which advances the core's cycle ledger exactly as
+//     its micro-program schedule dictates.
+//
+// # CFD mapping (paper Figure 11)
+//
+// The DSCF accumulators live in M01..M08 (T·F complex values, 8128 words
+// for the paper's T=32, F=127 — just inside the 8K budget, the section 4.1
+// argument reproduced by experiment E7). The two communication chain
+// segments of the folded systolic array live in the low words of M09 and
+// M10; the FFT ping-pong buffers and the (reshuffled) spectrum occupy
+// their upper words, which also serve the array-end value injections.
+//
+// # Cycle model (paper section 4.1)
+//
+//   - multiply-accumulate: 3 cycles (accumulator read, complex MAC,
+//     write-back) — simulations in the paper report the same 3 cycles;
+//   - read data: 3 cycles per group of T=32 MACs (chain shift, boundary
+//     receive and switch update between time steps);
+//   - FFT: one butterfly per cycle plus 2 AGU/interconnect reconfiguration
+//     cycles per stage: 256-point = 8·(128+2) = 1040 cycles, the number
+//     the paper cites from [3];
+//   - reshuffling: one move per cycle, 256 cycles;
+//   - initialisation: the chains load through their shift path in lockstep
+//     with the rest of the array, P = 127 cycles.
+//
+// Every kernel operates on real Q15 data held in the modelled memories;
+// outputs are verified bit-for-bit against internal/fft and internal/scf.
+package montium

@@ -1,0 +1,89 @@
+package montium
+
+import (
+	"math"
+	"testing"
+
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/sig"
+)
+
+func TestRunEnergyMatchesSignalPower(t *testing.T) {
+	const k, m = 64, 16
+	c := configuredCore(t, k, m, 2, 0)
+	rng := sig.NewRand(71)
+	x := sig.Samples(&sig.WGN{Sigma: 0.4, Real: true, Rng: rng}, k)
+	qx := fixed.FromFloatSlice(x)
+	if err := c.LoadSamples(qx); err != nil {
+		t.Fatal(err)
+	}
+	energy, err := c.RunEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sig.Power(fixed.ToFloatSlice(qx)) * float64(k)
+	if math.Abs(energy-want) > 1e-6*(1+want) {
+		t.Fatalf("energy %v, want %v", energy, want)
+	}
+	// One MAC per sample, K cycles, own ledger section.
+	if got := c.CyclesIn(SectionEnergy); got != k {
+		t.Fatalf("energy cycles %d, want %d", got, k)
+	}
+}
+
+func TestRunEnergyOrderingEnforced(t *testing.T) {
+	const k, m = 64, 16
+	c := configuredCore(t, k, m, 2, 0)
+	if _, err := c.RunEnergy(); err == nil {
+		t.Fatal("RunEnergy before LoadSamples should fail")
+	}
+	if err := c.LoadSamples(testSamples(73, k)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunFFT(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunEnergy(); err == nil {
+		t.Fatal("RunEnergy after RunFFT should fail (samples consumed)")
+	}
+	// Reloading samples re-enables it.
+	if err := c.LoadSamples(testSamples(74, k)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunEnergy(); err != nil {
+		t.Fatalf("RunEnergy after reload: %v", err)
+	}
+	// And the energy stage does not disturb the Table 1 sections.
+	if c.CyclesIn(SectionMAC) != 0 || c.CyclesIn(SectionReadData) != 0 {
+		t.Fatal("energy stage leaked into Table 1 sections")
+	}
+}
+
+func TestRunEnergyDetectsPowerDifference(t *testing.T) {
+	// The hardware energy statistic separates a loud band from a quiet
+	// one — the "energy detector" half of CFD.
+	const k, m = 64, 16
+	quiet := configuredCore(t, k, m, 2, 0)
+	loud := configuredCore(t, k, m, 2, 0)
+	rngQ := sig.NewRand(75)
+	rngL := sig.NewRand(76)
+	xq := fixed.FromFloatSlice(sig.Samples(&sig.WGN{Sigma: 0.1, Real: true, Rng: rngQ}, k))
+	xl := fixed.FromFloatSlice(sig.Samples(&sig.WGN{Sigma: 0.4, Real: true, Rng: rngL}, k))
+	if err := quiet.LoadSamples(xq); err != nil {
+		t.Fatal(err)
+	}
+	if err := loud.LoadSamples(xl); err != nil {
+		t.Fatal(err)
+	}
+	eq, err := quiet.RunEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := loud.RunEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el < 4*eq {
+		t.Fatalf("loud %v vs quiet %v: expected ~16x separation", el, eq)
+	}
+}

@@ -1,0 +1,363 @@
+package montium
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/fixed"
+)
+
+// memA/memB return the ping-pong buffer memories: A is M09, B is M10.
+func (c *Core) memA() *Memory { return c.Mem[8] }
+func (c *Core) memB() *Memory { return c.Mem[9] }
+
+// chainX/chainC return the memories hosting the chain segments: the X
+// chain lives in M09, the conjugate-operand chain in M10 (Figure 11 maps
+// the communication registers onto M09 and M10).
+func (c *Core) chainX() *Memory { return c.Mem[8] }
+func (c *Core) chainC() *Memory { return c.Mem[9] }
+
+func (c *Core) needConfig() error {
+	if c.cfg == nil {
+		return fmt.Errorf("montium: core %d has no CFD configuration", c.ID)
+	}
+	return nil
+}
+
+// LoadSamples places one K-sample block into FFT buffer A. The sample
+// stream arrives over the platform's interconnect concurrently with the
+// previous block's computation, so this transfer contributes no cycles to
+// the Table 1 budget (the paper's accounting starts at the FFT).
+func (c *Core) LoadSamples(x []fixed.Complex) error {
+	if err := c.needConfig(); err != nil {
+		return err
+	}
+	if len(x) != c.cfg.K {
+		return fmt.Errorf("montium: LoadSamples got %d samples, want K=%d", len(x), c.cfg.K)
+	}
+	for j, v := range x {
+		if err := c.memA().WriteComplex(c.cfg.bufSlot(j), v); err != nil {
+			return err
+		}
+	}
+	c.resultInA = true // samples (and later the spectrum) start in A
+	c.shuffled = false
+	c.samplesValid = true
+	return nil
+}
+
+// RunEnergy executes the energy-detector stage of the paper's section 2
+// ("CFD consists of a combination of an energy detector and a single
+// correlator block"): it accumulates Σ|x_k|² over the loaded block at one
+// complex multiply-accumulate per cycle (K cycles), using the ALU's wide
+// accumulator, and returns the block energy as a float. It must run after
+// LoadSamples and before RunFFT (which reuses the sample buffer); the
+// paper's Table 1 does not budget this stage, so it lands in its own
+// ledger section.
+func (c *Core) RunEnergy() (float64, error) {
+	if err := c.needConfig(); err != nil {
+		return 0, err
+	}
+	if !c.samplesValid {
+		return 0, fmt.Errorf("montium: RunEnergy needs freshly loaded samples (before RunFFT)")
+	}
+	cfg := c.cfg
+	c.BeginSection(SectionEnergy)
+	var acc fixed.CAcc
+	for j := 0; j < cfg.K; j++ {
+		v, err := c.memA().ReadComplex(cfg.bufSlot(j))
+		if err != nil {
+			return 0, err
+		}
+		acc.AddProdConj(v, v)
+		c.tick(1)
+		c.MACs++
+	}
+	return real(acc.Float()), nil
+}
+
+// RunFFT executes the in-core radix-2 FFT micro-program on the loaded
+// block: log2(K) stages, each with 2 AGU/interconnect reconfiguration
+// cycles plus one butterfly per cycle, ping-ponging between buffers A and
+// B. Stage 0 consumes its inputs through the AGU's bit-reversed addressing
+// mode (no extra cycles). For K = 256 the schedule is 8·(128+2) = 1040
+// cycles — the paper's Table 1 "FFT" row.
+//
+// Data semantics are bit-identical to fft.FixedPlan.Forward: same
+// butterfly primitive, same twiddles, same per-stage 1/2 scaling.
+func (c *Core) RunFFT() error {
+	if err := c.needConfig(); err != nil {
+		return err
+	}
+	cfg := c.cfg
+	c.BeginSection(SectionFFT)
+	rev := cfg.plan.BitrevTable()
+	srcInA := true
+	for s := 0; s < cfg.plan.Stages(); s++ {
+		c.tick(2) // AGU + interconnect reconfiguration for the stage
+		span := 2 << s
+		half := span / 2
+		tw := cfg.plan.StageTwiddles(s)
+		src, dst := c.memA(), c.memB()
+		if !srcInA {
+			src, dst = dst, src
+		}
+		lo := AGU{Base: 0, InnerCount: half, InnerStride: 1, OuterCount: cfg.K / span, OuterStride: span}
+		hi := AGU{Base: half, InnerCount: half, InnerStride: 1, OuterCount: cfg.K / span, OuterStride: span}
+		lo.Reset()
+		hi.Reset()
+		for {
+			la, ok := lo.Next()
+			if !ok {
+				break
+			}
+			ha, _ := hi.Next()
+			ra, rb := la, ha
+			if s == 0 {
+				ra, rb = rev[la], rev[ha]
+			}
+			a, err := src.ReadComplex(cfg.bufSlot(ra))
+			if err != nil {
+				return err
+			}
+			b, err := src.ReadComplex(cfg.bufSlot(rb))
+			if err != nil {
+				return err
+			}
+			outLo, outHi := fixed.BFly(a, b, tw[la%half])
+			if err := dst.WriteComplex(cfg.bufSlot(la), outLo); err != nil {
+				return err
+			}
+			if err := dst.WriteComplex(cfg.bufSlot(ha), outHi); err != nil {
+				return err
+			}
+			c.tick(1)
+			c.Butterflies++
+		}
+		srcInA = !srcInA
+	}
+	c.resultInA = srcInA // after the last swap, srcInA names the result buffer
+	c.shuffled = false
+	c.samplesValid = false // the ping-pong pass consumed the sample buffer
+	return nil
+}
+
+// RunReshuffle builds the frequency-reversed copy of the spectrum in the
+// opposite buffer: element i receives bin (-i mod K). This is the paper's
+// "reshuffling of the conjugated values" (Figure 1): the conjugate-operand
+// chain consumes the spectrum in reversed bin order, and with the reversed
+// copy in place every chain access becomes a unit-stride AGU pattern. One
+// move per cycle: K cycles (256 in Table 1). The conjugation itself is
+// applied for free by the ALU's conjugating multiplier port.
+func (c *Core) RunReshuffle() error {
+	if err := c.needConfig(); err != nil {
+		return err
+	}
+	cfg := c.cfg
+	c.BeginSection(SectionReshuffle)
+	src, dst := c.memA(), c.memB()
+	if !c.resultInA {
+		src, dst = dst, src
+	}
+	for i := 0; i < cfg.K; i++ {
+		v, err := src.ReadComplex(cfg.bufSlot(fft.BinIndex(cfg.K, -i)))
+		if err != nil {
+			return err
+		}
+		if err := dst.WriteComplex(cfg.bufSlot(i), v); err != nil {
+			return err
+		}
+		c.tick(1)
+		c.Moves++
+	}
+	c.shuffled = true
+	return nil
+}
+
+// RunInit preloads this core's chain segments with the first window of
+// the schedule: X slot i holds bin t0+a, conjugate-operand slot i holds
+// bin t0-a, for a = LoA+i and t0 = -(M-1). Architecturally the whole
+// array shifts the initial window in through the chain ends, which takes
+// P lockstep cycles regardless of Q — the paper's "initialisation: 127".
+func (c *Core) RunInit() error {
+	if err := c.needConfig(); err != nil {
+		return err
+	}
+	if !c.shuffled {
+		return fmt.Errorf("montium: RunInit before RunReshuffle")
+	}
+	cfg := c.cfg
+	c.BeginSection(SectionInit)
+	c.tick(int64(cfg.P))
+	t0 := -(cfg.M - 1)
+	for i := 0; i < cfg.OwnT(); i++ {
+		a := cfg.LoA + i
+		xv, err := c.naturalValue(t0 + a)
+		if err != nil {
+			return err
+		}
+		if err := c.chainX().WriteComplex(cfg.chainSlot(i), xv); err != nil {
+			return err
+		}
+		cv, err := c.reversedValue(t0 - a)
+		if err != nil {
+			return err
+		}
+		if err := c.chainC().WriteComplex(cfg.chainSlot(i), cv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// naturalValue reads spectrum bin v from the natural-order buffer.
+func (c *Core) naturalValue(v int) (fixed.Complex, error) {
+	src := c.memA()
+	if !c.resultInA {
+		src = c.memB()
+	}
+	return src.ReadComplex(c.cfg.bufSlot(fft.BinIndex(c.cfg.K, v)))
+}
+
+// reversedValue reads spectrum bin v through the reshuffled buffer
+// (element (-v mod K) of the reversed copy holds bin v).
+func (c *Core) reversedValue(v int) (fixed.Complex, error) {
+	src := c.memB()
+	if !c.resultInA {
+		src = c.memA()
+	}
+	return src.ReadComplex(c.cfg.bufSlot(fft.BinIndex(c.cfg.K, -v)))
+}
+
+// SpectrumValue exposes a spectrum bin for array-end injection: when this
+// core sits at an end of the folded array, the platform feeds the chain
+// entry from the core's own spectrum buffer during the read-data window
+// (no additional cycles). Returns an error before the FFT has run.
+func (c *Core) SpectrumValue(bin int) (fixed.Complex, error) {
+	if err := c.needConfig(); err != nil {
+		return fixed.Complex{}, err
+	}
+	return c.naturalValue(bin)
+}
+
+// PeekBoundary returns the chain values about to leave this core towards
+// its neighbours at the next shift: the lowest-a X tap (X flows towards
+// -a) and the highest-a conjugate-operand tap (that chain flows towards
+// +a). Reading them is part of the neighbour's read-data window and costs
+// this core nothing.
+func (c *Core) PeekBoundary() (xLow, cHigh fixed.Complex, err error) {
+	if err := c.needConfig(); err != nil {
+		return fixed.Complex{}, fixed.Complex{}, err
+	}
+	own := c.cfg.OwnT()
+	if own == 0 {
+		return fixed.Complex{}, fixed.Complex{}, fmt.Errorf("montium: core %d owns no tasks", c.ID)
+	}
+	if xLow, err = c.chainX().ReadComplex(c.cfg.chainSlot(0)); err != nil {
+		return
+	}
+	cHigh, err = c.chainC().ReadComplex(c.cfg.chainSlot(own - 1))
+	return
+}
+
+// MACStep executes one time step of the folded schedule (paper Figure 9):
+// a 3-cycle read-data phase (chain shift with boundary values xIn/cIn
+// entering, switch update) followed by this core's T multiply-accumulates,
+// 3 cycles each (accumulator read, complex MAC, write-back).
+//
+// step is the 0-based time index (f = -(M-1)+step). On step 0 the chains
+// keep their initialised contents; xIn/cIn are ignored.
+func (c *Core) MACStep(step int, xIn, cIn fixed.Complex) error {
+	if err := c.needConfig(); err != nil {
+		return err
+	}
+	cfg := c.cfg
+	if step < 0 || step >= cfg.F {
+		return fmt.Errorf("montium: MACStep %d outside [0,%d)", step, cfg.F)
+	}
+	own := cfg.OwnT()
+	c.BeginSection(SectionReadData)
+	c.tick(3)
+	if step > 0 && own > 0 {
+		// X chain shifts towards -a: slot i <- slot i+1, xIn enters at the top.
+		for i := 0; i < own-1; i++ {
+			v, err := c.chainX().ReadComplex(cfg.chainSlot(i + 1))
+			if err != nil {
+				return err
+			}
+			if err := c.chainX().WriteComplex(cfg.chainSlot(i), v); err != nil {
+				return err
+			}
+		}
+		if err := c.chainX().WriteComplex(cfg.chainSlot(own-1), xIn); err != nil {
+			return err
+		}
+		// Conjugate-operand chain shifts towards +a: slot i <- slot i-1.
+		for i := own - 1; i > 0; i-- {
+			v, err := c.chainC().ReadComplex(cfg.chainSlot(i - 1))
+			if err != nil {
+				return err
+			}
+			if err := c.chainC().WriteComplex(cfg.chainSlot(i), v); err != nil {
+				return err
+			}
+		}
+		if err := c.chainC().WriteComplex(cfg.chainSlot(0), cIn); err != nil {
+			return err
+		}
+	}
+	c.BeginSection(SectionMAC)
+	for i := 0; i < own; i++ {
+		x, err := c.chainX().ReadComplex(cfg.chainSlot(i))
+		if err != nil {
+			return err
+		}
+		cv, err := c.chainC().ReadComplex(cfg.chainSlot(i))
+		if err != nil {
+			return err
+		}
+		bank, off := cfg.accumCell(i, step)
+		acc, err := c.Mem[bank].ReadComplex(off)
+		if err != nil {
+			return err
+		}
+		acc = fixed.CAdd(acc, fixed.CMulConj(x, cv))
+		if err := c.Mem[bank].WriteComplex(off, acc); err != nil {
+			return err
+		}
+		c.tick(3)
+		c.MACs++
+	}
+	return nil
+}
+
+// AccumulatorAt returns the accumulated DSCF cell of local task i at
+// frequency index fi (0-based; f = fi-(M-1)).
+func (c *Core) AccumulatorAt(i, fi int) (fixed.Complex, error) {
+	if err := c.needConfig(); err != nil {
+		return fixed.Complex{}, err
+	}
+	if i < 0 || i >= c.cfg.OwnT() || fi < 0 || fi >= c.cfg.F {
+		return fixed.Complex{}, fmt.Errorf("montium: accumulator (%d,%d) outside %dx%d", i, fi, c.cfg.OwnT(), c.cfg.F)
+	}
+	bank, off := c.cfg.accumCell(i, fi)
+	return c.Mem[bank].ReadComplex(off)
+}
+
+// ZeroAccumulators clears the DSCF accumulator region (a configuration
+// step before the first integration block; not part of the per-block
+// Table 1 budget, which the paper counts per integration step).
+func (c *Core) ZeroAccumulators() error {
+	if err := c.needConfig(); err != nil {
+		return err
+	}
+	for i := 0; i < c.cfg.T; i++ {
+		for fi := 0; fi < c.cfg.F; fi++ {
+			bank, off := c.cfg.accumCell(i, fi)
+			if err := c.Mem[bank].WriteComplex(off, fixed.Complex{}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package montium
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/mapping"
+)
+
+// CFDConfig describes the CFD application instance a core participates in:
+// the spectral geometry (K, M), the platform folding (Q cores, this core's
+// index) and the derived memory layout. Build one with NewCFDConfig and
+// install it with Core.ConfigureCFD.
+type CFDConfig struct {
+	// K is the FFT size (256 in the paper).
+	K int
+	// M is the grid half-extent (64 in the paper).
+	M int
+	// Q is the number of cores in the platform (4 in the paper).
+	Q int
+	// CoreIndex is this core's q in [0, Q).
+	CoreIndex int
+
+	// Derived quantities.
+	F      int // frequencies per task, 2M-1
+	P      int // logical processors, 2M-1
+	T      int // tasks-per-core bound ⌈P/Q⌉
+	LoTask int // first owned task (inclusive)
+	HiTask int // last owned task (exclusive)
+	LoA    int // frequency offset of the first owned task
+
+	fold mapping.Folding
+	plan *fft.FixedPlan
+}
+
+// NewCFDConfig validates the geometry, derives the folding and memory
+// layout, and returns a ready configuration.
+//
+// Memory budget rules (the E7 experiment):
+//   - accumulators: T·F complex values must fit the 8K words of M01..M08,
+//     i.e. 2·T·F <= 8192 (the paper: 32·127 complex < 4K complex);
+//   - each of M09/M10 must hold one T-deep chain segment plus one K-point
+//     spectrum buffer: 2·(T+K) <= 1024 words.
+func NewCFDConfig(k, m, q, coreIndex int) (*CFDConfig, error) {
+	if !fft.IsPow2(k) || k < 4 {
+		return nil, fmt.Errorf("montium: K=%d must be a power of two >= 4", k)
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("montium: M=%d must be >= 2", m)
+	}
+	if 2*(m-1) > k/2 {
+		return nil, fmt.Errorf("montium: grid extent 2(M-1)=%d exceeds K/2=%d", 2*(m-1), k/2)
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("montium: Q=%d must be >= 1", q)
+	}
+	if coreIndex < 0 || coreIndex >= q {
+		return nil, fmt.Errorf("montium: core index %d outside [0,%d)", coreIndex, q)
+	}
+	p := 2*m - 1
+	fold, err := mapping.NewFolding(p, q)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &CFDConfig{
+		K: k, M: m, Q: q, CoreIndex: coreIndex,
+		F: p, P: p, T: fold.T, fold: fold,
+	}
+	cfg.LoTask, cfg.HiTask = fold.TasksOf(coreIndex)
+	cfg.LoA = mapping.AOf(cfg.LoTask, m)
+	// E7 budget checks.
+	if accWords := 2 * cfg.T * cfg.F; accWords > AccumCapacityWords {
+		return nil, fmt.Errorf("montium: accumulators need %d words, M01..M08 hold %d (T=%d F=%d)",
+			accWords, AccumCapacityWords, cfg.T, cfg.F)
+	}
+	if commWords := 2 * (cfg.T + cfg.K); commWords > MemWords {
+		return nil, fmt.Errorf("montium: chain+spectrum need %d words, M09/M10 hold %d each",
+			commWords, MemWords)
+	}
+	if cfg.plan, err = fft.NewFixedPlan(k); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// OwnT returns how many tasks this core actually owns (can be < T on the
+// last core, e.g. 31 on core 3 of the paper's platform).
+func (cfg *CFDConfig) OwnT() int { return cfg.HiTask - cfg.LoTask }
+
+// AccumWordsUsed returns the accumulator footprint in 16-bit words for the
+// uniform layout (T·F complex cells per core).
+func (cfg *CFDConfig) AccumWordsUsed() int { return 2 * cfg.T * cfg.F }
+
+// chainSlot returns the complex index of local chain slot i within
+// M09/M10 (the segments start at complex index 0).
+func (cfg *CFDConfig) chainSlot(i int) int { return i }
+
+// bufSlot returns the complex index of spectrum-buffer element j within
+// M09/M10 (the buffers start right after the chain segment).
+func (cfg *CFDConfig) bufSlot(j int) int { return cfg.T + j }
+
+// accumCell returns the memory bank (0..7 for M01..M08) and complex offset
+// of the accumulator for local task i, frequency index fi.
+func (cfg *CFDConfig) accumCell(i, fi int) (bank, off int) {
+	cell := i*cfg.F + fi
+	return cell / ComplexCapacity(), cell % ComplexCapacity()
+}
+
+// ConfigureCFD installs the configuration on the core. Accumulator
+// memories are expected to be zero (a fresh core) or explicitly reset by
+// the caller between runs.
+func (c *Core) ConfigureCFD(cfg *CFDConfig) error {
+	if cfg == nil {
+		return fmt.Errorf("montium: nil CFD configuration")
+	}
+	c.cfg = cfg
+	return nil
+}
+
+// Config returns the installed configuration, or nil.
+func (c *Core) Config() *CFDConfig { return c.cfg }

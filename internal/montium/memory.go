@@ -1,0 +1,78 @@
+package montium
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/fixed"
+)
+
+// Word is the Montium's 16-bit datapath word.
+type Word = int16
+
+// Memory geometry of the modelled core.
+const (
+	// NumMemories is the number of parallel memories (M01..M10).
+	NumMemories = 10
+	// MemWords is the capacity of each memory in 16-bit words; M01..M08
+	// total the paper's 8K words.
+	MemWords = 1024
+	// AccumMemories is how many of the memories hold DSCF accumulators
+	// (M01..M08 per Figure 11).
+	AccumMemories = 8
+	// AccumCapacityWords is the paper's "8K words of 16 bits".
+	AccumCapacityWords = AccumMemories * MemWords
+)
+
+// Memory is one single-cycle 1024-word Montium memory with access
+// counters. Address checking is strict: the CFD kernels are supposed to
+// know exactly where everything is, and an out-of-range access is a bug.
+type Memory struct {
+	Name   string
+	data   [MemWords]Word
+	Reads  int64
+	Writes int64
+}
+
+// Read returns the word at addr.
+func (m *Memory) Read(addr int) (Word, error) {
+	if addr < 0 || addr >= MemWords {
+		return 0, fmt.Errorf("montium: %s read address %d outside [0,%d)", m.Name, addr, MemWords)
+	}
+	m.Reads++
+	return m.data[addr], nil
+}
+
+// Write stores w at addr.
+func (m *Memory) Write(addr int, w Word) error {
+	if addr < 0 || addr >= MemWords {
+		return fmt.Errorf("montium: %s write address %d outside [0,%d)", m.Name, addr, MemWords)
+	}
+	m.Writes++
+	m.data[addr] = w
+	return nil
+}
+
+// ReadComplex reads the complex value stored at complex index idx
+// (interleaved re/im at words 2idx, 2idx+1).
+func (m *Memory) ReadComplex(idx int) (fixed.Complex, error) {
+	re, err := m.Read(2 * idx)
+	if err != nil {
+		return fixed.Complex{}, err
+	}
+	im, err := m.Read(2*idx + 1)
+	if err != nil {
+		return fixed.Complex{}, err
+	}
+	return fixed.Complex{Re: fixed.Q15(re), Im: fixed.Q15(im)}, nil
+}
+
+// WriteComplex stores c at complex index idx.
+func (m *Memory) WriteComplex(idx int, c fixed.Complex) error {
+	if err := m.Write(2*idx, Word(c.Re)); err != nil {
+		return err
+	}
+	return m.Write(2*idx+1, Word(c.Im))
+}
+
+// ComplexCapacity returns how many complex values fit in one memory.
+func ComplexCapacity() int { return MemWords / 2 }

@@ -1,0 +1,171 @@
+package montium
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/fixed"
+)
+
+// RunFFTRealInput executes the real-input FFT optimisation on the core:
+// since the paper's antenna samples are real (expression 1), the K-point
+// spectrum can be computed as a K/2-point complex FFT over even/odd
+// packed samples followed by a K/2-cycle untangling pass. For K = 256
+// this measures 590 cycles against the complex kernel's 1040 — the
+// executed form of the real-FFT ablation (EXPERIMENTS.md).
+//
+// Schedule: log2(K/2) stages of (K/4 butterflies + 2 setup cycles), then
+// K/2 untangle operations at one per cycle. The even/odd packing is pure
+// AGU addressing (interleaved reads in stage 0) and costs nothing; each
+// untangle cycle produces bin k and, through the conjugate write port,
+// its mirror bin K-k in a parallel memory — the conjugation itself is a
+// wire-level operation.
+//
+// The output lands in the same buffers and scaling (DFT/K) as RunFFT, so
+// all downstream kernels work unchanged. Requires freshly loaded samples
+// with zero imaginary parts.
+func (c *Core) RunFFTRealInput() error {
+	if err := c.needConfig(); err != nil {
+		return err
+	}
+	if !c.samplesValid {
+		return fmt.Errorf("montium: RunFFTRealInput needs freshly loaded samples")
+	}
+	cfg := c.cfg
+	k := cfg.K
+	h := k / 2
+	// Validate the real-input premise.
+	for j := 0; j < k; j++ {
+		v, err := c.memA().ReadComplex(cfg.bufSlot(j))
+		if err != nil {
+			return err
+		}
+		if v.Im != 0 {
+			return fmt.Errorf("montium: sample %d has non-zero imaginary part; real-input FFT inapplicable", j)
+		}
+	}
+	c.BeginSection(SectionFFT)
+
+	// Half-size complex FFT over packed samples. Stage 0 reads bufA with
+	// the composed even/odd + bit-reverse addressing; later stages
+	// ping-pong between bufB and bufA (bufA's samples are dead after
+	// stage 0).
+	halfPlan, err := fft.NewFixedPlan(h)
+	if err != nil {
+		return err
+	}
+	rev := halfPlan.BitrevTable()
+	srcInA := true // stage 0 conceptually reads A (packed), writes B
+	for s := 0; s < halfPlan.Stages(); s++ {
+		c.tick(2)
+		span := 2 << s
+		half := span / 2
+		tw := halfPlan.StageTwiddles(s)
+		src, dst := c.memA(), c.memB()
+		if !srcInA {
+			src, dst = dst, src
+		}
+		for base := 0; base < h; base += span {
+			for i := 0; i < half; i++ {
+				la, ha := base+i, base+i+half
+				var a, b fixed.Complex
+				if s == 0 {
+					// Packed read: z[j] = (x[2j], x[2j+1]) at bit-reversed j.
+					a, err = c.readPacked(rev[la])
+					if err != nil {
+						return err
+					}
+					b, err = c.readPacked(rev[ha])
+					if err != nil {
+						return err
+					}
+				} else {
+					if a, err = src.ReadComplex(cfg.bufSlot(la)); err != nil {
+						return err
+					}
+					if b, err = src.ReadComplex(cfg.bufSlot(ha)); err != nil {
+						return err
+					}
+				}
+				lo, hi := fixed.BFly(a, b, tw[la%half])
+				if err := dst.WriteComplex(cfg.bufSlot(la), lo); err != nil {
+					return err
+				}
+				if err := dst.WriteComplex(cfg.bufSlot(ha), hi); err != nil {
+					return err
+				}
+				c.tick(1)
+				c.Butterflies++
+			}
+		}
+		srcInA = !srcInA
+	}
+	// After the loop srcInA names the buffer holding Ẑ = Z·2/K.
+	zInA := srcInA
+
+	// Untangle into the other buffer: for each k in [0, h):
+	//   e = (Ẑ[k] + conj(Ẑ[(h-k) mod h]))/2,  o = -j·(Ẑ[k] - conj(...))/2,
+	//   X̂[k] = (e + w·o)/2 (BFly lo),  X̂[K-k] = conj(X̂[k]) (mirror port).
+	// The hi output of the same butterfly yields conj(X̂[h-k]); we write
+	// X̂[k] and its mirror each cycle, covering all K bins over h cycles.
+	zBuf, xBuf := c.memA(), c.memB()
+	if !zInA {
+		zBuf, xBuf = xBuf, zBuf
+	}
+	twFull := fft.FixedTwiddles(k) // e^{-j2πi/K}, i < K/2
+	for bin := 0; bin < h; bin++ {
+		z1, err := zBuf.ReadComplex(cfg.bufSlot(bin))
+		if err != nil {
+			return err
+		}
+		z2, err := zBuf.ReadComplex(cfg.bufSlot((h - bin) % h))
+		if err != nil {
+			return err
+		}
+		z2c := fixed.Conj(z2)
+		e := fixed.CMean(z1, z2c)
+		o := fixed.MulNegJ(fixed.CDiffMean(z1, z2c))
+		lo, _ := fixed.BFly(e, o, twFull[bin])
+		if err := xBuf.WriteComplex(cfg.bufSlot(bin), lo); err != nil {
+			return err
+		}
+		if bin != 0 {
+			if err := xBuf.WriteComplex(cfg.bufSlot(k-bin), fixed.Conj(lo)); err != nil {
+				return err
+			}
+		}
+		c.tick(1)
+		c.Moves++ // untangle op on the move/ALU path
+	}
+	// Nyquist bin: X̂[h] = (e0 - o0)/2, the hi output at bin 0.
+	z0, err := zBuf.ReadComplex(cfg.bufSlot(0))
+	if err != nil {
+		return err
+	}
+	z0c := fixed.Conj(z0)
+	e0 := fixed.CMean(z0, z0c)
+	o0 := fixed.MulNegJ(fixed.CDiffMean(z0, z0c))
+	_, hi0 := fixed.BFly(e0, o0, twFull[0])
+	if err := xBuf.WriteComplex(cfg.bufSlot(h), hi0); err != nil {
+		return err
+	}
+
+	c.resultInA = !zInA // the untangled spectrum sits opposite Ẑ
+	c.shuffled = false
+	c.samplesValid = false
+	return nil
+}
+
+// readPacked returns z[j] = (x[2j], x[2j+1]) from the sample buffer —
+// the even/odd packing realised as AGU addressing.
+func (c *Core) readPacked(j int) (fixed.Complex, error) {
+	even, err := c.memA().ReadComplex(c.cfg.bufSlot(2 * j))
+	if err != nil {
+		return fixed.Complex{}, err
+	}
+	odd, err := c.memA().ReadComplex(c.cfg.bufSlot(2*j + 1))
+	if err != nil {
+		return fixed.Complex{}, err
+	}
+	return fixed.Complex{Re: even.Re, Im: odd.Re}, nil
+}

@@ -1,0 +1,158 @@
+package montium
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/sig"
+)
+
+func TestRunFFTRealInputMatchesComplexKernel(t *testing.T) {
+	// The real-input kernel must agree with the complex kernel on the
+	// same (real) samples within fixed-point rounding.
+	for _, k := range []int{64, 256} {
+		m := k / 4
+		x := testSamples(uint64(200+k), k) // real samples (WGN Real:true)
+		cplx := configuredCore(t, k, m, 4, 0)
+		if err := cplx.LoadSamples(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := cplx.RunFFT(); err != nil {
+			t.Fatal(err)
+		}
+		real := configuredCore(t, k, m, 4, 0)
+		if err := real.LoadSamples(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := real.RunFFTRealInput(); err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < k; v++ {
+			a, err := cplx.SpectrumValue(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := real.SpectrumValue(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := cmplx.Abs(a.Complex128() - b.Complex128()); d > 2e-3 {
+				t.Fatalf("K=%d bin %d: complex %v vs real-input %v (|d|=%g)",
+					k, v, a.Complex128(), b.Complex128(), d)
+			}
+		}
+	}
+}
+
+func TestRunFFTRealInputMatchesFloatReference(t *testing.T) {
+	const k, m = 256, 64
+	x := testSamples(203, k)
+	c := configuredCore(t, k, m, 4, 0)
+	if err := c.LoadSamples(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunFFTRealInput(); err != nil {
+		t.Fatal(err)
+	}
+	// Float reference: RealForward of the same quantised samples, /K.
+	fx := make([]float64, k)
+	for i, v := range x {
+		fx[i] = v.Re.Float()
+	}
+	want, err := fft.RealForward(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < k; v++ {
+		got, err := c.SpectrumValue(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := want[v] / complex(float64(k), 0)
+		if d := cmplx.Abs(got.Complex128() - ref); d > 2e-3 {
+			t.Fatalf("bin %d: %v vs float %v", v, got.Complex128(), ref)
+		}
+	}
+}
+
+func TestRunFFTRealInputCycleCount(t *testing.T) {
+	// The executed ablation: 590 cycles for K=256 (7 stages x (64+2) + 128
+	// untangle) against the complex kernel's 1040.
+	c := configuredCore(t, 256, 64, 4, 0)
+	if err := c.LoadSamples(testSamples(205, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunFFTRealInput(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CyclesIn(SectionFFT); got != 590 {
+		t.Fatalf("real-input FFT cycles = %d, want 590", got)
+	}
+	if c.Butterflies != 448 {
+		t.Fatalf("butterflies = %d, want 448", c.Butterflies)
+	}
+}
+
+func TestRunFFTRealInputFeedsDownstreamKernels(t *testing.T) {
+	// The optimised FFT must compose with reshuffle/init unchanged.
+	const k, m = 64, 16
+	c := configuredCore(t, k, m, 2, 0)
+	if err := c.LoadSamples(testSamples(207, k)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunFFTRealInput(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunReshuffle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunInit(); err != nil {
+		t.Fatal(err)
+	}
+	// Chain contents must satisfy the tap expressions.
+	t0 := -(m - 1)
+	cfg := c.Config()
+	for i := 0; i < cfg.OwnT(); i++ {
+		a := cfg.LoA + i
+		x, err := c.chainX().ReadComplex(cfg.chainSlot(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.naturalValue(t0 + a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x != want {
+			t.Fatalf("X tap %d wrong after real-input FFT", i)
+		}
+	}
+}
+
+func TestRunFFTRealInputValidation(t *testing.T) {
+	c := configuredCore(t, 64, 16, 2, 0)
+	if err := c.RunFFTRealInput(); err == nil {
+		t.Fatal("without samples should fail")
+	}
+	// Complex samples are rejected.
+	rng := sig.NewRand(209)
+	cx := fixed.FromFloatSlice(sig.Samples(&sig.WGN{Sigma: 0.3, Rng: rng}, 64))
+	if err := c.LoadSamples(cx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunFFTRealInput(); err == nil {
+		t.Fatal("complex samples should be rejected")
+	}
+	// After a complex-kernel run the samples are consumed.
+	c2 := configuredCore(t, 64, 16, 2, 0)
+	if err := c2.LoadSamples(testSamples(211, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.RunFFT(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.RunFFTRealInput(); err == nil {
+		t.Fatal("consumed samples should be rejected")
+	}
+}

@@ -1,0 +1,54 @@
+package montium
+
+import (
+	"testing"
+
+	"tiledcfd/internal/mapping"
+)
+
+// TestSimulationMatchesAnalyticSchedule cross-validates the two step-2
+// views of the same application: the cycle counts measured by executing
+// the micro-kernels must equal the closed-form schedule derived in
+// internal/mapping, for every core and several geometries.
+func TestSimulationMatchesAnalyticSchedule(t *testing.T) {
+	cases := []struct{ k, m, q int }{
+		{256, 64, 4}, // the paper's configuration
+		{64, 16, 1},
+		{64, 16, 2},
+		{64, 16, 3},
+		{128, 32, 4},
+	}
+	for _, c := range cases {
+		x := testSamples(uint64(c.k+c.q), c.k)
+		cores, _ := runPlatformSync(t, c.k, c.m, c.q, x, 1)
+		for q, core := range cores {
+			if core.Config().OwnT() == 0 {
+				continue
+			}
+			sched, err := mapping.BuildCoreSchedule(c.m, c.k, c.q, q, mapping.PaperCycleModel())
+			if err != nil {
+				t.Fatalf("K=%d M=%d Q=%d q=%d: %v", c.k, c.m, c.q, q, err)
+			}
+			got := core.Table1()
+			if got.MultiplyAccumulate != int64(sched.CyclesOf(mapping.OpMAC)) {
+				t.Errorf("K=%d M=%d Q=%d q=%d: MAC %d != analytic %d",
+					c.k, c.m, c.q, q, got.MultiplyAccumulate, sched.CyclesOf(mapping.OpMAC))
+			}
+			if got.ReadData != int64(sched.CyclesOf(mapping.OpReadData)) {
+				t.Errorf("q=%d: read data %d != analytic %d", q, got.ReadData, sched.CyclesOf(mapping.OpReadData))
+			}
+			if got.FFT != int64(sched.CyclesOf(mapping.OpFFT)) {
+				t.Errorf("q=%d: FFT %d != analytic %d", q, got.FFT, sched.CyclesOf(mapping.OpFFT))
+			}
+			if got.Reshuffle != int64(sched.CyclesOf(mapping.OpReshuffle)) {
+				t.Errorf("q=%d: reshuffle %d != analytic %d", q, got.Reshuffle, sched.CyclesOf(mapping.OpReshuffle))
+			}
+			if got.Initialisation != int64(sched.CyclesOf(mapping.OpInit)) {
+				t.Errorf("q=%d: init %d != analytic %d", q, got.Initialisation, sched.CyclesOf(mapping.OpInit))
+			}
+			if got.Total() != int64(sched.TotalCycles()) {
+				t.Errorf("q=%d: total %d != analytic %d", q, got.Total(), sched.TotalCycles())
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package montium
+
+import (
+	"strings"
+	"testing"
+
+	"tiledcfd/internal/trace"
+)
+
+func TestCoreTraceMatchesLedger(t *testing.T) {
+	const k, m = 64, 16
+	c := configuredCore(t, k, m, 2, 0)
+	var rec trace.Recorder
+	c.SetTracer(&rec, "tile0")
+	if err := c.LoadSamples(testSamples(41, k)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunFFT(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunReshuffle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunInit(); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < c.Config().F; step++ {
+		v, err := c.SpectrumValue(step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.MACStep(step, v, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.FlushTrace()
+	// The trace totals must equal the ledger per section.
+	for _, section := range []string{SectionFFT, SectionReshuffle, SectionInit, SectionReadData, SectionMAC} {
+		if got, want := rec.TotalIn("tile0", section), c.CyclesIn(section); got != want {
+			t.Errorf("trace %s = %d, ledger %d", section, got, want)
+		}
+	}
+	if rec.TotalIn("tile0", "") != c.Cycles() {
+		t.Fatalf("trace total %d, ledger %d", rec.TotalIn("tile0", ""), c.Cycles())
+	}
+	// Spans are contiguous and ordered: FFT first, starting at 0.
+	spans := rec.Spans()
+	if len(spans) == 0 || spans[0].Section != SectionFFT || spans[0].Start != 0 {
+		t.Fatalf("first span %+v", spans[0])
+	}
+	var csv strings.Builder
+	if err := rec.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "tile0,FFT,0,") {
+		t.Fatalf("csv missing FFT span: %s", csv.String()[:80])
+	}
+}
+
+func TestSetTracerNilDetaches(t *testing.T) {
+	const k, m = 64, 16
+	c := configuredCore(t, k, m, 2, 0)
+	var rec trace.Recorder
+	c.SetTracer(&rec, "tile0")
+	if err := c.LoadSamples(testSamples(43, k)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunFFT(); err != nil {
+		t.Fatal(err)
+	}
+	c.SetTracer(nil, "")
+	if err := c.RunReshuffle(); err != nil {
+		t.Fatal(err)
+	}
+	c.FlushTrace()
+	if rec.TotalIn("tile0", SectionReshuffle) != 0 {
+		t.Fatal("detached tracer still recording")
+	}
+	if rec.TotalIn("tile0", SectionFFT) == 0 {
+		t.Fatal("attached phase missing (SetTracer should close the open span)")
+	}
+}

@@ -1,0 +1,19 @@
+// Package noc models the inter-tile interconnect of the AAF Digital
+// Reconfigurable Baseband Processing Fabric: the point-to-point links that
+// carry chain boundary values between neighbouring Montium tiles.
+//
+// The folded systolic mapping needs exactly two unidirectional links per
+// adjacent tile pair: one carrying X-chain values towards lower core
+// indices and one carrying conjugate-operand values towards higher core
+// indices. Each link transports one complex value per chain shift, i.e.
+// once per T basic operations — the paper's argument for why the NoC
+// cannot become the bottleneck (section 4), which experiment E12 verifies
+// from this package's traffic counters.
+//
+// Links are buffered Go channels, so a platform of goroutine-per-tile
+// simulations self-synchronises exactly like a flow-controlled
+// circuit-switched network: a tile that runs ahead blocks on its
+// neighbour's unconsumed value. Links support failure injection (Break)
+// for the error-propagation tests; a broken link makes every subsequent
+// Send/Recv fail, and an aborted fabric releases any blocked tile.
+package noc

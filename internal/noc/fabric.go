@@ -1,0 +1,80 @@
+package noc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fabric is the line-topology interconnect of a Q-tile platform: for each
+// adjacent pair (q, q+1) it provides one link carrying X-chain values from
+// q+1 down to q and one carrying conjugate-operand values from q up to
+// q+1.
+type Fabric struct {
+	q         int
+	xDown     []*Link // xDown[i]: tile i+1 -> tile i
+	cUp       []*Link // cUp[i]:   tile i   -> tile i+1
+	abortCh   chan struct{}
+	abortOnce sync.Once
+}
+
+// NewFabric builds the interconnect for q tiles with the given per-link
+// buffer depth.
+func NewFabric(q, depth int) (*Fabric, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("noc: fabric needs at least 1 tile, got %d", q)
+	}
+	f := &Fabric{q: q, abortCh: make(chan struct{})}
+	for i := 0; i < q-1; i++ {
+		f.xDown = append(f.xDown, newLink(fmt.Sprintf("x[%d<-%d]", i, i+1), depth, f.abortCh))
+		f.cUp = append(f.cUp, newLink(fmt.Sprintf("c[%d->%d]", i, i+1), depth, f.abortCh))
+	}
+	return f, nil
+}
+
+// Tiles returns the tile count.
+func (f *Fabric) Tiles() int { return f.q }
+
+// XDown returns the link delivering X-chain values from tile i+1 to tile
+// i, or nil if i is the last tile (which injects from its own spectrum).
+func (f *Fabric) XDown(i int) *Link {
+	if i < 0 || i >= f.q-1 {
+		return nil
+	}
+	return f.xDown[i]
+}
+
+// CUp returns the link delivering conjugate-operand values from tile i-1
+// to tile i, or nil for tile 0 (which injects from its own spectrum).
+func (f *Fabric) CUp(i int) *Link {
+	if i < 1 || i >= f.q {
+		return nil
+	}
+	return f.cUp[i-1]
+}
+
+// Abort releases every blocked Send/Recv with an error; used to unwind the
+// platform when any tile fails.
+func (f *Fabric) Abort() { f.abortOnce.Do(func() { close(f.abortCh) }) }
+
+// Totals sums the traffic over all links.
+func (f *Fabric) Totals() (sent, received int64) {
+	for _, l := range f.xDown {
+		s, r := l.Traffic()
+		sent += s
+		received += r
+	}
+	for _, l := range f.cUp {
+		s, r := l.Traffic()
+		sent += s
+		received += r
+	}
+	return sent, received
+}
+
+// Links returns all links (for fault-injection tests and reporting).
+func (f *Fabric) Links() []*Link {
+	out := make([]*Link, 0, 2*(f.q-1))
+	out = append(out, f.xDown...)
+	out = append(out, f.cUp...)
+	return out
+}

@@ -1,0 +1,168 @@
+package noc
+
+import (
+	"sync"
+	"testing"
+
+	"tiledcfd/internal/fixed"
+)
+
+func TestLinkSendRecv(t *testing.T) {
+	f, err := NewFabric(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := f.XDown(0)
+	v := fixed.Complex{Re: 5, Im: -5}
+	if err := l.Send(v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Recv()
+	if err != nil || got != v {
+		t.Fatalf("Recv = %+v, %v", got, err)
+	}
+	s, r := l.Traffic()
+	if s != 1 || r != 1 {
+		t.Fatalf("traffic %d/%d", s, r)
+	}
+}
+
+func TestLinkConcurrentPingPong(t *testing.T) {
+	f, err := NewFabric(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := f.XDown(0)
+	const n = 1000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := l.Send(fixed.Complex{Re: fixed.Q15(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			v, err := l.Recv()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if v.Re != fixed.Q15(i) {
+				t.Errorf("out of order: got %d want %d", v.Re, i)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	s, r := l.Traffic()
+	if s != n || r != n {
+		t.Fatalf("traffic %d/%d", s, r)
+	}
+}
+
+func TestBrokenLink(t *testing.T) {
+	f, _ := NewFabric(2, 1)
+	l := f.CUp(1)
+	l.Break()
+	if err := l.Send(fixed.Complex{}); err == nil {
+		t.Error("send on broken link should fail")
+	}
+	if _, err := l.Recv(); err == nil {
+		t.Error("recv on broken link should fail")
+	}
+}
+
+func TestAbortReleasesBlockedReceiver(t *testing.T) {
+	f, _ := NewFabric(2, 1)
+	l := f.XDown(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Recv() // blocks: nothing was sent
+		done <- err
+	}()
+	f.Abort()
+	if err := <-done; err == nil {
+		t.Fatal("aborted recv should fail")
+	}
+	// Abort is idempotent.
+	f.Abort()
+}
+
+func TestAbortReleasesBlockedSender(t *testing.T) {
+	f, _ := NewFabric(2, 1)
+	l := f.CUp(1)
+	if err := l.Send(fixed.Complex{}); err != nil { // fills depth-1 buffer
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- l.Send(fixed.Complex{}) // blocks: buffer full
+	}()
+	f.Abort()
+	if err := <-done; err == nil {
+		t.Fatal("aborted send should fail")
+	}
+}
+
+func TestFabricTopology(t *testing.T) {
+	f, err := NewFabric(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Tiles() != 4 {
+		t.Fatalf("tiles %d", f.Tiles())
+	}
+	if len(f.Links()) != 6 {
+		t.Fatalf("links %d, want 6 (3 boundaries x 2 chains)", len(f.Links()))
+	}
+	// End conditions: last tile has no XDown source; tile 0 no CUp source.
+	if f.XDown(3) != nil {
+		t.Error("last tile should have no incoming X link")
+	}
+	if f.CUp(0) != nil {
+		t.Error("tile 0 should have no incoming conjugate link")
+	}
+	if f.XDown(0) == nil || f.CUp(3) == nil {
+		t.Error("interior links missing")
+	}
+	if f.XDown(-1) != nil || f.CUp(7) != nil {
+		t.Error("out-of-range links must be nil")
+	}
+}
+
+func TestFabricErrors(t *testing.T) {
+	if _, err := NewFabric(0, 1); err == nil {
+		t.Error("zero tiles should fail")
+	}
+}
+
+func TestSingleTileFabric(t *testing.T) {
+	f, err := NewFabric(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Links()) != 0 {
+		t.Fatalf("single tile has %d links", len(f.Links()))
+	}
+	s, r := f.Totals()
+	if s != 0 || r != 0 {
+		t.Fatal("phantom traffic")
+	}
+}
+
+func TestFabricTotals(t *testing.T) {
+	f, _ := NewFabric(3, 2)
+	_ = f.XDown(0).Send(fixed.Complex{Re: 1})
+	_ = f.CUp(1).Send(fixed.Complex{Re: 2})
+	_, _ = f.XDown(0).Recv()
+	s, r := f.Totals()
+	if s != 2 || r != 1 {
+		t.Fatalf("totals %d/%d, want 2/1", s, r)
+	}
+}

@@ -1,0 +1,136 @@
+// Package perf implements the evaluation model of the paper's section 5:
+// converting measured cycle counts into time, analysed bandwidth, chip
+// area and power, and the linear scalability argument.
+//
+// All constants come from the paper: 100 MHz Montium clock, ~2 mm² per
+// core in the Philips 0.13 µm CMOS12 process, and a typical power of
+// 500 µW/MHz per core. None of these are measured by the simulator; they
+// are the published technology figures applied to measured cycle counts.
+package perf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model holds the technology constants of the evaluation.
+type Model struct {
+	// ClockMHz is the core clock (paper: 100 MHz).
+	ClockMHz float64
+	// AreaPerCoreMM2 is the silicon area per Montium core (paper: ~2 mm²).
+	AreaPerCoreMM2 float64
+	// PowerPerCoreUWPerMHz is the typical power density (paper: 500 µW/MHz).
+	PowerPerCoreUWPerMHz float64
+}
+
+// Paper returns the constants of the paper's section 5.
+func Paper() Model {
+	return Model{ClockMHz: 100, AreaPerCoreMM2: 2, PowerPerCoreUWPerMHz: 500}
+}
+
+// Validate checks the model for positive constants.
+func (m Model) Validate() error {
+	if m.ClockMHz <= 0 || m.AreaPerCoreMM2 <= 0 || m.PowerPerCoreUWPerMHz <= 0 {
+		return fmt.Errorf("perf: non-positive model constants: %+v", m)
+	}
+	return nil
+}
+
+// BlockTimeMicros converts a per-integration-step cycle count into
+// microseconds: cycles / f_clk. The paper's 13996 cycles at 100 MHz give
+// 139.96 µs.
+func (m Model) BlockTimeMicros(cycles int64) float64 {
+	return float64(cycles) / m.ClockMHz
+}
+
+// SampleRateMHz returns the input sample rate sustainable when every
+// K-sample block takes blockTimeMicros: K / t.
+func (m Model) SampleRateMHz(k int, blockTimeMicros float64) float64 {
+	return float64(k) / blockTimeMicros
+}
+
+// AnalysedBandwidthkHz returns the real-signal bandwidth analysed when
+// blocks of K samples take blockTimeMicros each: half the sample rate
+// (Nyquist). The paper's 256 samples per 139.96 µs give ≈ 915 kHz.
+func (m Model) AnalysedBandwidthkHz(k int, blockTimeMicros float64) float64 {
+	return m.SampleRateMHz(k, blockTimeMicros) / 2 * 1000
+}
+
+// AreaMM2 returns the platform area for q cores.
+func (m Model) AreaMM2(q int) float64 { return float64(q) * m.AreaPerCoreMM2 }
+
+// PowerMW returns the platform power for q cores at the model clock:
+// q · density · f. The paper's 4 cores at 100 MHz give 200 mW.
+func (m Model) PowerMW(q int) float64 {
+	return float64(q) * m.PowerPerCoreUWPerMHz * m.ClockMHz / 1000
+}
+
+// EnergyPerBlockUJ returns the energy one integration step consumes on q
+// cores, in microjoules.
+func (m Model) EnergyPerBlockUJ(q int, cycles int64) float64 {
+	return m.PowerMW(q) * m.BlockTimeMicros(cycles) / 1000
+}
+
+// ScalingRow is one platform configuration in the section 5 scalability
+// table: n parallel 4-core platforms (the paper's scaling unit), or more
+// generally n× the base configuration.
+type ScalingRow struct {
+	Platforms    int
+	Cores        int
+	BandwidthkHz float64
+	AreaMM2      float64
+	PowerMW      float64
+}
+
+// ScalingTable reproduces the paper's linear-scaling statement: analysed
+// bandwidth, area and power all scale with the number of platform
+// instances (each instance analysing its own band). baseCores is the
+// cores per instance (4), baseCycles the per-block critical path (13996),
+// k the block size (256).
+func (m Model) ScalingTable(baseCores int, baseCycles int64, k int, instances []int) ([]ScalingRow, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if baseCores < 1 || baseCycles < 1 || k < 1 {
+		return nil, fmt.Errorf("perf: invalid base configuration (%d cores, %d cycles, K=%d)",
+			baseCores, baseCycles, k)
+	}
+	bw := m.AnalysedBandwidthkHz(k, m.BlockTimeMicros(baseCycles))
+	var out []ScalingRow
+	for _, n := range instances {
+		if n < 1 {
+			return nil, fmt.Errorf("perf: instance count %d must be >= 1", n)
+		}
+		out = append(out, ScalingRow{
+			Platforms:    n,
+			Cores:        n * baseCores,
+			BandwidthkHz: float64(n) * bw,
+			AreaMM2:      m.AreaMM2(n * baseCores),
+			PowerMW:      m.PowerMW(n * baseCores),
+		})
+	}
+	return out, nil
+}
+
+// IsLinear verifies that a scaling table is exactly proportional in all
+// three columns, within floating-point tolerance — the testable content of
+// the paper's linearity claim.
+func IsLinear(rows []ScalingRow) bool {
+	if len(rows) < 2 {
+		return true
+	}
+	base := rows[0]
+	for _, r := range rows[1:] {
+		ratio := float64(r.Platforms) / float64(base.Platforms)
+		if !close(r.BandwidthkHz, base.BandwidthkHz*ratio) ||
+			!close(r.AreaMM2, base.AreaMM2*ratio) ||
+			!close(r.PowerMW, base.PowerMW*ratio) {
+			return false
+		}
+	}
+	return true
+}
+
+func close(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}

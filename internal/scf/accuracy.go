@@ -1,0 +1,111 @@
+package scf
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/fixed"
+)
+
+// AccuracyReport quantifies how closely the bit-true Q15 path tracks the
+// float reference — the numerical side of the paper's section 4.1
+// argument that 16-bit memories suffice "for dynamic ranges smaller than
+// 96 dB".
+type AccuracyReport struct {
+	// Blocks is the integration length examined.
+	Blocks int
+	// WorstAbsErr is the largest |fixed - float| over the grid (in the
+	// fixed path's own scale, where the FFT output is DFT/K).
+	WorstAbsErr float64
+	// WorstRelToPeak is WorstAbsErr relative to the float PSD peak.
+	WorstRelToPeak float64
+	// SaturatedCells counts accumulator cells pinned at ±full scale in
+	// either component — non-zero means the 16-bit accumulation clipped.
+	SaturatedCells int
+}
+
+// CountSaturatedCells returns how many cells of a fixed surface sit at
+// the positive or negative rail in either component.
+func CountSaturatedCells(s *FixedSurface) int {
+	n := 0
+	for _, row := range s.Data {
+		for _, c := range row {
+			if c.Re == fixed.MaxQ15 || c.Re == fixed.MinQ15 ||
+				c.Im == fixed.MaxQ15 || c.Im == fixed.MinQ15 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MeasureFixedAccuracy runs both the float and the Q15 paths over the
+// same samples and reports the deviation. The float surface is rescaled
+// by 1/K² to the fixed path's units before comparison.
+func MeasureFixedAccuracy(x []complex128, p Params) (AccuracyReport, error) {
+	p = p.WithDefaults()
+	ref, _, err := Compute(x, p)
+	if err != nil {
+		return AccuracyReport{}, err
+	}
+	fs, err := ComputeFixed(fixed.FromFloatSlice(x), p)
+	if err != nil {
+		return AccuracyReport{}, err
+	}
+	got := fs.Float(p.Blocks)
+	ref.Scale(1 / float64(p.K*p.K))
+	peak := 0.0
+	for f := -(p.M - 1); f <= p.M-1; f++ {
+		if v := cmplx.Abs(ref.At(f, 0)); v > peak {
+			peak = v
+		}
+	}
+	if peak == 0 {
+		return AccuracyReport{}, fmt.Errorf("scf: zero-power reference, accuracy undefined")
+	}
+	rep := AccuracyReport{Blocks: p.Blocks, SaturatedCells: CountSaturatedCells(fs)}
+	for a := -(p.M - 1); a <= p.M-1; a++ {
+		for f := -(p.M - 1); f <= p.M-1; f++ {
+			if d := cmplx.Abs(got.At(f, a) - ref.At(f, a)); d > rep.WorstAbsErr {
+				rep.WorstAbsErr = d
+			}
+		}
+	}
+	rep.WorstRelToPeak = rep.WorstAbsErr / peak
+	return rep, nil
+}
+
+// AccumulateFixedPrescaled performs the Q15 accumulation with every
+// product arithmetically right-shifted by `shift` bits before the
+// saturating add. Choosing shift = ceil(log2(Blocks)) guarantees the
+// running sum of full-scale products cannot clip — the block-scaling
+// policy a long-integration deployment of the paper's application would
+// use (at the cost of shift bits of small-signal resolution). shift = 0
+// reproduces AccumulateFixed exactly.
+func AccumulateFixedPrescaled(spectra [][]fixed.Complex, p Params, shift uint) (*FixedSurface, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if shift > 14 {
+		return nil, fmt.Errorf("scf: prescale shift %d leaves no resolution (max 14)", shift)
+	}
+	s := NewFixedSurface(p.M)
+	for _, spec := range spectra {
+		if len(spec) != p.K {
+			return nil, fmt.Errorf("scf: spectrum length %d, want %d", len(spec), p.K)
+		}
+		for a := -(p.M - 1); a <= p.M-1; a++ {
+			for f := -(p.M - 1); f <= p.M-1; f++ {
+				xp := spec[fft.BinIndex(p.K, f+a)]
+				xm := spec[fft.BinIndex(p.K, f-a)]
+				prod := fixed.CMulConj(xp, xm)
+				prod = fixed.Complex{Re: prod.Re >> shift, Im: prod.Im >> shift}
+				cell := &s.Data[a+p.M-1][f+p.M-1]
+				*cell = fixed.CAdd(*cell, prod)
+			}
+		}
+	}
+	return s, nil
+}

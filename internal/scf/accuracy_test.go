@@ -1,0 +1,116 @@
+package scf
+
+import (
+	"testing"
+
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/sig"
+)
+
+// strongTone returns a near-full-scale real tone: the worst case for
+// accumulator headroom because its feature cells accumulate coherently.
+func strongTone(k, blocks int) []complex128 {
+	x := sig.Samples(&sig.Tone{Amp: 0.95, Freq: 4.0 / float64(k), Real: true}, k*blocks)
+	return x
+}
+
+func TestMeasureFixedAccuracyModerate(t *testing.T) {
+	// At few blocks and half-scale input the Q15 path tracks the float
+	// reference to well under 2% of the PSD peak.
+	const k, m, blocks = 64, 16, 4
+	rng := sig.NewRand(41)
+	x := sig.Samples(&sig.WGN{Sigma: 0.35, Real: true, Rng: rng}, k*blocks)
+	rep, err := MeasureFixedAccuracy(x, Params{K: k, M: m, Blocks: blocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SaturatedCells != 0 {
+		t.Fatalf("unexpected saturation: %d cells", rep.SaturatedCells)
+	}
+	if rep.WorstRelToPeak > 0.02 {
+		t.Fatalf("worst error %.4f of peak, want < 2%%", rep.WorstRelToPeak)
+	}
+	if rep.Blocks != blocks {
+		t.Fatalf("report blocks %d", rep.Blocks)
+	}
+}
+
+func TestLongIntegrationSaturatesWithoutPrescale(t *testing.T) {
+	// The section 4.1 headroom limit made visible: a strong coherent tone
+	// accumulated over many blocks pins the feature cells at full scale
+	// in plain Q15 accumulation...
+	const k, m, blocks = 64, 8, 64
+	p := Params{K: k, M: m, Blocks: blocks}
+	x := fixed.FromFloatSlice(strongTone(k, blocks))
+	plain, err := ComputeFixed(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountSaturatedCells(plain); got == 0 {
+		t.Fatal("expected saturated cells in 64-block full-scale accumulation")
+	}
+	// ...while prescaling by log2(blocks) bits keeps every cell in range.
+	spectra, err := FixedSpectra(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := AccumulateFixedPrescaled(spectra, p, 6) // 2^6 = 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountSaturatedCells(scaled); got != 0 {
+		t.Fatalf("prescaled accumulation still saturates: %d cells", got)
+	}
+	// And the prescaled surface still peaks at a tone cell. A real tone at
+	// bin 4 has four equal-magnitude cells: the PSD pair (f=±4, a=0) and
+	// the doubled-carrier pair (f=0, a=±4).
+	f, a, _ := scaled.Float(0).MaxFeature(false)
+	ok := (a == 0 && (f == 4 || f == -4)) || (f == 0 && (a == 4 || a == -4))
+	if !ok {
+		t.Fatalf("prescaled peak at (f=%d,a=%d), want one of (±4,0)/(0,±4)", f, a)
+	}
+}
+
+func TestPrescaleZeroMatchesPlain(t *testing.T) {
+	const k, m, blocks = 32, 8, 3
+	p := Params{K: k, M: m, Blocks: blocks}
+	rng := sig.NewRand(43)
+	x := fixed.FromFloatSlice(sig.Samples(&sig.WGN{Sigma: 0.4, Rng: rng}, k*blocks))
+	spectra, err := FixedSpectra(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := AccumulateFixed(spectra, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := AccumulateFixedPrescaled(spectra, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, diag := plain.Equal(zero); !ok {
+		t.Fatalf("shift=0 differs from plain accumulation: %s", diag)
+	}
+}
+
+func TestPrescaleValidation(t *testing.T) {
+	p := Params{K: 32, M: 8, Blocks: 1}
+	if _, err := AccumulateFixedPrescaled(nil, Params{K: 20, M: 4, Blocks: 1, Hop: 20}, 1); err == nil {
+		t.Error("bad params should fail")
+	}
+	if _, err := AccumulateFixedPrescaled([][]fixed.Complex{make([]fixed.Complex, 8)}, p, 1); err == nil {
+		t.Error("wrong spectrum length should fail")
+	}
+	if _, err := AccumulateFixedPrescaled(nil, p, 15); err == nil {
+		t.Error("shift > 14 should fail")
+	}
+}
+
+func TestMeasureFixedAccuracyErrors(t *testing.T) {
+	if _, err := MeasureFixedAccuracy(make([]complex128, 4), Params{K: 64, M: 16}); err == nil {
+		t.Error("short input should fail")
+	}
+	if _, err := MeasureFixedAccuracy(make([]complex128, 64), Params{K: 64, M: 16, Blocks: 1}); err == nil {
+		t.Error("zero-power input should fail")
+	}
+}

@@ -1,0 +1,60 @@
+package scf
+
+import (
+	"testing"
+
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/sig"
+)
+
+func benchSignal(b *testing.B, n int) []complex128 {
+	b.Helper()
+	rng := sig.NewRand(7)
+	return sig.Samples(&sig.WGN{Sigma: 0.4, Real: true, Rng: rng}, n)
+}
+
+func BenchmarkComputePaperGrid(b *testing.B) {
+	p := Params{K: 256, M: 64, Blocks: 1}
+	x := benchSignal(b, p.WithDefaults().SamplesNeeded())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compute(x, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeFixedPaperGrid(b *testing.B) {
+	p := Params{K: 256, M: 64, Blocks: 1}
+	x := fixed.FromFloatSlice(benchSignal(b, p.WithDefaults().SamplesNeeded()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeFixed(x, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeDirectSmall(b *testing.B) {
+	p := Params{K: 16, M: 4, Blocks: 1}
+	x := benchSignal(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeDirect(x, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlphaProfile(b *testing.B) {
+	p := Params{K: 256, M: 64, Blocks: 1}
+	x := benchSignal(b, p.WithDefaults().SamplesNeeded())
+	s, _, err := Compute(x, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AlphaProfile()
+	}
+}

@@ -1,0 +1,129 @@
+package scf
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"tiledcfd/internal/fft"
+)
+
+// Stats reports the work a DSCF computation performed, for the paper's
+// section 2 complexity comparison (experiment E1).
+type Stats struct {
+	// Blocks is the number of integration steps executed.
+	Blocks int
+	// FFTMults is the number of complex multiplications spent in FFTs.
+	FFTMults int
+	// DSCFMults is the number of complex multiplications spent in the
+	// spectral-correlation products.
+	DSCFMults int
+}
+
+// Ratio returns DSCFMults/FFTMults, the paper's "16 times as many complex
+// multiplications" figure for K = 256.
+func (s Stats) Ratio() float64 {
+	if s.FFTMults == 0 {
+		return math.Inf(1)
+	}
+	return float64(s.DSCFMults) / float64(s.FFTMults)
+}
+
+// Compute evaluates the DSCF of x (float64 reference implementation).
+//
+// Per integration step n it computes the K-point FFT of the block starting
+// at sample n·Hop, applies the absolute-time phase reference of
+// expression 2 (a no-op when Hop == K, because e^{-j2π·mK·v/K} = 1), and
+// accumulates X_{n,f+a}·conj(X_{n,f-a}) for every grid cell. The result is
+// normalised by 1/Blocks per expression 3.
+func Compute(x []complex128, p Params) (*Surface, *Stats, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(x) < p.SamplesNeeded() {
+		return nil, nil, fmt.Errorf("scf: need %d samples, have %d", p.SamplesNeeded(), len(x))
+	}
+	plan, err := fft.NewPlan(p.K)
+	if err != nil {
+		return nil, nil, err
+	}
+	var win []float64
+	if p.Window != fft.Rectangular {
+		if win, err = fft.Window(p.Window, p.K); err != nil {
+			return nil, nil, err
+		}
+	}
+	s := NewSurface(p.M)
+	stats := &Stats{Blocks: p.Blocks}
+	spec := make([]complex128, p.K)
+	for n := 0; n < p.Blocks; n++ {
+		start := n * p.Hop
+		block := x[start : start+p.K]
+		if win != nil {
+			if block, err = fft.ApplyWindow(block, win); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := plan.Forward(spec, block); err != nil {
+			return nil, nil, err
+		}
+		stats.FFTMults += fft.ComplexMults(p.K)
+		phaseReference(spec, start, p.K)
+		accumulate(s, spec, p.M)
+		stats.DSCFMults += p.DSCFMults()
+	}
+	s.Scale(1 / float64(p.Blocks))
+	return s, stats, nil
+}
+
+// phaseReference rotates each bin by e^{-j2π·start·v/K}, converting the
+// window-relative FFT into the absolute-time-referenced X_{n,v} of
+// expression 2. When start is a multiple of K the rotation is identity and
+// is skipped, matching the hardware (which performs no extra rotation
+// because it advances by whole blocks).
+func phaseReference(spec []complex128, start, k int) {
+	if start%k == 0 {
+		return
+	}
+	for v := range spec {
+		ang := -2 * math.Pi * float64(start) * float64(v) / float64(k)
+		spec[v] *= cmplx.Exp(complex(0, ang))
+	}
+}
+
+// accumulate adds the cyclic periodogram of one block to the surface.
+func accumulate(s *Surface, spec []complex128, m int) {
+	k := len(spec)
+	for a := -(m - 1); a <= m-1; a++ {
+		for f := -(m - 1); f <= m-1; f++ {
+			xp := spec[fft.BinIndex(k, f+a)]
+			xm := spec[fft.BinIndex(k, f-a)]
+			s.Add(f, a, xp*cmplx.Conj(xm))
+		}
+	}
+}
+
+// SpectrumAt computes the absolute-time-referenced spectrum X_{n,·} of the
+// block starting at sample start: the quantity expression 2 denotes. It is
+// exposed for the systolic and SoC simulators, which consume spectra
+// rather than raw samples.
+func SpectrumAt(x []complex128, start int, p Params) ([]complex128, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if start < 0 || start+p.K > len(x) {
+		return nil, fmt.Errorf("scf: block [%d,%d) outside signal of %d samples", start, start+p.K, len(x))
+	}
+	plan, err := fft.NewPlan(p.K)
+	if err != nil {
+		return nil, err
+	}
+	spec := make([]complex128, p.K)
+	if err := plan.Forward(spec, x[start:start+p.K]); err != nil {
+		return nil, err
+	}
+	phaseReference(spec, start, p.K)
+	return spec, nil
+}

@@ -1,0 +1,50 @@
+package scf
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ComputeDirect evaluates the DSCF by brute force, directly from
+// expressions 1–3 of the paper: for every block n and every needed bin v
+// it forms
+//
+//	X_{n,v} = Σ_{k=0}^{K-1} x_{n+k} · e^{-j2π(n+k)v/K}
+//
+// (the engineering-sign twin of expression 2, with the absolute-time
+// exponent (n+k) kept verbatim) and then sums the products of
+// expression 3. It is O(Blocks·K·K) per bin set and exists purely as
+// ground truth for tests; use Compute for anything larger than toy sizes.
+func ComputeDirect(x []complex128, p Params) (*Surface, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) < p.SamplesNeeded() {
+		return nil, fmt.Errorf("scf: need %d samples, have %d", p.SamplesNeeded(), len(x))
+	}
+	s := NewSurface(p.M)
+	for n := 0; n < p.Blocks; n++ {
+		start := n * p.Hop
+		// Evaluate X_{n,v} for all bins the grid addresses: v = f±a spans
+		// [-2(M-1), 2(M-1)].
+		ext := 2 * (p.M - 1)
+		spec := make(map[int]complex128, 2*ext+1)
+		for v := -ext; v <= ext; v++ {
+			var sum complex128
+			for k := 0; k < p.K; k++ {
+				ang := -2 * math.Pi * float64(start+k) * float64(v) / float64(p.K)
+				sum += x[start+k] * cmplx.Exp(complex(0, ang))
+			}
+			spec[v] = sum
+		}
+		for a := -(p.M - 1); a <= p.M-1; a++ {
+			for f := -(p.M - 1); f <= p.M-1; f++ {
+				s.Add(f, a, spec[f+a]*cmplx.Conj(spec[f-a]))
+			}
+		}
+	}
+	s.Scale(1 / float64(p.Blocks))
+	return s, nil
+}

@@ -1,0 +1,26 @@
+// Package scf implements the Discrete Spectral Correlation Function
+// (DSCF) of the paper — the computational heart of Cyclostationary Feature
+// Detection — in three mutually validating forms:
+//
+//   - Compute: the FFT-accumulation reference in float64, implementing
+//     expressions 1–3 of the paper: per block n an FFT of K samples with
+//     the absolute-time phase reference, then accumulation of
+//     S_f^a += X_{n,f+a}·conj(X_{n,f-a}) over N blocks, normalised by 1/N.
+//   - ComputeDirect: a brute-force evaluation of expression 2 (direct DFT
+//     with the (n+k) absolute-time exponent) used as ground truth in tests.
+//   - ComputeFixed: a bit-true Q15 version using the same fixed-point FFT
+//     and the same saturating in-memory accumulation as the Montium
+//     hardware model; the systolic-array and tiled-SoC simulations are
+//     verified to match it bit for bit.
+//
+// Grid conventions follow the paper: for a K-point spectrum the frequency
+// f and frequency offset a each range over [-(M-1), +(M-1)] with
+// M = K/4 (so K = 256 gives f, a in [-63, +63] and a 127x127 surface).
+// The cycle frequency associated with offset a is alpha = 2a (in bin
+// units), i.e. alpha_Hz = 2a·fs/K. Note the paper's section 3.3 states
+// "P = 2M+1" but its own numbers (127 processors for ±63) correspond to
+// P = 2M-1; we follow the numbers (see DESIGN.md).
+//
+// The surface satisfies the Hermitian symmetry S_f^{-a} = conj(S_f^a),
+// which the property tests assert for all three implementations.
+package scf

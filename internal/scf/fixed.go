@@ -1,0 +1,141 @@
+package scf
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/fixed"
+)
+
+// FixedSurface is a DSCF accumulated in saturating Q15, exactly as the
+// Montium application keeps its running sums in the 16-bit memories
+// M01..M08. It is the bit-true target the systolic-array and tiled-SoC
+// simulations are verified against.
+type FixedSurface struct {
+	M    int
+	Data [][]fixed.Complex // Data[a+M-1][f+M-1]
+}
+
+// NewFixedSurface allocates a zeroed fixed surface for half-extent M.
+func NewFixedSurface(m int) *FixedSurface {
+	n := 2*m - 1
+	data := make([][]fixed.Complex, n)
+	cells := make([]fixed.Complex, n*n)
+	for i := range data {
+		data[i], cells = cells[:n], cells[n:]
+	}
+	return &FixedSurface{M: m, Data: data}
+}
+
+// At returns the accumulated S_f^a.
+func (s *FixedSurface) At(f, a int) fixed.Complex {
+	return s.Data[a+s.M-1][f+s.M-1]
+}
+
+// MAC accumulates x·conj(y) into cell (f, a) with Q15 saturation, the
+// single read-modify-write operation every hardware model performs.
+func (s *FixedSurface) MAC(f, a int, x, y fixed.Complex) {
+	cell := &s.Data[a+s.M-1][f+s.M-1]
+	*cell = fixed.CAdd(*cell, fixed.CMulConj(x, y))
+}
+
+// Equal reports whether two fixed surfaces are bit-identical, returning
+// the first differing cell for diagnostics.
+func (s *FixedSurface) Equal(o *FixedSurface) (bool, string) {
+	if s.M != o.M {
+		return false, fmt.Sprintf("extent %d vs %d", s.M, o.M)
+	}
+	for ai := range s.Data {
+		for fi := range s.Data[ai] {
+			if s.Data[ai][fi] != o.Data[ai][fi] {
+				return false, fmt.Sprintf("cell a=%d f=%d: %+v vs %+v",
+					ai-(s.M-1), fi-(s.M-1), s.Data[ai][fi], o.Data[ai][fi])
+			}
+		}
+	}
+	return true, ""
+}
+
+// Float converts the accumulated surface to a float Surface, scaling by
+// 1/blocks to apply expression 3's normalisation.
+func (s *FixedSurface) Float(blocks int) *Surface {
+	out := NewSurface(s.M)
+	inv := 1.0
+	if blocks > 0 {
+		inv = 1 / float64(blocks)
+	}
+	for ai := range s.Data {
+		for fi := range s.Data[ai] {
+			out.Data[ai][fi] = s.Data[ai][fi].Complex128() * complex(inv, 0)
+		}
+	}
+	return out
+}
+
+// FixedSpectra computes the Q15 spectra of every block of x using the
+// shared fixed-point FFT (output DFT/K per block). The result feeds both
+// ComputeFixed and the hardware simulators, guaranteeing identical inputs.
+func FixedSpectra(x []fixed.Complex, p Params) ([][]fixed.Complex, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) < p.SamplesNeeded() {
+		return nil, fmt.Errorf("scf: need %d samples, have %d", p.SamplesNeeded(), len(x))
+	}
+	plan, err := fft.NewFixedPlan(p.K)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]fixed.Complex, p.Blocks)
+	for n := 0; n < p.Blocks; n++ {
+		start := n * p.Hop
+		spec := make([]fixed.Complex, p.K)
+		if err := plan.Forward(spec, x[start:start+p.K]); err != nil {
+			return nil, err
+		}
+		out[n] = spec
+	}
+	return out, nil
+}
+
+// ComputeFixed evaluates the DSCF in bit-true Q15: fixed-point FFT per
+// block, then saturating Q15 accumulation per grid cell in increasing
+// block order (the accumulation order matters under saturation, and all
+// hardware models follow the same order). Hop must be a multiple of K so
+// that no phase rotation is required — the hardware performs none.
+func ComputeFixed(x []fixed.Complex, p Params) (*FixedSurface, error) {
+	p = p.WithDefaults()
+	if p.Hop%p.K != 0 {
+		return nil, fmt.Errorf("scf: fixed path requires Hop (%d) to be a multiple of K (%d)", p.Hop, p.K)
+	}
+	spectra, err := FixedSpectra(x, p)
+	if err != nil {
+		return nil, err
+	}
+	return AccumulateFixed(spectra, p)
+}
+
+// AccumulateFixed performs only the spectral-correlation accumulation over
+// precomputed block spectra. Exposed so simulators can share block spectra
+// with the reference.
+func AccumulateFixed(spectra [][]fixed.Complex, p Params) (*FixedSurface, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := NewFixedSurface(p.M)
+	for _, spec := range spectra {
+		if len(spec) != p.K {
+			return nil, fmt.Errorf("scf: spectrum length %d, want %d", len(spec), p.K)
+		}
+		for a := -(p.M - 1); a <= p.M-1; a++ {
+			for f := -(p.M - 1); f <= p.M-1; f++ {
+				xp := spec[fft.BinIndex(p.K, f+a)]
+				xm := spec[fft.BinIndex(p.K, f-a)]
+				s.MAC(f, a, xp, xm)
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,155 @@
+package scf
+
+import (
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/sig"
+)
+
+func fixedTestSignal(seed uint64, n int) []fixed.Complex {
+	rng := sig.NewRand(seed)
+	x := sig.Samples(&sig.WGN{Sigma: 0.4, Rng: rng}, n)
+	return fixed.FromFloatSlice(x)
+}
+
+func TestComputeFixedMatchesAccumulatePath(t *testing.T) {
+	p := Params{K: 32, M: 8, Blocks: 3}
+	x := fixedTestSignal(7, p.WithDefaults().SamplesNeeded())
+	direct, err := ComputeFixed(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spectra, err := FixedSpectra(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaAccum, err := AccumulateFixed(spectra, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, diag := direct.Equal(viaAccum); !ok {
+		t.Fatalf("paths differ: %s", diag)
+	}
+}
+
+func TestComputeFixedTracksFloat(t *testing.T) {
+	// The Q15 surface, rescaled by K² (the fixed FFT is DFT/K and the
+	// product squares that), must approximate the float surface.
+	const k, m, blocks = 64, 8, 2
+	rng := sig.NewRand(11)
+	x := sig.Samples(&sig.Tone{Amp: 0.7, Freq: 4.0 / k, Real: true}, k*blocks)
+	_, _, err := sig.AddAWGN(x, 60, true, rng) // nearly clean
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{K: k, M: m, Blocks: blocks}
+	fs, err := ComputeFixed(fixed.FromFloatSlice(x), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := Compute(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fs.Float(blocks)
+	// Rescale reference: float surface is |X|²-scale; fixed is |X/K|².
+	ref.Scale(1.0 / float64(k*k))
+	// The doubled-carrier feature cell must agree within quantisation.
+	want := ref.At(0, 4)
+	have := got.At(0, 4)
+	if cmplx.Abs(want-have) > 0.02*(1+cmplx.Abs(want)) {
+		t.Fatalf("fixed feature %v vs float %v", have, want)
+	}
+}
+
+func TestComputeFixedRejectsPartialHop(t *testing.T) {
+	p := Params{K: 32, M: 8, Blocks: 2, Hop: 16}
+	x := fixedTestSignal(1, 64)
+	if _, err := ComputeFixed(x, p); err == nil {
+		t.Fatal("hop not multiple of K must be rejected on the fixed path")
+	}
+}
+
+func TestComputeFixedShortInput(t *testing.T) {
+	if _, err := ComputeFixed(make([]fixed.Complex, 10), Params{K: 32, M: 8}); err == nil {
+		t.Fatal("short input should fail")
+	}
+}
+
+func TestAccumulateFixedValidation(t *testing.T) {
+	if _, err := AccumulateFixed([][]fixed.Complex{make([]fixed.Complex, 16)}, Params{K: 32, M: 8, Blocks: 1, Hop: 32}); err == nil {
+		t.Fatal("wrong spectrum length should fail")
+	}
+	if _, err := AccumulateFixed(nil, Params{K: 20, M: 4, Blocks: 1, Hop: 20}); err == nil {
+		t.Fatal("invalid params should fail")
+	}
+}
+
+func TestFixedSurfaceEqualDiagnostics(t *testing.T) {
+	a := NewFixedSurface(3)
+	b := NewFixedSurface(3)
+	if ok, _ := a.Equal(b); !ok {
+		t.Fatal("empty surfaces must be equal")
+	}
+	b.MAC(1, -2, fixed.Complex{Re: 1000, Im: 0}, fixed.Complex{Re: 1000, Im: 0})
+	ok, diag := a.Equal(b)
+	if ok {
+		t.Fatal("differing surfaces reported equal")
+	}
+	if diag == "" {
+		t.Fatal("missing diagnostic")
+	}
+	c := NewFixedSurface(2)
+	if ok, _ := a.Equal(c); ok {
+		t.Fatal("extent mismatch reported equal")
+	}
+}
+
+func TestFixedSurfaceFloatScaling(t *testing.T) {
+	s := NewFixedSurface(2)
+	one := fixed.Complex{Re: fixed.HalfQ15, Im: 0}
+	s.MAC(0, 0, one, one) // += 0.25
+	s.MAC(0, 0, one, one) // += 0.25
+	f := s.Float(2)       // /2 -> 0.25
+	got := real(f.At(0, 0))
+	if got < 0.24 || got > 0.26 {
+		t.Fatalf("Float(2) cell = %v, want ~0.25", got)
+	}
+	f0 := s.Float(0) // no normalisation
+	if real(f0.At(0, 0)) < 0.49 {
+		t.Fatalf("Float(0) cell = %v, want ~0.5", real(f0.At(0, 0)))
+	}
+}
+
+// Property: the fixed surface is Hermitian up to one rounding LSB per
+// accumulation step: S_f^{-a} == conj(S_f^a) within Blocks LSBs.
+func TestQuickFixedHermitian(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := Params{K: 16, M: 4, Blocks: 2}
+		x := fixedTestSignal(seed, p.WithDefaults().SamplesNeeded())
+		s, err := ComputeFixed(x, p)
+		if err != nil {
+			return false
+		}
+		m := p.M - 1
+		for a := -m; a <= m; a++ {
+			for ff := -m; ff <= m; ff++ {
+				p1 := s.At(ff, -a)
+				p2 := fixed.Conj(s.At(ff, a))
+				dr := int(p1.Re) - int(p2.Re)
+				di := int(p1.Im) - int(p2.Im)
+				lim := p.Blocks + 1
+				if dr < -lim || dr > lim || di < -lim || di > lim {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package scf
+
+import (
+	"testing"
+
+	"tiledcfd/internal/sig"
+)
+
+func TestComputeParallelBitIdentical(t *testing.T) {
+	// The in-order merge must make the parallel path bit-identical to the
+	// sequential one, not merely close.
+	p := Params{K: 64, M: 16, Blocks: 9}
+	rng := sig.NewRand(31)
+	x := sig.Samples(&sig.WGN{Sigma: 0.5, Rng: rng}, p.WithDefaults().SamplesNeeded())
+	seq, seqStats, err := Compute(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8, 0 /* = NumCPU */} {
+		par, parStats, err := ComputeParallel(x, p, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seq.Data {
+			for j := range seq.Data[i] {
+				if seq.Data[i][j] != par.Data[i][j] {
+					t.Fatalf("workers=%d: cell (%d,%d) differs: %v vs %v",
+						workers, i, j, seq.Data[i][j], par.Data[i][j])
+				}
+			}
+		}
+		if parStats.DSCFMults != seqStats.DSCFMults || parStats.FFTMults != seqStats.FFTMults {
+			t.Fatalf("workers=%d: stats differ: %+v vs %+v", workers, parStats, seqStats)
+		}
+	}
+}
+
+func TestComputeParallelWithWindowAndHop(t *testing.T) {
+	p := Params{K: 32, M: 8, Blocks: 5, Hop: 16}
+	rng := sig.NewRand(33)
+	x := sig.Samples(&sig.WGN{Sigma: 0.5, Rng: rng}, p.SamplesNeeded())
+	seq, _, err := Compute(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := ComputeParallel(x, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(seq, par); d != 0 {
+		t.Fatalf("hopped parallel differs by %v", d)
+	}
+}
+
+func TestComputeParallelErrors(t *testing.T) {
+	if _, _, err := ComputeParallel(make([]complex128, 4), Params{K: 64, M: 16}, 2); err == nil {
+		t.Error("short input should fail")
+	}
+	if _, _, err := ComputeParallel(make([]complex128, 64), Params{K: 60, M: 8, Blocks: 1, Hop: 60}, 2); err == nil {
+		t.Error("bad params should fail")
+	}
+}
+
+func TestComputeParallelMoreWorkersThanBlocks(t *testing.T) {
+	p := Params{K: 32, M: 8, Blocks: 2}
+	rng := sig.NewRand(35)
+	x := sig.Samples(&sig.WGN{Sigma: 0.5, Rng: rng}, p.WithDefaults().SamplesNeeded())
+	par, _, err := ComputeParallel(x, p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _, err := Compute(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(seq, par); d != 0 {
+		t.Fatalf("worker clamp broke equality: %v", d)
+	}
+}

@@ -1,0 +1,86 @@
+package scf
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/fft"
+)
+
+// Params configures a DSCF computation.
+type Params struct {
+	// K is the FFT size (a power of two). The paper uses 256.
+	K int
+	// M sets the grid half-extent: f and a range over [-(M-1), +(M-1)],
+	// giving a (2M-1)x(2M-1) surface. The paper uses M = 64 (127x127).
+	// The extreme bins addressed are f±a in [-2(M-1), +2(M-1)], which must
+	// stay within half the FFT range to remain unambiguous: 2(M-1) <= K/2.
+	M int
+	// Blocks is N, the number of K-sample integration steps accumulated.
+	Blocks int
+	// Hop is the block advance in samples; 0 means K (non-overlapping,
+	// as in the paper's section 4.1).
+	Hop int
+	// Window is the analysis window; the paper's expression 2 implies
+	// Rectangular, the default.
+	Window fft.WindowKind
+}
+
+// WithDefaults returns a copy of p with zero fields replaced by the
+// paper's defaults (K=256, M=K/4, Blocks=1, Hop=K).
+func (p Params) WithDefaults() Params {
+	if p.K == 0 {
+		p.K = 256
+	}
+	if p.M == 0 {
+		p.M = p.K / 4
+	}
+	if p.Blocks == 0 {
+		p.Blocks = 1
+	}
+	if p.Hop == 0 {
+		p.Hop = p.K
+	}
+	return p
+}
+
+// Validate checks the parameter set for consistency.
+func (p Params) Validate() error {
+	if !fft.IsPow2(p.K) || p.K < 4 {
+		return fmt.Errorf("scf: K=%d must be a power of two >= 4", p.K)
+	}
+	if p.M < 1 {
+		return fmt.Errorf("scf: M=%d must be >= 1", p.M)
+	}
+	if 2*(p.M-1) > p.K/2 {
+		return fmt.Errorf("scf: grid extent 2(M-1)=%d exceeds K/2=%d", 2*(p.M-1), p.K/2)
+	}
+	if p.Blocks < 1 {
+		return fmt.Errorf("scf: Blocks=%d must be >= 1", p.Blocks)
+	}
+	if p.Hop < 1 {
+		return fmt.Errorf("scf: Hop=%d must be >= 1", p.Hop)
+	}
+	return nil
+}
+
+// P returns the number of frequency offsets (and of initial-array
+// processors in the paper's mapping): 2M-1.
+func (p Params) P() int { return 2*p.M - 1 }
+
+// F returns the number of frequencies per offset: 2M-1.
+func (p Params) F() int { return 2*p.M - 1 }
+
+// SamplesNeeded returns the input length required for Blocks integration
+// steps.
+func (p Params) SamplesNeeded() int {
+	return p.K + (p.Blocks-1)*p.Hop
+}
+
+// DSCFMults returns the number of complex multiplications one integration
+// step of the DSCF performs on the (2M-1)² grid. For M = K/4 this is
+// (K/2-1)² ≈ ¼K², the paper's section 2 count.
+func (p Params) DSCFMults() int { return p.P() * p.F() }
+
+// QuarterNSquared returns the paper's idealised ¼K² complex-multiplication
+// count for comparison with DSCFMults.
+func (p Params) QuarterNSquared() int { return p.K * p.K / 4 }

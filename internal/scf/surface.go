@@ -1,0 +1,178 @@
+package scf
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Surface is a computed DSCF: a (2M-1)×(2M-1) grid indexed by frequency
+// offset a (rows) and frequency f (columns), each spanning [-(M-1), M-1].
+type Surface struct {
+	M    int
+	Data [][]complex128 // Data[a+M-1][f+M-1]
+}
+
+// NewSurface allocates a zeroed surface for half-extent M.
+func NewSurface(m int) *Surface {
+	n := 2*m - 1
+	data := make([][]complex128, n)
+	cells := make([]complex128, n*n)
+	for i := range data {
+		data[i], cells = cells[:n], cells[n:]
+	}
+	return &Surface{M: m, Data: data}
+}
+
+// Extent returns the grid side length 2M-1.
+func (s *Surface) Extent() int { return 2*s.M - 1 }
+
+// InRange reports whether (f, a) lies on the grid.
+func (s *Surface) InRange(f, a int) bool {
+	return f >= -(s.M-1) && f <= s.M-1 && a >= -(s.M-1) && a <= s.M-1
+}
+
+// At returns S_f^a. It panics if (f, a) is off the grid (programming error).
+func (s *Surface) At(f, a int) complex128 {
+	if !s.InRange(f, a) {
+		panic(fmt.Sprintf("scf: At(%d,%d) outside ±%d", f, a, s.M-1))
+	}
+	return s.Data[a+s.M-1][f+s.M-1]
+}
+
+// Add accumulates v into S_f^a.
+func (s *Surface) Add(f, a int, v complex128) {
+	if !s.InRange(f, a) {
+		panic(fmt.Sprintf("scf: Add(%d,%d) outside ±%d", f, a, s.M-1))
+	}
+	s.Data[a+s.M-1][f+s.M-1] += v
+}
+
+// Scale multiplies every cell by the real factor g (used for the 1/N
+// normalisation of expression 3).
+func (s *Surface) Scale(g float64) {
+	for _, row := range s.Data {
+		for i := range row {
+			row[i] *= complex(g, 0)
+		}
+	}
+}
+
+// AlphaProfile returns, for each offset a in [-(M-1), M-1], the summed
+// magnitude Σ_f |S_f^a|. This "cycle-frequency profile" is the statistic
+// cyclostationary detectors threshold: peaks away from a=0 reveal hidden
+// periodicity. Index i corresponds to a = i-(M-1).
+func (s *Surface) AlphaProfile() []float64 {
+	prof := make([]float64, s.Extent())
+	for ai, row := range s.Data {
+		var sum float64
+		for _, v := range row {
+			sum += cmplx.Abs(v)
+		}
+		prof[ai] = sum
+	}
+	return prof
+}
+
+// MaxFeature returns the grid point of largest magnitude. With excludeA0
+// true the a=0 row (the ordinary power spectral density, which always
+// dominates) is skipped — this is how a blind detector searches for
+// cyclic features.
+func (s *Surface) MaxFeature(excludeA0 bool) (f, a int, mag float64) {
+	mag = -1
+	for ai, row := range s.Data {
+		av := ai - (s.M - 1)
+		if excludeA0 && av == 0 {
+			continue
+		}
+		for fi, v := range row {
+			if m := cmplx.Abs(v); m > mag {
+				mag, f, a = m, fi-(s.M-1), av
+			}
+		}
+	}
+	return f, a, mag
+}
+
+// PSD returns the a=0 row, which is the averaged cyclic periodogram at
+// cycle frequency zero: the ordinary power spectral density estimate.
+func (s *Surface) PSD() []complex128 {
+	row := s.Data[s.M-1]
+	out := make([]complex128, len(row))
+	copy(out, row)
+	return out
+}
+
+// HermitianError returns the maximum magnitude of S_f^{-a} - conj(S_f^a)
+// over the grid: an exact DSCF has zero; float and fixed implementations
+// should be at rounding level. Used by invariant tests.
+func (s *Surface) HermitianError() float64 {
+	worst := 0.0
+	for a := -(s.M - 1); a <= s.M-1; a++ {
+		for f := -(s.M - 1); f <= s.M-1; f++ {
+			d := cmplx.Abs(s.At(f, -a) - cmplx.Conj(s.At(f, a)))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// MaxAbsDiff returns the largest cellwise magnitude difference between two
+// surfaces of equal extent; it panics on extent mismatch.
+func MaxAbsDiff(a, b *Surface) float64 {
+	if a.M != b.M {
+		panic(fmt.Sprintf("scf: MaxAbsDiff extents %d vs %d", a.M, b.M))
+	}
+	worst := 0.0
+	for i := range a.Data {
+		for j := range a.Data[i] {
+			if d := cmplx.Abs(a.Data[i][j] - b.Data[i][j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TotalEnergy returns Σ |S_f^a|² over the grid.
+func (s *Surface) TotalEnergy() float64 {
+	var e float64
+	for _, row := range s.Data {
+		for _, v := range row {
+			e += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	return e
+}
+
+// Coherence returns the spectral autocoherence
+// |S_f^a| / sqrt(S0(f+a)·S0(f-a)) where S0 is the PSD row, a normalised
+// feature strength in [0, ~1] that is independent of absolute signal
+// level. Cells whose normaliser underflows return 0. The small floor eps
+// guards empty bands.
+func (s *Surface) Coherence(f, a int, eps float64) float64 {
+	num := cmplx.Abs(s.At(f, a))
+	m := s.M - 1
+	// S0 at f±a; those bins may fall outside the f grid — clamp into range
+	// (the PSD row only spans the grid); detectors use interior cells.
+	fp, fm := f+a, f-a
+	if fp > m {
+		fp = m
+	}
+	if fp < -m {
+		fp = -m
+	}
+	if fm > m {
+		fm = m
+	}
+	if fm < -m {
+		fm = -m
+	}
+	d := math.Sqrt(cmplx.Abs(s.At(fp, 0))*cmplx.Abs(s.At(fm, 0))) + eps
+	if d == 0 {
+		return 0
+	}
+	return num / d
+}

@@ -1,0 +1,92 @@
+package sig
+
+import (
+	"fmt"
+	"math"
+)
+
+// Power returns the mean squared magnitude of x, or 0 for an empty slice.
+func Power(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range x {
+		sum += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return sum / float64(len(x))
+}
+
+// SNRdB returns the signal-to-noise ratio of the given powers in decibel.
+func SNRdB(signalPower, noisePower float64) float64 {
+	return 10 * math.Log10(signalPower/noisePower)
+}
+
+// AddAWGN returns x plus white Gaussian noise calibrated so that the
+// resulting SNR (signal power over noise power) equals snrDB. With
+// realNoise true the noise is real-valued (for real passband signals);
+// otherwise circularly symmetric complex. The returned noise power is the
+// calibrated value actually used.
+func AddAWGN(x []complex128, snrDB float64, realNoise bool, rng *Rand) ([]complex128, float64, error) {
+	if rng == nil {
+		return nil, 0, fmt.Errorf("sig: AddAWGN needs a Rng")
+	}
+	ps := Power(x)
+	if ps == 0 {
+		return nil, 0, fmt.Errorf("sig: AddAWGN on zero-power signal")
+	}
+	pn := ps / math.Pow(10, snrDB/10)
+	out := make([]complex128, len(x))
+	if realNoise {
+		sd := math.Sqrt(pn)
+		for i, v := range x {
+			out[i] = v + complex(sd*rng.NormFloat64(), 0)
+		}
+	} else {
+		sd := math.Sqrt(pn / 2)
+		for i, v := range x {
+			out[i] = v + complex(sd*rng.NormFloat64(), sd*rng.NormFloat64())
+		}
+	}
+	return out, pn, nil
+}
+
+// Scale multiplies every sample by the real gain g, in place, and returns x.
+func Scale(x []complex128, g float64) []complex128 {
+	for i := range x {
+		x[i] *= complex(g, 0)
+	}
+	return x
+}
+
+// Frames splits x into blocks of length k advancing by hop samples and
+// returns the list of full blocks (a trailing partial block is dropped).
+// hop == k gives the non-overlapping blocking of the paper's section 4.1.
+func Frames(x []complex128, k, hop int) ([][]complex128, error) {
+	if k <= 0 || hop <= 0 {
+		return nil, fmt.Errorf("sig: Frames with k=%d hop=%d (must be positive)", k, hop)
+	}
+	var out [][]complex128
+	for start := 0; start+k <= len(x); start += hop {
+		out = append(out, x[start:start+k])
+	}
+	return out, nil
+}
+
+// NumFrames returns how many full k-blocks with the given hop fit in n
+// samples.
+func NumFrames(n, k, hop int) int {
+	if k <= 0 || hop <= 0 || n < k {
+		return 0
+	}
+	return (n-k)/hop + 1
+}
+
+// SamplesNeeded returns the number of samples required for blocks frames
+// of length k advancing by hop.
+func SamplesNeeded(blocks, k, hop int) int {
+	if blocks <= 0 {
+		return 0
+	}
+	return k + (blocks-1)*hop
+}

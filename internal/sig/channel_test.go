@@ -1,0 +1,180 @@
+package sig
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerBasics(t *testing.T) {
+	if Power(nil) != 0 {
+		t.Error("Power(nil) != 0")
+	}
+	x := []complex128{complex(3, 4)} // |x|^2 = 25
+	if got := Power(x); got != 25 {
+		t.Errorf("Power = %v, want 25", got)
+	}
+	y := []complex128{1, complex(0, 1), -1, complex(0, -1)}
+	if got := Power(y); got != 1 {
+		t.Errorf("Power = %v, want 1", got)
+	}
+}
+
+func TestSNRdB(t *testing.T) {
+	if got := SNRdB(10, 1); math.Abs(got-10) > 1e-12 {
+		t.Errorf("SNRdB(10,1) = %v", got)
+	}
+	if got := SNRdB(1, 10); math.Abs(got+10) > 1e-12 {
+		t.Errorf("SNRdB(1,10) = %v", got)
+	}
+	if got := SNRdB(4, 4); math.Abs(got) > 1e-12 {
+		t.Errorf("SNRdB(4,4) = %v", got)
+	}
+}
+
+func TestAddAWGNCalibration(t *testing.T) {
+	tone := &Tone{Amp: 1, Freq: 0.1}
+	x := Samples(tone, 50000)
+	for _, snr := range []float64{20, 0, -10} {
+		noisy, pn, err := AddAWGN(x, snr, false, NewRand(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Measure the actual noise power that was added.
+		var measured float64
+		for i := range x {
+			d := noisy[i] - x[i]
+			measured += real(d)*real(d) + imag(d)*imag(d)
+		}
+		measured /= float64(len(x))
+		if math.Abs(measured-pn)/pn > 0.05 {
+			t.Fatalf("snr %v: measured noise %v, calibrated %v", snr, measured, pn)
+		}
+		wantPn := Power(x) / math.Pow(10, snr/10)
+		if math.Abs(pn-wantPn)/wantPn > 1e-9 {
+			t.Fatalf("snr %v: pn %v, want %v", snr, pn, wantPn)
+		}
+	}
+}
+
+func TestAddAWGNRealNoise(t *testing.T) {
+	x := Samples(&Tone{Amp: 1, Freq: 0.1, Real: true}, 20000)
+	noisy, _, err := AddAWGN(x, 10, true, NewRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range noisy[:100] {
+		if imag(v) != 0 {
+			t.Fatal("real noise produced imaginary parts")
+		}
+	}
+}
+
+func TestAddAWGNErrors(t *testing.T) {
+	if _, _, err := AddAWGN([]complex128{1}, 10, false, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, _, err := AddAWGN([]complex128{0, 0}, 10, false, NewRand(1)); err == nil {
+		t.Error("zero-power signal should fail")
+	}
+}
+
+func TestScale(t *testing.T) {
+	x := []complex128{1, complex(0, 2)}
+	Scale(x, 0.5)
+	if x[0] != 0.5 || x[1] != complex(0, 1) {
+		t.Fatalf("Scale: %v", x)
+	}
+}
+
+func TestFramesNonOverlapping(t *testing.T) {
+	x := make([]complex128, 10)
+	for i := range x {
+		x[i] = complex(float64(i), 0)
+	}
+	fr, err := Frames(x, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr) != 2 {
+		t.Fatalf("frames: %d, want 2 (trailing partial dropped)", len(fr))
+	}
+	if real(fr[1][0]) != 4 {
+		t.Fatalf("second frame starts at %v", fr[1][0])
+	}
+}
+
+func TestFramesOverlapping(t *testing.T) {
+	x := make([]complex128, 10)
+	fr, err := Frames(x, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr) != 4 {
+		t.Fatalf("hop-2 frames: %d, want 4", len(fr))
+	}
+}
+
+func TestFramesErrors(t *testing.T) {
+	if _, err := Frames(nil, 0, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := Frames(nil, 4, 0); err == nil {
+		t.Error("hop=0 should fail")
+	}
+}
+
+func TestFrameCountHelpers(t *testing.T) {
+	if got := NumFrames(10, 4, 4); got != 2 {
+		t.Errorf("NumFrames(10,4,4) = %d", got)
+	}
+	if got := NumFrames(10, 4, 2); got != 4 {
+		t.Errorf("NumFrames(10,4,2) = %d", got)
+	}
+	if got := NumFrames(3, 4, 4); got != 0 {
+		t.Errorf("NumFrames(3,4,4) = %d", got)
+	}
+	if got := SamplesNeeded(2, 4, 4); got != 8 {
+		t.Errorf("SamplesNeeded(2,4,4) = %d", got)
+	}
+	if got := SamplesNeeded(4, 4, 2); got != 10 {
+		t.Errorf("SamplesNeeded(4,4,2) = %d", got)
+	}
+	if got := SamplesNeeded(0, 4, 2); got != 0 {
+		t.Errorf("SamplesNeeded(0,4,2) = %d", got)
+	}
+}
+
+// Property: NumFrames and SamplesNeeded are consistent:
+// NumFrames(SamplesNeeded(b,k,h), k, h) == b for positive inputs.
+func TestQuickFrameAccounting(t *testing.T) {
+	f := func(b8, k8, h8 uint8) bool {
+		b := int(b8%32) + 1
+		k := int(k8%64) + 1
+		h := int(h8%64) + 1
+		n := SamplesNeeded(b, k, h)
+		return NumFrames(n, k, h) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Frames never returns a frame extending past the input and
+// returns exactly NumFrames frames.
+func TestQuickFramesMatchCount(t *testing.T) {
+	f := func(n8, k8, h8 uint8) bool {
+		n := int(n8 % 200)
+		k := int(k8%32) + 1
+		h := int(h8%32) + 1
+		x := make([]complex128, n)
+		fr, err := Frames(x, k, h)
+		if err != nil {
+			return false
+		}
+		return len(fr) == NumFrames(n, k, h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,24 @@
+// Package sig generates the sampled test signals for the reproduction.
+//
+// The paper's application is spectrum sensing for Cognitive Radio: decide
+// whether a licensed transmission is present in a band from its sampled
+// signal x_k = x(k/fs) (expression 1). The original AAF front-end hardware
+// is not available, so this package provides synthetic sampled signals
+// with precisely known cyclostationary structure:
+//
+//   - Tone: a complex exponential or real cosine carrier,
+//   - AM: amplitude modulation (strongly cyclostationary at 2·f_mod),
+//   - BPSK/QPSK: digitally modulated carriers with rectangular pulses —
+//     the licensed-user signals whose periodicity CFD exploits (cyclic
+//     features at the doubled carrier 2·fc for real BPSK and at symbol-rate
+//     harmonics k/T_sym),
+//   - WGN: white Gaussian noise, the null hypothesis,
+//
+// plus channel utilities (power measurement, SNR-calibrated noise
+// addition) and framing into K-sample analysis blocks.
+//
+// All randomness flows through the deterministic Rand generator
+// (xoshiro256** seeded by splitmix64), so every experiment in the
+// repository is exactly reproducible from its seed. Frequencies are
+// normalised to cycles/sample throughout; multiply by fs for Hz.
+package sig

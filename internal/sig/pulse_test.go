@@ -1,0 +1,187 @@
+package sig
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRaisedCosineTapsProperties(t *testing.T) {
+	for _, beta := range []float64{0, 0.25, 0.5, 1} {
+		taps, err := RaisedCosineTaps(8, 6, beta)
+		if err != nil {
+			t.Fatalf("beta %v: %v", beta, err)
+		}
+		if len(taps) != 49 {
+			t.Fatalf("beta %v: %d taps, want 49", beta, len(taps))
+		}
+		// Unit DC gain.
+		sum := 0.0
+		for _, h := range taps {
+			sum += h
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("beta %v: DC gain %v", beta, sum)
+		}
+		// Symmetric.
+		for i := 0; i < len(taps)/2; i++ {
+			if math.Abs(taps[i]-taps[len(taps)-1-i]) > 1e-12 {
+				t.Fatalf("beta %v: asymmetric at %d", beta, i)
+			}
+		}
+		// Peak at centre.
+		mid := len(taps) / 2
+		for i, h := range taps {
+			if i != mid && math.Abs(h) > taps[mid] {
+				t.Fatalf("beta %v: tap %d exceeds centre", beta, i)
+			}
+		}
+	}
+}
+
+func TestRaisedCosineZeroCrossings(t *testing.T) {
+	// A raised-cosine pulse is Nyquist: it crosses zero at all non-zero
+	// integer symbol offsets.
+	const symLen = 8
+	taps, err := RaisedCosineTaps(symLen, 6, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := len(taps) / 2
+	peak := taps[mid]
+	for s := 1; s <= 2; s++ {
+		if math.Abs(taps[mid+s*symLen]/peak) > 1e-9 {
+			t.Fatalf("no zero crossing at symbol offset %d", s)
+		}
+	}
+}
+
+func TestRaisedCosineErrors(t *testing.T) {
+	if _, err := RaisedCosineTaps(0, 6, 0.5); err == nil {
+		t.Error("symbolLen=0 should fail")
+	}
+	if _, err := RaisedCosineTaps(8, 3, 0.5); err == nil {
+		t.Error("odd span should fail")
+	}
+	if _, err := RaisedCosineTaps(8, 6, -0.1); err == nil {
+		t.Error("negative beta should fail")
+	}
+	if _, err := RaisedCosineTaps(8, 6, 1.1); err == nil {
+		t.Error("beta > 1 should fail")
+	}
+}
+
+func TestFIRFilterIdentityAndDelay(t *testing.T) {
+	x := []complex128{1, 2, 3, 4}
+	y, err := FIRFilter(x, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("identity filter changed the signal")
+		}
+	}
+	// One-sample delay.
+	d, err := FIRFilter(x, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 0 || d[1] != 1 || d[3] != 3 {
+		t.Fatalf("delay filter: %v", d)
+	}
+	if _, err := FIRFilter(x, nil); err == nil {
+		t.Error("empty filter should fail")
+	}
+}
+
+func TestShapedBPSKKeepsCarrierFeature(t *testing.T) {
+	// Pulse shaping must not destroy the doubled-carrier cyclic feature;
+	// it narrows the spectrum. Check power is finite and samples real.
+	b := &ShapedBPSK{Amp: 1, Carrier: 0.125, SymbolLen: 8, Beta: 0.35, Rng: NewRand(5)}
+	x := Samples(b, 1024)
+	p := Power(x)
+	if p < 0.05 || p > 2 {
+		t.Fatalf("shaped BPSK power %v", p)
+	}
+	for _, v := range x[:64] {
+		if imag(v) != 0 {
+			t.Fatal("shaped BPSK must be real")
+		}
+	}
+}
+
+func TestShapedBPSKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ShapedBPSK without Rng should panic")
+		}
+	}()
+	(&ShapedBPSK{Amp: 1, SymbolLen: 8}).Generate(nil, 16)
+}
+
+func TestShapedBPSKBadSymbolLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ShapedBPSK with SymbolLen 0 should panic")
+		}
+	}()
+	(&ShapedBPSK{Amp: 1, Rng: NewRand(1)}).Generate(nil, 16)
+}
+
+func TestImpairmentsCFORotation(t *testing.T) {
+	x := make([]complex128, 16)
+	for i := range x {
+		x[i] = 1
+	}
+	out, err := Impairments{CFO: 0.25}.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At CFO 0.25, sample 1 is rotated by pi/2.
+	if math.Abs(real(out[1])) > 1e-12 || math.Abs(imag(out[1])-1) > 1e-12 {
+		t.Fatalf("CFO rotation wrong: %v", out[1])
+	}
+	// Zero impairments are the identity.
+	id, err := Impairments{}.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if id[i] != x[i] {
+			t.Fatal("identity impairments changed signal")
+		}
+	}
+}
+
+func TestImpairmentsPhaseAndMultipath(t *testing.T) {
+	x := []complex128{1, 0, 0, 0}
+	out, err := Impairments{Phase: math.Pi, Multipath: []float64{1, 0.5}}.Apply(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multipath spreads the impulse; phase flips the sign.
+	if math.Abs(real(out[0])+1) > 1e-12 {
+		t.Fatalf("out[0] = %v, want -1", out[0])
+	}
+	if math.Abs(real(out[1])+0.5) > 1e-12 {
+		t.Fatalf("out[1] = %v, want -0.5", out[1])
+	}
+	if _, err := (Impairments{Multipath: []float64{}}).Apply(x); err == nil {
+		t.Error("empty multipath should fail")
+	}
+}
+
+func TestImpairedBPSKStillDetectable(t *testing.T) {
+	// The doubled-carrier feature survives a small CFO and mild multipath
+	// (it shifts in a by the CFO, but stays off the a=0 row).
+	rng := NewRand(9)
+	b := &BPSK{Amp: 1, Carrier: 8.0 / 64, SymbolLen: 8, Rng: rng}
+	clean := Samples(b, 64*8)
+	imp, err := Impairments{CFO: 0.002, Multipath: []float64{1, 0.2}}.Apply(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Power(imp) < 0.1 {
+		t.Fatal("impaired signal vanished")
+	}
+}

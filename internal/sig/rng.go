@@ -1,0 +1,94 @@
+package sig
+
+import "math"
+
+// Rand is a deterministic pseudo-random generator (xoshiro256**) with
+// convenience methods for the distributions the signal generators need.
+// It is not safe for concurrent use; create one per goroutine.
+type Rand struct {
+	s     [4]uint64
+	spare float64
+	has   bool
+}
+
+// NewRand returns a generator seeded from a single 64-bit seed via the
+// splitmix64 expansion, as recommended by the xoshiro authors. Any seed,
+// including zero, produces a well-distributed state.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform sample in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sig: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bit returns a uniform random bit as ±1, the BPSK symbol alphabet.
+func (r *Rand) Bit() float64 {
+	if r.Uint64()&1 == 0 {
+		return -1
+	}
+	return 1
+}
+
+// NormFloat64 returns a standard normal sample using the Marsaglia polar
+// method, caching the spare deviate.
+func (r *Rand) NormFloat64() float64 {
+	if r.has {
+		r.has = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		m := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * m
+		r.has = true
+		return u * m
+	}
+}
+
+// NormComplex returns a circularly symmetric complex Gaussian sample with
+// the given per-component standard deviation.
+func (r *Rand) NormComplex(sigma float64) complex128 {
+	return complex(sigma*r.NormFloat64(), sigma*r.NormFloat64())
+}

@@ -1,0 +1,140 @@
+package sig
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRandDifferentSeedsDiffer(t *testing.T) {
+	a := NewRand(1)
+	b := NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRandZeroSeedWorks(t *testing.T) {
+	r := NewRand(0)
+	// splitmix expansion must not leave the all-zero state (which would
+	// make xoshiro emit only zeros).
+	nonzero := false
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("zero seed produced all-zero stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRand(99)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRand(1234)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestNormComplexPower(t *testing.T) {
+	r := NewRand(5)
+	const n = 100000
+	var p float64
+	for i := 0; i < n; i++ {
+		v := r.NormComplex(1 / math.Sqrt2) // E|x|^2 = 1
+		p += real(v)*real(v) + imag(v)*imag(v)
+	}
+	p /= n
+	if math.Abs(p-1) > 0.03 {
+		t.Fatalf("complex noise power %v, want ~1", p)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRand(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) visited only %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestBitIsPlusMinusOne(t *testing.T) {
+	r := NewRand(11)
+	plus, minus := 0, 0
+	for i := 0; i < 10000; i++ {
+		switch r.Bit() {
+		case 1:
+			plus++
+		case -1:
+			minus++
+		default:
+			t.Fatal("Bit returned non ±1")
+		}
+	}
+	if plus < 4700 || minus < 4700 {
+		t.Fatalf("biased bits: +%d -%d", plus, minus)
+	}
+}

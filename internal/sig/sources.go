@@ -1,0 +1,195 @@
+package sig
+
+import (
+	"fmt"
+	"math"
+)
+
+// Source produces sampled complex signals. Generate appends n samples to
+// dst and returns the extended slice; successive calls continue the signal
+// (generators carry phase/symbol state).
+type Source interface {
+	// Generate appends n samples and returns the extended slice.
+	Generate(dst []complex128, n int) []complex128
+}
+
+// Samples is a convenience helper collecting n samples from a source into
+// a fresh slice.
+func Samples(s Source, n int) []complex128 {
+	return s.Generate(make([]complex128, 0, n), n)
+}
+
+// Tone is a complex exponential carrier: amp·e^{j(2πf·k + φ)}. With
+// Real=true it produces the real cosine amp·cos(2πf·k + φ) instead, which
+// is the passband form whose spectrum is conjugate-symmetric.
+type Tone struct {
+	Amp   float64
+	Freq  float64 // cycles per sample
+	Phase float64 // radians
+	Real  bool
+	k     int
+}
+
+// Generate appends n samples of the tone.
+func (t *Tone) Generate(dst []complex128, n int) []complex128 {
+	for i := 0; i < n; i++ {
+		arg := 2*math.Pi*t.Freq*float64(t.k) + t.Phase
+		if t.Real {
+			dst = append(dst, complex(t.Amp*math.Cos(arg), 0))
+		} else {
+			dst = append(dst, complex(t.Amp*math.Cos(arg), t.Amp*math.Sin(arg)))
+		}
+		t.k++
+	}
+	return dst
+}
+
+// AM is an amplitude-modulated real carrier:
+// amp·(1 + depth·cos(2πf_mod·k))·cos(2πf_c·k + φ). AM exhibits strong
+// cyclostationarity at cycle frequencies 2·f_c and 2·f_c ± f_mod.
+type AM struct {
+	Amp     float64
+	Carrier float64 // cycles per sample
+	ModFreq float64 // cycles per sample
+	Depth   float64 // modulation index in [0,1]
+	Phase   float64
+	k       int
+}
+
+// Generate appends n samples of the AM signal.
+func (a *AM) Generate(dst []complex128, n int) []complex128 {
+	for i := 0; i < n; i++ {
+		env := 1 + a.Depth*math.Cos(2*math.Pi*a.ModFreq*float64(a.k))
+		dst = append(dst, complex(a.Amp*env*math.Cos(2*math.Pi*a.Carrier*float64(a.k)+a.Phase), 0))
+		a.k++
+	}
+	return dst
+}
+
+// BPSK is a binary phase-shift keyed carrier with rectangular pulses:
+// amp·b_m·cos(2πf_c·k + φ) with b_m ∈ {±1} and m = ⌊k/SymbolLen⌋.
+// Real BPSK has cyclic features at α = k/T_sym and at α = 2f_c ± k/T_sym;
+// the doubled-carrier line at 2f_c is the feature classic CFD detectors
+// key on (Enserink & Cochran, ref [2] of the paper).
+type BPSK struct {
+	Amp       float64
+	Carrier   float64 // cycles per sample
+	SymbolLen int     // samples per symbol
+	Phase     float64
+	Rng       *Rand // symbol source; required
+	k         int
+	sym       float64
+}
+
+// Generate appends n samples of the BPSK signal. It panics if Rng is nil
+// or SymbolLen is not positive, which are programming errors.
+func (b *BPSK) Generate(dst []complex128, n int) []complex128 {
+	if b.Rng == nil {
+		panic("sig: BPSK needs a Rng")
+	}
+	if b.SymbolLen <= 0 {
+		panic(fmt.Sprintf("sig: BPSK SymbolLen %d must be positive", b.SymbolLen))
+	}
+	for i := 0; i < n; i++ {
+		if b.k%b.SymbolLen == 0 {
+			b.sym = b.Rng.Bit()
+		}
+		arg := 2*math.Pi*b.Carrier*float64(b.k) + b.Phase
+		dst = append(dst, complex(b.Amp*b.sym*math.Cos(arg), 0))
+		b.k++
+	}
+	return dst
+}
+
+// QPSK is a quadrature phase-shift keyed carrier with rectangular pulses:
+// amp·(i_m·cos(2πf_c·k+φ) − q_m·sin(2πf_c·k+φ)). QPSK suppresses the
+// doubled-carrier feature of BPSK but keeps symbol-rate features — the
+// textbook pair for showing that CFD can also discriminate modulations.
+type QPSK struct {
+	Amp       float64
+	Carrier   float64
+	SymbolLen int
+	Phase     float64
+	Rng       *Rand
+	k         int
+	i, q      float64
+}
+
+// Generate appends n samples of the QPSK signal. It panics if Rng is nil
+// or SymbolLen is not positive.
+func (b *QPSK) Generate(dst []complex128, n int) []complex128 {
+	if b.Rng == nil {
+		panic("sig: QPSK needs a Rng")
+	}
+	if b.SymbolLen <= 0 {
+		panic(fmt.Sprintf("sig: QPSK SymbolLen %d must be positive", b.SymbolLen))
+	}
+	inv := 1 / math.Sqrt2
+	for i := 0; i < n; i++ {
+		if b.k%b.SymbolLen == 0 {
+			b.i = b.Rng.Bit() * inv
+			b.q = b.Rng.Bit() * inv
+		}
+		arg := 2*math.Pi*b.Carrier*float64(b.k) + b.Phase
+		dst = append(dst, complex(b.Amp*(b.i*math.Cos(arg)-b.q*math.Sin(arg)), 0))
+		b.k++
+	}
+	return dst
+}
+
+// WGN is white Gaussian noise. With Real=true the imaginary part is zero
+// and Sigma is the real-sample standard deviation; otherwise the noise is
+// circularly symmetric complex with per-component deviation Sigma/√2 so
+// that E|x|² = Sigma².
+type WGN struct {
+	Sigma float64
+	Real  bool
+	Rng   *Rand
+}
+
+// Generate appends n noise samples. It panics if Rng is nil.
+func (w *WGN) Generate(dst []complex128, n int) []complex128 {
+	if w.Rng == nil {
+		panic("sig: WGN needs a Rng")
+	}
+	for i := 0; i < n; i++ {
+		if w.Real {
+			dst = append(dst, complex(w.Sigma*w.Rng.NormFloat64(), 0))
+		} else {
+			dst = append(dst, w.Rng.NormComplex(w.Sigma/math.Sqrt2))
+		}
+	}
+	return dst
+}
+
+// Mix sums several sources sample by sample.
+type Mix struct {
+	Sources []Source
+}
+
+// Generate appends n summed samples.
+func (m *Mix) Generate(dst []complex128, n int) []complex128 {
+	parts := make([][]complex128, len(m.Sources))
+	for i, s := range m.Sources {
+		parts[i] = s.Generate(nil, n)
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for i := range parts {
+			sum += parts[i][k]
+		}
+		dst = append(dst, sum)
+	}
+	return dst
+}
+
+// Silence produces all-zero samples (an idle band).
+type Silence struct{}
+
+// Generate appends n zero samples.
+func (Silence) Generate(dst []complex128, n int) []complex128 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, 0)
+	}
+	return dst
+}

@@ -1,0 +1,85 @@
+package soc
+
+import (
+	"fmt"
+	"sync"
+
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/scf"
+)
+
+// Bank is a set of independent platform instances, each sensing its own
+// band — the scaling unit of the paper's section 5 ("the analysed
+// bandwidth, chip area and power consumption scale linearly with the
+// number of Montium processors"). Instances run concurrently and share
+// nothing.
+type Bank struct {
+	cfg       Config
+	platforms []*Platform
+}
+
+// BandResult is the outcome of one instance's run.
+type BandResult struct {
+	Band    int
+	Surface *scf.FixedSurface
+	Report  *Report
+}
+
+// NewBank builds n independent platforms with the same configuration.
+func NewBank(cfg Config, n int) (*Bank, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("soc: bank needs at least 1 instance, got %d", n)
+	}
+	b := &Bank{cfg: cfg.WithDefaults()}
+	for i := 0; i < n; i++ {
+		p, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		b.platforms = append(b.platforms, p)
+	}
+	return b, nil
+}
+
+// Instances returns the number of platforms in the bank.
+func (b *Bank) Instances() int { return len(b.platforms) }
+
+// Run senses all bands concurrently; bands[i] feeds instance i. Each band
+// needs K·Blocks samples. The aggregate consumed sample count (and hence
+// analysed bandwidth) scales linearly with the instance count while the
+// per-band latency stays that of a single platform — the measured form of
+// the linear-scaling claim.
+func (b *Bank) Run(bands [][]fixed.Complex) ([]BandResult, error) {
+	if len(bands) != len(b.platforms) {
+		return nil, fmt.Errorf("soc: bank has %d instances, got %d bands", len(b.platforms), len(bands))
+	}
+	results := make([]BandResult, len(bands))
+	errs := make([]error, len(bands))
+	var wg sync.WaitGroup
+	for i := range bands {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			surf, report, err := b.platforms[i].Run(bands[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = BandResult{Band: i, Surface: surf, Report: report}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("soc: band %d failed: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// AggregateSamples returns the total input samples one bank run consumes:
+// instances × K × Blocks. Divided by the per-block critical path it gives
+// the bank's aggregate sample rate.
+func (b *Bank) AggregateSamples() int {
+	return len(b.platforms) * b.cfg.K * b.cfg.Blocks
+}

@@ -1,0 +1,99 @@
+package soc
+
+import (
+	"testing"
+
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/scf"
+	"tiledcfd/internal/trace"
+)
+
+func TestBankRunsIndependentBands(t *testing.T) {
+	cfg := Config{K: 64, M: 16, Q: 2, Blocks: 2}
+	const n = 3
+	bank, err := NewBank(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bank.Instances() != n {
+		t.Fatalf("instances %d", bank.Instances())
+	}
+	bands := make([][]fixed.Complex, n)
+	for i := range bands {
+		bands[i] = socSamples(uint64(100+i), 64*2)
+	}
+	results, err := bank.Run(bands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every band must be bit-exact against its own reference, and the
+	// per-band critical path must equal the single-platform one (latency
+	// does not degrade with scale).
+	single, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, soloReport, err := single.Run(bands[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		want, err := scf.ComputeFixed(bands[i], scf.Params{K: 64, M: 16, Blocks: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, diag := res.Surface.Equal(want); !ok {
+			t.Fatalf("band %d deviates: %s", i, diag)
+		}
+		if res.Report.CyclesPerBlock != soloReport.CyclesPerBlock {
+			t.Fatalf("band %d cycles %d != solo %d", i, res.Report.CyclesPerBlock, soloReport.CyclesPerBlock)
+		}
+	}
+	// Aggregate throughput scales linearly: n × the single-platform
+	// sample count for the same wall-clock (cycle) budget.
+	if bank.AggregateSamples() != n*64*2 {
+		t.Fatalf("aggregate samples %d", bank.AggregateSamples())
+	}
+}
+
+func TestBankErrors(t *testing.T) {
+	if _, err := NewBank(Config{K: 64, M: 16, Q: 2}, 0); err == nil {
+		t.Error("zero instances should fail")
+	}
+	if _, err := NewBank(Config{K: 256, M: 64, Q: 1}, 2); err == nil {
+		t.Error("infeasible config should fail")
+	}
+	bank, err := NewBank(Config{K: 64, M: 16, Q: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bank.Run(make([][]fixed.Complex, 1)); err == nil {
+		t.Error("band count mismatch should fail")
+	}
+	if _, err := bank.Run([][]fixed.Complex{make([]fixed.Complex, 4), make([]fixed.Complex, 4)}); err == nil {
+		t.Error("short bands should fail")
+	}
+}
+
+func TestPlatformTrace(t *testing.T) {
+	p, err := New(Config{K: 64, M: 16, Q: 2, Blocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec trace.Recorder
+	p.EnableTrace(&rec)
+	_, report, err := p.Run(socSamples(61, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trace totals match the report per tile.
+	for q, tr := range report.Tiles {
+		name := "tile" + string(rune('0'+q))
+		if got := rec.TotalIn(name, ""); got != tr.Cycles {
+			t.Errorf("%s trace total %d, report %d", name, got, tr.Cycles)
+		}
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no spans recorded")
+	}
+}

@@ -1,0 +1,24 @@
+// Package soc assembles the full AAF platform of the paper's step 2: Q
+// Montium tiles (internal/montium) connected by the line-topology NoC
+// (internal/noc), executing the folded CFD mapping end to end.
+//
+// Per integration block every tile runs the same kernel sequence the
+// paper's Table 1 accounts for — FFT (1040 cycles at K=256), reshuffle
+// (256), chain initialisation (127), then F = 127 time steps of up to
+// T = 32 multiply-accumulates (3 cycles each) preceded by a 3-cycle
+// read-data phase in which the chains shift one position and boundary
+// values cross the NoC.
+//
+// Two execution engines produce bit-identical results:
+//
+//   - RunSync: a deterministic lockstep interpreter, the reference;
+//   - Run: one goroutine per tile with channel links, the natural Go
+//     realisation of the systolic pipeline — tiles self-synchronise
+//     through the flow-controlled links exactly like the hardware, and no
+//     global barrier exists.
+//
+// The Report captures, per tile, the measured Table 1, total cycles, ALU
+// operation counts, and NoC traffic; platform-level figures (cycles per
+// block, the 139.96 µs integration step, the communication/compute ratio
+// of experiment E12) derive from it via internal/perf.
+package soc

@@ -1,0 +1,98 @@
+package soc
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"tiledcfd/internal/scf"
+)
+
+func TestPlatformRealInputFFT(t *testing.T) {
+	// The executed real-FFT ablation at platform level: the block total
+	// drops from 13996 to 13546 cycles and the DSCF stays within
+	// fixed-point rounding of the complex-kernel platform.
+	x := socSamples(71, 256) // real samples
+	ref, err := New(Config{K: 256, M: 64, Q: 4, Blocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sref, rref, err := ref.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(Config{K: 256, M: 64, Q: 4, Blocks: 1, RealInputFFT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sopt, ropt, err := opt.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rref.CyclesPerBlock != 13996 {
+		t.Fatalf("complex platform cycles %d", rref.CyclesPerBlock)
+	}
+	if ropt.CyclesPerBlock != 13546 {
+		t.Fatalf("real-FFT platform cycles %d, want 13546", ropt.CyclesPerBlock)
+	}
+	if ropt.Tiles[0].Table1.FFT != 590 {
+		t.Fatalf("real-FFT row %d, want 590", ropt.Tiles[0].Table1.FFT)
+	}
+	// Surfaces agree within a few LSB per cell (different rounding paths).
+	worst := 0.0
+	for ai := range sref.Data {
+		for fi := range sref.Data[ai] {
+			d := cmplx.Abs(sref.Data[ai][fi].Complex128() - sopt.Data[ai][fi].Complex128())
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 5e-3 {
+		t.Fatalf("real-FFT surface deviates by %g", worst)
+	}
+}
+
+func TestPlatformRealInputFFTRejectsComplexSamples(t *testing.T) {
+	p, err := New(Config{K: 64, M: 16, Q: 2, Blocks: 1, RealInputFFT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complex (non-real) input must fail cleanly through the tile error path.
+	x := socSamples(73, 64)
+	for i := range x {
+		x[i].Im = 7 // force non-real
+	}
+	if _, _, err := p.Run(x); err == nil {
+		t.Fatal("complex samples with RealInputFFT should fail")
+	}
+}
+
+func TestPlatformRealInputFFTStillDetects(t *testing.T) {
+	// End-to-end sanity: the optimised platform produces a usable DSCF.
+	x := socSamples(75, 64*4)
+	p, err := New(Config{K: 64, M: 16, Q: 2, Blocks: 4, RealInputFFT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf, _, err := p.Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := scf.ComputeFixed(x, scf.Params{K: 64, M: 16, Blocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close to the complex-kernel reference (not bit-exact).
+	worst := 0.0
+	for ai := range surf.Data {
+		for fi := range surf.Data[ai] {
+			d := cmplx.Abs(surf.Data[ai][fi].Complex128() - ref.Data[ai][fi].Complex128())
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 5e-3 {
+		t.Fatalf("optimised platform deviates from reference by %g", worst)
+	}
+}

@@ -1,0 +1,214 @@
+package soc
+
+import (
+	"fmt"
+	"sync"
+
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/montium"
+	"tiledcfd/internal/scf"
+)
+
+// lastActive returns the highest tile index that owns tasks; the folded
+// line array ends there, and that tile injects X-chain values from its own
+// spectrum.
+func (p *Platform) lastActive() int {
+	last := 0
+	for q, c := range p.cores {
+		if c.Config().OwnT() > 0 {
+			last = q
+		}
+	}
+	return last
+}
+
+// blockPrefix runs the per-block kernel sequence that precedes the MAC
+// loop on one tile: sample load (uncounted DMA), FFT (complex or
+// real-input per configuration), reshuffle, chain initialisation.
+func blockPrefix(c *montium.Core, block []fixed.Complex, realFFT bool) error {
+	if err := c.LoadSamples(block); err != nil {
+		return err
+	}
+	if realFFT {
+		if err := c.RunFFTRealInput(); err != nil {
+			return err
+		}
+	} else if err := c.RunFFT(); err != nil {
+		return err
+	}
+	if err := c.RunReshuffle(); err != nil {
+		return err
+	}
+	return c.RunInit()
+}
+
+// sendBoundaries transmits tile q's outgoing pre-shift chain values.
+func (p *Platform) sendBoundaries(q, last int) error {
+	c := p.cores[q]
+	if c.Config().OwnT() == 0 {
+		return nil
+	}
+	xLow, cHigh, err := c.PeekBoundary()
+	if err != nil {
+		return err
+	}
+	if q > 0 {
+		if err := p.fabric.XDown(q - 1).Send(xLow); err != nil {
+			return err
+		}
+	}
+	if q < last {
+		if err := p.fabric.CUp(q + 1).Send(cHigh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvBoundaries obtains tile q's incoming chain values for the shift of
+// the given step: from neighbours over the NoC, or from the tile's own
+// spectrum buffer at the array ends (injected bin index = step).
+func (p *Platform) recvBoundaries(q, last, step int) (xIn, cIn fixed.Complex, err error) {
+	c := p.cores[q]
+	if q < last {
+		if xIn, err = p.fabric.XDown(q).Recv(); err != nil {
+			return
+		}
+	} else if xIn, err = c.SpectrumValue(step); err != nil {
+		return
+	}
+	if q > 0 {
+		cIn, err = p.fabric.CUp(q).Recv()
+	} else {
+		cIn, err = c.SpectrumValue(step)
+	}
+	return
+}
+
+// Run executes the platform with one goroutine per tile, tiles
+// self-synchronising through the NoC links (the Go twin of the systolic
+// pipeline). It returns the accumulated DSCF and the execution report.
+func (p *Platform) Run(x []fixed.Complex) (*scf.FixedSurface, *Report, error) {
+	if len(x) < p.samplesNeeded() {
+		return nil, nil, fmt.Errorf("soc: need %d samples, have %d", p.samplesNeeded(), len(x))
+	}
+	last := p.lastActive()
+	f := 2*p.cfg.M - 1
+	perBlock := make([]montium.Table1, p.cfg.Q)
+	errs := make([]error, p.cfg.Q)
+	var wg sync.WaitGroup
+	for q := range p.cores {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			c := p.cores[q]
+			if c.Config().OwnT() == 0 {
+				return // idle tile (Q > P): no tasks, no traffic
+			}
+			for n := 0; n < p.cfg.Blocks; n++ {
+				block := x[n*p.cfg.K : (n+1)*p.cfg.K]
+				if err := blockPrefix(c, block, p.cfg.RealInputFFT); err != nil {
+					errs[q] = err
+					p.fabric.Abort()
+					return
+				}
+				for step := 0; step < f; step++ {
+					var xIn, cIn fixed.Complex
+					if step > 0 {
+						if err := p.sendBoundaries(q, last); err != nil {
+							errs[q] = err
+							p.fabric.Abort()
+							return
+						}
+						var err error
+						if xIn, cIn, err = p.recvBoundaries(q, last, step); err != nil {
+							errs[q] = err
+							p.fabric.Abort()
+							return
+						}
+					}
+					if err := c.MACStep(step, xIn, cIn); err != nil {
+						errs[q] = err
+						p.fabric.Abort()
+						return
+					}
+				}
+				if n == 0 {
+					perBlock[q] = c.Table1()
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	p.flushTraces()
+	for q, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("soc: tile %d failed: %w", q, err)
+		}
+	}
+	surf, err := p.collectSurface()
+	if err != nil {
+		return nil, nil, err
+	}
+	return surf, p.report(perBlock), nil
+}
+
+// RunSync executes the platform as a deterministic lockstep interpreter:
+// per time step, first every tile transmits its boundary values, then
+// every tile receives and executes. It uses the same links and kernels as
+// Run and produces bit-identical results; it exists as the reference
+// engine and for environments where goroutine scheduling is unwanted.
+func (p *Platform) RunSync(x []fixed.Complex) (*scf.FixedSurface, *Report, error) {
+	if len(x) < p.samplesNeeded() {
+		return nil, nil, fmt.Errorf("soc: need %d samples, have %d", p.samplesNeeded(), len(x))
+	}
+	last := p.lastActive()
+	f := 2*p.cfg.M - 1
+	perBlock := make([]montium.Table1, p.cfg.Q)
+	active := make([]int, 0, p.cfg.Q)
+	for q, c := range p.cores {
+		if c.Config().OwnT() > 0 {
+			active = append(active, q)
+		}
+	}
+	for n := 0; n < p.cfg.Blocks; n++ {
+		block := x[n*p.cfg.K : (n+1)*p.cfg.K]
+		for _, q := range active {
+			if err := blockPrefix(p.cores[q], block, p.cfg.RealInputFFT); err != nil {
+				return nil, nil, fmt.Errorf("soc: tile %d failed: %w", q, err)
+			}
+		}
+		for step := 0; step < f; step++ {
+			if step > 0 {
+				for _, q := range active {
+					if err := p.sendBoundaries(q, last); err != nil {
+						return nil, nil, fmt.Errorf("soc: tile %d failed: %w", q, err)
+					}
+				}
+			}
+			for _, q := range active {
+				var xIn, cIn fixed.Complex
+				if step > 0 {
+					var err error
+					if xIn, cIn, err = p.recvBoundaries(q, last, step); err != nil {
+						return nil, nil, fmt.Errorf("soc: tile %d failed: %w", q, err)
+					}
+				}
+				if err := p.cores[q].MACStep(step, xIn, cIn); err != nil {
+					return nil, nil, fmt.Errorf("soc: tile %d failed: %w", q, err)
+				}
+			}
+		}
+		if n == 0 {
+			for _, q := range active {
+				perBlock[q] = p.cores[q].Table1()
+			}
+		}
+	}
+	p.flushTraces()
+	surf, err := p.collectSurface()
+	if err != nil {
+		return nil, nil, err
+	}
+	return surf, p.report(perBlock), nil
+}

@@ -1,0 +1,84 @@
+package soc
+
+import (
+	"testing"
+)
+
+func TestSweepCoresPaperGeometry(t *testing.T) {
+	x := socSamples(63, 256)
+	points, err := SweepCores(256, 64, []int{1, 2, 4, 8, 16}, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("points %d", len(points))
+	}
+	// Q=1 and Q=2 are memory-infeasible at M=64 (E7).
+	if points[0].Feasible || points[1].Feasible {
+		t.Fatalf("Q=1/2 should be infeasible: %+v %+v", points[0], points[1])
+	}
+	// Q=4 is the paper's configuration.
+	if !points[2].Feasible || points[2].CyclesPerBlock != 13996 {
+		t.Fatalf("Q=4 point: %+v", points[2])
+	}
+	if points[2].T != 32 {
+		t.Fatalf("Q=4 busiest tile tasks %d", points[2].T)
+	}
+	// MAC fraction at Q=4 is 12192/13996 ≈ 87%.
+	if points[2].MACFraction < 0.85 || points[2].MACFraction > 0.9 {
+		t.Fatalf("Q=4 MAC fraction %v", points[2].MACFraction)
+	}
+	// More cores shrink the block, but never below the serial floor.
+	floor := SerialCycles(256, 64)
+	if points[3].CyclesPerBlock >= points[2].CyclesPerBlock {
+		t.Fatalf("Q=8 (%d) not faster than Q=4 (%d)", points[3].CyclesPerBlock, points[2].CyclesPerBlock)
+	}
+	if points[4].CyclesPerBlock >= points[3].CyclesPerBlock {
+		t.Fatalf("Q=16 (%d) not faster than Q=8 (%d)", points[4].CyclesPerBlock, points[3].CyclesPerBlock)
+	}
+	for _, p := range points[2:] {
+		if p.CyclesPerBlock <= floor {
+			t.Fatalf("Q=%d cycles %d below serial floor %d", p.Q, p.CyclesPerBlock, floor)
+		}
+	}
+}
+
+func TestSerialCyclesPaper(t *testing.T) {
+	// FFT 1040 + reshuffle 256 + init 127 + read data 381 = 1804: the
+	// Q-independent floor of the paper's configuration.
+	if got := SerialCycles(256, 64); got != 1804 {
+		t.Fatalf("SerialCycles = %d, want 1804", got)
+	}
+}
+
+func TestSweepCoresConsistentWithSchedule(t *testing.T) {
+	// Measured block cycles at each feasible Q equal serial floor plus
+	// busiest-tile MAC cycles.
+	x := socSamples(64, 64)
+	points, err := SweepCores(64, 16, []int{1, 2, 3, 4}, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := SerialCycles(64, 16)
+	for _, p := range points {
+		if !p.Feasible {
+			t.Fatalf("Q=%d unexpectedly infeasible", p.Q)
+		}
+		want := floor + int64(3*p.T*(2*16-1))
+		if p.CyclesPerBlock != want {
+			t.Fatalf("Q=%d cycles %d, want %d", p.Q, p.CyclesPerBlock, want)
+		}
+	}
+}
+
+func TestSweepCoresErrors(t *testing.T) {
+	if _, err := SweepCores(64, 16, nil, nil); err == nil {
+		t.Error("empty sweep should fail")
+	}
+	if _, err := SweepCores(64, 16, []int{0}, socSamples(1, 64)); err == nil {
+		t.Error("zero core count should fail")
+	}
+	if _, err := SweepCores(64, 16, []int{2}, socSamples(1, 16)); err == nil {
+		t.Error("short samples should fail")
+	}
+}

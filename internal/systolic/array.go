@@ -1,0 +1,104 @@
+package systolic
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/scf"
+)
+
+// FixedArray is the unfolded systolic line array of Figure 7 in Q15
+// arithmetic: one PE per frequency offset a, each with a register+adder
+// accumulator bank addressed by frequency (Figure 4), fed by two shift
+// chains with one tap per PE.
+type FixedArray struct {
+	m     int
+	surf  *scf.FixedSurface
+	xTaps []fixed.Complex // chain of X[f+a], flows towards -a
+	cTaps []fixed.Complex // chain of X[f-a] operands, flows towards +a
+	macs  int64
+	shift int64
+	loads int64
+}
+
+// NewFixedArray builds an array for half-extent m (P = 2m-1 PEs).
+func NewFixedArray(m int) (*FixedArray, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("systolic: NewFixedArray m=%d must be >= 1", m)
+	}
+	p := 2*m - 1
+	return &FixedArray{
+		m:     m,
+		surf:  scf.NewFixedSurface(m),
+		xTaps: make([]fixed.Complex, p),
+		cTaps: make([]fixed.Complex, p),
+	}, nil
+}
+
+// P returns the PE count.
+func (ar *FixedArray) P() int { return 2*ar.m - 1 }
+
+// tapIndex converts offset a to a tap slice index.
+func (ar *FixedArray) tapIndex(a int) int { return a + ar.m - 1 }
+
+// ProcessBlock runs one full integration step (one block spectrum) through
+// the array: chain initialisation, then F time steps of parallel MACs with
+// a chain shift and end injections between steps. The spectrum length must
+// be a power of two at least 4(m-1)+1 so every addressed bin exists.
+func (ar *FixedArray) ProcessBlock(spec []fixed.Complex) error {
+	k := len(spec)
+	if !fft.IsPow2(k) {
+		return fmt.Errorf("systolic: spectrum length %d not a power of two", k)
+	}
+	if 4*(ar.m-1)+1 > k {
+		return fmt.Errorf("systolic: spectrum length %d too short for m=%d", k, ar.m)
+	}
+	ext := ar.m - 1
+	t0 := -ext
+	// Initialisation: preload both chains with the first window
+	// (the paper's "initialisation" phase; P parallel loads).
+	for a := -ext; a <= ext; a++ {
+		ar.xTaps[ar.tapIndex(a)] = spec[fft.BinIndex(k, t0+a)]
+		ar.cTaps[ar.tapIndex(a)] = spec[fft.BinIndex(k, t0-a)]
+		ar.loads++
+	}
+	// F time steps: t plays the role of the frequency f.
+	for t := -ext; t <= ext; t++ {
+		for a := -ext; a <= ext; a++ {
+			// PE a: S_f^a += X[f+a]·conj(X[f-a]) from its two taps only.
+			ar.surf.MAC(t, a, ar.xTaps[ar.tapIndex(a)], ar.cTaps[ar.tapIndex(a)])
+			ar.macs++
+		}
+		if t < ext {
+			ar.shiftChains(spec, k, t)
+		}
+	}
+	return nil
+}
+
+// shiftChains advances both chains one position and injects the fresh
+// spectral value (bin t+m) at each entry end, per the derived register
+// structure: X flows towards -a (inject at +ext), the conjugate-operand
+// chain towards +a (inject at -ext).
+func (ar *FixedArray) shiftChains(spec []fixed.Complex, k, t int) {
+	ext := ar.m - 1
+	for a := -ext; a < ext; a++ {
+		ar.xTaps[ar.tapIndex(a)] = ar.xTaps[ar.tapIndex(a+1)]
+	}
+	ar.xTaps[ar.tapIndex(ext)] = spec[fft.BinIndex(k, t+ar.m)]
+	for a := ext; a > -ext; a-- {
+		ar.cTaps[ar.tapIndex(a)] = ar.cTaps[ar.tapIndex(a-1)]
+	}
+	ar.cTaps[ar.tapIndex(-ext)] = spec[fft.BinIndex(k, t+ar.m)]
+	ar.shift++
+}
+
+// Surface returns the accumulated DSCF (shared, not copied).
+func (ar *FixedArray) Surface() *scf.FixedSurface { return ar.surf }
+
+// Ops returns operation counters: multiply-accumulates, chain shifts and
+// initial loads performed so far.
+func (ar *FixedArray) Ops() (macs, shifts, loads int64) {
+	return ar.macs, ar.shift, ar.loads
+}

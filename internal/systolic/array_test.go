@@ -1,0 +1,142 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/scf"
+	"tiledcfd/internal/sig"
+)
+
+// makeSpectra produces Q15 block spectra via the shared fixed FFT, so the
+// simulators and the reference consume identical inputs.
+func makeSpectra(t testing.TB, seed uint64, p scf.Params) [][]fixed.Complex {
+	t.Helper()
+	p = p.WithDefaults()
+	rng := sig.NewRand(seed)
+	x := sig.Samples(&sig.WGN{Sigma: 0.45, Real: true, Rng: rng}, p.SamplesNeeded())
+	spectra, err := scf.FixedSpectra(fixed.FromFloatSlice(x), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spectra
+}
+
+func TestUnfoldedMatchesReference(t *testing.T) {
+	// E5: the Figure 7 systolic array computes exactly the reference DSCF.
+	p := scf.Params{K: 64, M: 16, Blocks: 3}
+	spectra := makeSpectra(t, 42, p)
+	want, err := scf.AccumulateFixed(spectra, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := NewFixedArray(p.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range spectra {
+		if err := ar.ProcessBlock(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, diag := ar.Surface().Equal(want); !ok {
+		t.Fatalf("systolic array deviates from reference: %s", diag)
+	}
+}
+
+func TestUnfoldedPaperGeometry(t *testing.T) {
+	ar, err := NewFixedArray(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.P() != 127 {
+		t.Fatalf("P = %d, want 127", ar.P())
+	}
+	p := scf.Params{K: 256, M: 64, Blocks: 1}
+	spectra := makeSpectra(t, 7, p)
+	if err := ar.ProcessBlock(spectra[0]); err != nil {
+		t.Fatal(err)
+	}
+	macs, shifts, loads := ar.Ops()
+	if macs != 127*127 {
+		t.Fatalf("MACs = %d, want 16129 (P·F)", macs)
+	}
+	if shifts != 126 {
+		t.Fatalf("shifts = %d, want F-1 = 126", shifts)
+	}
+	if loads != 127 {
+		t.Fatalf("initial loads = %d, want P = 127 (Table 1 'initialisation')", loads)
+	}
+}
+
+func TestUnfoldedOperandLocality(t *testing.T) {
+	// The PE may only touch its own taps. Feed a spectrum with a marker in
+	// exactly one bin and verify only the cells whose operands address that
+	// bin are non-zero — which proves taps delivered the right bins.
+	const k, m = 32, 4
+	spec := make([]fixed.Complex, k)
+	marker := fixed.Complex{Re: 16384, Im: 0}
+	spec[3] = marker // bin +3 only
+	ar, err := NewFixedArray(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ar.ProcessBlock(spec); err != nil {
+		t.Fatal(err)
+	}
+	surf := ar.Surface()
+	for a := -(m - 1); a <= m-1; a++ {
+		for f := -(m - 1); f <= m-1; f++ {
+			got := surf.At(f, a)
+			wantNonZero := f+a == 3 && f-a == 3 // both operands must hit bin 3
+			if wantNonZero && got.IsZero() {
+				t.Fatalf("cell (f=%d,a=%d) should be non-zero", f, a)
+			}
+			if !wantNonZero && !got.IsZero() {
+				t.Fatalf("cell (f=%d,a=%d) = %+v, want zero", f, a, got)
+			}
+		}
+	}
+}
+
+func TestUnfoldedErrors(t *testing.T) {
+	if _, err := NewFixedArray(0); err == nil {
+		t.Error("m=0 should fail")
+	}
+	ar, _ := NewFixedArray(8)
+	if err := ar.ProcessBlock(make([]fixed.Complex, 20)); err == nil {
+		t.Error("non-pow2 spectrum should fail")
+	}
+	if err := ar.ProcessBlock(make([]fixed.Complex, 16)); err == nil {
+		t.Error("too-short spectrum should fail")
+	}
+}
+
+// Property: unfolded array equals reference for random signals and sizes.
+func TestQuickUnfoldedEquivalence(t *testing.T) {
+	f := func(seed uint64, m8 uint8, blocks8 uint8) bool {
+		m := int(m8%7) + 2 // 2..8
+		blocks := int(blocks8%3) + 1
+		p := scf.Params{K: 64, M: m, Blocks: blocks}
+		spectra := makeSpectra(t, seed, p)
+		want, err := scf.AccumulateFixed(spectra, p)
+		if err != nil {
+			return false
+		}
+		ar, err := NewFixedArray(m)
+		if err != nil {
+			return false
+		}
+		for _, spec := range spectra {
+			if ar.ProcessBlock(spec) != nil {
+				return false
+			}
+		}
+		ok, _ := ar.Surface().Equal(want)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package systolic
+
+import (
+	"testing"
+
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/scf"
+	"tiledcfd/internal/sig"
+)
+
+func benchSpectrum(b *testing.B) []fixed.Complex {
+	b.Helper()
+	rng := sig.NewRand(3)
+	x := fixed.FromFloatSlice(sig.Samples(&sig.WGN{Sigma: 0.4, Real: true, Rng: rng}, 256))
+	spectra, err := scf.FixedSpectra(x, scf.Params{K: 256, M: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spectra[0]
+}
+
+func BenchmarkUnfoldedBlock(b *testing.B) {
+	spec := benchSpectrum(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar, err := NewFixedArray(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ar.ProcessBlock(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFoldedBlockQ4(b *testing.B) {
+	spec := benchSpectrum(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fa, err := NewFoldedArray(64, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fa.ProcessBlock(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package systolic simulates, cycle-step by cycle-step, the two array
+// architectures step 1 of the paper derives:
+//
+//   - FixedArray: the unfolded systolic line of Figure 7 — P = 2M-1
+//     multiply-accumulate PEs, two counter-flowing shift-register chains
+//     (the X values travelling towards decreasing a, the conjugate
+//     operands towards increasing a), time-multiplexed over F = 2M-1
+//     frequency steps with fresh spectral values injected at the array
+//     ends every step.
+//   - FoldedArray: the folded architecture of Figures 8/9 — Q cores, each
+//     owning T = ⌈P/Q⌉ consecutive taps of both chains (the paper maps
+//     them onto Montium memories M09/M10), switches walking the T taps
+//     within a time step, and the chains shifting one position per time
+//     step with boundary values crossing between neighbouring cores.
+//
+// Both simulators operate on Q15 spectra and perform exactly one
+// saturating multiply-accumulate per grid cell per block, in a definite
+// order, so their outputs are bit-identical to the scf.ComputeFixed
+// reference — the equivalence the E5 and E6 experiments assert. The PE
+// applies the conjugation inside its multiplier (x·conj(y)); the second
+// chain carries the operand values in the reshuffled order the paper's
+// Figure 1 calls "the flow of the complex conjugate".
+//
+// This package is purely functional/synchronous; the goroutine-per-tile
+// concurrent execution with explicit inter-core links lives in
+// internal/soc on top of the same per-core arithmetic.
+package systolic

@@ -1,0 +1,208 @@
+package systolic
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/mapping"
+	"tiledcfd/internal/scf"
+)
+
+// CoreStats reports what one physical core of the folded array did.
+type CoreStats struct {
+	// Core is the core index q.
+	Core int
+	// Tasks is the number of logical tasks (taps) the core owns.
+	Tasks int
+	// MACs is the number of multiply-accumulates executed.
+	MACs int64
+	// Sent and Received count boundary chain values exchanged with
+	// neighbouring cores (the inter-core traffic of the paper's section 4).
+	Sent, Received int64
+}
+
+// foldedCore is the private state of one core: its contiguous tap
+// segments of both chains (the paper maps these onto Montium memories
+// M09 and M10) and its traffic counters.
+type foldedCore struct {
+	q        int
+	loA, hiA int // owned offsets, inclusive; loA > hiA means idle
+	xTaps    []fixed.Complex
+	cTaps    []fixed.Complex
+	macs     int64
+	sent     int64
+	received int64
+}
+
+func (c *foldedCore) tasks() int {
+	if c.loA > c.hiA {
+		return 0
+	}
+	return c.hiA - c.loA + 1
+}
+
+// FoldedArray is the folded architecture of Figures 8/9: the P-tap line
+// array distributed over Q cores via the expression 8/9 folding, with
+// switches walking each core's T taps within a time step and a single
+// chain shift (including inter-core boundary exchange) between steps.
+type FoldedArray struct {
+	m     int
+	fold  mapping.Folding
+	cores []*foldedCore
+	surf  *scf.FixedSurface
+	steps int64
+}
+
+// NewFoldedArray builds a folded array for half-extent m on q cores.
+func NewFoldedArray(m, q int) (*FoldedArray, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("systolic: NewFoldedArray m=%d must be >= 1", m)
+	}
+	fold, err := mapping.NewFolding(2*m-1, q)
+	if err != nil {
+		return nil, err
+	}
+	if err := fold.Validate(); err != nil {
+		return nil, err
+	}
+	fa := &FoldedArray{m: m, fold: fold, surf: scf.NewFixedSurface(m)}
+	for c := 0; c < q; c++ {
+		lo, hi := fold.TasksOf(c)
+		core := &foldedCore{
+			q:   c,
+			loA: mapping.AOf(lo, m),
+			hiA: mapping.AOf(hi-1, m),
+		}
+		if lo >= hi { // idle core
+			core.loA, core.hiA = 1, 0
+		} else {
+			core.xTaps = make([]fixed.Complex, hi-lo)
+			core.cTaps = make([]fixed.Complex, hi-lo)
+		}
+		fa.cores = append(fa.cores, core)
+	}
+	return fa, nil
+}
+
+// Folding returns the task-distribution parameters in use.
+func (fa *FoldedArray) Folding() mapping.Folding { return fa.fold }
+
+// ProcessBlock runs one integration step through the folded array. The
+// semantics (and the resulting bits) are identical to FixedArray; only the
+// ownership of taps and the explicit boundary exchange differ.
+func (fa *FoldedArray) ProcessBlock(spec []fixed.Complex) error {
+	k := len(spec)
+	if !fft.IsPow2(k) {
+		return fmt.Errorf("systolic: spectrum length %d not a power of two", k)
+	}
+	if 4*(fa.m-1)+1 > k {
+		return fmt.Errorf("systolic: spectrum length %d too short for m=%d", k, fa.m)
+	}
+	ext := fa.m - 1
+	t0 := -ext
+	// Initialisation: each core preloads its own tap segments.
+	for _, c := range fa.cores {
+		for i := 0; i < c.tasks(); i++ {
+			a := c.loA + i
+			c.xTaps[i] = spec[fft.BinIndex(k, t0+a)]
+			c.cTaps[i] = spec[fft.BinIndex(k, t0-a)]
+		}
+	}
+	for t := -ext; t <= ext; t++ {
+		// Each core executes its up-to-T tasks with the switch walking the
+		// taps; core order q=0..Q-1 with ascending taps gives the same
+		// global MAC order as the unfolded array.
+		for _, c := range fa.cores {
+			for i := 0; i < c.tasks(); i++ {
+				a := c.loA + i
+				fa.surf.MAC(t, a, c.xTaps[i], c.cTaps[i])
+				c.macs++
+			}
+		}
+		if t < ext {
+			fa.shiftWithExchange(spec, k, t)
+		}
+	}
+	fa.steps++
+	return nil
+}
+
+// shiftWithExchange advances both chains one position. Values crossing a
+// core boundary are counted as inter-core traffic on both sides; the array
+// ends inject the fresh bin t+m, exactly as in the unfolded array.
+func (fa *FoldedArray) shiftWithExchange(spec []fixed.Complex, k, t int) {
+	active := fa.activeCores()
+	n := len(active)
+	// X chain flows towards -a: tap a receives from a+1, so each core
+	// receives its neighbour-with-higher-a's lowest tap; the highest core
+	// injects.
+	xIn := make([]fixed.Complex, n)
+	for i, c := range active {
+		if i+1 < n {
+			xIn[i] = active[i+1].xTaps[0]
+			active[i+1].sent++
+			c.received++
+		} else {
+			xIn[i] = spec[fft.BinIndex(k, t+fa.m)]
+		}
+	}
+	// Conjugate-operand chain flows towards +a: tap a receives from a-1.
+	cIn := make([]fixed.Complex, n)
+	for i, c := range active {
+		if i > 0 {
+			prev := active[i-1]
+			cIn[i] = prev.cTaps[len(prev.cTaps)-1]
+			prev.sent++
+			c.received++
+		} else {
+			cIn[i] = spec[fft.BinIndex(k, t+fa.m)]
+		}
+	}
+	for i, c := range active {
+		nt := c.tasks()
+		copy(c.xTaps[0:], c.xTaps[1:nt])
+		c.xTaps[nt-1] = xIn[i]
+		copy(c.cTaps[1:nt], c.cTaps[0:nt-1])
+		c.cTaps[0] = cIn[i]
+	}
+}
+
+// activeCores returns the cores that own at least one task, in ascending
+// a order.
+func (fa *FoldedArray) activeCores() []*foldedCore {
+	var out []*foldedCore
+	for _, c := range fa.cores {
+		if c.tasks() > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Surface returns the accumulated DSCF (shared, not copied).
+func (fa *FoldedArray) Surface() *scf.FixedSurface { return fa.surf }
+
+// Stats returns per-core execution statistics.
+func (fa *FoldedArray) Stats() []CoreStats {
+	out := make([]CoreStats, len(fa.cores))
+	for i, c := range fa.cores {
+		out[i] = CoreStats{
+			Core: c.q, Tasks: c.tasks(), MACs: c.macs,
+			Sent: c.sent, Received: c.received,
+		}
+	}
+	return out
+}
+
+// CommComputeRatio returns total MACs divided by total boundary values
+// exchanged, the measured counterpart of the paper's claim that inter-core
+// data exchange runs a factor T slower than computation. Zero traffic
+// (single active core) returns +Inf semantics as (macs, 0).
+func (fa *FoldedArray) CommComputeRatio() (macs, transfers int64) {
+	for _, c := range fa.cores {
+		macs += c.macs
+		transfers += c.sent
+	}
+	return macs, transfers
+}

@@ -1,0 +1,212 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/scf"
+)
+
+func TestFoldedMatchesReferencePaperConfig(t *testing.T) {
+	// E6: the Figure 9 folded architecture (Q=4, T=32) computes exactly
+	// the reference DSCF.
+	p := scf.Params{K: 256, M: 64, Blocks: 2}
+	spectra := makeSpectra(t, 99, p)
+	want, err := scf.AccumulateFixed(spectra, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := NewFoldedArray(p.M, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Folding().T != 32 {
+		t.Fatalf("T = %d, want 32", fa.Folding().T)
+	}
+	for _, spec := range spectra {
+		if err := fa.ProcessBlock(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, diag := fa.Surface().Equal(want); !ok {
+		t.Fatalf("folded array deviates from reference: %s", diag)
+	}
+}
+
+func TestFoldedMatchesUnfolded(t *testing.T) {
+	p := scf.Params{K: 64, M: 16, Blocks: 2}
+	spectra := makeSpectra(t, 5, p)
+	unf, err := NewFixedArray(p.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fld, err := NewFoldedArray(p.M, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range spectra {
+		if err := unf.ProcessBlock(spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := fld.ProcessBlock(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, diag := fld.Surface().Equal(unf.Surface()); !ok {
+		t.Fatalf("folded != unfolded: %s", diag)
+	}
+}
+
+func TestFoldedLoadDistribution(t *testing.T) {
+	fa, err := NewFoldedArray(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := scf.Params{K: 256, M: 64, Blocks: 1}
+	spectra := makeSpectra(t, 3, p)
+	if err := fa.ProcessBlock(spectra[0]); err != nil {
+		t.Fatal(err)
+	}
+	stats := fa.Stats()
+	if len(stats) != 4 {
+		t.Fatalf("stats for %d cores", len(stats))
+	}
+	// Loads 32/32/32/31, MACs = load·F.
+	wantTasks := []int{32, 32, 32, 31}
+	for q, s := range stats {
+		if s.Tasks != wantTasks[q] {
+			t.Fatalf("core %d tasks %d, want %d", q, s.Tasks, wantTasks[q])
+		}
+		if s.MACs != int64(wantTasks[q]*127) {
+			t.Fatalf("core %d MACs %d, want %d", q, s.MACs, wantTasks[q]*127)
+		}
+	}
+}
+
+func TestFoldedCommComputeRatio(t *testing.T) {
+	// E12: each chain shift moves 2 boundary values per interior core
+	// boundary; with Q=4 that is 3 boundaries x 2 chains = 6 transfers per
+	// shift against 127 MACs per step — a factor ≥ T lower per core.
+	fa, err := NewFoldedArray(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := scf.Params{K: 256, M: 64, Blocks: 1}
+	spectra := makeSpectra(t, 11, p)
+	if err := fa.ProcessBlock(spectra[0]); err != nil {
+		t.Fatal(err)
+	}
+	macs, transfers := fa.CommComputeRatio()
+	if macs != 127*127 {
+		t.Fatalf("MACs %d", macs)
+	}
+	if transfers != 126*6 {
+		t.Fatalf("transfers %d, want 756 (126 shifts x 6 boundary values)", transfers)
+	}
+	// Per-core ratio: ~32 MACs per step vs ≤2 sends per step.
+	ratio := float64(macs) / float64(transfers)
+	if ratio < float64(fa.Folding().T)/2 {
+		t.Fatalf("comm/compute ratio %.1f too low vs T=%d", ratio, fa.Folding().T)
+	}
+}
+
+func TestFoldedSingleCore(t *testing.T) {
+	// Q=1: no boundaries at all, still exact.
+	p := scf.Params{K: 64, M: 8, Blocks: 1}
+	spectra := makeSpectra(t, 13, p)
+	want, err := scf.AccumulateFixed(spectra, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := NewFoldedArray(p.M, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.ProcessBlock(spectra[0]); err != nil {
+		t.Fatal(err)
+	}
+	if ok, diag := fa.Surface().Equal(want); !ok {
+		t.Fatalf("single-core folded wrong: %s", diag)
+	}
+	_, transfers := fa.CommComputeRatio()
+	if transfers != 0 {
+		t.Fatalf("single core sent %d boundary values, want 0", transfers)
+	}
+}
+
+func TestFoldedMoreCoresThanTasks(t *testing.T) {
+	// Q > P leaves idle cores; result must still be exact.
+	p := scf.Params{K: 64, M: 3, Blocks: 1} // P = 5
+	spectra := makeSpectra(t, 17, p)
+	want, err := scf.AccumulateFixed(spectra, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := NewFoldedArray(p.M, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.ProcessBlock(spectra[0]); err != nil {
+		t.Fatal(err)
+	}
+	if ok, diag := fa.Surface().Equal(want); !ok {
+		t.Fatalf("idle-core folded wrong: %s", diag)
+	}
+	idle := 0
+	for _, s := range fa.Stats() {
+		if s.Tasks == 0 {
+			idle++
+			if s.MACs != 0 || s.Sent != 0 || s.Received != 0 {
+				t.Fatalf("idle core did work: %+v", s)
+			}
+		}
+	}
+	if idle != 3 {
+		t.Fatalf("idle cores %d, want 3", idle)
+	}
+}
+
+func TestFoldedErrors(t *testing.T) {
+	if _, err := NewFoldedArray(0, 4); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := NewFoldedArray(8, 0); err == nil {
+		t.Error("q=0 should fail")
+	}
+	fa, _ := NewFoldedArray(8, 2)
+	if err := fa.ProcessBlock(make([]fixed.Complex, 20)); err == nil {
+		t.Error("non-pow2 spectrum should fail")
+	}
+	if err := fa.ProcessBlock(make([]fixed.Complex, 16)); err == nil {
+		t.Error("short spectrum should fail")
+	}
+}
+
+// Property: folded equals unfolded for random Q and m.
+func TestQuickFoldedEquivalence(t *testing.T) {
+	f := func(seed uint64, m8, q8 uint8) bool {
+		m := int(m8%7) + 2 // 2..8
+		q := int(q8%6) + 1 // 1..6
+		p := scf.Params{K: 64, M: m, Blocks: 2}
+		spectra := makeSpectra(t, seed, p)
+		unf, err := NewFixedArray(m)
+		if err != nil {
+			return false
+		}
+		fld, err := NewFoldedArray(m, q)
+		if err != nil {
+			return false
+		}
+		for _, spec := range spectra {
+			if unf.ProcessBlock(spec) != nil || fld.ProcessBlock(spec) != nil {
+				return false
+			}
+		}
+		ok, _ := fld.Surface().Equal(unf.Surface())
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

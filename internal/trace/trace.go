@@ -1,0 +1,88 @@
+// Package trace records cycle-annotated execution spans from the
+// simulated cores, for timeline inspection and CSV export. A Recorder is
+// safe for concurrent use by multiple tiles.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Span is one contiguous stretch of cycles a source spent in a section.
+type Span struct {
+	// Source identifies the emitting unit (e.g. "tile0").
+	Source string
+	// Section is the activity name (the Table 1 row).
+	Section string
+	// Start is the source-local cycle at which the span began.
+	Start int64
+	// Cycles is the span length.
+	Cycles int64
+}
+
+// Recorder accumulates spans.
+type Recorder struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Record appends a span. Zero-length spans are dropped.
+func (r *Recorder) Record(s Span) {
+	if s.Cycles <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = append(r.spans, s)
+}
+
+// Spans returns a copy of all recorded spans in record order.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// TotalIn sums the cycles a source spent in a section ("" matches any
+// source / any section).
+func (r *Recorder) TotalIn(source, section string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sum int64
+	for _, s := range r.spans {
+		if (source == "" || s.Source == source) && (section == "" || s.Section == section) {
+			sum += s.Cycles
+		}
+	}
+	return sum
+}
+
+// WriteCSV emits "source,section,start,cycles" rows with a header.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "source,section,start,cycles"); err != nil {
+		return err
+	}
+	for _, s := range r.Spans() {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d\n", s.Source, s.Section, s.Start, s.Cycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset discards all spans.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = nil
+}

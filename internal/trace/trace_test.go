@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	r.Record(Span{Source: "tile0", Section: "FFT", Start: 0, Cycles: 1040})
+	r.Record(Span{Source: "tile0", Section: "reshuffling", Start: 1040, Cycles: 256})
+	r.Record(Span{Source: "tile1", Section: "FFT", Start: 0, Cycles: 1040})
+	if r.Len() != 3 {
+		t.Fatalf("len %d", r.Len())
+	}
+	if got := r.TotalIn("tile0", "FFT"); got != 1040 {
+		t.Fatalf("TotalIn(tile0,FFT) = %d", got)
+	}
+	if got := r.TotalIn("", "FFT"); got != 2080 {
+		t.Fatalf("TotalIn(*,FFT) = %d", got)
+	}
+	if got := r.TotalIn("tile0", ""); got != 1296 {
+		t.Fatalf("TotalIn(tile0,*) = %d", got)
+	}
+}
+
+func TestRecorderDropsEmptySpans(t *testing.T) {
+	var r Recorder
+	r.Record(Span{Source: "x", Section: "y", Cycles: 0})
+	r.Record(Span{Source: "x", Section: "y", Cycles: -5})
+	if r.Len() != 0 {
+		t.Fatal("empty spans recorded")
+	}
+}
+
+func TestRecorderSpansAreACopy(t *testing.T) {
+	var r Recorder
+	r.Record(Span{Source: "a", Section: "s", Cycles: 1})
+	spans := r.Spans()
+	spans[0].Cycles = 999
+	if r.Spans()[0].Cycles != 1 {
+		t.Fatal("Spans leaked internal storage")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var r Recorder
+	r.Record(Span{Source: "tile0", Section: "FFT", Start: 10, Cycles: 20})
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "source,section,start,cycles\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "tile0,FFT,10,20") {
+		t.Fatalf("missing row: %q", out)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var r Recorder
+	r.Record(Span{Source: "a", Section: "b", Cycles: 3})
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Span{Source: "tile", Section: "s", Start: int64(i), Cycles: 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("len %d, want 800", r.Len())
+	}
+	if r.TotalIn("tile", "s") != 800 {
+		t.Fatal("totals wrong under concurrency")
+	}
+}
