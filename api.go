@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"tiledcfd/internal/core"
+	"tiledcfd/internal/fam"
 	"tiledcfd/internal/mapping"
 	"tiledcfd/internal/perf"
 	"tiledcfd/internal/scf"
@@ -30,10 +31,52 @@ type Config struct {
 	MinAbsA int
 	// Threshold is the decision threshold on the CFD statistic.
 	Threshold float64
+	// Estimator selects how the spectral-correlation surface is
+	// computed:
+	//
+	//   - "" or "platform": the paper's path — Q15 quantisation and the
+	//     bit-true tiled-SoC simulation (cycle counts, Table 1,
+	//     evaluation figures);
+	//   - "direct": the float64 direct DSCF (K-point FFT plus one
+	//     product per grid cell per block);
+	//   - "fam": the FFT Accumulation Method (overlapping windowed
+	//     channelizer, second FFT across hops);
+	//   - "ssca": the Strip Spectral Correlation Analyzer (sliding
+	//     channelizer, one long strip FFT per channel).
+	//
+	// The software estimators skip the hardware model, so hardware
+	// figures (cycle breakdown, area, power) are zero; FFTMults and
+	// EstimatorMults report their work instead.
+	Estimator string
+	// Hop is the channelizer advance in samples for the "fam" estimator
+	// (0 = K/4); ignored elsewhere.
+	Hop int
+}
+
+// estimator resolves the Config.Estimator name; nil means the platform
+// path.
+func (c Config) estimator() (scf.Estimator, error) {
+	p := scf.Params{K: c.K, M: c.M, Blocks: c.Blocks}
+	switch c.Estimator {
+	case "", "platform":
+		return nil, nil
+	case "direct":
+		return scf.Direct{Params: p}, nil
+	case "fam":
+		p.Hop = c.Hop
+		return fam.FAM{Params: p}, nil
+	case "ssca":
+		return fam.SSCA{Params: p}, nil
+	default:
+		return nil, fmt.Errorf("tiledcfd: unknown estimator %q (want platform, direct, fam or ssca)", c.Estimator)
+	}
 }
 
 // Sensing is the outcome of a spectrum-sensing run.
 type Sensing struct {
+	// Estimator names the surface path that produced the verdict
+	// ("platform", "direct", "fam", "ssca").
+	Estimator string
 	// Detected reports whether the cyclostationary statistic exceeded the
 	// threshold.
 	Detected bool
@@ -59,6 +102,11 @@ type Sensing struct {
 	AnalysedBandwidthkHz float64
 	AreaMM2              float64
 	PowerMW              float64
+	// FFTMults and EstimatorMults count the complex multiplications a
+	// software estimator spent in FFTs and in pointwise products
+	// (downconversion plus cell products). Zero on the platform path,
+	// which reports cycles instead.
+	FFTMults, EstimatorMults int
 }
 
 // CycleBreakdown mirrors the rows of the paper's Table 1.
@@ -71,10 +119,17 @@ type CycleBreakdown struct {
 	Total              int64
 }
 
-// Sense runs the full spectrum-sensing pipeline of the paper on the
-// sampled band x (complex samples; real signals carry zero imaginary
-// parts). It needs K·Blocks samples.
+// Sense runs the full spectrum-sensing pipeline on the sampled band x
+// (complex samples; real signals carry zero imaginary parts). It needs
+// K·Blocks samples. The default configuration follows the paper's
+// hardware path; Config.Estimator swaps in a software estimator
+// (direct/fam/ssca) for the surface while keeping the decision layer
+// identical.
 func Sense(x []complex128, cfg Config) (*Sensing, error) {
+	est, err := cfg.estimator()
+	if err != nil {
+		return nil, err
+	}
 	res, err := core.Run(x, core.Config{
 		SoC: soc.Config{
 			K: cfg.K, M: cfg.M, Q: cfg.Q,
@@ -82,40 +137,52 @@ func Sense(x []complex128, cfg Config) (*Sensing, error) {
 		},
 		MinAbsA:   cfg.MinAbsA,
 		Threshold: cfg.Threshold,
+		Estimator: est,
 	})
 	if err != nil {
 		return nil, err
 	}
 	f, a, _ := res.Surface.MaxFeature(true)
-	busiest := res.Report.Tiles[0].Table1
-	for _, tr := range res.Report.Tiles[1:] {
-		if tr.Table1.Total() > busiest.Total() {
-			busiest = tr.Table1
-		}
+	name := "platform"
+	if est != nil {
+		name = est.Name()
 	}
 	out := &Sensing{
-		Detected:       res.Decision.Detected,
-		Statistic:      res.Decision.Statistic,
-		Threshold:      res.Decision.Threshold,
-		FeatureF:       f,
-		FeatureA:       a,
-		Surface:        res.Surface.Data,
-		AlphaProfile:   res.Surface.AlphaProfile(),
-		CyclesPerBlock: res.Report.CyclesPerBlock,
-		TotalMACs:      res.Report.TotalMACs,
-		NoCValues:      res.Report.NoCSent,
-		Breakdown: CycleBreakdown{
+		Estimator:    name,
+		Detected:     res.Decision.Detected,
+		Statistic:    res.Decision.Statistic,
+		Threshold:    res.Decision.Threshold,
+		FeatureF:     f,
+		FeatureA:     a,
+		Surface:      res.Surface.Data,
+		AlphaProfile: res.Surface.AlphaProfile(),
+	}
+	if res.Stats != nil {
+		out.FFTMults = res.Stats.FFTMults
+		out.EstimatorMults = res.Stats.DSCFMults
+	}
+	if res.Report != nil {
+		busiest := res.Report.Tiles[0].Table1
+		for _, tr := range res.Report.Tiles[1:] {
+			if tr.Table1.Total() > busiest.Total() {
+				busiest = tr.Table1
+			}
+		}
+		out.CyclesPerBlock = res.Report.CyclesPerBlock
+		out.TotalMACs = res.Report.TotalMACs
+		out.NoCValues = res.Report.NoCSent
+		out.Breakdown = CycleBreakdown{
 			MultiplyAccumulate: busiest.MultiplyAccumulate,
 			ReadData:           busiest.ReadData,
 			FFT:                busiest.FFT,
 			Reshuffle:          busiest.Reshuffle,
 			Initialisation:     busiest.Initialisation,
 			Total:              busiest.Total(),
-		},
-		BlockTimeMicros:      res.BlockTimeMicros,
-		AnalysedBandwidthkHz: res.AnalysedBandwidthkHz,
-		AreaMM2:              res.AreaMM2,
-		PowerMW:              res.PowerMW,
+		}
+		out.BlockTimeMicros = res.BlockTimeMicros
+		out.AnalysedBandwidthkHz = res.AnalysedBandwidthkHz
+		out.AreaMM2 = res.AreaMM2
+		out.PowerMW = res.PowerMW
 	}
 	return out, nil
 }
@@ -137,6 +204,10 @@ type WindowVerdict struct {
 // per-window verdicts — the operational Cognitive-Radio mode: track when
 // a licensed user appears in or vacates the band.
 func Watch(stream []complex128, cfg Config) ([]WindowVerdict, error) {
+	est, err := cfg.estimator()
+	if err != nil {
+		return nil, err
+	}
 	mon, err := core.NewMonitor(core.Config{
 		SoC: soc.Config{
 			K: cfg.K, M: cfg.M, Q: cfg.Q,
@@ -144,6 +215,7 @@ func Watch(stream []complex128, cfg Config) ([]WindowVerdict, error) {
 		},
 		MinAbsA:   cfg.MinAbsA,
 		Threshold: cfg.Threshold,
+		Estimator: est,
 	})
 	if err != nil {
 		return nil, err
@@ -168,12 +240,85 @@ func Watch(stream []complex128, cfg Config) ([]WindowVerdict, error) {
 // Function of x: a (2m-1)×(2m-1) grid indexed [a+m-1][f+m-1], accumulated
 // over blocks non-overlapping k-sample FFT blocks and normalised by the
 // block count.
+//
+// DSCF is the direct-only entry point; SpectralCorrelation supersedes it
+// with estimator selection (direct, FAM, SSCA) and work statistics.
 func DSCF(x []complex128, k, m, blocks int) ([][]complex128, error) {
 	s, _, err := scf.Compute(x, scf.Params{K: k, M: m, Blocks: blocks})
 	if err != nil {
 		return nil, err
 	}
 	return s.Data, nil
+}
+
+// SCResult is a computed spectral-correlation surface with its strongest
+// cyclic feature and the work spent computing it.
+type SCResult struct {
+	// Estimator names the estimator that produced the surface.
+	Estimator string
+	// Surface is the (2M-1)×(2M-1) grid indexed [a+M-1][f+M-1].
+	Surface [][]complex128
+	// AlphaProfile is the cycle-frequency profile Σ_f |S_f^a| per offset.
+	AlphaProfile []float64
+	// FeatureF/FeatureA locate the strongest cyclic feature (a != 0) and
+	// FeatureMagnitude its magnitude.
+	FeatureF, FeatureA int
+	FeatureMagnitude   float64
+	// Blocks is the number of smoothing steps the estimator averaged
+	// (integration blocks, channelizer hops, or strip samples).
+	Blocks int
+	// FFTMults and EstimatorMults count complex multiplications spent in
+	// FFTs and in pointwise products respectively — the complexity
+	// figures the estimator benchmarks compare.
+	FFTMults, EstimatorMults int
+}
+
+// SpectralCorrelation computes the spectral-correlation surface of x
+// with the estimator selected by cfg.Estimator ("" defaults to
+// "direct"; "platform" runs the full fixed-point tiled-SoC simulation).
+// It supersedes DSCF, which only exposes the direct method.
+func SpectralCorrelation(x []complex128, cfg Config) (*SCResult, error) {
+	if cfg.Estimator == "" {
+		cfg.Estimator = "direct"
+	}
+	est, err := cfg.estimator()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		s     *scf.Surface
+		stats *scf.Stats
+	)
+	if est == nil {
+		// Platform path: read the surface out of the simulated tiles.
+		res, err := core.Run(x, core.Config{SoC: soc.Config{
+			K: cfg.K, M: cfg.M, Q: cfg.Q,
+			Blocks: cfg.Blocks, ClockMHz: cfg.ClockMHz,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		s = res.Surface
+	} else {
+		if s, stats, err = est.Estimate(x); err != nil {
+			return nil, err
+		}
+	}
+	f, a, mag := s.MaxFeature(true)
+	out := &SCResult{
+		Estimator:        cfg.Estimator,
+		Surface:          s.Data,
+		AlphaProfile:     s.AlphaProfile(),
+		FeatureF:         f,
+		FeatureA:         a,
+		FeatureMagnitude: mag,
+	}
+	if stats != nil {
+		out.Blocks = stats.Blocks
+		out.FFTMults = stats.FFTMults
+		out.EstimatorMults = stats.DSCFMults
+	}
+	return out, nil
 }
 
 // Mapping summarises a step-1 derivation for half-extent m on q cores.

@@ -241,3 +241,144 @@ func TestBandGenerators(t *testing.T) {
 		t.Error("n=0 should fail")
 	}
 }
+
+func TestSenseWithSoftwareEstimators(t *testing.T) {
+	const k, m, blocks = 64, 16, 16
+	band, err := NewBPSKBand(k*blocks, 8.0/k, 8, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"direct", "fam", "ssca"} {
+		s, err := Sense(band, Config{
+			K: k, M: m, Blocks: blocks, Threshold: 0.4, Estimator: name,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Estimator != name {
+			t.Errorf("%s: Sensing.Estimator = %q", name, s.Estimator)
+		}
+		if !s.Detected {
+			t.Errorf("%s: BPSK user not detected (statistic %.4f)", name, s.Statistic)
+		}
+		if s.FFTMults <= 0 || s.EstimatorMults <= 0 {
+			t.Errorf("%s: missing work counts: %d/%d", name, s.FFTMults, s.EstimatorMults)
+		}
+		if s.CyclesPerBlock != 0 || s.Breakdown.Total != 0 {
+			t.Errorf("%s: hardware cycle figures on software path", name)
+		}
+		if len(s.Surface) != 2*m-1 || len(s.AlphaProfile) != 2*m-1 {
+			t.Errorf("%s: surface extent %dx%d", name, len(s.Surface), len(s.AlphaProfile))
+		}
+	}
+	if _, err := Sense(band, Config{K: k, M: m, Blocks: blocks, Estimator: "nonsense"}); err == nil {
+		t.Error("unknown estimator name should fail")
+	}
+}
+
+func TestSensePlatformFieldsUnchanged(t *testing.T) {
+	// The default (platform) path must still report hardware figures and
+	// name itself.
+	const k, m, blocks = 64, 16, 4
+	band, err := NewBPSKBand(k*blocks, 8.0/k, 8, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Sense(band, Config{K: k, M: m, Blocks: blocks, Threshold: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Estimator != "platform" {
+		t.Errorf("Sensing.Estimator = %q, want platform", s.Estimator)
+	}
+	if s.CyclesPerBlock <= 0 || s.Breakdown.Total <= 0 {
+		t.Errorf("platform path missing cycle figures: %+v", s.Breakdown)
+	}
+	if s.FFTMults != 0 || s.EstimatorMults != 0 {
+		t.Errorf("platform path should not report estimator mults")
+	}
+}
+
+func TestSpectralCorrelation(t *testing.T) {
+	const k, m, blocks = 64, 16, 16
+	band, err := NewBPSKBand(k*blocks, 8.0/k, 8, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SpectralCorrelation(band, Config{K: k, M: m, Blocks: blocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Estimator != "direct" {
+		t.Errorf("default estimator %q, want direct", ref.Estimator)
+	}
+	refA := ref.FeatureA
+	if refA < 0 {
+		refA = -refA
+	}
+	if refA != 8 {
+		t.Errorf("direct feature |a| = %d, want 8 (doubled carrier)", refA)
+	}
+	// The direct default must agree with the legacy DSCF facade.
+	legacy, err := DSCF(band, k, m, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range legacy {
+		for j := range legacy[i] {
+			if legacy[i][j] != ref.Surface[i][j] {
+				t.Fatalf("SpectralCorrelation(direct) differs from DSCF at [%d][%d]", i, j)
+			}
+		}
+	}
+	for _, name := range []string{"fam", "ssca", "platform"} {
+		res, err := SpectralCorrelation(band, Config{K: k, M: m, Blocks: blocks, Estimator: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		a := res.FeatureA
+		if a < 0 {
+			a = -a
+		}
+		if a != refA {
+			t.Errorf("%s: feature |a| = %d, direct says %d", name, a, refA)
+		}
+		if name != "platform" && (res.FFTMults <= 0 || res.Blocks <= 0) {
+			t.Errorf("%s: missing work stats: %+v", name, res)
+		}
+	}
+	if _, err := SpectralCorrelation(band, Config{K: k, M: m, Estimator: "bogus"}); err == nil {
+		t.Error("unknown estimator name should fail")
+	}
+}
+
+func TestWatchWithEstimator(t *testing.T) {
+	// A stream that is idle for 2 windows then carries a user for 2 must
+	// produce the same occupancy pattern through the FAM path.
+	const k, m, blocks = 64, 16, 16
+	w := k * blocks
+	idle, err := NewNoiseBand(2*w, 0.09, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := NewBPSKBand(2*w, 8.0/k, 8, 10, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := append(idle, busy...)
+	verdicts, err := Watch(stream, Config{
+		K: k, M: m, Blocks: blocks, Threshold: 0.4, Estimator: "fam",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 4 {
+		t.Fatalf("%d verdicts, want 4", len(verdicts))
+	}
+	for i, v := range verdicts {
+		want := i >= 2
+		if v.Detected != want {
+			t.Errorf("window %d detected=%v, want %v (statistic %.4f)", i, v.Detected, want, v.Statistic)
+		}
+	}
+}

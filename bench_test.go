@@ -15,6 +15,7 @@ import (
 
 	"tiledcfd/internal/detect"
 	"tiledcfd/internal/dg"
+	"tiledcfd/internal/fam"
 	"tiledcfd/internal/fixed"
 	"tiledcfd/internal/mapping"
 	"tiledcfd/internal/montium"
@@ -322,4 +323,39 @@ func BenchmarkE13_DetectorSweep(b *testing.B) {
 	}
 	b.ReportMetric(pdCFD, "pd_cfd")
 	b.ReportMetric(pdEnergy, "pd_energy")
+}
+
+// BenchmarkE14_EstimatorComparison extends the section 2 complexity
+// comparison beyond the paper: the direct DSCF against the FAM and SSCA
+// time-smoothing estimators on the same licensed-user band at the
+// paper's geometry (K=256, M=64). Each sub-benchmark reports wall-clock
+// per estimate and the complex multiplications spent in FFTs and in
+// pointwise products. The direct method is cheapest on the paper's
+// fixed (2M-1)² grid; FAM and SSCA buy cycle-frequency resolution
+// (1/(P·L) and 1/N versus the direct 2/K) with their extra transforms.
+func BenchmarkE14_EstimatorComparison(b *testing.B) {
+	const blocks = 8
+	band := paperSignal(b, blocks)
+	p := scf.Params{K: 256, M: 64}
+	direct := p
+	direct.Blocks = blocks
+	for _, e := range []scf.Estimator{
+		scf.Direct{Params: direct},
+		fam.FAM{Params: p},
+		fam.SSCA{Params: p},
+	} {
+		b.Run(e.Name(), func(b *testing.B) {
+			var stats *scf.Stats
+			for i := 0; i < b.N; i++ {
+				_, st, err := e.Estimate(band)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = st
+			}
+			b.ReportMetric(float64(stats.FFTMults), "fft_mults")
+			b.ReportMetric(float64(stats.DSCFMults), "pointwise_mults")
+			b.ReportMetric(float64(stats.TotalMults()), "total_mults")
+		})
+	}
 }

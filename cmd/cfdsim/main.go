@@ -1,15 +1,20 @@
-// Command cfdsim runs the full tiled-SoC spectrum-sensing simulation on a
-// synthetic band and reports the verdict, the measured cycle breakdown and
-// the evaluation figures.
+// Command cfdsim runs the full spectrum-sensing simulation on a
+// synthetic band and reports the verdict, the measured cycle breakdown
+// and the evaluation figures.
 //
 // Usage:
 //
 //	cfdsim [-k 256] [-m 64] [-q 4] [-blocks 4] [-snr 6] [-carrier 0.125]
 //	       [-symlen 8] [-idle] [-threshold 0.3] [-seed 1]
+//	       [-estimator platform|direct|fam|ssca]
 //
 // With -idle the band contains only noise (the H0 hypothesis); otherwise a
 // BPSK licensed user at the given SNR and normalised carrier frequency is
-// present.
+// present. The default estimator is the paper's bit-true tiled-SoC
+// platform; -estimator swaps in a software spectral-correlation estimator
+// (the direct DSCF, the FFT Accumulation Method, or the Strip Spectral
+// Correlation Analyzer), which reports complex-multiplication counts
+// instead of hardware cycles.
 package main
 
 import (
@@ -33,6 +38,8 @@ func main() {
 	idle := flag.Bool("idle", false, "simulate an idle band (noise only)")
 	threshold := flag.Float64("threshold", 0.3, "detection threshold")
 	seed := flag.Uint64("seed", 1, "random seed")
+	estimator := flag.String("estimator", "platform",
+		"surface estimator: platform, direct, fam or ssca")
 	flag.Parse()
 
 	n := *k * *blocks
@@ -49,6 +56,7 @@ func main() {
 
 	s, err := tiledcfd.Sense(band, tiledcfd.Config{
 		K: *k, M: *m, Q: *q, Blocks: *blocks, Threshold: *threshold,
+		Estimator: *estimator,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -60,23 +68,31 @@ func main() {
 	}
 	fmt.Printf("scenario:     %s\n", scenario)
 	fmt.Printf("platform:     K=%d, M=%d, Q=%d, %d block(s)\n", *k, mOrDefault(*m, *k), *q, *blocks)
+	fmt.Printf("estimator:    %s\n", s.Estimator)
 	fmt.Printf("verdict:      detected=%v  statistic=%.4f  threshold=%.4f\n",
 		s.Detected, s.Statistic, s.Threshold)
 	fmt.Printf("top feature:  f=%d a=%d\n", s.FeatureF, s.FeatureA)
 	fmt.Println()
-	fmt.Println("cycle breakdown per integration step:")
-	fmt.Printf("  multiply accumulate  %7d\n", s.Breakdown.MultiplyAccumulate)
-	fmt.Printf("  read data            %7d\n", s.Breakdown.ReadData)
-	fmt.Printf("  FFT                  %7d\n", s.Breakdown.FFT)
-	fmt.Printf("  reshuffling          %7d\n", s.Breakdown.Reshuffle)
-	fmt.Printf("  initialisation       %7d\n", s.Breakdown.Initialisation)
-	fmt.Printf("  total                %7d\n", s.Breakdown.Total)
-	fmt.Println()
-	fmt.Printf("integration step:   %.3f µs @100 MHz\n", s.BlockTimeMicros)
-	fmt.Printf("analysed bandwidth: %.1f kHz\n", s.AnalysedBandwidthkHz)
-	fmt.Printf("area / power:       %.1f mm² / %.1f mW\n", s.AreaMM2, s.PowerMW)
-	fmt.Printf("NoC traffic:        %d boundary values for %d MACs (ratio %.1f)\n",
-		s.NoCValues, s.TotalMACs, ratio(s.TotalMACs, s.NoCValues))
+	if s.Estimator == "platform" {
+		fmt.Println("cycle breakdown per integration step:")
+		fmt.Printf("  multiply accumulate  %7d\n", s.Breakdown.MultiplyAccumulate)
+		fmt.Printf("  read data            %7d\n", s.Breakdown.ReadData)
+		fmt.Printf("  FFT                  %7d\n", s.Breakdown.FFT)
+		fmt.Printf("  reshuffling          %7d\n", s.Breakdown.Reshuffle)
+		fmt.Printf("  initialisation       %7d\n", s.Breakdown.Initialisation)
+		fmt.Printf("  total                %7d\n", s.Breakdown.Total)
+		fmt.Println()
+		fmt.Printf("integration step:   %.3f µs @100 MHz\n", s.BlockTimeMicros)
+		fmt.Printf("analysed bandwidth: %.1f kHz\n", s.AnalysedBandwidthkHz)
+		fmt.Printf("area / power:       %.1f mm² / %.1f mW\n", s.AreaMM2, s.PowerMW)
+		fmt.Printf("NoC traffic:        %d boundary values for %d MACs (ratio %.1f)\n",
+			s.NoCValues, s.TotalMACs, ratio(s.TotalMACs, s.NoCValues))
+		return
+	}
+	fmt.Println("software estimator work (complex multiplications):")
+	fmt.Printf("  FFTs                 %9d\n", s.FFTMults)
+	fmt.Printf("  pointwise products   %9d\n", s.EstimatorMults)
+	fmt.Printf("  total                %9d\n", s.FFTMults+s.EstimatorMults)
 }
 
 func mOrDefault(m, k int) int {

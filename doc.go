@@ -9,9 +9,12 @@
 //
 //   - Sense: run full spectrum sensing (quantise → 4-tile platform
 //     simulation → DSCF → cyclostationary detection verdict → section 5
-//     evaluation figures);
+//     evaluation figures), or — via Config.Estimator — the same decision
+//     chain over a software estimator (direct DSCF, FAM or SSCA);
+//   - SpectralCorrelation: compute a spectral-correlation surface with
+//     any estimator, returning the strongest feature and the work spent;
 //   - DSCF: compute a reference spectral-correlation surface of a sampled
-//     signal in float64;
+//     signal in float64 (superseded by SpectralCorrelation);
 //   - DeriveMapping: run the paper's step-1 derivation for any grid size
 //     and core count, returning the task distribution and interconnect
 //     figures;

@@ -1,0 +1,59 @@
+// Command estimators compares the three spectral-correlation estimators
+// — the paper's direct DSCF, the FFT Accumulation Method (FAM) and the
+// Strip Spectral Correlation Analyzer (SSCA) — on the same licensed-user
+// band: where each locates the strongest cyclic feature, what statistic
+// the blind detector reads off each surface, and what each estimate
+// costs in complex multiplications.
+//
+// Run: go run ./examples/estimators
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tiledcfd"
+)
+
+func main() {
+	// A licensed user: real BPSK on carrier bin 32 (of 256), 8 samples
+	// per symbol, at +10 dB SNR. Its doubled carrier puts the strongest
+	// cyclic feature at offset a = ±32.
+	const k, m, blocks = 256, 64, 8
+	band, err := tiledcfd.NewBPSKBand(k*blocks, 32.0/float64(k), 8, 10, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noise, err := tiledcfd.NewNoiseBand(k*blocks, 0.25, 2027)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Spectral-correlation estimator comparison (K=256, M=64) ==")
+	fmt.Println()
+	fmt.Printf("%-8s %14s %12s %12s %14s %12s\n",
+		"", "feature (f,a)", "stat (H1)", "stat (H0)", "FFT mults", "other mults")
+	for _, name := range []string{"direct", "fam", "ssca"} {
+		cfg := tiledcfd.Config{K: k, M: m, Blocks: blocks, Threshold: 0.4, Estimator: name}
+		sc, err := tiledcfd.SpectralCorrelation(band, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		busy, err := tiledcfd.Sense(band, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		idle, err := tiledcfd.Sense(noise, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %14s %12.4f %12.4f %14d %12d\n",
+			name, fmt.Sprintf("(%d,%d)", sc.FeatureF, sc.FeatureA),
+			busy.Statistic, idle.Statistic, sc.FFTMults, sc.EstimatorMults)
+	}
+	fmt.Println()
+	fmt.Println("All three concentrate on the doubled carrier at |a| = 32; the")
+	fmt.Println("direct method is cheapest on the fixed (2M-1)^2 grid, while FAM")
+	fmt.Println("and SSCA spend their extra transforms buying cycle-frequency")
+	fmt.Println("resolution (1/(P*L) and 1/N versus the direct 2/K).")
+}

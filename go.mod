@@ -1,0 +1,3 @@
+module tiledcfd
+
+go 1.24

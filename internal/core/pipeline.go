@@ -9,6 +9,11 @@
 // detection statistic to that hardware-produced surface, and convert the
 // measured cycle counts into the paper's evaluation figures (time per
 // integration step, analysed bandwidth, area, power).
+//
+// Config.Estimator swaps the platform for a software reference
+// estimator (scf.Direct, fam.FAM, fam.SSCA): the decision layer is
+// unchanged, but the surface comes from the estimator in float64 and
+// the run reports estimator work counts instead of hardware cycles.
 package core
 
 import (
@@ -37,6 +42,14 @@ type Config struct {
 	InputScale float64
 	// Perf supplies the technology constants; zero takes the paper's.
 	Perf perf.Model
+	// Estimator selects a software reference estimator (scf.Direct,
+	// fam.FAM, fam.SSCA) for the decision surface instead of the
+	// bit-true fixed-point platform simulation. nil keeps the paper's
+	// hardware path. On the estimator path Result.Fixed and
+	// Result.Report are nil, Result.Stats carries the estimator's work
+	// counts, and the evaluation figures are zero (no hardware cycles
+	// are measured).
+	Estimator scf.Estimator
 }
 
 // withDefaults fills the zero fields.
@@ -56,13 +69,18 @@ func (c Config) withDefaults() Config {
 
 // Result is the outcome of one spectrum-sensing run.
 type Result struct {
-	// Fixed is the raw Q15 DSCF read from the tiles' memories.
+	// Fixed is the raw Q15 DSCF read from the tiles' memories (nil on
+	// the software-estimator path).
 	Fixed *scf.FixedSurface
-	// Surface is the float view of Fixed, normalised by the block count.
+	// Surface is the decision surface: the float view of Fixed on the
+	// platform path, or the estimator's output on the software path.
 	Surface *scf.Surface
 	// Report is the platform execution report (per-tile Table 1, cycles,
-	// NoC traffic).
+	// NoC traffic); nil on the software-estimator path.
 	Report *soc.Report
+	// Stats carries the software estimator's work counts; nil on the
+	// platform path, which reports cycles instead.
+	Stats *scf.Stats
 	// Decision is the detector verdict on the hardware surface.
 	Decision detect.Decision
 	// Evaluation figures derived from the measured cycles (section 5).
@@ -80,6 +98,9 @@ func Run(x []complex128, cfg Config) (*Result, error) {
 	}
 	if cfg.InputScale <= 0 || cfg.InputScale > 1 {
 		return nil, fmt.Errorf("core: InputScale %v outside (0,1]", cfg.InputScale)
+	}
+	if cfg.Estimator != nil {
+		return runEstimator(x, cfg)
 	}
 	need := cfg.SoC.K * cfg.SoC.Blocks
 	if len(x) < need {
@@ -121,5 +142,31 @@ func Run(x []complex128, cfg Config) (*Result, error) {
 		AnalysedBandwidthkHz: cfg.Perf.AnalysedBandwidthkHz(cfg.SoC.K, bt),
 		AreaMM2:              cfg.Perf.AreaMM2(cfg.SoC.Q),
 		PowerMW:              cfg.Perf.PowerMW(cfg.SoC.Q),
+	}, nil
+}
+
+// runEstimator is the software reference path: the decision surface comes
+// from the configured scf.Estimator in float64, skipping quantisation and
+// the platform simulation. The detection layer is identical to the
+// hardware path — the CFD statistic is self-normalising, so verdicts are
+// directly comparable across paths.
+func runEstimator(x []complex128, cfg Config) (*Result, error) {
+	surface, stats, err := cfg.Estimator.Estimate(x)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s estimator: %w", cfg.Estimator.Name(), err)
+	}
+	stat, err := detect.CFDStatistic(surface, cfg.MinAbsA)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Surface: surface,
+		Stats:   stats,
+		Decision: detect.Decision{
+			Detector:  "cfd-" + cfg.Estimator.Name(),
+			Statistic: stat,
+			Threshold: cfg.Threshold,
+			Detected:  stat > cfg.Threshold,
+		},
 	}, nil
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"tiledcfd/internal/fam"
+	"tiledcfd/internal/scf"
 	"tiledcfd/internal/sig"
 	"tiledcfd/internal/soc"
 )
@@ -131,5 +133,73 @@ func TestPipelineGainInvariance(t *testing.T) {
 	}
 	if math.Abs(a.Decision.Statistic-bres.Decision.Statistic) > 0.02*(1+a.Decision.Statistic) {
 		t.Fatalf("gain changed statistic: %v vs %v", a.Decision.Statistic, bres.Decision.Statistic)
+	}
+}
+
+// senseWith runs the pipeline with a software estimator on the same band
+// geometry as sense.
+func senseWith(t *testing.T, est scf.Estimator, present bool, seed uint64) *Result {
+	t.Helper()
+	const k, m, blocks = 64, 16, 16
+	rng := sig.NewRand(seed)
+	n := k * blocks
+	noise := sig.Samples(&sig.WGN{Sigma: 0.3, Real: true, Rng: rng}, n)
+	x := noise
+	if present {
+		b := &sig.BPSK{Amp: 1, Carrier: 8.0 / k, SymbolLen: 8, Rng: rng}
+		x = sig.Samples(b, n)
+		for i := range x {
+			x[i] += noise[i]
+		}
+	}
+	res, err := Run(x, Config{
+		SoC:       soc.Config{K: k, M: m, Q: 4, Blocks: blocks},
+		MinAbsA:   2,
+		Threshold: 0.4,
+		Estimator: est,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPipelineEstimatorPath(t *testing.T) {
+	for _, est := range []scf.Estimator{
+		scf.Direct{Params: scf.Params{K: 64, M: 16, Blocks: 16}},
+		fam.FAM{Params: scf.Params{K: 64, M: 16}},
+		fam.SSCA{Params: scf.Params{K: 64, M: 16}},
+	} {
+		res := senseWith(t, est, true, 71)
+		if !res.Decision.Detected {
+			t.Errorf("%s: BPSK user not detected: statistic %v", est.Name(), res.Decision.Statistic)
+		}
+		if res.Decision.Detector != "cfd-"+est.Name() {
+			t.Errorf("%s: decision names %q", est.Name(), res.Decision.Detector)
+		}
+		if res.Report != nil || res.Fixed != nil {
+			t.Errorf("%s: hardware artefacts on the software path", est.Name())
+		}
+		if res.Stats == nil || res.Stats.TotalMults() <= 0 {
+			t.Errorf("%s: missing estimator stats", est.Name())
+		}
+		if res.Surface == nil {
+			t.Fatalf("%s: no surface", est.Name())
+		}
+		idle := senseWith(t, est, false, 72)
+		if idle.Decision.Detected {
+			t.Errorf("%s: false alarm on noise: statistic %v", est.Name(), idle.Decision.Statistic)
+		}
+	}
+}
+
+func TestPipelineEstimatorErrorsSurface(t *testing.T) {
+	short := make([]complex128, 16)
+	_, err := Run(short, Config{
+		SoC:       soc.Config{K: 64, M: 16, Q: 4, Blocks: 4},
+		Estimator: fam.FAM{Params: scf.Params{K: 64, M: 16}},
+	})
+	if err == nil {
+		t.Fatal("short input should fail through the estimator path")
 	}
 }

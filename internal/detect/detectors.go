@@ -40,21 +40,32 @@ func (d EnergyDetector) Statistic(x []complex128) (float64, error) {
 }
 
 // CFDDetector is the blind cyclostationary feature detector: it computes
-// the DSCF with the given parameters and searches all cycle offsets
+// a spectral-correlation surface and searches all cycle offsets
 // |a| >= MinAbsA.
 type CFDDetector struct {
 	Params scf.Params
 	// MinAbsA excludes the offsets nearest a=0, where spectral leakage of
 	// the PSD row lives; 1 searches everything off the PSD row.
 	MinAbsA int
+	// Estimator selects how the surface is computed. nil uses the paper's
+	// direct DSCF with Params; any scf.Estimator (fam.FAM, fam.SSCA, a
+	// configured scf.Direct) can be substituted — the statistic is
+	// self-normalising, so no rescaling is needed when swapping.
+	Estimator scf.Estimator
 }
 
-// Name implements Detector.
-func (CFDDetector) Name() string { return "cfd" }
+// Name implements Detector. With an estimator plugged in the name is
+// suffixed ("cfd-fam") so Monte-Carlo reports distinguish the variants.
+func (d CFDDetector) Name() string {
+	if d.Estimator != nil {
+		return "cfd-" + d.Estimator.Name()
+	}
+	return "cfd"
+}
 
 // Statistic implements Detector.
 func (d CFDDetector) Statistic(x []complex128) (float64, error) {
-	s, _, err := scf.Compute(x, d.Params)
+	s, _, err := estimateSurface(d.Estimator, d.Params, x)
 	if err != nil {
 		return 0, err
 	}
@@ -65,20 +76,37 @@ func (d CFDDetector) Statistic(x []complex128) (float64, error) {
 	return CFDStatistic(s, minA)
 }
 
+// estimateSurface computes a decision surface via est, falling back to
+// the direct DSCF with p when est is nil — the shared dispatch of every
+// estimator-aware detector.
+func estimateSurface(est scf.Estimator, p scf.Params, x []complex128) (*scf.Surface, *scf.Stats, error) {
+	if est != nil {
+		return est.Estimate(x)
+	}
+	return scf.Compute(x, p)
+}
+
 // KnownCycleDetector is the single-correlator detector of the paper's
 // reference [8]: the cycle offset A of the target signal is known a
 // priori (e.g. its doubled carrier), and only that offset is evaluated.
 type KnownCycleDetector struct {
 	Params scf.Params
 	A      int
+	// Estimator optionally replaces the direct DSCF, as in CFDDetector.
+	Estimator scf.Estimator
 }
 
 // Name implements Detector.
-func (KnownCycleDetector) Name() string { return "known-cycle" }
+func (d KnownCycleDetector) Name() string {
+	if d.Estimator != nil {
+		return "known-cycle-" + d.Estimator.Name()
+	}
+	return "known-cycle"
+}
 
 // Statistic implements Detector.
 func (d KnownCycleDetector) Statistic(x []complex128) (float64, error) {
-	s, _, err := scf.Compute(x, d.Params)
+	s, _, err := estimateSurface(d.Estimator, d.Params, x)
 	if err != nil {
 		return 0, err
 	}

@@ -2,7 +2,10 @@ package detect
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // ChannelDecision is the per-channel outcome of a scan.
@@ -17,21 +20,72 @@ type ChannelDecision struct {
 type Scanner struct {
 	Detector  Detector
 	Threshold float64
+	// Workers bounds how many channels are evaluated concurrently.
+	// 0 or 1 scans serially; a negative value uses one worker per CPU.
+	// The detector must be safe for concurrent use (all detectors in
+	// this package and all scf.Estimator implementations are — they are
+	// value types holding only configuration).
+	Workers int
 }
 
 // Scan evaluates every channel and returns the per-channel decisions in
-// channel order.
+// channel order. With Workers set, channels are distributed over a
+// bounded worker pool; the output order is channel order regardless.
+// On failure the remaining channels are abandoned and the
+// lowest-numbered recorded error is returned.
 func (s Scanner) Scan(channels [][]complex128) ([]ChannelDecision, error) {
 	if s.Detector == nil {
 		return nil, fmt.Errorf("detect: scanner has no detector")
 	}
+	workers := s.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(channels) {
+		workers = len(channels)
+	}
 	out := make([]ChannelDecision, len(channels))
-	for i, x := range channels {
-		dec, err := Apply(s.Detector, x, s.Threshold)
-		if err != nil {
-			return nil, fmt.Errorf("detect: channel %d: %w", i, err)
+	if workers <= 1 {
+		for i, x := range channels {
+			dec, err := Apply(s.Detector, x, s.Threshold)
+			if err != nil {
+				return nil, fmt.Errorf("detect: channel %d: %w", i, err)
+			}
+			out[i] = ChannelDecision{Channel: i, Decision: dec}
 		}
-		out[i] = ChannelDecision{Channel: i, Decision: dec}
+		return out, nil
+	}
+	errs := make([]error, len(channels))
+	var failed atomic.Bool
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue // drain: a channel already failed
+				}
+				dec, err := Apply(s.Detector, channels[i], s.Threshold)
+				if err != nil {
+					errs[i] = fmt.Errorf("detect: channel %d: %w", i, err)
+					failed.Store(true)
+					continue
+				}
+				out[i] = ChannelDecision{Channel: i, Decision: dec}
+			}
+		}()
+	}
+	for i := range channels {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -1,8 +1,10 @@
 package detect
 
 import (
+	"strings"
 	"testing"
 
+	"tiledcfd/internal/fam"
 	"tiledcfd/internal/sig"
 )
 
@@ -92,5 +94,73 @@ func TestBestFreeChannelPicksQuietest(t *testing.T) {
 	}
 	if got := BestFreeChannel(decisions); got != 1 {
 		t.Fatalf("BestFreeChannel = %d, want 1", got)
+	}
+}
+
+func TestScannerConcurrentMatchesSerial(t *testing.T) {
+	channels := scanChannels(t)
+	serial := Scanner{
+		Detector:  CFDDetector{Params: cfdParams(16), MinAbsA: 2},
+		Threshold: 0.4,
+	}
+	want, err := serial.Scan(channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 2, 3, 16} {
+		sc := serial
+		sc.Workers = workers
+		got, err := sc.Scan(channels)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d decisions, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d channel %d: %+v != serial %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScannerConcurrentPropagatesError(t *testing.T) {
+	// Channel 2 is too short for the CFD parameters: the scan must fail
+	// with that channel's index regardless of worker count.
+	channels := scanChannels(t)
+	channels[2] = channels[2][:8]
+	for _, workers := range []int{0, 4} {
+		sc := Scanner{
+			Detector:  CFDDetector{Params: cfdParams(16), MinAbsA: 2},
+			Threshold: 0.4,
+			Workers:   workers,
+		}
+		_, err := sc.Scan(channels)
+		if err == nil {
+			t.Fatalf("workers=%d: short channel should fail", workers)
+		}
+		if !strings.Contains(err.Error(), "channel 2") {
+			t.Errorf("workers=%d: error %q does not name channel 2", workers, err)
+		}
+	}
+}
+
+func TestScannerConcurrentEstimators(t *testing.T) {
+	// The scan loop accepts any estimator-backed detector; FAM over the
+	// same channels must mark the same channels free.
+	channels := scanChannels(t)
+	sc := Scanner{
+		Detector:  CFDDetector{MinAbsA: 2, Estimator: fam.FAM{Params: cfdParams(16)}},
+		Threshold: 0.4,
+		Workers:   4,
+	}
+	decisions, err := sc.Scan(channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := FreeChannels(decisions)
+	if len(free) != 2 || free[0] != 1 || free[1] != 3 {
+		t.Fatalf("free channels with FAM estimator: %v", free)
 	}
 }

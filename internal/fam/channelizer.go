@@ -1,0 +1,85 @@
+package fam
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/scf"
+)
+
+// channelize computes the shared FAM/SSCA front end: blocks hops of a
+// k-point windowed FFT over x, hop samples apart, each channel
+// downconverted to baseband with the absolute-time phase reference
+// e^{-j2π·v·start/k}. The result is per-channel time series:
+// out[v][n] is channel v of the hop starting at sample n·hop.
+//
+// win is the analysis window (nil for rectangular). The caller must
+// guarantee len(x) >= k+(blocks-1)·hop.
+func channelize(x []complex128, k, hop, blocks int, win []float64) ([][]complex128, error) {
+	plan, err := fft.NewPlan(k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]complex128, k)
+	cells := make([]complex128, k*blocks)
+	for v := range out {
+		out[v], cells = cells[:blocks], cells[blocks:]
+	}
+	spec := make([]complex128, k)
+	for n := 0; n < blocks; n++ {
+		start := n * hop
+		block := x[start : start+k]
+		if win != nil {
+			if block, err = fft.ApplyWindow(block, win); err != nil {
+				return nil, err
+			}
+		}
+		if err := plan.Forward(spec, block); err != nil {
+			return nil, err
+		}
+		for v := 0; v < k; v++ {
+			// Downconvert with the absolute-time reference. The integer
+			// modulus keeps the angle exact for large start·v.
+			ang := -2 * math.Pi * float64((start*v)%k) / float64(k)
+			out[v][n] = spec[v] * cmplx.Exp(complex(0, ang))
+		}
+	}
+	return out, nil
+}
+
+// famDefaults fills the zero fields of a FAM/SSCA parameter set: K=256,
+// M=K/4, and the given default hop. Blocks is forced to 1 — both
+// estimators derive their own smoothing length from the input.
+func famDefaults(p scf.Params, defaultHop int) scf.Params {
+	if p.K == 0 {
+		p.K = 256
+	}
+	if p.M == 0 {
+		p.M = p.K / 4
+	}
+	if p.Hop == 0 {
+		p.Hop = defaultHop
+		if p.Hop == 0 {
+			p.Hop = p.K / 4
+		}
+	}
+	p.Blocks = 1
+	return p
+}
+
+// pow2Floor returns the largest power of two not exceeding n, or 0 when
+// n < 1.
+func pow2Floor(n int) int {
+	p := 0
+	for c := 1; c <= n; c *= 2 {
+		p = c
+	}
+	return p
+}
+
+// needSamples formats the standard too-short error.
+func needSamples(name string, need, have int) error {
+	return fmt.Errorf("fam: %s needs >= %d samples, have %d", name, need, have)
+}

@@ -1,0 +1,139 @@
+// Cross-check tests: the time-smoothing estimators must agree with the
+// paper's direct DSCF on where the strongest cyclic feature of a BPSK
+// licensed user lies, and all three must reject a noise-only band at a
+// threshold calibrated for a fixed false-alarm rate. Everything is
+// seeded, so the assertions are deterministic.
+package fam_test
+
+import (
+	"testing"
+
+	"tiledcfd"
+	"tiledcfd/internal/detect"
+	"tiledcfd/internal/fam"
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/scf"
+	"tiledcfd/internal/sig"
+)
+
+const (
+	xcK      = 64        // spectrum size
+	xcM      = 16        // grid half-extent
+	xcN      = 16 * xcK  // band length: 16 integration blocks
+	xcCar    = 8.0 / xcK // BPSK carrier -> doubled-carrier feature at a = ±8
+	xcSymLen = 8
+	xcSNR    = 10.0
+)
+
+// xcEstimators is the table every cross-check runs over: the direct
+// method is the reference, FAM and SSCA must agree with it.
+func xcEstimators() []scf.Estimator {
+	p := scf.Params{K: xcK, M: xcM}
+	pw := p
+	pw.Window = fft.Hamming
+	direct := p
+	direct.Blocks = xcN / xcK
+	return []scf.Estimator{
+		scf.Direct{Params: direct},
+		fam.FAM{Params: p},
+		fam.FAM{Params: pw},
+		fam.SSCA{Params: p},
+		fam.SSCA{Params: pw},
+	}
+}
+
+// profilePeak returns the |a| of the strongest cycle-frequency profile
+// value over |a| >= 2 — the quantity the blind detector thresholds.
+func profilePeak(t *testing.T, s *scf.Surface) int {
+	t.Helper()
+	prof := s.AlphaProfile()
+	best, bestA := -1.0, 0
+	for ai, v := range prof {
+		a := ai - (s.M - 1)
+		if (a >= 2 || a <= -2) && v > best {
+			best, bestA = v, a
+		}
+	}
+	if bestA < 0 {
+		bestA = -bestA
+	}
+	return bestA
+}
+
+func TestEstimatorsAgreeOnBPSKFeature(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		band, err := tiledcfd.NewBPSKBand(xcN, xcCar, xcSymLen, xcSNR, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, _, err := xcEstimators()[0].Estimate(band)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refF, refA, _ := ref.MaxFeature(true)
+		if refA < 0 {
+			refA = -refA
+		}
+		refProfA := profilePeak(t, ref)
+		if refProfA != 2*int(xcCar*xcK)/2 { // doubled carrier: a = carrier bin
+			t.Fatalf("seed %d: direct reference profile peak |a|=%d, want %d", seed, refProfA, int(xcCar*xcK))
+		}
+		for _, e := range xcEstimators()[1:] {
+			s, _, err := e.Estimate(band)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, e.Name(), err)
+			}
+			if got := profilePeak(t, s); got != refProfA {
+				t.Errorf("seed %d %s: profile peak |a|=%d, direct says %d", seed, e.Name(), got, refProfA)
+			}
+			f, a, _ := s.MaxFeature(true)
+			if a < 0 {
+				a = -a
+			}
+			if a != refA {
+				t.Errorf("seed %d %s: cell peak |a|=%d, direct says %d", seed, e.Name(), a, refA)
+			}
+			// The doubled-carrier feature is a short ridge across f
+			// centred at 0; estimators may peak a few bins apart along
+			// it (the smoothing kernels differ).
+			if d := f - refF; d < -4 || d > 4 {
+				t.Errorf("seed %d %s: cell peak f=%d, direct says %d (|Δf| > 4)", seed, e.Name(), f, refF)
+			}
+		}
+	}
+}
+
+func TestEstimatorsRejectNoiseAtCalibratedThreshold(t *testing.T) {
+	noiseScenario := func(rng *sig.Rand, present bool) []complex128 {
+		return sig.Samples(&sig.WGN{Sigma: 0.5, Real: true, Rng: rng}, xcN)
+	}
+	band, err := tiledcfd.NewBPSKBand(xcN, xcCar, xcSymLen, xcSNR, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise, err := tiledcfd.NewNoiseBand(xcN, 0.25, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range xcEstimators() {
+		d := detect.CFDDetector{MinAbsA: 2, Estimator: e}
+		th, err := detect.CalibrateThreshold(d, noiseScenario, 25, 0.04, 99)
+		if err != nil {
+			t.Fatalf("%s: calibrate: %v", d.Name(), err)
+		}
+		sig1, err := d.Statistic(band)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig1 <= th {
+			t.Errorf("%s: BPSK band statistic %.4f below calibrated threshold %.4f", d.Name(), sig1, th)
+		}
+		sig0, err := d.Statistic(noise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig0 > th {
+			t.Errorf("%s: noise band statistic %.4f above calibrated threshold %.4f", d.Name(), sig0, th)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package fam
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/scf"
+)
+
+// SSCA is the Strip Spectral Correlation Analyzer estimator: a K-point
+// channelizer sliding one sample at a time, each channel demodulate
+// multiplied against the conjugate full-rate input, and one N-point
+// strip FFT per channel. Channel k, strip bin q estimates the SCF at
+// frequency f = k/(2K) - q/(2N) and cycle frequency α = k/K + q/N;
+// surface cell (f, a) reads channel k = f+a at bin q = N·(a-f)/K.
+//
+// The strip length N must be a power of two and a multiple of K so that
+// every grid cell lands exactly on a strip bin; both hold automatically
+// for any power of two N >= K. The zero value estimates with the paper's
+// geometry (K=256, M=64) and picks the largest N the input affords.
+type SSCA struct {
+	// Params configures the channelizer and grid. K is the channelizer
+	// size, M the surface half-extent, Window the channelizer analysis
+	// window. Hop and Blocks are ignored: the SSCA channelizer advances
+	// one sample per hop and smooths over the whole strip.
+	Params scf.Params
+	// N is the strip FFT length (power of two >= K). Zero selects the
+	// largest power of two with N+K-1 <= len(x).
+	N int
+}
+
+// Name implements scf.Estimator.
+func (SSCA) Name() string { return "ssca" }
+
+// MinSamples returns the shortest input Estimate accepts for the
+// configured geometry: a K-length strip needs 2K-1 samples.
+func (e SSCA) MinSamples() int {
+	p := famDefaults(e.Params, 1)
+	n := e.N
+	if n < p.K {
+		n = p.K
+	}
+	return n + p.K - 1
+}
+
+// Estimate implements scf.Estimator.
+func (e SSCA) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
+	p := famDefaults(e.Params, 1)
+	p.Hop = 1
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := e.N
+	if n == 0 {
+		n = pow2Floor(len(x) - p.K + 1)
+	}
+	if n < p.K {
+		return nil, nil, needSamples("SSCA", 2*p.K-1, len(x))
+	}
+	if !fft.IsPow2(n) {
+		return nil, nil, fmt.Errorf("fam: SSCA strip length N=%d must be a power of two", n)
+	}
+	if len(x) < n+p.K-1 {
+		return nil, nil, needSamples("SSCA", n+p.K-1, len(x))
+	}
+	var win []float64
+	var err error
+	if p.Window != fft.Rectangular {
+		if win, err = fft.Window(p.Window, p.K); err != nil {
+			return nil, nil, err
+		}
+	}
+	ch, err := channelize(x, p.K, 1, n, win)
+	if err != nil {
+		return nil, nil, err
+	}
+	planN, err := fft.NewPlan(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	// One strip per channel the grid addresses, computed lazily: strip k
+	// is the N-point FFT of x_k(m)·conj(x(m+K/2)). The conjugate factor
+	// is aligned with the channelizer window centre so the kernel's
+	// group-delay phase e^{j2πδ(K-1)/2} is constant along each strip
+	// bin's diagonal instead of rotating in-bin contributions into
+	// cancellation; the residual per-bin constant e^{j2πq(K/2)/N} is
+	// divided out to keep cell phases aligned with the direct method.
+	strips := make([][]complex128, p.K)
+	prod := make([]complex128, n)
+	centre := p.K / 2
+	derot := make([]complex128, n)
+	for q := range derot {
+		ang := -2 * math.Pi * float64((q*centre)%n) / float64(n)
+		derot[q] = cmplx.Exp(complex(0, ang))
+	}
+	stripOf := func(k int) ([]complex128, error) {
+		if strips[k] != nil {
+			return strips[k], nil
+		}
+		cs := ch[k]
+		for m := 0; m < n; m++ {
+			prod[m] = cs[m] * cmplx.Conj(x[m+centre])
+		}
+		u := make([]complex128, n)
+		if err := planN.Forward(u, prod); err != nil {
+			return nil, err
+		}
+		for q := range u {
+			u[q] *= derot[q]
+		}
+		strips[k] = u
+		return u, nil
+	}
+	s := scf.NewSurface(p.M)
+	inv := complex(1/float64(n), 0)
+	m := p.M - 1
+	nStrips := 0
+	for a := -m; a <= m; a++ {
+		for f := -m; f <= m; f++ {
+			k := fft.BinIndex(p.K, f+a)
+			if strips[k] == nil {
+				nStrips++
+			}
+			u, err := stripOf(k)
+			if err != nil {
+				return nil, nil, err
+			}
+			q := fft.BinIndex(n, n/p.K*(a-f))
+			s.Add(f, a, u[q]*inv)
+		}
+	}
+	stats := &scf.Stats{
+		Blocks:    n,
+		FFTMults:  n*fft.ComplexMults(p.K) + nStrips*fft.ComplexMults(n),
+		DSCFMults: n*p.K + nStrips*n,
+	}
+	return s, stats, nil
+}
+
+var _ scf.Estimator = SSCA{}

@@ -23,4 +23,29 @@
 //
 // The surface satisfies the Hermitian symmetry S_f^{-a} = conj(S_f^a),
 // which the property tests assert for all three implementations.
+//
+// # Estimator taxonomy
+//
+// Compute is one member of a family: the Estimator interface abstracts
+// over every way of estimating the spectral-correlation surface, and the
+// rest of the system (detectors, scanners, the core pipeline) consumes
+// estimators rather than this package's functions directly.
+//
+//   - Direct (this package) wraps Compute/ComputeParallel: a K-point FFT
+//     per integration block plus one complex product per grid cell per
+//     block. Cheapest on the paper's fixed (2M-1)² grid; cycle-frequency
+//     resolution is the grid's own 2/K.
+//   - fam.FAM (package fam) is the FFT Accumulation Method: overlapping
+//     windowed channelizer hops, downconversion, and a P-point second
+//     FFT across hops per cell. Trades extra FFT work for α-resolution
+//     1/(P·L) and the smoothing behaviour preferred on short records.
+//   - fam.SSCA (package fam) is the Strip Spectral Correlation Analyzer:
+//     a sliding channelizer multiplied against the conjugate full-rate
+//     signal, one N-point strip FFT per channel, α-resolution 1/N.
+//
+// Use Direct when only the grid matters, FAM/SSCA when cycle-frequency
+// resolution or classical time-smoothing estimates do. All three agree
+// on feature locations (cross-checked in package fam's tests), and the
+// CFD detection statistic is self-normalising, so estimators can be
+// swapped without recalibrating for scale.
 package scf
