@@ -1,0 +1,189 @@
+// Command cfdbench runs the spectral-correlation estimator benchmarks on
+// the paper geometry (K=256, M=64 by default) and writes the results as a
+// JSON artifact (BENCH_<n>.json), so the performance trajectory of the
+// estimators is tracked alongside the code from PR 2 onward.
+//
+// Reported per estimator: wall-clock ns/op, bytes/op and allocs/op, plus
+// the modeled complex-multiplication counts from scf.Stats. The mult
+// counts are the paper's canonical operation model (e.g. FAM is charged a
+// full P-point second FFT per cell even though the implementation
+// evaluates only its bin 0); wall-clock is what the machine actually did —
+// keeping both visible is the point of the artifact.
+//
+// With -baseline, a previously written report is embedded and per-
+// estimator speedups (baseline ns / current ns) are computed, turning one
+// file into a before/after comparison:
+//
+//	go run ./cmd/cfdbench -baseline BENCH_1.json -out BENCH_2.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"tiledcfd"
+	"tiledcfd/internal/fam"
+	"tiledcfd/internal/scf"
+)
+
+// Measurement is one estimator's benchmark row.
+type Measurement struct {
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	Iterations     int     `json:"iterations"`
+	FFTMults       int     `json:"fft_mults"`
+	PointwiseMults int     `json:"pointwise_mults"`
+	TotalMults     int     `json:"total_mults"`
+	SmoothingLen   int     `json:"smoothing_len"`
+}
+
+// Report is the BENCH_<n>.json schema.
+type Report struct {
+	Schema     int                `json:"schema"`
+	Timestamp  string             `json:"timestamp"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Geometry   Geometry           `json:"geometry"`
+	Note       string             `json:"note"`
+	Results    []Measurement      `json:"results"`
+	Baseline   *Report            `json:"baseline,omitempty"`
+	Speedup    map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// Geometry records the benchmark's estimator configuration.
+type Geometry struct {
+	K       int    `json:"k"`
+	M       int    `json:"m"`
+	Blocks  int    `json:"blocks"`
+	Samples int    `json:"samples"`
+	Signal  string `json:"signal"`
+	Seed    uint64 `json:"seed"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH.json", "output JSON path")
+		k        = flag.Int("k", 256, "FFT / channelizer size (power of two)")
+		m        = flag.Int("m", 64, "surface half-extent")
+		blocks   = flag.Int("blocks", 8, "integration blocks of K samples")
+		seed     = flag.Uint64("seed", 42, "BPSK band seed")
+		names    = flag.String("estimators", "direct,fam,ssca", "comma-separated estimator subset")
+		baseline = flag.String("baseline", "", "previous BENCH json to embed for before/after speedups")
+	)
+	flag.Parse()
+	if err := run(*out, *k, *m, *blocks, *seed, *names, *baseline); err != nil {
+		fmt.Fprintln(os.Stderr, "cfdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, k, m, blocks int, seed uint64, names, baseline string) error {
+	band, err := tiledcfd.NewBPSKBand(k*blocks, 0.125, 8, 10, seed)
+	if err != nil {
+		return err
+	}
+	p := scf.Params{K: k, M: m}
+	direct := p
+	direct.Blocks = blocks
+	all := map[string]scf.Estimator{
+		"direct": scf.Direct{Params: direct},
+		"fam":    fam.FAM{Params: p},
+		"ssca":   fam.SSCA{Params: p},
+	}
+	rep := Report{
+		Schema:     1,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Geometry: Geometry{
+			K: k, M: m, Blocks: blocks, Samples: k * blocks,
+			Signal: "bpsk carrier=0.125 symlen=8 snr=10dB", Seed: seed,
+		},
+		Note: "mult counts are the paper's canonical operation model " +
+			"(FAM charged a full P-point second FFT per cell); ns/op is measured wall-clock",
+	}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		e, ok := all[name]
+		if !ok {
+			return fmt.Errorf("unknown estimator %q (want direct, fam or ssca)", name)
+		}
+		var stats *scf.Stats
+		var estErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, st, err := e.Estimate(band)
+				if err != nil {
+					estErr = err
+					b.FailNow()
+				}
+				stats = st
+			}
+		})
+		if estErr != nil {
+			return fmt.Errorf("%s: %w", name, estErr)
+		}
+		rep.Results = append(rep.Results, Measurement{
+			Name:           name,
+			NsPerOp:        float64(r.NsPerOp()),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			AllocsPerOp:    r.AllocsPerOp(),
+			Iterations:     r.N,
+			FFTMults:       stats.FFTMults,
+			PointwiseMults: stats.DSCFMults,
+			TotalMults:     stats.TotalMults(),
+			SmoothingLen:   stats.Blocks,
+		})
+		fmt.Printf("%-8s %12.0f ns/op %10d B/op %6d allocs/op %10d total_mults\n",
+			name, float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp(), stats.TotalMults())
+	}
+	if baseline != "" {
+		raw, err := os.ReadFile(baseline)
+		if err != nil {
+			return err
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("parse baseline %s: %w", baseline, err)
+		}
+		base.Baseline = nil // keep the artifact one level deep
+		rep.Baseline = &base
+		rep.Speedup = map[string]float64{}
+		for _, b := range base.Results {
+			for _, c := range rep.Results {
+				if b.Name == c.Name && c.NsPerOp > 0 {
+					rep.Speedup[b.Name] = b.NsPerOp / c.NsPerOp
+				}
+			}
+		}
+		for name, s := range rep.Speedup {
+			fmt.Printf("%-8s %.2fx vs baseline\n", name, s)
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}

@@ -2,8 +2,6 @@ package fam
 
 import (
 	"fmt"
-	"math"
-	"math/cmplx"
 
 	"tiledcfd/internal/fft"
 	"tiledcfd/internal/scf"
@@ -17,8 +15,19 @@ import (
 //
 // win is the analysis window (nil for rectangular). The caller must
 // guarantee len(x) >= k+(blocks-1)·hop.
+//
+// The per-hop loop allocates nothing: the plan and the downconversion
+// table come from the process-wide fft cache and the FFT/window scratch
+// buffers are pooled. Only the output backing array is allocated per call.
 func channelize(x []complex128, k, hop, blocks int, win []float64) ([][]complex128, error) {
-	plan, err := fft.NewPlan(k)
+	if win != nil && len(win) != k {
+		return nil, fmt.Errorf("fam: window length %d != channelizer size %d", len(win), k)
+	}
+	plan, err := fft.PlanFor(k)
+	if err != nil {
+		return nil, err
+	}
+	roots, err := fft.Roots(k)
 	if err != nil {
 		return nil, err
 	}
@@ -27,23 +36,35 @@ func channelize(x []complex128, k, hop, blocks int, win []float64) ([][]complex1
 	for v := range out {
 		out[v], cells = cells[:blocks], cells[blocks:]
 	}
-	spec := make([]complex128, k)
+	specBuf := fft.GetScratch(k)
+	defer fft.PutScratch(specBuf)
+	spec := *specBuf
+	var winbuf []complex128
+	if win != nil {
+		winbufBuf := fft.GetScratch(k)
+		defer fft.PutScratch(winbufBuf)
+		winbuf = *winbufBuf
+	}
 	for n := 0; n < blocks; n++ {
 		start := n * hop
 		block := x[start : start+k]
 		if win != nil {
-			if block, err = fft.ApplyWindow(block, win); err != nil {
+			if err := fft.ApplyWindowInto(winbuf, block, win); err != nil {
 				return nil, err
 			}
+			block = winbuf
 		}
 		if err := plan.Forward(spec, block); err != nil {
 			return nil, err
 		}
+		// Downconvert with the absolute-time reference: the exponent
+		// (start·v) mod k advances by start per channel, reduced with a
+		// masked add (k is a power of two) — exact for large start·v.
+		step := start & (k - 1)
+		idx := 0
 		for v := 0; v < k; v++ {
-			// Downconvert with the absolute-time reference. The integer
-			// modulus keeps the angle exact for large start·v.
-			ang := -2 * math.Pi * float64((start*v)%k) / float64(k)
-			out[v][n] = spec[v] * cmplx.Exp(complex(0, ang))
+			out[v][n] = spec[v] * roots[idx]
+			idx = (idx + step) & (k - 1)
 		}
 	}
 	return out, nil

@@ -75,7 +75,7 @@ func TestEstimatorsAgreeOnBPSKFeature(t *testing.T) {
 			refA = -refA
 		}
 		refProfA := profilePeak(t, ref)
-		if refProfA != 2*int(xcCar*xcK)/2 { // doubled carrier: a = carrier bin
+		if refProfA != int(xcCar*xcK) { // doubled carrier: a = carrier bin
 			t.Fatalf("seed %d: direct reference profile peak |a|=%d, want %d", seed, refProfA, int(xcCar*xcK))
 		}
 		for _, e := range xcEstimators()[1:] {

@@ -31,7 +31,11 @@
 // and a P-point FFT. SSCA spends N·(K/2)·log2 K on the sliding
 // channelizer and (N/2)·log2 N per strip; its advantage is resolution —
 // N cycle-frequency points per strip for one FFT — rather than raw cost
-// on the small (2M-1)² grid.
+// on the small (2M-1)² grid. Stats always report this canonical model;
+// the implementation itself shortcuts where the algebra allows (FAM
+// evaluates each cell's bin 0 as an O(P) dot product and mirrors the
+// α < 0 half-plane by exact Hermitian symmetry) — see the README's
+// model-vs-measured note.
 //
 // Estimates agree with the direct method at grid points up to the
 // smoothing window: cross-check tests assert all three estimators locate

@@ -2,6 +2,8 @@ package fam
 
 import (
 	"math/cmplx"
+	"runtime"
+	"sync"
 
 	"tiledcfd/internal/fft"
 	"tiledcfd/internal/scf"
@@ -26,6 +28,11 @@ type FAM struct {
 	// default is rectangular for comparability with the direct method).
 	// Blocks is ignored: the smoothing length is derived from the input.
 	Params scf.Params
+	// Workers bounds the goroutines evaluating surface rows concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial path. Rows are
+	// partitioned across workers, each cell written exactly once, so
+	// every worker count produces bit-identical surfaces.
+	Workers int
 }
 
 // Name implements scf.Estimator.
@@ -63,35 +70,61 @@ func (e FAM) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	plan2, err := fft.NewPlan(np)
-	if err != nil {
-		return nil, nil, err
-	}
-	s := scf.NewSurface(p.M)
-	prod := make([]complex128, np)
-	spec2 := make([]complex128, np)
-	inv := complex(1/float64(np), 0)
+	// Hoist the conjugation out of the α/f loops: every cell (f, a) reads
+	// conj of channel f-a, so conjugating each addressed channel once
+	// replaces (2M-1)²·P per-cell conjugations with one pass per channel.
+	// Only the residues f-a actually spans, [-2(M-1), 2(M-1)] mod K, are
+	// conjugated (with the default M = K/4 geometry that is nearly all of
+	// them, but small-M grids touch only a sliver of the K channels).
 	m := p.M - 1
-	for a := -m; a <= m; a++ {
-		for f := -m; f <= m; f++ {
-			cp := ch[fft.BinIndex(p.K, f+a)]
-			cm := ch[fft.BinIndex(p.K, f-a)]
-			for n := 0; n < np; n++ {
-				prod[n] = cp[n] * cmplx.Conj(cm[n])
-			}
-			// The P-point second FFT is the defining FAM operation and is
-			// charged in Stats at its canonical cost, even though only
-			// bin 0 lands on the coarse surface grid: with hop K/4 the
-			// neighbouring bins refine α by 4q/(P·K) — half-row steps,
-			// the first whole-row bin |q|=P/2 being the alias boundary —
-			// so the fine-α mesh falls between grid rows rather than
-			// filling them.
-			if err := plan2.Forward(spec2, prod); err != nil {
-				return nil, nil, err
-			}
-			s.Add(f, a, spec2[0]*inv)
+	chc := make([][]complex128, p.K)
+	ccells := make([]complex128, (4*m+1)*np)
+	for v := -2 * m; v <= 2*m; v++ {
+		k := fft.BinIndex(p.K, v)
+		if chc[k] != nil {
+			continue
+		}
+		chc[k], ccells = ccells[:np], ccells[np:]
+		for n, c := range ch[k] {
+			chc[k][n] = cmplx.Conj(c)
 		}
 	}
+	s := scf.NewSurface(p.M)
+	// The FAM surface is exactly Hermitian in α: the cell (f, -a) sums
+	// x_{f-a}(n)·conj(x_{f+a}(n)) — the termwise conjugate of cell (f, a)
+	// in the same order — so only the a >= 0 rows are evaluated and the
+	// a < 0 rows mirrored by conjugation, bit-identical to evaluating
+	// them directly (conjugation is exact in floating point).
+	rows := m + 1
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		for a := 0; a <= m; a++ {
+			famRow(s.Data[a+m], ch, chc, p.K, a, m, np)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for a := w; a < rows; a += workers {
+					famRow(s.Data[a+m], ch, chc, p.K, a, m, np)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	s.MirrorHermitian()
+	// Stats keep charging the canonical per-cell P-point second FFT —
+	// the operation-count model of the paper's complexity comparison —
+	// even though the implementation evaluates only its bin 0 as an O(P)
+	// dot product (model vs measured; see famRow and the README).
 	cells := p.P() * p.F()
 	stats := &scf.Stats{
 		Blocks:    np,
@@ -99,6 +132,40 @@ func (e FAM) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
 		DSCFMults: np*p.K + cells*np,
 	}
 	return s, stats, nil
+}
+
+// famRow fills one cycle-frequency row of the surface: row[f+m] for
+// f in [-m, m] at offset a. Each cell is bin 0 of the P-point second FFT
+// of the channel-pair product sequence, which is algebraically the plain
+// sum Σ_n x_{f+a}(n)·conj(x_{f-a}(n)) — an O(P) complex dot product in
+// place of the O(P·logP) per-cell FFT (only bin 0 lands on the coarse
+// surface grid: with hop K/4 the neighbouring bins refine α by half-row
+// steps, falling between grid rows rather than filling them). The loop
+// allocates nothing.
+func famRow(row []complex128, ch, chc [][]complex128, k, a, m, np int) {
+	inv := complex(1/float64(np), 0)
+	// K is a power of two (Params.Validate), so the f±a bin wrap-around is
+	// a masked increment instead of a per-cell modulo.
+	mask := k - 1
+	pi := (a - m) & mask
+	qi := (-a - m) & mask
+	for f := -m; f <= m; f++ {
+		cc := chc[qi][:np]
+		// Slicing cp to len(cc) lets the compiler drop the bounds check
+		// on cc inside the loop.
+		cp := ch[pi][:len(cc)]
+		// Two interleaved accumulators: P is a power of two (always
+		// even here), and the split halves the floating-point add
+		// dependency chain the loop is otherwise latency-bound on.
+		var s0, s1 complex128
+		for n := 1; n < len(cp); n += 2 {
+			s0 += cp[n-1] * cc[n-1]
+			s1 += cp[n] * cc[n]
+		}
+		row[f+m] = (s0 + s1) * inv
+		pi = (pi + 1) & mask
+		qi = (qi + 1) & mask
+	}
 }
 
 var _ scf.Estimator = FAM{}

@@ -2,8 +2,9 @@ package fam
 
 import (
 	"fmt"
-	"math"
 	"math/cmplx"
+	"runtime"
+	"sync"
 
 	"tiledcfd/internal/fft"
 	"tiledcfd/internal/scf"
@@ -29,6 +30,11 @@ type SSCA struct {
 	// N is the strip FFT length (power of two >= K). Zero selects the
 	// largest power of two with N+K-1 <= len(x).
 	N int
+	// Workers bounds the goroutines computing strips concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial path. Strips
+	// are independent and each is computed by exactly one worker, so
+	// every worker count produces bit-identical surfaces.
+	Workers int
 }
 
 // Name implements scf.Estimator.
@@ -55,6 +61,8 @@ func (e SSCA) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
 	n := e.N
 	if n == 0 {
 		n = pow2Floor(len(x) - p.K + 1)
+	} else if n < p.K {
+		return nil, nil, fmt.Errorf("fam: SSCA strip length N=%d must be >= K=%d", n, p.K)
 	}
 	if n < p.K {
 		return nil, nil, needSamples("SSCA", 2*p.K-1, len(x))
@@ -76,65 +84,117 @@ func (e SSCA) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	planN, err := fft.NewPlan(n)
+	planN, err := fft.PlanFor(n)
 	if err != nil {
 		return nil, nil, err
 	}
-	// One strip per channel the grid addresses, computed lazily: strip k
-	// is the N-point FFT of x_k(m)·conj(x(m+K/2)). The conjugate factor
-	// is aligned with the channelizer window centre so the kernel's
-	// group-delay phase e^{j2πδ(K-1)/2} is constant along each strip
-	// bin's diagonal instead of rotating in-bin contributions into
-	// cancellation; the residual per-bin constant e^{j2πq(K/2)/N} is
-	// divided out to keep cell phases aligned with the direct method.
-	strips := make([][]complex128, p.K)
-	prod := make([]complex128, n)
+	roots, err := fft.Roots(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	// One strip per channel the grid addresses: strip k is the N-point
+	// FFT of x_k(m)·conj(x(m+K/2)). The conjugate factor is aligned with
+	// the channelizer window centre so the kernel's group-delay phase
+	// e^{j2πδ(K-1)/2} is constant along each strip bin's diagonal instead
+	// of rotating in-bin contributions into cancellation; the residual
+	// per-bin constant e^{j2πq(K/2)/N} is divided out — by indexing the
+	// cached roots table — to keep cell phases aligned with the direct
+	// method. The conjugated centre-shifted input is shared by every
+	// strip, so it is formed once here rather than per strip.
 	centre := p.K / 2
-	derot := make([]complex128, n)
-	for q := range derot {
-		ang := -2 * math.Pi * float64((q*centre)%n) / float64(n)
-		derot[q] = cmplx.Exp(complex(0, ang))
+	xc := make([]complex128, n)
+	for i := range xc {
+		xc[i] = cmplx.Conj(x[i+centre])
 	}
-	stripOf := func(k int) ([]complex128, error) {
-		if strips[k] != nil {
-			return strips[k], nil
-		}
-		cs := ch[k]
-		for m := 0; m < n; m++ {
-			prod[m] = cs[m] * cmplx.Conj(x[m+centre])
-		}
-		u := make([]complex128, n)
-		if err := planN.Forward(u, prod); err != nil {
-			return nil, err
-		}
-		for q := range u {
-			u[q] *= derot[q]
-		}
-		strips[k] = u
-		return u, nil
-	}
-	s := scf.NewSurface(p.M)
-	inv := complex(1/float64(n), 0)
 	m := p.M - 1
-	nStrips := 0
-	for a := -m; a <= m; a++ {
-		for f := -m; f <= m; f++ {
-			k := fft.BinIndex(p.K, f+a)
-			if strips[k] == nil {
-				nStrips++
+	// The grid addresses channels k = f+a for f, a in [-m, m]: every
+	// residue of [-2m, 2m] mod K, computed up front so the independent
+	// strips can be fanned out across bounded workers.
+	needed := make([]int, 0, 4*m+1)
+	seen := make([]bool, p.K)
+	for v := -2 * m; v <= 2*m; v++ {
+		if k := fft.BinIndex(p.K, v); !seen[k] {
+			seen[k] = true
+			needed = append(needed, k)
+		}
+	}
+	strips := make([][]complex128, p.K)
+	scells := make([]complex128, len(needed)*n)
+	for _, k := range needed {
+		strips[k], scells = scells[:n], scells[n:]
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(needed) {
+		workers = len(needed)
+	}
+	stripInto := func(k int, prod []complex128) error {
+		cs := ch[k]
+		for i := 0; i < n; i++ {
+			prod[i] = cs[i] * xc[i]
+		}
+		u := strips[k]
+		if err := planN.Forward(u, prod); err != nil {
+			return err
+		}
+		// (q·centre) mod n advances by centre per bin; n is a power of
+		// two, so the reduction is a masked add.
+		idx := 0
+		for q := range u {
+			u[q] *= roots[idx]
+			idx = (idx + centre) & (n - 1)
+		}
+		return nil
+	}
+	if workers <= 1 {
+		prodBuf := fft.GetScratch(n)
+		for _, k := range needed {
+			if err := stripInto(k, *prodBuf); err != nil {
+				fft.PutScratch(prodBuf)
+				return nil, nil, err
 			}
-			u, err := stripOf(k)
+		}
+		fft.PutScratch(prodBuf)
+	} else {
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				prodBuf := fft.GetScratch(n)
+				defer fft.PutScratch(prodBuf)
+				for i := w; i < len(needed); i += workers {
+					if err := stripInto(needed[i], *prodBuf); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
 			if err != nil {
 				return nil, nil, err
 			}
+		}
+	}
+	s := scf.NewSurface(p.M)
+	inv := complex(1/float64(n), 0)
+	for a := -m; a <= m; a++ {
+		row := s.Data[a+m]
+		for f := -m; f <= m; f++ {
+			u := strips[fft.BinIndex(p.K, f+a)]
 			q := fft.BinIndex(n, n/p.K*(a-f))
-			s.Add(f, a, u[q]*inv)
+			row[f+m] = u[q] * inv
 		}
 	}
 	stats := &scf.Stats{
 		Blocks:    n,
-		FFTMults:  n*fft.ComplexMults(p.K) + nStrips*fft.ComplexMults(n),
-		DSCFMults: n*p.K + nStrips*n,
+		FFTMults:  n*fft.ComplexMults(p.K) + len(needed)*fft.ComplexMults(n),
+		DSCFMults: n*p.K + len(needed)*n,
 	}
 	return s, stats, nil
 }

@@ -14,6 +14,22 @@
 // convention; the Discrete Spectral Correlation Function magnitudes are
 // unaffected (see DESIGN.md §4).
 //
+// # Caching
+//
+// All float64 transform state is cached process-wide and shared:
+//
+//   - Roots(n) returns the e^{-j2πi/n} roots-of-unity table for size n,
+//     computed once. It doubles as the derotation/downconversion table the
+//     estimator hot paths index (Roots(n)[p mod n] = e^{-j2πp/n} for any
+//     integer p, reduced exactly in integer arithmetic) instead of calling
+//     cmplx.Exp per sample. RootIdx reduces negative exponents.
+//   - PlanFor(n) returns the shared immutable Plan for size n; FFT and
+//     IFFT route through it. Plans are safe for concurrent use.
+//   - GetScratch/PutScratch pool length-n work buffers, keeping repeated
+//     estimator calls at zero steady-state scratch allocation.
+//
+// NewPlan remains available for callers that want a private plan.
+//
 // The fixed-point transform (FixedPlan) scales by 1/2 after every
 // butterfly stage, so its output is DFT(x)/K. This is the unconditional
 // block-scaling policy used by 16-bit DSP FFT kernels to make overflow

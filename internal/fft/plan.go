@@ -2,7 +2,6 @@ package fft
 
 import (
 	"fmt"
-	"math"
 	"math/cmplx"
 )
 
@@ -26,13 +25,20 @@ func NewPlan(n int) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every stage's twiddles are a stride through the size-n roots table:
+	// stage s, index i needs e^{-j2πi/span} = Roots(n)[i·(n/span)].
+	roots, err := Roots(n)
+	if err != nil {
+		return nil, err
+	}
 	p := &Plan{n: n, rev: bitrevTable(n), tw: make([][]complex128, stages)}
 	for s := 0; s < stages; s++ {
 		span := 2 << s
 		half := span / 2
+		stride := n / span
 		w := make([]complex128, half)
 		for i := 0; i < half; i++ {
-			w[i] = cmplx.Exp(complex(0, -2*math.Pi*float64(i)/float64(span)))
+			w[i] = roots[i*stride]
 		}
 		p.tw[s] = w
 	}
@@ -69,30 +75,31 @@ func (p *Plan) Forward(dst, src []complex128) error {
 }
 
 // Inverse computes the inverse DFT (with 1/N normalisation) of src into
-// dst. dst and src may alias.
+// dst. dst and src may alias. It allocates nothing: the conjugation
+// happens directly in dst, which then doubles as the Forward workspace.
 func (p *Plan) Inverse(dst, src []complex128) error {
 	if len(src) != p.n || len(dst) != p.n {
 		return fmt.Errorf("fft: Inverse length %d/%d, plan size %d", len(dst), len(src), p.n)
 	}
 	// IDFT(x) = conj(DFT(conj(x)))/N.
-	tmp := make([]complex128, p.n)
 	for i, v := range src {
-		tmp[i] = cmplx.Conj(v)
+		dst[i] = cmplx.Conj(v)
 	}
-	if err := p.Forward(tmp, tmp); err != nil {
+	if err := p.Forward(dst, dst); err != nil {
 		return err
 	}
-	inv := 1 / float64(p.n)
-	for i, v := range tmp {
-		dst[i] = cmplx.Conj(v) * complex(inv, 0)
+	inv := complex(1/float64(p.n), 0)
+	for i, v := range dst {
+		dst[i] = cmplx.Conj(v) * inv
 	}
 	return nil
 }
 
 // FFT is a convenience wrapper computing the forward transform of x into a
-// new slice. The length of x must be a power of two.
+// new slice through the shared plan cache. The length of x must be a power
+// of two.
 func FFT(x []complex128) ([]complex128, error) {
-	p, err := NewPlan(len(x))
+	p, err := PlanFor(len(x))
 	if err != nil {
 		return nil, err
 	}
@@ -104,9 +111,9 @@ func FFT(x []complex128) ([]complex128, error) {
 }
 
 // IFFT is a convenience wrapper computing the inverse transform of x into
-// a new slice.
+// a new slice through the shared plan cache.
 func IFFT(x []complex128) ([]complex128, error) {
-	p, err := NewPlan(len(x))
+	p, err := PlanFor(len(x))
 	if err != nil {
 		return nil, err
 	}

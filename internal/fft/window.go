@@ -75,8 +75,22 @@ func ApplyWindow(x []complex128, w []float64) ([]complex128, error) {
 		return nil, fmt.Errorf("fft: window length %d != signal length %d", len(w), len(x))
 	}
 	out := make([]complex128, len(x))
-	for i := range x {
-		out[i] = x[i] * complex(w[i], 0)
+	if err := ApplyWindowInto(out, x, w); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ApplyWindowInto multiplies x elementwise by the window coefficients into
+// dst (which may alias x), allocating nothing. All lengths must match.
+// This is the hot-path form: estimators call it per block with a pooled
+// dst.
+func ApplyWindowInto(dst, x []complex128, w []float64) error {
+	if len(x) != len(w) || len(dst) != len(x) {
+		return fmt.Errorf("fft: window length %d != signal length %d/%d", len(w), len(x), len(dst))
+	}
+	for i := range x {
+		dst[i] = x[i] * complex(w[i], 0)
+	}
+	return nil
 }

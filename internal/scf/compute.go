@@ -44,7 +44,7 @@ func Compute(x []complex128, p Params) (*Surface, *Stats, error) {
 	if len(x) < p.SamplesNeeded() {
 		return nil, nil, fmt.Errorf("scf: need %d samples, have %d", p.SamplesNeeded(), len(x))
 	}
-	plan, err := fft.NewPlan(p.K)
+	plan, err := fft.PlanFor(p.K)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -56,24 +56,37 @@ func Compute(x []complex128, p Params) (*Surface, *Stats, error) {
 	}
 	s := NewSurface(p.M)
 	stats := &Stats{Blocks: p.Blocks}
-	spec := make([]complex128, p.K)
+	specBuf := fft.GetScratch(p.K)
+	defer fft.PutScratch(specBuf)
+	speccBuf := fft.GetScratch(p.K)
+	defer fft.PutScratch(speccBuf)
+	spec, specc := *specBuf, *speccBuf
+	var winbuf []complex128
+	if win != nil {
+		winbufBuf := fft.GetScratch(p.K)
+		defer fft.PutScratch(winbufBuf)
+		winbuf = *winbufBuf
+	}
 	for n := 0; n < p.Blocks; n++ {
 		start := n * p.Hop
 		block := x[start : start+p.K]
 		if win != nil {
-			if block, err = fft.ApplyWindow(block, win); err != nil {
+			if err := fft.ApplyWindowInto(winbuf, block, win); err != nil {
 				return nil, nil, err
 			}
+			block = winbuf
 		}
 		if err := plan.Forward(spec, block); err != nil {
 			return nil, nil, err
 		}
 		stats.FFTMults += fft.ComplexMults(p.K)
 		phaseReference(spec, start, p.K)
-		accumulate(s, spec, p.M)
+		conjInto(specc, spec)
+		accumulate(s, spec, specc, p.M)
 		stats.DSCFMults += p.DSCFMults()
 	}
 	s.Scale(1 / float64(p.Blocks))
+	s.MirrorHermitian()
 	return s, stats, nil
 }
 
@@ -81,25 +94,57 @@ func Compute(x []complex128, p Params) (*Surface, *Stats, error) {
 // window-relative FFT into the absolute-time-referenced X_{n,v} of
 // expression 2. When start is a multiple of K the rotation is identity and
 // is skipped, matching the hardware (which performs no extra rotation
-// because it advances by whole blocks).
+// because it advances by whole blocks). The rotation indexes the cached
+// roots table with the exponent reduced mod K in integer arithmetic, so
+// it stays exact for large start·v and allocates nothing.
 func phaseReference(spec []complex128, start, k int) {
 	if start%k == 0 {
 		return
 	}
+	// Roots only fails for k < 1, which every caller has already
+	// validated away — reaching it is a programming error.
+	roots, err := fft.Roots(k)
+	if err != nil {
+		panic("scf: phaseReference with unvalidated size: " + err.Error())
+	}
+	// (start·v) mod k advances by start per bin; k is a power of two
+	// (validated upstream), so the reduction is a masked add.
+	step := start & (k - 1)
+	idx := 0
 	for v := range spec {
-		ang := -2 * math.Pi * float64(start) * float64(v) / float64(k)
-		spec[v] *= cmplx.Exp(complex(0, ang))
+		spec[v] *= roots[idx]
+		idx = (idx + step) & (k - 1)
 	}
 }
 
-// accumulate adds the cyclic periodogram of one block to the surface.
-func accumulate(s *Surface, spec []complex128, m int) {
+// conjInto writes the elementwise conjugate of spec into specc, hoisting
+// the per-cell conjugation of the accumulate loop to one pass per block.
+func conjInto(specc, spec []complex128) {
+	for v, c := range spec {
+		specc[v] = cmplx.Conj(c)
+	}
+}
+
+// accumulate adds the cyclic periodogram of one block to the a >= 0 rows
+// of the surface. The DSCF is exactly Hermitian in a — the (f, -a) term
+// X_{f-a}·conj(X_{f+a}) is the termwise conjugate of the (f, a) term — so
+// the a < 0 rows are not touched here; callers fill them once at the end
+// with Surface.MirrorHermitian, bit-identical to accumulating them
+// directly. specc must hold the conjugate of spec (conjInto). K is a
+// power of two (validated upstream), so the f±a bin wrap-around is a
+// masked increment instead of a per-cell modulo; the loop allocates
+// nothing.
+func accumulate(s *Surface, spec, specc []complex128, m int) {
 	k := len(spec)
-	for a := -(m - 1); a <= m-1; a++ {
-		for f := -(m - 1); f <= m-1; f++ {
-			xp := spec[fft.BinIndex(k, f+a)]
-			xm := spec[fft.BinIndex(k, f-a)]
-			s.Add(f, a, xp*cmplx.Conj(xm))
+	mask := k - 1
+	for a := 0; a <= m-1; a++ {
+		row := s.Data[a+m-1]
+		pi := (a - (m - 1)) & mask
+		qi := (-a - (m - 1)) & mask
+		for fi := range row {
+			row[fi] += spec[pi] * specc[qi]
+			pi = (pi + 1) & mask
+			qi = (qi + 1) & mask
 		}
 	}
 }
@@ -116,7 +161,7 @@ func SpectrumAt(x []complex128, start int, p Params) ([]complex128, error) {
 	if start < 0 || start+p.K > len(x) {
 		return nil, fmt.Errorf("scf: block [%d,%d) outside signal of %d samples", start, start+p.K, len(x))
 	}
-	plan, err := fft.NewPlan(p.K)
+	plan, err := fft.PlanFor(p.K)
 	if err != nil {
 		return nil, err
 	}

@@ -2,8 +2,9 @@ package scf
 
 import (
 	"fmt"
-	"math"
 	"math/cmplx"
+
+	"tiledcfd/internal/fft"
 )
 
 // ComputeDirect evaluates the DSCF by brute force, directly from
@@ -16,6 +17,11 @@ import (
 // exponent (n+k) kept verbatim) and then sums the products of
 // expression 3. It is O(Blocks·K·K) per bin set and exists purely as
 // ground truth for tests; use Compute for anything larger than toy sizes.
+//
+// The per-block spectrum is a dense slice over the addressed bins
+// v ∈ [-2(M-1), 2(M-1)] (index v+ext), and the exponential comes from the
+// cached roots table with the exponent reduced mod K in integer
+// arithmetic — exact even for the large (n+k)·v products.
 func ComputeDirect(x []complex128, p Params) (*Surface, error) {
 	p = p.WithDefaults()
 	if err := p.Validate(); err != nil {
@@ -24,24 +30,27 @@ func ComputeDirect(x []complex128, p Params) (*Surface, error) {
 	if len(x) < p.SamplesNeeded() {
 		return nil, fmt.Errorf("scf: need %d samples, have %d", p.SamplesNeeded(), len(x))
 	}
+	roots, err := fft.Roots(p.K)
+	if err != nil {
+		return nil, err
+	}
 	s := NewSurface(p.M)
+	// Evaluate X_{n,v} for all bins the grid addresses: v = f±a spans
+	// [-ext, ext].
+	ext := 2 * (p.M - 1)
+	spec := make([]complex128, 2*ext+1)
 	for n := 0; n < p.Blocks; n++ {
 		start := n * p.Hop
-		// Evaluate X_{n,v} for all bins the grid addresses: v = f±a spans
-		// [-2(M-1), 2(M-1)].
-		ext := 2 * (p.M - 1)
-		spec := make(map[int]complex128, 2*ext+1)
 		for v := -ext; v <= ext; v++ {
 			var sum complex128
 			for k := 0; k < p.K; k++ {
-				ang := -2 * math.Pi * float64(start+k) * float64(v) / float64(p.K)
-				sum += x[start+k] * cmplx.Exp(complex(0, ang))
+				sum += x[start+k] * roots[fft.RootIdx((start+k)*v, p.K)]
 			}
-			spec[v] = sum
+			spec[v+ext] = sum
 		}
 		for a := -(p.M - 1); a <= p.M-1; a++ {
 			for f := -(p.M - 1); f <= p.M-1; f++ {
-				s.Add(f, a, spec[f+a]*cmplx.Conj(spec[f-a]))
+				s.Add(f, a, spec[f+a+ext]*cmplx.Conj(spec[f-a+ext]))
 			}
 		}
 	}

@@ -45,28 +45,40 @@ func ComputeParallel(x []complex128, p Params, workers int) (*Surface, *Stats, e
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			plan, err := fft.NewPlan(p.K)
+			plan, err := fft.PlanFor(p.K)
 			if err != nil {
 				errs[w] = err
 				return
 			}
-			spec := make([]complex128, p.K)
+			specBuf := fft.GetScratch(p.K)
+			defer fft.PutScratch(specBuf)
+			speccBuf := fft.GetScratch(p.K)
+			defer fft.PutScratch(speccBuf)
+			spec, specc := *specBuf, *speccBuf
+			var winbuf []complex128
+			if win != nil {
+				winbufBuf := fft.GetScratch(p.K)
+				defer fft.PutScratch(winbufBuf)
+				winbuf = *winbufBuf
+			}
 			for n := w; n < p.Blocks; n += workers {
 				start := n * p.Hop
 				block := x[start : start+p.K]
 				if win != nil {
-					if block, err = fft.ApplyWindow(block, win); err != nil {
+					if err := fft.ApplyWindowInto(winbuf, block, win); err != nil {
 						errs[w] = err
 						return
 					}
+					block = winbuf
 				}
 				if err := plan.Forward(spec, block); err != nil {
 					errs[w] = err
 					return
 				}
 				phaseReference(spec, start, p.K)
+				conjInto(specc, spec)
 				s := NewSurface(p.M)
-				accumulate(s, spec, p.M)
+				accumulate(s, spec, specc, p.M)
 				partials[n] = s
 			}
 		}(w)
@@ -77,16 +89,19 @@ func ComputeParallel(x []complex128, p Params, workers int) (*Surface, *Stats, e
 			return nil, nil, err
 		}
 	}
-	// In-order merge keeps summation order identical to Compute.
+	// In-order merge keeps summation order identical to Compute. Only the
+	// a >= 0 rows carry data (accumulate leaves a < 0 to the final
+	// Hermitian mirror, exactly as Compute does).
 	out := NewSurface(p.M)
 	for _, part := range partials {
-		for i := range out.Data {
+		for i := p.M - 1; i < len(out.Data); i++ {
 			for j := range out.Data[i] {
 				out.Data[i][j] += part.Data[i][j]
 			}
 		}
 	}
 	out.Scale(1 / float64(p.Blocks))
+	out.MirrorHermitian()
 	stats := &Stats{
 		Blocks:    p.Blocks,
 		FFTMults:  p.Blocks * fft.ComplexMults(p.K),

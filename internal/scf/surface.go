@@ -103,6 +103,22 @@ func (s *Surface) PSD() []complex128 {
 	return out
 }
 
+// MirrorHermitian fills the a < 0 rows from the completed a >= 0 rows:
+// S_f^{-a} = conj(S_f^a). For estimators whose cell algebra is exactly
+// Hermitian in a (the direct DSCF and FAM — each (f, -a) term is the
+// termwise conjugate of the (f, a) term, and conjugation and real scaling
+// commute with summation exactly in floating point), the mirrored cells
+// are bit-identical to accumulating them directly, at half the work.
+func (s *Surface) MirrorHermitian() {
+	m := s.M
+	for a := 1; a <= m-1; a++ {
+		src, dst := s.Data[a+m-1], s.Data[m-1-a]
+		for i, v := range src {
+			dst[i] = cmplx.Conj(v)
+		}
+	}
+}
+
 // HermitianError returns the maximum magnitude of S_f^{-a} - conj(S_f^a)
 // over the grid: an exact DSCF has zero; float and fixed implementations
 // should be at rounding level. Used by invariant tests.
