@@ -3,6 +3,9 @@ package tiledcfd
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"tiledcfd/internal/core"
 	"tiledcfd/internal/fam"
@@ -11,6 +14,7 @@ import (
 	"tiledcfd/internal/scf"
 	"tiledcfd/internal/sig"
 	"tiledcfd/internal/soc"
+	"tiledcfd/internal/stream"
 )
 
 // Config selects the platform geometry and detection settings for Sense.
@@ -48,9 +52,22 @@ type Config struct {
 	// figures (cycle breakdown, area, power) are zero; FFTMults and
 	// EstimatorMults report their work instead.
 	Estimator string
-	// Hop is the channelizer advance in samples for the "fam" estimator
-	// (0 = K/4); ignored elsewhere.
+	// Hop is the block/channelizer advance in samples: for "fam" the
+	// channelizer hop (0 = K/4), for "direct" the integration-block
+	// advance (0 = K, the paper's non-overlapping blocks). Setting it
+	// with "ssca" is an error — the SSCA channelizer advances one sample
+	// per hop by definition. The platform path ignores it.
 	Hop int
+	// Workers bounds the goroutines a software estimator uses internally
+	// (concurrent integration blocks for "direct", surface rows for
+	// "fam", strips for "ssca" — all bit-identical to serial). 1 forces
+	// the serial path; 0 takes the estimator's default: one worker per
+	// CPU core for "fam"/"ssca", serial for "direct" (whose per-block
+	// decomposition allocates a partial surface per block and only pays
+	// off for large Blocks counts, so it stays opt-in with Workers > 1).
+	// Ignored by the platform path and by streaming accumulators
+	// (Monitor parallelises across channels instead).
+	Workers int
 }
 
 // estimator resolves the Config.Estimator name; nil means the platform
@@ -61,12 +78,17 @@ func (c Config) estimator() (scf.Estimator, error) {
 	case "", "platform":
 		return nil, nil
 	case "direct":
-		return scf.Direct{Params: p}, nil
+		p.Hop = c.Hop
+		return scf.Direct{Params: p, Workers: c.Workers}, nil
 	case "fam":
 		p.Hop = c.Hop
-		return fam.FAM{Params: p}, nil
+		return fam.FAM{Params: p, Workers: c.Workers}, nil
 	case "ssca":
-		return fam.SSCA{Params: p}, nil
+		if c.Hop != 0 {
+			return nil, fmt.Errorf("tiledcfd: Hop=%d is meaningless for the ssca estimator "+
+				"(the SSCA channelizer advances one sample per hop); leave Hop zero", c.Hop)
+		}
+		return fam.SSCA{Params: p, Workers: c.Workers}, nil
 	default:
 		return nil, fmt.Errorf("tiledcfd: unknown estimator %q (want platform, direct, fam or ssca)", c.Estimator)
 	}
@@ -234,6 +256,250 @@ func Watch(stream []complex128, cfg Config) ([]WindowVerdict, error) {
 		}
 	}
 	return out, nil
+}
+
+// MonitorOptions configures the streaming side of a Monitor: how the
+// engine ingests, schedules and decides. Estimator selection and
+// geometry come from Config (Config.Estimator must name a software
+// estimator — the bit-true platform simulation has no incremental form;
+// "" defaults to "direct").
+type MonitorOptions struct {
+	// Channels are ids registered at creation; more can be added later
+	// with AddChannel.
+	Channels []string
+	// SnapshotSamples is the per-channel decision cadence in samples
+	// (default 8192).
+	SnapshotSamples int
+	// RingSamples is the per-channel ingestion buffer capacity (default
+	// 4×SnapshotSamples).
+	RingSamples int
+	// Workers bounds the engine's drain/decision worker pool (default
+	// one per CPU core). Distinct from Config.Workers, which controls
+	// intra-estimator parallelism on the batch paths.
+	Workers int
+	// Cumulative keeps estimator state integrating across decisions
+	// instead of resetting per window. Not supported with the "ssca"
+	// estimator, whose un-reset state grows without bound (one product
+	// entry per addressed channel per sample).
+	Cumulative bool
+	// Backpressure makes Push block when a ring fills instead of
+	// dropping the overflow.
+	Backpressure bool
+	// CFARScale is the self-calibrating detector's peak-over-floor ratio
+	// (default 2). Used when Config.Threshold is zero; a positive
+	// Config.Threshold selects fixed-threshold decisions instead.
+	CFARScale float64
+}
+
+// MonitorDecision is one periodic per-channel verdict of a Monitor.
+type MonitorDecision struct {
+	// Channel names the monitored channel.
+	Channel string
+	// Seq is the 0-based decision index within the channel; Window is
+	// the number of samples the decision's surface integrates.
+	Seq    int64
+	Window int
+	// Detected, Statistic and Threshold carry the verdict.
+	Detected             bool
+	Statistic, Threshold float64
+	// FeatureF/FeatureA locate the strongest cyclic feature (a != 0).
+	FeatureF, FeatureA int
+}
+
+// MonitorStats is a Monitor-wide accounting snapshot.
+type MonitorStats struct {
+	// Channels is the number of registered channels.
+	Channels int
+	// SamplesIn counts samples accepted; SamplesDropped counts samples
+	// discarded because an ingestion ring was full.
+	SamplesIn, SamplesDropped int64
+	// Surfaces counts estimator snapshots (= decisions made); Detections
+	// the subset declaring the band occupied; DecisionsDropped the
+	// decisions lost to a full or unread Decisions channel (the latest
+	// per channel always remains available via ChannelStats).
+	Surfaces, Detections, DecisionsDropped int64
+	// SamplesPerSec and SurfacesPerSec are lifetime-average throughput
+	// rates.
+	SamplesPerSec, SurfacesPerSec float64
+}
+
+// MonitorChannelStats is per-channel Monitor accounting.
+type MonitorChannelStats struct {
+	ID                        string
+	SamplesIn, SamplesDropped int64
+	Snapshots, Detections     int64
+	// Last is the most recent decision, nil before the first.
+	Last *MonitorDecision
+}
+
+// Monitor is a long-running streaming sensing session: the incremental
+// counterpart of Sense and Watch. Samples are pushed per channel as they
+// arrive; a bounded worker pool advances incremental estimator state and
+// emits a decision every SnapshotSamples samples. Streaming surfaces are
+// bit-identical to the batch estimators over the same samples, so
+// decisions agree exactly with the one-shot API.
+//
+// A Monitor must be Closed when done; Decisions delivers the rolling
+// verdicts until then.
+type Monitor struct {
+	eng     *stream.Engine
+	out     chan MonitorDecision
+	dropped atomic.Int64 // decisions lost at the forwarding layer
+	once    sync.Once
+}
+
+// toMonitorDecision converts the internal decision record; the single
+// conversion point shared by the forwarder and ChannelStats.
+func toMonitorDecision(d stream.Decision) MonitorDecision {
+	return MonitorDecision{
+		Channel:   d.Channel,
+		Seq:       d.Seq,
+		Window:    d.WindowSamples,
+		Detected:  d.Detected,
+		Statistic: d.Statistic,
+		Threshold: d.Threshold,
+		FeatureF:  d.FeatureF,
+		FeatureA:  d.FeatureA,
+	}
+}
+
+// NewMonitor creates a streaming sensing session. cfg selects the
+// estimator and geometry exactly as for Sense (software estimators only;
+// cfg.Threshold > 0 selects fixed-threshold decisions, otherwise the
+// self-calibrating CFAR is used); opts configures ingestion and
+// scheduling.
+func NewMonitor(cfg Config, opts MonitorOptions) (*Monitor, error) {
+	if cfg.Estimator == "" {
+		cfg.Estimator = "direct"
+	}
+	est, err := cfg.estimator()
+	if err != nil {
+		return nil, err
+	}
+	if est == nil {
+		return nil, fmt.Errorf("tiledcfd: the %q path has no incremental form; "+
+			"pick a software estimator (direct, fam, ssca) or use Watch", cfg.Estimator)
+	}
+	sest, ok := est.(scf.StreamingEstimator)
+	if !ok {
+		return nil, fmt.Errorf("tiledcfd: estimator %q cannot stream", cfg.Estimator)
+	}
+	if opts.Cumulative && cfg.Estimator == "ssca" {
+		return nil, fmt.Errorf("tiledcfd: cumulative monitoring is unsupported with the ssca " +
+			"estimator: its un-reset accumulator grows without bound (one strip entry per " +
+			"addressed channel per sample); use windowed mode or another estimator")
+	}
+	eng, err := stream.New(stream.Config{
+		Estimator:       sest,
+		SnapshotSamples: opts.SnapshotSamples,
+		RingSamples:     opts.RingSamples,
+		Workers:         opts.Workers,
+		Cumulative:      opts.Cumulative,
+		Block:           opts.Backpressure,
+		MinAbsA:         cfg.MinAbsA,
+		Threshold:       cfg.Threshold,
+		CFARScale:       opts.CFARScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range opts.Channels {
+		if err := eng.AddChannel(id); err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
+	m := &Monitor{eng: eng, out: make(chan MonitorDecision, 64)}
+	go func() {
+		defer close(m.out)
+		for d := range eng.Decisions() {
+			md := toMonitorDecision(d)
+			// Never stall on an unread Decisions channel: drop the
+			// oldest unconsumed verdict (ChannelStats always has the
+			// latest), mirroring the engine's own overflow policy and
+			// counting the loss in Stats.DecisionsDropped.
+			select {
+			case m.out <- md:
+			default:
+				select {
+				case <-m.out:
+					m.dropped.Add(1)
+				default:
+				}
+				select {
+				case m.out <- md:
+				default:
+					m.dropped.Add(1)
+				}
+			}
+		}
+	}()
+	return m, nil
+}
+
+// AddChannel registers a new monitored channel.
+func (m *Monitor) AddChannel(id string) error { return m.eng.AddChannel(id) }
+
+// Push appends samples to a channel's stream in arrival order, returning
+// how many were accepted (fewer than len(samples) only in drop mode
+// under overload).
+func (m *Monitor) Push(id string, samples []complex128) (int, error) {
+	return m.eng.Push(id, samples)
+}
+
+// Decisions returns the rolling per-channel verdicts. The channel is
+// closed by Close. A slow consumer never stalls sensing; the latest
+// decision per channel is always available via ChannelStats.
+func (m *Monitor) Decisions() <-chan MonitorDecision { return m.out }
+
+// Stats returns session-wide throughput and accounting figures.
+func (m *Monitor) Stats() MonitorStats {
+	s := m.eng.Stats()
+	return MonitorStats{
+		Channels:         s.Channels,
+		SamplesIn:        s.SamplesIn,
+		SamplesDropped:   s.SamplesDropped,
+		Surfaces:         s.Surfaces,
+		Detections:       s.Detections,
+		DecisionsDropped: s.DecisionsDropped + m.dropped.Load(),
+		SamplesPerSec:    s.SamplesPerSec,
+		SurfacesPerSec:   s.SurfacesPerSec,
+	}
+}
+
+// ChannelStats returns one channel's accounting; ok is false for an
+// unknown id.
+func (m *Monitor) ChannelStats(id string) (MonitorChannelStats, bool) {
+	cs, ok := m.eng.ChannelStats(id)
+	if !ok {
+		return MonitorChannelStats{}, false
+	}
+	out := MonitorChannelStats{
+		ID:             cs.ID,
+		SamplesIn:      cs.SamplesIn,
+		SamplesDropped: cs.SamplesDropped,
+		Snapshots:      cs.Snapshots,
+		Detections:     cs.Detections,
+	}
+	if cs.Last != nil {
+		last := toMonitorDecision(*cs.Last)
+		out.Last = &last
+	}
+	return out, true
+}
+
+// Flush blocks until all pushed samples are processed and due decisions
+// made, or the timeout elapses — the quiesce point before reading final
+// stats or closing after a batch feed.
+func (m *Monitor) Flush(timeout time.Duration) error { return m.eng.Flush(timeout) }
+
+// Close stops the session and closes Decisions. Unprocessed buffered
+// samples are discarded (Flush first to avoid that). Close is
+// idempotent.
+func (m *Monitor) Close() error {
+	var err error
+	m.once.Do(func() { err = m.eng.Close() })
+	return err
 }
 
 // DSCF computes the reference (float64) Discrete Spectral Correlation

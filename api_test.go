@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/cmplx"
 	"testing"
+	"time"
 )
 
 func TestSensePaperConfiguration(t *testing.T) {
@@ -380,5 +381,129 @@ func TestWatchWithEstimator(t *testing.T) {
 		if v.Detected != want {
 			t.Errorf("window %d detected=%v, want %v (statistic %.4f)", i, v.Detected, want, v.Statistic)
 		}
+	}
+}
+
+func TestConfigWorkersPlumbed(t *testing.T) {
+	// Workers must reach the estimators and leave results bit-identical
+	// to the serial path (the parallel decompositions are exact).
+	const k, m, blocks = 64, 16, 8
+	band, err := NewBPSKBand(k*blocks, 8.0/k, 8, 6, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"direct", "fam", "ssca"} {
+		serial, err := SpectralCorrelation(band, Config{K: k, M: m, Blocks: blocks, Estimator: name, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := SpectralCorrelation(band, Config{K: k, M: m, Blocks: blocks, Estimator: name, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.Surface {
+			for j := range serial.Surface[i] {
+				if serial.Surface[i][j] != parallel.Surface[i][j] {
+					t.Fatalf("%s: Workers=4 surface differs from serial at [%d][%d]", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigHopValidation(t *testing.T) {
+	band, err := NewNoiseBand(4096, 0.25, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ssca + Hop must be rejected, not silently ignored.
+	if _, err := SpectralCorrelation(band, Config{K: 64, M: 16, Estimator: "ssca", Hop: 32}); err == nil {
+		t.Fatal("ssca with Hop set succeeded")
+	}
+	// direct honours Hop: overlapping blocks need fewer samples.
+	r, err := SpectralCorrelation(band[:64+7*32], Config{K: 64, M: 16, Blocks: 8, Estimator: "direct", Hop: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks != 8 {
+		t.Fatalf("direct with Hop=32 averaged %d blocks, want 8", r.Blocks)
+	}
+}
+
+func TestMonitorStreamsDecisions(t *testing.T) {
+	// The streaming session must reproduce the Watch occupancy timeline:
+	// per-channel windows of noise then BPSK then noise, decided by CFAR.
+	const k, m = 64, 16
+	const window = 2048
+	mon, err := NewMonitor(
+		Config{K: k, M: m, Estimator: "fam"},
+		MonitorOptions{Channels: []string{"uhf-1", "uhf-2"}, SnapshotSamples: window, Backpressure: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	// uhf-1 goes idle, busy, idle; uhf-2 stays idle throughout.
+	segs := map[string][][]complex128{}
+	idle := func(seed uint64) []complex128 {
+		s, err := NewNoiseBand(window, 0.09, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	busy := func(seed uint64) []complex128 {
+		s, err := NewBPSKBand(window, 8.0/k, 8, 10, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	segs["uhf-1"] = [][]complex128{idle(41), busy(42), idle(43)}
+	segs["uhf-2"] = [][]complex128{idle(44), idle(45), idle(46)}
+	for id, parts := range segs {
+		for _, p := range parts {
+			if n, err := mon.Push(id, p); err != nil || n != len(p) {
+				t.Fatalf("Push(%s): %d, %v", id, n, err)
+			}
+		}
+	}
+	if err := mon.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := mon.Stats()
+	if st.Channels != 2 || st.Surfaces != 6 || st.SamplesDropped != 0 {
+		t.Fatalf("stats %+v, want 2 channels / 6 surfaces / 0 dropped", st)
+	}
+	cs1, ok := mon.ChannelStats("uhf-1")
+	if !ok || cs1.Detections != 1 || cs1.Snapshots != 3 {
+		t.Fatalf("uhf-1 stats %+v, want 1 detection in 3 windows", cs1)
+	}
+	cs2, ok := mon.ChannelStats("uhf-2")
+	if !ok || cs2.Detections != 0 {
+		t.Fatalf("uhf-2 stats %+v, want 0 detections", cs2)
+	}
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Decisions channel: closed after Close, verdicts ordered per channel.
+	seq := map[string]int64{}
+	for d := range mon.Decisions() {
+		if d.Seq != seq[d.Channel] {
+			t.Fatalf("%s decision out of order: Seq %d, want %d", d.Channel, d.Seq, seq[d.Channel])
+		}
+		seq[d.Channel]++
+		if d.Window != window {
+			t.Fatalf("decision window %d, want %d", d.Window, window)
+		}
+	}
+	if seq["uhf-1"] != 3 || seq["uhf-2"] != 3 {
+		t.Fatalf("decision counts %+v, want 3 each", seq)
+	}
+}
+
+func TestMonitorRejectsPlatform(t *testing.T) {
+	if _, err := NewMonitor(Config{Estimator: "platform"}, MonitorOptions{}); err == nil {
+		t.Fatal("NewMonitor with the platform path succeeded")
 	}
 }

@@ -10,6 +10,12 @@
 // evaluates only its bin 0); wall-clock is what the machine actually did —
 // keeping both visible is the point of the artifact.
 //
+// Since PR 3 the artifact also carries a streaming-throughput scenario:
+// the multi-channel engine (internal/stream) is fed -stream-channels
+// concurrent channels in backpressure mode and the sustained samples/sec
+// and surfaces/sec per estimator are recorded (schema 2). -stream-samples
+// sets the per-channel feed; -stream-channels 0 skips the scenario.
+//
 // With -baseline, a previously written report is embedded and per-
 // estimator speedups (baseline ns / current ns) are computed, turning one
 // file into a before/after comparison:
@@ -24,12 +30,14 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"tiledcfd"
 	"tiledcfd/internal/fam"
 	"tiledcfd/internal/scf"
+	"tiledcfd/internal/stream"
 )
 
 // Measurement is one estimator's benchmark row.
@@ -45,19 +53,36 @@ type Measurement struct {
 	SmoothingLen   int     `json:"smoothing_len"`
 }
 
+// StreamingMeasurement is one estimator's multi-channel streaming
+// throughput row: the engine fed in backpressure mode (nothing dropped),
+// so the rates are what the worker pool sustains end to end —
+// ring drain, incremental estimator state, snapshot, CFAR decision.
+type StreamingMeasurement struct {
+	Name              string  `json:"name"`
+	Channels          int     `json:"channels"`
+	SamplesPerChannel int     `json:"samples_per_channel"`
+	SnapshotSamples   int     `json:"snapshot_samples"`
+	Workers           int     `json:"workers"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	SamplesPerSec     float64 `json:"samples_per_sec"`
+	SurfacesPerSec    float64 `json:"surfaces_per_sec"`
+	Surfaces          int64   `json:"surfaces"`
+}
+
 // Report is the BENCH_<n>.json schema.
 type Report struct {
-	Schema     int                `json:"schema"`
-	Timestamp  string             `json:"timestamp"`
-	GoVersion  string             `json:"go_version"`
-	GOOS       string             `json:"goos"`
-	GOARCH     string             `json:"goarch"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Geometry   Geometry           `json:"geometry"`
-	Note       string             `json:"note"`
-	Results    []Measurement      `json:"results"`
-	Baseline   *Report            `json:"baseline,omitempty"`
-	Speedup    map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+	Schema     int                    `json:"schema"`
+	Timestamp  string                 `json:"timestamp"`
+	GoVersion  string                 `json:"go_version"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Geometry   Geometry               `json:"geometry"`
+	Note       string                 `json:"note"`
+	Results    []Measurement          `json:"results"`
+	Streaming  []StreamingMeasurement `json:"streaming,omitempty"`
+	Baseline   *Report                `json:"baseline,omitempty"`
+	Speedup    map[string]float64     `json:"speedup_vs_baseline,omitempty"`
 }
 
 // Geometry records the benchmark's estimator configuration.
@@ -79,15 +104,17 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "BPSK band seed")
 		names    = flag.String("estimators", "direct,fam,ssca", "comma-separated estimator subset")
 		baseline = flag.String("baseline", "", "previous BENCH json to embed for before/after speedups")
+		streamCh = flag.Int("stream-channels", 4, "streaming scenario: concurrent channels (0 = skip)")
+		streamN  = flag.Int("stream-samples", 1<<17, "streaming scenario: samples per channel")
 	)
 	flag.Parse()
-	if err := run(*out, *k, *m, *blocks, *seed, *names, *baseline); err != nil {
+	if err := run(*out, *k, *m, *blocks, *seed, *names, *baseline, *streamCh, *streamN); err != nil {
 		fmt.Fprintln(os.Stderr, "cfdbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, k, m, blocks int, seed uint64, names, baseline string) error {
+func run(out string, k, m, blocks int, seed uint64, names, baseline string, streamCh, streamN int) error {
 	band, err := tiledcfd.NewBPSKBand(k*blocks, 0.125, 8, 10, seed)
 	if err != nil {
 		return err
@@ -101,7 +128,7 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string) erro
 		"ssca":   fam.SSCA{Params: p},
 	}
 	rep := Report{
-		Schema:     1,
+		Schema:     2, // 2: adds the streaming throughput section
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -153,6 +180,25 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string) erro
 		fmt.Printf("%-8s %12.0f ns/op %10d B/op %6d allocs/op %10d total_mults\n",
 			name, float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp(), stats.TotalMults())
 	}
+	if streamCh > 0 {
+		for _, name := range strings.Split(names, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			sest, ok := all[name].(scf.StreamingEstimator)
+			if !ok {
+				return fmt.Errorf("estimator %q cannot stream", name)
+			}
+			sm, err := benchStreaming(name, sest, streamCh, streamN, band)
+			if err != nil {
+				return fmt.Errorf("streaming %s: %w", name, err)
+			}
+			rep.Streaming = append(rep.Streaming, *sm)
+			fmt.Printf("%-8s streaming %d ch: %8.2fM samples/s %8.1f surfaces/s\n",
+				name, sm.Channels, sm.SamplesPerSec/1e6, sm.SurfacesPerSec)
+		}
+	}
 	if baseline != "" {
 		raw, err := os.ReadFile(baseline)
 		if err != nil {
@@ -186,4 +232,77 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string) erro
 	}
 	fmt.Println("wrote", out)
 	return nil
+}
+
+// benchStreaming measures the sustained multi-channel streaming
+// throughput of one estimator: channels concurrent feeders push total
+// samples each (the test band tiled as needed) through a backpressured
+// engine with the default window, and the wall clock over the fully
+// drained run yields samples/sec and surfaces/sec.
+func benchStreaming(name string, est scf.StreamingEstimator, channels, total int, band []complex128) (*StreamingMeasurement, error) {
+	const window = 8192
+	eng, err := stream.New(stream.Config{
+		Estimator:       est,
+		SnapshotSamples: window,
+		Block:           true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	ids := make([]string, channels)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("ch%d", i)
+		if err := eng.AddChannel(ids[i]); err != nil {
+			return nil, err
+		}
+	}
+	startAt := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, channels)
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			for fed := 0; fed < total; {
+				n := len(band)
+				if fed+n > total {
+					n = total - fed
+				}
+				if _, err := eng.Push(id, band[:n]); err != nil {
+					errs[i] = err
+					return
+				}
+				fed += n
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.Flush(5 * time.Minute); err != nil {
+		return nil, err
+	}
+	wall := time.Since(startAt).Seconds()
+	st := eng.Stats()
+	if st.SamplesDropped != 0 {
+		return nil, fmt.Errorf("dropped %d samples in backpressure mode", st.SamplesDropped)
+	}
+	sm := &StreamingMeasurement{
+		Name:              name,
+		Channels:          channels,
+		SamplesPerChannel: total,
+		SnapshotSamples:   window,
+		Workers:           runtime.GOMAXPROCS(0),
+		WallSeconds:       wall,
+		Surfaces:          st.Surfaces,
+	}
+	if wall > 0 {
+		sm.SamplesPerSec = float64(st.SamplesIn) / wall
+		sm.SurfacesPerSec = float64(st.Surfaces) / wall
+	}
+	return sm, nil
 }

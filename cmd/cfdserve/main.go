@@ -1,0 +1,365 @@
+// Command cfdserve is the long-running spectrum-sensing daemon: the
+// paper's Cognitive-Radio loop run as a service. It multiplexes many
+// concurrent channels through the streaming engine (tiledcfd.Monitor),
+// each fed by a synthetic radio front end whose licensed user comes and
+// goes, and reports rolling per-channel decisions plus engine throughput
+// (samples/sec, surfaces/sec) at a fixed cadence.
+//
+// Usage:
+//
+//	cfdserve [-channels 4] [-estimator fam] [-k 256] [-m 0] [-hop 0]
+//	         [-window 16384] [-workers 0] [-mode block|drop] [-rate 0]
+//	         [-duration 0] [-report 2s] [-http addr] [-seed 1]
+//	         [-threshold 0] [-cfar-scale 2] [-cumulative] [-quiet]
+//
+// By default it runs until interrupted (SIGINT/SIGTERM), feeding
+// channels as fast as the engine processes them (-mode block applies
+// backpressure, so nothing is dropped and the reported samples/sec is
+// the engine's sustained throughput). With -rate the front ends pace
+// themselves to the given samples/sec per channel and -mode drop shows
+// the overload accounting instead. Decisions use the self-calibrating
+// CFAR unless -threshold sets a fixed CFD threshold. With -http an
+// embedded status server exposes /healthz and /stats (JSON).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"tiledcfd"
+)
+
+// options collects the daemon configuration (flag-parsed in main,
+// constructed directly in tests).
+type options struct {
+	channels   int
+	k, m       int
+	estimator  string
+	hop        int
+	window     int
+	ring       int
+	workers    int
+	mode       string
+	rate       int
+	duration   time.Duration
+	report     time.Duration
+	httpAddr   string
+	seed       uint64
+	threshold  float64
+	cfarScale  float64
+	cumulative bool
+	quiet      bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cfdserve: ")
+	var o options
+	flag.IntVar(&o.channels, "channels", 4, "concurrent monitored channels")
+	flag.StringVar(&o.estimator, "estimator", "fam", "surface estimator: direct, fam or ssca")
+	flag.IntVar(&o.k, "k", 256, "FFT / channelizer size K")
+	flag.IntVar(&o.m, "m", 0, "grid half-extent M (0 = K/4)")
+	flag.IntVar(&o.hop, "hop", 0, "block/channelizer advance (0 = estimator default; rejected with ssca)")
+	flag.IntVar(&o.window, "window", 16384, "samples per decision window")
+	flag.IntVar(&o.ring, "ring", 0, "per-channel ingestion ring capacity in samples (0 = 4×window)")
+	flag.IntVar(&o.workers, "workers", 0, "engine worker pool size (0 = one per CPU core)")
+	flag.StringVar(&o.mode, "mode", "block", "overload policy: block (backpressure) or drop (count overflow)")
+	flag.IntVar(&o.rate, "rate", 0, "per-channel feed rate in samples/sec (0 = as fast as the engine accepts)")
+	flag.DurationVar(&o.duration, "duration", 0, "run time (0 = until SIGINT/SIGTERM)")
+	flag.DurationVar(&o.report, "report", 2*time.Second, "stats report interval")
+	flag.StringVar(&o.httpAddr, "http", "", "status server address, e.g. :8080 (empty = disabled)")
+	flag.Uint64Var(&o.seed, "seed", 1, "scenario seed")
+	flag.Float64Var(&o.threshold, "threshold", 0, "fixed CFD decision threshold (0 = self-calibrating CFAR)")
+	flag.Float64Var(&o.cfarScale, "cfar-scale", 2, "CFAR peak-over-floor detection ratio")
+	flag.BoolVar(&o.cumulative, "cumulative", false, "integrate estimator state across windows instead of per-window reset")
+	flag.BoolVar(&o.quiet, "quiet", false, "suppress per-decision transition logging")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if _, err := run(ctx, o, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// feeder is one channel's synthetic radio front end: a deterministic
+// occupancy timeline (idle and busy segments a few windows long, offset
+// per channel so the fleet stays heterogeneous) pushed chunk by chunk.
+type feeder struct {
+	id      string
+	idx     int
+	carrier float64
+	seed    uint64
+	busy    atomic.Bool // current ground truth, for the report
+}
+
+// segment returns the ground truth and length in windows of segment s.
+func (f *feeder) segment(s int) (busy bool, windows int) {
+	busy = s%2 == 1 // start idle, alternate
+	if busy {
+		return true, 1 + (f.idx+s)%3
+	}
+	return false, 2 + (f.idx+s)%2
+}
+
+// feed pushes the scenario until ctx is cancelled or push fails.
+func (f *feeder) feed(ctx context.Context, o options, mon *tiledcfd.Monitor) {
+	const chunk = 2048
+	var pace *time.Ticker
+	if o.rate > 0 {
+		pace = time.NewTicker(time.Duration(float64(chunk) / float64(o.rate) * float64(time.Second)))
+		defer pace.Stop()
+	}
+	for s := 0; ; s++ {
+		busy, windows := f.segment(s)
+		f.busy.Store(busy)
+		n := windows * o.window
+		var seg []complex128
+		var err error
+		segSeed := f.seed + uint64(f.idx)*1_000_003 + uint64(s)*7919
+		if busy {
+			seg, err = tiledcfd.NewBPSKBand(n, f.carrier, 8, 8, segSeed)
+		} else {
+			seg, err = tiledcfd.NewNoiseBand(n, 0.1, segSeed)
+		}
+		if err != nil {
+			log.Printf("%s: scenario: %v", f.id, err)
+			return
+		}
+		for i := 0; i < len(seg); i += chunk {
+			end := i + chunk
+			if end > len(seg) {
+				end = len(seg)
+			}
+			if _, err := mon.Push(f.id, seg[i:end]); err != nil {
+				return // engine closed
+			}
+			if pace != nil {
+				select {
+				case <-ctx.Done():
+					return
+				case <-pace.C:
+				}
+			} else if ctx.Err() != nil {
+				return
+			}
+		}
+	}
+}
+
+// syncWriter serialises output: the reporter and the decision logger
+// write to the same stream from different goroutines.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// Write implements io.Writer.
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// run builds the monitor, starts the feeders, reporter, decision logger
+// and optional status server, and blocks until ctx is cancelled (or
+// o.duration elapses). It returns the final session stats.
+func run(ctx context.Context, o options, out io.Writer) (*tiledcfd.MonitorStats, error) {
+	out = &syncWriter{w: out}
+	if o.channels < 1 {
+		return nil, fmt.Errorf("cfdserve: -channels=%d must be >= 1", o.channels)
+	}
+	if o.mode != "block" && o.mode != "drop" {
+		return nil, fmt.Errorf("cfdserve: -mode=%q must be block or drop", o.mode)
+	}
+	if o.duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.duration)
+		defer cancel()
+	}
+	feeders := make([]*feeder, o.channels)
+	ids := make([]string, o.channels)
+	for i := range feeders {
+		ids[i] = fmt.Sprintf("ch%02d", i)
+		feeders[i] = &feeder{
+			id:  ids[i],
+			idx: i,
+			// Spread carriers across the band so channels stay distinct.
+			carrier: float64(4+3*(i%8)) / float64(o.k),
+			seed:    o.seed,
+		}
+	}
+	mon, err := tiledcfd.NewMonitor(
+		tiledcfd.Config{
+			K: o.k, M: o.m, Estimator: o.estimator, Hop: o.hop,
+			Threshold: o.threshold,
+		},
+		tiledcfd.MonitorOptions{
+			Channels:        ids,
+			SnapshotSamples: o.window,
+			RingSamples:     o.ring,
+			Workers:         o.workers,
+			Cumulative:      o.cumulative,
+			Backpressure:    o.mode == "block",
+			CFARScale:       o.cfarScale,
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	defer mon.Close()
+
+	var wg sync.WaitGroup
+	for _, f := range feeders {
+		wg.Add(1)
+		go func(f *feeder) {
+			defer wg.Done()
+			f.feed(ctx, o, mon)
+		}(f)
+	}
+
+	// Decision logger: drains the rolling verdicts and logs occupancy
+	// transitions.
+	var logWG sync.WaitGroup
+	logWG.Add(1)
+	go func() {
+		defer logWG.Done()
+		occupied := map[string]bool{}
+		for d := range mon.Decisions() {
+			if o.quiet || d.Detected == occupied[d.Channel] {
+				continue
+			}
+			occupied[d.Channel] = d.Detected
+			state := "VACATED"
+			if d.Detected {
+				state = "OCCUPIED"
+			}
+			fmt.Fprintf(out, "%s %s window %d: %s (stat %.2f vs %.2f, feature a=%d)\n",
+				time.Now().Format("15:04:05"), d.Channel, d.Seq, state,
+				d.Statistic, d.Threshold, d.FeatureA)
+		}
+	}()
+
+	if o.httpAddr != "" {
+		srv := statusServer(o.httpAddr, mon, feeders)
+		defer srv.Shutdown(context.Background()) //nolint:errcheck // best-effort shutdown
+	}
+
+	ticker := time.NewTicker(o.report)
+	defer ticker.Stop()
+	var prev tiledcfd.MonitorStats
+	prevAt := time.Now()
+	for running := true; running; {
+		select {
+		case <-ctx.Done():
+			running = false
+		case <-ticker.C:
+			prev, prevAt = report(out, mon, feeders, prev, prevAt)
+		}
+	}
+	wg.Wait()
+	// Let in-flight rings drain so the final figures are complete, then
+	// stop. Flush can only time out if the engine is wedged — report it
+	// rather than hanging shutdown.
+	if err := mon.Flush(10 * time.Second); err != nil {
+		fmt.Fprintf(out, "shutdown: %v\n", err)
+	}
+	report(out, mon, feeders, prev, prevAt)
+	st := mon.Stats()
+	if err := mon.Close(); err != nil {
+		return nil, err
+	}
+	logWG.Wait()
+	fmt.Fprintf(out, "final: %d channels, %d samples in (%d dropped), %d surfaces, %d detections\n",
+		st.Channels, st.SamplesIn, st.SamplesDropped, st.Surfaces, st.Detections)
+	return &st, nil
+}
+
+// report prints one rolling stats block and returns the counters for the
+// next interval's rate computation.
+func report(out io.Writer, mon *tiledcfd.Monitor, feeders []*feeder,
+	prev tiledcfd.MonitorStats, prevAt time.Time) (tiledcfd.MonitorStats, time.Time) {
+	st := mon.Stats()
+	now := time.Now()
+	dt := now.Sub(prevAt).Seconds()
+	if dt <= 0 {
+		dt = 1
+	}
+	sps := float64(st.SamplesIn-prev.SamplesIn) / dt
+	fps := float64(st.Surfaces-prev.Surfaces) / dt
+	busy := 0
+	for _, f := range feeders {
+		cs, ok := mon.ChannelStats(f.id)
+		if ok && cs.Last != nil && cs.Last.Detected {
+			busy++
+		}
+	}
+	fmt.Fprintf(out, "%s %d ch | %.2fM samples (%.2fM/s) | %d surfaces (%.1f/s) | dropped %d | occupied %d/%d\n",
+		now.Format("15:04:05"), st.Channels,
+		float64(st.SamplesIn)/1e6, sps/1e6, st.Surfaces, fps,
+		st.SamplesDropped, busy, len(feeders))
+	for _, f := range feeders {
+		cs, ok := mon.ChannelStats(f.id)
+		if !ok {
+			continue
+		}
+		verdict, stat := "-", 0.0
+		if cs.Last != nil {
+			stat = cs.Last.Statistic
+			if cs.Last.Detected {
+				verdict = "OCCUPIED"
+			} else {
+				verdict = "idle"
+			}
+		}
+		truth := "idle"
+		if f.busy.Load() {
+			truth = "busy"
+		}
+		fmt.Fprintf(out, "  %-5s %-8s (truth %-4s) stat %6.2f | windows %4d | detections %4d | dropped %d\n",
+			f.id, verdict, truth, stat, cs.Snapshots, cs.Detections, cs.SamplesDropped)
+	}
+	return st, now
+}
+
+// statusSnapshot is the /stats JSON schema.
+type statusSnapshot struct {
+	Stats    tiledcfd.MonitorStats          `json:"stats"`
+	Channels []tiledcfd.MonitorChannelStats `json:"channels"`
+}
+
+// statusServer starts the embedded HTTP status endpoint.
+func statusServer(addr string, mon *tiledcfd.Monitor, feeders []*feeder) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		snap := statusSnapshot{Stats: mon.Stats()}
+		for _, f := range feeders {
+			if cs, ok := mon.ChannelStats(f.id); ok {
+				snap.Channels = append(snap.Channels, cs)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(snap) //nolint:errcheck // best-effort status
+	})
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("status server: %v", err)
+		}
+	}()
+	return srv
+}

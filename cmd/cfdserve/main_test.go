@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeSustainsConcurrentChannels runs the daemon loop briefly with
+// more than four concurrent channels and checks that every channel keeps
+// producing decisions — the acceptance scenario, and (under -race) the
+// daemon's concurrency test.
+func TestServeSustainsConcurrentChannels(t *testing.T) {
+	var out bytes.Buffer
+	o := options{
+		channels:  5,
+		k:         64,
+		m:         16,
+		estimator: "fam",
+		window:    2048,
+		mode:      "block",
+		duration:  700 * time.Millisecond,
+		report:    200 * time.Millisecond,
+		seed:      1,
+		cfarScale: 2,
+	}
+	st, err := run(context.Background(), o, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if st.Channels != 5 {
+		t.Fatalf("served %d channels, want 5", st.Channels)
+	}
+	if st.Surfaces < 5 {
+		t.Fatalf("only %d surfaces across 5 channels in %v:\n%s", st.Surfaces, o.duration, out.String())
+	}
+	if st.SamplesDropped != 0 {
+		t.Fatalf("dropped %d samples in block mode", st.SamplesDropped)
+	}
+	for _, id := range []string{"ch00", "ch01", "ch02", "ch03", "ch04"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("report never mentioned %s:\n%s", id, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "final:") {
+		t.Fatalf("missing final summary:\n%s", out.String())
+	}
+}
+
+// TestServeRejectsBadOptions covers the flag-validation paths.
+func TestServeRejectsBadOptions(t *testing.T) {
+	if _, err := run(context.Background(), options{channels: 0, mode: "block"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("run with 0 channels succeeded")
+	}
+	if _, err := run(context.Background(), options{channels: 1, mode: "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("run with bad mode succeeded")
+	}
+	o := options{channels: 1, mode: "drop", estimator: "ssca", hop: 7, k: 64, m: 16,
+		window: 1024, duration: 50 * time.Millisecond, report: time.Second}
+	if _, err := run(context.Background(), o, &bytes.Buffer{}); err == nil {
+		t.Fatal("run with ssca+hop succeeded")
+	}
+}

@@ -6,7 +6,7 @@
 //
 //	cfdsim [-k 256] [-m 64] [-q 4] [-blocks 4] [-snr 6] [-carrier 0.125]
 //	       [-symlen 8] [-idle] [-threshold 0.3] [-seed 1]
-//	       [-estimator platform|direct|fam|ssca]
+//	       [-estimator platform|direct|fam|ssca] [-hop n] [-workers n]
 //
 // With -idle the band contains only noise (the H0 hypothesis); otherwise a
 // BPSK licensed user at the given SNR and normalised carrier frequency is
@@ -40,9 +40,30 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	estimator := flag.String("estimator", "platform",
 		"surface estimator: platform, direct, fam or ssca")
+	hop := flag.Int("hop", 0,
+		"block/channelizer advance in samples for -estimator=direct|fam (0 = estimator default; rejected with ssca)")
+	workers := flag.Int("workers", 0,
+		"software-estimator worker goroutines (0 = one per CPU core, 1 = serial)")
 	flag.Parse()
 
+	if *hop != 0 {
+		switch *estimator {
+		case "ssca":
+			log.Fatalf("-hop=%d cannot be combined with -estimator=ssca: the strip "+
+				"spectral correlation analyzer advances its channelizer one sample "+
+				"per hop by definition (drop -hop, or pick -estimator=direct|fam)", *hop)
+		case "platform":
+			log.Fatalf("-hop=%d has no effect on the platform path: the tiled SoC "+
+				"advances by whole K-sample blocks (pick -estimator=direct|fam)", *hop)
+		}
+	}
+
 	n := *k * *blocks
+	if *estimator == "direct" && *hop != 0 {
+		// Overlapping (or gapped) integration blocks change the samples
+		// the run consumes: K + (Blocks-1)·Hop instead of K·Blocks.
+		n = *k + (*blocks-1)**hop
+	}
 	var band []complex128
 	var err error
 	if *idle {
@@ -56,7 +77,7 @@ func main() {
 
 	s, err := tiledcfd.Sense(band, tiledcfd.Config{
 		K: *k, M: *m, Q: *q, Blocks: *blocks, Threshold: *threshold,
-		Estimator: *estimator,
+		Estimator: *estimator, Hop: *hop, Workers: *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

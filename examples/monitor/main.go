@@ -1,7 +1,14 @@
-// Command monitor demonstrates continuous spectrum monitoring: a licensed
-// user appears in the band partway through a long capture and vacates it
-// again; the per-window verdicts track the occupancy timeline — the
-// operational loop of the paper's Cognitive-Radio application.
+// Command monitor demonstrates continuous spectrum monitoring on the
+// streaming API: two bands are monitored at once through a
+// tiledcfd.Monitor session, a licensed user appears in one of them
+// partway through and vacates it again, and the rolling per-window
+// decisions track the occupancy timeline — the operational loop of the
+// paper's Cognitive-Radio application.
+//
+// Unlike the one-shot Watch (which recomputes a batch estimate per
+// window), the session keeps incremental estimator state per channel and
+// decides as samples arrive; the decisions are bit-identical to the
+// batch path over the same windows.
 //
 // Run: go run ./examples/monitor
 package main
@@ -9,7 +16,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"strings"
+	"time"
 
 	"tiledcfd"
 )
@@ -18,51 +27,83 @@ func main() {
 	const (
 		k       = 64
 		m       = 16
-		blocks  = 16
-		window  = k * blocks
+		window  = 1024 // samples per decision
 		windows = 8
 	)
 
-	// Timeline: windows 0-2 idle, 3-5 occupied (BPSK user at 0 dB),
-	// 6-7 idle again.
-	idleA, err := tiledcfd.NewNoiseBand(3*window, 0.2, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	busy, err := tiledcfd.NewBPSKBand(3*window, 8.0/k, 8, 0, 2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	idleB, err := tiledcfd.NewNoiseBand(2*window, 0.2, 3)
-	if err != nil {
-		log.Fatal(err)
-	}
-	stream := append(append(idleA, busy...), idleB...)
-
-	verdicts, err := tiledcfd.Watch(stream, tiledcfd.Config{
-		K: k, M: m, Q: 4, Blocks: blocks, Threshold: 0.35, MinAbsA: 2,
-	})
+	mon, err := tiledcfd.NewMonitor(
+		tiledcfd.Config{K: k, M: m, Estimator: "direct", Threshold: 0.35, MinAbsA: 2},
+		tiledcfd.MonitorOptions{
+			Channels:        []string{"band-A", "band-B"},
+			SnapshotSamples: window,
+			Backpressure:    true, // lose nothing in this offline demo
+		},
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("== continuous monitoring: 8 sensing windows ==")
-	fmt.Printf("%-8s %-10s %-10s %s\n", "window", "verdict", "statistic", "timeline")
-	var bar strings.Builder
-	for _, v := range verdicts {
-		verdict := "idle"
-		mark := "."
-		if v.Detected {
-			verdict = "OCCUPIED"
-			mark = "#"
+	// band-A timeline: windows 0-2 idle, 3-5 occupied (BPSK user at
+	// 0 dB), 6-7 idle again. band-B stays idle throughout.
+	push := func(ch string, seg []complex128) {
+		if _, err := mon.Push(ch, seg); err != nil {
+			log.Fatal(err)
 		}
-		bar.WriteString(mark)
-		fmt.Printf("%-8d %-10s %-10.3f %s\n", v.Window, verdict, v.Statistic, bar.String())
 	}
-	fmt.Println()
-	fmt.Printf("occupancy bar: [%s]  (truth: ...###..)\n", bar.String())
+	gen := func(busy bool, n int, seed uint64) []complex128 {
+		if busy {
+			s, err := tiledcfd.NewBPSKBand(n, 8.0/k, 8, 0, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return s
+		}
+		s, err := tiledcfd.NewNoiseBand(n, 0.2, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	push("band-A", gen(false, 3*window, 1))
+	push("band-A", gen(true, 3*window, 2))
+	push("band-A", gen(false, 2*window, 3))
+	push("band-B", gen(false, windows*window, 4))
+
+	if err := mon.Flush(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if err := mon.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	verdicts := map[string][]tiledcfd.MonitorDecision{}
+	for d := range mon.Decisions() {
+		verdicts[d.Channel] = append(verdicts[d.Channel], d)
+	}
+
+	fmt.Println("== continuous monitoring: 2 bands x 8 sensing windows ==")
+	names := make([]string, 0, len(verdicts))
+	for ch := range verdicts {
+		names = append(names, ch)
+	}
+	sort.Strings(names)
+	for _, ch := range names {
+		fmt.Printf("%s:\n%-8s %-10s %-10s %s\n", ch, "window", "verdict", "statistic", "timeline")
+		var bar strings.Builder
+		for _, v := range verdicts[ch] {
+			verdict, mark := "idle", "."
+			if v.Detected {
+				verdict, mark = "OCCUPIED", "#"
+			}
+			bar.WriteString(mark)
+			fmt.Printf("%-8d %-10s %-10.3f %s\n", v.Seq, verdict, v.Statistic, bar.String())
+		}
+		fmt.Printf("occupancy bar: [%s]\n\n", bar.String())
+	}
+	fmt.Println("truth: band-A ...###.. | band-B ........")
 	fmt.Println("the network can transmit during '.' windows and must vacate during '#'.")
-	if windows != len(verdicts) {
-		fmt.Printf("note: %d windows expected, %d sensed\n", windows, len(verdicts))
-	}
+
+	st := mon.Stats()
+	fmt.Printf("session: %d samples in, %d surfaces, %d detections\n",
+		st.SamplesIn, st.Surfaces, st.Detections)
 }

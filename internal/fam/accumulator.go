@@ -1,0 +1,448 @@
+package fam
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/scf"
+)
+
+// This file implements scf.Accumulator for the FAM and the SSCA: the
+// incremental twins of the two batch estimators, bit-identical to
+// Estimate on the concatenated stream (golden equivalence tests in
+// accumulator_test.go).
+//
+// The structural obstacle both share is that their smoothing length is a
+// function of the total input length — FAM averages over the largest
+// power of two of channelizer hops, the SSCA strip FFT spans the largest
+// power of two of samples — so a naive running sum over *all* arrived
+// hops would diverge from the batch result whenever the hop count is not
+// a power of two. The two accumulators resolve this differently:
+//
+//   - FAM keeps per-cell running sums in arrival order and *checkpoints*
+//     them every time the hop count reaches a power of two; Snapshot
+//     reads the latest checkpoint, which by construction is the sum over
+//     exactly the first pow2floor(hops) hops — the batch prefix.
+//   - The SSCA accumulates the cheap part incrementally (the per-sample
+//     channelizer and conjugate product, the O(n·K·logK) bulk of the
+//     work) into per-channel product strips, and defers only the strip
+//     FFTs — O(strips·N·logN) — to Snapshot, where N is known.
+
+// NewAccumulator implements scf.StreamingEstimator. Workers is ignored:
+// accumulators process hops in arrival order on the caller's goroutine
+// (streaming parallelism lives across channels, in the stream engine's
+// worker pool).
+func (e FAM) NewAccumulator() (scf.Accumulator, error) {
+	p := famDefaults(e.Params, 0)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var win []float64
+	var err error
+	if p.Window != fft.Rectangular {
+		if win, err = fft.Window(p.Window, p.K); err != nil {
+			return nil, err
+		}
+	}
+	plan, err := fft.PlanFor(p.K)
+	if err != nil {
+		return nil, err
+	}
+	roots, err := fft.Roots(p.K)
+	if err != nil {
+		return nil, err
+	}
+	a := &famAccumulator{p: p, plan: plan, roots: roots, win: win}
+	a.init()
+	return a, nil
+}
+
+var _ scf.StreamingEstimator = FAM{}
+
+// famAccumulator is the incremental FAM. Each completed channelizer hop
+// is windowed, FFT'd and downconverted exactly as channelize does, then
+// folded into per-cell running sums. The sums are split by hop parity
+// (acc0 for even hops, acc1 for odd) because famRow sums each cell with
+// two interleaved accumulators — keeping the same split keeps the
+// floating-point addition order identical, hence bit-identical surfaces.
+// Only the a >= 0 rows are accumulated; Snapshot mirrors the rest, as the
+// batch path does.
+type famAccumulator struct {
+	p     scf.Params
+	plan  *fft.Plan
+	roots []complex128
+	win   []float64
+
+	// acc0/acc1 are the parity-split per-cell sums for rows a = 0..M-1,
+	// indexed [a][f+M-1]; ck0/ck1 are their copies at the last
+	// power-of-two hop count ckHops.
+	acc0, acc1 [][]complex128
+	ck0, ck1   [][]complex128
+	hops       int
+	ckHops     int
+
+	buf      []complex128 // unprocessed stream tail; buf[0] is sample bufStart
+	bufStart int
+	total    int
+
+	spec, chn, chc, winbuf []complex128 // private per-hop scratch
+}
+
+func (f *famAccumulator) init() {
+	m := f.p.M - 1
+	rows, cols := m+1, 2*m+1
+	grid := func() [][]complex128 {
+		data := make([][]complex128, rows)
+		cells := make([]complex128, rows*cols)
+		for i := range data {
+			data[i], cells = cells[:cols], cells[cols:]
+		}
+		return data
+	}
+	f.acc0, f.acc1 = grid(), grid()
+	f.ck0, f.ck1 = grid(), grid()
+	f.spec = make([]complex128, f.p.K)
+	f.chn = make([]complex128, f.p.K)
+	f.chc = make([]complex128, f.p.K)
+}
+
+// Name implements scf.Accumulator.
+func (f *famAccumulator) Name() string { return "fam" }
+
+// Samples implements scf.Accumulator.
+func (f *famAccumulator) Samples() int { return f.total }
+
+// Ready implements scf.Accumulator: the batch path needs at least two
+// hops of smoothing.
+func (f *famAccumulator) Ready() bool { return f.ckHops >= 2 }
+
+// Push implements scf.Accumulator.
+func (f *famAccumulator) Push(samples []complex128) error {
+	f.buf = append(f.buf, samples...)
+	f.total += len(samples)
+	k, hop := f.p.K, f.p.Hop
+	for {
+		start := f.hops * hop
+		if f.bufStart+len(f.buf) < start+k {
+			// Keep only what the next hop reads (compacting once per
+			// push keeps the cost linear in the chunk).
+			f.buf, f.bufStart = scf.TrimBefore(f.buf, f.bufStart, start)
+			return nil
+		}
+		block := f.buf[start-f.bufStart : start-f.bufStart+k]
+		if f.win != nil {
+			if f.winbuf == nil {
+				f.winbuf = make([]complex128, k)
+			}
+			if err := fft.ApplyWindowInto(f.winbuf, block, f.win); err != nil {
+				return err
+			}
+			block = f.winbuf
+		}
+		if err := f.plan.Forward(f.spec, block); err != nil {
+			return err
+		}
+		// Downconvert with the absolute-time reference, as channelize
+		// does: exponent (start·v) mod k advances by start per channel.
+		step := start & (k - 1)
+		idx := 0
+		for v := 0; v < k; v++ {
+			f.chn[v] = f.spec[v] * f.roots[idx]
+			f.chc[v] = cmplx.Conj(f.chn[v])
+			idx = (idx + step) & (k - 1)
+		}
+		// Fold the hop into the parity accumulator famRow would have
+		// used: cell (f, a) gains x_{f+a}(n)·conj(x_{f-a}(n)).
+		tgt := f.acc0
+		if f.hops&1 == 1 {
+			tgt = f.acc1
+		}
+		m := f.p.M - 1
+		mask := k - 1
+		for a := 0; a <= m; a++ {
+			row := tgt[a]
+			pi := (a - m) & mask
+			qi := (-a - m) & mask
+			for fi := range row {
+				row[fi] += f.chn[pi] * f.chc[qi]
+				pi = (pi + 1) & mask
+				qi = (qi + 1) & mask
+			}
+		}
+		f.hops++
+		if f.hops&(f.hops-1) == 0 {
+			// Power-of-two hop count: checkpoint the prefix sums.
+			for a := range f.acc0 {
+				copy(f.ck0[a], f.acc0[a])
+				copy(f.ck1[a], f.acc1[a])
+			}
+			f.ckHops = f.hops
+		}
+	}
+}
+
+// Snapshot implements scf.Accumulator. It reads the checkpoint at
+// P = pow2floor(hops) — the sums over exactly the hops the batch path
+// would smooth — normalises each cell by 1/P as famRow does, and mirrors
+// the a < 0 rows.
+func (f *famAccumulator) Snapshot() (*scf.Surface, *scf.Stats, error) {
+	if f.ckHops < 2 {
+		return nil, nil, needSamples("FAM", f.p.K+f.p.Hop, f.total)
+	}
+	np := f.ckHops
+	inv := complex(1/float64(np), 0)
+	m := f.p.M - 1
+	s := scf.NewSurface(f.p.M)
+	for a := 0; a <= m; a++ {
+		row := s.Data[a+m]
+		c0, c1 := f.ck0[a], f.ck1[a]
+		for fi := range row {
+			row[fi] = (c0[fi] + c1[fi]) * inv
+		}
+	}
+	s.MirrorHermitian()
+	cells := f.p.P() * f.p.F()
+	stats := &scf.Stats{
+		Blocks:    np,
+		FFTMults:  np*fft.ComplexMults(f.p.K) + cells*fft.ComplexMults(np),
+		DSCFMults: np*f.p.K + cells*np,
+	}
+	return s, stats, nil
+}
+
+// Reset implements scf.Accumulator.
+func (f *famAccumulator) Reset() {
+	for _, g := range [][][]complex128{f.acc0, f.acc1, f.ck0, f.ck1} {
+		for _, row := range g {
+			for i := range row {
+				row[i] = 0
+			}
+		}
+	}
+	f.hops, f.ckHops = 0, 0
+	f.buf = f.buf[:0]
+	f.bufStart = 0
+	f.total = 0
+}
+
+// NewAccumulator implements scf.StreamingEstimator. With N set the
+// accumulator's state is bounded (it stops extending its strips at N
+// hops and every snapshot transforms exactly those); with N zero the
+// strips grow with the stream — about (4M-3)·16 bytes per sample — and
+// each snapshot spans the largest power-of-two prefix, so long-running
+// monitors should either set N or reset the accumulator between windows
+// (the stream engine's windowed mode does the latter). Workers is
+// ignored, as for FAM.
+func (e SSCA) NewAccumulator() (scf.Accumulator, error) {
+	p := famDefaults(e.Params, 1)
+	p.Hop = 1
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if e.N != 0 {
+		if e.N < p.K {
+			return nil, needSamples("SSCA", 2*p.K-1, e.N)
+		}
+		if !fft.IsPow2(e.N) {
+			return nil, fmt.Errorf("fam: SSCA strip length N=%d must be a power of two", e.N)
+		}
+	}
+	var win []float64
+	var err error
+	if p.Window != fft.Rectangular {
+		if win, err = fft.Window(p.Window, p.K); err != nil {
+			return nil, err
+		}
+	}
+	plan, err := fft.PlanFor(p.K)
+	if err != nil {
+		return nil, err
+	}
+	roots, err := fft.Roots(p.K)
+	if err != nil {
+		return nil, err
+	}
+	a := &sscaAccumulator{p: p, nFixed: e.N, plan: plan, roots: roots, win: win}
+	a.init()
+	return a, nil
+}
+
+var _ scf.StreamingEstimator = SSCA{}
+
+// sscaAccumulator is the incremental SSCA. Every arriving sample
+// completes one more position of the unit-hop channelizer; the
+// accumulator runs the K-point FFT, downconverts, and multiplies each
+// addressed channel by the conjugate centre-aligned input sample —
+// exactly the product sequence batch stripInto builds — appending one
+// entry per needed channel per sample. Snapshot performs the N-point
+// strip FFTs over the prefix of length N = pow2floor(hops) (or the fixed
+// N), applies the group-delay phase correction and fills the surface,
+// line for line the batch tail of SSCA.Estimate.
+type sscaAccumulator struct {
+	p      scf.Params
+	nFixed int
+	plan   *fft.Plan
+	roots  []complex128
+	win    []float64
+
+	needed []int          // addressed channel indices, batch order
+	prods  [][]complex128 // per needed channel: product sequence, one entry per hop
+	hops   int
+
+	buf      []complex128
+	bufStart int
+	total    int
+
+	spec, winbuf []complex128
+}
+
+func (s *sscaAccumulator) init() {
+	m := s.p.M - 1
+	seen := make([]bool, s.p.K)
+	for v := -2 * m; v <= 2*m; v++ {
+		if k := fft.BinIndex(s.p.K, v); !seen[k] {
+			seen[k] = true
+			s.needed = append(s.needed, k)
+		}
+	}
+	s.prods = make([][]complex128, len(s.needed))
+	s.spec = make([]complex128, s.p.K)
+}
+
+// Name implements scf.Accumulator.
+func (s *sscaAccumulator) Name() string { return "ssca" }
+
+// Samples implements scf.Accumulator.
+func (s *sscaAccumulator) Samples() int { return s.total }
+
+// stripLen returns the strip length a snapshot would use now, or 0 when
+// too few hops have arrived.
+func (s *sscaAccumulator) stripLen() int {
+	if s.nFixed != 0 {
+		if s.hops >= s.nFixed {
+			return s.nFixed
+		}
+		return 0
+	}
+	if n := pow2Floor(s.hops); n >= s.p.K {
+		return n
+	}
+	return 0
+}
+
+// Ready implements scf.Accumulator.
+func (s *sscaAccumulator) Ready() bool { return s.stripLen() != 0 }
+
+// Push implements scf.Accumulator.
+func (s *sscaAccumulator) Push(samples []complex128) error {
+	s.buf = append(s.buf, samples...)
+	s.total += len(samples)
+	k := s.p.K
+	centre := k / 2
+	for {
+		start := s.hops // unit hop: hop m starts at sample m
+		if s.nFixed != 0 && s.hops >= s.nFixed {
+			// Strips are complete; later samples can only be discarded
+			// (the fixed-N estimate spans the first N hops). Drop
+			// everything so memory stays flat; bufStart advances to the
+			// absolute index of the next sample to arrive.
+			s.buf = s.buf[:0]
+			s.bufStart = s.total
+			return nil
+		}
+		if s.bufStart+len(s.buf) < start+k {
+			// Keep only the K-1 overlap tail the next hop reads
+			// (compacting once per push keeps the cost linear).
+			s.buf, s.bufStart = scf.TrimBefore(s.buf, s.bufStart, start)
+			return nil
+		}
+		block := s.buf[start-s.bufStart : start-s.bufStart+k]
+		if s.win != nil {
+			if s.winbuf == nil {
+				s.winbuf = make([]complex128, k)
+			}
+			if err := fft.ApplyWindowInto(s.winbuf, block, s.win); err != nil {
+				return err
+			}
+			block = s.winbuf
+		}
+		if err := s.plan.Forward(s.spec, block); err != nil {
+			return err
+		}
+		// The conjugate centre-aligned factor of this strip position.
+		xc := cmplx.Conj(s.buf[start-s.bufStart+centre])
+		// Downconvert only the needed channels and append their product
+		// entries. The exponent (start·v) mod k is a direct table index
+		// per channel (no sequential walk: needed is a sparse subset).
+		step := start & (k - 1)
+		for i, v := range s.needed {
+			s.prods[i] = append(s.prods[i], s.spec[v]*s.roots[(v*step)&(k-1)]*xc)
+		}
+		s.hops++
+	}
+}
+
+// Snapshot implements scf.Accumulator.
+func (s *sscaAccumulator) Snapshot() (*scf.Surface, *scf.Stats, error) {
+	n := s.stripLen()
+	if n == 0 {
+		need := 2*s.p.K - 1
+		if s.nFixed != 0 {
+			need = s.nFixed + s.p.K - 1
+		}
+		return nil, nil, needSamples("SSCA", need, s.total)
+	}
+	planN, err := fft.PlanFor(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	rootsN, err := fft.Roots(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	centre := s.p.K / 2
+	m := s.p.M - 1
+	strips := make([][]complex128, s.p.K)
+	scells := make([]complex128, len(s.needed)*n)
+	for i, k := range s.needed {
+		u := scells[:n]
+		scells = scells[n:]
+		if err := planN.Forward(u, s.prods[i][:n]); err != nil {
+			return nil, nil, err
+		}
+		idx := 0
+		for q := range u {
+			u[q] *= rootsN[idx]
+			idx = (idx + centre) & (n - 1)
+		}
+		strips[k] = u
+	}
+	sf := scf.NewSurface(s.p.M)
+	inv := complex(1/float64(n), 0)
+	for a := -m; a <= m; a++ {
+		row := sf.Data[a+m]
+		for f := -m; f <= m; f++ {
+			u := strips[fft.BinIndex(s.p.K, f+a)]
+			q := fft.BinIndex(n, n/s.p.K*(a-f))
+			row[f+m] = u[q] * inv
+		}
+	}
+	stats := &scf.Stats{
+		Blocks:    n,
+		FFTMults:  n*fft.ComplexMults(s.p.K) + len(s.needed)*fft.ComplexMults(n),
+		DSCFMults: n*s.p.K + len(s.needed)*n,
+	}
+	return sf, stats, nil
+}
+
+// Reset implements scf.Accumulator.
+func (s *sscaAccumulator) Reset() {
+	for i := range s.prods {
+		s.prods[i] = s.prods[i][:0]
+	}
+	s.hops = 0
+	s.buf = s.buf[:0]
+	s.bufStart = 0
+	s.total = 0
+}

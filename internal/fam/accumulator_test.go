@@ -1,0 +1,235 @@
+package fam
+
+import (
+	"testing"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/scf"
+	"tiledcfd/internal/sig"
+)
+
+// streamBand synthesises a deterministic BPSK-in-noise band.
+func streamBand(t *testing.T, n int, seed uint64) []complex128 {
+	t.Helper()
+	rng := sig.NewRand(seed)
+	b := &sig.BPSK{Amp: 1, Carrier: 0.125, SymbolLen: 8, Rng: rng}
+	x := sig.Samples(b, n)
+	noisy, _, err := sig.AddAWGN(x, 10, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return noisy
+}
+
+// pushChunks feeds x into acc in chunks of the given sizes, cycling.
+func pushChunks(t *testing.T, acc scf.Accumulator, x []complex128, sizes []int) {
+	t.Helper()
+	i, c := 0, 0
+	for i < len(x) {
+		n := sizes[c%len(sizes)]
+		c++
+		if i+n > len(x) {
+			n = len(x) - i
+		}
+		if err := acc.Push(x[i : i+n]); err != nil {
+			t.Fatalf("Push at %d: %v", i, err)
+		}
+		i += n
+	}
+}
+
+// requireIdentical asserts two surfaces are bit-identical.
+func requireIdentical(t *testing.T, got, want *scf.Surface, label string) {
+	t.Helper()
+	if got.M != want.M {
+		t.Fatalf("%s: extent M=%d vs %d", label, got.M, want.M)
+	}
+	for i := range want.Data {
+		for j := range want.Data[i] {
+			if got.Data[i][j] != want.Data[i][j] {
+				t.Fatalf("%s: cell [%d][%d] = %v, want %v (not bit-identical)",
+					label, i, j, got.Data[i][j], want.Data[i][j])
+			}
+		}
+	}
+}
+
+// requireSameStats asserts the modeled work counts match.
+func requireSameStats(t *testing.T, got, want *scf.Stats) {
+	t.Helper()
+	if *got != *want {
+		t.Fatalf("stats %+v, want %+v", got, want)
+	}
+}
+
+// TestFAMAccumulatorMatchesBatch: streaming FAM snapshots are
+// bit-identical to batch Estimate over the concatenation, for input
+// lengths both at and between power-of-two hop counts, across hop and
+// window geometries.
+func TestFAMAccumulatorMatchesBatch(t *testing.T) {
+	cases := []struct {
+		name    string
+		e       FAM
+		samples int
+		chunks  []int
+	}{
+		// K=64, hop=16 (default K/4): hops = (n-64)/16+1.
+		{"pow2-hops", FAM{Params: scf.Params{K: 64, M: 16}}, 64 + 31*16, []int{1, 9, 64}},
+		{"ragged-hops", FAM{Params: scf.Params{K: 64, M: 16}}, 64 + 44*16 + 7, []int{13, 57}},
+		{"custom-hop", FAM{Params: scf.Params{K: 64, M: 16, Hop: 32}}, 64 + 21*32, []int{200}},
+		{"hamming", FAM{Params: scf.Params{K: 64, M: 8, Window: fft.Hamming}}, 64 + 17*16, []int{31}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := streamBand(t, tc.samples, 5)
+			want, wantStats, err := tc.e.Estimate(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, err := tc.e.NewAccumulator()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pushChunks(t, acc, x, tc.chunks)
+			if !acc.Ready() {
+				t.Fatal("not Ready after full input")
+			}
+			got, gotStats, err := acc.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, got, want, "snapshot")
+			requireSameStats(t, gotStats, wantStats)
+		})
+	}
+}
+
+// TestFAMAccumulatorRepeatedSnapshots: snapshots as the stream grows
+// track the batch result over the prefix, and Reset restarts cleanly.
+func TestFAMAccumulatorRepeatedSnapshots(t *testing.T) {
+	e := FAM{Params: scf.Params{K: 64, M: 16}}
+	x := streamBand(t, 64+63*16, 6)
+	acc, err := e.NewAccumulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{64 + 16, 64 + 7*16 + 3, 64 + 40*16, len(x)} {
+		prev := acc.Samples()
+		pushChunks(t, acc, x[prev:cut], []int{25})
+		got, _, err := acc.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := e.Estimate(x[:cut])
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, got, want, "prefix snapshot")
+	}
+	acc.Reset()
+	if acc.Ready() || acc.Samples() != 0 {
+		t.Fatalf("Reset left Ready=%v Samples=%d", acc.Ready(), acc.Samples())
+	}
+	y := streamBand(t, 64+15*16, 7)
+	pushChunks(t, acc, y, []int{11})
+	got, _, err := acc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := e.Estimate(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, got, want, "post-reset")
+}
+
+// TestSSCAAccumulatorMatchesBatch: streaming SSCA snapshots are
+// bit-identical to batch Estimate, with N both derived and fixed.
+func TestSSCAAccumulatorMatchesBatch(t *testing.T) {
+	cases := []struct {
+		name    string
+		e       SSCA
+		samples int
+		chunks  []int
+	}{
+		// K=64: derived N = pow2floor(samples-63).
+		{"derived-n", SSCA{Params: scf.Params{K: 64, M: 16}}, 64 + 255, []int{1, 17, 90}},
+		{"ragged-n", SSCA{Params: scf.Params{K: 64, M: 16}}, 64 + 300, []int{41}},
+		{"fixed-n", SSCA{Params: scf.Params{K: 64, M: 16}, N: 128}, 64 + 127, []int{23, 5}},
+		{"hamming", SSCA{Params: scf.Params{K: 64, M: 8, Window: fft.Hann}, N: 128}, 64 + 127, []int{64}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := streamBand(t, tc.samples, 9)
+			want, wantStats, err := tc.e.Estimate(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, err := tc.e.NewAccumulator()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pushChunks(t, acc, x, tc.chunks)
+			if !acc.Ready() {
+				t.Fatal("not Ready after full input")
+			}
+			got, gotStats, err := acc.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, got, want, "snapshot")
+			requireSameStats(t, gotStats, wantStats)
+		})
+	}
+}
+
+// TestSSCAAccumulatorFixedNBounded: with N fixed, pushing far past the
+// strip length neither grows state nor changes the snapshot.
+func TestSSCAAccumulatorFixedNBounded(t *testing.T) {
+	e := SSCA{Params: scf.Params{K: 64, M: 16}, N: 128}
+	need := 128 + 63
+	x := streamBand(t, 4*need, 10)
+	want, _, err := e.Estimate(x[:need])
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := e.NewAccumulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushChunks(t, acc, x, []int{97})
+	got, _, err := acc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, got, want, "overfed fixed-N snapshot")
+	sa := acc.(*sscaAccumulator)
+	for i := range sa.prods {
+		if len(sa.prods[i]) != 128 {
+			t.Fatalf("strip %d grew to %d entries (want exactly N=128)", i, len(sa.prods[i]))
+		}
+	}
+}
+
+// TestAccumulatorNotReady: both estimators refuse snapshots before their
+// minimum smoothing length arrives.
+func TestAccumulatorNotReady(t *testing.T) {
+	for _, e := range []scf.StreamingEstimator{
+		FAM{Params: scf.Params{K: 64, M: 16}},
+		SSCA{Params: scf.Params{K: 64, M: 16}},
+	} {
+		acc, err := e.NewAccumulator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := acc.Push(make([]complex128, 70)); err != nil {
+			t.Fatal(err)
+		}
+		if acc.Ready() {
+			t.Fatalf("%s: Ready with 70 samples", acc.Name())
+		}
+		if _, _, err := acc.Snapshot(); err == nil {
+			t.Fatalf("%s: Snapshot succeeded with 70 samples", acc.Name())
+		}
+	}
+}

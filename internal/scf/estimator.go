@@ -34,7 +34,10 @@ type Direct struct {
 	Params Params
 	// Workers > 1 evaluates integration blocks concurrently via
 	// ComputeParallel (bit-identical to the serial path); 0 or 1 stays
-	// serial.
+	// serial. Unlike fam.FAM/fam.SSCA, zero does NOT fan out per core:
+	// block parallelism allocates one partial surface per block plus a
+	// merge pass, which only pays off for large Blocks counts, so it
+	// stays opt-in.
 	Workers int
 }
 

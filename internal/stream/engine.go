@@ -1,0 +1,658 @@
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tiledcfd/internal/detect"
+	"tiledcfd/internal/scf"
+)
+
+// ErrClosed is returned by Push and AddChannel after Close.
+var ErrClosed = fmt.Errorf("stream: engine closed")
+
+// drainChunk is the number of samples a worker moves from a ring to the
+// accumulator per lock acquisition: large enough to amortise locking,
+// small enough to keep decision latency and worker-local scratch modest.
+const drainChunk = 4096
+
+// maxDrainSpins bounds how many chunks one dispatch drains before the
+// worker requeues the channel and moves on — fairness under a firehose
+// producer, so one hot channel cannot starve the rest of the pool.
+const maxDrainSpins = 16
+
+// Config configures an Engine.
+type Config struct {
+	// Estimator produces each channel's incremental state. All three
+	// estimators (scf.Direct, fam.FAM, fam.SSCA) qualify. Required.
+	Estimator scf.StreamingEstimator
+	// SnapshotSamples is the per-channel decision cadence: a surface is
+	// snapshotted and a decision emitted every SnapshotSamples samples.
+	// Default 8192.
+	SnapshotSamples int
+	// RingSamples is the per-channel ingestion ring capacity. Default
+	// 4×SnapshotSamples.
+	RingSamples int
+	// Workers bounds the drain/decision worker pool. Default
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxChannels bounds the channel count (and sizes the work queue so
+	// scheduling never blocks). Default 1024.
+	MaxChannels int
+	// Cumulative keeps accumulator state across snapshots (the estimate
+	// keeps integrating). Default false: windowed — the accumulator is
+	// reset after each decision, so every decision covers its own
+	// SnapshotSamples window and memory stays bounded for all
+	// estimators.
+	Cumulative bool
+	// Block selects backpressure over dropping: Push blocks until ring
+	// space frees instead of discarding the overflow. Default false
+	// (drop-newest, counted in the stats).
+	Block bool
+	// MinAbsA is the smallest |a| the decision layer searches (default
+	// 2, clear of PSD leakage around a=0).
+	MinAbsA int
+	// Threshold, when positive, selects fixed-threshold decisions on the
+	// CFD statistic. When zero, decisions use the self-calibrating CFAR
+	// with CFARScale (default 2) — the deployment mode, needing no
+	// calibration channel.
+	Threshold float64
+	// CFARScale is the CFAR peak-over-floor ratio (default 2); ignored
+	// when Threshold is set.
+	CFARScale float64
+	// DecisionBuffer is the capacity of the Decisions channel. A slow
+	// consumer never stalls sensing: overflowing decisions are dropped
+	// and counted (the latest is always available via ChannelStats).
+	// Default 256.
+	DecisionBuffer int
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.SnapshotSamples == 0 {
+		c.SnapshotSamples = 8192
+	}
+	if c.RingSamples == 0 {
+		c.RingSamples = 4 * c.SnapshotSamples
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxChannels == 0 {
+		c.MaxChannels = 1024
+	}
+	if c.MinAbsA == 0 {
+		c.MinAbsA = 2
+	}
+	if c.CFARScale == 0 {
+		c.CFARScale = 2
+	}
+	if c.DecisionBuffer == 0 {
+		c.DecisionBuffer = 256
+	}
+	return c
+}
+
+// Decision is one periodic verdict for one channel.
+type Decision struct {
+	// Channel names the channel the decision belongs to.
+	Channel string
+	// Seq is the 0-based decision index within the channel.
+	Seq int64
+	// WindowSamples is the number of samples the underlying surface
+	// integrates (one window in windowed mode, the whole stream so far
+	// in cumulative mode).
+	WindowSamples int
+	// TotalSamples is the cumulative sample count the channel has
+	// processed when the decision was made.
+	TotalSamples int64
+	// Detected, Statistic and Threshold carry the verdict: the CFAR
+	// peak-over-floor ratio against CFARScale, or the CFD statistic
+	// against the fixed Threshold.
+	Detected             bool
+	Statistic, Threshold float64
+	// FeatureF/FeatureA locate the strongest cyclic feature (a != 0).
+	FeatureF, FeatureA int
+	// Estimator names the estimator that produced the surface.
+	Estimator string
+	// At is the wall-clock decision time.
+	At time.Time
+}
+
+// Stats is an engine-wide accounting snapshot.
+type Stats struct {
+	// Channels is the number of registered channels.
+	Channels int
+	// SamplesIn counts samples accepted into rings; SamplesDropped
+	// counts samples discarded because a ring was full (drop mode).
+	SamplesIn, SamplesDropped int64
+	// Surfaces counts estimator snapshots taken; Detections the subset
+	// of decisions that declared the band occupied; DecisionsDropped the
+	// decisions discarded because the Decisions channel was full.
+	Surfaces, Detections, DecisionsDropped int64
+	// Elapsed is the time since the engine started; the rates are the
+	// lifetime averages SamplesIn/Elapsed and Surfaces/Elapsed.
+	Elapsed        time.Duration
+	SamplesPerSec  float64
+	SurfacesPerSec float64
+}
+
+// ChannelStats is per-channel accounting.
+type ChannelStats struct {
+	ID                        string
+	SamplesIn, SamplesDropped int64
+	Snapshots, Detections     int64
+	// Last is the most recent decision, nil before the first. The
+	// pointee is immutable.
+	Last *Decision
+	// Err is the non-empty failure message of a dead channel (an
+	// accumulator push error; these indicate configuration bugs).
+	Err string
+}
+
+// Engine is the multi-channel streaming sensing engine. See the package
+// documentation for the architecture.
+type Engine struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	channels map[string]*channel
+	order    []string
+	closed   bool
+
+	work chan *channel
+	done chan struct{}
+	out  chan Decision
+	wg   sync.WaitGroup
+
+	start time.Time
+
+	samplesIn, samplesDropped atomic.Int64
+	surfaces, detections      atomic.Int64
+	decisionsDropped          atomic.Int64
+}
+
+// channel is one monitored stream inside the engine.
+type channel struct {
+	id string
+
+	mu     sync.Mutex
+	cond   *sync.Cond // signalled when ring space frees (backpressure)
+	ring   []complex128
+	head   int // index of the oldest unread sample
+	count  int // unread samples in the ring
+	queued bool
+
+	// Fields below the ring are touched only by the worker currently
+	// draining the channel; the queued-flag protocol guarantees there is
+	// at most one at a time, with ch.mu handoffs ordering memory.
+	acc       scf.Accumulator
+	sinceSnap int
+	processed int64
+	seq       int64
+	dead      bool
+
+	samplesIn, dropped    atomic.Int64
+	snapshots, detections atomic.Int64
+	last                  atomic.Pointer[Decision]
+	err                   atomic.Pointer[string]
+}
+
+// New validates the configuration, starts the worker pool, and returns
+// an empty engine. Callers must Close it to stop the workers.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Estimator == nil {
+		return nil, fmt.Errorf("stream: Config.Estimator is required")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.SnapshotSamples < 1 {
+		return nil, fmt.Errorf("stream: SnapshotSamples=%d must be >= 1", cfg.SnapshotSamples)
+	}
+	if cfg.RingSamples < cfg.SnapshotSamples {
+		return nil, fmt.Errorf("stream: RingSamples=%d smaller than SnapshotSamples=%d",
+			cfg.RingSamples, cfg.SnapshotSamples)
+	}
+	// Surface estimator misconfiguration now rather than at AddChannel.
+	if _, err := cfg.Estimator.NewAccumulator(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		channels: make(map[string]*channel),
+		work:     make(chan *channel, cfg.MaxChannels),
+		done:     make(chan struct{}),
+		out:      make(chan Decision, cfg.DecisionBuffer),
+		start:    time.Now(),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+// AddChannel registers a new monitored channel with fresh accumulator
+// state.
+func (e *Engine) AddChannel(id string) error {
+	if id == "" {
+		return fmt.Errorf("stream: empty channel id")
+	}
+	acc, err := e.cfg.Estimator.NewAccumulator()
+	if err != nil {
+		return err
+	}
+	ch := &channel{id: id, ring: make([]complex128, e.cfg.RingSamples), acc: acc}
+	ch.cond = sync.NewCond(&ch.mu)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if _, dup := e.channels[id]; dup {
+		return fmt.Errorf("stream: channel %q already exists", id)
+	}
+	if len(e.channels) >= e.cfg.MaxChannels {
+		return fmt.Errorf("stream: channel limit %d reached", e.cfg.MaxChannels)
+	}
+	e.channels[id] = ch
+	e.order = append(e.order, id)
+	return nil
+}
+
+// Push appends samples to a channel's ring in arrival order and returns
+// how many were accepted. In drop mode (the default) overflow beyond the
+// ring capacity is discarded and counted; with Config.Block it blocks
+// until the pool frees space. Push is safe for concurrent use across
+// channels; pushes to the same channel must come from one producer (or
+// be externally ordered) for the stream order to be meaningful.
+func (e *Engine) Push(id string, samples []complex128) (int, error) {
+	e.mu.RLock()
+	ch := e.channels[id]
+	closed := e.closed
+	e.mu.RUnlock()
+	if ch == nil {
+		return 0, fmt.Errorf("stream: unknown channel %q", id)
+	}
+	if closed {
+		return 0, ErrClosed
+	}
+	if msg := ch.err.Load(); msg != nil {
+		return 0, fmt.Errorf("stream: channel %q failed: %s", id, *msg)
+	}
+	accepted := 0
+	ch.mu.Lock()
+	for {
+		n := ch.put(samples)
+		accepted += n
+		samples = samples[n:]
+		if len(samples) == 0 {
+			break
+		}
+		if !e.cfg.Block {
+			ch.dropped.Add(int64(len(samples)))
+			e.samplesDropped.Add(int64(len(samples)))
+			break
+		}
+		// Backpressure: enqueue what we have so the pool works on it,
+		// then wait for room.
+		e.enqueueLocked(ch)
+		for ch.count == len(ch.ring) && !e.isClosed() {
+			ch.cond.Wait()
+		}
+		if e.isClosed() {
+			ch.mu.Unlock()
+			e.account(ch, accepted)
+			return accepted, ErrClosed
+		}
+	}
+	e.enqueueLocked(ch)
+	ch.mu.Unlock()
+	e.account(ch, accepted)
+	return accepted, nil
+}
+
+// account books accepted samples into the counters.
+func (e *Engine) account(ch *channel, accepted int) {
+	if accepted > 0 {
+		ch.samplesIn.Add(int64(accepted))
+		e.samplesIn.Add(int64(accepted))
+	}
+}
+
+// enqueueLocked schedules the channel for draining if it has pending
+// samples and is not already queued. ch.mu must be held. The work queue
+// holds MaxChannels slots and the queued flag admits one entry per
+// channel, so the send cannot block (the done case only fires during
+// shutdown).
+func (e *Engine) enqueueLocked(ch *channel) {
+	if ch.queued || ch.count == 0 {
+		return
+	}
+	ch.queued = true
+	select {
+	case e.work <- ch:
+	case <-e.done:
+	}
+}
+
+// put copies as much of src as fits into the ring. ch.mu must be held.
+func (ch *channel) put(src []complex128) int {
+	n := len(ch.ring) - ch.count
+	if n > len(src) {
+		n = len(src)
+	}
+	if n == 0 {
+		return 0
+	}
+	w := (ch.head + ch.count) % len(ch.ring)
+	first := len(ch.ring) - w
+	if first > n {
+		first = n
+	}
+	copy(ch.ring[w:w+first], src[:first])
+	copy(ch.ring[:n-first], src[first:n])
+	ch.count += n
+	return n
+}
+
+// take moves up to len(dst) samples out of the ring. ch.mu must be held.
+func (ch *channel) take(dst []complex128) int {
+	n := ch.count
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n == 0 {
+		return 0
+	}
+	first := len(ch.ring) - ch.head
+	if first > n {
+		first = n
+	}
+	copy(dst[:first], ch.ring[ch.head:ch.head+first])
+	copy(dst[first:n], ch.ring[:n-first])
+	ch.head = (ch.head + n) % len(ch.ring)
+	ch.count -= n
+	return n
+}
+
+// worker is one member of the bounded drain/decision pool.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	chunk := make([]complex128, drainChunk)
+	for {
+		select {
+		case <-e.done:
+			return
+		case ch := <-e.work:
+			e.drain(ch, chunk)
+		}
+	}
+}
+
+// drain feeds a claimed channel's ring contents into its accumulator
+// until the ring empties (clearing the queued flag) or the fairness
+// budget runs out (requeueing the channel).
+func (e *Engine) drain(ch *channel, chunk []complex128) {
+	for spins := 0; ; spins++ {
+		ch.mu.Lock()
+		n := ch.take(chunk)
+		if n == 0 {
+			ch.queued = false
+			ch.mu.Unlock()
+			return
+		}
+		if e.cfg.Block {
+			ch.cond.Broadcast()
+		}
+		ch.mu.Unlock()
+		if !ch.dead {
+			e.feed(ch, chunk[:n])
+		}
+		if e.isClosed() {
+			return
+		}
+		if spins >= maxDrainSpins {
+			// Yield the worker; the channel stays queued.
+			select {
+			case e.work <- ch:
+			case <-e.done:
+			}
+			return
+		}
+	}
+}
+
+// feed pushes one drained chunk into the accumulator, splitting it at
+// decision-window boundaries so every window covers exactly
+// SnapshotSamples samples.
+func (e *Engine) feed(ch *channel, chunk []complex128) {
+	for len(chunk) > 0 {
+		n := e.cfg.SnapshotSamples - ch.sinceSnap
+		if n > len(chunk) {
+			n = len(chunk)
+		}
+		if err := ch.acc.Push(chunk[:n]); err != nil {
+			// Accumulator push errors indicate configuration bugs; the
+			// channel is dead from here on (Push reports the error).
+			msg := err.Error()
+			ch.err.Store(&msg)
+			ch.dead = true
+			return
+		}
+		ch.sinceSnap += n
+		ch.processed += int64(n)
+		chunk = chunk[n:]
+		if ch.sinceSnap >= e.cfg.SnapshotSamples {
+			ch.sinceSnap = 0
+			// A window whose estimator needs more smoothing than
+			// SnapshotSamples provides simply keeps accumulating; the
+			// decision comes at the next boundary.
+			if ch.acc.Ready() {
+				e.decide(ch)
+				if !e.cfg.Cumulative {
+					ch.acc.Reset()
+				}
+			}
+		}
+	}
+}
+
+// decide snapshots the channel's surface and applies the decision layer.
+func (e *Engine) decide(ch *channel) {
+	s, _, err := ch.acc.Snapshot()
+	if err != nil {
+		// Ready() gated this; failure here is data-dependent and rare —
+		// skip the window rather than killing the channel.
+		return
+	}
+	d := Decision{
+		Channel:       ch.id,
+		WindowSamples: ch.acc.Samples(),
+		TotalSamples:  ch.processed,
+		Estimator:     ch.acc.Name(),
+		At:            time.Now(),
+	}
+	if e.cfg.Threshold > 0 {
+		stat, err := detect.CFDStatistic(s, e.cfg.MinAbsA)
+		if err != nil {
+			return
+		}
+		d.Statistic, d.Threshold = stat, e.cfg.Threshold
+		d.Detected = stat > e.cfg.Threshold
+	} else {
+		cd, err := detect.CFAR{MinAbsA: e.cfg.MinAbsA, Scale: e.cfg.CFARScale}.Examine(s)
+		if err != nil {
+			return
+		}
+		d.Statistic, d.Threshold, d.Detected = cd.Statistic, cd.Threshold, cd.Detected
+	}
+	// The reported feature is the strongest cell in the offsets the
+	// decision layer actually searched (|a| >= MinAbsA), so its
+	// coordinates always describe the peak behind the statistic.
+	d.FeatureF, d.FeatureA = maxFeatureMinA(s, e.cfg.MinAbsA)
+	// Counters only move once the decision is definitely emitted, so
+	// Seq stays gapless and Surfaces == decisions made.
+	d.Seq = ch.seq
+	ch.seq++
+	e.surfaces.Add(1)
+	ch.snapshots.Add(1)
+	if d.Detected {
+		ch.detections.Add(1)
+		e.detections.Add(1)
+	}
+	ch.last.Store(&d)
+	select {
+	case e.out <- d:
+	default:
+		e.decisionsDropped.Add(1)
+	}
+}
+
+// maxFeatureMinA locates the largest-magnitude cell over the rows
+// |a| >= minAbsA — the same search region the CFD statistic and the
+// CFAR profile use, unlike Surface.MaxFeature which only excludes a=0.
+func maxFeatureMinA(s *scf.Surface, minAbsA int) (f, a int) {
+	best := -1.0
+	m := s.M - 1
+	for av := -m; av <= m; av++ {
+		if av > -minAbsA && av < minAbsA {
+			continue
+		}
+		row := s.Data[av+m]
+		for fi, v := range row {
+			if mag := real(v)*real(v) + imag(v)*imag(v); mag > best {
+				best, f, a = mag, fi-m, av
+			}
+		}
+	}
+	return f, a
+}
+
+// Decisions returns the stream of periodic verdicts. The channel is
+// closed by Close. Slow consumers never stall sensing: overflow
+// decisions are dropped and counted, and the latest decision per channel
+// is always available via ChannelStats.
+func (e *Engine) Decisions() <-chan Decision { return e.out }
+
+// isClosed reports whether Close has begun.
+func (e *Engine) isClosed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Flush blocks until every ring is drained and every due decision made,
+// or the timeout elapses. It is the quiesce point for batch feeds and
+// benchmarks; a continuously fed engine never goes idle.
+func (e *Engine) Flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if e.idle() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("stream: flush timed out after %v", timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// idle reports whether no channel has pending or in-flight samples.
+func (e *Engine) idle() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, ch := range e.channels {
+		ch.mu.Lock()
+		busy := ch.count > 0 || ch.queued
+		ch.mu.Unlock()
+		if busy {
+			return false
+		}
+	}
+	return true
+}
+
+// Close stops the engine: pushes begin returning ErrClosed, blocked
+// pushes wake, workers exit, and the Decisions channel is closed.
+// Samples still sitting in rings are discarded (Flush first to avoid
+// that). Close is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	e.mu.RLock()
+	for _, ch := range e.channels {
+		ch.mu.Lock()
+		ch.cond.Broadcast()
+		ch.mu.Unlock()
+	}
+	e.mu.RUnlock()
+	e.wg.Wait()
+	close(e.out)
+	return nil
+}
+
+// Channels returns the channel ids in registration order.
+func (e *Engine) Channels() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, len(e.order))
+	copy(out, e.order)
+	return out
+}
+
+// Stats returns engine-wide accounting.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	n := len(e.channels)
+	e.mu.RUnlock()
+	elapsed := time.Since(e.start)
+	s := Stats{
+		Channels:         n,
+		SamplesIn:        e.samplesIn.Load(),
+		SamplesDropped:   e.samplesDropped.Load(),
+		Surfaces:         e.surfaces.Load(),
+		Detections:       e.detections.Load(),
+		DecisionsDropped: e.decisionsDropped.Load(),
+		Elapsed:          elapsed,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		s.SamplesPerSec = float64(s.SamplesIn) / sec
+		s.SurfacesPerSec = float64(s.Surfaces) / sec
+	}
+	return s
+}
+
+// ChannelStats returns one channel's accounting; ok is false for an
+// unknown id.
+func (e *Engine) ChannelStats(id string) (ChannelStats, bool) {
+	e.mu.RLock()
+	ch := e.channels[id]
+	e.mu.RUnlock()
+	if ch == nil {
+		return ChannelStats{}, false
+	}
+	cs := ChannelStats{
+		ID:             ch.id,
+		SamplesIn:      ch.samplesIn.Load(),
+		SamplesDropped: ch.dropped.Load(),
+		Snapshots:      ch.snapshots.Load(),
+		Detections:     ch.detections.Load(),
+		Last:           ch.last.Load(),
+	}
+	if msg := ch.err.Load(); msg != nil {
+		cs.Err = *msg
+	}
+	return cs, true
+}

@@ -1,0 +1,349 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tiledcfd/internal/detect"
+	"tiledcfd/internal/fam"
+	"tiledcfd/internal/scf"
+	"tiledcfd/internal/sig"
+)
+
+// bpskBand synthesises a deterministic BPSK-in-noise band.
+func bpskBand(t testing.TB, n int, carrier float64, snrDB float64, seed uint64) []complex128 {
+	t.Helper()
+	rng := sig.NewRand(seed)
+	b := &sig.BPSK{Amp: 1, Carrier: carrier, SymbolLen: 8, Rng: rng}
+	x := sig.Samples(b, n)
+	noisy, _, err := sig.AddAWGN(x, snrDB, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return noisy
+}
+
+// noiseBand synthesises a deterministic noise-only band.
+func noiseBand(t testing.TB, n int, seed uint64) []complex128 {
+	t.Helper()
+	return sig.Samples(&sig.WGN{Sigma: 0.3, Real: true, Rng: sig.NewRand(seed)}, n)
+}
+
+// TestEngineStreamingMatchesBatchConcurrent is the golden multi-channel
+// equivalence test: 8 channels fed concurrently in ragged chunks, one
+// decision each, and every decision's statistic must equal — exactly, in
+// floating point — the batch-pipeline statistic over the same samples.
+// Run under -race this is also the engine's central concurrency test.
+func TestEngineStreamingMatchesBatchConcurrent(t *testing.T) {
+	const window = 4096
+	estimators := map[string]scf.StreamingEstimator{
+		"direct": scf.Direct{Params: scf.Params{K: 64, M: 16, Blocks: window / 64}},
+		"fam":    fam.FAM{Params: scf.Params{K: 64, M: 16}},
+		"ssca":   fam.SSCA{Params: scf.Params{K: 64, M: 16}},
+	}
+	for name, est := range estimators {
+		t.Run(name, func(t *testing.T) {
+			e, err := New(Config{
+				Estimator:       est,
+				SnapshotSamples: window,
+				Block:           true,
+				Threshold:       0.25, // fixed-threshold mode: statistic is CFDStatistic
+				MinAbsA:         2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			const nch = 8
+			bands := make(map[string][]complex128, nch)
+			for i := 0; i < nch; i++ {
+				id := fmt.Sprintf("ch%d", i)
+				bands[id] = bpskBand(t, window, float64(i+4)/64, 6, uint64(100+i))
+				if err := e.AddChannel(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var wg sync.WaitGroup
+			for id, band := range bands {
+				wg.Add(1)
+				go func(id string, band []complex128) {
+					defer wg.Done()
+					// Ragged chunk sizes exercise buffering paths.
+					for i, c := 0, 0; i < len(band); c++ {
+						n := []int{1, 63, 500, 64, 1024}[c%5]
+						if i+n > len(band) {
+							n = len(band) - i
+						}
+						if _, err := e.Push(id, band[i:i+n]); err != nil {
+							t.Error(err)
+							return
+						}
+						i += n
+					}
+				}(id, band)
+			}
+			wg.Wait()
+			if err := e.Flush(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			for id, band := range bands {
+				cs, ok := e.ChannelStats(id)
+				if !ok || cs.Last == nil {
+					t.Fatalf("%s: no decision (stats %+v)", id, cs)
+				}
+				surface, _, err := est.Estimate(band)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := detect.CFDStatistic(surface, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cs.Last.Statistic != want {
+					t.Fatalf("%s: streaming statistic %v != batch %v (not bit-identical)",
+						id, cs.Last.Statistic, want)
+				}
+				if cs.Last.WindowSamples != window {
+					t.Fatalf("%s: window covered %d samples, want %d", id, cs.Last.WindowSamples, window)
+				}
+				if cs.SamplesDropped != 0 {
+					t.Fatalf("%s: dropped %d samples in backpressure mode", id, cs.SamplesDropped)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineWindowedDecisionsTrackOccupancy: a licensed user appearing
+// mid-stream flips the CFAR verdict from idle to occupied and back — the
+// monitoring loop the engine exists for.
+func TestEngineWindowedDecisionsTrackOccupancy(t *testing.T) {
+	const window = 2048
+	e, err := New(Config{
+		Estimator:       scf.Direct{Params: scf.Params{K: 64, M: 16}},
+		SnapshotSamples: window,
+		Block:           true,
+		MinAbsA:         2,
+		CFARScale:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddChannel("band0"); err != nil {
+		t.Fatal(err)
+	}
+	// Timeline: 2 idle windows, 3 occupied (BPSK at 6 dB), 2 idle.
+	truth := []bool{false, false, true, true, true, false, false}
+	for w, busy := range truth {
+		var seg []complex128
+		if busy {
+			seg = bpskBand(t, window, 8.0/64, 6, uint64(200+w))
+		} else {
+			seg = noiseBand(t, window, uint64(200+w))
+		}
+		if _, err := e.Push("band0", seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Decision
+	for d := range e.Decisions() {
+		got = append(got, d)
+	}
+	if len(got) != len(truth) {
+		t.Fatalf("%d decisions, want %d: %+v", len(got), len(truth), got)
+	}
+	for i, d := range got {
+		if d.Seq != int64(i) {
+			t.Fatalf("decision %d has Seq %d", i, d.Seq)
+		}
+		if d.Detected != truth[i] {
+			t.Fatalf("window %d: detected=%v (stat %.3f vs %.3f), want %v",
+				i, d.Detected, d.Statistic, d.Threshold, truth[i])
+		}
+	}
+	cs, _ := e.ChannelStats("band0")
+	if cs.Snapshots != int64(len(truth)) || cs.Detections != 3 {
+		t.Fatalf("channel stats %+v, want 7 snapshots / 3 detections", cs)
+	}
+}
+
+// TestEngineDropAccounting: in drop mode a push larger than the ring
+// discards the overflow and accounts for it exactly.
+func TestEngineDropAccounting(t *testing.T) {
+	e, err := New(Config{
+		Estimator:       scf.Direct{Params: scf.Params{K: 64, M: 16}},
+		SnapshotSamples: 1024,
+		RingSamples:     1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.AddChannel("hot"); err != nil {
+		t.Fatal(err)
+	}
+	big := noiseBand(t, 10*1024, 1)
+	accepted, err := e.Push("hot", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted > 1024 {
+		t.Fatalf("accepted %d > ring capacity 1024", accepted)
+	}
+	cs, _ := e.ChannelStats("hot")
+	if cs.SamplesDropped != int64(len(big)-accepted) {
+		t.Fatalf("dropped %d, want %d", cs.SamplesDropped, len(big)-accepted)
+	}
+	s := e.Stats()
+	if s.SamplesIn != int64(accepted) || s.SamplesDropped != cs.SamplesDropped {
+		t.Fatalf("engine stats %+v inconsistent with channel stats %+v", s, cs)
+	}
+}
+
+// TestEngineBackpressureLosesNothing: with Block set, pushing far more
+// than the ring holds processes every sample.
+func TestEngineBackpressureLosesNothing(t *testing.T) {
+	const window = 1024
+	e, err := New(Config{
+		Estimator:       scf.Direct{Params: scf.Params{K: 64, M: 16}},
+		SnapshotSamples: window,
+		RingSamples:     window,
+		Block:           true,
+		Workers:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.AddChannel("bp"); err != nil {
+		t.Fatal(err)
+	}
+	const total = 16 * window
+	band := noiseBand(t, total, 2)
+	for i := 0; i < total; i += 700 {
+		end := i + 700
+		if end > total {
+			end = total
+		}
+		if n, err := e.Push("bp", band[i:end]); err != nil || n != end-i {
+			t.Fatalf("Push accepted %d of %d, err %v", n, end-i, err)
+		}
+	}
+	if err := e.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := e.ChannelStats("bp")
+	if cs.SamplesIn != total || cs.SamplesDropped != 0 {
+		t.Fatalf("in=%d dropped=%d, want in=%d dropped=0", cs.SamplesIn, cs.SamplesDropped, total)
+	}
+	if cs.Snapshots != total/window {
+		t.Fatalf("%d snapshots, want %d", cs.Snapshots, total/window)
+	}
+}
+
+// TestEngineLifecycleErrors covers the administrative error paths.
+func TestEngineLifecycleErrors(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without estimator succeeded")
+	}
+	if _, err := New(Config{
+		Estimator:       scf.Direct{Params: scf.Params{K: 64, M: 16}},
+		SnapshotSamples: 100,
+		RingSamples:     50,
+	}); err == nil {
+		t.Fatal("New with ring smaller than window succeeded")
+	}
+	e, err := New(Config{Estimator: scf.Direct{Params: scf.Params{K: 64, M: 16}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddChannel("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddChannel("a"); err == nil {
+		t.Fatal("duplicate AddChannel succeeded")
+	}
+	if _, err := e.Push("nope", make([]complex128, 8)); err == nil {
+		t.Fatal("Push to unknown channel succeeded")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := e.Push("a", make([]complex128, 8)); err != ErrClosed {
+		t.Fatalf("Push after Close: %v, want ErrClosed", err)
+	}
+	if err := e.AddChannel("b"); err != ErrClosed {
+		t.Fatalf("AddChannel after Close: %v, want ErrClosed", err)
+	}
+	if _, open := <-e.Decisions(); open {
+		t.Fatal("Decisions channel still open after Close")
+	}
+}
+
+// TestEngineCumulativeKeepsIntegrating: in cumulative mode each decision
+// covers the whole stream so far, matching the batch estimate over the
+// growing prefix.
+func TestEngineCumulativeKeepsIntegrating(t *testing.T) {
+	const window = 1024
+	est := fam.FAM{Params: scf.Params{K: 64, M: 16}}
+	e, err := New(Config{
+		Estimator:       est,
+		SnapshotSamples: window,
+		Block:           true,
+		Cumulative:      true,
+		Threshold:       0.25,
+		MinAbsA:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	band := bpskBand(t, 4*window, 8.0/64, 6, 77)
+	if err := e.AddChannel("cum"); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		if _, err := e.Push("cum", band[w*window:(w+1)*window]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var decs []Decision
+	for d := range e.Decisions() {
+		decs = append(decs, d)
+	}
+	if len(decs) != 4 {
+		t.Fatalf("%d decisions, want 4", len(decs))
+	}
+	for w, d := range decs {
+		if d.WindowSamples != (w+1)*window {
+			t.Fatalf("decision %d integrates %d samples, want %d", w, d.WindowSamples, (w+1)*window)
+		}
+		surface, _, err := est.Estimate(band[:(w+1)*window])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := detect.CFDStatistic(surface, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Statistic != want {
+			t.Fatalf("decision %d statistic %v != batch prefix %v", w, d.Statistic, want)
+		}
+	}
+}
