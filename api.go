@@ -3,6 +3,7 @@ package tiledcfd
 import (
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,7 +37,7 @@ type Config struct {
 	// Threshold is the decision threshold on the CFD statistic.
 	Threshold float64
 	// Estimator selects how the spectral-correlation surface is
-	// computed:
+	// computed (EstimatorNames lists the registry):
 	//
 	//   - "" or "platform": the paper's path — Q15 quantisation and the
 	//     bit-true tiled-SoC simulation (cycle counts, Table 1,
@@ -46,7 +47,12 @@ type Config struct {
 	//   - "fam": the FFT Accumulation Method (overlapping windowed
 	//     channelizer, second FFT across hops);
 	//   - "ssca": the Strip Spectral Correlation Analyzer (sliding
-	//     channelizer, one long strip FFT per channel).
+	//     channelizer, one long strip FFT per channel);
+	//   - "fam-q15", "ssca-q15": the Q15 fixed-point FAM/SSCA backends —
+	//     saturating 16-bit arithmetic with block-floating-point FFT
+	//     scaling and tracked exponents, bit-exact deterministic, their
+	//     surfaces converted exactly into float units. They report
+	//     modeled Montium cycles (ModelCycles) on top of mult counts.
 	//
 	// The software estimators skip the hardware model, so hardware
 	// figures (cycle breakdown, area, power) are zero; FFTMults and
@@ -70,34 +76,103 @@ type Config struct {
 	Workers int
 }
 
-// estimator resolves the Config.Estimator name; nil means the platform
-// path.
-func (c Config) estimator() (scf.Estimator, error) {
-	p := scf.Params{K: c.K, M: c.M, Blocks: c.Blocks}
-	switch c.Estimator {
-	case "", "platform":
-		return nil, nil
-	case "direct":
-		p.Hop = c.Hop
-		return scf.Direct{Params: p, Workers: c.Workers}, nil
-	case "fam":
-		p.Hop = c.Hop
-		return fam.FAM{Params: p, Workers: c.Workers}, nil
-	case "ssca":
-		if c.Hop != 0 {
-			return nil, fmt.Errorf("tiledcfd: Hop=%d is meaningless for the ssca estimator "+
-				"(the SSCA channelizer advances one sample per hop); leave Hop zero", c.Hop)
+// estimatorRegistry is the single source of truth for Config.Estimator
+// names: every selectable backend registers its name and builder here,
+// in the order reports and error messages list them. The "unknown
+// estimator" error is generated from this slice, so adding a backend can
+// never leave the message stale again.
+var estimatorRegistry = []struct {
+	name  string
+	build func(Config) (scf.Estimator, error)
+}{
+	{"platform", func(Config) (scf.Estimator, error) { return nil, nil }},
+	{"direct", func(c Config) (scf.Estimator, error) {
+		return scf.Direct{Params: c.params(c.Hop), Workers: c.Workers}, nil
+	}},
+	{"fam", func(c Config) (scf.Estimator, error) {
+		return fam.FAM{Params: c.params(c.Hop), Workers: c.Workers}, nil
+	}},
+	{"ssca", func(c Config) (scf.Estimator, error) {
+		if err := c.rejectHop("ssca"); err != nil {
+			return nil, err
 		}
-		return fam.SSCA{Params: p, Workers: c.Workers}, nil
-	default:
-		return nil, fmt.Errorf("tiledcfd: unknown estimator %q (want platform, direct, fam or ssca)", c.Estimator)
+		return fam.SSCA{Params: c.params(0), Workers: c.Workers}, nil
+	}},
+	{"fam-q15", func(c Config) (scf.Estimator, error) {
+		return fam.FAMQ15{Params: c.params(c.Hop), Workers: c.Workers}, nil
+	}},
+	{"ssca-q15", func(c Config) (scf.Estimator, error) {
+		if err := c.rejectHop("ssca-q15"); err != nil {
+			return nil, err
+		}
+		return fam.SSCAQ15{Params: c.params(0), Workers: c.Workers}, nil
+	}},
+}
+
+// EstimatorNames returns the selectable Config.Estimator values in
+// registry order — the list CLIs print in their -estimator help and the
+// "unknown estimator" error embeds.
+func EstimatorNames() []string {
+	names := make([]string, len(estimatorRegistry))
+	for i, e := range estimatorRegistry {
+		names[i] = e.name
 	}
+	return names
+}
+
+// streamingEstimatorNames returns the registry entries whose estimators
+// have an incremental form — the suggestions NewMonitor's errors offer.
+// Derived from the registry so the list tracks new backends by itself.
+func streamingEstimatorNames() []string {
+	var names []string
+	for _, e := range estimatorRegistry {
+		est, err := e.build(Config{})
+		if err != nil || est == nil {
+			continue
+		}
+		if _, ok := est.(scf.StreamingEstimator); ok {
+			names = append(names, e.name)
+		}
+	}
+	return names
+}
+
+// params assembles the estimator parameter set from the configured
+// geometry and the given hop.
+func (c Config) params(hop int) scf.Params {
+	return scf.Params{K: c.K, M: c.M, Blocks: c.Blocks, Hop: hop}
+}
+
+// rejectHop is the shared guard of the strip analyzers, whose
+// channelizer advances one sample per hop by definition.
+func (c Config) rejectHop(name string) error {
+	if c.Hop != 0 {
+		return fmt.Errorf("tiledcfd: Hop=%d is meaningless for the %s estimator "+
+			"(the SSCA channelizer advances one sample per hop); leave Hop zero", c.Hop, name)
+	}
+	return nil
+}
+
+// estimator resolves the Config.Estimator name through the registry;
+// nil means the platform path.
+func (c Config) estimator() (scf.Estimator, error) {
+	name := c.Estimator
+	if name == "" {
+		name = "platform"
+	}
+	for _, e := range estimatorRegistry {
+		if e.name == name {
+			return e.build(c)
+		}
+	}
+	return nil, fmt.Errorf("tiledcfd: unknown estimator %q (want %s)",
+		c.Estimator, strings.Join(EstimatorNames(), ", "))
 }
 
 // Sensing is the outcome of a spectrum-sensing run.
 type Sensing struct {
-	// Estimator names the surface path that produced the verdict
-	// ("platform", "direct", "fam", "ssca").
+	// Estimator names the surface path that produced the verdict (one of
+	// EstimatorNames).
 	Estimator string
 	// Detected reports whether the cyclostationary statistic exceeded the
 	// threshold.
@@ -129,6 +204,11 @@ type Sensing struct {
 	// (downconversion plus cell products). Zero on the platform path,
 	// which reports cycles instead.
 	FFTMults, EstimatorMults int
+	// ModelCycles is the modeled Montium cycle cost of a fixed-point
+	// software backend (fam-q15/ssca-q15), charged via the Table-1-style
+	// kernel accounting. Zero for float estimators and on the platform
+	// path (which reports measured cycles in CyclesPerBlock/Breakdown).
+	ModelCycles int64
 }
 
 // CycleBreakdown mirrors the rows of the paper's Table 1.
@@ -182,6 +262,7 @@ func Sense(x []complex128, cfg Config) (*Sensing, error) {
 	if res.Stats != nil {
 		out.FFTMults = res.Stats.FFTMults
 		out.EstimatorMults = res.Stats.DSCFMults
+		out.ModelCycles = res.Stats.Cycles
 	}
 	if res.Report != nil {
 		busiest := res.Report.Tiles[0].Table1
@@ -378,11 +459,13 @@ func NewMonitor(cfg Config, opts MonitorOptions) (*Monitor, error) {
 	}
 	if est == nil {
 		return nil, fmt.Errorf("tiledcfd: the %q path has no incremental form; "+
-			"pick a software estimator (direct, fam, ssca) or use Watch", cfg.Estimator)
+			"pick a streaming estimator (%s) or use Watch",
+			cfg.Estimator, strings.Join(streamingEstimatorNames(), ", "))
 	}
 	sest, ok := est.(scf.StreamingEstimator)
 	if !ok {
-		return nil, fmt.Errorf("tiledcfd: estimator %q cannot stream", cfg.Estimator)
+		return nil, fmt.Errorf("tiledcfd: estimator %q cannot stream; pick one of %s",
+			cfg.Estimator, strings.Join(streamingEstimatorNames(), ", "))
 	}
 	if opts.Cumulative && cfg.Estimator == "ssca" {
 		return nil, fmt.Errorf("tiledcfd: cumulative monitoring is unsupported with the ssca " +
@@ -537,6 +620,9 @@ type SCResult struct {
 	// FFTs and in pointwise products respectively — the complexity
 	// figures the estimator benchmarks compare.
 	FFTMults, EstimatorMults int
+	// ModelCycles is the modeled Montium cycle cost of a fixed-point
+	// backend (zero for float estimators).
+	ModelCycles int64
 }
 
 // SpectralCorrelation computes the spectral-correlation surface of x
@@ -583,6 +669,7 @@ func SpectralCorrelation(x []complex128, cfg Config) (*SCResult, error) {
 		out.Blocks = stats.Blocks
 		out.FFTMults = stats.FFTMults
 		out.EstimatorMults = stats.DSCFMults
+		out.ModelCycles = stats.Cycles
 	}
 	return out, nil
 }

@@ -15,12 +15,25 @@
 // concurrent channels in backpressure mode and the sustained samples/sec
 // and surfaces/sec per estimator are recorded (schema 2). -stream-samples
 // sets the per-channel feed; -stream-channels 0 skips the scenario.
+// Estimators without an incremental form (the Q15 backends) are skipped
+// there.
+//
+// Since PR 4 (schema 3) the estimator set includes the Q15 fixed-point
+// backends (fam-q15, ssca-q15), batch rows carry their modeled Montium
+// cycle costs, and a fixed-point scenario compares each Q15 backend
+// against its float reference on the same band: surface SQNR, feature-
+// peak bias, saturation and block exponent (internal/quant).
 //
 // With -baseline, a previously written report is embedded and per-
 // estimator speedups (baseline ns / current ns) are computed, turning one
 // file into a before/after comparison:
 //
 //	go run ./cmd/cfdbench -baseline BENCH_1.json -out BENCH_2.json
+//
+// -fail-below makes the run exit non-zero when any batch estimator's
+// speedup vs the baseline falls below the given ratio — the CI bench-
+// regression gate (baseline = HEAD~1 on the same runner, 0.8 = fail on
+// >25% slowdown).
 package main
 
 import (
@@ -29,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -36,6 +50,7 @@ import (
 
 	"tiledcfd"
 	"tiledcfd/internal/fam"
+	"tiledcfd/internal/quant"
 	"tiledcfd/internal/scf"
 	"tiledcfd/internal/stream"
 )
@@ -51,6 +66,21 @@ type Measurement struct {
 	PointwiseMults int     `json:"pointwise_mults"`
 	TotalMults     int     `json:"total_mults"`
 	SmoothingLen   int     `json:"smoothing_len"`
+	// ModelCycles is the modeled Montium cycle cost (fixed backends only).
+	ModelCycles int64 `json:"model_cycles,omitempty"`
+}
+
+// FixedPointMeasurement is one Q15 backend's accuracy row against its
+// float reference on the benchmark band (the schema-3 fixed-point
+// scenario).
+type FixedPointMeasurement struct {
+	Name           string  `json:"name"`
+	Reference      string  `json:"reference"`
+	SQNRdB         float64 `json:"sqnr_db"`
+	PeakBias       float64 `json:"peak_bias"`
+	SaturatedCells int     `json:"saturated_cells"`
+	Exp            int     `json:"exp"`
+	ModelCycles    int64   `json:"model_cycles"`
 }
 
 // StreamingMeasurement is one estimator's multi-channel streaming
@@ -71,18 +101,19 @@ type StreamingMeasurement struct {
 
 // Report is the BENCH_<n>.json schema.
 type Report struct {
-	Schema     int                    `json:"schema"`
-	Timestamp  string                 `json:"timestamp"`
-	GoVersion  string                 `json:"go_version"`
-	GOOS       string                 `json:"goos"`
-	GOARCH     string                 `json:"goarch"`
-	GOMAXPROCS int                    `json:"gomaxprocs"`
-	Geometry   Geometry               `json:"geometry"`
-	Note       string                 `json:"note"`
-	Results    []Measurement          `json:"results"`
-	Streaming  []StreamingMeasurement `json:"streaming,omitempty"`
-	Baseline   *Report                `json:"baseline,omitempty"`
-	Speedup    map[string]float64     `json:"speedup_vs_baseline,omitempty"`
+	Schema     int                     `json:"schema"`
+	Timestamp  string                  `json:"timestamp"`
+	GoVersion  string                  `json:"go_version"`
+	GOOS       string                  `json:"goos"`
+	GOARCH     string                  `json:"goarch"`
+	GOMAXPROCS int                     `json:"gomaxprocs"`
+	Geometry   Geometry                `json:"geometry"`
+	Note       string                  `json:"note"`
+	Results    []Measurement           `json:"results"`
+	FixedPoint []FixedPointMeasurement `json:"fixed_point,omitempty"`
+	Streaming  []StreamingMeasurement  `json:"streaming,omitempty"`
+	Baseline   *Report                 `json:"baseline,omitempty"`
+	Speedup    map[string]float64      `json:"speedup_vs_baseline,omitempty"`
 }
 
 // Geometry records the benchmark's estimator configuration.
@@ -97,24 +128,29 @@ type Geometry struct {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH.json", "output JSON path")
-		k        = flag.Int("k", 256, "FFT / channelizer size (power of two)")
-		m        = flag.Int("m", 64, "surface half-extent")
-		blocks   = flag.Int("blocks", 8, "integration blocks of K samples")
-		seed     = flag.Uint64("seed", 42, "BPSK band seed")
-		names    = flag.String("estimators", "direct,fam,ssca", "comma-separated estimator subset")
-		baseline = flag.String("baseline", "", "previous BENCH json to embed for before/after speedups")
-		streamCh = flag.Int("stream-channels", 4, "streaming scenario: concurrent channels (0 = skip)")
-		streamN  = flag.Int("stream-samples", 1<<17, "streaming scenario: samples per channel")
+		out       = flag.String("out", "BENCH.json", "output JSON path")
+		k         = flag.Int("k", 256, "FFT / channelizer size (power of two)")
+		m         = flag.Int("m", 64, "surface half-extent")
+		blocks    = flag.Int("blocks", 8, "integration blocks of K samples")
+		seed      = flag.Uint64("seed", 42, "BPSK band seed")
+		names     = flag.String("estimators", "direct,fam,ssca,fam-q15,ssca-q15", "comma-separated estimator subset")
+		baseline  = flag.String("baseline", "", "previous BENCH json to embed for before/after speedups")
+		failBelow = flag.Float64("fail-below", 0, "with -baseline: exit non-zero if any batch speedup falls below this ratio (0 = never fail)")
+		streamCh  = flag.Int("stream-channels", 4, "streaming scenario: concurrent channels (0 = skip)")
+		streamN   = flag.Int("stream-samples", 1<<17, "streaming scenario: samples per channel")
 	)
 	flag.Parse()
-	if err := run(*out, *k, *m, *blocks, *seed, *names, *baseline, *streamCh, *streamN); err != nil {
+	if err := run(*out, *k, *m, *blocks, *seed, *names, *baseline, *failBelow, *streamCh, *streamN); err != nil {
 		fmt.Fprintln(os.Stderr, "cfdbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, k, m, blocks int, seed uint64, names, baseline string, streamCh, streamN int) error {
+// fixedRefs pairs each Q15 backend with the float estimator the
+// fixed-point scenario compares it against.
+var fixedRefs = map[string]string{"fam-q15": "fam", "ssca-q15": "ssca"}
+
+func run(out string, k, m, blocks int, seed uint64, names, baseline string, failBelow float64, streamCh, streamN int) error {
 	band, err := tiledcfd.NewBPSKBand(k*blocks, 0.125, 8, 10, seed)
 	if err != nil {
 		return err
@@ -123,12 +159,14 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, stre
 	direct := p
 	direct.Blocks = blocks
 	all := map[string]scf.Estimator{
-		"direct": scf.Direct{Params: direct},
-		"fam":    fam.FAM{Params: p},
-		"ssca":   fam.SSCA{Params: p},
+		"direct":   scf.Direct{Params: direct},
+		"fam":      fam.FAM{Params: p},
+		"ssca":     fam.SSCA{Params: p},
+		"fam-q15":  fam.FAMQ15{Params: p},
+		"ssca-q15": fam.SSCAQ15{Params: p},
 	}
 	rep := Report{
-		Schema:     2, // 2: adds the streaming throughput section
+		Schema:     3, // 2: streaming throughput; 3: fixed-point scenario + model cycles
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -148,7 +186,12 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, stre
 		}
 		e, ok := all[name]
 		if !ok {
-			return fmt.Errorf("unknown estimator %q (want direct, fam or ssca)", name)
+			known := make([]string, 0, len(all))
+			for n := range all {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return fmt.Errorf("unknown estimator %q (want %s)", name, strings.Join(known, ", "))
 		}
 		var stats *scf.Stats
 		var estErr error
@@ -176,9 +219,35 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, stre
 			PointwiseMults: stats.DSCFMults,
 			TotalMults:     stats.TotalMults(),
 			SmoothingLen:   stats.Blocks,
+			ModelCycles:    stats.Cycles,
 		})
 		fmt.Printf("%-8s %12.0f ns/op %10d B/op %6d allocs/op %10d total_mults\n",
 			name, float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp(), stats.TotalMults())
+	}
+	// Fixed-point scenario: every requested Q15 backend against its float
+	// reference on the same band.
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		refName, ok := fixedRefs[name]
+		if !ok {
+			continue
+		}
+		fe := all[name].(quant.FixedEstimator)
+		cmp, err := quant.Compare(band, fe, all[refName])
+		if err != nil {
+			return fmt.Errorf("fixed-point %s: %w", name, err)
+		}
+		rep.FixedPoint = append(rep.FixedPoint, FixedPointMeasurement{
+			Name:           name,
+			Reference:      refName,
+			SQNRdB:         cmp.SQNRdB,
+			PeakBias:       cmp.PeakBias,
+			SaturatedCells: cmp.SaturatedCells,
+			Exp:            cmp.Exp,
+			ModelCycles:    cmp.Cycles,
+		})
+		fmt.Printf("%-8s fixed-point vs %-6s %7.1f dB SQNR %+7.3f%% peak bias %8d cycles\n",
+			name, refName, cmp.SQNRdB, 100*cmp.PeakBias, cmp.Cycles)
 	}
 	if streamCh > 0 {
 		for _, name := range strings.Split(names, ",") {
@@ -188,7 +257,9 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, stre
 			}
 			sest, ok := all[name].(scf.StreamingEstimator)
 			if !ok {
-				return fmt.Errorf("estimator %q cannot stream", name)
+				// The Q15 backends have no incremental form; the batch and
+				// fixed-point scenarios cover them.
+				continue
 			}
 			sm, err := benchStreaming(name, sest, streamCh, streamN, band)
 			if err != nil {
@@ -199,6 +270,7 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, stre
 				name, sm.Channels, sm.SamplesPerSec/1e6, sm.SurfacesPerSec)
 		}
 	}
+	var gateErr error
 	if baseline != "" {
 		raw, err := os.ReadFile(baseline)
 		if err != nil {
@@ -221,6 +293,24 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, stre
 		for name, s := range rep.Speedup {
 			fmt.Printf("%-8s %.2fx vs baseline\n", name, s)
 		}
+		if failBelow > 0 {
+			var slow []string
+			for name, s := range rep.Speedup {
+				if s < failBelow {
+					slow = append(slow, fmt.Sprintf("%s %.2fx", name, s))
+				}
+			}
+			if len(slow) > 0 {
+				sort.Strings(slow)
+				// Deferred until after the report is written: the run
+				// that trips the gate is exactly the one whose artifact
+				// must survive for inspection.
+				gateErr = fmt.Errorf("batch-estimator regression: speedup below %.2fx for %s",
+					failBelow, strings.Join(slow, ", "))
+			}
+		}
+	} else if failBelow > 0 {
+		return fmt.Errorf("-fail-below needs -baseline")
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -231,7 +321,7 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, stre
 		return err
 	}
 	fmt.Println("wrote", out)
-	return nil
+	return gateErr
 }
 
 // benchStreaming measures the sustained multi-channel streaming

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"tiledcfd"
 )
@@ -39,22 +40,23 @@ func main() {
 	threshold := flag.Float64("threshold", 0.3, "detection threshold")
 	seed := flag.Uint64("seed", 1, "random seed")
 	estimator := flag.String("estimator", "platform",
-		"surface estimator: platform, direct, fam or ssca")
+		"surface estimator: "+strings.Join(tiledcfd.EstimatorNames(), ", "))
 	hop := flag.Int("hop", 0,
-		"block/channelizer advance in samples for -estimator=direct|fam (0 = estimator default; rejected with ssca)")
+		"block/channelizer advance in samples for -estimator=direct|fam|fam-q15 (0 = estimator default; rejected with ssca variants)")
 	workers := flag.Int("workers", 0,
 		"software-estimator worker goroutines (0 = one per CPU core, 1 = serial)")
 	flag.Parse()
 
 	if *hop != 0 {
 		switch *estimator {
-		case "ssca":
-			log.Fatalf("-hop=%d cannot be combined with -estimator=ssca: the strip "+
+		case "ssca", "ssca-q15":
+			log.Fatalf("-hop=%d cannot be combined with -estimator=%s: the strip "+
 				"spectral correlation analyzer advances its channelizer one sample "+
-				"per hop by definition (drop -hop, or pick -estimator=direct|fam)", *hop)
+				"per hop by definition (drop -hop, or pick -estimator=direct|fam|fam-q15)",
+				*hop, *estimator)
 		case "platform":
 			log.Fatalf("-hop=%d has no effect on the platform path: the tiled SoC "+
-				"advances by whole K-sample blocks (pick -estimator=direct|fam)", *hop)
+				"advances by whole K-sample blocks (pick -estimator=direct|fam|fam-q15)", *hop)
 		}
 	}
 
@@ -114,6 +116,9 @@ func main() {
 	fmt.Printf("  FFTs                 %9d\n", s.FFTMults)
 	fmt.Printf("  pointwise products   %9d\n", s.EstimatorMults)
 	fmt.Printf("  total                %9d\n", s.FFTMults+s.EstimatorMults)
+	if s.ModelCycles > 0 {
+		fmt.Printf("modeled Montium cycles (Table-1 kernel accounting): %d\n", s.ModelCycles)
+	}
 }
 
 func mOrDefault(m, k int) int {

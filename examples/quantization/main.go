@@ -1,0 +1,53 @@
+// Command quantization sweeps the word-level configuration of the Q15
+// fixed-point estimator backends (fam-q15, ssca-q15) against their float
+// references: input backoff (quantisation headroom), FFT stage-scaling
+// policy (block-floating-point with tracked exponents vs the Montium
+// kernel's unconditional 1/2 per stage) and SNR. For each point it
+// prints the surface SQNR, the bias at the feature peak a detector
+// thresholds, saturation counts and the modeled Montium cycle cost —
+// the section 4.1 dynamic-range argument, measured.
+//
+// Run: go run ./examples/quantization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tiledcfd/internal/quant"
+)
+
+func main() {
+	rep, err := quant.Run(quant.Config{
+		K: 256, M: 64, Samples: 2048,
+		Backoffs: []float64{1, 0.5, 0.25, 0.125},
+		SNRsDB:   []float64{10, 0},
+		Seed:     2026,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Q15 fixed-point accuracy sweep (K=256, M=64, 2048 samples) ==")
+	fmt.Println()
+	fmt.Printf("%-6s %-8s %8s %7s | %9s %10s %6s %5s %12s\n",
+		"est", "policy", "backoff", "snr", "SQNR", "peak bias", "sat", "exp", "cycles")
+	last := ""
+	for _, pt := range rep.Points {
+		if key := pt.Backend + pt.Policy; key != last {
+			if last != "" {
+				fmt.Println()
+			}
+			last = key
+		}
+		fmt.Printf("%-6s %-8s %8.3f %5.0fdB | %7.1fdB %9.2f%% %6d %5d %12d\n",
+			pt.Backend, pt.Policy, pt.Backoff, pt.SNRdB,
+			pt.SQNRdB, 100*pt.PeakBias, pt.SaturatedCells, pt.Exp, pt.Cycles)
+	}
+	fmt.Println()
+	fmt.Println("Reading the table: block-floating-point scaling holds the SQNR")
+	fmt.Println("roughly flat as the input backs off (the tracked exponent re-uses")
+	fmt.Println("the headroom), while the uniform 1/2-per-stage policy loses about")
+	fmt.Println("6 dB per halving. Peak bias stays within a few percent wherever")
+	fmt.Println("SQNR clears ~40 dB, which is why the E14 detection verdicts match")
+	fmt.Println("the float path exactly at calibrated thresholds.")
+}

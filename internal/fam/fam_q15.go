@@ -1,0 +1,163 @@
+package fam
+
+import (
+	"runtime"
+	"sync"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/montium"
+	"tiledcfd/internal/scf"
+)
+
+// FAMQ15 is the Q15 fixed-point FFT Accumulation Method: the same
+// channelizer geometry as FAM, but every arithmetic step runs on the
+// 16-bit saturating datapath of internal/fixed — input quantisation with
+// backoff, a block-floating-point channelizer FFT with tracked per-hop
+// exponents, Q15 downconversion, and wide (int64) cell accumulation
+// reduced to a Q15 surface by one surface-level rounding. The result is
+// bit-exact deterministic: identical across runs and across any Workers
+// setting.
+//
+// Estimate returns the surface converted exactly into float-FAM units
+// (so detectors and cross-checks are drop-in); EstimateQ15 exposes the
+// underlying Q15 words and exponent. Stats carge the Montium Table-1
+// kernel cycle model on top of the canonical mult counts.
+type FAMQ15 struct {
+	// Params configures the channelizer and grid exactly as for FAM
+	// (K=256, M=K/4, Hop=K/4, rectangular window by default; Blocks is
+	// ignored — the smoothing length is derived from the input).
+	Params scf.Params
+	// Workers bounds the goroutines evaluating surface rows concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial path. All
+	// arithmetic is integer and each cell is written exactly once, so
+	// every worker count produces bit-identical surfaces.
+	Workers int
+	// InputScale is the peak amplitude the input is conditioned to
+	// before Q15 quantisation — the word-level backoff of the paper's
+	// section 4.1 dynamic-range argument, with the same semantics (and
+	// the same 0.5 default, 6 dB of headroom) as core.Config.InputScale
+	// on the platform path. Must lie in (0, 1]. The conditioning gain is
+	// divided back out of the returned surface.
+	InputScale float64
+	// Policy selects the per-stage FFT scaling: fft.ScaleBFP (default,
+	// block-floating-point with tracked exponents) or fft.ScaleUniform
+	// (the Montium kernel's unconditional 1/2 per stage).
+	Policy fft.ScalingPolicy
+}
+
+// Name implements scf.Estimator.
+func (FAMQ15) Name() string { return "fam-q15" }
+
+// MinSamples returns the shortest input Estimate accepts for the
+// configured geometry: two channelizer hops.
+func (e FAMQ15) MinSamples() int {
+	p := famDefaults(e.Params, 0)
+	return p.K + p.Hop
+}
+
+// Estimate implements scf.Estimator: the Q15 surface converted exactly
+// into float-FAM units.
+func (e FAMQ15) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
+	q, stats, err := e.EstimateQ15(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q.Float(), stats, nil
+}
+
+// EstimateQ15 computes the surface in its native Q15-plus-exponent form.
+func (e FAMQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) {
+	p := famDefaults(e.Params, 0)
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	backoff, err := q15Backoff(e.InputScale)
+	if err != nil {
+		return nil, nil, err
+	}
+	hops := 0
+	if len(x) >= p.K {
+		hops = (len(x)-p.K)/p.Hop + 1
+	}
+	np := pow2Floor(hops)
+	if np < 2 {
+		return nil, nil, needSamples("FAM-Q15", p.K+p.Hop, len(x))
+	}
+	win, err := fft.FixedWindow(p.Window, p.K)
+	if err != nil {
+		return nil, nil, err
+	}
+	need := p.K + (np-1)*p.Hop
+	xq, gain := quantiseQ15(x, need, backoff)
+	ch, err := channelizeQ15(xq, p.K, p.Hop, np, win, e.Policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	emax, aligned := ch.alignExponents()
+	// Every cell (f, a) is the full-precision sum over hops of
+	// ch[f+a](n)·conj(ch[f-a](n)) — the bin-0 dot product of the second
+	// FFT, like the float path — accumulated int64 at Q30 in fixed hop
+	// order. Rows are independent, so they fan out across workers with
+	// bit-identical results.
+	m := p.M - 1
+	grid := newAccGrid(p.M)
+	rows := 2*m + 1
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rows {
+		workers = rows
+	}
+	rowJob := func(ai int) {
+		a := ai - m
+		row := grid.data[ai]
+		mask := p.K - 1
+		pi := (a - m) & mask
+		qi := (-a - m) & mask
+		for fi := 0; fi < rows; fi++ {
+			acc := &row[fi]
+			cp, cc := ch.ch[pi], ch.ch[qi]
+			for n := 0; n < np; n++ {
+				acc.AddProdConj(cp[n], cc[n])
+			}
+			pi = (pi + 1) & mask
+			qi = (qi + 1) & mask
+		}
+	}
+	if workers <= 1 {
+		for ai := 0; ai < rows; ai++ {
+			rowJob(ai)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for ai := w; ai < rows; ai += workers {
+					rowJob(ai)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	// Products of two aligned channels carry 2^(2·emax); 1/np and the
+	// squared input conditioning gain are the residual gain.
+	s := grid.reduce(2*emax, surfaceGain(np, gain))
+	cells := p.P() * p.F()
+	stats := &scf.Stats{
+		Blocks: np,
+		// The canonical operation model matches float FAM: a full P-point
+		// second FFT charged per cell even though only bin 0 is evaluated.
+		FFTMults:  np*fft.ComplexMults(p.K) + cells*fft.ComplexMults(np),
+		DSCFMults: np*p.K + cells*np,
+		Cycles: ch.fftCy +
+			montium.MACKernelCycles(ch.macCy+int64(cells)*int64(np)) +
+			montium.ReadDataCycles(int64(need)) +
+			montium.AlignCycles(aligned+int64(cells)),
+	}
+	return s, stats, nil
+}
+
+var _ scf.Estimator = FAMQ15{}

@@ -1,0 +1,242 @@
+package fam
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/montium"
+	"tiledcfd/internal/scf"
+)
+
+// defaultBackoff is the input conditioning applied before Q15
+// quantisation when the estimator's InputScale is zero: half scale,
+// leaving 6 dB of headroom — the same default core.Run applies on the
+// platform path.
+const defaultBackoff = 0.5
+
+// q15Backoff validates and defaults an InputScale field.
+func q15Backoff(scale float64) (float64, error) {
+	if scale == 0 {
+		return defaultBackoff, nil
+	}
+	if scale < 0 || scale > 1 || math.IsNaN(scale) {
+		return 0, fmt.Errorf("fam: InputScale %v outside (0, 1]", scale)
+	}
+	return scale, nil
+}
+
+// quantiseQ15 conditions the first n samples of x so the peak component
+// sits at backoff, then rounds to Q15 — the same front door core.Run
+// applies on the platform path (InputScale semantics). It returns the
+// quantised samples and the gain actually applied, which the caller
+// divides back out of the surface so fixed results stay in float-path
+// units. A zero input returns gain 0 (the surface is exactly zero).
+func quantiseQ15(x []complex128, n int, backoff float64) ([]fixed.Complex, float64) {
+	peak := 0.0
+	for i := 0; i < n; i++ {
+		if v := math.Abs(real(x[i])); v > peak {
+			peak = v
+		}
+		if v := math.Abs(imag(x[i])); v > peak {
+			peak = v
+		}
+	}
+	out := make([]fixed.Complex, n)
+	if peak == 0 {
+		return out, 0
+	}
+	gain := backoff / peak
+	g := complex(gain, 0)
+	for i := range out {
+		out[i] = fixed.CFromFloat(x[i] * g)
+	}
+	return out, gain
+}
+
+// surfaceGain folds the input conditioning gain and the smoothing-length
+// normalisation into the QSurface residual gain: 1/(smooth·gain²), or 0
+// for an all-zero input (gain 0).
+func surfaceGain(smooth int, gain float64) float64 {
+	if gain == 0 {
+		return 0
+	}
+	return 1 / (float64(smooth) * gain * gain)
+}
+
+// q15Channelizer is the fixed-point twin of channelize: blocks hops of a
+// k-point windowed block-floating-point FFT over xq, hop samples apart,
+// each channel downconverted by the Q15 roots table. ch[v][n] is channel
+// v of hop n, valued DFT_channel/2^exps[n] (each hop carries its own
+// tracked exponent). aligned reports how many values a subsequent
+// exponent alignment to max(exps) must touch (for cycle accounting).
+type q15Channelizer struct {
+	ch    [][]fixed.Complex
+	exps  []int
+	win   []fixed.Q15
+	fftCy int64 // modeled FFT kernel cycles spent
+	macCy int64 // modeled complex-MAC cycles spent (window + downconversion)
+}
+
+// channelizeQ15 runs the fixed channelizer. The caller guarantees
+// len(xq) >= k+(blocks-1)·hop.
+func channelizeQ15(xq []fixed.Complex, k, hop, blocks int, win []fixed.Q15, policy fft.ScalingPolicy) (*q15Channelizer, error) {
+	if win != nil && len(win) != k {
+		return nil, fmt.Errorf("fam: window length %d != channelizer size %d", len(win), k)
+	}
+	plan, err := fft.NewFixedPlan(k)
+	if err != nil {
+		return nil, err
+	}
+	roots, err := fft.FixedRoots(k)
+	if err != nil {
+		return nil, err
+	}
+	c := &q15Channelizer{
+		ch:   make([][]fixed.Complex, k),
+		exps: make([]int, blocks),
+		win:  win,
+	}
+	cells := make([]fixed.Complex, k*blocks)
+	for v := range c.ch {
+		c.ch[v], cells = cells[:blocks], cells[blocks:]
+	}
+	spec := make([]fixed.Complex, k)
+	for n := 0; n < blocks; n++ {
+		start := n * hop
+		block := xq[start : start+k]
+		if win != nil {
+			for i := range spec {
+				spec[i] = fixed.CScale(block[i], win[i])
+			}
+			c.macCy += int64(k)
+		} else {
+			copy(spec, block)
+		}
+		exp, err := plan.ForwardScaled(spec, spec, policy)
+		if err != nil {
+			return nil, err
+		}
+		c.exps[n] = exp
+		// Downconvert with the absolute-time reference e^{-j2π·start·v/k},
+		// exactly as the float channelizer, but through the Q15 roots.
+		step := start & (k - 1)
+		idx := 0
+		for v := 0; v < k; v++ {
+			c.ch[v][n] = fixed.CMul(spec[v], roots[idx])
+			idx = (idx + step) & (k - 1)
+		}
+		c.fftCy += montiumFFTCycles(k)
+		c.macCy += int64(k)
+	}
+	return c, nil
+}
+
+// alignExponents renormalises every hop to the common exponent
+// max(exps): hop n's channel values are right-shifted by emax-exps[n]
+// with round-half-up, after which every channel value is DFT/2^emax.
+// It returns emax and the number of values shifted (the alignment pass's
+// cycle cost). The shift order is fixed (hops ascending, channels
+// ascending), so the pass is bit-deterministic.
+func (c *q15Channelizer) alignExponents() (emax int, shifted int64) {
+	for _, e := range c.exps {
+		if e > emax {
+			emax = e
+		}
+	}
+	for n, e := range c.exps {
+		d := uint(emax - e)
+		if d == 0 {
+			continue
+		}
+		for v := range c.ch {
+			c.ch[v][n] = fixed.CRShiftRound(c.ch[v][n], d)
+		}
+		shifted += int64(len(c.ch))
+	}
+	return emax, shifted
+}
+
+// accGrid is a full-precision int64 accumulator grid (Q30 units), the
+// wide intermediate both fixed backends reduce to a QSurface with one
+// surface-level block-floating-point rounding.
+type accGrid struct {
+	m    int
+	data [][]fixed.CAcc // data[a+m-1][f+m-1]
+}
+
+func newAccGrid(m int) *accGrid {
+	n := 2*m - 1
+	data := make([][]fixed.CAcc, n)
+	cells := make([]fixed.CAcc, n*n)
+	for i := range data {
+		data[i], cells = cells[:n], cells[n:]
+	}
+	return &accGrid{m: m, data: data}
+}
+
+// reduce converts the grid to a QSurface: the peak component picks the
+// smallest right-shift landing it in the top half of the Q15 range
+// (left-shifting weak surfaces up instead), every cell is rounded once at
+// that scale, and the net exponent is folded into QSurface.Exp so that
+//
+//	float cell = q15 cell · 2^Exp · gain
+//
+// where the accumulators hold float·2^(30-accExp)/gain (accExp the
+// exponent the caller's products carry, e.g. 2·emax for FAM). The single
+// rounding point keeps the reduction bit-exact regardless of how the
+// accumulators were filled in parallel.
+func (g *accGrid) reduce(accExp int, gain float64) *scf.QSurface {
+	var amax int64
+	for _, row := range g.data {
+		for _, a := range row {
+			if v := a.Re; v > amax {
+				amax = v
+			} else if -v > amax {
+				amax = -v
+			}
+			if v := a.Im; v > amax {
+				amax = v
+			} else if -v > amax {
+				amax = -v
+			}
+		}
+	}
+	out := scf.NewQSurface(g.m)
+	out.Gain = gain
+	if amax == 0 {
+		out.Exp = accExp - 30
+		return out
+	}
+	// sh (may be negative) brings amax into [2^14, 2^15): bitlen-15.
+	sh := bits.Len64(uint64(amax)) - 15
+	for ai, row := range g.data {
+		for fi, a := range row {
+			out.Data[ai][fi] = fixed.Complex{
+				Re: shiftToQ15(a.Re, sh),
+				Im: shiftToQ15(a.Im, sh),
+			}
+		}
+	}
+	// Cell integer c represents acc/2^sh; acc = float·2^(30-accExp)/gain,
+	// and the Q15 value is c/2^15, so float = q15 · 2^(sh+15-30+accExp) · gain.
+	out.Exp = sh + accExp - 15
+	return out
+}
+
+// shiftToQ15 rounds v/2^sh into Q15 with round-half-up and saturation;
+// negative sh left-shifts exactly.
+func shiftToQ15(v int64, sh int) fixed.Q15 {
+	if sh <= 0 {
+		return fixed.SaturateInt(v << uint(-sh))
+	}
+	return fixed.SaturateInt((v + 1<<(uint(sh)-1)) >> uint(sh))
+}
+
+// montiumFFTCycles charges one FFT kernel run plus the reshuffling pass
+// that feeds it, the two per-transform rows of the paper's Table 1.
+func montiumFFTCycles(n int) int64 {
+	return montium.FFTKernelCycles(n) + montium.ReshuffleCycles(int64(n))
+}

@@ -1,0 +1,233 @@
+package fam
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/fixed"
+	"tiledcfd/internal/montium"
+	"tiledcfd/internal/scf"
+)
+
+// SSCAQ15 is the Q15 fixed-point Strip Spectral Correlation Analyzer:
+// the same strip geometry as SSCA on the 16-bit saturating datapath —
+// quantised input with backoff, a block-floating-point sliding
+// channelizer with tracked per-hop exponents, Q15 strip products against
+// the conjugate full-rate input, block-floating-point N-point strip FFTs
+// with per-strip exponents, and a lossless (left-shift) exponent merge
+// into one int64 grid reduced to a Q15 surface by a single surface-level
+// rounding. Bit-exact deterministic across runs and Workers settings.
+type SSCAQ15 struct {
+	// Params configures the channelizer and grid exactly as for SSCA
+	// (K=256, M=K/4, rectangular window by default; Hop and Blocks are
+	// ignored — the SSCA channelizer advances one sample per hop).
+	Params scf.Params
+	// N is the strip FFT length (power of two >= K). Zero selects the
+	// largest power of two with N+K-1 <= len(x).
+	N int
+	// Workers bounds the goroutines computing strips concurrently.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial path. Strips are
+	// independent integer computations, so every worker count produces
+	// bit-identical surfaces.
+	Workers int
+	// InputScale is the peak amplitude the input is conditioned to
+	// before Q15 quantisation, as for FAMQ15 (0 = 0.5).
+	InputScale float64
+	// Policy selects the per-stage FFT scaling, as for FAMQ15.
+	Policy fft.ScalingPolicy
+}
+
+// Name implements scf.Estimator.
+func (SSCAQ15) Name() string { return "ssca-q15" }
+
+// MinSamples returns the shortest input Estimate accepts for the
+// configured geometry: a K-length strip needs 2K-1 samples.
+func (e SSCAQ15) MinSamples() int {
+	p := famDefaults(e.Params, 1)
+	n := e.N
+	if n < p.K {
+		n = p.K
+	}
+	return n + p.K - 1
+}
+
+// Estimate implements scf.Estimator: the Q15 surface converted exactly
+// into float-SSCA units.
+func (e SSCAQ15) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
+	q, stats, err := e.EstimateQ15(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q.Float(), stats, nil
+}
+
+// EstimateQ15 computes the surface in its native Q15-plus-exponent form.
+func (e SSCAQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) {
+	p := famDefaults(e.Params, 1)
+	p.Hop = 1
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	backoff, err := q15Backoff(e.InputScale)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := e.N
+	if n == 0 {
+		n = pow2Floor(len(x) - p.K + 1)
+	} else if n < p.K {
+		return nil, nil, fmt.Errorf("fam: SSCA-Q15 strip length N=%d must be >= K=%d", n, p.K)
+	}
+	if n < p.K {
+		return nil, nil, needSamples("SSCA-Q15", 2*p.K-1, len(x))
+	}
+	if !fft.IsPow2(n) {
+		return nil, nil, fmt.Errorf("fam: SSCA-Q15 strip length N=%d must be a power of two", n)
+	}
+	if len(x) < n+p.K-1 {
+		return nil, nil, needSamples("SSCA-Q15", n+p.K-1, len(x))
+	}
+	win, err := fft.FixedWindow(p.Window, p.K)
+	if err != nil {
+		return nil, nil, err
+	}
+	need := n + p.K - 1
+	xq, gain := quantiseQ15(x, need, backoff)
+	ch, err := channelizeQ15(xq, p.K, 1, n, win, e.Policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	emax, aligned := ch.alignExponents()
+	// The conjugate input factor is centre-aligned with the channelizer
+	// window (same group-delay argument as the float path) and shared by
+	// every strip. It is plain quantised input: exponent zero.
+	centre := p.K / 2
+	xc := make([]fixed.Complex, n)
+	for i := range xc {
+		xc[i] = fixed.Conj(xq[i+centre])
+	}
+	m := p.M - 1
+	needed := make([]int, 0, 4*m+1)
+	seen := make([]bool, p.K)
+	for v := -2 * m; v <= 2*m; v++ {
+		if k := fft.BinIndex(p.K, v); !seen[k] {
+			seen[k] = true
+			needed = append(needed, k)
+		}
+	}
+	planN, err := fft.NewFixedPlan(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	rootsN, err := fft.FixedRoots(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	strips := make([][]fixed.Complex, p.K)
+	stripExp := make([]int, p.K)
+	scells := make([]fixed.Complex, len(needed)*n)
+	for _, k := range needed {
+		strips[k], scells = scells[:n], scells[n:]
+	}
+	// One strip per needed channel: the Q15 product series against xc,
+	// its N-point block-floating-point FFT, and the per-bin derotation by
+	// e^{-j2πq·centre/N} through the Q15 roots. Strips are independent,
+	// so they fan out across bounded workers bit-identically.
+	stripJob := func(k int) error {
+		cs := ch.ch[k]
+		u := strips[k]
+		for i := 0; i < n; i++ {
+			u[i] = fixed.CMul(cs[i], xc[i])
+		}
+		exp, err := planN.ForwardScaled(u, u, e.Policy)
+		if err != nil {
+			return err
+		}
+		stripExp[k] = exp
+		idx := 0
+		for q := range u {
+			u[q] = fixed.CMul(u[q], rootsN[idx])
+			idx = (idx + centre) & (n - 1)
+		}
+		return nil
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(needed) {
+		workers = len(needed)
+	}
+	if workers <= 1 {
+		for _, k := range needed {
+			if err := stripJob(k); err != nil {
+				return nil, nil, err
+			}
+		}
+	} else {
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(needed); i += workers {
+					if err := stripJob(needed[i]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	// Merge the per-strip exponents losslessly: every cell value is
+	// widened to int64 and left-shifted up to the common scale 2^Emin
+	// (strip k's true value is q15·2^(emax+e_k), so the strip with the
+	// smallest exponent defines the finest grid). The surface-level
+	// reduction then rounds once.
+	eMin := 0
+	for i, k := range needed {
+		ek := emax + stripExp[k]
+		if i == 0 || ek < eMin {
+			eMin = ek
+		}
+	}
+	grid := newAccGrid(p.M)
+	for a := -m; a <= m; a++ {
+		row := grid.data[a+m]
+		for f := -m; f <= m; f++ {
+			k := fft.BinIndex(p.K, f+a)
+			u := strips[k][fft.BinIndex(n, n/p.K*(a-f))]
+			sh := uint(emax + stripExp[k] - eMin)
+			row[f+m] = fixed.CAcc{
+				Re: int64(u.Re) << sh,
+				Im: int64(u.Im) << sh,
+			}
+		}
+	}
+	// Cell int64 = float·(n·gain²)·2^(15-Emin); reduce expects
+	// 2^(30-accExp), so accExp = 15+Emin.
+	s := grid.reduce(15+eMin, surfaceGain(n, gain))
+	cells := int64(p.P()) * int64(p.F())
+	stats := &scf.Stats{
+		Blocks:    n,
+		FFTMults:  n*fft.ComplexMults(p.K) + len(needed)*fft.ComplexMults(n),
+		DSCFMults: n*p.K + len(needed)*n,
+		Cycles: ch.fftCy +
+			int64(len(needed))*montiumFFTCycles(n) +
+			montium.MACKernelCycles(ch.macCy+2*int64(len(needed))*int64(n)) +
+			montium.ReadDataCycles(int64(need)) +
+			montium.AlignCycles(aligned+cells),
+	}
+	return s, stats, nil
+}
+
+var _ scf.Estimator = SSCAQ15{}

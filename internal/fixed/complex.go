@@ -133,3 +133,41 @@ func BFly(a, b, w Complex) (lo, hi Complex) {
 func roundQ30half(v int64) Q15 {
 	return SaturateInt((v + (1 << 15)) >> 16)
 }
+
+// BFlyNoScale computes one radix-2 decimation-in-time butterfly WITHOUT
+// the per-stage 1/2 scaling of BFly:
+//
+//	lo = a + w*b
+//	hi = a - w*b
+//
+// The twiddle product and the sum/difference are formed at Q30 and one
+// round-saturate step produces each output component. It is the stage
+// primitive of the block-floating-point FFT (fft.FixedPlan.ForwardScaled
+// with fft.ScaleBFP), which pre-shifts the whole block only when its
+// magnitude demands it and tracks the shifts in an exponent instead of
+// unconditionally halving every stage.
+func BFlyNoScale(a, b, w Complex) (lo, hi Complex) {
+	pre := int64(w.Re)*int64(b.Re) - int64(w.Im)*int64(b.Im)
+	pim := int64(w.Re)*int64(b.Im) + int64(w.Im)*int64(b.Re)
+	are := int64(a.Re) << 15 // a at Q30
+	aim := int64(a.Im) << 15
+	lo = Complex{Re: roundQ30(are + pre), Im: roundQ30(aim + pim)}
+	hi = Complex{Re: roundQ30(are - pre), Im: roundQ30(aim - pim)}
+	return lo, hi
+}
+
+// RShiftRound returns q arithmetically shifted right by sh bits with
+// round-half-up (ties toward +infinity), the deterministic renormalisation
+// step of block-floating-point exponent alignment. sh = 0 returns q
+// unchanged; the result cannot overflow for sh >= 1.
+func RShiftRound(q Q15, sh uint) Q15 {
+	if sh == 0 {
+		return q
+	}
+	return saturate32((int32(q) + 1<<(sh-1)) >> sh)
+}
+
+// CRShiftRound applies RShiftRound to both components.
+func CRShiftRound(c Complex, sh uint) Complex {
+	return Complex{Re: RShiftRound(c.Re, sh), Im: RShiftRound(c.Im, sh)}
+}

@@ -1,0 +1,26 @@
+package montium
+
+import "testing"
+
+// TestKernelModelMatchesTable1 pins the closed-form kernel costs to the
+// paper's measured Table 1 rows for the K=256 configuration.
+func TestKernelModelMatchesTable1(t *testing.T) {
+	if got := FFTKernelCycles(256); got != 1040 {
+		t.Errorf("FFTKernelCycles(256) = %d, want 1040 (Table 1)", got)
+	}
+	if got := ReshuffleCycles(256); got != 256 {
+		t.Errorf("ReshuffleCycles(256) = %d, want 256 (Table 1)", got)
+	}
+	if got := ReadDataCycles(256); got != 384 {
+		t.Errorf("ReadDataCycles(256) = %d, want 384 (~ the measured 381)", got)
+	}
+	if got := MACKernelCycles(12192); got != 12192 {
+		t.Errorf("MACKernelCycles = %d, want identity", got)
+	}
+	if got := AlignCycles(100); got != 100 {
+		t.Errorf("AlignCycles = %d, want identity", got)
+	}
+	if got := FFTKernelCycles(2); got != 3 {
+		t.Errorf("FFTKernelCycles(2) = %d, want 1·(1+2) = 3", got)
+	}
+}

@@ -1,0 +1,22 @@
+// Package quant quantifies what the 16-bit fixed-point backends lose
+// against the float references — the numerical side of the paper's
+// section 4.1 dynamic-range argument, extended from the direct DSCF to
+// the FAM and SSCA estimators.
+//
+// Three figures of merit are reported per configuration:
+//
+//   - surface SQNR: 10·log10 of reference surface energy over
+//     quantisation-error energy, the word-level fidelity of the whole
+//     spectral-correlation surface;
+//   - feature-peak bias: the relative magnitude error at the float
+//     path's strongest cyclic feature, the cell a detector actually
+//     thresholds;
+//   - detection-probability delta: Pd of the fixed backend minus Pd of
+//     the float reference, both at thresholds calibrated to the same
+//     false-alarm rate — the end-to-end cost of the 16-bit datapath.
+//
+// Sweep (Run) crosses input backoff, FFT stage-scaling policy
+// (block-floating-point vs the Montium kernel's uniform 1/2 per stage)
+// and SNR, producing the table examples/quantization prints and the
+// fixed-point scenario cfdbench embeds in BENCH artifacts.
+package quant

@@ -1,0 +1,88 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"tiledcfd/internal/scf"
+)
+
+// FixedEstimator is the contract of a Q15 backend: a regular estimator
+// whose native output is an exponent-tracked Q15 surface. fam.FAMQ15 and
+// fam.SSCAQ15 implement it.
+type FixedEstimator interface {
+	scf.Estimator
+	EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error)
+}
+
+// SurfaceSQNR returns the signal-to-quantisation-noise ratio in dB
+// between a reference surface and an approximation of it:
+// 10·log10(Σ|ref|² / Σ|ref-got|²). +Inf for bit-identical surfaces; the
+// function panics on extent mismatch (programming error).
+func SurfaceSQNR(ref, got *scf.Surface) float64 {
+	if ref.M != got.M {
+		panic(fmt.Sprintf("quant: SurfaceSQNR extents %d vs %d", ref.M, got.M))
+	}
+	var sig, noise float64
+	for i := range ref.Data {
+		for j := range ref.Data[i] {
+			r := ref.Data[i][j]
+			d := r - got.Data[i][j]
+			sig += real(r)*real(r) + imag(r)*imag(r)
+			noise += real(d)*real(d) + imag(d)*imag(d)
+		}
+	}
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(sig/noise)
+}
+
+// PeakBias returns the relative magnitude error of got at the reference
+// surface's strongest cyclic feature (a != 0): (|got|-|ref|)/|ref|.
+// Negative means the fixed path under-reads the feature a detector
+// thresholds. Zero-reference surfaces return NaN.
+func PeakBias(ref, got *scf.Surface) float64 {
+	f, a, mag := ref.MaxFeature(true)
+	if mag == 0 {
+		return math.NaN()
+	}
+	return (cmplx.Abs(got.At(f, a)) - mag) / mag
+}
+
+// Comparison is one fixed-vs-float accuracy measurement on one band.
+type Comparison struct {
+	// SQNRdB is the whole-surface signal-to-quantisation-noise ratio.
+	SQNRdB float64
+	// PeakBias is the relative magnitude error at the float peak feature.
+	PeakBias float64
+	// SaturatedCells counts Q15 cells pinned at a rail after the
+	// surface-level renormalisation.
+	SaturatedCells int
+	// Exp is the Q15 surface's block exponent.
+	Exp int
+	// Cycles is the fixed backend's modeled Montium cycle cost.
+	Cycles int64
+}
+
+// Compare runs the float reference and the Q15 backend over the same
+// samples and reports the deviation figures.
+func Compare(x []complex128, fe FixedEstimator, ref scf.Estimator) (*Comparison, error) {
+	rs, _, err := ref.Estimate(x)
+	if err != nil {
+		return nil, fmt.Errorf("quant: %s reference: %w", ref.Name(), err)
+	}
+	q, stats, err := fe.EstimateQ15(x)
+	if err != nil {
+		return nil, fmt.Errorf("quant: %s: %w", fe.Name(), err)
+	}
+	gs := q.Float()
+	return &Comparison{
+		SQNRdB:         SurfaceSQNR(rs, gs),
+		PeakBias:       PeakBias(rs, gs),
+		SaturatedCells: q.Saturated(),
+		Exp:            q.Exp,
+		Cycles:         stats.Cycles,
+	}, nil
+}

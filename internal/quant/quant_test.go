@@ -1,0 +1,168 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"tiledcfd/internal/fam"
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/scf"
+	"tiledcfd/internal/sig"
+)
+
+func testBand(t testing.TB, n int, seed uint64) []complex128 {
+	t.Helper()
+	rng := sig.NewRand(seed)
+	b := &sig.BPSK{Amp: 1, Carrier: 0.125, SymbolLen: 8, Rng: rng}
+	x := sig.Samples(b, n)
+	noisy, _, err := sig.AddAWGN(x, 10, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return noisy
+}
+
+// TestSurfaceSQNRBasics: identical surfaces are +Inf; a known
+// perturbation produces the closed-form ratio.
+func TestSurfaceSQNRBasics(t *testing.T) {
+	a := scf.NewSurface(3)
+	for _, row := range a.Data {
+		for i := range row {
+			row[i] = 1
+		}
+	}
+	b := scf.NewSurface(3)
+	for _, row := range b.Data {
+		for i := range row {
+			row[i] = 1
+		}
+	}
+	if s := SurfaceSQNR(a, b); !math.IsInf(s, 1) {
+		t.Errorf("identical surfaces SQNR = %v, want +Inf", s)
+	}
+	// Perturb one of 25 unit cells by 0.5: SQNR = 10log10(25/0.25) = 20 dB.
+	b.Data[0][0] = 1.5
+	if s := SurfaceSQNR(a, b); math.Abs(s-20) > 1e-9 {
+		t.Errorf("SQNR = %v, want 20", s)
+	}
+}
+
+// TestPeakBiasReadsRefPeakCell: bias is measured at the reference peak,
+// not at got's own peak.
+func TestPeakBiasReadsRefPeakCell(t *testing.T) {
+	ref := scf.NewSurface(3)
+	ref.Add(1, 2, 4) // peak feature at (1,2), a != 0
+	got := scf.NewSurface(3)
+	got.Add(1, 2, 3)
+	got.Add(-1, -2, 10) // larger elsewhere; must not be read
+	if b := PeakBias(ref, got); math.Abs(b-(-0.25)) > 1e-12 {
+		t.Errorf("PeakBias = %v, want -0.25", b)
+	}
+	if b := PeakBias(scf.NewSurface(3), got); !math.IsNaN(b) {
+		t.Errorf("zero-reference PeakBias = %v, want NaN", b)
+	}
+}
+
+// TestCompareReportsQ15Figures runs a real pair on the small geometry.
+func TestCompareReportsQ15Figures(t *testing.T) {
+	band := testBand(t, 1024, 5)
+	p := scf.Params{K: 64, M: 16}
+	cmp, err := Compare(band, fam.FAMQ15{Params: p}, fam.FAM{Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SQNRdB < 35 {
+		t.Errorf("small-geometry FAM SQNR = %.1f dB, want >= 35", cmp.SQNRdB)
+	}
+	if math.Abs(cmp.PeakBias) > 0.05 {
+		t.Errorf("peak bias = %v, want |bias| <= 5%%", cmp.PeakBias)
+	}
+	if cmp.Cycles <= 0 {
+		t.Errorf("cycles = %d, want > 0", cmp.Cycles)
+	}
+}
+
+// TestSweepRuns exercises the full grid on a small geometry and checks
+// the structural invariants of the report.
+func TestSweepRuns(t *testing.T) {
+	rep, err := Run(Config{
+		K: 64, M: 16, Samples: 1024,
+		Backoffs: []float64{0.5, 0.125},
+		SNRsDB:   []float64{10},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 backends × 2 policies × 2 backoffs × 1 SNR.
+	if len(rep.Points) != 8 {
+		t.Fatalf("sweep produced %d points, want 8", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if math.IsNaN(pt.SQNRdB) || pt.SQNRdB < 0 {
+			t.Errorf("%s/%s backoff=%v: SQNR %v out of range", pt.Backend, pt.Policy, pt.Backoff, pt.SQNRdB)
+		}
+		if pt.Cycles <= 0 {
+			t.Errorf("%s/%s: no cycle cost charged", pt.Backend, pt.Policy)
+		}
+	}
+	// The BFP policy must not lose to uniform scaling anywhere on the
+	// sweep (that is its purpose); compare matched configurations.
+	sqnr := map[string]float64{}
+	for _, pt := range rep.Points {
+		sqnr[pt.Backend+pt.Policy+fmtF(pt.Backoff)] = pt.SQNRdB
+	}
+	for _, backend := range []string{"fam", "ssca"} {
+		for _, backoff := range []string{fmtF(0.5), fmtF(0.125)} {
+			b, u := sqnr[backend+"bfp"+backoff], sqnr[backend+"uniform"+backoff]
+			if b < u-1 { // 1 dB slack for measurement noise
+				t.Errorf("%s backoff=%s: BFP %.1f dB < uniform %.1f dB", backend, backoff, b, u)
+			}
+		}
+	}
+}
+
+// TestSweepDetectionDelta runs the detection-probability arm on a tiny
+// configuration and checks the probabilities are sane.
+func TestSweepDetectionDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo arm")
+	}
+	rep, err := Run(Config{
+		K: 64, M: 16, Samples: 512,
+		Backends:        []string{"fam"},
+		Backoffs:        []float64{0.5},
+		Policies:        []fft.ScalingPolicy{fft.ScaleBFP},
+		SNRsDB:          []float64{10},
+		DetectionTrials: 12,
+		Seed:            9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 1 {
+		t.Fatalf("got %d points, want 1", len(rep.Points))
+	}
+	pt := rep.Points[0]
+	for name, pd := range map[string]float64{"float": pt.PdFloat, "fixed": pt.PdFixed} {
+		if pd < 0 || pd > 1 {
+			t.Errorf("Pd %s = %v outside [0,1]", name, pd)
+		}
+	}
+	// At 10 dB in-band SNR both paths must detect essentially always.
+	if pt.PdFloat < 0.9 || pt.PdFixed < 0.9 {
+		t.Errorf("10 dB Pd float=%v fixed=%v, want both >= 0.9", pt.PdFloat, pt.PdFixed)
+	}
+	if math.Abs(pt.PdDelta-(pt.PdFixed-pt.PdFloat)) > 1e-12 {
+		t.Errorf("PdDelta inconsistent: %v", pt)
+	}
+}
+
+// TestSweepUnknownBackend rejects misspelled backends.
+func TestSweepUnknownBackend(t *testing.T) {
+	if _, err := Run(Config{K: 64, M: 16, Backends: []string{"dscf"}}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func fmtF(v float64) string { return string(rune('0' + int(v*8))) }

@@ -1,0 +1,202 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"tiledcfd/internal/detect"
+	"tiledcfd/internal/fam"
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/scf"
+	"tiledcfd/internal/sig"
+)
+
+// Config parameterises a word-level accuracy sweep.
+type Config struct {
+	// K and M set the estimator geometry (defaults 256 and K/4). Samples
+	// is the band length per trial (default 8·K).
+	K, M, Samples int
+	// Backends names the estimator pairs to sweep: "fam", "ssca"
+	// (default both).
+	Backends []string
+	// Backoffs are the input conditioning gains swept (default
+	// 1, 0.5, 0.25, 0.125 — 0 to 18 dB of headroom).
+	Backoffs []float64
+	// Policies are the FFT stage-scaling policies swept (default
+	// block-floating-point and uniform).
+	Policies []fft.ScalingPolicy
+	// SNRsDB are the licensed-user SNRs swept (default 10, 0 dB).
+	SNRsDB []float64
+	// DetectionTrials > 0 additionally estimates the detection
+	// probability of both paths at thresholds calibrated to TargetPfa
+	// (this multiplies the sweep cost by ~3·trials; default 0 = skip).
+	DetectionTrials int
+	// TargetPfa is the calibrated false-alarm rate (default 0.1).
+	TargetPfa float64
+	// Carrier and SymbolLen shape the BPSK licensed user (defaults
+	// 0.125 and 8, the repo-wide scenario).
+	Carrier   float64
+	SymbolLen int
+	// Seed makes the sweep deterministic (default 1).
+	Seed uint64
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 256
+	}
+	if c.M == 0 {
+		c.M = c.K / 4
+	}
+	if c.Samples == 0 {
+		c.Samples = 8 * c.K
+	}
+	if len(c.Backends) == 0 {
+		c.Backends = []string{"fam", "ssca"}
+	}
+	if len(c.Backoffs) == 0 {
+		c.Backoffs = []float64{1, 0.5, 0.25, 0.125}
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = []fft.ScalingPolicy{fft.ScaleBFP, fft.ScaleUniform}
+	}
+	if len(c.SNRsDB) == 0 {
+		c.SNRsDB = []float64{10, 0}
+	}
+	if c.TargetPfa == 0 {
+		c.TargetPfa = 0.1
+	}
+	if c.Carrier == 0 {
+		c.Carrier = 0.125
+	}
+	if c.SymbolLen == 0 {
+		c.SymbolLen = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Point is one sweep measurement: a backend under one word-level
+// configuration against its float reference.
+type Point struct {
+	Backend string  `json:"backend"`
+	Policy  string  `json:"policy"`
+	Backoff float64 `json:"backoff"`
+	SNRdB   float64 `json:"snr_db"`
+
+	SQNRdB         float64 `json:"sqnr_db"`
+	PeakBias       float64 `json:"peak_bias"`
+	SaturatedCells int     `json:"saturated_cells"`
+	Exp            int     `json:"exp"`
+	Cycles         int64   `json:"cycles"`
+
+	// PdFloat/PdFixed are filled only when Config.DetectionTrials > 0.
+	PdFloat float64 `json:"pd_float,omitempty"`
+	PdFixed float64 `json:"pd_fixed,omitempty"`
+	PdDelta float64 `json:"pd_delta,omitempty"`
+}
+
+// Report is a completed sweep.
+type Report struct {
+	K, M, Samples int
+	Points        []Point
+}
+
+// pair builds the (fixed, float) estimator pair of one backend under one
+// word-level configuration.
+func pair(backend string, p scf.Params, backoff float64, policy fft.ScalingPolicy) (FixedEstimator, scf.Estimator, error) {
+	switch backend {
+	case "fam":
+		return fam.FAMQ15{Params: p, InputScale: backoff, Policy: policy},
+			fam.FAM{Params: p}, nil
+	case "ssca":
+		return fam.SSCAQ15{Params: p, InputScale: backoff, Policy: policy},
+			fam.SSCA{Params: p}, nil
+	}
+	return nil, nil, fmt.Errorf("quant: unknown backend %q (want fam or ssca)", backend)
+}
+
+// Run executes the sweep: for every backend × policy × backoff × SNR it
+// synthesises the deterministic BPSK band, compares the Q15 surface
+// against the float reference, and (with DetectionTrials set) estimates
+// the detection-probability delta at calibrated thresholds.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{K: cfg.K, M: cfg.M, Samples: cfg.Samples}
+	params := scf.Params{K: cfg.K, M: cfg.M}
+	const bpskPower = 0.5 // Amp=1 real BPSK carrier
+	seed := cfg.Seed
+	for _, backend := range cfg.Backends {
+		for _, policy := range cfg.Policies {
+			for _, backoff := range cfg.Backoffs {
+				for _, snr := range cfg.SNRsDB {
+					fe, ref, err := pair(backend, params, backoff, policy)
+					if err != nil {
+						return nil, err
+					}
+					noisePower := bpskPower / math.Pow(10, snr/10)
+					scenario := func(rng *sig.Rand, present bool) []complex128 {
+						noise := sig.Samples(&sig.WGN{Sigma: math.Sqrt(noisePower), Real: true, Rng: rng}, cfg.Samples)
+						if !present {
+							return noise
+						}
+						s := sig.Samples(&sig.BPSK{Amp: 1, Carrier: cfg.Carrier, SymbolLen: cfg.SymbolLen, Rng: rng}, cfg.Samples)
+						for i := range s {
+							s[i] += noise[i]
+						}
+						return s
+					}
+					seed++
+					band := scenario(sig.NewRand(seed), true)
+					cmp, err := Compare(band, fe, ref)
+					if err != nil {
+						return nil, err
+					}
+					pt := Point{
+						Backend: backend, Policy: policy.String(),
+						Backoff: backoff, SNRdB: snr,
+						SQNRdB: cmp.SQNRdB, PeakBias: cmp.PeakBias,
+						SaturatedCells: cmp.SaturatedCells,
+						Exp:            cmp.Exp, Cycles: cmp.Cycles,
+					}
+					if cfg.DetectionTrials > 0 {
+						pdFloat, pdFixed, err := pdPair(fe, ref, scenario, cfg.DetectionTrials, cfg.TargetPfa, seed)
+						if err != nil {
+							return nil, err
+						}
+						pt.PdFloat, pt.PdFixed = pdFloat, pdFixed
+						pt.PdDelta = pdFixed - pdFloat
+					}
+					rep.Points = append(rep.Points, pt)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// pdPair calibrates both paths to the same false-alarm rate on the same
+// scenario and estimates each one's detection probability — the
+// detection-layer view of the quantisation loss.
+func pdPair(fe FixedEstimator, ref scf.Estimator, sc detect.Scenario, trials int, pfa float64, seed uint64) (pdFloat, pdFixed float64, err error) {
+	for i, est := range []scf.Estimator{ref, fe} {
+		d := detect.CFDDetector{MinAbsA: 2, Estimator: est}
+		th, err := detect.CalibrateThreshold(d, sc, trials, pfa, seed+uint64(i)*17)
+		if err != nil {
+			return 0, 0, err
+		}
+		pd, _, err := detect.PdAtThreshold(d, sc, trials, th, seed+uint64(i)*17+1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if i == 0 {
+			pdFloat = pd
+		} else {
+			pdFixed = pd
+		}
+	}
+	return pdFloat, pdFixed, nil
+}

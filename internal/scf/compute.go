@@ -18,6 +18,13 @@ type Stats struct {
 	// DSCFMults is the number of complex multiplications spent in the
 	// spectral-correlation products.
 	DSCFMults int
+	// Cycles is the modeled Montium datapath cycle cost of the surface,
+	// charged via the paper's Table-1-style accounting (montium package
+	// kernel models). Only the fixed-point backends fill it — float
+	// estimators have no hardware cost model and report zero — so
+	// cfdbench can put float mult counts and Q15 cycle counts side by
+	// side per surface.
+	Cycles int64
 }
 
 // Ratio returns DSCFMults/FFTMults, the paper's "16 times as many complex

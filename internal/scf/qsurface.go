@@ -1,0 +1,132 @@
+package scf
+
+import (
+	"fmt"
+	"math"
+
+	"tiledcfd/internal/fixed"
+)
+
+// QSurface is a spectral-correlation surface held in Q15 words with one
+// block-floating-point exponent and an exact residual gain — the output
+// format of the fam-q15/ssca-q15 backends. The float-path value of a cell
+// is
+//
+//	Data[...].Complex128() · 2^Exp · Gain
+//
+// so Float() converts exactly into the units of the corresponding float
+// estimator. Data and Exp are the bit-exact part (identical across runs
+// and Workers settings); Gain is a deterministic power-of-two-and-integer
+// factor (1/smoothing-length, 1/backoff²).
+type QSurface struct {
+	M    int
+	Exp  int
+	Gain float64
+	Data [][]fixed.Complex // Data[a+M-1][f+M-1]
+}
+
+// NewQSurface allocates a zeroed Q15 surface for half-extent M with unit
+// gain.
+func NewQSurface(m int) *QSurface {
+	n := 2*m - 1
+	data := make([][]fixed.Complex, n)
+	cells := make([]fixed.Complex, n*n)
+	for i := range data {
+		data[i], cells = cells[:n], cells[n:]
+	}
+	return &QSurface{M: m, Gain: 1, Data: data}
+}
+
+// At returns the raw Q15 cell S_f^a.
+func (s *QSurface) At(f, a int) fixed.Complex {
+	return s.Data[a+s.M-1][f+s.M-1]
+}
+
+// Float converts the surface into float-path units: every cell becomes
+// Complex128()·2^Exp·Gain. The conversion is exact (powers of two and the
+// Gain factor carry no rounding of their own).
+func (s *QSurface) Float() *Surface {
+	out := NewSurface(s.M)
+	g := complex(math.Ldexp(s.Gain, s.Exp), 0)
+	for ai, row := range s.Data {
+		for fi, c := range row {
+			out.Data[ai][fi] = c.Complex128() * g
+		}
+	}
+	return out
+}
+
+// Equal reports whether two Q15 surfaces are bit-identical (cells and
+// exponent; Gain compared exactly), returning the first difference for
+// diagnostics. It is the check the determinism tests apply across runs
+// and Workers settings.
+func (s *QSurface) Equal(o *QSurface) (bool, string) {
+	if s.M != o.M {
+		return false, fmt.Sprintf("extent %d vs %d", s.M, o.M)
+	}
+	if s.Exp != o.Exp {
+		return false, fmt.Sprintf("exponent %d vs %d", s.Exp, o.Exp)
+	}
+	if s.Gain != o.Gain {
+		return false, fmt.Sprintf("gain %v vs %v", s.Gain, o.Gain)
+	}
+	for ai := range s.Data {
+		for fi := range s.Data[ai] {
+			if s.Data[ai][fi] != o.Data[ai][fi] {
+				return false, fmt.Sprintf("cell a=%d f=%d: %+v vs %+v",
+					ai-(s.M-1), fi-(s.M-1), s.Data[ai][fi], o.Data[ai][fi])
+			}
+		}
+	}
+	return true, ""
+}
+
+// Saturated counts cells pinned at the positive or negative rail in
+// either component — after the surface-level renormalisation at most the
+// peak cell should ever sit there.
+func (s *QSurface) Saturated() int {
+	n := 0
+	for _, row := range s.Data {
+		for _, c := range row {
+			if c.Re == fixed.MaxQ15 || c.Re == fixed.MinQ15 ||
+				c.Im == fixed.MaxQ15 || c.Im == fixed.MinQ15 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// QuantiseSurface converts a float surface into the Q15+exponent form:
+// the peak component picks a power-of-two exponent that lands it in the
+// top half of the Q15 range, and every cell is rounded at that scale.
+// It is the float→fixed direction of the conversion pair (Float is the
+// other), used to push float reference surfaces through fixed-point
+// post-processing paths.
+func QuantiseSurface(s *Surface) *QSurface {
+	out := NewQSurface(s.M)
+	peak := 0.0
+	for _, row := range s.Data {
+		for _, v := range row {
+			if r := math.Abs(real(v)); r > peak {
+				peak = r
+			}
+			if im := math.Abs(imag(v)); im > peak {
+				peak = im
+			}
+		}
+	}
+	if peak == 0 {
+		return out
+	}
+	// Choose exp so peak/2^exp lies in [0.5, 1): full use of the Q15 word.
+	_, e := math.Frexp(peak)
+	out.Exp = e
+	inv := math.Ldexp(1, -e)
+	for ai, row := range s.Data {
+		for fi, v := range row {
+			out.Data[ai][fi] = fixed.CFromFloat(complex(real(v)*inv, imag(v)*inv))
+		}
+	}
+	return out
+}

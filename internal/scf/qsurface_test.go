@@ -1,0 +1,94 @@
+package scf
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"tiledcfd/internal/fixed"
+)
+
+// TestQSurfaceRoundTrip: float → Q15 → float must preserve every cell to
+// within one LSB at the surface's block scale.
+func TestQSurfaceRoundTrip(t *testing.T) {
+	s := NewSurface(5)
+	for ai, row := range s.Data {
+		for fi := range row {
+			row[fi] = complex(float64(ai-4)*0.37e-3, float64(fi-4)*-0.11e-3)
+		}
+	}
+	q := QuantiseSurface(s)
+	back := q.Float()
+	// One Q15 LSB at the chosen exponent.
+	lsb := math.Ldexp(1.0/32768, q.Exp) * q.Gain
+	worst := MaxAbsDiff(s, back)
+	if worst > 1.5*lsb {
+		t.Errorf("round-trip error %g exceeds 1.5 LSB (%g)", worst, lsb)
+	}
+	// The peak must use the top half of the Q15 range.
+	peak := fixed.Q15(0)
+	for _, row := range q.Data {
+		for _, c := range row {
+			if a := fixed.Abs(c.Re); a > peak {
+				peak = a
+			}
+			if a := fixed.Abs(c.Im); a > peak {
+				peak = a
+			}
+		}
+	}
+	if peak < 16384 {
+		t.Errorf("quantised peak %d below half scale — exponent wastes headroom", peak)
+	}
+}
+
+// TestQSurfaceZero: an all-zero surface round-trips to all-zero without a
+// degenerate exponent.
+func TestQSurfaceZero(t *testing.T) {
+	q := QuantiseSurface(NewSurface(3))
+	for _, row := range q.Float().Data {
+		for _, v := range row {
+			if v != 0 {
+				t.Fatalf("zero surface produced %v", v)
+			}
+		}
+	}
+	if q.Saturated() != 0 {
+		t.Errorf("zero surface reports %d saturated cells", q.Saturated())
+	}
+}
+
+// TestQSurfaceEqual covers the bit-compare diagnostics.
+func TestQSurfaceEqual(t *testing.T) {
+	a := NewQSurface(3)
+	b := NewQSurface(3)
+	if ok, _ := a.Equal(b); !ok {
+		t.Fatal("identical surfaces unequal")
+	}
+	b.Exp = 2
+	if ok, diff := a.Equal(b); ok || diff == "" {
+		t.Error("exponent difference not reported")
+	}
+	b.Exp = 0
+	b.Data[1][1] = fixed.Complex{Re: 1}
+	if ok, diff := a.Equal(b); ok || diff == "" {
+		t.Error("cell difference not reported")
+	}
+	c := NewQSurface(2)
+	if ok, _ := a.Equal(c); ok {
+		t.Error("extent mismatch not reported")
+	}
+}
+
+// TestQSurfaceFloatScale: Float must apply 2^Exp·Gain exactly.
+func TestQSurfaceFloatScale(t *testing.T) {
+	q := NewQSurface(2)
+	q.Exp = 3
+	q.Gain = 0.25
+	q.Data[1][1] = fixed.Complex{Re: fixed.HalfQ15, Im: -fixed.HalfQ15}
+	got := q.Float().At(0, 0)
+	want := complex(0.5*8*0.25, -0.5*8*0.25)
+	if cmplx.Abs(got-want) > 1e-15 {
+		t.Errorf("Float cell = %v, want %v", got, want)
+	}
+}
