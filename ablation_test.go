@@ -1,6 +1,7 @@
 package tiledcfd
 
-// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// Ablation benchmarks for the design choices docs/PAPER_MAPPING.md
+// calls out: the
 // 3-cycle MAC assumption behind Table 1, folding vs the unfolded array,
 // the Q15 fixed-point path vs the float reference, block-parallel
 // software computation, and the analysis window. These quantify how the

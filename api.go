@@ -194,11 +194,16 @@ type Sensing struct {
 	// NoCValues counts chain boundary values that crossed the inter-tile
 	// network (the paper's factor-T-slower data exchange).
 	NoCValues int64
-	// Evaluation figures (paper section 5).
-	BlockTimeMicros      float64
+	// BlockTimeMicros is one integration step's duration at the platform
+	// clock (paper section 5).
+	BlockTimeMicros float64
+	// AnalysedBandwidthkHz is the band the platform keeps up with in
+	// real time (paper section 5).
 	AnalysedBandwidthkHz float64
-	AreaMM2              float64
-	PowerMW              float64
+	// AreaMM2 is the platform's silicon area estimate (paper section 5).
+	AreaMM2 float64
+	// PowerMW is the platform's power estimate (paper section 5).
+	PowerMW float64
 	// FFTMults and EstimatorMults count the complex multiplications a
 	// software estimator spent in FFTs and in pointwise products
 	// (downconversion plus cell products). Zero on the platform path,
@@ -213,12 +218,18 @@ type Sensing struct {
 
 // CycleBreakdown mirrors the rows of the paper's Table 1.
 type CycleBreakdown struct {
+	// MultiplyAccumulate counts the folded DSCF loop's cycles.
 	MultiplyAccumulate int64
-	ReadData           int64
-	FFT                int64
-	Reshuffle          int64
-	Initialisation     int64
-	Total              int64
+	// ReadData counts the sample-streaming cycles.
+	ReadData int64
+	// FFT counts the FFT kernel cycles.
+	FFT int64
+	// Reshuffle counts the memory reshuffling cycles.
+	Reshuffle int64
+	// Initialisation counts the per-step setup cycles.
+	Initialisation int64
+	// Total sums the rows (the paper: 13996).
+	Total int64
 }
 
 // Sense runs the full spectrum-sensing pipeline on the sampled band x
@@ -295,8 +306,9 @@ type WindowVerdict struct {
 	// Window is the 0-based window index.
 	Window int
 	// Detected reports whether the window's statistic exceeded the
-	// threshold; Statistic carries the value.
-	Detected  bool
+	// threshold.
+	Detected bool
+	// Statistic carries the window's CFD statistic value.
 	Statistic float64
 	// FeatureA is the strongest cyclic feature's offset in the window.
 	FeatureA int
@@ -376,12 +388,13 @@ type MonitorOptions struct {
 type MonitorDecision struct {
 	// Channel names the monitored channel.
 	Channel string
-	// Seq is the 0-based decision index within the channel; Window is
-	// the number of samples the decision's surface integrates.
-	Seq    int64
+	// Seq is the 0-based decision index within the channel.
+	Seq int64
+	// Window is the number of samples the decision's surface integrates.
 	Window int
-	// Detected, Statistic and Threshold carry the verdict.
-	Detected             bool
+	// Detected reports whether the statistic exceeded the threshold.
+	Detected bool
+	// Statistic and Threshold carry the decision inputs.
 	Statistic, Threshold float64
 	// FeatureF/FeatureA locate the strongest cyclic feature (a != 0).
 	FeatureF, FeatureA int
@@ -406,9 +419,14 @@ type MonitorStats struct {
 
 // MonitorChannelStats is per-channel Monitor accounting.
 type MonitorChannelStats struct {
-	ID                        string
+	// ID names the channel.
+	ID string
+	// SamplesIn counts samples accepted; SamplesDropped those discarded
+	// because the channel's ingestion ring was full.
 	SamplesIn, SamplesDropped int64
-	Snapshots, Detections     int64
+	// Snapshots counts the channel's decisions; Detections the subset
+	// declaring the band occupied.
+	Snapshots, Detections int64
 	// Last is the most recent decision, nil before the first.
 	Last *MonitorDecision
 }
@@ -609,10 +627,10 @@ type SCResult struct {
 	Surface [][]complex128
 	// AlphaProfile is the cycle-frequency profile Σ_f |S_f^a| per offset.
 	AlphaProfile []float64
-	// FeatureF/FeatureA locate the strongest cyclic feature (a != 0) and
-	// FeatureMagnitude its magnitude.
+	// FeatureF/FeatureA locate the strongest cyclic feature (a != 0).
 	FeatureF, FeatureA int
-	FeatureMagnitude   float64
+	// FeatureMagnitude is that feature's magnitude.
+	FeatureMagnitude float64
 	// Blocks is the number of smoothing steps the estimator averaged
 	// (integration blocks, channelizer hops, or strip samples).
 	Blocks int
@@ -722,10 +740,14 @@ func DeriveMapping(m, q int) (*Mapping, error) {
 // Evaluation bundles the section 5 figures for a platform of q cores
 // whose integration step takes the given cycle count.
 type Evaluation struct {
-	BlockTimeMicros      float64
+	// BlockTimeMicros is one integration step's duration.
+	BlockTimeMicros float64
+	// AnalysedBandwidthkHz is the real-time analysable band.
 	AnalysedBandwidthkHz float64
-	AreaMM2              float64
-	PowerMW              float64
+	// AreaMM2 is the silicon area estimate.
+	AreaMM2 float64
+	// PowerMW is the power estimate.
+	PowerMW float64
 }
 
 // Evaluate applies the paper's technology constants (100 MHz, 2 mm²/core,

@@ -1,7 +1,7 @@
 package tiledcfd
 
 // This file is the benchmark harness of the reproduction: one benchmark
-// per experiment of the DESIGN.md index (E1–E13), each regenerating the
+// per experiment of the docs/PAPER_MAPPING.md index (E1–E13), each regenerating the
 // corresponding table, figure or claim of the paper and reporting the
 // measured values as benchmark metrics. Paper targets appear as
 // "paper_*" metrics next to the measured ones so bench output reads as a

@@ -24,6 +24,16 @@
 // against its float reference on the same band: surface SQNR, feature-
 // peak bias, saturation and block exponent (internal/quant).
 //
+// Since PR 5 (schema 4) the artifact carries a multi-tile mapping
+// scenario: the -map-estimator pipeline is scheduled onto modeled tile
+// fabrics (tiledcfd.MapEstimate) for every -map-strategies ×
+// -map-tiles combination, recording predicted latency, sustained
+// throughput, speedup vs the single-tile baseline, NoC traffic and
+// memory feasibility — and, per tile count, the streaming engine is fed
+// that many concurrent channels in backpressure mode so the modeled
+// fabric figures sit next to a measured host sustained rate.
+// -map-tiles "" skips the scenario.
+//
 // With -baseline, a previously written report is embedded and per-
 // estimator speedups (baseline ns / current ns) are computed, turning one
 // file into a before/after comparison:
@@ -43,6 +53,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -99,6 +110,29 @@ type StreamingMeasurement struct {
 	Surfaces          int64   `json:"surfaces"`
 }
 
+// MappingMeasurement is one (strategy, tiles) row of the schema-4
+// multi-tile mapping scenario: the modeled fabric schedule's predicted
+// figures for one estimator window.
+type MappingMeasurement struct {
+	Strategy           string  `json:"strategy"`
+	Tiles              int     `json:"tiles"`
+	WindowSamples      int     `json:"window_samples"`
+	LatencyMicros      float64 `json:"latency_us"`
+	ModelSamplesPerSec float64 `json:"model_samples_per_sec"`
+	SpeedupVsSingle    float64 `json:"speedup_vs_single"`
+	NoCWords           int64   `json:"noc_words"`
+	MemFeasible        bool    `json:"mem_feasible"`
+}
+
+// MappingScenario bundles the schema-4 mapping rows with the measured
+// host streaming runs that accompany them (channels = tiles through the
+// backpressured engine).
+type MappingScenario struct {
+	Estimator string                 `json:"estimator"`
+	Rows      []MappingMeasurement   `json:"rows"`
+	Host      []StreamingMeasurement `json:"host,omitempty"`
+}
+
 // Report is the BENCH_<n>.json schema.
 type Report struct {
 	Schema     int                     `json:"schema"`
@@ -112,6 +146,7 @@ type Report struct {
 	Results    []Measurement           `json:"results"`
 	FixedPoint []FixedPointMeasurement `json:"fixed_point,omitempty"`
 	Streaming  []StreamingMeasurement  `json:"streaming,omitempty"`
+	Mapping    *MappingScenario        `json:"mapping,omitempty"`
 	Baseline   *Report                 `json:"baseline,omitempty"`
 	Speedup    map[string]float64      `json:"speedup_vs_baseline,omitempty"`
 }
@@ -138,9 +173,13 @@ func main() {
 		failBelow = flag.Float64("fail-below", 0, "with -baseline: exit non-zero if any batch speedup falls below this ratio (0 = never fail)")
 		streamCh  = flag.Int("stream-channels", 4, "streaming scenario: concurrent channels (0 = skip)")
 		streamN   = flag.Int("stream-samples", 1<<17, "streaming scenario: samples per channel")
+		mapEst    = flag.String("map-estimator", "fam", "mapping scenario: pipeline to schedule")
+		mapTiles  = flag.String("map-tiles", "1,2,4,8", "mapping scenario: comma-separated tile counts (empty = skip)")
+		mapStrats = flag.String("map-strategies", strings.Join(tiledcfd.MappingNames(), ","), "mapping scenario: comma-separated strategies")
 	)
 	flag.Parse()
-	if err := run(*out, *k, *m, *blocks, *seed, *names, *baseline, *failBelow, *streamCh, *streamN); err != nil {
+	if err := run(*out, *k, *m, *blocks, *seed, *names, *baseline, *failBelow,
+		*streamCh, *streamN, *mapEst, *mapTiles, *mapStrats); err != nil {
 		fmt.Fprintln(os.Stderr, "cfdbench:", err)
 		os.Exit(1)
 	}
@@ -150,7 +189,8 @@ func main() {
 // fixed-point scenario compares it against.
 var fixedRefs = map[string]string{"fam-q15": "fam", "ssca-q15": "ssca"}
 
-func run(out string, k, m, blocks int, seed uint64, names, baseline string, failBelow float64, streamCh, streamN int) error {
+func run(out string, k, m, blocks int, seed uint64, names, baseline string, failBelow float64,
+	streamCh, streamN int, mapEst, mapTiles, mapStrats string) error {
 	band, err := tiledcfd.NewBPSKBand(k*blocks, 0.125, 8, 10, seed)
 	if err != nil {
 		return err
@@ -166,7 +206,7 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 		"ssca-q15": fam.SSCAQ15{Params: p},
 	}
 	rep := Report{
-		Schema:     3, // 2: streaming throughput; 3: fixed-point scenario + model cycles
+		Schema:     4, // 2: streaming throughput; 3: fixed-point + model cycles; 4: multi-tile mapping
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -270,6 +310,13 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 				name, sm.Channels, sm.SamplesPerSec/1e6, sm.SurfacesPerSec)
 		}
 	}
+	if mapTiles != "" {
+		sc, err := benchMapping(mapEst, k, m, blocks, mapTiles, mapStrats, all, band)
+		if err != nil {
+			return fmt.Errorf("mapping scenario: %w", err)
+		}
+		rep.Mapping = sc
+	}
 	var gateErr error
 	if baseline != "" {
 		raw, err := os.ReadFile(baseline)
@@ -322,6 +369,82 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 	}
 	fmt.Println("wrote", out)
 	return gateErr
+}
+
+// benchMapping runs the schema-4 multi-tile mapping scenario: the
+// estimator's pipeline scheduled onto the paper-default fabric at every
+// requested strategy × tile count, each schedule validated by
+// construction, with the single-tile schedule as the speedup baseline —
+// and, per tile count, a measured host streaming run with that many
+// concurrent channels (the engine in backpressure mode), so the modeled
+// fabric prediction and the host's sustained rate sit side by side.
+func benchMapping(estimator string, k, m, blocks int, tilesCSV, strategiesCSV string,
+	all map[string]scf.Estimator, band []complex128) (*MappingScenario, error) {
+	cfg := tiledcfd.Config{K: k, M: m, Blocks: blocks, Estimator: estimator}
+	var tileCounts []int
+	for _, s := range strings.Split(tilesCSV, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("-map-tiles entry %q is not a positive integer", s)
+		}
+		tileCounts = append(tileCounts, v)
+	}
+	if len(tileCounts) == 0 {
+		return nil, fmt.Errorf("-map-tiles %q names no tile counts", tilesCSV)
+	}
+	base, err := tiledcfd.MapEstimate(cfg, tiledcfd.FabricConfig{Tiles: 1}, "single")
+	if err != nil {
+		return nil, err
+	}
+	sc := &MappingScenario{Estimator: base.Estimator}
+	for _, strategy := range strings.Split(strategiesCSV, ",") {
+		if strategy = strings.TrimSpace(strategy); strategy == "" {
+			continue
+		}
+		for i, tc := range tileCounts {
+			if strategy == "single" && i > 0 {
+				// The single-tile mapping is tile-count-invariant; one
+				// row says everything.
+				continue
+			}
+			e, err := tiledcfd.MapEstimate(cfg, tiledcfd.FabricConfig{Tiles: tc}, strategy)
+			if err != nil {
+				return nil, err
+			}
+			sc.Rows = append(sc.Rows, MappingMeasurement{
+				Strategy:           strategy,
+				Tiles:              tc,
+				WindowSamples:      e.WindowSamples,
+				LatencyMicros:      e.LatencyMicros,
+				ModelSamplesPerSec: e.SustainedSamplesPerSec,
+				SpeedupVsSingle:    e.SustainedSamplesPerSec / base.SustainedSamplesPerSec,
+				NoCWords:           e.NoCWords,
+				MemFeasible:        e.MemFeasible,
+			})
+			fmt.Printf("%-8s mapping %-9s %d tiles: %8.3fM model samples/s %6.2fx vs single %8d NoC words\n",
+				sc.Estimator, strategy, tc, e.SustainedSamplesPerSec/1e6,
+				e.SustainedSamplesPerSec/base.SustainedSamplesPerSec, e.NoCWords)
+		}
+	}
+	// Host counterpart: the streaming engine fed tiles concurrent
+	// channels, reusing the PR 3 scenario at the mapping's channel
+	// counts (estimators without an incremental form skip this half).
+	if sest, ok := all[sc.Estimator].(scf.StreamingEstimator); ok {
+		const perChannel = 1 << 16
+		for _, tc := range tileCounts {
+			sm, err := benchStreaming(sc.Estimator, sest, tc, perChannel, band)
+			if err != nil {
+				return nil, err
+			}
+			sc.Host = append(sc.Host, *sm)
+			fmt.Printf("%-8s mapping host      %d ch:    %8.2fM samples/s measured\n",
+				sc.Estimator, tc, sm.SamplesPerSec/1e6)
+		}
+	}
+	return sc, nil
 }
 
 // benchStreaming measures the sustained multi-channel streaming

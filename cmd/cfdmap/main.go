@@ -1,14 +1,25 @@
-// Command cfdmap runs the paper's step-1 mapping derivation for arbitrary
-// grid sizes and core counts and prints the resulting artefacts: the
-// verified line array, the space/time-delay diagrams (for small grids),
-// the register chains, and the folding table with its memory budget.
+// Command cfdmap explores the multi-tile mapping design space: it
+// partitions an estimator pipeline into a task DAG, schedules it onto a
+// modeled tile fabric under every requested mapping strategy and tile
+// count, and prints the paper-style tiles-vs-throughput table —
+// predicted end-to-end latency, sustained pipelined throughput, busiest-
+// tile utilization, NoC traffic and local-memory feasibility per row.
 //
 // Usage:
 //
-//	cfdmap [-m 64] [-q 4] [-diagrams]
+//	cfdmap [-estimator fam] [-k 256] [-m 0] [-blocks 8] [-hop 0]
+//	       [-tiles 1,2,4,8] [-strategies single,pipelined,sharded]
+//	       [-clock 100] [-link-latency 4] [-link-bw 1] [-mem 10240]
+//	       [-pertile]
 //
-// -m sets the grid half-extent (f, a span ±(m-1)); -q the core count;
-// -diagrams renders the Figure 5 diagrams (only sensible for m <= 8).
+// Every schedule is validated before it is reported (no tile runs two
+// tasks at once, every cross-tile edge is charged a NoC transfer).
+// -pertile appends the per-tile cycle/transfer breakdown of each row.
+//
+// The legacy step-1 derivation mode (the paper's verified line array,
+// register chains and folding table) remains available:
+//
+//	cfdmap -derive [-m 64] [-q 4] [-diagrams]
 package main
 
 import (
@@ -16,7 +27,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
+	"tiledcfd"
 	"tiledcfd/internal/mapping"
 	"tiledcfd/internal/montium"
 )
@@ -24,17 +38,149 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cfdmap: ")
-	m := flag.Int("m", 64, "grid half-extent M (f, a span ±(M-1))")
-	q := flag.Int("q", 4, "number of cores Q")
-	diagrams := flag.Bool("diagrams", false, "render space/time-delay diagrams (m <= 8)")
+	var (
+		estimator  = flag.String("estimator", "fam", "pipeline to map: "+strings.Join(tiledcfd.EstimatorNames(), ", "))
+		k          = flag.Int("k", 256, "FFT / channelizer size K")
+		m          = flag.Int("m", 0, "grid half-extent M (0 = K/4; -derive default 64)")
+		blocks     = flag.Int("blocks", 8, "integration blocks of K samples per window")
+		hop        = flag.Int("hop", 0, "channelizer hop in samples (0 = estimator default)")
+		tiles      = flag.String("tiles", "1,2,4,8", "comma-separated tile counts to sweep")
+		strategies = flag.String("strategies", strings.Join(tiledcfd.MappingNames(), ","), "comma-separated mapping strategies")
+		clock      = flag.Float64("clock", 100, "tile clock in MHz")
+		linkLat    = flag.Int("link-latency", 4, "NoC link latency in cycles (negative = zero-latency links)")
+		linkBW     = flag.Float64("link-bw", 1, "NoC link bandwidth in 16-bit words per cycle")
+		mem        = flag.Int("mem", 10*montium.MemWords, "per-tile local memory in 16-bit words")
+		perTile    = flag.Bool("pertile", false, "print the per-tile breakdown of every mapping")
+		derive     = flag.Bool("derive", false, "run the paper's step-1 mapping derivation instead of the sweep")
+		q          = flag.Int("q", 4, "with -derive: number of cores Q")
+		diagrams   = flag.Bool("diagrams", false, "with -derive: render space/time-delay diagrams (m <= 8)")
+	)
 	flag.Parse()
 
-	if err := run(*m, *q, *diagrams); err != nil {
+	if *linkLat == 0 {
+		// The flag's default is 4, so an explicit 0 really means free
+		// links — FabricConfig spells that with a negative value (its
+		// zero value keeps meaning "the paper's platform").
+		*linkLat = -1
+	}
+	if *derive {
+		dm := *m
+		if dm == 0 {
+			dm = 64
+		}
+		if err := deriveRun(dm, *q, *diagrams); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := sweep(*estimator, *k, *m, *blocks, *hop, *tiles, *strategies,
+		*clock, *linkLat, *linkBW, *mem, *perTile); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(m, q int, diagrams bool) error {
+// sweep prints the tiles-vs-throughput table over the requested
+// strategies and tile counts, with the single-tile schedule as the
+// speedup baseline.
+func sweep(estimator string, k, m, blocks, hop int, tilesCSV, strategiesCSV string,
+	clock float64, linkLat int, linkBW float64, mem int, perTile bool) error {
+	tileCounts, err := parseInts(tilesCSV)
+	if err != nil {
+		return fmt.Errorf("-tiles: %w", err)
+	}
+	cfg := tiledcfd.Config{K: k, M: m, Blocks: blocks, Hop: hop, Estimator: estimator}
+	fabFor := func(tiles int) tiledcfd.FabricConfig {
+		return tiledcfd.FabricConfig{
+			Tiles: tiles, ClockMHz: clock, LocalMemWords: mem,
+			LinkLatency: linkLat, LinkWordsPerCycle: linkBW,
+		}
+	}
+	base, err := tiledcfd.MapEstimate(cfg, fabFor(1), "single")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mapping sweep: estimator=%s K=%d M=%d window=%d samples, serial total %d cycles\n",
+		base.Estimator, k, mOrDefault(m, k), base.WindowSamples, base.LatencyCycles)
+	shownLat := linkLat
+	if shownLat < 0 {
+		shownLat = 0
+	}
+	fmt.Printf("fabric: %.0f MHz tiles, %d-word local memories, NoC links %d-cycle latency, %.2g words/cycle\n\n",
+		clock, mem, shownLat, linkBW)
+	fmt.Printf("%-10s %6s %12s %15s %9s %10s %10s %5s\n",
+		"strategy", "tiles", "latency µs", "sustained Msps", "speedup", "busy util", "NoC words", "mem")
+	for _, strategy := range splitCSV(strategiesCSV) {
+		for _, tc := range tileCounts {
+			e, err := tiledcfd.MapEstimate(cfg, fabFor(tc), strategy)
+			if err != nil {
+				return err
+			}
+			busiest := 0.0
+			for _, u := range e.PerTile {
+				if u.Utilization > busiest {
+					busiest = u.Utilization
+				}
+			}
+			memNote := "ok"
+			if !e.MemFeasible {
+				memNote = "OVER"
+			}
+			fmt.Printf("%-10s %6d %12.1f %15.3f %8.2fx %9.0f%% %10d %5s\n",
+				strategy, tc, e.LatencyMicros, e.SustainedSamplesPerSec/1e6,
+				e.SustainedSamplesPerSec/base.SustainedSamplesPerSec,
+				100*busiest, e.NoCWords, memNote)
+			if perTile {
+				for _, u := range e.PerTile {
+					fmt.Printf("           tile %d: %3d tasks, %9d compute cycles, %8d transfer cycles, util %3.0f%%, %6d mem words\n",
+						u.Tile, u.Tasks, u.ComputeCycles, u.TransferCycles, 100*u.Utilization, u.MemWords)
+				}
+			}
+		}
+	}
+	fmt.Println("\nsustained = steady-state throughput with consecutive windows pipelined;")
+	fmt.Println("speedup is vs the single-tile schedule; every schedule is validated")
+	fmt.Println("(no tile oversubscription, all cross-tile edges charged NoC transfers).")
+	return nil
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, s := range splitCSV(csv) {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("%q is not a positive integer", s)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// splitCSV splits a comma-separated list, trimming blanks.
+func splitCSV(csv string) []string {
+	var out []string
+	for _, s := range strings.Split(csv, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func mOrDefault(m, k int) int {
+	if m == 0 {
+		return k / 4
+	}
+	return m
+}
+
+// deriveRun reproduces the paper's step-1 mapping artefacts: the
+// verified line array, the register chains, optionally the Figure 5
+// diagrams, and the folding table with its Montium memory budget.
+func deriveRun(m, q int, diagrams bool) error {
 	if err := mapping.VerifyComposition(); err != nil {
 		return err
 	}

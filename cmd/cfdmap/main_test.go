@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestSweepRuns(t *testing.T) {
+	// The acceptance sweep geometry, small tile list, per-tile output.
+	err := sweep("fam", 256, 64, 8, 0, "1,2,4", "single,pipelined,sharded",
+		100, 4, 1, 10240, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if err := sweep("fam", 256, 64, 8, 0, "0", "single", 100, 4, 1, 10240, false); err == nil {
+		t.Error("tile count 0 accepted")
+	}
+	if err := sweep("fam", 256, 64, 8, 0, "x", "single", 100, 4, 1, 10240, false); err == nil {
+		t.Error("non-integer tile count accepted")
+	}
+	if err := sweep("fam", 256, 64, 8, 0, "4", "zigzag", 100, 4, 1, 10240, false); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := sweep("nope", 256, 64, 8, 0, "4", "single", 100, 4, 1, 10240, false); err == nil {
+		t.Error("unknown estimator accepted")
+	}
+}
+
+func TestDeriveRuns(t *testing.T) {
+	if err := deriveRun(8, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := deriveRun(64, 4, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 1, 2 ,8 ")
+	if err != nil || len(got) != 3 || got[2] != 8 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := parseInts("-1"); err == nil {
+		t.Error("negative accepted")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -67,7 +68,7 @@ func main() {
 	log.SetPrefix("cfdserve: ")
 	var o options
 	flag.IntVar(&o.channels, "channels", 4, "concurrent monitored channels")
-	flag.StringVar(&o.estimator, "estimator", "fam", "surface estimator: direct, fam or ssca")
+	flag.StringVar(&o.estimator, "estimator", "fam", "surface estimator: "+strings.Join(tiledcfd.EstimatorNames(), ", "))
 	flag.IntVar(&o.k, "k", 256, "FFT / channelizer size K")
 	flag.IntVar(&o.m, "m", 0, "grid half-extent M (0 = K/4)")
 	flag.IntVar(&o.hop, "hop", 0, "block/channelizer advance (0 = estimator default; rejected with ssca)")

@@ -1,7 +1,7 @@
 // Command paper regenerates every quantitative table, figure and claim of
 // "Cyclostationary Feature Detection on a tiled-SoC" (DATE 2007) from the
 // simulation stack and prints a paper-vs-measured record — the source of
-// EXPERIMENTS.md. Experiment IDs (E1..E13) follow DESIGN.md.
+// docs/PAPER_MAPPING.md. Experiment IDs (E1..E13) follow that map.
 //
 // Usage: paper [-trials 50]
 package main
@@ -215,10 +215,10 @@ func run(trials int) error {
 	return ablations(qx[:256])
 }
 
-// ablations prints the design-choice studies of EXPERIMENTS.md §Ablations.
+// ablations prints the design-choice ablation studies.
 func ablations(qx []fixed.Complex) error {
 	fmt.Println()
-	fmt.Println("ablations (extensions; see EXPERIMENTS.md)")
+	fmt.Println("ablations (extensions; see docs/PAPER_MAPPING.md)")
 
 	// MAC latency sensitivity.
 	fmt.Print("    MAC latency 1/2/3 cycles -> block cycles ")

@@ -21,6 +21,6 @@
 //   - Table1: measure the paper's Table 1 cycle breakdown from the
 //     simulated platform.
 //
-// See the examples directory for runnable scenarios and EXPERIMENTS.md for
-// the per-table/per-figure reproduction record.
+// See the examples directory for runnable scenarios and
+// docs/PAPER_MAPPING.md for the per-table/per-figure reproduction map.
 package tiledcfd

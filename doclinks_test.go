@@ -1,0 +1,64 @@
+package tiledcfd
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markdownLink matches [text](target) links, excluding images' extra
+// bang (which the expression still captures — image targets must exist
+// too).
+var markdownLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinks fails for every relative link in README.md and docs/
+// whose target does not exist — the dead-link gate of the docs CI job.
+// Absolute URLs, pure anchors and GitHub-web-relative paths that
+// escape the repository root (e.g. the CI badge's ../../actions/...)
+// are skipped.
+func TestDocLinks(t *testing.T) {
+	files := []string{"README.md"}
+	matches, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, matches...)
+	if len(files) < 3 {
+		t.Fatalf("expected README.md plus at least two docs/*.md files, found %v", files)
+	}
+	root, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range markdownLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			abs, err := filepath.Abs(resolved)
+			if err != nil || !strings.HasPrefix(abs, root+string(filepath.Separator)) {
+				// Escapes the repository: a GitHub-web-relative URL, not
+				// a file link.
+				continue
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead relative link %q (%v)", file, m[1], err)
+			}
+		}
+	}
+}

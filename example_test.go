@@ -1,0 +1,93 @@
+package tiledcfd_test
+
+import (
+	"fmt"
+	"time"
+
+	"tiledcfd"
+)
+
+// ExampleSpectralCorrelation computes a spectral-correlation surface
+// with the FAM estimator and locates the BPSK carrier's cyclic feature
+// at α = 2·f_c (the doubled carrier, a = ±32 for f_c = 32/256).
+func ExampleSpectralCorrelation() {
+	band, err := tiledcfd.NewBPSKBand(256*8, 32.0/256, 8, 10, 1)
+	if err != nil {
+		panic(err)
+	}
+	r, err := tiledcfd.SpectralCorrelation(band, tiledcfd.Config{
+		K: 256, M: 64, Estimator: "fam",
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("estimator:", r.Estimator)
+	fmt.Println("strongest feature offset:", abs(r.FeatureA))
+	// Output:
+	// estimator: fam
+	// strongest feature offset: 32
+}
+
+// ExampleNewMonitor runs a streaming sensing session: samples are
+// pushed as they arrive and the engine emits periodic per-channel
+// decisions. Flush quiesces the session so the final accounting is
+// deterministic.
+func ExampleNewMonitor() {
+	mon, err := tiledcfd.NewMonitor(
+		tiledcfd.Config{K: 256, M: 64, Estimator: "fam", Threshold: 0.4},
+		tiledcfd.MonitorOptions{Channels: []string{"uhf"}, SnapshotSamples: 4096},
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer mon.Close()
+
+	band, err := tiledcfd.NewBPSKBand(4096*4, 32.0/256, 8, 10, 1)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := mon.Push("uhf", band); err != nil {
+		panic(err)
+	}
+	if err := mon.Flush(10 * time.Second); err != nil {
+		panic(err)
+	}
+	cs, _ := mon.ChannelStats("uhf")
+	fmt.Println("decisions:", cs.Snapshots)
+	fmt.Println("occupied:", cs.Detections == cs.Snapshots)
+	// Output:
+	// decisions: 4
+	// occupied: true
+}
+
+// ExampleMapEstimate predicts how the FAM pipeline performs when its
+// task DAG is sharded across the paper's 4-tile fabric, versus running
+// whole on one tile.
+func ExampleMapEstimate() {
+	cfg := tiledcfd.Config{K: 256, M: 64, Estimator: "fam"}
+	single, err := tiledcfd.MapEstimate(cfg, tiledcfd.FabricConfig{}, "single")
+	if err != nil {
+		panic(err)
+	}
+	sharded, err := tiledcfd.MapEstimate(cfg, tiledcfd.FabricConfig{}, "sharded")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("single tile: %.3f Msamples/s\n", single.SustainedSamplesPerSec/1e6)
+	fmt.Printf("sharded on %d tiles: %.3f Msamples/s (%.1fx), %d NoC words/window\n",
+		sharded.Tiles, sharded.SustainedSamplesPerSec/1e6,
+		sharded.SustainedSamplesPerSec/single.SustainedSamplesPerSec,
+		sharded.NoCWords)
+	// Output:
+	// single tile: 0.656 Msamples/s
+	// sharded on 4 tiles: 2.082 Msamples/s (3.2x), 36480 NoC words/window
+}
+
+// abs is a tiny test helper: the feature offset's sign depends only on
+// which of the symmetric ±α peaks wins the tie-break.
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

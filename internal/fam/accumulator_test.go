@@ -1,6 +1,7 @@
 package fam
 
 import (
+	"reflect"
 	"testing"
 
 	"tiledcfd/internal/fft"
@@ -57,7 +58,7 @@ func requireIdentical(t *testing.T, got, want *scf.Surface, label string) {
 // requireSameStats asserts the modeled work counts match.
 func requireSameStats(t *testing.T, got, want *scf.Stats) {
 	t.Helper()
-	if *got != *want {
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("stats %+v, want %+v", got, want)
 	}
 }

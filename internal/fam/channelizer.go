@@ -91,14 +91,8 @@ func famDefaults(p scf.Params, defaultHop int) scf.Params {
 }
 
 // pow2Floor returns the largest power of two not exceeding n, or 0 when
-// n < 1.
-func pow2Floor(n int) int {
-	p := 0
-	for c := 1; c <= n; c *= 2 {
-		p = c
-	}
-	return p
-}
+// n < 1 (fft.Pow2Floor, aliased for the package's call sites).
+func pow2Floor(n int) int { return fft.Pow2Floor(n) }
 
 // needSamples formats the standard too-short error.
 func needSamples(name string, need, have int) error {

@@ -227,6 +227,9 @@ func (e SSCAQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) 
 			montium.ReadDataCycles(int64(need)) +
 			montium.AlignCycles(aligned+cells),
 	}
+	// The batch backend runs the whole pipeline on one modeled tile;
+	// internal/tile schedules fill multi-tile breakdowns.
+	stats.PerTile = []scf.TileCycles{{Tile: 0, Compute: stats.Cycles}}
 	return s, stats, nil
 }
 

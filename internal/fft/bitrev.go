@@ -5,6 +5,17 @@ import "fmt"
 // IsPow2 reports whether n is a positive power of two.
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
+// Pow2Floor returns the largest power of two not exceeding n, or 0 when
+// n < 1 — the smoothing-length rule the time-smoothing estimators and
+// the tile pipeline models share.
+func Pow2Floor(n int) int {
+	p := 0
+	for c := 1; c <= n && c > 0; c *= 2 {
+		p = c
+	}
+	return p
+}
+
 // Log2 returns log2(n) for a positive power of two n, or an error.
 func Log2(n int) (int, error) {
 	if !IsPow2(n) {

@@ -12,7 +12,7 @@
 // and applies no normalisation; the inverse applies 1/K. The paper's
 // expression 2 uses e^{+j…}, which is the global complex conjugate of this
 // convention; the Discrete Spectral Correlation Function magnitudes are
-// unaffected (see DESIGN.md §4).
+// unaffected (see docs/PAPER_MAPPING.md).
 //
 // # Caching
 //

@@ -17,12 +17,17 @@ import "fmt"
 // expressible this way, which is the architectural point: the address
 // streams cost no ALU cycles.
 type AGU struct {
-	Base        int
-	InnerCount  int
-	InnerStride int
-	OuterCount  int
-	OuterStride int
-	Modulo      int
+	// Base is the first address generated.
+	Base int
+	// InnerCount and InnerStride describe the inner loop: InnerCount
+	// addresses advancing by InnerStride.
+	InnerCount, InnerStride int
+	// OuterCount and OuterStride repeat the inner loop OuterCount times,
+	// offsetting its base by OuterStride per repetition.
+	OuterCount, OuterStride int
+	// Modulo wraps generated addresses into [0, Modulo); 0 disables
+	// wrap-around.
+	Modulo int
 
 	inner, outer int
 	done         bool

@@ -22,9 +22,14 @@ import (
 
 // KernelConfig sizes one kernel's configuration.
 type KernelConfig struct {
-	Name              string
-	SequencerWords    int
-	AGUDescriptors    int
+	// Name identifies the kernel.
+	Name string
+	// SequencerWords counts the sequencer instruction words.
+	SequencerWords int
+	// AGUDescriptors counts the address-generator descriptors (two
+	// words each).
+	AGUDescriptors int
+	// InterconnectWords counts the crossbar configuration words.
 	InterconnectWords int
 }
 
@@ -36,6 +41,7 @@ func (k KernelConfig) Words() int {
 
 // ConfigurationPlan is the full CFD application configuration of one core.
 type ConfigurationPlan struct {
+	// Kernels lists the kernel configurations in load order.
 	Kernels []KernelConfig
 }
 

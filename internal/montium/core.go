@@ -31,10 +31,8 @@ type Core struct {
 	ledger  map[string]int64
 	section string
 
-	// ALU operation counters.
-	MACs        int64
-	Butterflies int64
-	Moves       int64
+	// MACs, Butterflies and Moves count the ALU operations retired.
+	MACs, Butterflies, Moves int64
 
 	cfg *CFDConfig
 	// resultInA records which ping-pong buffer (M09 = A, M10 = B) holds

@@ -27,10 +27,11 @@ const (
 // counters. Address checking is strict: the CFD kernels are supposed to
 // know exactly where everything is, and an out-of-range access is a bug.
 type Memory struct {
-	Name   string
-	data   [MemWords]Word
-	Reads  int64
-	Writes int64
+	// Name identifies the memory (M01..M10).
+	Name string
+	data [MemWords]Word
+	// Reads and Writes count the accesses performed.
+	Reads, Writes int64
 }
 
 // Read returns the word at addr.

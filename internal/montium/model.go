@@ -1,5 +1,7 @@
 package montium
 
+import "math"
+
 // Kernel cycle models: closed-form Table-1-style cycle costs of the
 // Montium kernels, used to charge the software fixed-point backends
 // (fam-q15/ssca-q15) for the work the tiles would perform. The measured
@@ -40,3 +42,22 @@ func ReshuffleCycles(n int64) int64 { return n }
 // initialisation-style bookkeeping the fixed backends add on top of the
 // paper's kernels.
 func AlignCycles(n int64) int64 { return n }
+
+// TransferCycles returns the cycle cost of moving words 16-bit words
+// across one NoC link: the link's fixed latency plus the serialisation
+// time at wordsPerCycle — the paper's "data exchange is a factor T
+// slower than computation" made explicit. Zero words cost nothing;
+// non-positive bandwidth defaults to one word per cycle.
+func TransferCycles(words int64, latencyCycles int, wordsPerCycle float64) int64 {
+	if words <= 0 {
+		return 0
+	}
+	if wordsPerCycle <= 0 {
+		wordsPerCycle = 1
+	}
+	ser := int64(math.Ceil(float64(words) / wordsPerCycle))
+	if ser < 1 {
+		ser = 1
+	}
+	return int64(latencyCycles) + ser
+}

@@ -12,7 +12,7 @@ import (
 // spectrum can be computed as a K/2-point complex FFT over even/odd
 // packed samples followed by a K/2-cycle untangling pass. For K = 256
 // this measures 590 cycles against the complex kernel's 1040 — the
-// executed form of the real-FFT ablation (EXPERIMENTS.md).
+// executed form of the real-FFT ablation (docs/PAPER_MAPPING.md).
 //
 // Schedule: log2(K/2) stages of (K/4 butterflies + 2 setup cycles), then
 // K/2 untangle operations at one per cycle. The even/odd packing is pure

@@ -8,11 +8,16 @@ import (
 // Table1 is the cycle breakdown of one DSCF integration step on one core,
 // in the paper's Table 1 rows.
 type Table1 struct {
+	// MultiplyAccumulate counts the folded DSCF loop's cycles.
 	MultiplyAccumulate int64
-	ReadData           int64
-	FFT                int64
-	Reshuffle          int64
-	Initialisation     int64
+	// ReadData counts the sample-streaming cycles.
+	ReadData int64
+	// FFT counts the FFT kernel cycles.
+	FFT int64
+	// Reshuffle counts the memory reshuffling cycles.
+	Reshuffle int64
+	// Initialisation counts the per-step setup cycles.
+	Initialisation int64
 }
 
 // Total returns the summed cycle count (the paper: 13996).

@@ -1,0 +1,9 @@
+// Package perf implements the evaluation model of the paper's section 5:
+// converting measured cycle counts into time, analysed bandwidth, chip
+// area and power, and the linear scalability argument.
+//
+// All constants come from the paper: 100 MHz Montium clock, ~2 mm² per
+// core in the Philips 0.13 µm CMOS12 process, and a typical power of
+// 500 µW/MHz per core. None of these are measured by the simulator; they
+// are the published technology figures applied to measured cycle counts.
+package perf

@@ -25,6 +25,24 @@ type Stats struct {
 	// cfdbench can put float mult counts and Q15 cycle counts side by
 	// side per surface.
 	Cycles int64
+	// PerTile breaks Cycles down per modeled tile when the work was
+	// mapped onto a fabric (internal/tile schedules fill it; the Q15
+	// backends report their whole cost as tile 0). Empty when no tile
+	// model applies. Summed Compute equals Cycles when both are set.
+	PerTile []TileCycles
+}
+
+// TileCycles is one modeled tile's share of a multi-tile schedule: the
+// datapath cycles it computes and the cycles its NoC ports spend moving
+// operands on and off the tile.
+type TileCycles struct {
+	// Tile is the tile index within the fabric.
+	Tile int
+	// Compute is the tile's modeled datapath cycle count.
+	Compute int64
+	// Transfer is the tile's modeled NoC port occupancy in cycles
+	// (sent plus received words over the link bandwidth).
+	Transfer int64
 }
 
 // Ratio returns DSCFMults/FFTMults, the paper's "16 times as many complex

@@ -19,7 +19,7 @@
 // The cycle frequency associated with offset a is alpha = 2a (in bin
 // units), i.e. alpha_Hz = 2a·fs/K. Note the paper's section 3.3 states
 // "P = 2M+1" but its own numbers (127 processors for ±63) correspond to
-// P = 2M-1; we follow the numbers (see DESIGN.md).
+// P = 2M-1; we follow the numbers (see docs/PAPER_MAPPING.md).
 //
 // The surface satisfies the Hermitian symmetry S_f^{-a} = conj(S_f^a),
 // which the property tests assert for all three implementations.

@@ -1,6 +1,7 @@
 package scf
 
 import (
+	"reflect"
 	"testing"
 
 	"tiledcfd/internal/sig"
@@ -36,7 +37,7 @@ func TestDirectEstimatorMatchesCompute(t *testing.T) {
 		if d := MaxAbsDiff(want, got); d != 0 {
 			t.Errorf("workers=%d: surface differs from Compute by %g (want bit-identical)", workers, d)
 		}
-		if *gotStats != *wantStats {
+		if !reflect.DeepEqual(gotStats, wantStats) {
 			t.Errorf("workers=%d: stats %+v != Compute's %+v", workers, gotStats, wantStats)
 		}
 	}

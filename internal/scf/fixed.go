@@ -12,8 +12,10 @@ import (
 // M01..M08. It is the bit-true target the systolic-array and tiled-SoC
 // simulations are verified against.
 type FixedSurface struct {
-	M    int
-	Data [][]fixed.Complex // Data[a+M-1][f+M-1]
+	// M is the grid half-extent.
+	M int
+	// Data holds the Q15 cells, indexed Data[a+M-1][f+M-1].
+	Data [][]fixed.Complex
 }
 
 // NewFixedSurface allocates a zeroed fixed surface for half-extent M.

@@ -19,10 +19,14 @@ import (
 // and Workers settings); Gain is a deterministic power-of-two-and-integer
 // factor (1/smoothing-length, 1/backoff²).
 type QSurface struct {
-	M    int
-	Exp  int
+	// M is the grid half-extent.
+	M int
+	// Exp is the power-of-two exponent every cell carries.
+	Exp int
+	// Gain is the residual scalar factor (exactly representable).
 	Gain float64
-	Data [][]fixed.Complex // Data[a+M-1][f+M-1]
+	// Data holds the Q15 cells, indexed Data[a+M-1][f+M-1].
+	Data [][]fixed.Complex
 }
 
 // NewQSurface allocates a zeroed Q15 surface for half-extent M with unit

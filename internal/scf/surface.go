@@ -9,8 +9,10 @@ import (
 // Surface is a computed DSCF: a (2M-1)×(2M-1) grid indexed by frequency
 // offset a (rows) and frequency f (columns), each spanning [-(M-1), M-1].
 type Surface struct {
-	M    int
-	Data [][]complex128 // Data[a+M-1][f+M-1]
+	// M is the grid half-extent.
+	M int
+	// Data holds the cells, indexed Data[a+M-1][f+M-1].
+	Data [][]complex128
 }
 
 // NewSurface allocates a zeroed surface for half-extent M.

@@ -109,10 +109,11 @@ type Decision struct {
 	// TotalSamples is the cumulative sample count the channel has
 	// processed when the decision was made.
 	TotalSamples int64
-	// Detected, Statistic and Threshold carry the verdict: the CFAR
-	// peak-over-floor ratio against CFARScale, or the CFD statistic
-	// against the fixed Threshold.
-	Detected             bool
+	// Detected carries the verdict: the CFAR peak-over-floor ratio
+	// against CFARScale, or the CFD statistic against the fixed
+	// Threshold.
+	Detected bool
+	// Statistic and Threshold are the compared decision inputs.
 	Statistic, Threshold float64
 	// FeatureF/FeatureA locate the strongest cyclic feature (a != 0).
 	FeatureF, FeatureA int
@@ -133,18 +134,24 @@ type Stats struct {
 	// of decisions that declared the band occupied; DecisionsDropped the
 	// decisions discarded because the Decisions channel was full.
 	Surfaces, Detections, DecisionsDropped int64
-	// Elapsed is the time since the engine started; the rates are the
-	// lifetime averages SamplesIn/Elapsed and Surfaces/Elapsed.
-	Elapsed        time.Duration
-	SamplesPerSec  float64
+	// Elapsed is the time since the engine started.
+	Elapsed time.Duration
+	// SamplesPerSec is the lifetime average SamplesIn/Elapsed.
+	SamplesPerSec float64
+	// SurfacesPerSec is the lifetime average Surfaces/Elapsed.
 	SurfacesPerSec float64
 }
 
 // ChannelStats is per-channel accounting.
 type ChannelStats struct {
-	ID                        string
+	// ID names the channel.
+	ID string
+	// SamplesIn counts samples accepted; SamplesDropped those discarded
+	// because the channel's ring was full.
 	SamplesIn, SamplesDropped int64
-	Snapshots, Detections     int64
+	// Snapshots counts the channel's decisions; Detections the subset
+	// declaring the band occupied.
+	Snapshots, Detections int64
 	// Last is the most recent decision, nil before the first. The
 	// pointee is immutable.
 	Last *Decision

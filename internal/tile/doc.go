@@ -1,0 +1,31 @@
+// Package tile models the mapping of the spectral-correlation pipelines
+// onto a fabric of Montium tiles connected by a network-on-chip — the
+// paper's tiled-SoC claim generalised from the single hand-mapped DSCF
+// kernel to the whole estimator family.
+//
+// The subsystem has three layers:
+//
+//   - BuildGraph partitions an estimator pipeline (FAM, SSCA or the
+//     direct DSCF) into a task DAG: channelizer FFT hops, per-row
+//     conjugate-product accumulation (FAM/direct) or per-channel strip
+//     FFTs (SSCA), and a final reduction. Task cycle costs come from the
+//     internal/montium Table-1 kernel models, edge weights are the
+//     16-bit words that must move between producer and consumer.
+//
+//   - Fabric describes the modeled platform: tile count, clock, local
+//     memory capacity, and NoC link latency/bandwidth.
+//
+//   - NewSchedule maps the DAG onto the fabric with a named strategy
+//     (Strategies lists them: single-tile baseline, pipelined stages,
+//     data-parallel sharding) and list-schedules it, predicting the
+//     end-to-end latency, per-tile utilization and NoC traffic of one
+//     window, plus the sustained throughput of the window pipelined in
+//     steady state.
+//
+// Schedules are validated, not trusted: Schedule.Validate re-checks that
+// no tile runs two tasks at once, that every cross-tile edge was charged
+// a NoC transfer, and that scheduled compute conserves the graph total.
+// cmd/cfdmap sweeps the design space and prints the paper-style
+// tiles-vs-throughput table; tiledcfd.MapEstimate is the public entry
+// point.
+package tile

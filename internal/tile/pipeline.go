@@ -1,0 +1,265 @@
+package tile
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/fft"
+	"tiledcfd/internal/montium"
+	"tiledcfd/internal/scf"
+)
+
+// BuildGraph partitions the named estimator pipeline over a window of n
+// samples into a task DAG. Recognised names are "direct", "fam", "ssca"
+// and their Q15 twins ("fam-q15", "ssca-q15" — same dataflow, and the
+// cycle model is the fixed-point datapath's in every case); "platform"
+// maps as the direct DSCF. Params zero fields take the paper's defaults
+// (K=256, M=K/4); Params.Hop is honoured exactly as the estimators
+// honour it (0 selects the estimator's default advance: K/4 for FAM, K
+// for direct).
+//
+// The DAG has three stages: channelizer tasks (one per hop, or per hop
+// chunk for the sample-sliding SSCA), second-stage tasks (one conjugate-
+// product row per non-negative cycle offset for FAM/direct, one strip
+// per addressed channel for SSCA), and one reduce task gathering the
+// surface. Edge weights count the 16-bit words that must move from
+// producer to consumer (a Q15 complex value is two words).
+func BuildGraph(estimator string, p scf.Params, n int) (*Graph, error) {
+	// Hop 0 is the "estimator default" sentinel; remember it before
+	// WithDefaults rewrites it to the direct method's K.
+	hop := p.Hop
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// A negative Hop is already rejected above: WithDefaults only
+	// rewrites Hop == 0, so Params.Validate sees the negative value.
+	switch estimator {
+	case "direct", "platform":
+		if hop == 0 {
+			hop = p.K // non-overlapping blocks, the paper's advance
+		}
+		if n < p.K {
+			return nil, fmt.Errorf("tile: direct pipeline needs >= %d samples, have %d", p.K, n)
+		}
+		blocks := (n-p.K)/hop + 1
+		// An overlapping (hop not a whole-block multiple) advance makes
+		// the absolute-time phase reference a real per-bin rotation,
+		// exactly as scf.Compute applies it.
+		return buildHopped("direct", p, blocks, hop, hop%p.K != 0), nil
+	case "fam", "fam-q15":
+		if hop == 0 {
+			hop = p.K / 4 // the classical 75% overlap
+		}
+		np := pow2Floor((n-p.K)/hop + 1)
+		if n < p.K+hop || np < 2 {
+			return nil, fmt.Errorf("tile: FAM pipeline needs >= %d samples, have %d", p.K+hop, n)
+		}
+		return buildHopped("fam", p, np, hop, true), nil
+	case "ssca", "ssca-q15":
+		if hop != 0 {
+			return nil, fmt.Errorf("tile: Hop=%d is meaningless for the SSCA pipeline "+
+				"(its channelizer advances one sample per hop); leave Hop zero", hop)
+		}
+		ns := pow2Floor(n - p.K + 1)
+		if ns < p.K {
+			return nil, fmt.Errorf("tile: SSCA pipeline needs >= %d samples, have %d", 2*p.K-1, n)
+		}
+		return buildSSCA(p, ns), nil
+	default:
+		return nil, fmt.Errorf("tile: no pipeline model for estimator %q (want direct, fam, ssca or a -q15 twin)", estimator)
+	}
+}
+
+// buildHopped builds the FAM/direct DAG: np channelizer hops advancing
+// by hop samples, one product row per cycle offset a in [0, m] (the
+// Hermitian half the implementations evaluate), one reduce.
+// downconvert charges the per-hop K-point downconversion MAC pass (FAM;
+// the direct method's whole-block advance makes it the identity).
+func buildHopped(name string, p scf.Params, np, hop int, downconvert bool) *Graph {
+	m := p.M - 1
+	g := &Graph{Name: name, WindowSamples: p.K + (np-1)*hop}
+	nch := distinctResidues(p.K, -2*m, 2*m)
+
+	chanCycles := montium.ReadDataCycles(int64(p.K)) +
+		montium.FFTKernelCycles(p.K) +
+		montium.ReshuffleCycles(int64(p.K))
+	if downconvert {
+		chanCycles += montium.MACKernelCycles(int64(p.K))
+	}
+	for h := 0; h < np; h++ {
+		g.Tasks = append(g.Tasks, Task{
+			ID:    len(g.Tasks),
+			Name:  fmt.Sprintf("chan[%d]", h),
+			Kind:  KindChannelize,
+			Stage: 0, Shard: h,
+			Cycles:   chanCycles,
+			MemWords: int64(2*p.K + 2*nch),
+			OutWords: int64(2 * nch),
+		})
+	}
+
+	f := p.F()
+	rows := m + 1
+	rowIDs := make([]int, rows)
+	for a := 0; a < rows; a++ {
+		rowCh := rowResidues(p.K, m, a)
+		id := len(g.Tasks)
+		rowIDs[a] = id
+		g.Tasks = append(g.Tasks, Task{
+			ID:    id,
+			Name:  fmt.Sprintf("row[a=%+d]", a),
+			Kind:  KindProduct,
+			Stage: 1, Shard: a,
+			// One complex MAC per cell per hop, plus the row's single
+			// normalisation pass.
+			Cycles:   montium.MACKernelCycles(int64(f)*int64(np)) + montium.AlignCycles(int64(f)),
+			MemWords: int64(2*rowCh) + 4*int64(f),
+			OutWords: int64(2 * f),
+		})
+		for h := 0; h < np; h++ {
+			g.Edges = append(g.Edges, Edge{From: h, To: id, Words: int64(2 * rowCh)})
+		}
+	}
+
+	reduce := len(g.Tasks)
+	g.Tasks = append(g.Tasks, Task{
+		ID:    reduce,
+		Name:  "reduce",
+		Kind:  KindReduce,
+		Stage: 2, Shard: 0,
+		// Hermitian mirroring plus assembly: one pass over the full
+		// (2M-1)² surface. The assembled surface streams out to host
+		// memory row by row, so only one row plus its mirror are ever
+		// resident.
+		Cycles:   montium.AlignCycles(int64(p.P()) * int64(f)),
+		MemWords: 4 * int64(f),
+	})
+	for _, id := range rowIDs {
+		g.Edges = append(g.Edges, Edge{From: id, To: reduce, Words: int64(2 * f)})
+	}
+	return g
+}
+
+// sscaMaxChunks bounds the channelizer stage's task count: the SSCA
+// slides one sample per hop, so its N channelizer steps are grouped into
+// at most this many chunk tasks to keep the DAG schedulable.
+const sscaMaxChunks = 64
+
+// buildSSCA builds the SSCA DAG over an N-sample strip: the N sliding
+// channelizer steps grouped into chunks, one strip task per channel the
+// grid addresses, one reduce.
+func buildSSCA(p scf.Params, n int) *Graph {
+	m := p.M - 1
+	g := &Graph{Name: "ssca", WindowSamples: n + p.K - 1}
+
+	chunks := sscaMaxChunks
+	if n < chunks {
+		chunks = n
+	}
+	// Channels the grid addresses: residues f+a in [-2m, 2m] mod K.
+	needed := make([]int, 0, 4*m+1)
+	seen := make([]bool, p.K)
+	for v := -2 * m; v <= 2*m; v++ {
+		if k := fft.BinIndex(p.K, v); !seen[k] {
+			seen[k] = true
+			needed = append(needed, k)
+		}
+	}
+	nch := len(needed)
+
+	chunkHops := make([]int, chunks)
+	for i := range chunkHops {
+		chunkHops[i] = n / chunks
+		if i < n%chunks {
+			chunkHops[i]++
+		}
+	}
+	perHop := montium.FFTKernelCycles(p.K) +
+		montium.ReshuffleCycles(int64(p.K)) +
+		montium.MACKernelCycles(int64(p.K))
+	for i, hops := range chunkHops {
+		g.Tasks = append(g.Tasks, Task{
+			ID:    len(g.Tasks),
+			Name:  fmt.Sprintf("chan[%d]", i),
+			Kind:  KindChannelize,
+			Stage: 0, Shard: i,
+			// hops K-point FFTs plus the hop's one new sample read each.
+			Cycles:   int64(hops)*perHop + montium.ReadDataCycles(int64(hops)),
+			MemWords: int64(2*p.K) + int64(2*nch*hops),
+			OutWords: int64(2 * nch * hops),
+		})
+	}
+
+	// Cells each strip feeds: cell (f, a) reads channel (f+a) mod K.
+	cellsOf := make(map[int]int, nch)
+	for a := -m; a <= m; a++ {
+		for f := -m; f <= m; f++ {
+			cellsOf[fft.BinIndex(p.K, f+a)]++
+		}
+	}
+
+	stripCycles := montium.MACKernelCycles(int64(n)) + // conjugate product
+		montium.FFTKernelCycles(n) +
+		montium.ReshuffleCycles(int64(n)) +
+		montium.MACKernelCycles(int64(n)) // derotation
+	stripIDs := make([]int, 0, nch)
+	for si, k := range needed {
+		id := len(g.Tasks)
+		stripIDs = append(stripIDs, id)
+		g.Tasks = append(g.Tasks, Task{
+			ID:    id,
+			Name:  fmt.Sprintf("strip[k=%d]", k),
+			Kind:  KindStrip,
+			Stage: 1, Shard: si,
+			Cycles:   stripCycles,
+			MemWords: 4 * int64(n),
+			OutWords: int64(2 * cellsOf[k]),
+		})
+		for c, hops := range chunkHops {
+			g.Edges = append(g.Edges, Edge{From: c, To: id, Words: int64(2 * hops)})
+		}
+	}
+
+	reduce := len(g.Tasks)
+	g.Tasks = append(g.Tasks, Task{
+		ID:    reduce,
+		Name:  "reduce",
+		Kind:  KindReduce,
+		Stage: 2, Shard: 0,
+		Cycles: montium.AlignCycles(int64(p.P()) * int64(p.F())),
+		// As in the hopped pipelines, the surface streams out row by
+		// row rather than residing whole.
+		MemWords: 4 * int64(p.F()),
+	})
+	for si, id := range stripIDs {
+		g.Edges = append(g.Edges, Edge{From: id, To: reduce, Words: int64(2 * cellsOf[needed[si]])})
+	}
+	return g
+}
+
+// distinctResidues counts the distinct residues of [lo, hi] mod k.
+func distinctResidues(k, lo, hi int) int {
+	if hi-lo+1 >= k {
+		return k
+	}
+	return hi - lo + 1
+}
+
+// rowResidues counts the distinct channels row a addresses: the residues
+// of {f+a, f-a : f in [-m, m]} mod k.
+func rowResidues(k, m, a int) int {
+	seen := make([]bool, k)
+	n := 0
+	for f := -m; f <= m; f++ {
+		for _, v := range [2]int{f + a, f - a} {
+			if i := fft.BinIndex(k, v); !seen[i] {
+				seen[i] = true
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// pow2Floor is fft.Pow2Floor, aliased for the package's call sites.
+func pow2Floor(n int) int { return fft.Pow2Floor(n) }

@@ -1,0 +1,52 @@
+package tile
+
+import "fmt"
+
+// The mapping strategies NewSchedule accepts.
+const (
+	// StrategySingle places every task on tile 0 — the paper's
+	// one-kernel-per-tile baseline and the reference every speedup is
+	// measured against.
+	StrategySingle = "single"
+	// StrategyPipelined places each pipeline stage on its own tile
+	// (round-robin when there are fewer tiles than stages): channelizer
+	// hops stream into the product/strip tile(s), which stream into the
+	// reducer. Throughput is set by the heaviest stage; tiles beyond the
+	// stage count stay idle, which is exactly the plateau the sweep
+	// shows.
+	StrategyPipelined = "pipelined"
+	// StrategySharded distributes each stage's shards (hops, rows,
+	// strips) round-robin across all tiles — data parallelism. Scales
+	// with tile count until the NoC, not compute, is the bottleneck.
+	StrategySharded = "sharded"
+)
+
+// Strategies lists the mapping strategies in report order.
+func Strategies() []string {
+	return []string{StrategySingle, StrategyPipelined, StrategySharded}
+}
+
+// Assign maps every task of g onto one of tiles tiles with the named
+// strategy, returning the task-ID-indexed tile assignment.
+func Assign(g *Graph, strategy string, tiles int) ([]int, error) {
+	if tiles < 1 {
+		return nil, fmt.Errorf("tile: assignment needs at least 1 tile, got %d", tiles)
+	}
+	asg := make([]int, len(g.Tasks))
+	switch strategy {
+	case StrategySingle:
+		// All zeroes already.
+	case StrategyPipelined:
+		for i, t := range g.Tasks {
+			asg[i] = t.Stage % tiles
+		}
+	case StrategySharded:
+		for i, t := range g.Tasks {
+			asg[i] = t.Shard % tiles
+		}
+	default:
+		return nil, fmt.Errorf("tile: unknown mapping strategy %q (want %s, %s or %s)",
+			strategy, StrategySingle, StrategyPipelined, StrategySharded)
+	}
+	return asg, nil
+}

@@ -1,0 +1,386 @@
+package tile
+
+import (
+	"testing"
+
+	"tiledcfd/internal/montium"
+	"tiledcfd/internal/scf"
+)
+
+// paperParams is the K=256/M=64 geometry every acceptance figure uses.
+var paperParams = scf.Params{K: 256, M: 64}
+
+func buildPaperGraph(t *testing.T, estimator string, n int) *Graph {
+	t.Helper()
+	g, err := BuildGraph(estimator, paperParams, n)
+	if err != nil {
+		t.Fatalf("BuildGraph(%s): %v", estimator, err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph %s invalid: %v", estimator, err)
+	}
+	return g
+}
+
+func TestBuildGraphShapes(t *testing.T) {
+	cases := []struct {
+		estimator string
+		n         int
+		stages    int
+	}{
+		{"fam", 2048, 3},
+		{"fam-q15", 2048, 3},
+		{"direct", 2048, 3},
+		{"ssca", 1279, 3},
+		{"ssca-q15", 1279, 3},
+	}
+	for _, c := range cases {
+		g := buildPaperGraph(t, c.estimator, c.n)
+		if got := g.Stages(); got != c.stages {
+			t.Errorf("%s: %d stages, want %d", c.estimator, got, c.stages)
+		}
+		if g.WindowSamples <= 0 || g.WindowSamples > c.n {
+			t.Errorf("%s: window %d samples outside (0, %d]", c.estimator, g.WindowSamples, c.n)
+		}
+		if g.TotalCycles() <= 0 {
+			t.Errorf("%s: non-positive total cycles", c.estimator)
+		}
+		// Exactly one reduce task, and it is last.
+		last := g.Tasks[len(g.Tasks)-1]
+		if last.Kind != KindReduce {
+			t.Errorf("%s: last task %s is %v, want reduce", c.estimator, last.Name, last.Kind)
+		}
+	}
+}
+
+// TestBuildGraphHonoursHop: an explicit Params.Hop must change the
+// modeled pipeline exactly as it changes the estimators — including the
+// Hop=K case the defaults sentinel used to swallow.
+func TestBuildGraphHonoursHop(t *testing.T) {
+	// FAM with explicit non-overlapping Hop=K: 2048 samples afford
+	// 8 whole hops, window = K + 7K = 2048.
+	p := paperParams
+	p.Hop = 256
+	g, err := BuildGraph("fam", p, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.WindowSamples != 2048 {
+		t.Errorf("fam Hop=K: window %d samples, want 2048", g.WindowSamples)
+	}
+	// Default hop (K/4): pow2floor(29) = 16 hops, window 1216.
+	gDef, err := BuildGraph("fam", paperParams, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gDef.WindowSamples != 1216 {
+		t.Errorf("fam default hop: window %d samples, want 1216", gDef.WindowSamples)
+	}
+	// Direct with overlapping Hop=K/2: (2048-256)/128+1 = 15 blocks, and
+	// the non-identity phase reference costs a downconversion pass the
+	// non-overlapping default does not pay.
+	p.Hop = 128
+	gOver, err := BuildGraph("direct", p, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gPlain, err := BuildGraph("direct", paperParams, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chans := func(g *Graph) (n int, cycles int64) {
+		for _, task := range g.Tasks {
+			if task.Kind == KindChannelize {
+				n++
+				cycles = task.Cycles
+			}
+		}
+		return
+	}
+	nOver, cyOver := chans(gOver)
+	nPlain, cyPlain := chans(gPlain)
+	if nOver != 15 || nPlain != 8 {
+		t.Errorf("direct channelizer tasks: Hop=128 %d (want 15), default %d (want 8)", nOver, nPlain)
+	}
+	if cyOver <= cyPlain {
+		t.Errorf("overlapping direct hop task %d cycles not above non-overlapping %d (phase reference unpaid)",
+			cyOver, cyPlain)
+	}
+	// SSCA rejects an explicit hop, as the estimators do.
+	p.Hop = 4
+	if _, err := BuildGraph("ssca", p, 2048); err == nil {
+		t.Error("ssca with Hop accepted")
+	}
+	p.Hop = -1
+	if _, err := BuildGraph("fam", p, 2048); err == nil {
+		t.Error("negative Hop accepted")
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	if _, err := BuildGraph("nope", paperParams, 2048); err == nil {
+		t.Error("unknown estimator accepted")
+	}
+	if _, err := BuildGraph("fam", paperParams, 100); err == nil {
+		t.Error("FAM with 100 samples accepted")
+	}
+	if _, err := BuildGraph("ssca", paperParams, 300); err == nil {
+		t.Error("SSCA with 300 samples accepted")
+	}
+	if _, err := BuildGraph("fam", scf.Params{K: 100}, 2048); err == nil {
+		t.Error("non-power-of-two K accepted")
+	}
+}
+
+// TestMappingThroughputOrdering is the acceptance criterion: on the
+// paper geometry, the pipelined and sharded mappings each predict
+// strictly higher sustained throughput than the single-tile baseline.
+func TestMappingThroughputOrdering(t *testing.T) {
+	for _, estimator := range []string{"fam", "ssca", "direct"} {
+		g := buildPaperGraph(t, estimator, 2048)
+		single, err := NewSchedule(g, Fabric{Tiles: 4}, StrategySingle)
+		if err != nil {
+			t.Fatalf("%s single: %v", estimator, err)
+		}
+		base := single.SustainedSamplesPerSec()
+		if base <= 0 {
+			t.Fatalf("%s single: non-positive throughput", estimator)
+		}
+		for _, strategy := range []string{StrategyPipelined, StrategySharded} {
+			s, err := NewSchedule(g, Fabric{Tiles: 4}, strategy)
+			if err != nil {
+				t.Fatalf("%s %s: %v", estimator, strategy, err)
+			}
+			if got := s.SustainedSamplesPerSec(); got <= base {
+				t.Errorf("%s %s: sustained %.0f samples/s not above single-tile %.0f",
+					estimator, strategy, got, base)
+			}
+			if s.NoCWords == 0 {
+				t.Errorf("%s %s: multi-tile mapping moved no NoC words", estimator, strategy)
+			}
+		}
+		if single.NoCWords != 0 {
+			t.Errorf("%s single: %d NoC words on one tile", estimator, single.NoCWords)
+		}
+	}
+}
+
+// TestShardedScalesWithTiles: more tiles must not lower the sharded
+// mapping's predicted throughput, and 4 tiles must beat 1.
+func TestShardedScalesWithTiles(t *testing.T) {
+	g := buildPaperGraph(t, "fam", 2048)
+	prev := 0.0
+	for _, tiles := range []int{1, 2, 4} {
+		s, err := NewSchedule(g, Fabric{Tiles: tiles}, StrategySharded)
+		if err != nil {
+			t.Fatalf("tiles=%d: %v", tiles, err)
+		}
+		got := s.SustainedSamplesPerSec()
+		if got < prev {
+			t.Errorf("tiles=%d: sustained %.0f below tiles/2's %.0f", tiles, got, prev)
+		}
+		prev = got
+	}
+	one, _ := NewSchedule(g, Fabric{Tiles: 1}, StrategySharded)
+	four, _ := NewSchedule(g, Fabric{Tiles: 4}, StrategySharded)
+	if four.SustainedSamplesPerSec() <= one.SustainedSamplesPerSec() {
+		t.Errorf("sharded 4 tiles (%.0f) not above 1 tile (%.0f)",
+			four.SustainedSamplesPerSec(), one.SustainedSamplesPerSec())
+	}
+}
+
+func TestScheduleAccounting(t *testing.T) {
+	g := buildPaperGraph(t, "fam", 2048)
+	s, err := NewSchedule(g, Fabric{Tiles: 4}, StrategySharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute conservation across tiles.
+	var compute int64
+	for _, u := range s.PerTile {
+		compute += u.ComputeCycles
+	}
+	if compute != g.TotalCycles() {
+		t.Errorf("per-tile compute %d != graph total %d", compute, g.TotalCycles())
+	}
+	// Send and receive words balance.
+	var sent, recvd int64
+	for _, u := range s.PerTile {
+		sent += u.SendWords
+		recvd += u.RecvWords
+	}
+	if sent != recvd || sent != s.NoCWords {
+		t.Errorf("send %d / recv %d / NoC %d words out of balance", sent, recvd, s.NoCWords)
+	}
+	// Every transfer crosses tiles and was costed.
+	for _, tr := range s.Transfers {
+		if tr.FromTile == tr.ToTile {
+			t.Errorf("transfer of task %d stays on tile %d", tr.From, tr.FromTile)
+		}
+		if tr.Cycles <= 0 {
+			t.Errorf("transfer of task %d (%d words) costed %d cycles", tr.From, tr.Words, tr.Cycles)
+		}
+	}
+	// Makespan bounds every span and the bottleneck.
+	for _, sp := range s.Spans {
+		if sp.End > s.Makespan {
+			t.Errorf("span of task %d ends at %d beyond makespan %d", sp.Task, sp.End, s.Makespan)
+		}
+	}
+	if s.BottleneckCycles > s.Makespan {
+		t.Errorf("bottleneck %d exceeds makespan %d", s.BottleneckCycles, s.Makespan)
+	}
+	// Utilization is a proper fraction and PerTileStats mirrors PerTile.
+	for tl, st := range s.PerTileStats() {
+		if u := s.Utilization(tl); u < 0 || u > 1 {
+			t.Errorf("tile %d utilization %v outside [0,1]", tl, u)
+		}
+		if st.Compute != s.PerTile[tl].ComputeCycles || st.Transfer != s.PerTile[tl].IOCycles {
+			t.Errorf("tile %d PerTileStats %+v mismatches TileUse %+v", tl, st, s.PerTile[tl])
+		}
+	}
+}
+
+func TestValidateCatchesOversubscription(t *testing.T) {
+	g := buildPaperGraph(t, "fam", 2048)
+	s, err := NewSchedule(g, Fabric{Tiles: 2}, StrategyPipelined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	// Tamper: force two spans on one tile to overlap.
+	tile0 := -1
+	for i := range s.Spans {
+		if s.Spans[i].Tile == s.Spans[0].Tile && i > 0 {
+			tile0 = i
+			break
+		}
+	}
+	if tile0 < 0 {
+		t.Skip("no two tasks share a tile")
+	}
+	s.Spans[tile0].Start = s.Spans[0].Start
+	if err := s.Validate(); err == nil {
+		t.Error("overlapping spans passed validation")
+	}
+}
+
+func TestValidateCatchesMissingTransfer(t *testing.T) {
+	g := buildPaperGraph(t, "fam", 2048)
+	s, err := NewSchedule(g, Fabric{Tiles: 4}, StrategySharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Transfers = s.Transfers[:len(s.Transfers)-1]
+	if err := s.Validate(); err == nil {
+		t.Error("dropped NoC transfer passed validation")
+	}
+}
+
+func TestMemoryFeasibility(t *testing.T) {
+	g := buildPaperGraph(t, "fam", 2048)
+	ok, err := NewSchedule(g, Fabric{Tiles: 4}, StrategySharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok.MemFeasible() {
+		t.Error("paper fabric reported infeasible for FAM")
+	}
+	tiny, err := NewSchedule(g, Fabric{Tiles: 4, LocalMemWords: 16}, StrategySharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.MemFeasible() {
+		t.Error("16-word tiles reported feasible")
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	g := buildPaperGraph(t, "fam", 2048)
+	if _, err := Assign(g, "zigzag", 4); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := Assign(g, StrategySingle, 0); err == nil {
+		t.Error("0 tiles accepted")
+	}
+	if len(Strategies()) != 3 {
+		t.Errorf("Strategies() = %v, want 3 entries", Strategies())
+	}
+}
+
+func TestFabricDefaultsAndValidation(t *testing.T) {
+	f := Fabric{}.WithDefaults()
+	if f.Tiles != 4 || f.ClockMHz != 100 || f.LocalMemWords != 10*montium.MemWords ||
+		f.LinkLatency != 4 || f.LinkWordsPerCycle != 1 {
+		t.Errorf("defaults %+v not the paper platform", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("default fabric invalid: %v", err)
+	}
+	for _, bad := range []Fabric{
+		{Tiles: -1, ClockMHz: 100, LocalMemWords: 1, LinkWordsPerCycle: 1},
+		{Tiles: 1, ClockMHz: -5, LocalMemWords: 1, LinkWordsPerCycle: 1},
+		{Tiles: 1, ClockMHz: 100, LocalMemWords: -1, LinkWordsPerCycle: 1},
+		{Tiles: 1, ClockMHz: 100, LocalMemWords: 1, LinkLatency: -1, LinkWordsPerCycle: 1},
+		{Tiles: 1, ClockMHz: 100, LocalMemWords: 1, LinkWordsPerCycle: -2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("fabric %+v passed validation", bad)
+		}
+	}
+}
+
+func TestTransferCycles(t *testing.T) {
+	cases := []struct {
+		words   int64
+		latency int
+		bw      float64
+		want    int64
+	}{
+		{0, 4, 1, 0},
+		{1, 4, 1, 5},
+		{100, 4, 1, 104},
+		{100, 0, 4, 25},
+		{101, 0, 4, 26},
+		{3, 2, 0, 5}, // non-positive bandwidth defaults to 1 word/cycle
+	}
+	for _, c := range cases {
+		if got := montium.TransferCycles(c.words, c.latency, c.bw); got != c.want {
+			t.Errorf("TransferCycles(%d, %d, %v) = %d, want %d", c.words, c.latency, c.bw, got, c.want)
+		}
+	}
+}
+
+func TestLatencyAndThroughputFigures(t *testing.T) {
+	g := buildPaperGraph(t, "fam", 2048)
+	s, err := NewSchedule(g, Fabric{}, StrategySingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single tile: makespan is the serial total, bottleneck equals it.
+	if s.Makespan != g.TotalCycles() {
+		t.Errorf("single-tile makespan %d != total cycles %d", s.Makespan, g.TotalCycles())
+	}
+	if s.BottleneckCycles != s.Makespan {
+		t.Errorf("single-tile bottleneck %d != makespan %d", s.BottleneckCycles, s.Makespan)
+	}
+	wantMicros := float64(s.Makespan) / 100
+	if got := s.LatencyMicros(); got != wantMicros {
+		t.Errorf("latency %v µs, want %v", got, wantMicros)
+	}
+	if s.SustainedSamplesPerSec() != s.OneShotSamplesPerSec() {
+		t.Errorf("single tile sustained %v != one-shot %v",
+			s.SustainedSamplesPerSec(), s.OneShotSamplesPerSec())
+	}
+}
+
+func TestPow2Floor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 2, 16: 16, 29: 16, 1023: 512}
+	for n, want := range cases {
+		if got := pow2Floor(n); got != want {
+			t.Errorf("pow2Floor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

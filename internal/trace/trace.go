@@ -1,6 +1,3 @@
-// Package trace records cycle-annotated execution spans from the
-// simulated cores, for timeline inspection and CSV export. A Recorder is
-// safe for concurrent use by multiple tiles.
 package trace
 
 import (

@@ -1,0 +1,169 @@
+package tiledcfd
+
+import (
+	"fmt"
+
+	"tiledcfd/internal/tile"
+)
+
+// FabricConfig describes the modeled multi-tile platform MapEstimate
+// schedules onto: how many Montium tiles, how fast they clock, how much
+// local memory each carries, and what the NoC links cost. Zero fields
+// take the paper's platform (4 tiles, 100 MHz, 10×1024 words, 4-cycle
+// link latency, one 16-bit word per cycle).
+type FabricConfig struct {
+	// Tiles is the tile count (the paper's Q).
+	Tiles int
+	// ClockMHz is the tile clock.
+	ClockMHz float64
+	// LocalMemWords is each tile's local memory in 16-bit words.
+	LocalMemWords int
+	// LinkLatency is the fixed per-transfer NoC latency in cycles: 0
+	// takes the default 4, a negative value a true zero-latency link.
+	LinkLatency int
+	// LinkWordsPerCycle is the NoC link bandwidth in 16-bit words per
+	// cycle.
+	LinkWordsPerCycle float64
+}
+
+// fabric converts the public config to the internal model.
+func (fc FabricConfig) fabric() tile.Fabric {
+	return tile.Fabric{
+		Tiles:             fc.Tiles,
+		ClockMHz:          fc.ClockMHz,
+		LocalMemWords:     fc.LocalMemWords,
+		LinkLatency:       fc.LinkLatency,
+		LinkWordsPerCycle: fc.LinkWordsPerCycle,
+	}
+}
+
+// MappingNames returns the mapping strategies MapEstimate accepts, in
+// report order: "single" (one-tile baseline), "pipelined" (one pipeline
+// stage per tile) and "sharded" (each stage's hops/rows/strips
+// distributed across all tiles).
+func MappingNames() []string { return tile.Strategies() }
+
+// TileLoad is one tile's predicted load in a mapping estimate.
+type TileLoad struct {
+	// Tile is the tile index.
+	Tile int
+	// Tasks counts the pipeline tasks mapped onto the tile.
+	Tasks int
+	// ComputeCycles is the tile's modeled datapath work per window;
+	// TransferCycles its NoC port occupancy moving operands on and off.
+	ComputeCycles, TransferCycles int64
+	// Utilization is ComputeCycles over the window's end-to-end latency,
+	// in [0, 1].
+	Utilization float64
+	// MemWords is the largest resident task footprint on the tile.
+	MemWords int64
+	// MemOK reports whether MemWords fits the fabric's local memory.
+	MemOK bool
+}
+
+// MappingEstimate is the predicted execution of one estimator window
+// mapped onto a tile fabric: the multi-tile counterpart of the paper's
+// Table 1, produced by MapEstimate.
+type MappingEstimate struct {
+	// Estimator and Strategy name the pipeline and the mapping.
+	Estimator, Strategy string
+	// Tiles is the fabric size the schedule used.
+	Tiles int
+	// Tasks and Transfers count the scheduled DAG tasks and the NoC
+	// movements the schedule charged.
+	Tasks, Transfers int
+	// WindowSamples is the input samples one window consumes.
+	WindowSamples int
+	// LatencyCycles is the end-to-end latency of one window in cycles.
+	LatencyCycles int64
+	// LatencyMicros is the same latency at the fabric clock.
+	LatencyMicros float64
+	// BottleneckCycles is the busiest tile's occupancy per window — the
+	// steady-state initiation interval when windows pipeline.
+	BottleneckCycles int64
+	// SustainedSamplesPerSec is the predicted steady-state throughput
+	// with consecutive windows pipelined.
+	SustainedSamplesPerSec float64
+	// OneShotSamplesPerSec is the single-window throughput figure.
+	OneShotSamplesPerSec float64
+	// NoCWords and NoCCycles total the cross-tile traffic and its cost.
+	NoCWords, NoCCycles int64
+	// MemFeasible reports whether every tile's footprint fits its local
+	// memory.
+	MemFeasible bool
+	// PerTile carries the per-tile breakdown.
+	PerTile []TileLoad
+}
+
+// MapEstimate partitions the configured estimator's pipeline into a
+// task DAG, maps it onto the fabric with the named strategy (one of
+// MappingNames), and schedules it — predicting end-to-end latency,
+// per-tile utilization, NoC traffic and sustained throughput. The
+// schedule is validated (no tile oversubscription, every cross-tile
+// edge charged a NoC transfer) before it is reported.
+//
+// cfg selects the pipeline exactly as for Sense: Estimator ("" defaults
+// to "fam"; "platform" maps as the direct DSCF; the Q15 twins share
+// their float pipeline's dataflow), K, M, Hop and Blocks (0 defaults to
+// 8 blocks — the window must afford at least two channelizer hops).
+func MapEstimate(cfg Config, fab FabricConfig, strategy string) (*MappingEstimate, error) {
+	name := cfg.Estimator
+	if name == "" {
+		name = "fam"
+	}
+	// Resolve through the registry first so unknown names get the
+	// standard "unknown estimator" error listing the valid set.
+	check := cfg
+	check.Estimator = name
+	if _, err := check.estimator(); err != nil {
+		return nil, err
+	}
+	blocks := cfg.Blocks
+	if blocks == 0 {
+		blocks = 8
+	}
+	// Params go through raw: Hop 0 must stay the "estimator default"
+	// sentinel for BuildGraph (WithDefaults would rewrite it to the
+	// direct method's K and silently change the FAM pipeline).
+	p := cfg.params(cfg.Hop)
+	k := p.WithDefaults().K
+	g, err := tile.BuildGraph(name, p, k*blocks)
+	if err != nil {
+		return nil, fmt.Errorf("tiledcfd: %w", err)
+	}
+	s, err := tile.NewSchedule(g, fab.fabric(), strategy)
+	if err != nil {
+		return nil, fmt.Errorf("tiledcfd: %w", err)
+	}
+	out := &MappingEstimate{
+		Estimator:              name,
+		Strategy:               strategy,
+		Tiles:                  s.Fabric.Tiles,
+		Tasks:                  len(g.Tasks),
+		Transfers:              len(s.Transfers),
+		WindowSamples:          g.WindowSamples,
+		LatencyCycles:          s.Makespan,
+		LatencyMicros:          s.LatencyMicros(),
+		BottleneckCycles:       s.BottleneckCycles,
+		SustainedSamplesPerSec: s.SustainedSamplesPerSec(),
+		OneShotSamplesPerSec:   s.OneShotSamplesPerSec(),
+		NoCWords:               s.NoCWords,
+		NoCCycles:              s.NoCCycles,
+		MemFeasible:            s.MemFeasible(),
+	}
+	// Cycle figures come through the scf.Stats per-tile form — the same
+	// plumbing the Q15 backends fill — so every consumer reads one shape.
+	for t, tc := range s.PerTileStats() {
+		u := s.PerTile[t]
+		out.PerTile = append(out.PerTile, TileLoad{
+			Tile:           tc.Tile,
+			Tasks:          u.Tasks,
+			ComputeCycles:  tc.Compute,
+			TransferCycles: tc.Transfer,
+			Utilization:    s.Utilization(t),
+			MemWords:       u.MemWords,
+			MemOK:          u.MemOK(s.Fabric.LocalMemWords),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package tiledcfd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMapEstimatePaperAcceptance(t *testing.T) {
+	// The acceptance sweep: K=256/M=64 FAM on the default 4-tile fabric.
+	cfg := Config{K: 256, M: 64, Estimator: "fam"}
+	single, err := MapEstimate(cfg, FabricConfig{}, "single")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Tiles != 4 || single.NoCWords != 0 {
+		t.Errorf("single: tiles=%d noc=%d, want 4 tiles and no NoC traffic", single.Tiles, single.NoCWords)
+	}
+	for _, strategy := range []string{"pipelined", "sharded"} {
+		e, err := MapEstimate(cfg, FabricConfig{}, strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.SustainedSamplesPerSec <= single.SustainedSamplesPerSec {
+			t.Errorf("%s sustained %.0f samples/s not strictly above single-tile %.0f",
+				strategy, e.SustainedSamplesPerSec, single.SustainedSamplesPerSec)
+		}
+		if e.NoCWords == 0 || e.Transfers == 0 {
+			t.Errorf("%s: multi-tile mapping charged no NoC transfers", strategy)
+		}
+		if !e.MemFeasible {
+			t.Errorf("%s: paper fabric reported memory-infeasible", strategy)
+		}
+		if len(e.PerTile) != 4 {
+			t.Fatalf("%s: %d per-tile rows, want 4", strategy, len(e.PerTile))
+		}
+		var compute int64
+		for _, u := range e.PerTile {
+			compute += u.ComputeCycles
+			if u.Utilization < 0 || u.Utilization > 1 {
+				t.Errorf("%s tile %d utilization %v outside [0,1]", strategy, u.Tile, u.Utilization)
+			}
+		}
+		if compute != single.LatencyCycles {
+			// Single-tile makespan is the serial total, which every
+			// mapping's per-tile compute must conserve.
+			t.Errorf("%s: per-tile compute %d != serial total %d", strategy, compute, single.LatencyCycles)
+		}
+	}
+}
+
+func TestMapEstimateDefaultsAndErrors(t *testing.T) {
+	e, err := MapEstimate(Config{}, FabricConfig{}, "sharded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Estimator != "fam" {
+		t.Errorf("default estimator %q, want fam", e.Estimator)
+	}
+	if e.WindowSamples <= 0 {
+		t.Errorf("window %d samples", e.WindowSamples)
+	}
+	if _, err := MapEstimate(Config{Estimator: "nope"}, FabricConfig{}, "sharded"); err == nil ||
+		!strings.Contains(err.Error(), "unknown estimator") {
+		t.Errorf("unknown estimator error = %v", err)
+	}
+	if _, err := MapEstimate(Config{}, FabricConfig{}, "zigzag"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := MapEstimate(Config{}, FabricConfig{Tiles: -3}, "single"); err == nil {
+		t.Error("negative tile count accepted")
+	}
+	for _, est := range []string{"platform", "direct", "ssca", "fam-q15", "ssca-q15"} {
+		if _, err := MapEstimate(Config{Estimator: est}, FabricConfig{}, "pipelined"); err != nil {
+			t.Errorf("%s: %v", est, err)
+		}
+	}
+	if got := MappingNames(); len(got) != 3 || got[0] != "single" {
+		t.Errorf("MappingNames() = %v", got)
+	}
+}
+
+// TestMapEstimateHonoursHop: an explicit Hop must reach the pipeline
+// model (Hop=K FAM is a different window than the default K/4), and the
+// SSCA rejection matches the estimators'.
+func TestMapEstimateHonoursHop(t *testing.T) {
+	def, err := MapEstimate(Config{Estimator: "fam"}, FabricConfig{}, "single")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := MapEstimate(Config{Estimator: "fam", Hop: 256}, FabricConfig{}, "single")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.WindowSamples != 1216 || wide.WindowSamples != 2048 {
+		t.Errorf("windows: default hop %d (want 1216), Hop=256 %d (want 2048)",
+			def.WindowSamples, wide.WindowSamples)
+	}
+	if _, err := MapEstimate(Config{Estimator: "ssca", Hop: 4}, FabricConfig{}, "single"); err == nil {
+		t.Error("ssca with Hop accepted")
+	}
+}
