@@ -13,6 +13,7 @@ import (
 	"tiledcfd/internal/mapping"
 	"tiledcfd/internal/perf"
 	"tiledcfd/internal/scf"
+	"tiledcfd/internal/shard"
 	"tiledcfd/internal/sig"
 	"tiledcfd/internal/soc"
 	"tiledcfd/internal/stream"
@@ -412,6 +413,9 @@ type MonitorStats struct {
 	// decisions lost to a full or unread Decisions channel (the latest
 	// per channel always remains available via ChannelStats).
 	Surfaces, Detections, DecisionsDropped int64
+	// QueuedSamples is the momentary ingestion backlog: samples pushed
+	// but not yet integrated into estimator state.
+	QueuedSamples int64
 	// SamplesPerSec and SurfacesPerSec are lifetime-average throughput
 	// rates.
 	SamplesPerSec, SurfacesPerSec float64
@@ -462,35 +466,33 @@ func toMonitorDecision(d stream.Decision) MonitorDecision {
 	}
 }
 
-// NewMonitor creates a streaming sensing session. cfg selects the
-// estimator and geometry exactly as for Sense (software estimators only;
-// cfg.Threshold > 0 selects fixed-threshold decisions, otherwise the
-// self-calibrating CFAR is used); opts configures ingestion and
-// scheduling.
-func NewMonitor(cfg Config, opts MonitorOptions) (*Monitor, error) {
+// monitorStreamConfig validates the estimator selection and builds the
+// per-engine streaming configuration — the single translation point
+// shared by NewMonitor and NewShardedMonitor.
+func monitorStreamConfig(cfg Config, opts MonitorOptions) (stream.Config, error) {
 	if cfg.Estimator == "" {
 		cfg.Estimator = "direct"
 	}
 	est, err := cfg.estimator()
 	if err != nil {
-		return nil, err
+		return stream.Config{}, err
 	}
 	if est == nil {
-		return nil, fmt.Errorf("tiledcfd: the %q path has no incremental form; "+
+		return stream.Config{}, fmt.Errorf("tiledcfd: the %q path has no incremental form; "+
 			"pick a streaming estimator (%s) or use Watch",
 			cfg.Estimator, strings.Join(streamingEstimatorNames(), ", "))
 	}
 	sest, ok := est.(scf.StreamingEstimator)
 	if !ok {
-		return nil, fmt.Errorf("tiledcfd: estimator %q cannot stream; pick one of %s",
+		return stream.Config{}, fmt.Errorf("tiledcfd: estimator %q cannot stream; pick one of %s",
 			cfg.Estimator, strings.Join(streamingEstimatorNames(), ", "))
 	}
 	if opts.Cumulative && cfg.Estimator == "ssca" {
-		return nil, fmt.Errorf("tiledcfd: cumulative monitoring is unsupported with the ssca " +
+		return stream.Config{}, fmt.Errorf("tiledcfd: cumulative monitoring is unsupported with the ssca " +
 			"estimator: its un-reset accumulator grows without bound (one strip entry per " +
 			"addressed channel per sample); use windowed mode or another estimator")
 	}
-	eng, err := stream.New(stream.Config{
+	return stream.Config{
 		Estimator:       sest,
 		SnapshotSamples: opts.SnapshotSamples,
 		RingSamples:     opts.RingSamples,
@@ -500,7 +502,20 @@ func NewMonitor(cfg Config, opts MonitorOptions) (*Monitor, error) {
 		MinAbsA:         cfg.MinAbsA,
 		Threshold:       cfg.Threshold,
 		CFARScale:       opts.CFARScale,
-	})
+	}, nil
+}
+
+// NewMonitor creates a streaming sensing session. cfg selects the
+// estimator and geometry exactly as for Sense (software estimators only;
+// cfg.Threshold > 0 selects fixed-threshold decisions, otherwise the
+// self-calibrating CFAR is used); opts configures ingestion and
+// scheduling.
+func NewMonitor(cfg Config, opts MonitorOptions) (*Monitor, error) {
+	scfg, err := monitorStreamConfig(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := stream.New(scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -563,6 +578,7 @@ func (m *Monitor) Stats() MonitorStats {
 		Surfaces:         s.Surfaces,
 		Detections:       s.Detections,
 		DecisionsDropped: s.DecisionsDropped + m.dropped.Load(),
+		QueuedSamples:    s.QueuedSamples,
 		SamplesPerSec:    s.SamplesPerSec,
 		SurfacesPerSec:   s.SurfacesPerSec,
 	}
@@ -600,6 +616,234 @@ func (m *Monitor) Flush(timeout time.Duration) error { return m.eng.Flush(timeou
 func (m *Monitor) Close() error {
 	var err error
 	m.once.Do(func() { err = m.eng.Close() })
+	return err
+}
+
+// ShardedMonitorOptions configures a NewShardedMonitor session. The
+// embedded MonitorOptions apply per shard (so Workers is the worker
+// count of each shard engine, and the service total is Shards×Workers).
+type ShardedMonitorOptions struct {
+	MonitorOptions
+	// Shards is the initial engine count (default 1). More can be added
+	// at runtime with AddShards.
+	Shards int
+	// DecisionBuffer is the capacity of the merged Decisions channel
+	// (default 1024). Decisions overflowing it are dropped and counted;
+	// the latest per channel stays available via ChannelStats.
+	DecisionBuffer int
+	// HandoffTimeout bounds one channel's quiesce during rebalancing
+	// (default 30s).
+	HandoffTimeout time.Duration
+}
+
+// ShardDecision is one per-channel verdict of a ShardedMonitor, tagged
+// with the shard that produced it.
+type ShardDecision struct {
+	MonitorDecision
+	// Shard names the engine instance that owned the channel at decision
+	// time.
+	Shard string
+}
+
+// ShardInfo is one shard's public accounting within a ShardedMonitor.
+type ShardInfo struct {
+	// Name identifies the shard (stable across the session).
+	Name string
+	// Channels is the number of channels the shard currently owns.
+	Channels int
+	// SamplesIn, Surfaces and Detections are the shard engine's lifetime
+	// counters; QueuedSamples its momentary ingestion backlog.
+	SamplesIn, Surfaces, Detections, QueuedSamples int64
+}
+
+// ShardedMonitorStats is session-wide ShardedMonitor accounting: live
+// shards plus the banked counters of every drained shard, so totals
+// never move backwards on rebalancing.
+type ShardedMonitorStats struct {
+	MonitorStats
+	// Shards counts the live engine instances.
+	Shards int
+	// Handoffs counts channel ownership moves across the session.
+	Handoffs int64
+}
+
+// ShardedMonitorChannelStats aggregates one channel's accounting across
+// every shard that ever owned it.
+type ShardedMonitorChannelStats struct {
+	MonitorChannelStats
+	// Shard names the channel's current owner.
+	Shard string
+	// Handoffs counts the ownership moves this channel has been through.
+	Handoffs int64
+}
+
+// ShardedMonitor is a Monitor partitioned across N engine instances:
+// every channel is owned by exactly one shard, chosen by rendezvous
+// hashing, so per-channel sample order and decision cadence are
+// preserved while unrelated channels scale across shards. The fleet can
+// be grown (AddShards) and shrunk (DrainShard) live: ownership moves by
+// explicit handoff — the old shard quiesces the channel and flushes any
+// partially integrated window into one final decision — so windows are
+// never lost to a rebalance and never counted twice.
+//
+// A ShardedMonitor must be Closed when done.
+type ShardedMonitor struct {
+	r    *shard.Router
+	out  chan ShardDecision
+	once sync.Once
+}
+
+// NewShardedMonitor creates a sharded streaming sensing session. cfg
+// selects the estimator and geometry exactly as for NewMonitor; opts
+// adds the shard topology.
+func NewShardedMonitor(cfg Config, opts ShardedMonitorOptions) (*ShardedMonitor, error) {
+	scfg, err := monitorStreamConfig(cfg, opts.MonitorOptions)
+	if err != nil {
+		return nil, err
+	}
+	r, err := shard.New(shard.Config{
+		Shards:         opts.Shards,
+		Engine:         scfg,
+		DecisionBuffer: opts.DecisionBuffer,
+		HandoffTimeout: opts.HandoffTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range opts.Channels {
+		if err := r.AddChannel(id); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	m := &ShardedMonitor{r: r, out: make(chan ShardDecision, cap(r.Decisions()))}
+	go func() {
+		defer close(m.out)
+		for d := range r.Decisions() {
+			m.out <- ShardDecision{MonitorDecision: toMonitorDecision(d.Decision), Shard: d.Shard}
+		}
+	}()
+	return m, nil
+}
+
+// AddChannel registers a channel on its rendezvous-chosen shard.
+func (m *ShardedMonitor) AddChannel(id string) error { return m.r.AddChannel(id) }
+
+// RemoveChannel unregisters a channel, flushing any partially integrated
+// window into one final decision, and returns its aggregate accounting
+// across every shard that owned it.
+func (m *ShardedMonitor) RemoveChannel(id string) (ShardedMonitorChannelStats, error) {
+	cs, err := m.r.RemoveChannel(id)
+	if err != nil {
+		return ShardedMonitorChannelStats{}, err
+	}
+	return toShardedChannelStats(cs), nil
+}
+
+// Push appends samples to a channel's stream on its current owner.
+// Pushes to one channel serialise with each other and with rebalancing,
+// so a handoff never interleaves with a half-delivered block.
+func (m *ShardedMonitor) Push(id string, samples []complex128) (int, error) {
+	return m.r.Push(id, samples)
+}
+
+// Decisions returns the merged rolling verdicts across all shards,
+// closed by Close. A slow consumer never stalls sensing; overflowing
+// decisions are dropped and counted in Stats.DecisionsDropped.
+func (m *ShardedMonitor) Decisions() <-chan ShardDecision { return m.out }
+
+// toShardedChannelStats converts the router's channel record.
+func toShardedChannelStats(cs shard.ChannelStats) ShardedMonitorChannelStats {
+	out := ShardedMonitorChannelStats{
+		MonitorChannelStats: MonitorChannelStats{
+			ID:             cs.ID,
+			SamplesIn:      cs.SamplesIn,
+			SamplesDropped: cs.SamplesDropped,
+			Snapshots:      cs.Snapshots,
+			Detections:     cs.Detections,
+		},
+		Shard:    cs.Shard,
+		Handoffs: cs.Handoffs,
+	}
+	if cs.Last != nil {
+		last := toMonitorDecision(*cs.Last)
+		out.Last = &last
+	}
+	return out
+}
+
+// Stats returns session-wide accounting summed over live shards and the
+// banked counters of drained ones.
+func (m *ShardedMonitor) Stats() ShardedMonitorStats {
+	s := m.r.Stats()
+	out := ShardedMonitorStats{
+		MonitorStats: MonitorStats{
+			Channels:         s.Channels,
+			SamplesIn:        s.SamplesIn,
+			SamplesDropped:   s.SamplesDropped,
+			Surfaces:         s.Surfaces,
+			Detections:       s.Detections,
+			DecisionsDropped: s.DecisionsDropped,
+			QueuedSamples:    s.QueuedSamples,
+			SamplesPerSec:    s.SamplesPerSec,
+		},
+		Shards:   s.Shards,
+		Handoffs: s.Handoffs,
+	}
+	if sec := s.Elapsed.Seconds(); sec > 0 {
+		out.SurfacesPerSec = float64(s.Surfaces) / sec
+	}
+	return out
+}
+
+// ChannelStats returns one channel's aggregate accounting across every
+// owner it has had; ok is false for an unknown id.
+func (m *ShardedMonitor) ChannelStats(id string) (ShardedMonitorChannelStats, bool) {
+	cs, ok := m.r.ChannelStats(id)
+	if !ok {
+		return ShardedMonitorChannelStats{}, false
+	}
+	return toShardedChannelStats(cs), true
+}
+
+// Channels returns the registered channel ids (unordered).
+func (m *ShardedMonitor) Channels() []string { return m.r.Channels() }
+
+// Shards returns per-shard accounting in registration order.
+func (m *ShardedMonitor) Shards() []ShardInfo {
+	ss := m.r.ShardStats()
+	out := make([]ShardInfo, len(ss))
+	for i, s := range ss {
+		out[i] = ShardInfo{
+			Name:          s.Name,
+			Channels:      s.Channels,
+			SamplesIn:     s.Stats.SamplesIn,
+			Surfaces:      s.Stats.Surfaces,
+			Detections:    s.Stats.Detections,
+			QueuedSamples: s.Stats.QueuedSamples,
+		}
+	}
+	return out
+}
+
+// AddShards grows the fleet by n engines and rebalances; only channels
+// whose rendezvous maximum is a newcomer move. Returns the new shard
+// names.
+func (m *ShardedMonitor) AddShards(n int) ([]string, error) { return m.r.AddShards(n) }
+
+// DrainShard hands every channel off the named shard to the survivors
+// (flushing partial windows, preserving counters) and retires it. The
+// last shard cannot be drained.
+func (m *ShardedMonitor) DrainShard(name string) error { return m.r.DrainShard(name) }
+
+// Flush blocks until every shard has processed its pushed samples and
+// made its due decisions, or the timeout elapses.
+func (m *ShardedMonitor) Flush(timeout time.Duration) error { return m.r.Flush(timeout) }
+
+// Close stops every shard engine and closes Decisions. Idempotent.
+func (m *ShardedMonitor) Close() error {
+	var err error
+	m.once.Do(func() { err = m.r.Close() })
 	return err
 }
 

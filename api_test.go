@@ -1,6 +1,7 @@
 package tiledcfd
 
 import (
+	"fmt"
 	"math"
 	"math/cmplx"
 	"testing"
@@ -505,5 +506,108 @@ func TestMonitorStreamsDecisions(t *testing.T) {
 func TestMonitorRejectsPlatform(t *testing.T) {
 	if _, err := NewMonitor(Config{Estimator: "platform"}, MonitorOptions{}); err == nil {
 		t.Fatal("NewMonitor with the platform path succeeded")
+	}
+	if _, err := NewShardedMonitor(Config{Estimator: "platform"}, ShardedMonitorOptions{}); err == nil {
+		t.Fatal("NewShardedMonitor with the platform path succeeded")
+	}
+}
+
+func TestShardedMonitorRebalancesLive(t *testing.T) {
+	// The sharded session must behave as one Monitor while the fleet
+	// grows and shrinks beneath the channels mid-stream.
+	const k, window = 64, 2048
+	ids := make([]string, 8)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("uhf-%d", i)
+	}
+	mon, err := NewShardedMonitor(
+		Config{K: k, M: 16, Estimator: "fam"},
+		ShardedMonitorOptions{
+			MonitorOptions: MonitorOptions{Channels: ids, SnapshotSamples: window, Backpressure: true},
+			Shards:         2,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	push := func(windows int, seedBase uint64) {
+		for i, id := range ids {
+			for w := 0; w < windows; w++ {
+				s, err := NewBPSKBand(window, 8.0/k, 8, 10, seedBase+uint64(16*i+w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n, err := mon.Push(id, s); err != nil || n != window {
+					t.Fatalf("Push(%s): %d, %v", id, n, err)
+				}
+			}
+		}
+	}
+	push(2, 100)
+	if err := mon.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	names, err := mon.AddShards(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push(2, 400)
+	if err := mon.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.DrainShard(names[0]); err != nil {
+		t.Fatal(err)
+	}
+	st := mon.Stats()
+	if st.Shards != 3 || st.Channels != len(ids) {
+		t.Fatalf("topology %d shards / %d channels, want 3 / %d", st.Shards, st.Channels, len(ids))
+	}
+	if st.Handoffs == 0 {
+		t.Fatal("no handoffs across grow+drain")
+	}
+	// Exact accounting across the moves: nothing lost, nothing twice.
+	if want := int64(4 * window * len(ids)); st.SamplesIn != want || st.SamplesDropped != 0 {
+		t.Fatalf("SamplesIn %d (dropped %d), want %d / 0", st.SamplesIn, st.SamplesDropped, want)
+	}
+	if st.Surfaces != int64(4*len(ids)) {
+		t.Fatalf("Surfaces %d, want %d", st.Surfaces, 4*len(ids))
+	}
+	shards := mon.Shards()
+	if len(shards) != 3 {
+		t.Fatalf("%d shard infos, want 3", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.Channels
+	}
+	if total != len(ids) {
+		t.Fatalf("shards own %d channels, want %d", total, len(ids))
+	}
+	cs, ok := mon.ChannelStats(ids[0])
+	if !ok || cs.Snapshots != 4 || cs.SamplesIn != 4*window {
+		t.Fatalf("channel stats %+v, want 4 windows / %d samples", cs, 4*window)
+	}
+	if cs.Detections != 4 || cs.Last == nil || !cs.Last.Detected {
+		t.Fatalf("channel stats %+v, want every BPSK window detected", cs)
+	}
+	rm, err := mon.RemoveChannel(ids[0])
+	if err != nil || rm.Snapshots != 4 {
+		t.Fatalf("RemoveChannel: %+v, %v", rm, err)
+	}
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Merged decision stream: per-channel order preserved within each
+	// owner, every window delivered exactly once.
+	count := 0
+	for d := range mon.Decisions() {
+		if d.Shard == "" || d.Window != window {
+			t.Fatalf("decision %+v lacks shard tag or window", d)
+		}
+		count++
+	}
+	if count != 4*len(ids) {
+		t.Fatalf("merged stream delivered %d decisions, want %d", count, 4*len(ids))
 	}
 }

@@ -34,6 +34,17 @@
 // fabric figures sit next to a measured host sustained rate.
 // -map-tiles "" skips the scenario.
 //
+// Since PR 6 (schema 5) the artifact carries a wire-protocol ingestion
+// scenario: a multi-shard server (internal/shard behind internal/wire)
+// listens on loopback and -wire-channels client connections stream the
+// band at it with TCP backpressure as the only pacing, so the recorded
+// aggregate samples/sec is the sharded service's saturation throughput
+// end to end (framing, decode, routing, estimator, decision). Rows are
+// the cross product of -wire-shards and -wire-procs (GOMAXPROCS is
+// switched in-process per row, so one artifact carries the 1-vs-N core
+// scaling pair), and every streaming row now records GOMAXPROCS and the
+// engine worker count explicitly. -wire-channels 0 skips the scenario.
+//
 // With -baseline, a previously written report is embedded and per-
 // estimator speedups (baseline ns / current ns) are computed, turning one
 // file into a before/after comparison:
@@ -63,7 +74,9 @@ import (
 	"tiledcfd/internal/fam"
 	"tiledcfd/internal/quant"
 	"tiledcfd/internal/scf"
+	"tiledcfd/internal/shard"
 	"tiledcfd/internal/stream"
+	"tiledcfd/internal/wire"
 )
 
 // Measurement is one estimator's benchmark row.
@@ -104,9 +117,28 @@ type StreamingMeasurement struct {
 	SamplesPerChannel int     `json:"samples_per_channel"`
 	SnapshotSamples   int     `json:"snapshot_samples"`
 	Workers           int     `json:"workers"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
 	WallSeconds       float64 `json:"wall_seconds"`
 	SamplesPerSec     float64 `json:"samples_per_sec"`
 	SurfacesPerSec    float64 `json:"surfaces_per_sec"`
+	Surfaces          int64   `json:"surfaces"`
+}
+
+// WireMeasurement is one row of the schema-5 wire-protocol ingestion
+// scenario: the sharded service saturated over loopback TCP, so the
+// aggregate samples/sec covers framing, decode, shard routing, the
+// estimators and the decisions end to end.
+type WireMeasurement struct {
+	Name              string  `json:"name"`
+	Shards            int     `json:"shards"`
+	Channels          int     `json:"channels"`
+	Connections       int     `json:"connections"`
+	SamplesPerChannel int     `json:"samples_per_channel"`
+	SnapshotSamples   int     `json:"snapshot_samples"`
+	WorkersPerShard   int     `json:"workers_per_shard"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	SamplesPerSec     float64 `json:"samples_per_sec"`
 	Surfaces          int64   `json:"surfaces"`
 }
 
@@ -146,6 +178,7 @@ type Report struct {
 	Results    []Measurement           `json:"results"`
 	FixedPoint []FixedPointMeasurement `json:"fixed_point,omitempty"`
 	Streaming  []StreamingMeasurement  `json:"streaming,omitempty"`
+	Wire       []WireMeasurement       `json:"wire,omitempty"`
 	Mapping    *MappingScenario        `json:"mapping,omitempty"`
 	Baseline   *Report                 `json:"baseline,omitempty"`
 	Speedup    map[string]float64      `json:"speedup_vs_baseline,omitempty"`
@@ -176,13 +209,29 @@ func main() {
 		mapEst    = flag.String("map-estimator", "fam", "mapping scenario: pipeline to schedule")
 		mapTiles  = flag.String("map-tiles", "1,2,4,8", "mapping scenario: comma-separated tile counts (empty = skip)")
 		mapStrats = flag.String("map-strategies", strings.Join(tiledcfd.MappingNames(), ","), "mapping scenario: comma-separated strategies")
+		wireEst   = flag.String("wire-estimator", "fam", "wire scenario: streaming estimator to serve")
+		wireSh    = flag.String("wire-shards", "1,2", "wire scenario: comma-separated shard counts")
+		wireCh    = flag.Int("wire-channels", 8, "wire scenario: client connections/channels (0 = skip)")
+		wireN     = flag.Int("wire-samples", 1<<16, "wire scenario: samples per channel")
+		wireProcs = flag.String("wire-procs", "1,0", "wire scenario: comma-separated GOMAXPROCS per run (0 = all cores)")
 	)
 	flag.Parse()
+	w := wireOpts{estimator: *wireEst, shardsCSV: *wireSh, channels: *wireCh,
+		samples: *wireN, procsCSV: *wireProcs}
 	if err := run(*out, *k, *m, *blocks, *seed, *names, *baseline, *failBelow,
-		*streamCh, *streamN, *mapEst, *mapTiles, *mapStrats); err != nil {
+		*streamCh, *streamN, *mapEst, *mapTiles, *mapStrats, w); err != nil {
 		fmt.Fprintln(os.Stderr, "cfdbench:", err)
 		os.Exit(1)
 	}
+}
+
+// wireOpts bundles the schema-5 wire-protocol scenario parameters.
+type wireOpts struct {
+	estimator string
+	shardsCSV string
+	channels  int
+	samples   int
+	procsCSV  string
 }
 
 // fixedRefs pairs each Q15 backend with the float estimator the
@@ -190,7 +239,7 @@ func main() {
 var fixedRefs = map[string]string{"fam-q15": "fam", "ssca-q15": "ssca"}
 
 func run(out string, k, m, blocks int, seed uint64, names, baseline string, failBelow float64,
-	streamCh, streamN int, mapEst, mapTiles, mapStrats string) error {
+	streamCh, streamN int, mapEst, mapTiles, mapStrats string, wopts wireOpts) error {
 	band, err := tiledcfd.NewBPSKBand(k*blocks, 0.125, 8, 10, seed)
 	if err != nil {
 		return err
@@ -206,7 +255,7 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 		"ssca-q15": fam.SSCAQ15{Params: p},
 	}
 	rep := Report{
-		Schema:     4, // 2: streaming throughput; 3: fixed-point + model cycles; 4: multi-tile mapping
+		Schema:     5, // 2: streaming; 3: fixed-point + model cycles; 4: multi-tile mapping; 5: wire ingestion + gomaxprocs
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -309,6 +358,13 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 			fmt.Printf("%-8s streaming %d ch: %8.2fM samples/s %8.1f surfaces/s\n",
 				name, sm.Channels, sm.SamplesPerSec/1e6, sm.SurfacesPerSec)
 		}
+	}
+	if wopts.channels > 0 {
+		rows, err := benchWire(wopts, all, band)
+		if err != nil {
+			return fmt.Errorf("wire scenario: %w", err)
+		}
+		rep.Wire = rows
 	}
 	if mapTiles != "" {
 		sc, err := benchMapping(mapEst, k, m, blocks, mapTiles, mapStrats, all, band)
@@ -447,6 +503,195 @@ func benchMapping(estimator string, k, m, blocks int, tilesCSV, strategiesCSV st
 	return sc, nil
 }
 
+// parseCounts parses a comma-separated list of non-negative integers.
+func parseCounts(csv, flagName string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("%s entry %q is not a non-negative integer", flagName, s)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s %q names no counts", flagName, csv)
+	}
+	return out, nil
+}
+
+// routerSink adapts the shard router to the wire server's Sink.
+type routerSink struct{ r *shard.Router }
+
+// OpenChannel registers the stream's channel on its shard.
+func (s routerSink) OpenChannel(meta wire.Meta) error { return s.r.AddChannel(meta.ID) }
+
+// Push routes decoded samples to the owning shard.
+func (s routerSink) Push(id string, samples []complex128) (int, error) {
+	return s.r.Push(id, samples)
+}
+
+// benchWire runs the schema-5 wire-protocol ingestion scenario: one row
+// per -wire-procs × -wire-shards combination.
+func benchWire(wopts wireOpts, all map[string]scf.Estimator, band []complex128) ([]WireMeasurement, error) {
+	est, ok := all[wopts.estimator]
+	if !ok {
+		return nil, fmt.Errorf("unknown -wire-estimator %q", wopts.estimator)
+	}
+	sest, ok := est.(scf.StreamingEstimator)
+	if !ok {
+		return nil, fmt.Errorf("-wire-estimator %q has no incremental form", wopts.estimator)
+	}
+	shardCounts, err := parseCounts(wopts.shardsCSV, "-wire-shards")
+	if err != nil {
+		return nil, err
+	}
+	procsList, err := parseCounts(wopts.procsCSV, "-wire-procs")
+	if err != nil {
+		return nil, err
+	}
+	var rows []WireMeasurement
+	for _, procs := range procsList {
+		for _, shards := range shardCounts {
+			if shards < 1 {
+				return nil, fmt.Errorf("-wire-shards entry %d must be >= 1", shards)
+			}
+			row, err := benchWireOnce(wopts, sest, shards, procs, band)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *row)
+			fmt.Printf("%-8s wire %d shards %d conns p=%d: %8.2fM samples/s aggregate\n",
+				wopts.estimator, shards, wopts.channels, row.GOMAXPROCS, row.SamplesPerSec/1e6)
+		}
+	}
+	return rows, nil
+}
+
+// benchWireOnce saturates one sharded wire server over loopback: every
+// channel gets its own connection (so server read loops parallelise)
+// and Block-mode engines make TCP backpressure the only pacing — the
+// clients run at exactly the service rate, and the wall clock over the
+// fully drained run is the saturation throughput.
+func benchWireOnce(wopts wireOpts, est scf.StreamingEstimator, shards, procs int, band []complex128) (*WireMeasurement, error) {
+	if procs <= 0 {
+		procs = runtime.NumCPU()
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	const window = 8192
+	r, err := shard.New(shard.Config{
+		Shards: shards,
+		Engine: stream.Config{
+			Estimator:       est,
+			SnapshotSamples: window,
+			Workers:         procs,
+			Block:           true,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	// Keep the merged decision stream drained so nothing is dropped at
+	// the buffer; Close ends the channel and the goroutine.
+	go func() {
+		for range r.Decisions() {
+		}
+	}()
+	srv, err := wire.NewServer(wire.ServerConfig{Sink: routerSink{r}})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, wopts.channels)
+	for i := 0; i < wopts.channels; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = streamWireChannel(addr.String(), fmt.Sprintf("wirech%d", i), wopts.samples, band)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The clients have written everything, but some of it may still sit
+	// in loopback socket buffers: wait until the server has delivered
+	// the full feed to the router before draining the engines.
+	want := int64(wopts.channels) * int64(wopts.samples)
+	deadline := time.Now().Add(5 * time.Minute)
+	for srv.Metrics.SamplesIn.Load() < want {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("server ingested %d of %d samples within 5m",
+				srv.Metrics.SamplesIn.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := r.Flush(5 * time.Minute); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start).Seconds()
+	st := r.Stats()
+	if st.SamplesIn != want {
+		return nil, fmt.Errorf("router ingested %d of %d samples", st.SamplesIn, want)
+	}
+	if st.SamplesDropped != 0 {
+		return nil, fmt.Errorf("dropped %d samples in backpressure mode", st.SamplesDropped)
+	}
+	row := &WireMeasurement{
+		Name:              wopts.estimator,
+		Shards:            shards,
+		Channels:          wopts.channels,
+		Connections:       wopts.channels,
+		SamplesPerChannel: wopts.samples,
+		SnapshotSamples:   window,
+		WorkersPerShard:   procs,
+		GOMAXPROCS:        procs,
+		WallSeconds:       wall,
+		Surfaces:          st.Surfaces,
+	}
+	if wall > 0 {
+		row.SamplesPerSec = float64(st.SamplesIn) / wall
+	}
+	return row, nil
+}
+
+// streamWireChannel is one client connection streaming total samples
+// (the band tiled as needed) into its own channel.
+func streamWireChannel(addr, id string, total int, band []complex128) error {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	cs, err := c.Open(wire.Meta{ID: id, Format: wire.FormatCF32, SampleRateHz: 1e6})
+	if err != nil {
+		return err
+	}
+	for fed := 0; fed < total; {
+		n := len(band)
+		if fed+n > total {
+			n = total - fed
+		}
+		if err := cs.Send(band[:n]); err != nil {
+			return err
+		}
+		fed += n
+	}
+	return cs.Close()
+}
+
 // benchStreaming measures the sustained multi-channel streaming
 // throughput of one estimator: channels concurrent feeders push total
 // samples each (the test band tiled as needed) through a backpressured
@@ -509,7 +754,8 @@ func benchStreaming(name string, est scf.StreamingEstimator, channels, total int
 		Channels:          channels,
 		SamplesPerChannel: total,
 		SnapshotSamples:   window,
-		Workers:           runtime.GOMAXPROCS(0),
+		Workers:           runtime.GOMAXPROCS(0), // engine default: one per schedulable core
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
 		WallSeconds:       wall,
 		Surfaces:          st.Surfaces,
 	}

@@ -1,25 +1,35 @@
 // Command cfdserve is the long-running spectrum-sensing daemon: the
-// paper's Cognitive-Radio loop run as a service. It multiplexes many
-// concurrent channels through the streaming engine (tiledcfd.Monitor),
-// each fed by a synthetic radio front end whose licensed user comes and
-// goes, and reports rolling per-channel decisions plus engine throughput
-// (samples/sec, surfaces/sec) at a fixed cadence.
+// paper's Cognitive-Radio loop run as a network service. A sharded
+// streaming engine (tiledcfd.ShardedMonitor) partitions channels across
+// -shards engine instances by rendezvous hashing; IQ blocks arrive over
+// the wire protocol (-listen), from built-in synthetic radio front ends
+// (-selftest), or both. Rolling per-channel decisions and engine
+// throughput (samples/sec, surfaces/sec) are reported at a fixed
+// cadence, and the embedded status server (-http) exposes /healthz,
+// /stats (JSON) and /metrics (Prometheus text exposition).
 //
 // Usage:
 //
-//	cfdserve [-channels 4] [-estimator fam] [-k 256] [-m 0] [-hop 0]
-//	         [-window 16384] [-workers 0] [-mode block|drop] [-rate 0]
-//	         [-duration 0] [-report 2s] [-http addr] [-seed 1]
+//	cfdserve [-listen addr] [-shards 1] [-quota 0] [-quota-burst 0]
+//	         [-selftest] [-channels 4] [-estimator fam] [-k 256] [-m 0]
+//	         [-hop 0] [-window 16384] [-workers 0] [-mode block|drop]
+//	         [-rate 0] [-duration 0] [-report 2s] [-http addr] [-seed 1]
 //	         [-threshold 0] [-cfar-scale 2] [-cumulative] [-quiet]
+//	         [-drain-grace 5s]
+//	cfdserve -connect addr [-channels 4] [-format cf32_le|ci16_le]
+//	         [-rate 0] [-duration 0] [-seed 1] [-k 256] [-quiet]
 //
-// By default it runs until interrupted (SIGINT/SIGTERM), feeding
-// channels as fast as the engine processes them (-mode block applies
-// backpressure, so nothing is dropped and the reported samples/sec is
-// the engine's sustained throughput). With -rate the front ends pace
-// themselves to the given samples/sec per channel and -mode drop shows
-// the overload accounting instead. Decisions use the self-calibrating
-// CFAR unless -threshold sets a fixed CFD threshold. With -http an
-// embedded status server exposes /healthz and /stats (JSON).
+// With neither -listen nor -selftest the daemon defaults to -selftest
+// (the zero-configuration demo). -quota enforces a per-connection
+// ingest quota in samples/sec: data frames beyond it are shed whole and
+// counted, so one over-rate client cannot crowd out the rest. On
+// SIGINT/SIGTERM the daemon drains gracefully: it stops accepting new
+// connections and channels, lets in-flight frames land, flushes every
+// decision window in flight, prints the final accounting and exits 0.
+//
+// -connect turns cfdserve into a wire-protocol feeder instead: it dials
+// a serving instance, opens -channels channels and streams the synthetic
+// scenario at it — the loopback load generator the CI smoke test uses.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,11 +50,24 @@ import (
 	"time"
 
 	"tiledcfd"
+	"tiledcfd/internal/wire"
 )
 
 // options collects the daemon configuration (flag-parsed in main,
 // constructed directly in tests).
 type options struct {
+	// Serving side.
+	listen     string
+	shards     int
+	quota      float64
+	quotaBurst float64
+	drainGrace time.Duration
+	selftest   bool
+
+	// Client (feeder) side.
+	connect string
+	format  string
+
 	channels   int
 	k, m       int
 	estimator  string
@@ -61,20 +85,34 @@ type options struct {
 	cfarScale  float64
 	cumulative bool
 	quiet      bool
+
+	// notifyListen, when set, receives the bound wire listener address
+	// (tests bind port 0 and need the assignment).
+	notifyListen func(net.Addr)
+	// notifyHTTP likewise receives the bound status-server address.
+	notifyHTTP func(net.Addr)
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cfdserve: ")
 	var o options
-	flag.IntVar(&o.channels, "channels", 4, "concurrent monitored channels")
+	flag.StringVar(&o.listen, "listen", "", "wire-protocol ingest listener, e.g. :7373 (empty = disabled)")
+	flag.IntVar(&o.shards, "shards", 1, "engine instances to partition channels across")
+	flag.Float64Var(&o.quota, "quota", 0, "per-connection ingest quota in samples/sec (0 = unlimited)")
+	flag.Float64Var(&o.quotaBurst, "quota-burst", 0, "quota bucket depth in samples (0 = one second of quota)")
+	flag.DurationVar(&o.drainGrace, "drain-grace", 5*time.Second, "graceful-shutdown wait for in-flight connections")
+	flag.BoolVar(&o.selftest, "selftest", false, "run synthetic radio front ends (implied when -listen is unset)")
+	flag.StringVar(&o.connect, "connect", "", "run as a wire-protocol feeder against this server address")
+	flag.StringVar(&o.format, "format", "cf32_le", "wire sample format in -connect mode: cf32_le or ci16_le")
+	flag.IntVar(&o.channels, "channels", 4, "concurrent channels (selftest front ends or -connect streams)")
 	flag.StringVar(&o.estimator, "estimator", "fam", "surface estimator: "+strings.Join(tiledcfd.EstimatorNames(), ", "))
 	flag.IntVar(&o.k, "k", 256, "FFT / channelizer size K")
 	flag.IntVar(&o.m, "m", 0, "grid half-extent M (0 = K/4)")
 	flag.IntVar(&o.hop, "hop", 0, "block/channelizer advance (0 = estimator default; rejected with ssca)")
 	flag.IntVar(&o.window, "window", 16384, "samples per decision window")
 	flag.IntVar(&o.ring, "ring", 0, "per-channel ingestion ring capacity in samples (0 = 4×window)")
-	flag.IntVar(&o.workers, "workers", 0, "engine worker pool size (0 = one per CPU core)")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size per shard (0 = one per CPU core)")
 	flag.StringVar(&o.mode, "mode", "block", "overload policy: block (backpressure) or drop (count overflow)")
 	flag.IntVar(&o.rate, "rate", 0, "per-channel feed rate in samples/sec (0 = as fast as the engine accepts)")
 	flag.DurationVar(&o.duration, "duration", 0, "run time (0 = until SIGINT/SIGTERM)")
@@ -89,6 +127,12 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if o.connect != "" {
+		if err := runClient(ctx, o, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if _, err := run(ctx, o, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
@@ -105,6 +149,12 @@ type feeder struct {
 	busy    atomic.Bool // current ground truth, for the report
 }
 
+// pusher is the ingest surface a feeder needs — satisfied by
+// tiledcfd.ShardedMonitor locally and by wireSender over the protocol.
+type pusher interface {
+	Push(id string, samples []complex128) (int, error)
+}
+
 // segment returns the ground truth and length in windows of segment s.
 func (f *feeder) segment(s int) (busy bool, windows int) {
 	busy = s%2 == 1 // start idle, alternate
@@ -115,7 +165,7 @@ func (f *feeder) segment(s int) (busy bool, windows int) {
 }
 
 // feed pushes the scenario until ctx is cancelled or push fails.
-func (f *feeder) feed(ctx context.Context, o options, mon *tiledcfd.Monitor) {
+func (f *feeder) feed(ctx context.Context, o options, mon pusher) {
 	const chunk = 2048
 	var pace *time.Ticker
 	if o.rate > 0 {
@@ -173,53 +223,109 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 	return s.w.Write(p)
 }
 
-// run builds the monitor, starts the feeders, reporter, decision logger
-// and optional status server, and blocks until ctx is cancelled (or
-// o.duration elapses). It returns the final session stats.
-func run(ctx context.Context, o options, out io.Writer) (*tiledcfd.MonitorStats, error) {
+// monitorSink adapts the sharded monitor to the wire server's Sink.
+type monitorSink struct {
+	mon *tiledcfd.ShardedMonitor
+}
+
+// OpenChannel registers the stream's channel id on its shard.
+func (s monitorSink) OpenChannel(meta wire.Meta) error { return s.mon.AddChannel(meta.ID) }
+
+// Push forwards decoded samples to the owning shard.
+func (s monitorSink) Push(id string, samples []complex128) (int, error) {
+	return s.mon.Push(id, samples)
+}
+
+// serveStats is the daemon's final accounting record.
+type serveStats = tiledcfd.ShardedMonitorStats
+
+// run builds the sharded monitor, starts the wire listener and/or the
+// synthetic feeders, reporter, decision logger and optional status
+// server, and blocks until ctx is cancelled (or o.duration elapses),
+// then drains gracefully. It returns the final session stats.
+func run(ctx context.Context, o options, out io.Writer) (*serveStats, error) {
 	out = &syncWriter{w: out}
-	if o.channels < 1 {
+	if o.listen == "" {
+		o.selftest = true // zero-configuration demo mode
+	}
+	if o.selftest && o.channels < 1 {
 		return nil, fmt.Errorf("cfdserve: -channels=%d must be >= 1", o.channels)
 	}
 	if o.mode != "block" && o.mode != "drop" {
 		return nil, fmt.Errorf("cfdserve: -mode=%q must be block or drop", o.mode)
+	}
+	if o.shards == 0 {
+		o.shards = 1
+	}
+	if o.drainGrace == 0 {
+		o.drainGrace = 5 * time.Second
 	}
 	if o.duration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.duration)
 		defer cancel()
 	}
-	feeders := make([]*feeder, o.channels)
-	ids := make([]string, o.channels)
-	for i := range feeders {
-		ids[i] = fmt.Sprintf("ch%02d", i)
-		feeders[i] = &feeder{
-			id:  ids[i],
-			idx: i,
-			// Spread carriers across the band so channels stay distinct.
-			carrier: float64(4+3*(i%8)) / float64(o.k),
-			seed:    o.seed,
+	var feeders []*feeder
+	var ids []string
+	if o.selftest {
+		feeders = make([]*feeder, o.channels)
+		ids = make([]string, o.channels)
+		for i := range feeders {
+			ids[i] = fmt.Sprintf("ch%02d", i)
+			feeders[i] = &feeder{
+				id:  ids[i],
+				idx: i,
+				// Spread carriers across the band so channels stay distinct.
+				carrier: float64(4+3*(i%8)) / float64(o.k),
+				seed:    o.seed,
+			}
 		}
 	}
-	mon, err := tiledcfd.NewMonitor(
+	mon, err := tiledcfd.NewShardedMonitor(
 		tiledcfd.Config{
 			K: o.k, M: o.m, Estimator: o.estimator, Hop: o.hop,
 			Threshold: o.threshold,
 		},
-		tiledcfd.MonitorOptions{
-			Channels:        ids,
-			SnapshotSamples: o.window,
-			RingSamples:     o.ring,
-			Workers:         o.workers,
-			Cumulative:      o.cumulative,
-			Backpressure:    o.mode == "block",
-			CFARScale:       o.cfarScale,
+		tiledcfd.ShardedMonitorOptions{
+			MonitorOptions: tiledcfd.MonitorOptions{
+				Channels:        ids,
+				SnapshotSamples: o.window,
+				RingSamples:     o.ring,
+				Workers:         o.workers,
+				Cumulative:      o.cumulative,
+				Backpressure:    o.mode == "block",
+				CFARScale:       o.cfarScale,
+			},
+			Shards: o.shards,
 		},
 	)
 	if err != nil {
 		return nil, err
 	}
 	defer mon.Close()
+
+	// Wire-protocol ingest listener.
+	var srv *wire.Server
+	if o.listen != "" {
+		srv, err = wire.NewServer(wire.ServerConfig{
+			Sink:               monitorSink{mon},
+			QuotaSamplesPerSec: o.quota,
+			QuotaBurst:         o.quotaBurst,
+			Logf:               log.Printf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		addr, err := srv.Listen(o.listen)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "listening on %s (%d shards)\n", addr, o.shards)
+		if o.notifyListen != nil {
+			o.notifyListen(addr)
+		}
+	}
 
 	var wg sync.WaitGroup
 	for _, f := range feeders {
@@ -246,20 +352,26 @@ func run(ctx context.Context, o options, out io.Writer) (*tiledcfd.MonitorStats,
 			if d.Detected {
 				state = "OCCUPIED"
 			}
-			fmt.Fprintf(out, "%s %s window %d: %s (stat %.2f vs %.2f, feature a=%d)\n",
-				time.Now().Format("15:04:05"), d.Channel, d.Seq, state,
+			fmt.Fprintf(out, "%s %s window %d [%s]: %s (stat %.2f vs %.2f, feature a=%d)\n",
+				time.Now().Format("15:04:05"), d.Channel, d.Seq, d.Shard, state,
 				d.Statistic, d.Threshold, d.FeatureA)
 		}
 	}()
 
 	if o.httpAddr != "" {
-		srv := statusServer(o.httpAddr, mon, feeders)
-		defer srv.Shutdown(context.Background()) //nolint:errcheck // best-effort shutdown
+		hs, err := statusServer(o.httpAddr, mon, srv)
+		if err != nil {
+			return nil, err
+		}
+		if o.notifyHTTP != nil {
+			o.notifyHTTP(hs.addr)
+		}
+		defer hs.srv.Shutdown(context.Background()) //nolint:errcheck // best-effort shutdown
 	}
 
 	ticker := time.NewTicker(o.report)
 	defer ticker.Stop()
-	var prev tiledcfd.MonitorStats
+	var prev tiledcfd.ShardedMonitorStats
 	prevAt := time.Now()
 	for running := true; running; {
 		select {
@@ -269,10 +381,22 @@ func run(ctx context.Context, o options, out io.Writer) (*tiledcfd.MonitorStats,
 			prev, prevAt = report(out, mon, feeders, prev, prevAt)
 		}
 	}
+	// Graceful drain: stop admitting new connections and channels first,
+	// give in-flight frames a grace period to land, then stop the
+	// listener hard.
+	if srv != nil {
+		srv.Drain()
+		if !srv.WaitIdle(o.drainGrace) {
+			fmt.Fprintf(out, "drain: %d connections still active after %v, closing\n",
+				srv.ActiveConns(), o.drainGrace)
+		}
+		srv.Close()
+	}
 	wg.Wait()
-	// Let in-flight rings drain so the final figures are complete, then
-	// stop. Flush can only time out if the engine is wedged — report it
-	// rather than hanging shutdown.
+	// Let in-flight rings drain so every decision window in flight is
+	// decided and the final figures are complete, then stop. Flush can
+	// only time out if the engine is wedged — report it rather than
+	// hanging shutdown.
 	if err := mon.Flush(10 * time.Second); err != nil {
 		fmt.Fprintf(out, "shutdown: %v\n", err)
 	}
@@ -282,15 +406,15 @@ func run(ctx context.Context, o options, out io.Writer) (*tiledcfd.MonitorStats,
 		return nil, err
 	}
 	logWG.Wait()
-	fmt.Fprintf(out, "final: %d channels, %d samples in (%d dropped), %d surfaces, %d detections\n",
-		st.Channels, st.SamplesIn, st.SamplesDropped, st.Surfaces, st.Detections)
+	fmt.Fprintf(out, "final: %d channels on %d shards, %d samples in (%d dropped), %d surfaces, %d detections\n",
+		st.Channels, st.Shards, st.SamplesIn, st.SamplesDropped, st.Surfaces, st.Detections)
 	return &st, nil
 }
 
 // report prints one rolling stats block and returns the counters for the
 // next interval's rate computation.
-func report(out io.Writer, mon *tiledcfd.Monitor, feeders []*feeder,
-	prev tiledcfd.MonitorStats, prevAt time.Time) (tiledcfd.MonitorStats, time.Time) {
+func report(out io.Writer, mon *tiledcfd.ShardedMonitor, feeders []*feeder,
+	prev tiledcfd.ShardedMonitorStats, prevAt time.Time) (tiledcfd.ShardedMonitorStats, time.Time) {
 	st := mon.Stats()
 	now := time.Now()
 	dt := now.Sub(prevAt).Seconds()
@@ -299,17 +423,10 @@ func report(out io.Writer, mon *tiledcfd.Monitor, feeders []*feeder,
 	}
 	sps := float64(st.SamplesIn-prev.SamplesIn) / dt
 	fps := float64(st.Surfaces-prev.Surfaces) / dt
-	busy := 0
-	for _, f := range feeders {
-		cs, ok := mon.ChannelStats(f.id)
-		if ok && cs.Last != nil && cs.Last.Detected {
-			busy++
-		}
-	}
-	fmt.Fprintf(out, "%s %d ch | %.2fM samples (%.2fM/s) | %d surfaces (%.1f/s) | dropped %d | occupied %d/%d\n",
-		now.Format("15:04:05"), st.Channels,
+	fmt.Fprintf(out, "%s %d ch / %d shards | %.2fM samples (%.2fM/s) | %d surfaces (%.1f/s) | dropped %d | queued %d\n",
+		now.Format("15:04:05"), st.Channels, st.Shards,
 		float64(st.SamplesIn)/1e6, sps/1e6, st.Surfaces, fps,
-		st.SamplesDropped, busy, len(feeders))
+		st.SamplesDropped, st.QueuedSamples)
 	for _, f := range feeders {
 		cs, ok := mon.ChannelStats(f.id)
 		if !ok {
@@ -328,39 +445,180 @@ func report(out io.Writer, mon *tiledcfd.Monitor, feeders []*feeder,
 		if f.busy.Load() {
 			truth = "busy"
 		}
-		fmt.Fprintf(out, "  %-5s %-8s (truth %-4s) stat %6.2f | windows %4d | detections %4d | dropped %d\n",
-			f.id, verdict, truth, stat, cs.Snapshots, cs.Detections, cs.SamplesDropped)
+		fmt.Fprintf(out, "  %-5s %-8s (truth %-4s) [%s] stat %6.2f | windows %4d | detections %4d | dropped %d\n",
+			f.id, verdict, truth, cs.Shard, stat, cs.Snapshots, cs.Detections, cs.SamplesDropped)
 	}
 	return st, now
 }
 
 // statusSnapshot is the /stats JSON schema.
 type statusSnapshot struct {
-	Stats    tiledcfd.MonitorStats          `json:"stats"`
-	Channels []tiledcfd.MonitorChannelStats `json:"channels"`
+	Stats    tiledcfd.ShardedMonitorStats          `json:"stats"`
+	Shards   []tiledcfd.ShardInfo                  `json:"shards"`
+	Channels []tiledcfd.ShardedMonitorChannelStats `json:"channels"`
 }
 
-// statusServer starts the embedded HTTP status endpoint.
-func statusServer(addr string, mon *tiledcfd.Monitor, feeders []*feeder) *http.Server {
+// collectMetrics fills one Prometheus exposition scrape: engine-level
+// counters, per-shard gauges, and (when serving the wire protocol) the
+// ingest listener's counters.
+func collectMetrics(e *wire.Exposition, mon *tiledcfd.ShardedMonitor, srv *wire.Server) {
+	st := mon.Stats()
+	e.Metric("cfd_engine_samples_in_total", "counter",
+		"IQ samples accepted by the sensing engines.", float64(st.SamplesIn))
+	e.Metric("cfd_engine_samples_dropped_total", "counter",
+		"IQ samples discarded by full ingestion rings (drop mode).", float64(st.SamplesDropped))
+	e.Metric("cfd_engine_samples_per_sec", "gauge",
+		"Lifetime-average ingest rate in samples/sec.", st.SamplesPerSec)
+	e.Metric("cfd_engine_decisions_total", "counter",
+		"Decision windows produced across all shards.", float64(st.Surfaces))
+	e.Metric("cfd_engine_detections_total", "counter",
+		"Decision windows declaring the band occupied.", float64(st.Detections))
+	e.Metric("cfd_engine_decisions_dropped_total", "counter",
+		"Decisions lost to a full or unread decision stream.", float64(st.DecisionsDropped))
+	e.Metric("cfd_engine_channels", "gauge",
+		"Registered channels.", float64(st.Channels))
+	e.Metric("cfd_engine_shards", "gauge",
+		"Live shard engines.", float64(st.Shards))
+	e.Metric("cfd_engine_handoffs_total", "counter",
+		"Channel ownership moves across rebalances.", float64(st.Handoffs))
+	for _, s := range mon.Shards() {
+		e.Metric("cfd_shard_queue_depth", "gauge",
+			"Momentary ingestion backlog per shard in samples.",
+			float64(s.QueuedSamples), "shard", s.Name)
+	}
+	for _, s := range mon.Shards() {
+		e.Metric("cfd_shard_samples_in_total", "counter",
+			"IQ samples accepted per shard.", float64(s.SamplesIn), "shard", s.Name)
+	}
+	for _, s := range mon.Shards() {
+		e.Metric("cfd_shard_decisions_total", "counter",
+			"Decision windows produced per shard.", float64(s.Surfaces), "shard", s.Name)
+	}
+	for _, s := range mon.Shards() {
+		e.Metric("cfd_shard_channels", "gauge",
+			"Channels owned per shard.", float64(s.Channels), "shard", s.Name)
+	}
+	if srv != nil {
+		srv.Collect(e)
+	}
+}
+
+// statusHTTP is a started status server and its bound address.
+type statusHTTP struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// statusServer starts the embedded HTTP endpoint: /healthz, /stats
+// (JSON) and /metrics (Prometheus text exposition).
+func statusServer(addr string, mon *tiledcfd.ShardedMonitor, wsrv *wire.Server) (*statusHTTP, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
-		snap := statusSnapshot{Stats: mon.Stats()}
-		for _, f := range feeders {
-			if cs, ok := mon.ChannelStats(f.id); ok {
+		snap := statusSnapshot{Stats: mon.Stats(), Shards: mon.Shards()}
+		for _, id := range mon.Channels() {
+			if cs, ok := mon.ChannelStats(id); ok {
 				snap.Channels = append(snap.Channels, cs)
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(snap) //nolint:errcheck // best-effort status
 	})
-	srv := &http.Server{Addr: addr, Handler: mux}
+	mux.Handle("/metrics", wire.Handler(func(e *wire.Exposition) {
+		collectMetrics(e, mon, wsrv)
+	}))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
 	go func() {
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Printf("status server: %v", err)
 		}
 	}()
-	return srv
+	return &statusHTTP{srv: srv, addr: ln.Addr()}, nil
+}
+
+// runClient is -connect mode: a wire-protocol load generator streaming
+// the synthetic scenario at a serving cfdserve instance.
+func runClient(ctx context.Context, o options, out io.Writer) error {
+	out = &syncWriter{w: out}
+	if o.channels < 1 {
+		return fmt.Errorf("cfdserve: -channels=%d must be >= 1", o.channels)
+	}
+	var format wire.Format
+	switch o.format {
+	case "", "cf32_le":
+		format = wire.FormatCF32
+	case "ci16_le":
+		format = wire.FormatCI16
+	default:
+		return fmt.Errorf("cfdserve: -format=%q must be cf32_le or ci16_le", o.format)
+	}
+	if o.duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.duration)
+		defer cancel()
+	}
+	c, err := wire.Dial(o.connect)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	rate := float64(o.rate)
+	if rate == 0 {
+		rate = 1e6 // nominal front-end rate for the metadata
+	}
+	var sent atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, o.channels)
+	for i := 0; i < o.channels; i++ {
+		cs, err := c.Open(wire.Meta{
+			ID:           fmt.Sprintf("wire%02d", i),
+			Format:       format,
+			SampleRateHz: rate,
+		})
+		if err != nil {
+			return err
+		}
+		f := &feeder{id: cs.ID(), idx: i, carrier: float64(4+3*(i%8)) / float64(o.k), seed: o.seed}
+		wg.Add(1)
+		go func(cs *wire.ChannelStream, f *feeder) {
+			defer wg.Done()
+			f.feed(ctx, o, sendCounter{cs, &sent})
+			if err := cs.Close(); err != nil && ctx.Err() == nil {
+				errs <- err
+			}
+		}(cs, f)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return fmt.Errorf("cfdserve: stream: %w", err)
+	}
+	if err := c.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	fmt.Fprintf(out, "sent %d samples on %d channels (%d shed by server quota)\n",
+		sent.Load(), o.channels, c.ShedSamples())
+	return nil
+}
+
+// sendCounter adapts a wire channel stream to the feeder's pusher
+// surface, counting samples as they go out.
+type sendCounter struct {
+	cs   *wire.ChannelStream
+	sent *atomic.Int64
+}
+
+// Push streams one block, blocking under server backpressure.
+func (s sendCounter) Push(_ string, samples []complex128) (int, error) {
+	if err := s.cs.Send(samples); err != nil {
+		return 0, err
+	}
+	s.sent.Add(int64(len(samples)))
+	return len(samples), nil
 }

@@ -3,7 +3,12 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -61,5 +66,288 @@ func TestServeRejectsBadOptions(t *testing.T) {
 		window: 1024, duration: 50 * time.Millisecond, report: time.Second}
 	if _, err := run(context.Background(), o, &bytes.Buffer{}); err == nil {
 		t.Fatal("run with ssca+hop succeeded")
+	}
+	if err := runClient(context.Background(), options{connect: "x", channels: 0}, &bytes.Buffer{}); err == nil {
+		t.Fatal("runClient with 0 channels succeeded")
+	}
+	if err := runClient(context.Background(), options{connect: "x", channels: 1, format: "pcm"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("runClient with bad format succeeded")
+	}
+}
+
+// TestServeWireEndToEnd is the daemon's e2e smoke path, all in-process:
+// a 2-shard server listens on loopback, a -connect feeder streams the
+// scenario over the wire protocol, /metrics reports decisions and shard
+// depth, and cancellation (the SIGTERM path) drains gracefully with
+// complete final accounting.
+func TestServeWireEndToEnd(t *testing.T) {
+	listenCh := make(chan net.Addr, 1)
+	httpCh := make(chan net.Addr, 1)
+	serverOut := &bytes.Buffer{}
+	o := options{
+		listen:   "127.0.0.1:0",
+		httpAddr: "127.0.0.1:0",
+		shards:   2,
+		k:        64, m: 16,
+		estimator:    "fam",
+		window:       2048,
+		mode:         "block",
+		report:       200 * time.Millisecond,
+		drainGrace:   2 * time.Second,
+		seed:         1,
+		cfarScale:    2,
+		quiet:        true,
+		notifyListen: func(a net.Addr) { listenCh <- a },
+		notifyHTTP:   func(a net.Addr) { httpCh <- a },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type result struct {
+		st  *serveStats
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		st, err := run(ctx, o, serverOut)
+		done <- result{st, err}
+	}()
+	var wireAddr, httpAddr net.Addr
+	select {
+	case wireAddr = <-listenCh:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("server never listened:\n%s", serverOut.String())
+	}
+	select {
+	case httpAddr = <-httpCh:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("status server never bound:\n%s", serverOut.String())
+	}
+
+	// Stream over the wire protocol from the -connect client for a
+	// bounded duration.
+	clientOut := &bytes.Buffer{}
+	co := options{
+		connect:  wireAddr.String(),
+		channels: 3,
+		k:        64,
+		window:   2048,
+		duration: 1500 * time.Millisecond,
+		seed:     7,
+	}
+	if err := runClient(context.Background(), co, clientOut); err != nil {
+		t.Fatalf("runClient: %v\nserver:\n%s", err, serverOut.String())
+	}
+	if !strings.Contains(clientOut.String(), "sent ") {
+		t.Fatalf("client summary missing:\n%s", clientOut.String())
+	}
+
+	// /metrics must be non-empty and show decisions and per-shard depth.
+	metrics := scrape(t, fmt.Sprintf("http://%s/metrics", httpAddr))
+	for _, want := range []string{
+		"cfd_engine_decisions_total",
+		"cfd_shard_queue_depth{shard=\"shard0\"}",
+		"cfd_shard_queue_depth{shard=\"shard1\"}",
+		"cfd_wire_connections_total 1",
+		"cfd_wire_channels_opened_total 3",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics lacks %q:\n%s", want, metrics)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !decisionsRecorded(metrics) {
+		if time.Now().After(deadline) {
+			t.Fatalf("no decision recorded in /metrics:\n%s", metrics)
+		}
+		time.Sleep(100 * time.Millisecond)
+		metrics = scrape(t, fmt.Sprintf("http://%s/metrics", httpAddr))
+	}
+
+	// Graceful shutdown: cancellation is the in-process SIGTERM path.
+	cancel()
+	var res result
+	select {
+	case res = <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatalf("server did not drain:\n%s", serverOut.String())
+	}
+	if res.err != nil {
+		t.Fatalf("run: %v\n%s", res.err, serverOut.String())
+	}
+	if res.st.Shards != 2 || res.st.Channels != 3 {
+		t.Fatalf("final stats %+v, want 2 shards / 3 wire channels", res.st)
+	}
+	if res.st.Surfaces == 0 {
+		t.Fatalf("no decision windows despite wire ingest:\n%s", serverOut.String())
+	}
+	if !strings.Contains(serverOut.String(), "final:") {
+		t.Fatalf("missing final summary:\n%s", serverOut.String())
+	}
+}
+
+// scrape GETs a URL body.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// decisionsRecorded reports whether the exposition shows a nonzero
+// decision count.
+func decisionsRecorded(metrics string) bool {
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "cfd_engine_decisions_total ") &&
+			!strings.HasSuffix(line, " 0") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestServeQuotaShedsOverRateClient proves the daemon-level quota story:
+// a client pushing far over -quota is shed (visible in /metrics) while
+// the engine keeps every in-quota sample.
+func TestServeQuotaShedsOverRateClient(t *testing.T) {
+	listenCh := make(chan net.Addr, 1)
+	httpCh := make(chan net.Addr, 1)
+	serverOut := &bytes.Buffer{}
+	o := options{
+		listen:     "127.0.0.1:0",
+		httpAddr:   "127.0.0.1:0",
+		shards:     2,
+		quota:      50_000, // samples/sec per connection
+		quotaBurst: 100_000,
+		k:          64, m: 16,
+		estimator:    "fam",
+		window:       2048,
+		mode:         "block",
+		report:       time.Second,
+		drainGrace:   2 * time.Second,
+		quiet:        true,
+		notifyListen: func(a net.Addr) { listenCh <- a },
+		notifyHTTP:   func(a net.Addr) { httpCh <- a },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := run(ctx, o, serverOut)
+		done <- err
+	}()
+	wireAddr := (<-listenCh).String()
+	httpAddr := (<-httpCh).String()
+
+	// The hog bursts ~800k samples back to back — far over the 100k
+	// burst + 50k/s refill.
+	co := options{
+		connect:  wireAddr,
+		channels: 4,
+		k:        64,
+		window:   2048,
+		duration: 1200 * time.Millisecond,
+		seed:     3,
+	}
+	var clientOut bytes.Buffer
+	if err := runClient(context.Background(), co, &clientOut); err != nil {
+		t.Fatalf("runClient: %v", err)
+	}
+	if !strings.Contains(clientOut.String(), "shed by server quota") {
+		t.Fatalf("client summary lacks shed report:\n%s", clientOut.String())
+	}
+	metrics := scrape(t, "http://"+httpAddr+"/metrics")
+	shed := metricValue(t, metrics, "cfd_wire_quota_shed_samples_total")
+	in := metricValue(t, metrics, "cfd_wire_samples_in_total")
+	if shed <= 0 {
+		t.Fatalf("quota shed nothing:\n%s", metrics)
+	}
+	if in <= 0 {
+		t.Fatalf("quota shed everything — in-quota samples must flow:\n%s", metrics)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\n%s", err, serverOut.String())
+	}
+}
+
+// metricValue extracts one unlabelled sample value from an exposition.
+func metricValue(t *testing.T, metrics, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(metrics, "\n") {
+		var v float64
+		if _, err := fmt.Sscanf(line, name+" %g", &v); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("metric %s absent:\n%s", name, metrics)
+	return 0
+}
+
+// TestServeDrainStopsNewChannels covers the drain ordering: after the
+// run context ends, in-flight decision windows are still flushed into
+// the final accounting (no samples stranded in rings in block mode).
+func TestServeDrainStopsNewChannels(t *testing.T) {
+	listenCh := make(chan net.Addr, 1)
+	serverOut := &bytes.Buffer{}
+	o := options{
+		listen: "127.0.0.1:0",
+		shards: 2,
+		k:      64, m: 16,
+		estimator:    "fam",
+		window:       2048,
+		mode:         "block",
+		report:       time.Second,
+		drainGrace:   time.Second,
+		quiet:        true,
+		notifyListen: func(a net.Addr) { listenCh <- a },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type result struct {
+		st  *serveStats
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		st, err := run(ctx, o, serverOut)
+		done <- result{st, err}
+	}()
+	wireAddr := (<-listenCh).String()
+	co := options{
+		connect:  wireAddr,
+		channels: 2,
+		k:        64,
+		window:   2048,
+		duration: 600 * time.Millisecond,
+		seed:     5,
+	}
+	var mu sync.Mutex
+	var clientOut bytes.Buffer
+	mu.Lock()
+	go func() {
+		defer mu.Unlock()
+		runClient(context.Background(), co, &clientOut) //nolint:errcheck // best-effort load
+	}()
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("run: %v\n%s", res.err, serverOut.String())
+	}
+	mu.Lock() // client finished
+	// Graceful drain: whatever was accepted was decided — in block mode
+	// every complete in-flight window lands before the final report.
+	if res.st.SamplesDropped != 0 {
+		t.Fatalf("drain dropped %d samples in block mode", res.st.SamplesDropped)
+	}
+	if want := res.st.SamplesIn / 2048; res.st.Surfaces < want-2 {
+		t.Fatalf("flushed %d windows for %d samples in, want ~%d", res.st.Surfaces, res.st.SamplesIn, want)
 	}
 }

@@ -15,9 +15,11 @@ import (
 var auditedPackages = []string{
 	".",
 	"internal/scf",
+	"internal/shard",
 	"internal/stream",
 	"internal/tile",
 	"internal/montium",
+	"internal/wire",
 }
 
 // TestExportedDocComments fails for every exported identifier in the

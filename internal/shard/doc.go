@@ -1,0 +1,27 @@
+// Package shard partitions the sensing service's channels across N
+// engine instances. It is the routing/ownership layer between the wire
+// ingestion protocol and internal/stream: every channel id is owned by
+// exactly one shard (an internal/stream.Engine today, one engine per
+// node later — the router only touches the Engine surface), chosen by
+// rendezvous (highest-random-weight) hashing over the live shard set.
+//
+// Rendezvous hashing gives the two properties resizing needs with no
+// token tables: every key has a total order over shards, so adding a
+// shard moves only the ~1/(N+1) of channels whose new maximum is the
+// newcomer, and draining a shard moves only that shard's channels —
+// nothing else shuffles.
+//
+// Ownership moves are explicit handoffs, not racy re-routing: the
+// router serialises pushes per channel, quiesces the old owner
+// (Engine.RemoveChannel drains the ring and flushes a partially
+// integrated window into one final decision), carries the channel's
+// counters over, and re-registers it on the new owner with fresh
+// accumulator state. Every sample pushed before the handoff lands in
+// exactly one decision window on the old shard; every sample after
+// lands on the new one — windows are never lost to a move and never
+// double-counted.
+//
+// AddShards grows the fleet, DrainShard empties and retires one shard,
+// and Stats/ShardStats expose the aggregate and per-shard accounting
+// (including momentary queue depth) the /metrics endpoint serves.
+package shard

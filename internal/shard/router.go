@@ -1,0 +1,595 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tiledcfd/internal/stream"
+)
+
+// ErrClosed is returned by router operations after Close.
+var ErrClosed = fmt.Errorf("shard: router closed")
+
+// DefaultHandoffTimeout bounds one channel's quiesce during an
+// ownership move.
+const DefaultHandoffTimeout = 30 * time.Second
+
+// Config configures a Router.
+type Config struct {
+	// Shards is the initial shard count (default 1). Each shard is its
+	// own stream.Engine built from the Engine template.
+	Shards int
+	// Engine is the per-shard engine template; Engine.Estimator is
+	// required. Engine.Workers applies per shard, so the service's
+	// total worker count is Shards × Workers.
+	Engine stream.Config
+	// DecisionBuffer is the capacity of the merged Decisions channel
+	// (default 1024). Overflowing decisions are dropped and counted;
+	// the latest per channel stays available via ChannelStats.
+	DecisionBuffer int
+	// HandoffTimeout bounds one channel's quiesce during rebalancing
+	// (default 30s).
+	HandoffTimeout time.Duration
+}
+
+// Decision is one engine decision tagged with the shard that made it.
+type Decision struct {
+	stream.Decision
+	// Shard names the owning shard at decision time.
+	Shard string
+}
+
+// ShardStats is one shard's public accounting.
+type ShardStats struct {
+	// Name identifies the shard.
+	Name string
+	// Channels is the number of channels the shard currently owns.
+	Channels int
+	// Stats is the shard engine's accounting (lifetime counters plus
+	// the momentary QueuedSamples ingestion depth).
+	Stats stream.Stats
+}
+
+// ChannelStats aggregates one channel's accounting across every shard
+// that ever owned it.
+type ChannelStats struct {
+	// ID names the channel; Shard its current owner.
+	ID, Shard string
+	// SamplesIn, SamplesDropped, Snapshots and Detections sum the
+	// channel's counters across all owners.
+	SamplesIn, SamplesDropped, Snapshots, Detections int64
+	// Handoffs counts ownership moves the channel has been through.
+	Handoffs int64
+	// Last is the most recent decision on the current owner (nil before
+	// the first since the last handoff).
+	Last *stream.Decision
+	// Err is the failure message of a dead channel.
+	Err string
+}
+
+// Stats is router-wide accounting: live shards summed with every
+// drained shard's final counters, so totals never move backwards on
+// rebalancing.
+type Stats struct {
+	// Shards and Channels count the live topology.
+	Shards, Channels int
+	// SamplesIn, SamplesDropped, Surfaces, Detections and
+	// DecisionsDropped aggregate the engine counters.
+	SamplesIn, SamplesDropped, Surfaces, Detections, DecisionsDropped int64
+	// QueuedSamples is the momentary ingestion depth summed over live
+	// shards.
+	QueuedSamples int64
+	// Handoffs counts channel ownership moves.
+	Handoffs int64
+	// Elapsed is the time since the router started.
+	Elapsed time.Duration
+	// SamplesPerSec is the lifetime-average ingest rate.
+	SamplesPerSec float64
+}
+
+// shardState is one engine instance plus its identity.
+type shardState struct {
+	name string
+	eng  *stream.Engine
+}
+
+// entry is one channel's routing record. Pushes and handoffs serialise
+// on mu; owner is additionally atomic so stats readers never block on a
+// backpressured push.
+type entry struct {
+	id string
+
+	mu       sync.Mutex
+	owner    atomic.Pointer[shardState]
+	removed  bool
+	handoffs atomic.Int64
+	// Carryover accumulates the counters of previous owners, added at
+	// each handoff so aggregate channel stats never move backwards.
+	carryIn, carryDropped, carrySnapshots, carryDetections int64
+	// carryLast preserves the most recent decision across a handoff
+	// (including a partial window flushed by the quiesce) until the new
+	// owner produces one.
+	carryLast *stream.Decision
+}
+
+// Router owns the channel→shard mapping and the shard engines.
+type Router struct {
+	cfg Config
+
+	// topo serialises topology changes (AddShards, DrainShard, Close).
+	topo sync.Mutex
+	// mu guards the lookup maps.
+	mu      sync.RWMutex
+	shards  map[string]*shardState
+	live    []string // names eligible for ownership, registration order
+	entries map[string]*entry
+	nextID  int
+	closed  bool
+	// retired accumulates final counters of drained shards.
+	retiredIn, retiredDropped, retiredSurfaces, retiredDetections, retiredDecDropped int64
+
+	out              chan Decision
+	fwdWG            sync.WaitGroup
+	decisionsDropped atomic.Int64
+	handoffs         atomic.Int64
+	start            time.Time
+}
+
+// New builds the initial shard fleet and starts its engines.
+func New(cfg Config) (*Router, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: Shards=%d must be >= 1", cfg.Shards)
+	}
+	if cfg.DecisionBuffer == 0 {
+		cfg.DecisionBuffer = 1024
+	}
+	if cfg.HandoffTimeout == 0 {
+		cfg.HandoffTimeout = DefaultHandoffTimeout
+	}
+	r := &Router{
+		cfg:     cfg,
+		shards:  make(map[string]*shardState),
+		entries: make(map[string]*entry),
+		out:     make(chan Decision, cfg.DecisionBuffer),
+		start:   time.Now(),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		if _, err := r.addShardLocked(); err != nil {
+			for _, s := range r.shards {
+				s.eng.Close()
+			}
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// addShardLocked creates one engine and its decision forwarder. Caller
+// holds no locks during New, or r.mu during growth — the maps are only
+// touched here.
+func (r *Router) addShardLocked() (*shardState, error) {
+	eng, err := stream.New(r.cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	s := &shardState{name: fmt.Sprintf("shard%d", r.nextID), eng: eng}
+	r.nextID++
+	r.shards[s.name] = s
+	r.live = append(r.live, s.name)
+	r.fwdWG.Add(1)
+	go func() {
+		defer r.fwdWG.Done()
+		for d := range eng.Decisions() {
+			select {
+			case r.out <- Decision{Decision: d, Shard: s.name}:
+			default:
+				r.decisionsDropped.Add(1)
+			}
+		}
+	}()
+	return s, nil
+}
+
+// fmix64 is the murmur3 64-bit finalizer. FNV-1a alone is too linear
+// for rendezvous scoring — names differing in one trailing digit keep a
+// near-constant score offset across ids, so one shard wins every key.
+// The finalizer's full avalanche breaks that structure.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// owner picks the rendezvous (highest-random-weight) shard for id over
+// the live set: the shard maximising hash(shard‖id). Deterministic,
+// and minimally disruptive under resizing — a key moves only when its
+// maximum enters or leaves the set.
+func (r *Router) ownerLocked(id string) *shardState {
+	var best *shardState
+	var bestScore uint64
+	for _, name := range r.live {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		h.Write([]byte(id))
+		score := fmix64(h.Sum64())
+		if best == nil || score > bestScore || (score == bestScore && name > best.name) {
+			best, bestScore = r.shards[name], score
+		}
+	}
+	return best
+}
+
+// AddChannel registers a channel on its rendezvous owner.
+func (r *Router) AddChannel(id string) error {
+	if id == "" {
+		return fmt.Errorf("shard: empty channel id")
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := r.entries[id]; dup {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: channel %q already exists", id)
+	}
+	own := r.ownerLocked(id)
+	e := &entry{id: id}
+	e.owner.Store(own)
+	r.entries[id] = e
+	r.mu.Unlock()
+	if err := own.eng.AddChannel(id); err != nil {
+		r.mu.Lock()
+		delete(r.entries, id)
+		r.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Push appends samples to a channel's stream on its current owner.
+// Pushes to one channel serialise with each other and with handoffs, so
+// a rebalance never interleaves with a half-delivered block.
+func (r *Router) Push(id string, samples []complex128) (int, error) {
+	r.mu.RLock()
+	e := r.entries[id]
+	closed := r.closed
+	r.mu.RUnlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	if e == nil {
+		return 0, fmt.Errorf("shard: unknown channel %q", id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.removed {
+		return 0, fmt.Errorf("shard: channel %q removed", id)
+	}
+	return e.owner.Load().eng.Push(id, samples)
+}
+
+// handoff moves one channel to a new owner: quiesce and unregister on
+// the old engine (flushing a partial window into one final decision),
+// carry the counters over, register fresh state on the new engine.
+func (r *Router) handoff(e *entry, to *shardState) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.removed {
+		return nil
+	}
+	from := e.owner.Load()
+	if from == to {
+		return nil
+	}
+	cs, err := from.eng.RemoveChannel(e.id, r.cfg.HandoffTimeout)
+	if err != nil {
+		return fmt.Errorf("shard: handoff %q off %s: %w", e.id, from.name, err)
+	}
+	e.carryIn += cs.SamplesIn
+	e.carryDropped += cs.SamplesDropped
+	e.carrySnapshots += cs.Snapshots
+	e.carryDetections += cs.Detections
+	if cs.Last != nil {
+		e.carryLast = cs.Last
+	}
+	if err := to.eng.AddChannel(e.id); err != nil {
+		return fmt.Errorf("shard: handoff %q onto %s: %w", e.id, to.name, err)
+	}
+	e.owner.Store(to)
+	e.handoffs.Add(1)
+	r.handoffs.Add(1)
+	return nil
+}
+
+// rebalanceLocked computes the moves a topology change requires.
+// r.mu must be held; the returned moves are executed after release.
+func (r *Router) rebalanceLocked() (moves []*entry, targets []*shardState) {
+	for _, e := range r.entries {
+		want := r.ownerLocked(e.id)
+		if e.owner.Load() != want {
+			moves = append(moves, e)
+			targets = append(targets, want)
+		}
+	}
+	return moves, targets
+}
+
+// AddShards grows the fleet by n shards and rebalances: only channels
+// whose rendezvous maximum is a newcomer move. Returns the new shard
+// names.
+func (r *Router) AddShards(n int) ([]string, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: AddShards(%d) must add at least one", n)
+	}
+	r.topo.Lock()
+	defer r.topo.Unlock()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := r.addShardLocked()
+		if err != nil {
+			r.mu.Unlock()
+			return names, err
+		}
+		names = append(names, s.name)
+	}
+	moves, targets := r.rebalanceLocked()
+	r.mu.Unlock()
+	for i, e := range moves {
+		if err := r.handoff(e, targets[i]); err != nil {
+			return names, err
+		}
+	}
+	return names, nil
+}
+
+// DrainShard hands every channel off a shard to the survivors, retires
+// the shard's final counters into the aggregate, and closes its
+// engine. The last shard cannot be drained.
+func (r *Router) DrainShard(name string) error {
+	r.topo.Lock()
+	defer r.topo.Unlock()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	s := r.shards[name]
+	if s == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: unknown shard %q", name)
+	}
+	if len(r.live) == 1 {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: cannot drain the last shard %q", name)
+	}
+	// Remove from the ownership set first: rendezvous owners for its
+	// channels are recomputed over the survivors.
+	for i, n := range r.live {
+		if n == name {
+			r.live = append(r.live[:i], r.live[i+1:]...)
+			break
+		}
+	}
+	moves, targets := r.rebalanceLocked()
+	r.mu.Unlock()
+	for i, e := range moves {
+		if err := r.handoff(e, targets[i]); err != nil {
+			return err
+		}
+	}
+	// The shard is empty now; bank its lifetime counters and retire it.
+	final := s.eng.Stats()
+	r.mu.Lock()
+	r.retiredIn += final.SamplesIn
+	r.retiredDropped += final.SamplesDropped
+	r.retiredSurfaces += final.Surfaces
+	r.retiredDetections += final.Detections
+	r.retiredDecDropped += final.DecisionsDropped
+	delete(r.shards, name)
+	r.mu.Unlock()
+	return s.eng.Close()
+}
+
+// RemoveChannel unregisters a channel entirely (quiescing it and
+// flushing a partial window, as stream.Engine.RemoveChannel), returning
+// its aggregate final stats.
+func (r *Router) RemoveChannel(id string) (ChannelStats, error) {
+	r.mu.RLock()
+	e := r.entries[id]
+	r.mu.RUnlock()
+	if e == nil {
+		return ChannelStats{}, fmt.Errorf("shard: unknown channel %q", id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.removed {
+		return ChannelStats{}, fmt.Errorf("shard: channel %q removed", id)
+	}
+	own := e.owner.Load()
+	cs, err := own.eng.RemoveChannel(id, r.cfg.HandoffTimeout)
+	if err != nil {
+		return ChannelStats{}, err
+	}
+	e.removed = true
+	r.mu.Lock()
+	delete(r.entries, id)
+	r.mu.Unlock()
+	return e.statsLocked(own, cs), nil
+}
+
+// statsLocked merges the current owner's channel stats with the entry's
+// carryover. Caller holds e.mu.
+func (e *entry) statsLocked(own *shardState, cs stream.ChannelStats) ChannelStats {
+	last := cs.Last
+	if last == nil {
+		last = e.carryLast
+	}
+	return ChannelStats{
+		ID:             e.id,
+		Shard:          own.name,
+		SamplesIn:      e.carryIn + cs.SamplesIn,
+		SamplesDropped: e.carryDropped + cs.SamplesDropped,
+		Snapshots:      e.carrySnapshots + cs.Snapshots,
+		Detections:     e.carryDetections + cs.Detections,
+		Handoffs:       e.handoffs.Load(),
+		Last:           last,
+		Err:            cs.Err,
+	}
+}
+
+// Decisions returns the merged decision stream across all shards,
+// tagged with the emitting shard. Closed by Close.
+func (r *Router) Decisions() <-chan Decision { return r.out }
+
+// Channels returns the registered channel ids (unordered).
+func (r *Router) Channels() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for id := range r.entries {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ChannelStats returns one channel's aggregate accounting across every
+// owner it has had; ok is false for an unknown id. It serialises with
+// pushes and handoffs on that channel, so the sums are exact (never
+// read mid-move).
+func (r *Router) ChannelStats(id string) (ChannelStats, bool) {
+	r.mu.RLock()
+	e := r.entries[id]
+	r.mu.RUnlock()
+	if e == nil {
+		return ChannelStats{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.removed {
+		return ChannelStats{}, false
+	}
+	own := e.owner.Load()
+	cs, _ := own.eng.ChannelStats(id)
+	return e.statsLocked(own, cs), true
+}
+
+// ShardStats returns per-shard accounting in registration order.
+func (r *Router) ShardStats() []ShardStats {
+	r.mu.RLock()
+	names := append([]string(nil), r.live...)
+	shards := make([]*shardState, len(names))
+	for i, n := range names {
+		shards[i] = r.shards[n]
+	}
+	counts := make(map[string]int)
+	for _, e := range r.entries {
+		if own := e.owner.Load(); own != nil {
+			counts[own.name]++
+		}
+	}
+	r.mu.RUnlock()
+	out := make([]ShardStats, len(shards))
+	for i, s := range shards {
+		out[i] = ShardStats{Name: s.name, Channels: counts[s.name], Stats: s.eng.Stats()}
+	}
+	return out
+}
+
+// Stats returns router-wide accounting: live engines plus retired
+// shards' banked counters.
+func (r *Router) Stats() Stats {
+	r.mu.RLock()
+	shards := make([]*shardState, 0, len(r.live))
+	for _, n := range r.live {
+		shards = append(shards, r.shards[n])
+	}
+	st := Stats{
+		Shards:           len(r.live),
+		Channels:         len(r.entries),
+		SamplesIn:        r.retiredIn,
+		SamplesDropped:   r.retiredDropped,
+		Surfaces:         r.retiredSurfaces,
+		Detections:       r.retiredDetections,
+		DecisionsDropped: r.retiredDecDropped + r.decisionsDropped.Load(),
+	}
+	r.mu.RUnlock()
+	for _, s := range shards {
+		es := s.eng.Stats()
+		st.SamplesIn += es.SamplesIn
+		st.SamplesDropped += es.SamplesDropped
+		st.Surfaces += es.Surfaces
+		st.Detections += es.Detections
+		st.DecisionsDropped += es.DecisionsDropped
+		st.QueuedSamples += es.QueuedSamples
+	}
+	st.Handoffs = r.handoffs.Load()
+	st.Elapsed = time.Since(r.start)
+	if sec := st.Elapsed.Seconds(); sec > 0 {
+		st.SamplesPerSec = float64(st.SamplesIn) / sec
+	}
+	return st
+}
+
+// Flush drains every shard's rings and due decisions, or times out.
+func (r *Router) Flush(timeout time.Duration) error {
+	r.mu.RLock()
+	shards := make([]*shardState, 0, len(r.live))
+	for _, n := range r.live {
+		shards = append(shards, r.shards[n])
+	}
+	r.mu.RUnlock()
+	deadline := time.Now().Add(timeout)
+	for _, s := range shards {
+		left := time.Until(deadline)
+		if left <= 0 {
+			return fmt.Errorf("shard: flush timed out after %v", timeout)
+		}
+		if err := s.eng.Flush(left); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops every shard engine and closes the merged Decisions
+// channel. Idempotent.
+func (r *Router) Close() error {
+	r.topo.Lock()
+	defer r.topo.Unlock()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	shards := make([]*shardState, 0, len(r.shards))
+	for _, s := range r.shards {
+		shards = append(shards, s)
+	}
+	r.mu.Unlock()
+	var first error
+	for _, s := range shards {
+		if err := s.eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.fwdWG.Wait()
+	close(r.out)
+	return first
+}

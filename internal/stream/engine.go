@@ -134,6 +134,10 @@ type Stats struct {
 	// of decisions that declared the band occupied; DecisionsDropped the
 	// decisions discarded because the Decisions channel was full.
 	Surfaces, Detections, DecisionsDropped int64
+	// QueuedSamples is the momentary ingestion queue depth: samples
+	// accepted into rings but not yet fed to an accumulator, summed over
+	// all channels.
+	QueuedSamples int64
 	// Elapsed is the time since the engine started.
 	Elapsed time.Duration
 	// SamplesPerSec is the lifetime average SamplesIn/Elapsed.
@@ -267,6 +271,72 @@ func (e *Engine) AddChannel(id string) error {
 	e.channels[id] = ch
 	e.order = append(e.order, id)
 	return nil
+}
+
+// RemoveChannel unregisters a channel: it waits for already-pushed
+// samples to finish processing (quiesce), emits one final decision for a
+// partially integrated window if the accumulator has enough data to be
+// Ready, and returns the channel's final accounting. After it returns,
+// the id is free for re-registration with fresh state.
+//
+// RemoveChannel is the ownership-handoff primitive for shard
+// rebalancing: every sample pushed before the call ends up in exactly
+// one emitted decision window (or, when the residue is too short for
+// the estimator, in no window at all — never in two). Callers must stop
+// pushing to the channel before calling; a Push racing RemoveChannel
+// fails with an unknown-channel error once removal begins.
+func (e *Engine) RemoveChannel(id string, timeout time.Duration) (ChannelStats, error) {
+	e.mu.Lock()
+	ch := e.channels[id]
+	if ch == nil {
+		e.mu.Unlock()
+		return ChannelStats{}, fmt.Errorf("stream: unknown channel %q", id)
+	}
+	// Unregister first so concurrent Push can no longer reach the ring;
+	// a worker still draining holds its own *channel pointer and
+	// finishes normally.
+	delete(e.channels, id)
+	for i, o := range e.order {
+		if o == id {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+	e.mu.Unlock()
+	// Quiesce: wait until the ring is empty and no worker owns the
+	// channel (queued clears under ch.mu when the drain completes).
+	deadline := time.Now().Add(timeout)
+	for {
+		ch.mu.Lock()
+		idle := ch.count == 0 && !ch.queued
+		ch.mu.Unlock()
+		if idle {
+			break
+		}
+		if time.Now().After(deadline) {
+			return ChannelStats{}, fmt.Errorf("stream: remove %q: quiesce timed out after %v", id, timeout)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Flush the in-flight window: a partial accumulation with enough
+	// data for a snapshot becomes the channel's last (shorter) decision
+	// window, so its samples are not silently lost at handoff.
+	if !ch.dead && ch.sinceSnap > 0 && ch.acc.Ready() {
+		e.decide(ch)
+		ch.sinceSnap = 0
+	}
+	cs := ChannelStats{
+		ID:             ch.id,
+		SamplesIn:      ch.samplesIn.Load(),
+		SamplesDropped: ch.dropped.Load(),
+		Snapshots:      ch.snapshots.Load(),
+		Detections:     ch.detections.Load(),
+		Last:           ch.last.Load(),
+	}
+	if msg := ch.err.Load(); msg != nil {
+		cs.Err = *msg
+	}
+	return cs, nil
 }
 
 // Push appends samples to a channel's ring in arrival order and returns
@@ -623,6 +693,12 @@ func (e *Engine) Channels() []string {
 func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	n := len(e.channels)
+	var queued int64
+	for _, ch := range e.channels {
+		ch.mu.Lock()
+		queued += int64(ch.count)
+		ch.mu.Unlock()
+	}
 	e.mu.RUnlock()
 	elapsed := time.Since(e.start)
 	s := Stats{
@@ -632,6 +708,7 @@ func (e *Engine) Stats() Stats {
 		Surfaces:         e.surfaces.Load(),
 		Detections:       e.detections.Load(),
 		DecisionsDropped: e.decisionsDropped.Load(),
+		QueuedSamples:    queued,
 		Elapsed:          elapsed,
 	}
 	if sec := elapsed.Seconds(); sec > 0 {

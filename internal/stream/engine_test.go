@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -246,6 +247,184 @@ func TestEngineBackpressureLosesNothing(t *testing.T) {
 	}
 	if cs.Snapshots != total/window {
 		t.Fatalf("%d snapshots, want %d", cs.Snapshots, total/window)
+	}
+}
+
+// TestEngineConcurrentDropAccountingExact hammers drop mode with many
+// concurrent producers on undersized rings and checks the overflow
+// accounting stays exact: what every Push reported accepted equals
+// SamplesIn, the remainder equals SamplesDropped, per channel and
+// engine-wide. Run under -race this is the overload-path concurrency
+// test.
+func TestEngineConcurrentDropAccountingExact(t *testing.T) {
+	const (
+		window    = 1024
+		nch       = 8
+		producers = 4 // per channel
+		pushes    = 40
+		chunk     = 700
+	)
+	e, err := New(Config{
+		Estimator:       scf.Direct{Params: scf.Params{K: 64, M: 16}},
+		SnapshotSamples: window,
+		RingSamples:     window, // deliberately tight: overflow is the point
+		Workers:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	band := noiseBand(t, chunk, 3)
+	var accepted [nch]int64
+	var wg sync.WaitGroup
+	for c := 0; c < nch; c++ {
+		id := fmt.Sprintf("ch%d", c)
+		if err := e.AddChannel(id); err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(c int, id string) {
+				defer wg.Done()
+				for i := 0; i < pushes; i++ {
+					n, err := e.Push(id, band)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					atomic.AddInt64(&accepted[c], int64(n))
+				}
+			}(c, id)
+		}
+	}
+	wg.Wait()
+	if err := e.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	const pushedPerChannel = int64(producers * pushes * chunk)
+	var wantIn, wantDropped int64
+	for c := 0; c < nch; c++ {
+		id := fmt.Sprintf("ch%d", c)
+		cs, ok := e.ChannelStats(id)
+		if !ok {
+			t.Fatalf("no stats for %s", id)
+		}
+		if cs.SamplesIn != accepted[c] {
+			t.Fatalf("%s: SamplesIn %d != sum of Push returns %d", id, cs.SamplesIn, accepted[c])
+		}
+		if cs.SamplesIn+cs.SamplesDropped != pushedPerChannel {
+			t.Fatalf("%s: in %d + dropped %d != pushed %d",
+				id, cs.SamplesIn, cs.SamplesDropped, pushedPerChannel)
+		}
+		if cs.SamplesDropped == 0 {
+			t.Fatalf("%s: nothing dropped — ring not actually overloaded", id)
+		}
+		wantIn += cs.SamplesIn
+		wantDropped += cs.SamplesDropped
+	}
+	s := e.Stats()
+	if s.SamplesIn != wantIn || s.SamplesDropped != wantDropped {
+		t.Fatalf("engine totals in=%d dropped=%d != channel sums in=%d dropped=%d",
+			s.SamplesIn, s.SamplesDropped, wantIn, wantDropped)
+	}
+	if s.SamplesIn+s.SamplesDropped != int64(nch)*pushedPerChannel {
+		t.Fatalf("engine in+dropped = %d, want %d", s.SamplesIn+s.SamplesDropped, int64(nch)*pushedPerChannel)
+	}
+	if s.QueuedSamples != 0 {
+		t.Fatalf("QueuedSamples %d after Flush, want 0", s.QueuedSamples)
+	}
+}
+
+// TestEngineRemoveChannelFlushesPartialWindow: RemoveChannel quiesces,
+// turns the partially integrated window into one final (shorter)
+// decision, returns the final stats, and frees the id for fresh
+// re-registration — the ownership-handoff contract sharding relies on.
+func TestEngineRemoveChannelFlushesPartialWindow(t *testing.T) {
+	const window = 2048
+	e, err := New(Config{
+		Estimator:       scf.Direct{Params: scf.Params{K: 64, M: 16}},
+		SnapshotSamples: window,
+		Block:           true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.AddChannel("mv"); err != nil {
+		t.Fatal(err)
+	}
+	// 1.5 windows: one full decision plus a half-window residue.
+	band := bpskBand(t, window+window/2, 8.0/64, 6, 9)
+	if _, err := e.Push("mv", band); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := e.RemoveChannel("mv", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.SamplesIn != int64(len(band)) {
+		t.Fatalf("final SamplesIn %d, want %d", cs.SamplesIn, len(band))
+	}
+	if cs.Snapshots != 2 {
+		t.Fatalf("final Snapshots %d, want 2 (full + flushed partial)", cs.Snapshots)
+	}
+	if cs.Last == nil || cs.Last.WindowSamples != window/2 {
+		t.Fatalf("last decision %+v, want partial window of %d samples", cs.Last, window/2)
+	}
+	if cs.Last.Seq != 1 {
+		t.Fatalf("last Seq %d, want 1", cs.Last.Seq)
+	}
+	if _, err := e.Push("mv", band[:8]); err == nil {
+		t.Fatal("Push to removed channel succeeded")
+	}
+	if _, err := e.RemoveChannel("mv", time.Second); err == nil {
+		t.Fatal("second RemoveChannel succeeded")
+	}
+	// The id is reusable with fresh state.
+	if err := e.AddChannel("mv"); err != nil {
+		t.Fatalf("re-AddChannel after remove: %v", err)
+	}
+	if _, err := e.Push("mv", band[:window]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fresh, ok := e.ChannelStats("mv")
+	if !ok || fresh.SamplesIn != window || fresh.Snapshots != 1 {
+		t.Fatalf("re-registered channel stats %+v, want fresh state with 1 window", fresh)
+	}
+	if fresh.Last.Seq != 0 {
+		t.Fatalf("re-registered channel Seq %d, want 0", fresh.Last.Seq)
+	}
+}
+
+// TestEngineRemoveChannelShortResidue: a residue too short for the
+// estimator to snapshot produces no final decision — dropped cleanly,
+// never double-counted.
+func TestEngineRemoveChannelShortResidue(t *testing.T) {
+	e, err := New(Config{
+		Estimator:       scf.Direct{Params: scf.Params{K: 64, M: 16}},
+		SnapshotSamples: 2048,
+		Block:           true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.AddChannel("stub"); err != nil {
+		t.Fatal(err)
+	}
+	// 32 samples < one K=64 block: the accumulator never becomes Ready.
+	if _, err := e.Push("stub", noiseBand(t, 32, 5)); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := e.RemoveChannel("stub", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Snapshots != 0 || cs.Last != nil {
+		t.Fatalf("stats %+v, want no decisions for a sub-block residue", cs)
 	}
 }
 

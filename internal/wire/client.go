@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultAckTimeout bounds how long Open waits for the server's ack.
+const DefaultAckTimeout = 10 * time.Second
+
+// Client is one wire-protocol connection to an ingestion server. It is
+// safe for concurrent use: sends on different channels interleave frame
+// by frame.
+type Client struct {
+	conn net.Conn
+
+	// wmu serialises frame writes from concurrent channel senders.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	buf []byte // frame scratch, under wmu
+
+	// mu guards the pending-ack table and ref allocation.
+	mu      sync.Mutex
+	pending map[uint16]chan ackResult
+	nextRef uint16
+
+	ackTimeout time.Duration
+	shed       atomic.Int64
+	err        atomic.Pointer[error]
+	done       chan struct{}
+	closeOnce  sync.Once
+}
+
+// ackResult is one open acknowledgement delivered to a waiting Open.
+type ackResult struct {
+	status byte
+	msg    string
+}
+
+// ChannelStream is one opened channel on a client connection.
+type ChannelStream struct {
+	c      *Client
+	ref    uint16
+	format Format
+	id     string
+}
+
+// Dial connects to a wire server and completes the preamble.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient runs the wire protocol over an established connection
+// (the caller keeps ownership of dialing/TLS concerns).
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn:       conn,
+		bw:         bufio.NewWriter(conn),
+		pending:    make(map[uint16]chan ackResult),
+		ackTimeout: DefaultAckTimeout,
+		done:       make(chan struct{}),
+	}
+	if err := writePreamble(c.bw); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// fail records the first fatal error and tears the connection down.
+func (c *Client) fail(err error) {
+	c.err.CompareAndSwap(nil, &err)
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.conn.Close()
+	})
+	// Wake every waiting Open.
+	c.mu.Lock()
+	for ref, ch := range c.pending {
+		close(ch)
+		delete(c.pending, ref)
+	}
+	c.mu.Unlock()
+}
+
+// readLoop dispatches server→client frames: acks to waiting opens, shed
+// notices to the counter, errors to the terminal state.
+func (c *Client) readLoop() {
+	br := bufio.NewReader(c.conn)
+	var buf []byte
+	for {
+		typ, p, next, err := readFrame(br, buf, DefaultMaxFrameBytes)
+		if err != nil {
+			c.fail(fmt.Errorf("wire: connection lost: %w", err))
+			return
+		}
+		buf = next
+		switch typ {
+		case frameAck:
+			if len(p) < 5 {
+				c.fail(fmt.Errorf("wire: short ack frame (%d bytes)", len(p)))
+				return
+			}
+			ref := binary.BigEndian.Uint16(p)
+			msgLen := int(binary.BigEndian.Uint16(p[3:]))
+			if len(p) != 5+msgLen {
+				c.fail(fmt.Errorf("wire: ack frame length mismatch"))
+				return
+			}
+			res := ackResult{status: p[2], msg: string(p[5:])}
+			c.mu.Lock()
+			ch := c.pending[ref]
+			delete(c.pending, ref)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- res
+			}
+		case frameShed:
+			if len(p) != 10 {
+				c.fail(fmt.Errorf("wire: short shed frame (%d bytes)", len(p)))
+				return
+			}
+			c.shed.Add(int64(binary.BigEndian.Uint64(p[2:])))
+		case frameError:
+			msg := "server error"
+			if len(p) >= 2 {
+				msg = string(p[2:])
+			}
+			c.fail(fmt.Errorf("wire: server: %s", msg))
+			return
+		default:
+			c.fail(fmt.Errorf("wire: unexpected server frame type %d", typ))
+			return
+		}
+	}
+}
+
+// sendFrame serialises one frame onto the connection.
+func (c *Client) sendFrame(typ byte, build func(dst []byte) []byte) error {
+	if ep := c.err.Load(); ep != nil {
+		return *ep
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.buf = build(c.buf[:0])
+	if err := writeFrame(c.bw, typ, c.buf); err != nil {
+		c.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Open registers a channel with the server and waits for the ack. The
+// returned stream encodes every Send in meta.Format.
+func (c *Client) Open(meta Meta) (*ChannelStream, error) {
+	if err := meta.validate(); err != nil {
+		return nil, err
+	}
+	ack := make(chan ackResult, 1)
+	c.mu.Lock()
+	ref := c.nextRef
+	c.nextRef++
+	c.pending[ref] = ack
+	c.mu.Unlock()
+	if err := c.sendFrame(frameOpen, func(dst []byte) []byte {
+		return appendMeta(dst, ref, meta)
+	}); err != nil {
+		return nil, err
+	}
+	select {
+	case res, ok := <-ack:
+		if !ok {
+			if ep := c.err.Load(); ep != nil {
+				return nil, *ep
+			}
+			return nil, fmt.Errorf("wire: connection closed during open")
+		}
+		if res.status != ackOK {
+			return nil, fmt.Errorf("wire: open %q rejected: %s", meta.ID, res.msg)
+		}
+		return &ChannelStream{c: c, ref: ref, format: meta.Format, id: meta.ID}, nil
+	case <-time.After(c.ackTimeout):
+		c.mu.Lock()
+		delete(c.pending, ref)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: open %q: no ack within %v", meta.ID, c.ackTimeout)
+	}
+}
+
+// ID returns the channel id the stream was opened with.
+func (cs *ChannelStream) ID() string { return cs.id }
+
+// Send streams one block of samples. It blocks under TCP backpressure
+// when the server's engine is saturated — the flow-control path that
+// lets a feeder run exactly at the service rate.
+func (cs *ChannelStream) Send(samples []complex128) error {
+	for len(samples) > 0 {
+		n := len(samples)
+		if limit := (DefaultMaxFrameBytes - 16) / cs.format.SampleBytes(); n > limit {
+			n = limit
+		}
+		block := samples[:n]
+		samples = samples[n:]
+		err := cs.c.sendFrame(frameData, func(dst []byte) []byte {
+			dst = binary.BigEndian.AppendUint16(dst, cs.ref)
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(block)))
+			return appendSamples(dst, cs.format, block)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close announces the end of the channel's stream. The connection stays
+// usable for other channels.
+func (cs *ChannelStream) Close() error {
+	return cs.c.sendFrame(frameClose, func(dst []byte) []byte {
+		return binary.BigEndian.AppendUint16(dst, cs.ref)
+	})
+}
+
+// ShedSamples returns the cumulative number of samples the server
+// reported shedding from this connection under its quota.
+func (c *Client) ShedSamples() int64 { return c.shed.Load() }
+
+// Err returns the connection's terminal error, nil while healthy.
+func (c *Client) Err() error {
+	if ep := c.err.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}
+
+// Close tears the connection down. Always returns nil after the first
+// call.
+func (c *Client) Close() error {
+	err := fmt.Errorf("wire: client closed")
+	c.err.CompareAndSwap(nil, &err)
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.conn.Close()
+	})
+	return nil
+}

@@ -1,0 +1,64 @@
+// Package wire is the network ingestion layer of the sensing service: a
+// length-prefixed binary streaming protocol carrying IQ sample blocks
+// from radio front ends (or recorded captures) into the streaming
+// engine, plus the serving-side niceties a real daemon needs — per-client
+// ingest quotas with load shedding, and a dependency-free Prometheus
+// text-exposition /metrics endpoint.
+//
+// # Protocol
+//
+// A connection opens with a 5-byte preamble (magic "CFDW", version 1)
+// and then carries frames in both directions. Every frame is
+//
+//	uint32  length   big-endian, bytes after this field (type + payload)
+//	uint8   type
+//	payload
+//
+// Client→server frames:
+//
+//	open  (1): ref uint16, format uint8, sample_rate float64,
+//	           center_freq float64, id_len uint16, id bytes
+//	data  (2): ref uint16, count uint32, count × sample bytes
+//	close (3): ref uint16
+//
+// Server→client frames:
+//
+//	ack   (16): ref uint16, status uint8 (0 = ok), msg_len uint16, msg
+//	shed  (17): ref uint16, samples uint64 — quota load-shed notice
+//	error (18): msg_len uint16, msg — fatal; the server closes the
+//	            connection after sending it
+//
+// The open frame carries SigMF-style per-channel metadata: the channel
+// id (SigMF capture label), the sample rate in Hz (core:sample_rate),
+// the centre frequency in Hz (core:frequency), and the sample format
+// (core:datatype) — cf32_le (two little-endian float32 per sample) or
+// ci16_le (two little-endian int16, Q15). Integer headers are
+// big-endian; sample payloads are little-endian per the SigMF _le
+// datatypes.
+//
+// A client opens any number of channels over one connection, each under
+// a connection-local uint16 ref, then streams data frames. Flow control
+// is TCP's own: when the engine applies backpressure the server stops
+// reading and the client's writes block, so a saturating client runs
+// exactly at the service rate without dropping anything.
+//
+// # Quotas and load shedding
+//
+// The server optionally enforces a per-connection token-bucket ingest
+// quota (samples/sec with a burst allowance). Data frames that exceed
+// the bucket are shed whole: the samples are discarded before they
+// reach the engine, counted in the server metrics, and reported to the
+// client with a shed frame — so one over-rate client degrades only its
+// own stream while in-quota clients keep their throughput. This extends
+// the drop/backpressure accounting of internal/stream one layer out:
+// ring overflow is counted per channel by the engine, quota shedding
+// per client by the wire server.
+//
+// # Metrics
+//
+// Exposition builds Prometheus text-format (version 0.0.4) output with
+// no external dependencies, and Handler serves it over HTTP. The server
+// contributes its connection/frame/sample/shed counters via Collect;
+// callers compose further sources (engine and shard-router gauges) into
+// the same endpoint.
+package wire

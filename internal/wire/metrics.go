@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Exposition accumulates Prometheus text-format (version 0.0.4) output
+// with no external dependencies. Metric emits one sample; the # HELP
+// and # TYPE headers appear once per family, on first use. Families
+// must be emitted contiguously (all samples of one name together), as
+// the format requires.
+type Exposition struct {
+	b     strings.Builder
+	typed map[string]bool
+}
+
+// Metric appends one sample. typ is "counter" or "gauge"; labels
+// alternate name, value. Label values are escaped per the exposition
+// format.
+func (e *Exposition) Metric(name, typ, help string, value float64, labels ...string) {
+	if e.typed == nil {
+		e.typed = make(map[string]bool)
+	}
+	if !e.typed[name] {
+		e.typed[name] = true
+		fmt.Fprintf(&e.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	e.b.WriteString(name)
+	if len(labels) > 0 {
+		e.b.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				e.b.WriteByte(',')
+			}
+			fmt.Fprintf(&e.b, "%s=%q", labels[i], escapeLabel(labels[i+1]))
+		}
+		e.b.WriteByte('}')
+	}
+	e.b.WriteByte(' ')
+	e.b.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+	e.b.WriteByte('\n')
+}
+
+// escapeLabel applies the exposition-format label escapes the %q verb
+// does not cover identically (newline, backslash, quote are shared with
+// Go escaping, so %q suffices after normalising newlines).
+func escapeLabel(v string) string {
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// String returns the accumulated exposition body.
+func (e *Exposition) String() string { return e.b.String() }
+
+// Handler serves a /metrics endpoint: collect is invoked per scrape to
+// fill a fresh Exposition.
+func Handler(collect func(*Exposition)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var e Exposition
+		collect(&e)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, e.String()) //nolint:errcheck // best-effort scrape
+	})
+}
+
+// Collect contributes the server's ingest counters to an exposition,
+// prefixed cfd_wire_.
+func (s *Server) Collect(e *Exposition) {
+	m := &s.Metrics
+	e.Metric("cfd_wire_connections_total", "counter",
+		"Wire-protocol connections accepted.", float64(m.ConnectionsTotal.Load()))
+	e.Metric("cfd_wire_connections_active", "gauge",
+		"Wire-protocol connections currently served.", float64(m.ConnectionsActive.Load()))
+	e.Metric("cfd_wire_channels_opened_total", "counter",
+		"Channel opens accepted.", float64(m.ChannelsOpened.Load()))
+	e.Metric("cfd_wire_opens_rejected_total", "counter",
+		"Channel opens rejected (duplicate, draining, limits).", float64(m.OpensRejected.Load()))
+	e.Metric("cfd_wire_frames_in_total", "counter",
+		"Frames read from clients.", float64(m.FramesIn.Load()))
+	e.Metric("cfd_wire_bytes_in_total", "counter",
+		"Bytes read from clients (frame payloads and headers).", float64(m.BytesIn.Load()))
+	e.Metric("cfd_wire_samples_in_total", "counter",
+		"IQ samples delivered to the engine.", float64(m.SamplesIn.Load()))
+	e.Metric("cfd_wire_quota_shed_samples_total", "counter",
+		"IQ samples shed by per-client ingest quotas.", float64(m.SamplesShed.Load()))
+	e.Metric("cfd_wire_quota_shed_frames_total", "counter",
+		"Data frames shed by per-client ingest quotas.", float64(m.ShedFrames.Load()))
+	e.Metric("cfd_wire_protocol_errors_total", "counter",
+		"Connections dropped for malformed input.", float64(m.ProtocolErrors.Load()))
+}

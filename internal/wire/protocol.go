@@ -1,0 +1,252 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Magic is the 4-byte connection preamble identifying the protocol.
+var Magic = [4]byte{'C', 'F', 'D', 'W'}
+
+// Version is the protocol version carried in the preamble.
+const Version = 1
+
+// Frame types. Client→server types are low, server→client types start
+// at 16.
+const (
+	frameOpen  = 1
+	frameData  = 2
+	frameClose = 3
+	frameAck   = 16
+	frameShed  = 17
+	frameError = 18
+)
+
+// ackOK is the ack status byte for an accepted open.
+const ackOK = 0
+
+// maxIDLen bounds channel id length on the wire.
+const maxIDLen = 256
+
+// DefaultMaxFrameBytes is the default bound on one frame's length field:
+// generous for IQ blocks (half a million cf32 samples) while keeping a
+// garbage length prefix from allocating gigabytes.
+const DefaultMaxFrameBytes = 4 << 20
+
+// Format identifies the on-wire sample encoding of one channel —
+// the SigMF core:datatype of the stream.
+type Format uint8
+
+// Sample formats. Samples are interleaved I,Q pairs, little-endian per
+// the SigMF _le datatypes.
+const (
+	// FormatCF32 is cf32_le: two little-endian float32 per sample.
+	FormatCF32 Format = 0
+	// FormatCI16 is ci16_le: two little-endian int16 per sample, Q15
+	// (±32767 maps to ±1.0).
+	FormatCI16 Format = 1
+)
+
+// String returns the SigMF datatype name of the format.
+func (f Format) String() string {
+	switch f {
+	case FormatCF32:
+		return "cf32_le"
+	case FormatCI16:
+		return "ci16_le"
+	}
+	return fmt.Sprintf("format(%d)", uint8(f))
+}
+
+// SampleBytes is the encoded size of one sample in the format.
+func (f Format) SampleBytes() int {
+	switch f {
+	case FormatCF32:
+		return 8
+	case FormatCI16:
+		return 4
+	}
+	return 0
+}
+
+// valid reports whether the format is one the codec understands.
+func (f Format) valid() bool { return f == FormatCF32 || f == FormatCI16 }
+
+// Meta is the SigMF-style per-channel metadata carried by an open
+// frame.
+type Meta struct {
+	// ID names the channel; unique across the whole service (the shard
+	// router keys ownership on it). Required, at most 256 bytes.
+	ID string
+	// Format is the on-wire sample encoding (core:datatype).
+	Format Format
+	// SampleRateHz is the stream's sample rate (core:sample_rate);
+	// informational for the detector, which works in normalised
+	// frequency.
+	SampleRateHz float64
+	// CenterFreqHz is the tuned centre frequency (core:frequency);
+	// informational.
+	CenterFreqHz float64
+}
+
+// validate checks the metadata bounds shared by client and server.
+func (m Meta) validate() error {
+	if m.ID == "" {
+		return fmt.Errorf("wire: empty channel id")
+	}
+	if len(m.ID) > maxIDLen {
+		return fmt.Errorf("wire: channel id %d bytes long, max %d", len(m.ID), maxIDLen)
+	}
+	if !m.Format.valid() {
+		return fmt.Errorf("wire: unknown sample format %d", m.Format)
+	}
+	return nil
+}
+
+// writePreamble sends the magic and version.
+func writePreamble(w io.Writer) error {
+	var p [5]byte
+	copy(p[:4], Magic[:])
+	p[4] = Version
+	_, err := w.Write(p[:])
+	return err
+}
+
+// readPreamble validates the magic and version.
+func readPreamble(r io.Reader) error {
+	var p [5]byte
+	if _, err := io.ReadFull(r, p[:]); err != nil {
+		return fmt.Errorf("wire: reading preamble: %w", err)
+	}
+	if [4]byte(p[:4]) != Magic {
+		return fmt.Errorf("wire: bad magic %q", p[:4])
+	}
+	if p[4] != Version {
+		return fmt.Errorf("wire: protocol version %d, want %d", p[4], Version)
+	}
+	return nil
+}
+
+// writeFrame emits one length-prefixed frame: payload must already hold
+// everything after the type byte.
+func writeFrame(w *bufio.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one frame, enforcing the length bound. The returned
+// payload is only valid until the next call when buf is reused.
+func readFrame(r *bufio.Reader, buf []byte, maxBytes int) (typ byte, payload, nextBuf []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n < 1 {
+		return 0, nil, buf, fmt.Errorf("wire: zero-length frame")
+	}
+	if n > maxBytes {
+		return 0, nil, buf, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, maxBytes)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return buf[0], buf[1:], buf, nil
+}
+
+// appendMeta encodes an open-frame payload.
+func appendMeta(dst []byte, ref uint16, m Meta) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, ref)
+	dst = append(dst, byte(m.Format))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.SampleRateHz))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.CenterFreqHz))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.ID)))
+	return append(dst, m.ID...)
+}
+
+// parseMeta decodes an open-frame payload.
+func parseMeta(p []byte) (ref uint16, m Meta, err error) {
+	if len(p) < 2+1+8+8+2 {
+		return 0, m, fmt.Errorf("wire: open frame %d bytes, too short", len(p))
+	}
+	ref = binary.BigEndian.Uint16(p)
+	m.Format = Format(p[2])
+	m.SampleRateHz = math.Float64frombits(binary.BigEndian.Uint64(p[3:]))
+	m.CenterFreqHz = math.Float64frombits(binary.BigEndian.Uint64(p[11:]))
+	idLen := int(binary.BigEndian.Uint16(p[19:]))
+	if len(p) != 21+idLen {
+		return 0, m, fmt.Errorf("wire: open frame %d bytes, want %d for id of %d", len(p), 21+idLen, idLen)
+	}
+	m.ID = string(p[21:])
+	return ref, m, m.validate()
+}
+
+// appendSamples encodes samples in the format.
+func appendSamples(dst []byte, f Format, samples []complex128) []byte {
+	switch f {
+	case FormatCF32:
+		for _, s := range samples {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(real(s))))
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(imag(s))))
+		}
+	case FormatCI16:
+		for _, s := range samples {
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(q15(real(s))))
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(q15(imag(s))))
+		}
+	}
+	return dst
+}
+
+// q15 clamps v to ±1 and scales to the int16 Q15 grid.
+func q15(v float64) int16 {
+	v = math.Round(v * 32767)
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}
+
+// decodeSamples converts an on-wire sample payload into complex128 for
+// the engine, appending to dst.
+func decodeSamples(dst []complex128, f Format, p []byte, count int) ([]complex128, error) {
+	if want := count * f.SampleBytes(); len(p) != want {
+		return dst, fmt.Errorf("wire: data frame carries %d payload bytes for %d %s samples, want %d",
+			len(p), count, f, want)
+	}
+	switch f {
+	case FormatCF32:
+		for i := 0; i < count; i++ {
+			re := math.Float32frombits(binary.LittleEndian.Uint32(p[8*i:]))
+			im := math.Float32frombits(binary.LittleEndian.Uint32(p[8*i+4:]))
+			dst = append(dst, complex(float64(re), float64(im)))
+		}
+	case FormatCI16:
+		for i := 0; i < count; i++ {
+			re := int16(binary.LittleEndian.Uint16(p[4*i:]))
+			im := int16(binary.LittleEndian.Uint16(p[4*i+2:]))
+			dst = append(dst, complex(float64(re)/32767, float64(im)/32767))
+		}
+	default:
+		return dst, fmt.Errorf("wire: undecodable format %d", f)
+	}
+	return dst, nil
+}

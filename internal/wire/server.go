@@ -1,0 +1,373 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sink is where the server delivers ingested streams — implemented by
+// the shard router (and by the public ShardedMonitor facade).
+type Sink interface {
+	// OpenChannel registers a channel before its first samples; an error
+	// rejects the client's open frame (duplicate id, channel limit, …).
+	OpenChannel(meta Meta) error
+	// Push appends decoded samples to the channel's stream in arrival
+	// order. It may block (engine backpressure) — the server stops
+	// reading that connection while it does, which is the protocol's
+	// flow control.
+	Push(id string, samples []complex128) (int, error)
+}
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// Sink receives every opened channel and ingested block. Required.
+	Sink Sink
+	// QuotaSamplesPerSec, when positive, enforces a per-connection
+	// token-bucket ingest quota: data frames beyond the rate are shed
+	// whole before reaching the Sink and counted in the metrics.
+	QuotaSamplesPerSec float64
+	// QuotaBurst is the bucket depth in samples (default one second of
+	// quota): how far a client may exceed the rate transiently.
+	QuotaBurst float64
+	// MaxFrameBytes bounds one frame's length field (default
+	// DefaultMaxFrameBytes).
+	MaxFrameBytes int
+	// MaxChannelsPerConn bounds opens per connection (default 1024).
+	MaxChannelsPerConn int
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults fills the zero fields.
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxFrameBytes == 0 {
+		c.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if c.MaxChannelsPerConn == 0 {
+		c.MaxChannelsPerConn = 1024
+	}
+	if c.QuotaBurst == 0 {
+		c.QuotaBurst = c.QuotaSamplesPerSec
+	}
+	return c
+}
+
+// ServerMetrics is the server's ingest accounting, all fields safe for
+// concurrent reads while serving.
+type ServerMetrics struct {
+	// ConnectionsTotal counts accepted connections; ConnectionsActive
+	// the momentarily open subset.
+	ConnectionsTotal, ConnectionsActive atomic.Int64
+	// ChannelsOpened counts accepted open frames; OpensRejected the
+	// refused ones (duplicate id, draining, limits).
+	ChannelsOpened, OpensRejected atomic.Int64
+	// FramesIn and BytesIn count everything successfully read.
+	FramesIn, BytesIn atomic.Int64
+	// SamplesIn counts samples delivered to the sink; SamplesShed the
+	// samples discarded by the quota; ShedFrames the data frames those
+	// sheds came from.
+	SamplesIn, SamplesShed, ShedFrames atomic.Int64
+	// ProtocolErrors counts connections dropped for malformed input.
+	ProtocolErrors atomic.Int64
+}
+
+// Server accepts wire-protocol connections and feeds a Sink.
+type Server struct {
+	cfg ServerConfig
+
+	ln       net.Listener
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining atomic.Bool
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Metrics is the server's ingest accounting.
+	Metrics ServerMetrics
+}
+
+// NewServer validates the configuration and returns an idle server;
+// Listen or Serve starts it.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Sink == nil {
+		return nil, fmt.Errorf("wire: ServerConfig.Sink is required")
+	}
+	return &Server{cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Listen binds addr and serves in the background until Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// acceptLoop admits connections until the listener closes.
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed (Drain/Close)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.Metrics.ConnectionsTotal.Add(1)
+		s.Metrics.ConnectionsActive.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			s.Metrics.ConnectionsActive.Add(-1)
+		}()
+	}
+}
+
+// logf forwards to the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// connState is the per-connection protocol state.
+type connState struct {
+	channels map[uint16]Meta
+	bucket   *bucket
+	scratch  []complex128
+}
+
+// serveConn runs one connection's read-decode-route loop. All writes to
+// the client happen from this goroutine, so frames serialise naturally.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriter(conn)
+	if err := readPreamble(br); err != nil {
+		s.Metrics.ProtocolErrors.Add(1)
+		s.logf("wire: %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	st := &connState{channels: make(map[uint16]Meta)}
+	if s.cfg.QuotaSamplesPerSec > 0 {
+		st.bucket = newBucket(s.cfg.QuotaSamplesPerSec, s.cfg.QuotaBurst)
+	}
+	var buf []byte
+	for {
+		typ, p, next, err := readFrame(br, buf, s.cfg.MaxFrameBytes)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) {
+				s.logf("wire: %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		buf = next
+		s.Metrics.FramesIn.Add(1)
+		s.Metrics.BytesIn.Add(int64(len(p) + 5))
+		if err := s.handleFrame(bw, st, typ, p); err != nil {
+			s.Metrics.ProtocolErrors.Add(1)
+			s.logf("wire: %s: %v", conn.RemoteAddr(), err)
+			s.writeError(bw, err)
+			return
+		}
+	}
+}
+
+// writeError best-effort sends a fatal error frame before the
+// connection closes.
+func (s *Server) writeError(bw *bufio.Writer, err error) {
+	msg := err.Error()
+	if len(msg) > 1024 {
+		msg = msg[:1024]
+	}
+	p := binary.BigEndian.AppendUint16(nil, uint16(len(msg)))
+	p = append(p, msg...)
+	_ = writeFrame(bw, frameError, p) //nolint:errcheck // connection is going away
+}
+
+// handleFrame routes one client frame; a non-nil error is fatal to the
+// connection.
+func (s *Server) handleFrame(bw *bufio.Writer, st *connState, typ byte, p []byte) error {
+	switch typ {
+	case frameOpen:
+		ref, meta, err := parseMeta(p)
+		if err != nil {
+			return err
+		}
+		if _, dup := st.channels[ref]; dup {
+			return fmt.Errorf("wire: ref %d already open on this connection", ref)
+		}
+		status, msg := byte(ackOK), ""
+		switch {
+		case s.draining.Load():
+			status, msg = 1, "server draining: not accepting new channels"
+		case len(st.channels) >= s.cfg.MaxChannelsPerConn:
+			status, msg = 1, fmt.Sprintf("channel limit %d per connection", s.cfg.MaxChannelsPerConn)
+		default:
+			if err := s.cfg.Sink.OpenChannel(meta); err != nil {
+				status, msg = 1, err.Error()
+			}
+		}
+		if status == ackOK {
+			st.channels[ref] = meta
+			s.Metrics.ChannelsOpened.Add(1)
+		} else {
+			s.Metrics.OpensRejected.Add(1)
+		}
+		ack := binary.BigEndian.AppendUint16(nil, ref)
+		ack = append(ack, status)
+		ack = binary.BigEndian.AppendUint16(ack, uint16(len(msg)))
+		ack = append(ack, msg...)
+		return writeFrame(bw, frameAck, ack)
+
+	case frameData:
+		if len(p) < 6 {
+			return fmt.Errorf("wire: short data frame (%d bytes)", len(p))
+		}
+		ref := binary.BigEndian.Uint16(p)
+		count := int(binary.BigEndian.Uint32(p[2:]))
+		meta, ok := st.channels[ref]
+		if !ok {
+			return fmt.Errorf("wire: data for unopened ref %d", ref)
+		}
+		if st.bucket != nil && !st.bucket.take(float64(count), time.Now()) {
+			// Load shed: over-quota frames are discarded whole before
+			// decode, counted, and reported so the client can adapt.
+			s.Metrics.SamplesShed.Add(int64(count))
+			s.Metrics.ShedFrames.Add(1)
+			shed := binary.BigEndian.AppendUint16(nil, ref)
+			shed = binary.BigEndian.AppendUint64(shed, uint64(count))
+			return writeFrame(bw, frameShed, shed)
+		}
+		var err error
+		st.scratch, err = decodeSamples(st.scratch[:0], meta.Format, p[6:], count)
+		if err != nil {
+			return err
+		}
+		if _, err := s.cfg.Sink.Push(meta.ID, st.scratch); err != nil {
+			return fmt.Errorf("wire: push %q: %w", meta.ID, err)
+		}
+		s.Metrics.SamplesIn.Add(int64(count))
+		return nil
+
+	case frameClose:
+		if len(p) != 2 {
+			return fmt.Errorf("wire: short close frame (%d bytes)", len(p))
+		}
+		ref := binary.BigEndian.Uint16(p)
+		if _, ok := st.channels[ref]; !ok {
+			return fmt.Errorf("wire: close for unopened ref %d", ref)
+		}
+		delete(st.channels, ref)
+		return nil
+
+	default:
+		return fmt.Errorf("wire: unknown frame type %d", typ)
+	}
+}
+
+// Drain stops accepting new connections and rejects new channel opens
+// on existing ones; established streams keep flowing. It is the first
+// phase of a graceful shutdown.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// ActiveConns returns the number of currently served connections.
+func (s *Server) ActiveConns() int { return int(s.Metrics.ConnectionsActive.Load()) }
+
+// WaitIdle blocks until every connection has finished or the timeout
+// elapses, reporting whether the server went idle. Meaningful after
+// Drain.
+func (s *Server) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for s.ActiveConns() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return true
+}
+
+// Close force-closes the listener and every connection and waits for
+// the handlers to exit. Close is idempotent.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// bucket is a token bucket in sample units.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+}
+
+// newBucket starts full, so a client may burst immediately.
+func newBucket(rate, burst float64) *bucket {
+	return &bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// take refills by elapsed time and withdraws n tokens atomically; a
+// frame is admitted whole or not at all, keeping shed accounting exact.
+func (b *bucket) take(n float64, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
