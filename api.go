@@ -3,6 +3,7 @@ package tiledcfd
 import (
 	"fmt"
 	"math"
+	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,7 @@ import (
 	"tiledcfd/internal/sig"
 	"tiledcfd/internal/soc"
 	"tiledcfd/internal/stream"
+	"tiledcfd/internal/wire"
 )
 
 // Config selects the platform geometry and detection settings for Sense.
@@ -624,9 +626,22 @@ func (m *Monitor) Close() error {
 // count of each shard engine, and the service total is Shards×Workers).
 type ShardedMonitorOptions struct {
 	MonitorOptions
-	// Shards is the initial engine count (default 1). More can be added
-	// at runtime with AddShards.
+	// Shards is the initial local engine count (default 1 when no
+	// Remotes are configured). More can be added at runtime with
+	// AddShards.
 	Shards int
+	// Remotes are worker-process shards (cfdserve -shard-of) reached
+	// over the wire protocol. Each is wrapped in a robustness layer:
+	// per-push deadlines, retries with backoff and jitter, a circuit
+	// breaker, heartbeat health checks, and failover that re-homes a
+	// dead worker's channels onto healthy shards with counters carried.
+	Remotes []RemoteShardOptions
+	// Health tunes the remote robustness layer; zero fields take
+	// defaults.
+	Health RemoteHealthOptions
+	// FallbackLocal spills channels onto a lazily created local engine
+	// when every shard is down, instead of shedding their samples.
+	FallbackLocal bool
 	// DecisionBuffer is the capacity of the merged Decisions channel
 	// (default 1024). Decisions overflowing it are dropped and counted;
 	// the latest per channel stays available via ChannelStats.
@@ -634,6 +649,33 @@ type ShardedMonitorOptions struct {
 	// HandoffTimeout bounds one channel's quiesce during rebalancing
 	// (default 30s).
 	HandoffTimeout time.Duration
+}
+
+// RemoteShardOptions names one worker-process shard.
+type RemoteShardOptions struct {
+	// Name identifies the shard in stats and health reports (defaults to
+	// the next shardN name).
+	Name string
+	// Addr is the worker's listen address. Required.
+	Addr string
+}
+
+// RemoteHealthOptions tunes the robustness layer wrapped around every
+// remote shard.
+type RemoteHealthOptions struct {
+	// Interval is the heartbeat cadence per remote shard (default 2s).
+	Interval time.Duration
+	// PushTimeout bounds one frame write to a worker (default 5s).
+	PushTimeout time.Duration
+	// MaxRetries is how many times a failed push is retried after a
+	// reconnect (default 2).
+	MaxRetries int
+	// FailThreshold is the consecutive-failure count that opens a
+	// worker's circuit breaker (default 3).
+	FailThreshold int
+	// Cooldown is how long an open circuit waits before its half-open
+	// probe (default 5s).
+	Cooldown time.Duration
 }
 
 // ShardDecision is one per-channel verdict of a ShardedMonitor, tagged
@@ -649,6 +691,14 @@ type ShardDecision struct {
 type ShardInfo struct {
 	// Name identifies the shard (stable across the session).
 	Name string
+	// Remote reports whether the shard lives in another process; Addr is
+	// its dial address when it does.
+	Remote bool
+	// Addr is the remote worker's address ("" for local shards).
+	Addr string
+	// State is "ok" for a healthy shard, or the remote circuit-breaker
+	// position ("half-open", "open") while degraded.
+	State string
 	// Channels is the number of channels the shard currently owns.
 	Channels int
 	// SamplesIn, Surfaces and Detections are the shard engine's lifetime
@@ -661,10 +711,21 @@ type ShardInfo struct {
 // never move backwards on rebalancing.
 type ShardedMonitorStats struct {
 	MonitorStats
-	// Shards counts the live engine instances.
+	// Shards counts the live engine instances (down remotes excluded;
+	// see OpenCircuits).
 	Shards int
 	// Handoffs counts channel ownership moves across the session.
 	Handoffs int64
+	// Retries counts remote push retry attempts; DeadlineExceeded the
+	// pushes that overran their per-push deadline.
+	Retries, DeadlineExceeded int64
+	// Failovers counts dead-shard events that re-homed channels;
+	// ShedSamples the samples dropped because no healthy owner could
+	// take them.
+	Failovers, ShedSamples int64
+	// OpenCircuits counts remote shards currently failed (circuit open
+	// or half-open).
+	OpenCircuits int
 }
 
 // ShardedMonitorChannelStats aggregates one channel's accounting across
@@ -701,9 +762,22 @@ func NewShardedMonitor(cfg Config, opts ShardedMonitorOptions) (*ShardedMonitor,
 	if err != nil {
 		return nil, err
 	}
+	remotes := make([]shard.RemoteShard, len(opts.Remotes))
+	for i, rc := range opts.Remotes {
+		remotes[i] = shard.RemoteShard{Name: rc.Name, Addr: rc.Addr}
+	}
 	r, err := shard.New(shard.Config{
-		Shards:         opts.Shards,
-		Engine:         scfg,
+		Shards:  opts.Shards,
+		Engine:  scfg,
+		Remotes: remotes,
+		Guard: shard.GuardConfig{
+			HealthInterval: opts.Health.Interval,
+			PushTimeout:    opts.Health.PushTimeout,
+			MaxRetries:     opts.Health.MaxRetries,
+			FailThreshold:  opts.Health.FailThreshold,
+			Cooldown:       opts.Health.Cooldown,
+		},
+		FallbackLocal:  opts.FallbackLocal,
 		DecisionBuffer: opts.DecisionBuffer,
 		HandoffTimeout: opts.HandoffTimeout,
 	})
@@ -787,14 +861,23 @@ func (m *ShardedMonitor) Stats() ShardedMonitorStats {
 			QueuedSamples:    s.QueuedSamples,
 			SamplesPerSec:    s.SamplesPerSec,
 		},
-		Shards:   s.Shards,
-		Handoffs: s.Handoffs,
+		Shards:           s.Shards,
+		Handoffs:         s.Handoffs,
+		Retries:          s.Retries,
+		DeadlineExceeded: s.DeadlineExceeded,
+		Failovers:        s.Failovers,
+		ShedSamples:      s.ShedSamples,
+		OpenCircuits:     s.OpenCircuits,
 	}
 	if sec := s.Elapsed.Seconds(); sec > 0 {
 		out.SurfacesPerSec = float64(s.Surfaces) / sec
 	}
 	return out
 }
+
+// OpenCircuits returns the names of remote shards whose circuit breaker
+// is not closed — the degraded set a health endpoint should report.
+func (m *ShardedMonitor) OpenCircuits() []string { return m.r.OpenCircuits() }
 
 // ChannelStats returns one channel's aggregate accounting across every
 // owner it has had; ok is false for an unknown id.
@@ -816,6 +899,9 @@ func (m *ShardedMonitor) Shards() []ShardInfo {
 	for i, s := range ss {
 		out[i] = ShardInfo{
 			Name:          s.Name,
+			Remote:        s.Remote,
+			Addr:          s.Addr,
+			State:         s.State,
 			Channels:      s.Channels,
 			SamplesIn:     s.Stats.SamplesIn,
 			Surfaces:      s.Stats.Surfaces,
@@ -844,6 +930,109 @@ func (m *ShardedMonitor) Flush(timeout time.Duration) error { return m.r.Flush(t
 func (m *ShardedMonitor) Close() error {
 	var err error
 	m.once.Do(func() { err = m.r.Close() })
+	return err
+}
+
+// ShardWorkerOptions configures a NewShardWorker process.
+type ShardWorkerOptions struct {
+	// MonitorOptions configures the hosted engine's ingestion and
+	// scheduling exactly as for NewMonitor.
+	MonitorOptions
+	// Listen is the TCP address the worker serves the wire protocol on
+	// (":port" or "host:port"; a ":0" port picks a free one).
+	Listen string
+	// Logf, when set, receives per-connection diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// ShardWorker hosts one streaming engine as a remote shard for another
+// process's ShardedMonitor (cfdserve worker mode, `-shard-of`). The
+// parent router dials Addr, opens channels, streams samples in lossless
+// cf64_le, drives the engine surface over control frames, and
+// subscribes to the decision stream. When the parent's connection
+// drops, the worker sweeps that connection's channels out of the engine
+// so a reconnect re-opens fresh estimator state — the accepted window
+// restart; the router carries the counters across incarnations.
+type ShardWorker struct {
+	eng  *stream.Engine
+	srv  *wire.Server
+	addr net.Addr
+	once sync.Once
+}
+
+// shardWorkerSink adapts the hosted engine to the wire data plane.
+type shardWorkerSink struct{ eng *stream.Engine }
+
+func (s shardWorkerSink) OpenChannel(meta wire.Meta) error { return s.eng.AddChannel(meta.ID) }
+func (s shardWorkerSink) Push(id string, samples []complex128) (int, error) {
+	return s.eng.Push(id, samples)
+}
+
+// NewShardWorker builds a bare engine from cfg/opts and serves it over
+// the wire protocol's worker mode on opts.Listen.
+func NewShardWorker(cfg Config, opts ShardWorkerOptions) (*ShardWorker, error) {
+	scfg, err := monitorStreamConfig(cfg, opts.MonitorOptions)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := stream.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := wire.NewServer(wire.ServerConfig{
+		Sink:          shardWorkerSink{eng},
+		Engine:        eng,
+		RemoveOnClose: true,
+		Logf:          opts.Logf,
+	})
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	addr, err := srv.Listen(opts.Listen)
+	if err != nil {
+		srv.Close()
+		eng.Close()
+		return nil, err
+	}
+	return &ShardWorker{eng: eng, srv: srv, addr: addr}, nil
+}
+
+// Addr is the bound listen address the parent router should dial.
+func (w *ShardWorker) Addr() net.Addr { return w.addr }
+
+// Stats returns the hosted engine's accounting.
+func (w *ShardWorker) Stats() MonitorStats {
+	s := w.eng.Stats()
+	return MonitorStats{
+		Channels:         s.Channels,
+		SamplesIn:        s.SamplesIn,
+		SamplesDropped:   s.SamplesDropped,
+		Surfaces:         s.Surfaces,
+		Detections:       s.Detections,
+		DecisionsDropped: s.DecisionsDropped,
+		QueuedSamples:    s.QueuedSamples,
+		SamplesPerSec:    s.SamplesPerSec,
+		SurfacesPerSec:   s.SurfacesPerSec,
+	}
+}
+
+// ActiveConns reports how many parent connections are live.
+func (w *ShardWorker) ActiveConns() int { return w.srv.ActiveConns() }
+
+// Flush blocks until the engine has processed its pushed samples and
+// made its due decisions, or the timeout elapses.
+func (w *ShardWorker) Flush(timeout time.Duration) error { return w.eng.Flush(timeout) }
+
+// Close stops serving and shuts the engine down. Idempotent.
+func (w *ShardWorker) Close() error {
+	var err error
+	w.once.Do(func() {
+		err = w.srv.Close()
+		if cerr := w.eng.Close(); err == nil {
+			err = cerr
+		}
+	})
 	return err
 }
 

@@ -45,6 +45,17 @@
 // scaling pair), and every streaming row now records GOMAXPROCS and the
 // engine worker count explicitly. -wire-channels 0 skips the scenario.
 //
+// Since PR 7 (schema 6) the artifact carries a degraded-mode scenario:
+// the router drives -degraded-shards remote shard workers (in-process,
+// wire protocol over loopback) with the robustness layer around each —
+// per-push deadlines, retries, circuit breakers, heartbeat failover —
+// and halfway through the feed one worker is blackholed (internal/chaos:
+// its connections stop moving bytes but stay open, the worst failure
+// mode). Recorded: the sustained aggregate samples/sec across the fault,
+// failovers, retries, shed samples and open circuits, so the cost of a
+// dead tile-fabric link is a tracked number. -degraded-channels 0 skips
+// the scenario.
+//
 // With -baseline, a previously written report is embedded and per-
 // estimator speedups (baseline ns / current ns) are computed, turning one
 // file into a before/after comparison:
@@ -61,16 +72,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"tiledcfd"
+	"tiledcfd/internal/chaos"
 	"tiledcfd/internal/fam"
 	"tiledcfd/internal/quant"
 	"tiledcfd/internal/scf"
@@ -142,6 +156,34 @@ type WireMeasurement struct {
 	Surfaces          int64   `json:"surfaces"`
 }
 
+// DegradedMeasurement is the schema-6 degraded-mode scenario: the
+// robustness layer exercised under a mid-run blackhole of one remote
+// shard worker, recording what the service sustains across the fault
+// and what the fault cost (failovers, retries, shed samples).
+type DegradedMeasurement struct {
+	Name              string  `json:"name"`
+	Shards            int     `json:"shards"`
+	Channels          int     `json:"channels"`
+	SamplesPerChannel int     `json:"samples_per_channel"`
+	SnapshotSamples   int     `json:"snapshot_samples"`
+	HealthIntervalMs  float64 `json:"health_interval_ms"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	SamplesPerSec     float64 `json:"samples_per_sec"`
+	// SamplesAttempted is the full feed; SamplesAccepted what the shard
+	// engines processed. The difference beyond SamplesShed is data the
+	// blackholed worker's socket acknowledged but never processed —
+	// carried per channel by the router's counter-carry, and the
+	// honest cost of the worst failure mode.
+	SamplesAttempted int64 `json:"samples_attempted"`
+	SamplesAccepted  int64 `json:"samples_accepted"`
+	SamplesShed      int64 `json:"samples_shed"`
+	Retries          int64 `json:"retries"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	Failovers        int64 `json:"failovers"`
+	Surfaces         int64 `json:"surfaces"`
+	OpenCircuits     int   `json:"open_circuits"`
+}
+
 // MappingMeasurement is one (strategy, tiles) row of the schema-4
 // multi-tile mapping scenario: the modeled fabric schedule's predicted
 // figures for one estimator window.
@@ -179,6 +221,7 @@ type Report struct {
 	FixedPoint []FixedPointMeasurement `json:"fixed_point,omitempty"`
 	Streaming  []StreamingMeasurement  `json:"streaming,omitempty"`
 	Wire       []WireMeasurement       `json:"wire,omitempty"`
+	Degraded   *DegradedMeasurement    `json:"degraded,omitempty"`
 	Mapping    *MappingScenario        `json:"mapping,omitempty"`
 	Baseline   *Report                 `json:"baseline,omitempty"`
 	Speedup    map[string]float64      `json:"speedup_vs_baseline,omitempty"`
@@ -214,12 +257,16 @@ func main() {
 		wireCh    = flag.Int("wire-channels", 8, "wire scenario: client connections/channels (0 = skip)")
 		wireN     = flag.Int("wire-samples", 1<<16, "wire scenario: samples per channel")
 		wireProcs = flag.String("wire-procs", "1,0", "wire scenario: comma-separated GOMAXPROCS per run (0 = all cores)")
+		degSh     = flag.Int("degraded-shards", 2, "degraded scenario: remote shard workers (one gets blackholed)")
+		degCh     = flag.Int("degraded-channels", 8, "degraded scenario: concurrent channels (0 = skip)")
+		degN      = flag.Int("degraded-samples", 1<<16, "degraded scenario: samples per channel")
 	)
 	flag.Parse()
 	w := wireOpts{estimator: *wireEst, shardsCSV: *wireSh, channels: *wireCh,
 		samples: *wireN, procsCSV: *wireProcs}
+	d := degradedOpts{estimator: *wireEst, shards: *degSh, channels: *degCh, samples: *degN}
 	if err := run(*out, *k, *m, *blocks, *seed, *names, *baseline, *failBelow,
-		*streamCh, *streamN, *mapEst, *mapTiles, *mapStrats, w); err != nil {
+		*streamCh, *streamN, *mapEst, *mapTiles, *mapStrats, w, d); err != nil {
 		fmt.Fprintln(os.Stderr, "cfdbench:", err)
 		os.Exit(1)
 	}
@@ -234,12 +281,20 @@ type wireOpts struct {
 	procsCSV  string
 }
 
+// degradedOpts bundles the schema-6 degraded-mode scenario parameters.
+type degradedOpts struct {
+	estimator string
+	shards    int
+	channels  int
+	samples   int
+}
+
 // fixedRefs pairs each Q15 backend with the float estimator the
 // fixed-point scenario compares it against.
 var fixedRefs = map[string]string{"fam-q15": "fam", "ssca-q15": "ssca"}
 
 func run(out string, k, m, blocks int, seed uint64, names, baseline string, failBelow float64,
-	streamCh, streamN int, mapEst, mapTiles, mapStrats string, wopts wireOpts) error {
+	streamCh, streamN int, mapEst, mapTiles, mapStrats string, wopts wireOpts, dopts degradedOpts) error {
 	band, err := tiledcfd.NewBPSKBand(k*blocks, 0.125, 8, 10, seed)
 	if err != nil {
 		return err
@@ -255,7 +310,7 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 		"ssca-q15": fam.SSCAQ15{Params: p},
 	}
 	rep := Report{
-		Schema:     5, // 2: streaming; 3: fixed-point + model cycles; 4: multi-tile mapping; 5: wire ingestion + gomaxprocs
+		Schema:     6, // 2: streaming; 3: fixed-point; 4: multi-tile mapping; 5: wire ingestion; 6: degraded mode
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -365,6 +420,16 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 			return fmt.Errorf("wire scenario: %w", err)
 		}
 		rep.Wire = rows
+	}
+	if dopts.channels > 0 {
+		row, err := benchDegraded(dopts, all, band)
+		if err != nil {
+			return fmt.Errorf("degraded scenario: %w", err)
+		}
+		rep.Degraded = row
+		fmt.Printf("%-8s degraded %d shards (1 blackholed) %d ch: %8.2fM samples/s %d failovers %d retries %d shed\n",
+			row.Name, row.Shards, row.Channels, row.SamplesPerSec/1e6,
+			row.Failovers, row.Retries, row.SamplesShed)
 	}
 	if mapTiles != "" {
 		sc, err := benchMapping(mapEst, k, m, blocks, mapTiles, mapStrats, all, band)
@@ -764,4 +829,178 @@ func benchStreaming(name string, est scf.StreamingEstimator, channels, total int
 		sm.SurfacesPerSec = float64(st.Surfaces) / wall
 	}
 	return sm, nil
+}
+
+// workerSink adapts a stream engine to a worker-mode wire server's data
+// plane (the degraded scenario's in-process shard workers).
+type workerSink struct{ eng *stream.Engine }
+
+// OpenChannel registers the stream's channel on the worker engine.
+func (s workerSink) OpenChannel(meta wire.Meta) error { return s.eng.AddChannel(meta.ID) }
+
+// Push feeds decoded samples to the worker engine.
+func (s workerSink) Push(id string, samples []complex128) (int, error) {
+	return s.eng.Push(id, samples)
+}
+
+// benchDegraded runs the schema-6 degraded-mode scenario: a router
+// drives dopts.shards in-process remote shard workers over loopback,
+// every remote wrapped in the robustness layer, and once half the feed
+// is in, worker 0 is blackholed — its connections stay open but stop
+// moving bytes, so only the per-push deadline can unstick the router.
+// The feeders keep pushing through the fault; the circuit opens, the
+// dead worker's channels re-home onto the survivors, and the run's
+// aggregate rate plus the fault's cost (failovers, retries, shed
+// samples) become the artifact row.
+func benchDegraded(dopts degradedOpts, all map[string]scf.Estimator, band []complex128) (*DegradedMeasurement, error) {
+	est, ok := all[dopts.estimator]
+	if !ok {
+		return nil, fmt.Errorf("unknown estimator %q", dopts.estimator)
+	}
+	sest, ok := est.(scf.StreamingEstimator)
+	if !ok {
+		return nil, fmt.Errorf("estimator %q has no incremental form", dopts.estimator)
+	}
+	if dopts.shards < 2 {
+		return nil, fmt.Errorf("-degraded-shards %d: need at least 2 so failover has a survivor", dopts.shards)
+	}
+	const window = 8192
+	engCfg := stream.Config{Estimator: sest, SnapshotSamples: window, Block: true}
+
+	// In-process shard workers; worker 0's listener goes through the
+	// fault controller so it can be blackholed mid-run.
+	ctl := chaos.NewController(42)
+	remotes := make([]shard.RemoteShard, dopts.shards)
+	for i := 0; i < dopts.shards; i++ {
+		eng, err := stream.New(engCfg)
+		if err != nil {
+			return nil, err
+		}
+		defer eng.Close()
+		srv, err := wire.NewServer(wire.ServerConfig{
+			Sink: workerSink{eng}, Engine: eng, RemoveOnClose: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			srv.Serve(chaos.NewListener(ln, ctl))
+		} else {
+			srv.Serve(ln)
+		}
+		remotes[i] = shard.RemoteShard{Name: fmt.Sprintf("r%d", i), Addr: ln.Addr().String()}
+	}
+	guard := shard.GuardConfig{
+		PushTimeout:    250 * time.Millisecond,
+		MaxRetries:     1,
+		RetryBackoff:   5 * time.Millisecond,
+		MaxBackoff:     50 * time.Millisecond,
+		FailThreshold:  1,
+		Cooldown:       time.Second,
+		HealthInterval: 50 * time.Millisecond,
+		Seed:           42,
+	}
+	r, err := shard.New(shard.Config{
+		Engine:        engCfg,
+		Remotes:       remotes,
+		Guard:         guard,
+		FallbackLocal: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	go func() {
+		for range r.Decisions() {
+		}
+	}()
+	ids := make([]string, dopts.channels)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("degch%d", i)
+		if err := r.AddChannel(ids[i]); err != nil {
+			return nil, err
+		}
+	}
+	var (
+		attempted atomic.Int64
+		faultOnce sync.Once
+	)
+	// Trip the fault a quarter of the way in, so most of the feed runs
+	// through detection, failover and the degraded steady state.
+	trip := int64(dopts.channels) * int64(dopts.samples) / 4
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, dopts.channels)
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			for fed := 0; fed < dopts.samples; {
+				n := len(band)
+				if fed+n > dopts.samples {
+					n = dopts.samples - fed
+				}
+				// A shed push returns (0, nil): the robustness layer already
+				// accounted the loss, so the feeder moves on — a live source
+				// cannot rewind its antenna either.
+				if _, err := r.Push(id, band[:n]); err != nil {
+					errs[i] = err
+					return
+				}
+				fed += n
+				if attempted.Add(int64(n)) >= trip {
+					faultOnce.Do(func() { ctl.Blackhole(true) })
+				}
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Wait for the health loop to declare the blackholed shard dead
+	// before flushing: a wedged worker absorbs small feeds into socket
+	// buffers without ever failing a push, and the live-only Flush must
+	// not commit a long round-trip to a shard the breaker is about to
+	// disown.
+	deadline := time.Now().Add(30 * time.Second)
+	for r.Stats().Failovers == 0 {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("blackhole never tripped a failover (stats %+v)", r.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := r.Flush(5 * time.Minute); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start).Seconds()
+	st := r.Stats()
+	row := &DegradedMeasurement{
+		Name:              dopts.estimator,
+		Shards:            dopts.shards,
+		Channels:          dopts.channels,
+		SamplesPerChannel: dopts.samples,
+		SnapshotSamples:   window,
+		HealthIntervalMs:  float64(guard.HealthInterval) / float64(time.Millisecond),
+		WallSeconds:       wall,
+		SamplesAttempted:  int64(dopts.channels) * int64(dopts.samples),
+		SamplesAccepted:   st.SamplesIn,
+		SamplesShed:       st.ShedSamples,
+		Retries:           st.Retries,
+		DeadlineExceeded:  st.DeadlineExceeded,
+		Failovers:         st.Failovers,
+		Surfaces:          st.Surfaces,
+		OpenCircuits:      st.OpenCircuits,
+	}
+	if wall > 0 {
+		row.SamplesPerSec = float64(st.SamplesIn) / wall
+	}
+	return row, nil
 }

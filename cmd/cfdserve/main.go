@@ -15,7 +15,10 @@
 //	         [-hop 0] [-window 16384] [-workers 0] [-mode block|drop]
 //	         [-rate 0] [-duration 0] [-report 2s] [-http addr] [-seed 1]
 //	         [-threshold 0] [-cfar-scale 2] [-cumulative] [-quiet]
-//	         [-drain-grace 5s]
+//	         [-drain-grace 5s] [-shard-addrs a,b] [-health-interval 2s]
+//	         [-push-timeout 5s] [-fallback-local]
+//	cfdserve -shard-of addr [-estimator fam] [-k 256] [-window 16384]
+//	         [-report 2s] [-duration 0] [-quiet]
 //	cfdserve -connect addr [-channels 4] [-format cf32_le|ci16_le]
 //	         [-rate 0] [-duration 0] [-seed 1] [-k 256] [-quiet]
 //
@@ -26,6 +29,16 @@
 // SIGINT/SIGTERM the daemon drains gracefully: it stops accepting new
 // connections and channels, lets in-flight frames land, flushes every
 // decision window in flight, prints the final accounting and exits 0.
+//
+// -shard-addrs spreads the fleet across processes: each address names a
+// worker started with `cfdserve -shard-of addr`, which hosts one bare
+// engine behind the wire protocol's worker mode. The router wraps every
+// remote in a robustness layer — per-push deadlines (-push-timeout),
+// retries with jittered exponential backoff, a per-shard circuit
+// breaker, and a heartbeat every -health-interval. A worker that dies
+// is failed over: its channels re-home onto the surviving shards (or a
+// local fallback engine with -fallback-local) with counters carried, and
+// /healthz reports the degraded set until the circuit closes again.
 //
 // -connect turns cfdserve into a wire-protocol feeder instead: it dials
 // a serving instance, opens -channels channels and streams the synthetic
@@ -63,6 +76,13 @@ type options struct {
 	quotaBurst float64
 	drainGrace time.Duration
 	selftest   bool
+
+	// Remote-shard topology.
+	shardOf        string
+	shardAddrs     string
+	healthInterval time.Duration
+	pushTimeout    time.Duration
+	fallbackLocal  bool
 
 	// Client (feeder) side.
 	connect string
@@ -103,6 +123,11 @@ func main() {
 	flag.Float64Var(&o.quotaBurst, "quota-burst", 0, "quota bucket depth in samples (0 = one second of quota)")
 	flag.DurationVar(&o.drainGrace, "drain-grace", 5*time.Second, "graceful-shutdown wait for in-flight connections")
 	flag.BoolVar(&o.selftest, "selftest", false, "run synthetic radio front ends (implied when -listen is unset)")
+	flag.StringVar(&o.shardOf, "shard-of", "", "run as a remote shard worker serving one engine on this address (dial it from a parent's -shard-addrs)")
+	flag.StringVar(&o.shardAddrs, "shard-addrs", "", "comma-separated worker addresses to route shards to (each a cfdserve -shard-of)")
+	flag.DurationVar(&o.healthInterval, "health-interval", 2*time.Second, "remote-shard heartbeat cadence")
+	flag.DurationVar(&o.pushTimeout, "push-timeout", 5*time.Second, "per-push deadline to a remote shard")
+	flag.BoolVar(&o.fallbackLocal, "fallback-local", false, "spill channels of a failed remote shard to a local fallback engine instead of shedding")
 	flag.StringVar(&o.connect, "connect", "", "run as a wire-protocol feeder against this server address")
 	flag.StringVar(&o.format, "format", "cf32_le", "wire sample format in -connect mode: cf32_le or ci16_le")
 	flag.IntVar(&o.channels, "channels", 4, "concurrent channels (selftest front ends or -connect streams)")
@@ -129,6 +154,12 @@ func main() {
 	defer stop()
 	if o.connect != "" {
 		if err := runClient(ctx, o, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if o.shardOf != "" {
+		if err := runWorker(ctx, o, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -254,7 +285,8 @@ func run(ctx context.Context, o options, out io.Writer) (*serveStats, error) {
 	if o.mode != "block" && o.mode != "drop" {
 		return nil, fmt.Errorf("cfdserve: -mode=%q must be block or drop", o.mode)
 	}
-	if o.shards == 0 {
+	remotes := parseRemotes(o.shardAddrs)
+	if o.shards == 0 && len(remotes) == 0 {
 		o.shards = 1
 	}
 	if o.drainGrace == 0 {
@@ -296,13 +328,22 @@ func run(ctx context.Context, o options, out io.Writer) (*serveStats, error) {
 				Backpressure:    o.mode == "block",
 				CFARScale:       o.cfarScale,
 			},
-			Shards: o.shards,
+			Shards:  o.shards,
+			Remotes: remotes,
+			Health: tiledcfd.RemoteHealthOptions{
+				Interval:    o.healthInterval,
+				PushTimeout: o.pushTimeout,
+			},
+			FallbackLocal: o.fallbackLocal,
 		},
 	)
 	if err != nil {
 		return nil, err
 	}
 	defer mon.Close()
+	if len(remotes) > 0 {
+		fmt.Fprintf(out, "routing to %d remote shard(s): %s\n", len(remotes), o.shardAddrs)
+	}
 
 	// Wire-protocol ingest listener.
 	var srv *wire.Server
@@ -408,7 +449,89 @@ func run(ctx context.Context, o options, out io.Writer) (*serveStats, error) {
 	logWG.Wait()
 	fmt.Fprintf(out, "final: %d channels on %d shards, %d samples in (%d dropped), %d surfaces, %d detections\n",
 		st.Channels, st.Shards, st.SamplesIn, st.SamplesDropped, st.Surfaces, st.Detections)
+	if st.Retries > 0 || st.Failovers > 0 || st.ShedSamples > 0 {
+		fmt.Fprintf(out, "robustness: %d retries, %d deadline overruns, %d failovers, %d samples shed\n",
+			st.Retries, st.DeadlineExceeded, st.Failovers, st.ShedSamples)
+	}
 	return &st, nil
+}
+
+// parseRemotes turns the -shard-addrs CSV into the remote topology.
+func parseRemotes(csv string) []tiledcfd.RemoteShardOptions {
+	var remotes []tiledcfd.RemoteShardOptions
+	for _, addr := range strings.Split(csv, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		remotes = append(remotes, tiledcfd.RemoteShardOptions{Addr: addr})
+	}
+	return remotes
+}
+
+// runWorker is -shard-of mode: host one bare engine behind the wire
+// protocol's worker mode and let a parent cfdserve route channels at
+// it. The worker holds no routing state of its own — channels appear
+// when the parent opens them and are swept out when its connection
+// drops (the parent carries the counters across such restarts).
+func runWorker(ctx context.Context, o options, out io.Writer) error {
+	out = &syncWriter{w: out}
+	if o.duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.duration)
+		defer cancel()
+	}
+	logf := log.Printf
+	if o.quiet {
+		logf = func(string, ...any) {}
+	}
+	w, err := tiledcfd.NewShardWorker(
+		tiledcfd.Config{
+			K: o.k, M: o.m, Estimator: o.estimator, Hop: o.hop,
+			Threshold: o.threshold,
+		},
+		tiledcfd.ShardWorkerOptions{
+			MonitorOptions: tiledcfd.MonitorOptions{
+				SnapshotSamples: o.window,
+				RingSamples:     o.ring,
+				Workers:         o.workers,
+				Cumulative:      o.cumulative,
+				Backpressure:    o.mode == "block",
+				CFARScale:       o.cfarScale,
+			},
+			Listen: o.shardOf,
+			Logf:   logf,
+		},
+	)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	fmt.Fprintf(out, "shard worker listening on %s\n", w.Addr())
+	if o.notifyListen != nil {
+		o.notifyListen(w.Addr())
+	}
+	ticker := time.NewTicker(o.report)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			// Let in-flight rings drain so the parent's final flush sees
+			// every due decision, then stop.
+			if err := w.Flush(10 * time.Second); err != nil {
+				fmt.Fprintf(out, "shutdown: %v\n", err)
+			}
+			st := w.Stats()
+			fmt.Fprintf(out, "final: %d channels, %d samples in, %d surfaces, %d detections\n",
+				st.Channels, st.SamplesIn, st.Surfaces, st.Detections)
+			return w.Close()
+		case <-ticker.C:
+			st := w.Stats()
+			fmt.Fprintf(out, "%s worker %d ch / %d conns | %.2fM samples (%.2fM/s avg) | %d surfaces | queued %d\n",
+				time.Now().Format("15:04:05"), st.Channels, w.ActiveConns(),
+				float64(st.SamplesIn)/1e6, st.SamplesPerSec/1e6, st.Surfaces, st.QueuedSamples)
+		}
+	}
 }
 
 // report prints one rolling stats block and returns the counters for the
@@ -498,9 +621,36 @@ func collectMetrics(e *wire.Exposition, mon *tiledcfd.ShardedMonitor, srv *wire.
 		e.Metric("cfd_shard_channels", "gauge",
 			"Channels owned per shard.", float64(s.Channels), "shard", s.Name)
 	}
+	e.Metric("cfd_shard_retries_total", "counter",
+		"Push retries against remote shards.", float64(st.Retries))
+	e.Metric("cfd_push_deadline_exceeded_total", "counter",
+		"Remote pushes that overran their deadline.", float64(st.DeadlineExceeded))
+	e.Metric("cfd_shard_failovers_total", "counter",
+		"Remote shards failed over after their circuit opened.", float64(st.Failovers))
+	e.Metric("cfd_shard_shed_samples_total", "counter",
+		"Samples shed because no healthy shard could take them.", float64(st.ShedSamples))
+	for _, s := range mon.Shards() {
+		if !s.Remote {
+			continue
+		}
+		e.Metric("cfd_shard_circuit_state", "gauge",
+			"Remote shard breaker position: 0 closed, 1 half-open, 2 open.",
+			float64(circuitStateValue(s.State)), "shard", s.Name)
+	}
 	if srv != nil {
 		srv.Collect(e)
 	}
+}
+
+// circuitStateValue maps a shard's breaker name onto the gauge encoding.
+func circuitStateValue(state string) int {
+	switch state {
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	}
+	return 0
 }
 
 // statusHTTP is a started status server and its bound address.
@@ -514,6 +664,18 @@ type statusHTTP struct {
 func statusServer(addr string, mon *tiledcfd.ShardedMonitor, wsrv *wire.Server) (*statusHTTP, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Degraded = at least one remote shard's circuit is not closed:
+		// traffic still flows (re-homed or shed with accounting) but the
+		// fleet is short, so load balancers should prefer a healthy peer.
+		if open := mon.OpenCircuits(); len(open) > 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck // best-effort status
+				"status":        "degraded",
+				"open_circuits": open,
+			})
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -349,5 +350,239 @@ func TestServeDrainStopsNewChannels(t *testing.T) {
 	}
 	if want := res.st.SamplesIn / 2048; res.st.Surfaces < want-2 {
 		t.Fatalf("flushed %d windows for %d samples in, want ~%d", res.st.Surfaces, res.st.SamplesIn, want)
+	}
+}
+
+// startTestWorker runs a -shard-of worker in-process, returning its
+// bound address and a stop function (the in-process SIGTERM).
+func startTestWorker(t *testing.T, addr string) (string, func()) {
+	t.Helper()
+	listenCh := make(chan net.Addr, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	wo := options{
+		shardOf: addr,
+		k:       64, m: 16,
+		estimator:    "fam",
+		window:       2048,
+		mode:         "block",
+		report:       200 * time.Millisecond,
+		quiet:        true,
+		notifyListen: func(a net.Addr) { listenCh <- a },
+	}
+	go func() { done <- runWorker(ctx, wo, io.Discard) }()
+	var bound net.Addr
+	select {
+	case bound = <-listenCh:
+	case <-time.After(5 * time.Second):
+		cancel()
+		t.Fatal("worker never listened")
+	}
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			cancel()
+			if err := <-done; err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		})
+	}
+	return bound.String(), stop
+}
+
+// pollStats scrapes /stats until cond holds or the deadline expires.
+func pollStats(t *testing.T, httpAddr, what string, cond func(statusSnapshot) bool) statusSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var snap statusSnapshot
+		if err := json.Unmarshal([]byte(scrape(t, "http://"+httpAddr+"/stats")), &snap); err != nil {
+			t.Fatalf("decode /stats: %v", err)
+		}
+		if cond(snap) {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; last snapshot %+v", what, snap)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// healthzStatus GETs /healthz, returning the HTTP status and body.
+func healthzStatus(t *testing.T, httpAddr string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + httpAddr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestServeRemoteShardFailover is the chaos e2e: a router daemon routes
+// half its fleet to a -shard-of worker process, the worker is killed
+// mid-stream and restarted, and decisions keep flowing throughout —
+// failover re-homes the remote channels within the health interval,
+// /healthz flips to 503 degraded and back, and the robustness metrics
+// land in /metrics.
+func TestServeRemoteShardFailover(t *testing.T) {
+	workerAddr, stopWorker := startTestWorker(t, "")
+	defer stopWorker()
+
+	httpCh := make(chan net.Addr, 1)
+	serverOut := &bytes.Buffer{}
+	o := options{
+		selftest: true,
+		channels: 8,
+		shards:   1,
+		httpAddr: "127.0.0.1:0",
+		k:        64, m: 16,
+		estimator:      "fam",
+		window:         2048,
+		mode:           "block",
+		report:         time.Second,
+		drainGrace:     time.Second,
+		seed:           1,
+		cfarScale:      2,
+		quiet:          true,
+		shardAddrs:     workerAddr,
+		healthInterval: 30 * time.Millisecond,
+		pushTimeout:    500 * time.Millisecond,
+		notifyHTTP:     func(a net.Addr) { httpCh <- a },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type result struct {
+		st  *serveStats
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		st, err := run(ctx, o, serverOut)
+		done <- result{st, err}
+	}()
+	var httpAddr string
+	select {
+	case a := <-httpCh:
+		httpAddr = a.String()
+	case <-time.After(5 * time.Second):
+		t.Fatalf("status server never bound:\n%s", serverOut.String())
+	}
+
+	// Healthy: both shards live, the remote owning channels, decisions
+	// flowing, /healthz green.
+	pollStats(t, httpAddr, "remote shard carrying traffic", func(s statusSnapshot) bool {
+		if s.Stats.Surfaces == 0 {
+			return false
+		}
+		for _, sh := range s.Shards {
+			if sh.Remote && sh.Channels > 0 && sh.State == "ok" {
+				return true
+			}
+		}
+		return false
+	})
+	if code, body := healthzStatus(t, httpAddr); code != http.StatusOK {
+		t.Fatalf("healthy /healthz = %d %q", code, body)
+	}
+
+	// Kill the worker mid-stream: the circuit opens, channels re-home
+	// onto the local shard, and the daemon reports itself degraded.
+	stopWorker()
+	pollStats(t, httpAddr, "failover onto the local shard", func(s statusSnapshot) bool {
+		if s.Stats.Failovers < 1 {
+			return false
+		}
+		for _, cs := range s.Channels {
+			if cs.Shard != "shard0" {
+				return false
+			}
+		}
+		return len(s.Channels) > 0
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body := healthzStatus(t, httpAddr)
+		if code == http.StatusServiceUnavailable {
+			if !strings.Contains(body, "degraded") || !strings.Contains(body, "shard1") {
+				t.Fatalf("degraded /healthz body %q, want the open circuit named", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/healthz never reported degraded (last %d)", code)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Decisions keep flowing after the failover.
+	first := pollStats(t, httpAddr, "post-failover decisions", func(s statusSnapshot) bool {
+		return s.Stats.Failovers >= 1
+	})
+	pollStats(t, httpAddr, "decision flow after failover", func(s statusSnapshot) bool {
+		return s.Stats.Surfaces > first.Stats.Surfaces
+	})
+
+	// The robustness metrics are exposed. The circuit gauge is polled for
+	// the open position (2): a health probe in flight reads half-open for
+	// an instant, but with the worker gone it must settle back to open.
+	metrics := scrape(t, "http://"+httpAddr+"/metrics")
+	for _, want := range []string{
+		"cfd_shard_retries_total",
+		"cfd_push_deadline_exceeded_total",
+		"cfd_shard_failovers_total",
+		"cfd_shard_shed_samples_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics lacks %q:\n%s", want, metrics)
+		}
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for !strings.Contains(metrics, `cfd_shard_circuit_state{shard="shard1"} 2`) {
+		if time.Now().After(deadline) {
+			t.Fatalf("circuit gauge never read open:\n%s", metrics)
+		}
+		time.Sleep(25 * time.Millisecond)
+		metrics = scrape(t, "http://"+httpAddr+"/metrics")
+	}
+
+	// Restart the worker at the same address: the health loop heals the
+	// circuit and /healthz goes green again.
+	_, stopWorker2 := startTestWorker(t, workerAddr)
+	defer stopWorker2()
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		if code, _ := healthzStatus(t, httpAddr); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/healthz never recovered after the worker restart")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	cancel()
+	var res result
+	select {
+	case res = <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatalf("server did not drain:\n%s", serverOut.String())
+	}
+	if res.err != nil {
+		t.Fatalf("run: %v\n%s", res.err, serverOut.String())
+	}
+	if res.st.Failovers < 1 {
+		t.Fatalf("final stats %+v, want at least one failover recorded", res.st)
+	}
+	if !strings.Contains(serverOut.String(), "robustness:") {
+		t.Fatalf("final output lacks the robustness summary:\n%s", serverOut.String())
 	}
 }

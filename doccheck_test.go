@@ -14,6 +14,7 @@ import (
 // readers into.
 var auditedPackages = []string{
 	".",
+	"internal/chaos",
 	"internal/scf",
 	"internal/shard",
 	"internal/stream",

@@ -1,0 +1,211 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipe returns a wrapped client end and the raw peer end.
+func pipe(ctl *Controller) (*Conn, net.Conn) {
+	a, b := net.Pipe()
+	return ctl.Wrap(a), b
+}
+
+func TestBlackholeSwallowsWritesAndBlocksReads(t *testing.T) {
+	ctl := NewController(1)
+	cn, peer := pipe(ctl)
+	defer cn.Close()
+	defer peer.Close()
+
+	ctl.Blackhole(true)
+
+	// Writes report success without the peer ever reading.
+	done := make(chan error, 1)
+	go func() {
+		n, err := cn.Write([]byte("swallowed"))
+		if err == nil && n != len("swallowed") {
+			err = io.ErrShortWrite
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("blackholed write: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blackholed write blocked; want swallowed success")
+	}
+
+	// Reads block while the fault holds...
+	got := make(chan struct{})
+	go func() {
+		buf := make([]byte, 8)
+		if n, err := cn.Read(buf); err == nil {
+			_ = n
+			close(got)
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("read completed during blackhole")
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	// ...and complete once it lifts and the peer speaks.
+	ctl.Blackhole(false)
+	go peer.Write([]byte("hello")) //nolint:errcheck
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("read did not resume after blackhole lifted")
+	}
+}
+
+func TestOneWayPartitionDropsWritesOnly(t *testing.T) {
+	ctl := NewController(2)
+	cn, peer := pipe(ctl)
+	defer cn.Close()
+	defer peer.Close()
+
+	ctl.DropWrites(true)
+	if _, err := cn.Write([]byte("lost")); err != nil {
+		t.Fatalf("partitioned write: %v", err)
+	}
+	peer.SetReadDeadline(time.Now().Add(30 * time.Millisecond)) //nolint:errcheck
+	buf := make([]byte, 8)
+	if n, err := peer.Read(buf); err == nil {
+		t.Fatalf("peer received %d bytes through a write partition", n)
+	}
+
+	// The reverse direction still works.
+	peer.SetReadDeadline(time.Time{}) //nolint:errcheck
+	go peer.Write([]byte("back"))     //nolint:errcheck
+	if _, err := cn.Read(buf); err != nil {
+		t.Fatalf("reverse direction: %v", err)
+	}
+}
+
+func TestTruncateNextWriteCutsMidFrame(t *testing.T) {
+	ctl := NewController(3)
+	cn, peer := pipe(ctl)
+	defer cn.Close()
+	defer peer.Close()
+
+	ctl.TruncateNextWrite(4)
+	var rcvd []byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 16)
+		for {
+			n, err := peer.Read(buf)
+			rcvd = append(rcvd, buf[:n]...)
+			if err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := cn.Write([]byte("full-frame")); err == nil {
+		t.Fatal("truncated write reported success; want injected reset")
+	}
+	<-done
+	if !bytes.Equal(rcvd, []byte("full")) {
+		t.Fatalf("peer received %q, want the 4 truncated bytes %q", rcvd, "full")
+	}
+}
+
+func TestResetNextFailsNextOp(t *testing.T) {
+	ctl := NewController(4)
+	cn, peer := pipe(ctl)
+	defer peer.Close()
+
+	ctl.ResetNext()
+	if _, err := cn.Write([]byte("x")); err == nil {
+		t.Fatal("write after ResetNext succeeded")
+	}
+	if _, err := cn.Write([]byte("x")); !errors.Is(err, net.ErrClosed) && err == nil {
+		t.Fatal("connection still usable after injected reset")
+	}
+}
+
+func TestCutClosesLiveConns(t *testing.T) {
+	ctl := NewController(5)
+	cn, peer := pipe(ctl)
+	defer peer.Close()
+	cn2, peer2 := pipe(ctl)
+	defer peer2.Close()
+
+	if got := ctl.Wrapped(); got != 2 {
+		t.Fatalf("Wrapped() = %d, want 2", got)
+	}
+	ctl.Cut()
+	buf := make([]byte, 1)
+	if _, err := cn.Read(buf); err == nil {
+		t.Fatal("read on first conn succeeded after Cut")
+	}
+	if _, err := cn2.Read(buf); err == nil {
+		t.Fatal("read on second conn succeeded after Cut")
+	}
+}
+
+func TestLatencyDelaysTraffic(t *testing.T) {
+	ctl := NewController(6)
+	cn, peer := pipe(ctl)
+	defer cn.Close()
+	defer peer.Close()
+
+	const lat = 20 * time.Millisecond
+	ctl.SetLatency(lat, 5*time.Millisecond)
+	go func() {
+		buf := make([]byte, 8)
+		peer.Read(buf) //nolint:errcheck
+	}()
+	start := time.Now()
+	if _, err := cn.Write([]byte("slow")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if e := time.Since(start); e < lat {
+		t.Fatalf("write completed in %v, want at least the %v injected latency", e, lat)
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctl := NewController(7)
+	l := NewListener(inner, ctl)
+	defer l.Close()
+
+	go func() {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err == nil {
+			c.Write([]byte("ping")) //nolint:errcheck
+			c.Close()
+		}
+	}()
+	conn, err := l.Accept()
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	defer conn.Close()
+	if _, ok := conn.(*Conn); !ok {
+		t.Fatalf("accepted conn is %T, want *chaos.Conn", conn)
+	}
+	if got := ctl.Wrapped(); got != 1 {
+		t.Fatalf("Wrapped() = %d, want 1", got)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("read through wrapped conn: %v", err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("read %q, want %q", buf, "ping")
+	}
+}

@@ -1,0 +1,307 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tiledcfd/internal/stream"
+)
+
+// ErrCircuitOpen is returned by pushes to a remote shard whose circuit
+// breaker is open: the shard is failing fast instead of burning a
+// timeout per block.
+var ErrCircuitOpen = fmt.Errorf("shard: circuit open")
+
+// CircuitState is one remote shard's breaker position.
+type CircuitState int32
+
+// Breaker positions: a closed circuit passes traffic, an open one fails
+// fast, and half-open admits a single probe to test recovery. The
+// integer values are the `cfd_shard_circuit_state` gauge encoding.
+const (
+	// CircuitClosed passes traffic normally.
+	CircuitClosed CircuitState = 0
+	// CircuitHalfOpen admits probe traffic after the cooldown.
+	CircuitHalfOpen CircuitState = 1
+	// CircuitOpen fails fast; pushes shed until the cooldown elapses.
+	CircuitOpen CircuitState = 2
+)
+
+// String names the state for health reports.
+func (s CircuitState) String() string {
+	switch s {
+	case CircuitClosed:
+		return "closed"
+	case CircuitHalfOpen:
+		return "half-open"
+	case CircuitOpen:
+		return "open"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// GuardConfig tunes the robustness layer wrapped around every remote
+// sink: per-push deadlines, bounded retries with exponential backoff
+// and jitter, the circuit breaker, and the heartbeat cadence.
+type GuardConfig struct {
+	// PushTimeout bounds one frame write to the worker (default 5s);
+	// an overrun surfaces os.ErrDeadlineExceeded and counts toward
+	// cfd_push_deadline_exceeded_total.
+	PushTimeout time.Duration
+	// MaxRetries is how many times a failed push is retried after a
+	// redial (default 2, so 3 attempts total).
+	MaxRetries int
+	// RetryBackoff is the first retry's delay, doubled per attempt
+	// (default 50ms).
+	RetryBackoff time.Duration
+	// MaxBackoff caps the doubling (default 2s).
+	MaxBackoff time.Duration
+	// FailThreshold is the consecutive-failure count that opens the
+	// circuit (default 3).
+	FailThreshold int
+	// Cooldown is how long an open circuit waits before the half-open
+	// probe (default 5s).
+	Cooldown time.Duration
+	// HealthInterval is the router's heartbeat cadence per remote shard
+	// (default 2s).
+	HealthInterval time.Duration
+	// Seed drives the retry jitter deterministically (tests replay
+	// byte-identically); 0 means seed 1.
+	Seed int64
+}
+
+// withDefaults fills the zero fields.
+func (c GuardConfig) withDefaults() GuardConfig {
+	if c.PushTimeout == 0 {
+		c.PushTimeout = 5 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.FailThreshold == 0 {
+		c.FailThreshold = 3
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// guard wraps a RemoteSink in the robustness layer. It implements Sink,
+// so the router treats a guarded remote exactly like a local engine;
+// the extra surface (State, check, Forget, counters) drives failover
+// and observability.
+type guard struct {
+	rs  *RemoteSink
+	cfg GuardConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	state    CircuitState
+	fails    int
+	openedAt time.Time
+
+	retries          atomic.Int64
+	deadlineExceeded atomic.Int64
+}
+
+var _ Sink = (*guard)(nil)
+
+// newGuard wraps rs with cfg's robustness policy.
+func newGuard(rs *RemoteSink, cfg GuardConfig) *guard {
+	cfg = cfg.withDefaults()
+	return &guard{rs: rs, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// State returns the breaker position.
+func (g *guard) State() CircuitState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.state
+}
+
+// allow reports whether traffic may pass, transitioning open→half-open
+// when the cooldown has elapsed.
+func (g *guard) allow() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch g.state {
+	case CircuitClosed, CircuitHalfOpen:
+		return true
+	case CircuitOpen:
+		if time.Since(g.openedAt) >= g.cfg.Cooldown {
+			g.state = CircuitHalfOpen
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// success resets the failure streak and closes the circuit.
+func (g *guard) success() {
+	g.mu.Lock()
+	g.fails = 0
+	g.state = CircuitClosed
+	g.mu.Unlock()
+}
+
+// failure records one failed operation; a streak reaching the threshold
+// — or any failure while half-open — opens the circuit.
+func (g *guard) failure() {
+	g.mu.Lock()
+	g.fails++
+	if g.fails >= g.cfg.FailThreshold || g.state == CircuitHalfOpen {
+		g.state = CircuitOpen
+		g.openedAt = time.Now()
+	}
+	g.mu.Unlock()
+}
+
+// backoff returns the delay before retry attempt (0-based): exponential
+// from RetryBackoff, capped, plus up to 50% seeded jitter so a fleet of
+// retrying channels does not synchronise.
+func (g *guard) backoff(attempt int) time.Duration {
+	d := g.cfg.RetryBackoff << attempt
+	if d > g.cfg.MaxBackoff || d <= 0 {
+		d = g.cfg.MaxBackoff
+	}
+	g.mu.Lock()
+	jitter := time.Duration(g.rng.Int63n(int64(d)/2 + 1))
+	g.mu.Unlock()
+	return d + jitter
+}
+
+// note classifies one failed attempt into the robustness counters.
+func (g *guard) note(err error) {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		g.deadlineExceeded.Add(1)
+	}
+}
+
+// check is the heartbeat: probe the worker (redialing a dead link) and
+// settle the breaker. Called by the router's health loop every
+// HealthInterval; the returned state drives failover and recovery.
+func (g *guard) check() CircuitState {
+	g.mu.Lock()
+	if g.state == CircuitOpen && time.Since(g.openedAt) < g.cfg.Cooldown {
+		g.mu.Unlock()
+		return CircuitOpen
+	}
+	g.mu.Unlock()
+	if err := g.probe(); err != nil {
+		g.failure()
+	} else {
+		g.success()
+	}
+	return g.State()
+}
+
+// probe verifies liveness end to end: redial if the link is down, then
+// a ping round-trip through the worker's frame loop.
+func (g *guard) probe() error {
+	if !g.rs.Connected() {
+		if err := g.rs.Redial(); err != nil {
+			return err
+		}
+	}
+	return g.rs.Ping(g.cfg.PushTimeout)
+}
+
+// AddChannel registers a channel, allowing one redial retry so a fresh
+// registration survives a just-dropped link.
+func (g *guard) AddChannel(id string) error {
+	if !g.allow() {
+		return ErrCircuitOpen
+	}
+	err := g.rs.AddChannel(id)
+	if err == nil {
+		g.success()
+		return nil
+	}
+	g.note(err)
+	if rerr := g.rs.Redial(); rerr == nil {
+		if err = g.rs.AddChannel(id); err == nil {
+			g.success()
+			return nil
+		}
+	}
+	g.failure()
+	return err
+}
+
+// Push delivers one block with the full robustness policy: fail fast on
+// an open circuit, otherwise up to 1+MaxRetries attempts with a redial
+// and jittered exponential backoff between them.
+func (g *guard) Push(id string, samples []complex128) (int, error) {
+	if !g.allow() {
+		return 0, ErrCircuitOpen
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		var n int
+		n, err = g.rs.Push(id, samples)
+		if err == nil {
+			g.success()
+			return n, nil
+		}
+		g.note(err)
+		g.failure()
+		if attempt >= g.cfg.MaxRetries {
+			break
+		}
+		g.retries.Add(1)
+		time.Sleep(g.backoff(attempt))
+		if !g.allow() {
+			break
+		}
+		// The failed write poisoned the connection; retry on a fresh one.
+		if rerr := g.rs.Redial(); rerr != nil {
+			g.note(rerr)
+			g.failure()
+			err = rerr
+			break
+		}
+	}
+	return 0, err
+}
+
+// RemoveChannel delegates to the remote sink.
+func (g *guard) RemoveChannel(id string, timeout time.Duration) (stream.ChannelStats, error) {
+	return g.rs.RemoveChannel(id, timeout)
+}
+
+// ChannelStats delegates to the remote sink.
+func (g *guard) ChannelStats(id string) (stream.ChannelStats, bool) { return g.rs.ChannelStats(id) }
+
+// Stats delegates to the remote sink (cached while the link is down).
+func (g *guard) Stats() stream.Stats { return g.rs.Stats() }
+
+// Flush delegates to the remote sink.
+func (g *guard) Flush(timeout time.Duration) error { return g.rs.Flush(timeout) }
+
+// Decisions is the remote sink's persistent decision stream.
+func (g *guard) Decisions() <-chan stream.Decision { return g.rs.Decisions() }
+
+// Forget drops a channel's local registration (forced failover).
+func (g *guard) Forget(id string) { g.rs.Forget(id) }
+
+// Close closes the remote sink.
+func (g *guard) Close() error { return g.rs.Close() }

@@ -1,0 +1,45 @@
+package shard
+
+import (
+	"time"
+
+	"tiledcfd/internal/stream"
+)
+
+// Sink is one shard's processing backend as the router sees it: the
+// stream.Engine surface the routing layer actually uses, extracted so a
+// shard can be an in-process engine or a remote worker reached over the
+// wire protocol. A local shard is a *stream.Engine directly; a remote
+// shard is a RemoteSink wrapped in the robustness layer (guard).
+type Sink interface {
+	// AddChannel registers a new channel on the shard.
+	AddChannel(id string) error
+	// Push appends samples to a channel's stream in arrival order.
+	Push(id string, samples []complex128) (int, error)
+	// RemoveChannel quiesces and unregisters a channel, flushing a
+	// partial window into one final decision, and returns its final
+	// accounting.
+	RemoveChannel(id string, timeout time.Duration) (stream.ChannelStats, error)
+	// ChannelStats returns one channel's accounting; ok is false for an
+	// unknown id.
+	ChannelStats(id string) (stream.ChannelStats, bool)
+	// Stats returns shard-wide accounting.
+	Stats() stream.Stats
+	// Flush blocks until pushed samples are processed and due decisions
+	// made, or the timeout elapses.
+	Flush(timeout time.Duration) error
+	// Decisions is the shard's decision stream; closed by Close.
+	Decisions() <-chan stream.Decision
+	// Close stops the shard.
+	Close() error
+}
+
+// A local shard is the engine itself.
+var _ Sink = (*stream.Engine)(nil)
+
+// forgetter is the extra surface a sink may offer for forced failover:
+// dropping a channel's local registration without a remote round-trip,
+// because the peer holding the state is already dead.
+type forgetter interface {
+	Forget(id string)
+}

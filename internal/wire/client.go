@@ -8,10 +8,16 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tiledcfd/internal/stream"
 )
 
 // DefaultAckTimeout bounds how long Open waits for the server's ack.
 const DefaultAckTimeout = 10 * time.Second
+
+// DefaultCallTimeout bounds one control round-trip (ping, remove,
+// flush, stats) when the caller passes no timeout.
+const DefaultCallTimeout = 10 * time.Second
 
 // Client is one wire-protocol connection to an ingestion server. It is
 // safe for concurrent use: sends on different channels interleave frame
@@ -24,22 +30,34 @@ type Client struct {
 	bw  *bufio.Writer
 	buf []byte // frame scratch, under wmu
 
-	// mu guards the pending-ack table and ref allocation.
+	// mu guards the pending-ack and call tables and ref allocation.
 	mu      sync.Mutex
 	pending map[uint16]chan ackResult
+	calls   map[uint16]chan callResult
 	nextRef uint16
+	nextReq uint16
 
-	ackTimeout time.Duration
-	shed       atomic.Int64
-	err        atomic.Pointer[error]
-	done       chan struct{}
-	closeOnce  sync.Once
+	ackTimeout   time.Duration
+	writeTimeout atomic.Int64 // nanoseconds; 0 = no deadline
+	shed         atomic.Int64
+	dec          chan stream.Decision
+	decDropped   atomic.Int64
+	err          atomic.Pointer[error]
+	done         chan struct{}
+	closeOnce    sync.Once
 }
 
 // ackResult is one open acknowledgement delivered to a waiting Open.
 type ackResult struct {
 	status byte
 	msg    string
+}
+
+// callResult is one control response delivered to a waiting round-trip.
+type callResult struct {
+	status  byte
+	msg     string
+	payload []byte // copied out of the frame scratch
 }
 
 // ChannelStream is one opened channel on a client connection.
@@ -66,8 +84,14 @@ func NewClient(conn net.Conn) (*Client, error) {
 		conn:       conn,
 		bw:         bufio.NewWriter(conn),
 		pending:    make(map[uint16]chan ackResult),
+		calls:      make(map[uint16]chan callResult),
 		ackTimeout: DefaultAckTimeout,
+		dec:        make(chan stream.Decision, 256),
 		done:       make(chan struct{}),
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)                         //nolint:errcheck // best-effort hardening
+		tc.SetKeepAlivePeriod(DefaultKeepAlivePeriod) //nolint:errcheck // best-effort hardening
 	}
 	if err := writePreamble(c.bw); err != nil {
 		conn.Close()
@@ -81,6 +105,25 @@ func NewClient(conn net.Conn) (*Client, error) {
 	return c, nil
 }
 
+// SetWriteTimeout bounds every subsequent frame write (0 = no
+// deadline). A write exceeding it fails the connection with
+// os.ErrDeadlineExceeded in the chain — the per-push deadline the shard
+// router's robustness layer keys on.
+func (c *Client) SetWriteTimeout(d time.Duration) { c.writeTimeout.Store(int64(d)) }
+
+// SetAckTimeout bounds how long subsequent Opens wait for the server's
+// ack (0 restores the default). A robustness layer managing the link
+// sets this to its per-push deadline so a wedged server cannot stall a
+// reconnect for the full default.
+func (c *Client) SetAckTimeout(d time.Duration) {
+	if d <= 0 {
+		d = DefaultAckTimeout
+	}
+	c.mu.Lock()
+	c.ackTimeout = d
+	c.mu.Unlock()
+}
+
 // fail records the first fatal error and tears the connection down.
 func (c *Client) fail(err error) {
 	c.err.CompareAndSwap(nil, &err)
@@ -88,18 +131,24 @@ func (c *Client) fail(err error) {
 		close(c.done)
 		c.conn.Close()
 	})
-	// Wake every waiting Open.
+	// Wake every waiting Open and control call.
 	c.mu.Lock()
 	for ref, ch := range c.pending {
 		close(ch)
 		delete(c.pending, ref)
 	}
+	for req, ch := range c.calls {
+		close(ch)
+		delete(c.calls, req)
+	}
 	c.mu.Unlock()
 }
 
-// readLoop dispatches server→client frames: acks to waiting opens, shed
-// notices to the counter, errors to the terminal state.
+// readLoop dispatches server→client frames: acks to waiting opens,
+// control results to waiting calls, decisions to the subscription
+// stream, shed notices to the counter, errors to the terminal state.
 func (c *Client) readLoop() {
+	defer close(c.dec) // single sender: decisions end exactly when the loop does
 	br := bufio.NewReader(c.conn)
 	var buf []byte
 	for {
@@ -129,6 +178,37 @@ func (c *Client) readLoop() {
 			if ch != nil {
 				ch <- res
 			}
+		case frameResult:
+			if len(p) < 3 {
+				c.fail(fmt.Errorf("wire: short result frame (%d bytes)", len(p)))
+				return
+			}
+			req := binary.BigEndian.Uint16(p)
+			res := callResult{status: p[2]}
+			if res.status == resultOK {
+				res.payload = append([]byte(nil), p[3:]...)
+			} else {
+				res.msg = string(p[3:])
+			}
+			c.mu.Lock()
+			ch := c.calls[req]
+			delete(c.calls, req)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- res
+			}
+		case frameDecision:
+			r := &byteReader{p: p}
+			d := readDecision(r)
+			if r.err != nil {
+				c.fail(fmt.Errorf("wire: malformed decision frame: %w", r.err))
+				return
+			}
+			select {
+			case c.dec <- d:
+			default:
+				c.decDropped.Add(1)
+			}
 		case frameShed:
 			if len(p) != 10 {
 				c.fail(fmt.Errorf("wire: short shed frame (%d bytes)", len(p)))
@@ -149,19 +229,145 @@ func (c *Client) readLoop() {
 	}
 }
 
-// sendFrame serialises one frame onto the connection.
+// sendFrame serialises one frame onto the connection, bounded by the
+// write timeout when one is set.
 func (c *Client) sendFrame(typ byte, build func(dst []byte) []byte) error {
 	if ep := c.err.Load(); ep != nil {
 		return *ep
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if d := time.Duration(c.writeTimeout.Load()); d > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(d)) //nolint:errcheck // write below surfaces the failure
+	}
 	c.buf = build(c.buf[:0])
 	if err := writeFrame(c.bw, typ, c.buf); err != nil {
 		c.fail(err)
 		return err
 	}
 	return nil
+}
+
+// roundTrip runs one control request and waits for its result frame.
+func (c *Client) roundTrip(typ byte, timeout time.Duration, build func(dst []byte) []byte) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = DefaultCallTimeout
+	}
+	res := make(chan callResult, 1)
+	c.mu.Lock()
+	req := c.nextReq
+	c.nextReq++
+	c.calls[req] = res
+	c.mu.Unlock()
+	if err := c.sendFrame(typ, func(dst []byte) []byte {
+		dst = binary.BigEndian.AppendUint16(dst, req)
+		if build != nil {
+			dst = build(dst)
+		}
+		return dst
+	}); err != nil {
+		c.mu.Lock()
+		delete(c.calls, req)
+		c.mu.Unlock()
+		return nil, err
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case r, ok := <-res:
+		if !ok {
+			if ep := c.err.Load(); ep != nil {
+				return nil, *ep
+			}
+			return nil, fmt.Errorf("wire: connection closed during control call")
+		}
+		if r.status != resultOK {
+			return nil, fmt.Errorf("wire: remote: %s", r.msg)
+		}
+		return r.payload, nil
+	case <-t.C:
+		c.mu.Lock()
+		delete(c.calls, req)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: control frame %d: no result within %v", typ, timeout)
+	}
+}
+
+// Ping probes the server's liveness: a heartbeat round-trip through the
+// server's frame loop, bounded by timeout (0 = DefaultCallTimeout).
+func (c *Client) Ping(timeout time.Duration) error {
+	_, err := c.roundTrip(framePing, timeout, nil)
+	return err
+}
+
+// Subscribe registers this connection for the worker engine's decision
+// stream; decisions arrive on Decisions until the connection dies.
+func (c *Client) Subscribe(timeout time.Duration) error {
+	_, err := c.roundTrip(frameSubscribe, timeout, nil)
+	return err
+}
+
+// Decisions returns the subscribed decision stream. It is closed when
+// the connection dies, so a consumer ranges over it and then inspects
+// Err. Decisions overflowing the subscriber's buffer are dropped and
+// counted (DecisionsDropped).
+func (c *Client) Decisions() <-chan stream.Decision { return c.dec }
+
+// DecisionsDropped counts subscribed decisions dropped because the
+// Decisions buffer was full.
+func (c *Client) DecisionsDropped() int64 { return c.decDropped.Load() }
+
+// RemoveChannel removes a channel from the remote worker engine,
+// quiescing it (bounded by timeout server-side) and returning its final
+// accounting.
+func (c *Client) RemoveChannel(id string, timeout time.Duration) (stream.ChannelStats, error) {
+	p, err := c.roundTrip(frameRemove, timeout+DefaultCallTimeout, func(dst []byte) []byte {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(timeout/time.Millisecond))
+		return appendStr(dst, id)
+	})
+	if err != nil {
+		return stream.ChannelStats{}, err
+	}
+	r := &byteReader{p: p}
+	cs := readChannelStats(r)
+	return cs, r.err
+}
+
+// Flush asks the remote worker engine to drain its rings and make due
+// decisions, bounded by timeout server-side.
+func (c *Client) Flush(timeout time.Duration) error {
+	_, err := c.roundTrip(frameFlush, timeout+DefaultCallTimeout, func(dst []byte) []byte {
+		return binary.BigEndian.AppendUint32(dst, uint32(timeout/time.Millisecond))
+	})
+	return err
+}
+
+// EngineStats returns the remote worker engine's accounting.
+func (c *Client) EngineStats(timeout time.Duration) (stream.Stats, error) {
+	p, err := c.roundTrip(frameStats, timeout, nil)
+	if err != nil {
+		return stream.Stats{}, err
+	}
+	r := &byteReader{p: p}
+	st := readStats(r)
+	return st, r.err
+}
+
+// EngineChannelStats returns one channel's accounting on the remote
+// worker engine; ok is false for an unknown id.
+func (c *Client) EngineChannelStats(id string, timeout time.Duration) (stream.ChannelStats, bool, error) {
+	p, err := c.roundTrip(frameChanStats, timeout, func(dst []byte) []byte {
+		return appendStr(dst, id)
+	})
+	if err != nil {
+		return stream.ChannelStats{}, false, err
+	}
+	r := &byteReader{p: p}
+	if r.u8() != 1 {
+		return stream.ChannelStats{}, false, r.err
+	}
+	cs := readChannelStats(r)
+	return cs, true, r.err
 }
 
 // Open registers a channel with the server and waits for the ack. The
@@ -175,6 +381,7 @@ func (c *Client) Open(meta Meta) (*ChannelStream, error) {
 	ref := c.nextRef
 	c.nextRef++
 	c.pending[ref] = ack
+	ackTimeout := c.ackTimeout
 	c.mu.Unlock()
 	if err := c.sendFrame(frameOpen, func(dst []byte) []byte {
 		return appendMeta(dst, ref, meta)
@@ -193,11 +400,11 @@ func (c *Client) Open(meta Meta) (*ChannelStream, error) {
 			return nil, fmt.Errorf("wire: open %q rejected: %s", meta.ID, res.msg)
 		}
 		return &ChannelStream{c: c, ref: ref, format: meta.Format, id: meta.ID}, nil
-	case <-time.After(c.ackTimeout):
+	case <-time.After(ackTimeout):
 		c.mu.Lock()
 		delete(c.pending, ref)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("wire: open %q: no ack within %v", meta.ID, c.ackTimeout)
+		return nil, fmt.Errorf("wire: open %q: no ack within %v", meta.ID, ackTimeout)
 	}
 }
 

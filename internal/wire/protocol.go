@@ -15,14 +15,24 @@ var Magic = [4]byte{'C', 'F', 'D', 'W'}
 const Version = 1
 
 // Frame types. Client→server types are low, server→client types start
-// at 16.
+// at 16. Types 4–9 and 19–20 are the worker-mode control plane: a shard
+// router driving a remote engine (see RemoteEngine) speaks them over the
+// same connection as the data plane.
 const (
-	frameOpen  = 1
-	frameData  = 2
-	frameClose = 3
-	frameAck   = 16
-	frameShed  = 17
-	frameError = 18
+	frameOpen      = 1
+	frameData      = 2
+	frameClose     = 3
+	frameRemove    = 4 // remove a channel from the remote engine, returning its final stats
+	frameFlush     = 5 // flush the remote engine's rings and due decisions
+	frameStats     = 6 // query remote engine-wide stats
+	frameChanStats = 7 // query one channel's stats on the remote engine
+	framePing      = 8 // liveness probe (heartbeat)
+	frameSubscribe = 9 // subscribe this connection to the remote decision stream
+	frameAck       = 16
+	frameShed      = 17
+	frameError     = 18
+	frameResult    = 19 // response to one control request (remove/flush/stats/chanstats/ping/subscribe)
+	frameDecision  = 20 // one pushed engine decision (after subscribe)
 )
 
 // ackOK is the ack status byte for an accepted open.
@@ -48,6 +58,11 @@ const (
 	// FormatCI16 is ci16_le: two little-endian int16 per sample, Q15
 	// (±32767 maps to ±1.0).
 	FormatCI16 Format = 1
+	// FormatCF64 is cf64_le: two little-endian float64 per sample —
+	// lossless for the engine's complex128 samples, used by the shard
+	// router's remote sinks so a channel's numbers do not change when
+	// its shard moves out of process.
+	FormatCF64 Format = 2
 )
 
 // String returns the SigMF datatype name of the format.
@@ -57,6 +72,8 @@ func (f Format) String() string {
 		return "cf32_le"
 	case FormatCI16:
 		return "ci16_le"
+	case FormatCF64:
+		return "cf64_le"
 	}
 	return fmt.Sprintf("format(%d)", uint8(f))
 }
@@ -68,12 +85,14 @@ func (f Format) SampleBytes() int {
 		return 8
 	case FormatCI16:
 		return 4
+	case FormatCF64:
+		return 16
 	}
 	return 0
 }
 
 // valid reports whether the format is one the codec understands.
-func (f Format) valid() bool { return f == FormatCF32 || f == FormatCI16 }
+func (f Format) valid() bool { return f == FormatCF32 || f == FormatCI16 || f == FormatCF64 }
 
 // Meta is the SigMF-style per-channel metadata carried by an open
 // frame.
@@ -209,6 +228,11 @@ func appendSamples(dst []byte, f Format, samples []complex128) []byte {
 			dst = binary.LittleEndian.AppendUint16(dst, uint16(q15(real(s))))
 			dst = binary.LittleEndian.AppendUint16(dst, uint16(q15(imag(s))))
 		}
+	case FormatCF64:
+		for _, s := range samples {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(real(s)))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(imag(s)))
+		}
 	}
 	return dst
 }
@@ -244,6 +268,12 @@ func decodeSamples(dst []complex128, f Format, p []byte, count int) ([]complex12
 			re := int16(binary.LittleEndian.Uint16(p[4*i:]))
 			im := int16(binary.LittleEndian.Uint16(p[4*i+2:]))
 			dst = append(dst, complex(float64(re)/32767, float64(im)/32767))
+		}
+	case FormatCF64:
+		for i := 0; i < count; i++ {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(p[16*i:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(p[16*i+8:]))
+			dst = append(dst, complex(re, im))
 		}
 	default:
 		return dst, fmt.Errorf("wire: undecodable format %d", f)

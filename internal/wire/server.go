@@ -25,10 +25,36 @@ type Sink interface {
 	Push(id string, samples []complex128) (int, error)
 }
 
+// DefaultIdleTimeout is how long an accepted connection may go without
+// delivering a complete frame before the server drops it. Combined with
+// TCP keepalive it keeps a half-open or silent peer from pinning a
+// serve goroutine forever.
+const DefaultIdleTimeout = 5 * time.Minute
+
+// DefaultWriteTimeout bounds one outgoing frame write on an accepted
+// connection.
+const DefaultWriteTimeout = 30 * time.Second
+
+// DefaultKeepAlivePeriod is the TCP keepalive probe interval set on
+// accepted connections.
+const DefaultKeepAlivePeriod = 30 * time.Second
+
 // ServerConfig configures a Server.
 type ServerConfig struct {
 	// Sink receives every opened channel and ingested block. Required.
 	Sink Sink
+	// Engine, when set, runs the server in worker mode: control frames
+	// (remove/flush/stats/chanstats) are answered against it and
+	// subscribed connections receive its decision stream — the surface a
+	// shard router's RemoteSink drives. Nil servers reject control
+	// frames.
+	Engine RemoteEngine
+	// RemoveOnClose, in worker mode, unregisters a connection's channels
+	// from the Engine (flushing partial windows) when the connection
+	// closes — so a router reconnecting after a link failure re-opens
+	// its channels into fresh state instead of colliding with stale
+	// registrations. Requires Engine.
+	RemoveOnClose bool
 	// QuotaSamplesPerSec, when positive, enforces a per-connection
 	// token-bucket ingest quota: data frames beyond the rate are shed
 	// whole before reaching the Sink and counted in the metrics.
@@ -41,6 +67,18 @@ type ServerConfig struct {
 	MaxFrameBytes int
 	// MaxChannelsPerConn bounds opens per connection (default 1024).
 	MaxChannelsPerConn int
+	// IdleTimeout is the per-frame read deadline on accepted
+	// connections (default DefaultIdleTimeout; negative disables). A
+	// peer that goes silent longer than this is dropped.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one outgoing frame write (default
+	// DefaultWriteTimeout; negative disables), so a peer that stops
+	// reading cannot wedge the server's responses.
+	WriteTimeout time.Duration
+	// KeepAlivePeriod is the TCP keepalive probe interval on accepted
+	// connections (default DefaultKeepAlivePeriod; negative disables),
+	// detecting dead peers below the protocol.
+	KeepAlivePeriod time.Duration
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -55,6 +93,15 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.QuotaBurst == 0 {
 		c.QuotaBurst = c.QuotaSamplesPerSec
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.KeepAlivePeriod == 0 {
+		c.KeepAlivePeriod = DefaultKeepAlivePeriod
 	}
 	return c
 }
@@ -85,8 +132,10 @@ type Server struct {
 	ln       net.Listener
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
+	subs     map[*connWriter]struct{}
 	draining atomic.Bool
 	closed   bool
+	done     chan struct{}
 	wg       sync.WaitGroup
 
 	// Metrics is the server's ingest accounting.
@@ -94,12 +143,66 @@ type Server struct {
 }
 
 // NewServer validates the configuration and returns an idle server;
-// Listen or Serve starts it.
+// Listen or Serve starts it. In worker mode (cfg.Engine set) the
+// decision forwarder starts immediately and runs until the engine's
+// decision stream closes or the server is closed.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Sink == nil {
 		return nil, fmt.Errorf("wire: ServerConfig.Sink is required")
 	}
-	return &Server{cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}, nil
+	if cfg.RemoveOnClose && cfg.Engine == nil {
+		return nil, fmt.Errorf("wire: ServerConfig.RemoveOnClose requires Engine")
+	}
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		conns: make(map[net.Conn]struct{}),
+		subs:  make(map[*connWriter]struct{}),
+		done:  make(chan struct{}),
+	}
+	if s.cfg.Engine != nil {
+		go s.forwardDecisions()
+	}
+	return s, nil
+}
+
+// forwardDecisions drains the worker engine's decision stream and
+// broadcasts each decision to every subscribed connection. It is not on
+// the server WaitGroup: it exits when the engine's stream closes or the
+// server shuts down, whichever comes first — the engine's lifetime is
+// the caller's, not the server's.
+func (s *Server) forwardDecisions() {
+	var buf []byte
+	for {
+		select {
+		case d, ok := <-s.cfg.Engine.Decisions():
+			if !ok {
+				return
+			}
+			buf = appendDecision(buf[:0], d)
+			s.mu.Lock()
+			subs := make([]*connWriter, 0, len(s.subs))
+			for cw := range s.subs {
+				subs = append(subs, cw)
+			}
+			s.mu.Unlock()
+			for _, cw := range subs {
+				if err := cw.write(frameDecision, buf); err != nil {
+					// The connection is dying; its serve loop will clean
+					// up. Stop wasting writes on it now.
+					s.unsubscribe(cw)
+				}
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// unsubscribe removes a connection from the decision broadcast set.
+func (s *Server) unsubscribe(cw *connWriter) {
+	s.mu.Lock()
+	delete(s.subs, cw)
+	s.mu.Unlock()
 }
 
 // Listen binds addr and serves in the background until Close.
@@ -108,6 +211,13 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Serve adopts an already-bound listener — e.g. one wrapped by a
+// fault-injection layer — and serves it in the background until Close.
+func (s *Server) Serve(ln net.Listener) {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
@@ -116,7 +226,6 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		defer s.wg.Done()
 		s.acceptLoop(ln)
 	}()
-	return ln.Addr(), nil
 }
 
 // acceptLoop admits connections until the listener closes.
@@ -162,23 +271,75 @@ type connState struct {
 	scratch  []complex128
 }
 
-// serveConn runs one connection's read-decode-route loop. All writes to
-// the client happen from this goroutine, so frames serialise naturally.
+// connWriter serialises outgoing frames on one connection under a write
+// deadline. The serve loop's responses and the decision forwarder share
+// it, so their frames interleave whole.
+type connWriter struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	timeout time.Duration
+}
+
+// write emits one frame, bounded by the write timeout.
+func (cw *connWriter) write(typ byte, payload []byte) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.timeout > 0 {
+		cw.conn.SetWriteDeadline(time.Now().Add(cw.timeout)) //nolint:errcheck // write below surfaces the failure
+	}
+	return writeFrame(cw.bw, typ, payload)
+}
+
+// configureConn applies the keepalive policy to an accepted TCP
+// connection, detecting dead peers below the protocol.
+func (s *Server) configureConn(conn net.Conn) {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok || s.cfg.KeepAlivePeriod < 0 {
+		return
+	}
+	tc.SetKeepAlive(true)                        //nolint:errcheck // best-effort hardening
+	tc.SetKeepAlivePeriod(s.cfg.KeepAlivePeriod) //nolint:errcheck // best-effort hardening
+}
+
+// serveConn runs one connection's read-decode-route loop. Responses go
+// through a shared connWriter so the decision forwarder can interleave.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	s.configureConn(conn)
 	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriter(conn)
+	cw := &connWriter{conn: conn, bw: bufio.NewWriter(conn), timeout: s.cfg.WriteTimeout}
+	defer s.unsubscribe(cw)
+	st := &connState{channels: make(map[uint16]Meta)}
+	if s.cfg.Engine != nil && s.cfg.RemoveOnClose {
+		// Worker-mode hygiene: when the router's connection dies its
+		// channels leave the engine too (flushing partial windows), so a
+		// reconnect — or a failover to another shard — starts from fresh
+		// state instead of colliding with stale registrations.
+		defer func() {
+			for _, meta := range st.channels {
+				if _, err := s.cfg.Engine.RemoveChannel(meta.ID, maxRemoveTimeout); err != nil {
+					s.logf("wire: %s: remove-on-close %q: %v", conn.RemoteAddr(), meta.ID, err)
+				}
+			}
+		}()
+	}
+	if s.cfg.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)) //nolint:errcheck // read below surfaces the failure
+	}
 	if err := readPreamble(br); err != nil {
 		s.Metrics.ProtocolErrors.Add(1)
 		s.logf("wire: %s: %v", conn.RemoteAddr(), err)
 		return
 	}
-	st := &connState{channels: make(map[uint16]Meta)}
 	if s.cfg.QuotaSamplesPerSec > 0 {
 		st.bucket = newBucket(s.cfg.QuotaSamplesPerSec, s.cfg.QuotaBurst)
 	}
 	var buf []byte
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)) //nolint:errcheck // read below surfaces the failure
+		}
 		typ, p, next, err := readFrame(br, buf, s.cfg.MaxFrameBytes)
 		if err != nil {
 			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) {
@@ -189,10 +350,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		buf = next
 		s.Metrics.FramesIn.Add(1)
 		s.Metrics.BytesIn.Add(int64(len(p) + 5))
-		if err := s.handleFrame(bw, st, typ, p); err != nil {
+		if err := s.handleFrame(cw, st, typ, p); err != nil {
 			s.Metrics.ProtocolErrors.Add(1)
 			s.logf("wire: %s: %v", conn.RemoteAddr(), err)
-			s.writeError(bw, err)
+			s.writeError(cw, err)
 			return
 		}
 	}
@@ -200,20 +361,52 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // writeError best-effort sends a fatal error frame before the
 // connection closes.
-func (s *Server) writeError(bw *bufio.Writer, err error) {
+func (s *Server) writeError(cw *connWriter, err error) {
 	msg := err.Error()
 	if len(msg) > 1024 {
 		msg = msg[:1024]
 	}
 	p := binary.BigEndian.AppendUint16(nil, uint16(len(msg)))
 	p = append(p, msg...)
-	_ = writeFrame(bw, frameError, p) //nolint:errcheck // connection is going away
+	_ = cw.write(frameError, p) //nolint:errcheck // connection is going away
+}
+
+// writeResult sends one control-frame response: ok with a
+// request-specific payload, or an error message.
+func (cw *connWriter) writeResult(req uint16, err error, payload func(dst []byte) []byte) error {
+	p := binary.BigEndian.AppendUint16(nil, req)
+	if err != nil {
+		p = append(p, 1)
+		msg := err.Error()
+		if len(msg) > 1024 {
+			msg = msg[:1024]
+		}
+		p = append(p, msg...)
+	} else {
+		p = append(p, resultOK)
+		if payload != nil {
+			p = payload(p)
+		}
+	}
+	return cw.write(frameResult, p)
 }
 
 // handleFrame routes one client frame; a non-nil error is fatal to the
 // connection.
-func (s *Server) handleFrame(bw *bufio.Writer, st *connState, typ byte, p []byte) error {
+func (s *Server) handleFrame(cw *connWriter, st *connState, typ byte, p []byte) error {
 	switch typ {
+	case frameRemove, frameFlush, frameStats, frameChanStats, frameSubscribe:
+		if s.cfg.Engine == nil {
+			return fmt.Errorf("wire: control frame %d on a non-worker server", typ)
+		}
+		return s.handleControl(cw, st, typ, p)
+
+	case framePing:
+		if len(p) != 2 {
+			return fmt.Errorf("wire: short ping frame (%d bytes)", len(p))
+		}
+		return cw.writeResult(binary.BigEndian.Uint16(p), nil, nil)
+
 	case frameOpen:
 		ref, meta, err := parseMeta(p)
 		if err != nil {
@@ -243,7 +436,7 @@ func (s *Server) handleFrame(bw *bufio.Writer, st *connState, typ byte, p []byte
 		ack = append(ack, status)
 		ack = binary.BigEndian.AppendUint16(ack, uint16(len(msg)))
 		ack = append(ack, msg...)
-		return writeFrame(bw, frameAck, ack)
+		return cw.write(frameAck, ack)
 
 	case frameData:
 		if len(p) < 6 {
@@ -262,7 +455,7 @@ func (s *Server) handleFrame(bw *bufio.Writer, st *connState, typ byte, p []byte
 			s.Metrics.ShedFrames.Add(1)
 			shed := binary.BigEndian.AppendUint16(nil, ref)
 			shed = binary.BigEndian.AppendUint64(shed, uint64(count))
-			return writeFrame(bw, frameShed, shed)
+			return cw.write(frameShed, shed)
 		}
 		var err error
 		st.scratch, err = decodeSamples(st.scratch[:0], meta.Format, p[6:], count)
@@ -289,6 +482,81 @@ func (s *Server) handleFrame(bw *bufio.Writer, st *connState, typ byte, p []byte
 	default:
 		return fmt.Errorf("wire: unknown frame type %d", typ)
 	}
+}
+
+// handleControl answers one worker-mode control request. Request
+// failures are reported in the result frame, not fatal to the
+// connection; only malformed payloads are.
+func (s *Server) handleControl(cw *connWriter, st *connState, typ byte, p []byte) error {
+	r := &byteReader{p: p}
+	req := r.u16()
+	switch typ {
+	case frameRemove:
+		timeout := time.Duration(r.u32()) * time.Millisecond
+		id := r.str()
+		if r.err != nil {
+			return fmt.Errorf("wire: malformed remove frame: %w", r.err)
+		}
+		if timeout <= 0 || timeout > maxRemoveTimeout {
+			timeout = maxRemoveTimeout
+		}
+		cs, err := s.cfg.Engine.RemoveChannel(id, timeout)
+		if err == nil {
+			// Drop the connection-local refs pointing at the channel so a
+			// remove-on-close sweep does not remove it twice.
+			for ref, meta := range st.channels {
+				if meta.ID == id {
+					delete(st.channels, ref)
+				}
+			}
+		}
+		return cw.writeResult(req, err, func(dst []byte) []byte {
+			return appendChannelStats(dst, cs)
+		})
+
+	case frameFlush:
+		timeout := time.Duration(r.u32()) * time.Millisecond
+		if r.err != nil {
+			return fmt.Errorf("wire: malformed flush frame: %w", r.err)
+		}
+		if timeout <= 0 || timeout > maxFlushTimeout {
+			timeout = maxFlushTimeout
+		}
+		return cw.writeResult(req, s.cfg.Engine.Flush(timeout), nil)
+
+	case frameStats:
+		if r.err != nil {
+			return fmt.Errorf("wire: malformed stats frame: %w", r.err)
+		}
+		st := s.cfg.Engine.Stats()
+		return cw.writeResult(req, nil, func(dst []byte) []byte {
+			return appendStats(dst, st)
+		})
+
+	case frameChanStats:
+		id := r.str()
+		if r.err != nil {
+			return fmt.Errorf("wire: malformed chanstats frame: %w", r.err)
+		}
+		cs, ok := s.cfg.Engine.ChannelStats(id)
+		return cw.writeResult(req, nil, func(dst []byte) []byte {
+			if !ok {
+				return append(dst, 0)
+			}
+			dst = append(dst, 1)
+			return appendChannelStats(dst, cs)
+		})
+
+	case frameSubscribe:
+		if r.err != nil {
+			return fmt.Errorf("wire: malformed subscribe frame: %w", r.err)
+		}
+		s.mu.Lock()
+		s.subs[cw] = struct{}{}
+		s.mu.Unlock()
+		return cw.writeResult(req, nil, nil)
+	}
+	return fmt.Errorf("wire: unknown control frame type %d", typ)
 }
 
 // Drain stops accepting new connections and rejects new channel opens
@@ -326,6 +594,9 @@ func (s *Server) WaitIdle(timeout time.Duration) bool {
 func (s *Server) Close() error {
 	s.draining.Store(true)
 	s.mu.Lock()
+	if !s.closed {
+		close(s.done)
+	}
 	s.closed = true
 	ln := s.ln
 	for conn := range s.conns {

@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tiledcfd/internal/scf"
+	"tiledcfd/internal/stream"
+)
+
+const workerWindow = 2048
+
+// newWorkerEngine builds the small engine the worker-mode tests host.
+func newWorkerEngine(t *testing.T) *stream.Engine {
+	t.Helper()
+	eng, err := stream.New(stream.Config{
+		Estimator:       scf.Direct{Params: scf.Params{K: 64, M: 16}},
+		SnapshotSamples: workerWindow,
+		Block:           true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// engineSink adapts the engine to the wire data plane.
+type engineSink struct{ eng *stream.Engine }
+
+func (s engineSink) OpenChannel(meta Meta) error { return s.eng.AddChannel(meta.ID) }
+func (s engineSink) Push(id string, samples []complex128) (int, error) {
+	return s.eng.Push(id, samples)
+}
+
+// TestWorkerControlPlane drives the full worker-mode surface over
+// loopback — ping, subscribe, engine and channel stats, flush, remove —
+// and checks a subscribed decision is bit-identical to a local engine
+// fed the same samples (cf64 on the wire is lossless).
+func TestWorkerControlPlane(t *testing.T) {
+	eng := newWorkerEngine(t)
+	_, addr := startServer(t, ServerConfig{Sink: engineSink{eng}, Engine: eng})
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if err := cli.Ping(time.Second); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if err := cli.Subscribe(time.Second); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	cs, err := cli.Open(Meta{ID: "ch", Format: FormatCF64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := band(workerWindow, 7)
+	if err := cs.Send(samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Flush(5 * time.Second); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	var remote stream.Decision
+	select {
+	case remote = <-cli.Decisions():
+	case <-time.After(5 * time.Second):
+		t.Fatal("no subscribed decision within 5s")
+	}
+	// A local engine fed the identical samples must decide identically:
+	// the worker protocol adds no numerical noise.
+	local := newWorkerEngine(t)
+	if err := local.AddChannel("ch"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Push("ch", samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := <-local.Decisions()
+	if remote.Channel != want.Channel || remote.Seq != want.Seq ||
+		remote.WindowSamples != want.WindowSamples || remote.Detected != want.Detected ||
+		remote.Statistic != want.Statistic || remote.Threshold != want.Threshold ||
+		remote.FeatureF != want.FeatureF || remote.FeatureA != want.FeatureA {
+		t.Fatalf("remote decision %+v != local %+v", remote, want)
+	}
+
+	st, err := cli.EngineStats(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Channels != 1 || st.SamplesIn != workerWindow || st.Surfaces != 1 {
+		t.Fatalf("engine stats %+v, want 1 channel / %d samples / 1 surface", st, workerWindow)
+	}
+	chs, found, err := cli.EngineChannelStats("ch", time.Second)
+	if err != nil || !found {
+		t.Fatalf("channel stats: found=%v err=%v", found, err)
+	}
+	if chs.SamplesIn != workerWindow || chs.Snapshots != 1 || chs.Last == nil {
+		t.Fatalf("channel stats %+v, want the pushed window accounted with its decision", chs)
+	}
+	if _, found, err := cli.EngineChannelStats("nope", time.Second); err != nil || found {
+		t.Fatalf("unknown channel: found=%v err=%v, want a clean not-found", found, err)
+	}
+
+	final, err := cli.RemoveChannel("ch", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.SamplesIn != workerWindow || final.Snapshots != 1 {
+		t.Fatalf("final stats %+v, want the full window carried out", final)
+	}
+	if _, found, err := cli.EngineChannelStats("ch", time.Second); err != nil || found {
+		t.Fatalf("channel survived removal: found=%v err=%v", found, err)
+	}
+}
+
+// TestControlFramesRejectedOnNonWorkerServer: a plain ingest server
+// answers pings but refuses engine control frames.
+func TestControlFramesRejectedOnNonWorkerServer(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{Sink: newMemSink()})
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Ping(time.Second); err != nil {
+		t.Fatalf("ping on a non-worker server: %v", err)
+	}
+	if err := cli.Flush(time.Second); err == nil || !strings.Contains(err.Error(), "non-worker") {
+		t.Fatalf("flush on a non-worker server = %v, want a non-worker rejection", err)
+	}
+}
+
+// TestWorkerRemoveOnCloseSweepsChannels: when a worker-mode connection
+// dies its channels leave the engine, so a reconnect re-opens fresh
+// state instead of colliding with stale registrations.
+func TestWorkerRemoveOnCloseSweepsChannels(t *testing.T) {
+	eng := newWorkerEngine(t)
+	_, addr := startServer(t, ServerConfig{Sink: engineSink{eng}, Engine: eng, RemoveOnClose: true})
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := cli.Open(Meta{ID: "ch", Format: FormatCF64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Send(band(workerWindow/2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := eng.ChannelStats("ch"); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("channel not swept out of the engine after its connection died")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Fresh connection, same id: starts clean.
+	cli2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	if _, err := cli2.Open(Meta{ID: "ch", Format: FormatCF64}); err != nil {
+		t.Fatalf("re-open after sweep: %v", err)
+	}
+	st, found, err := cli2.EngineChannelStats("ch", time.Second)
+	if err != nil || !found {
+		t.Fatalf("re-opened channel stats: found=%v err=%v", found, err)
+	}
+	if st.SamplesIn != 0 {
+		t.Fatalf("re-opened channel carries %d stale samples, want fresh state", st.SamplesIn)
+	}
+}
+
+// TestIdleTimeoutClosesSilentConnection: a connection that goes quiet
+// past the idle deadline is reaped server-side, and the client surfaces
+// the failure — the fix for the idle-connection hang.
+func TestIdleTimeoutClosesSilentConnection(t *testing.T) {
+	srv, addr := startServer(t, ServerConfig{Sink: newMemSink(), IdleTimeout: 50 * time.Millisecond})
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for cli.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("idle connection never reaped; client hung")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.ActiveConns() != 0 {
+		t.Fatalf("%d connections still active after idle reap", srv.ActiveConns())
+	}
+}
