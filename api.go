@@ -61,6 +61,16 @@ type Config struct {
 	// figures (cycle breakdown, area, power) are zero; FFTMults and
 	// EstimatorMults report their work instead.
 	Estimator string
+	// AlphaCandidates, when non-empty, restricts estimation to the listed
+	// non-negative cycle-frequency bin offsets (their mirrors and a=0 are
+	// implied) — alpha pruning, where only the strips of the surface a
+	// detector will actually threshold are computed, and cost scales with
+	// the candidate count instead of M. Use AlphaBinForHz to convert a
+	// physical cycle frequency into a bin offset. Candidate cells are
+	// bit-identical to a full-plane run. Supported by the software
+	// estimators (direct, fam, ssca, fam-q15, ssca-q15); the platform
+	// path rejects it.
+	AlphaCandidates []int
 	// Hop is the block/channelizer advance in samples: for "fam" the
 	// channelizer hop (0 = K/4), for "direct" the integration-block
 	// advance (0 = K, the paper's non-overlapping blocks). Setting it
@@ -143,7 +153,16 @@ func streamingEstimatorNames() []string {
 // params assembles the estimator parameter set from the configured
 // geometry and the given hop.
 func (c Config) params(hop int) scf.Params {
-	return scf.Params{K: c.K, M: c.M, Blocks: c.Blocks, Hop: hop}
+	return scf.Params{K: c.K, M: c.M, Blocks: c.Blocks, Hop: hop, AlphaCandidates: c.AlphaCandidates}
+}
+
+// AlphaBinForHz converts a physical cycle frequency (Hz) at the given
+// sample rate into the candidate bin offset for the configured geometry
+// — the value to list in AlphaCandidates. A BPSK signal at symbol rate
+// R_sym and carrier f_c, for example, has features at α = R_sym and
+// α = 2·f_c.
+func (c Config) AlphaBinForHz(alphaHz, sampleRateHz float64) (int, error) {
+	return c.params(0).AlphaBinForHz(alphaHz, sampleRateHz)
 }
 
 // rejectHop is the shared guard of the strip analyzers, whose
@@ -162,6 +181,10 @@ func (c Config) estimator() (scf.Estimator, error) {
 	name := c.Estimator
 	if name == "" {
 		name = "platform"
+	}
+	if name == "platform" && len(c.AlphaCandidates) > 0 {
+		return nil, fmt.Errorf("tiledcfd: the platform path computes the full surface on the modeled " +
+			"hardware and does not support AlphaCandidates; pick a software estimator")
 	}
 	for _, e := range estimatorRegistry {
 		if e.name == name {
@@ -418,6 +441,10 @@ type MonitorStats struct {
 	// QueuedSamples is the momentary ingestion backlog: samples pushed
 	// but not yet integrated into estimator state.
 	QueuedSamples int64
+	// PrunedCellsSkipped counts surface cells never computed because of
+	// alpha-candidate pruning, summed over all snapshots. Zero when no
+	// channel prunes.
+	PrunedCellsSkipped int64
 	// SamplesPerSec and SurfacesPerSec are lifetime-average throughput
 	// rates.
 	SamplesPerSec, SurfacesPerSec float64
@@ -501,6 +528,7 @@ func monitorStreamConfig(cfg Config, opts MonitorOptions) (stream.Config, error)
 		Workers:         opts.Workers,
 		Cumulative:      opts.Cumulative,
 		Block:           opts.Backpressure,
+		AlphaCandidates: cfg.AlphaCandidates,
 		MinAbsA:         cfg.MinAbsA,
 		Threshold:       cfg.Threshold,
 		CFARScale:       opts.CFARScale,
@@ -555,8 +583,16 @@ func NewMonitor(cfg Config, opts MonitorOptions) (*Monitor, error) {
 	return m, nil
 }
 
-// AddChannel registers a new monitored channel.
+// AddChannel registers a new monitored channel, pruned to the session's
+// Config.AlphaCandidates when that is set.
 func (m *Monitor) AddChannel(id string) error { return m.eng.AddChannel(id) }
+
+// AddChannelCandidates registers a new monitored channel whose
+// estimation is restricted to the given alpha-candidate bin offsets
+// (overriding the session default; nil falls back to it).
+func (m *Monitor) AddChannelCandidates(id string, alphas []int) error {
+	return m.eng.AddChannelCandidates(id, alphas)
+}
 
 // Push appends samples to a channel's stream in arrival order, returning
 // how many were accepted (fewer than len(samples) only in drop mode
@@ -574,15 +610,16 @@ func (m *Monitor) Decisions() <-chan MonitorDecision { return m.out }
 func (m *Monitor) Stats() MonitorStats {
 	s := m.eng.Stats()
 	return MonitorStats{
-		Channels:         s.Channels,
-		SamplesIn:        s.SamplesIn,
-		SamplesDropped:   s.SamplesDropped,
-		Surfaces:         s.Surfaces,
-		Detections:       s.Detections,
-		DecisionsDropped: s.DecisionsDropped + m.dropped.Load(),
-		QueuedSamples:    s.QueuedSamples,
-		SamplesPerSec:    s.SamplesPerSec,
-		SurfacesPerSec:   s.SurfacesPerSec,
+		Channels:           s.Channels,
+		SamplesIn:          s.SamplesIn,
+		SamplesDropped:     s.SamplesDropped,
+		Surfaces:           s.Surfaces,
+		Detections:         s.Detections,
+		DecisionsDropped:   s.DecisionsDropped + m.dropped.Load(),
+		QueuedSamples:      s.QueuedSamples,
+		PrunedCellsSkipped: s.PrunedCellsSkipped,
+		SamplesPerSec:      s.SamplesPerSec,
+		SurfacesPerSec:     s.SurfacesPerSec,
 	}
 }
 
@@ -800,8 +837,17 @@ func NewShardedMonitor(cfg Config, opts ShardedMonitorOptions) (*ShardedMonitor,
 	return m, nil
 }
 
-// AddChannel registers a channel on its rendezvous-chosen shard.
+// AddChannel registers a channel on its rendezvous-chosen shard, pruned
+// to the session's Config.AlphaCandidates when that is set.
 func (m *ShardedMonitor) AddChannel(id string) error { return m.r.AddChannel(id) }
+
+// AddChannelCandidates registers a channel on its rendezvous-chosen
+// shard with an alpha-candidate set that follows the channel across
+// handoffs and failovers — for remote shards the set travels in the
+// wire open frame, so the worker process prunes identically.
+func (m *ShardedMonitor) AddChannelCandidates(id string, alphas []int) error {
+	return m.r.AddChannelCandidates(id, alphas)
+}
 
 // RemoveChannel unregisters a channel, flushing any partially integrated
 // window into one final decision, and returns its aggregate accounting
@@ -852,14 +898,15 @@ func (m *ShardedMonitor) Stats() ShardedMonitorStats {
 	s := m.r.Stats()
 	out := ShardedMonitorStats{
 		MonitorStats: MonitorStats{
-			Channels:         s.Channels,
-			SamplesIn:        s.SamplesIn,
-			SamplesDropped:   s.SamplesDropped,
-			Surfaces:         s.Surfaces,
-			Detections:       s.Detections,
-			DecisionsDropped: s.DecisionsDropped,
-			QueuedSamples:    s.QueuedSamples,
-			SamplesPerSec:    s.SamplesPerSec,
+			Channels:           s.Channels,
+			SamplesIn:          s.SamplesIn,
+			SamplesDropped:     s.SamplesDropped,
+			Surfaces:           s.Surfaces,
+			Detections:         s.Detections,
+			DecisionsDropped:   s.DecisionsDropped,
+			QueuedSamples:      s.QueuedSamples,
+			PrunedCellsSkipped: s.PrunedCellsSkipped,
+			SamplesPerSec:      s.SamplesPerSec,
 		},
 		Shards:           s.Shards,
 		Handoffs:         s.Handoffs,
@@ -963,7 +1010,9 @@ type ShardWorker struct {
 // shardWorkerSink adapts the hosted engine to the wire data plane.
 type shardWorkerSink struct{ eng *stream.Engine }
 
-func (s shardWorkerSink) OpenChannel(meta wire.Meta) error { return s.eng.AddChannel(meta.ID) }
+func (s shardWorkerSink) OpenChannel(meta wire.Meta) error {
+	return s.eng.AddChannelCandidates(meta.ID, meta.AlphaCandidates)
+}
 func (s shardWorkerSink) Push(id string, samples []complex128) (int, error) {
 	return s.eng.Push(id, samples)
 }
@@ -1005,15 +1054,16 @@ func (w *ShardWorker) Addr() net.Addr { return w.addr }
 func (w *ShardWorker) Stats() MonitorStats {
 	s := w.eng.Stats()
 	return MonitorStats{
-		Channels:         s.Channels,
-		SamplesIn:        s.SamplesIn,
-		SamplesDropped:   s.SamplesDropped,
-		Surfaces:         s.Surfaces,
-		Detections:       s.Detections,
-		DecisionsDropped: s.DecisionsDropped,
-		QueuedSamples:    s.QueuedSamples,
-		SamplesPerSec:    s.SamplesPerSec,
-		SurfacesPerSec:   s.SurfacesPerSec,
+		Channels:           s.Channels,
+		SamplesIn:          s.SamplesIn,
+		SamplesDropped:     s.SamplesDropped,
+		Surfaces:           s.Surfaces,
+		Detections:         s.Detections,
+		DecisionsDropped:   s.DecisionsDropped,
+		QueuedSamples:      s.QueuedSamples,
+		PrunedCellsSkipped: s.PrunedCellsSkipped,
+		SamplesPerSec:      s.SamplesPerSec,
+		SurfacesPerSec:     s.SurfacesPerSec,
 	}
 }
 

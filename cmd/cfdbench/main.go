@@ -56,6 +56,23 @@
 // dead tile-fabric link is a tracked number. -degraded-channels 0 skips
 // the scenario.
 //
+// Since PR 8 (schema 7) the batch scenario additionally runs a
+// GOMAXPROCS sweep (-batch-procs, rows "name@pN" with the setting
+// recorded on every row), and the artifact carries an alpha-pruning
+// scenario: each -pruned-estimators estimator runs the same band
+// full-plane and pruned to the -pruned-alpha candidate set, first
+// checking every pruned strip bit-identical against the full plane,
+// then timing (a) one batch op — Estimate of the whole band — and (b)
+// one serving op — Reset + Push + Snapshot + CFAR decision + feature
+// scan through the streaming accumulator, the engine's per-window
+// decision loop — for every -pruned-windows window length. Serve
+// speedup grows as windows shrink (the decision side is pruned at the
+// full cell ratio while the shared per-block FFT floor stays), so each
+// row records its window_samples and the sweep shows the trend.
+// -pruned-fail-below gates the run on the best serve speedup across
+// rows, the pruning counterpart of -fail-below (and needs no baseline
+// file: full vs pruned run in the same process).
+//
 // With -baseline, a previously written report is embedded and per-
 // estimator speedups (baseline ns / current ns) are computed, turning one
 // file into a before/after comparison:
@@ -70,8 +87,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"math/cmplx"
 	"net"
 	"os"
 	"runtime"
@@ -85,6 +104,7 @@ import (
 
 	"tiledcfd"
 	"tiledcfd/internal/chaos"
+	"tiledcfd/internal/detect"
 	"tiledcfd/internal/fam"
 	"tiledcfd/internal/quant"
 	"tiledcfd/internal/scf"
@@ -93,9 +113,13 @@ import (
 	"tiledcfd/internal/wire"
 )
 
-// Measurement is one estimator's benchmark row.
+// Measurement is one estimator's benchmark row. Since schema 7 the
+// batch scenario also runs a GOMAXPROCS sweep: the plain row keeps the
+// process default (so same-runner baseline ratios stay comparable), and
+// "name@pN" rows pin GOMAXPROCS to N — every row records the setting.
 type Measurement struct {
 	Name           string  `json:"name"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
 	NsPerOp        float64 `json:"ns_per_op"`
 	BytesPerOp     int64   `json:"bytes_per_op"`
 	AllocsPerOp    int64   `json:"allocs_per_op"`
@@ -106,6 +130,58 @@ type Measurement struct {
 	SmoothingLen   int     `json:"smoothing_len"`
 	// ModelCycles is the modeled Montium cycle cost (fixed backends only).
 	ModelCycles int64 `json:"model_cycles,omitempty"`
+}
+
+// PrunedMeasurement is one estimator's row of the schema-7 alpha-pruning
+// scenario: the same band estimated full-plane and pruned to a small
+// candidate set, with the pruned cells checked bit-identical against the
+// full plane. Two ops are timed end to end:
+//
+//   - batch: Estimate + CFAR decision + feature extraction, the one-shot
+//     directed-sensing path (cfdsim -alpha).
+//   - serve: one serving window exactly as stream.Engine runs it per
+//     decision — accumulator Push of the window, surface Snapshot, CFAR
+//     decision, feature extraction, Reset. This is where the sparse
+//     snapshot pays alongside the pruned estimation, so it is the
+//     headline (and gated) number.
+type PrunedMeasurement struct {
+	Name string `json:"name"`
+	// Candidates is the non-negative bin-offset set (mirrors and a=0
+	// implied).
+	Candidates []int `json:"candidates"`
+	// RowsComputed / RowsFull are the surface alpha rows held after
+	// pruning vs the full grid extent.
+	RowsComputed int `json:"rows_computed"`
+	RowsFull     int `json:"rows_full"`
+	// FullNsPerOp and PrunedNsPerOp time one batch op (Estimate + CFAR
+	// + feature extraction).
+	FullNsPerOp   float64 `json:"full_ns_per_op"`
+	PrunedNsPerOp float64 `json:"pruned_ns_per_op"`
+	// Speedup is FullNsPerOp / PrunedNsPerOp — the batch-latency
+	// reduction directed sensing buys.
+	Speedup float64 `json:"speedup"`
+	// WindowSamples is the serving-window size of this row's serve
+	// numbers (the -pruned-windows sweep; batch numbers are identical
+	// across an estimator's rows). The speedup grows as windows shrink,
+	// because the decision-side costs — snapshot, CFAR profile, feature
+	// scan, all pruned at the full cell ratio — dominate the shared
+	// per-block FFT floor.
+	WindowSamples int `json:"window_samples,omitempty"`
+	// ServeFullNsPerOp and ServePrunedNsPerOp time one serving window
+	// (Push + Snapshot + CFAR + feature extraction + Reset). Zero when
+	// the window is too short for this estimator's first snapshot.
+	ServeFullNsPerOp   float64 `json:"serve_full_ns_per_op,omitempty"`
+	ServePrunedNsPerOp float64 `json:"serve_pruned_ns_per_op,omitempty"`
+	// ServeSpeedup is the serving-window latency reduction — the
+	// -pruned-fail-below gate takes the best across rows.
+	ServeSpeedup float64 `json:"serve_speedup,omitempty"`
+	// MaxAbsDiff is the largest |full - pruned| over the candidate
+	// strips; bit-identity means exactly 0.
+	MaxAbsDiff float64 `json:"max_abs_diff"`
+	// PrunedCellsSkipped counts grid cells one pruned Estimate never
+	// computed.
+	PrunedCellsSkipped int64 `json:"pruned_cells_skipped"`
+	GOMAXPROCS         int   `json:"gomaxprocs"`
 }
 
 // FixedPointMeasurement is one Q15 backend's accuracy row against its
@@ -218,6 +294,7 @@ type Report struct {
 	Geometry   Geometry                `json:"geometry"`
 	Note       string                  `json:"note"`
 	Results    []Measurement           `json:"results"`
+	Pruned     []PrunedMeasurement     `json:"pruned,omitempty"`
 	FixedPoint []FixedPointMeasurement `json:"fixed_point,omitempty"`
 	Streaming  []StreamingMeasurement  `json:"streaming,omitempty"`
 	Wire       []WireMeasurement       `json:"wire,omitempty"`
@@ -239,37 +316,57 @@ type Geometry struct {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH.json", "output JSON path")
-		k         = flag.Int("k", 256, "FFT / channelizer size (power of two)")
-		m         = flag.Int("m", 64, "surface half-extent")
-		blocks    = flag.Int("blocks", 8, "integration blocks of K samples")
-		seed      = flag.Uint64("seed", 42, "BPSK band seed")
-		names     = flag.String("estimators", "direct,fam,ssca,fam-q15,ssca-q15", "comma-separated estimator subset")
-		baseline  = flag.String("baseline", "", "previous BENCH json to embed for before/after speedups")
-		failBelow = flag.Float64("fail-below", 0, "with -baseline: exit non-zero if any batch speedup falls below this ratio (0 = never fail)")
-		streamCh  = flag.Int("stream-channels", 4, "streaming scenario: concurrent channels (0 = skip)")
-		streamN   = flag.Int("stream-samples", 1<<17, "streaming scenario: samples per channel")
-		mapEst    = flag.String("map-estimator", "fam", "mapping scenario: pipeline to schedule")
-		mapTiles  = flag.String("map-tiles", "1,2,4,8", "mapping scenario: comma-separated tile counts (empty = skip)")
-		mapStrats = flag.String("map-strategies", strings.Join(tiledcfd.MappingNames(), ","), "mapping scenario: comma-separated strategies")
-		wireEst   = flag.String("wire-estimator", "fam", "wire scenario: streaming estimator to serve")
-		wireSh    = flag.String("wire-shards", "1,2", "wire scenario: comma-separated shard counts")
-		wireCh    = flag.Int("wire-channels", 8, "wire scenario: client connections/channels (0 = skip)")
-		wireN     = flag.Int("wire-samples", 1<<16, "wire scenario: samples per channel")
-		wireProcs = flag.String("wire-procs", "1,0", "wire scenario: comma-separated GOMAXPROCS per run (0 = all cores)")
-		degSh     = flag.Int("degraded-shards", 2, "degraded scenario: remote shard workers (one gets blackholed)")
-		degCh     = flag.Int("degraded-channels", 8, "degraded scenario: concurrent channels (0 = skip)")
-		degN      = flag.Int("degraded-samples", 1<<16, "degraded scenario: samples per channel")
+		out        = flag.String("out", "BENCH.json", "output JSON path")
+		k          = flag.Int("k", 256, "FFT / channelizer size (power of two)")
+		m          = flag.Int("m", 64, "surface half-extent")
+		blocks     = flag.Int("blocks", 8, "integration blocks of K samples")
+		seed       = flag.Uint64("seed", 42, "BPSK band seed")
+		names      = flag.String("estimators", "direct,fam,ssca,fam-q15,ssca-q15", "comma-separated estimator subset")
+		baseline   = flag.String("baseline", "", "previous BENCH json to embed for before/after speedups")
+		failBelow  = flag.Float64("fail-below", 0, "with -baseline: exit non-zero if any batch speedup falls below this ratio (0 = never fail)")
+		streamCh   = flag.Int("stream-channels", 4, "streaming scenario: concurrent channels (0 = skip)")
+		streamN    = flag.Int("stream-samples", 1<<17, "streaming scenario: samples per channel")
+		mapEst     = flag.String("map-estimator", "fam", "mapping scenario: pipeline to schedule")
+		mapTiles   = flag.String("map-tiles", "1,2,4,8", "mapping scenario: comma-separated tile counts (empty = skip)")
+		mapStrats  = flag.String("map-strategies", strings.Join(tiledcfd.MappingNames(), ","), "mapping scenario: comma-separated strategies")
+		wireEst    = flag.String("wire-estimator", "fam", "wire scenario: streaming estimator to serve")
+		wireSh     = flag.String("wire-shards", "1,2", "wire scenario: comma-separated shard counts")
+		wireCh     = flag.Int("wire-channels", 8, "wire scenario: client connections/channels (0 = skip)")
+		wireN      = flag.Int("wire-samples", 1<<16, "wire scenario: samples per channel")
+		wireProcs  = flag.String("wire-procs", "1,0", "wire scenario: comma-separated GOMAXPROCS per run (0 = all cores)")
+		degSh      = flag.Int("degraded-shards", 2, "degraded scenario: remote shard workers (one gets blackholed)")
+		degCh      = flag.Int("degraded-channels", 8, "degraded scenario: concurrent channels (0 = skip)")
+		degN       = flag.Int("degraded-samples", 1<<16, "degraded scenario: samples per channel")
+		batchProcs = flag.String("batch-procs", "1,4,8",
+			"batch scenario: extra GOMAXPROCS settings to sweep, one name@pN row each (empty = skip)")
+		prunedAlpha = flag.String("pruned-alpha", "16,32,11,40",
+			"pruned scenario: alpha-candidate bin offsets — features plus CFAR reference strips (empty = skip)")
+		prunedEst = flag.String("pruned-estimators", "direct,fam,ssca",
+			"pruned scenario: comma-separated estimator subset")
+		prunedFailBelow = flag.Float64("pruned-fail-below", 0,
+			"exit non-zero if the best pruned serving-window speedup falls below this ratio (0 = never fail)")
+		prunedWindows = flag.String("pruned-windows", "1024,2048,8192",
+			"pruned scenario: serving-window sizes in samples to sweep (one row each)")
 	)
 	flag.Parse()
 	w := wireOpts{estimator: *wireEst, shardsCSV: *wireSh, channels: *wireCh,
 		samples: *wireN, procsCSV: *wireProcs}
 	d := degradedOpts{estimator: *wireEst, shards: *degSh, channels: *degCh, samples: *degN}
-	if err := run(*out, *k, *m, *blocks, *seed, *names, *baseline, *failBelow,
-		*streamCh, *streamN, *mapEst, *mapTiles, *mapStrats, w, d); err != nil {
+	p := prunedOpts{alphaCSV: *prunedAlpha, estimators: *prunedEst, failBelow: *prunedFailBelow,
+		windowsCSV: *prunedWindows}
+	if err := run(*out, *k, *m, *blocks, *seed, *names, *baseline, *failBelow, *batchProcs,
+		*streamCh, *streamN, *mapEst, *mapTiles, *mapStrats, w, d, p); err != nil {
 		fmt.Fprintln(os.Stderr, "cfdbench:", err)
 		os.Exit(1)
 	}
+}
+
+// prunedOpts bundles the schema-7 alpha-pruning scenario parameters.
+type prunedOpts struct {
+	alphaCSV   string
+	estimators string
+	failBelow  float64
+	windowsCSV string
 }
 
 // wireOpts bundles the schema-5 wire-protocol scenario parameters.
@@ -293,24 +390,31 @@ type degradedOpts struct {
 // fixed-point scenario compares it against.
 var fixedRefs = map[string]string{"fam-q15": "fam", "ssca-q15": "ssca"}
 
-func run(out string, k, m, blocks int, seed uint64, names, baseline string, failBelow float64,
-	streamCh, streamN int, mapEst, mapTiles, mapStrats string, wopts wireOpts, dopts degradedOpts) error {
-	band, err := tiledcfd.NewBPSKBand(k*blocks, 0.125, 8, 10, seed)
-	if err != nil {
-		return err
-	}
-	p := scf.Params{K: k, M: m}
+// estimatorSet builds the named batch estimators over one parameter
+// set (Blocks applies to the direct DSCF only).
+func estimatorSet(p scf.Params, blocks int) map[string]scf.Estimator {
 	direct := p
 	direct.Blocks = blocks
-	all := map[string]scf.Estimator{
+	return map[string]scf.Estimator{
 		"direct":   scf.Direct{Params: direct},
 		"fam":      fam.FAM{Params: p},
 		"ssca":     fam.SSCA{Params: p},
 		"fam-q15":  fam.FAMQ15{Params: p},
 		"ssca-q15": fam.SSCAQ15{Params: p},
 	}
+}
+
+func run(out string, k, m, blocks int, seed uint64, names, baseline string, failBelow float64,
+	batchProcs string, streamCh, streamN int, mapEst, mapTiles, mapStrats string,
+	wopts wireOpts, dopts degradedOpts, popts prunedOpts) error {
+	band, err := tiledcfd.NewBPSKBand(k*blocks, 0.125, 8, 10, seed)
+	if err != nil {
+		return err
+	}
+	p := scf.Params{K: k, M: m}
+	all := estimatorSet(p, blocks)
 	rep := Report{
-		Schema:     6, // 2: streaming; 3: fixed-point; 4: multi-tile mapping; 5: wire ingestion; 6: degraded mode
+		Schema:     7, // 2: streaming; 3: fixed-point; 4: mapping; 5: wire; 6: degraded; 7: alpha pruning + GOMAXPROCS sweep
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -337,36 +441,69 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 			sort.Strings(known)
 			return fmt.Errorf("unknown estimator %q (want %s)", name, strings.Join(known, ", "))
 		}
-		var stats *scf.Stats
-		var estErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				_, st, err := e.Estimate(band)
-				if err != nil {
-					estErr = err
-					b.FailNow()
-				}
-				stats = st
-			}
-		})
-		if estErr != nil {
-			return fmt.Errorf("%s: %w", name, estErr)
+		row, err := benchBatch(name, e, band)
+		if err != nil {
+			return err
 		}
-		rep.Results = append(rep.Results, Measurement{
-			Name:           name,
-			NsPerOp:        float64(r.NsPerOp()),
-			BytesPerOp:     r.AllocedBytesPerOp(),
-			AllocsPerOp:    r.AllocsPerOp(),
-			Iterations:     r.N,
-			FFTMults:       stats.FFTMults,
-			PointwiseMults: stats.DSCFMults,
-			TotalMults:     stats.TotalMults(),
-			SmoothingLen:   stats.Blocks,
-			ModelCycles:    stats.Cycles,
-		})
-		fmt.Printf("%-8s %12.0f ns/op %10d B/op %6d allocs/op %10d total_mults\n",
-			name, float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp(), stats.TotalMults())
+		rep.Results = append(rep.Results, *row)
+		fmt.Printf("%-12s %12.0f ns/op %10d B/op %6d allocs/op %10d total_mults\n",
+			name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.TotalMults)
+	}
+	// GOMAXPROCS sweep: the same batch measurements with the scheduler
+	// pinned, so the parallel estimator paths' core scaling enters the
+	// trajectory. The plain rows above keep the process default and the
+	// baseline-comparable names.
+	if batchProcs != "" {
+		procsList, err := parseCounts(batchProcs, "-batch-procs")
+		if err != nil {
+			return err
+		}
+		for _, procs := range procsList {
+			if procs < 1 {
+				return fmt.Errorf("-batch-procs entry %d must be >= 1", procs)
+			}
+			for _, name := range strings.Split(names, ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				prev := runtime.GOMAXPROCS(procs)
+				row, err := benchBatch(fmt.Sprintf("%s@p%d", name, procs), all[name], band)
+				runtime.GOMAXPROCS(prev)
+				if err != nil {
+					return err
+				}
+				rep.Results = append(rep.Results, *row)
+				fmt.Printf("%-12s %12.0f ns/op %10d B/op %6d allocs/op %10d total_mults\n",
+					row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.TotalMults)
+			}
+		}
+	}
+	var prunedGateErr error
+	if popts.alphaCSV != "" {
+		rows, err := benchPruned(popts, p, blocks, band, seed)
+		if err != nil {
+			return fmt.Errorf("pruned scenario: %w", err)
+		}
+		rep.Pruned = rows
+		if popts.failBelow > 0 {
+			// The gate holds the headline number: the best serving-window
+			// speedup across the measured estimators (directed sensing
+			// deploys the estimator that benefits — the serving default,
+			// direct — while SSCA's per-sample channelizer is inherently
+			// unprunable and would pin an every-row gate near 1x).
+			best, bestName := 0.0, ""
+			for _, r := range rows {
+				if r.ServeSpeedup > best {
+					best, bestName = r.ServeSpeedup, r.Name
+				}
+			}
+			if best < popts.failBelow {
+				prunedGateErr = fmt.Errorf(
+					"pruned-scenario regression: best serving-window speedup %.2fx (%s) below %.2fx",
+					best, bestName, popts.failBelow)
+			}
+		}
 	}
 	// Fixed-point scenario: every requested Q15 backend against its float
 	// reference on the same band.
@@ -489,7 +626,259 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 		return err
 	}
 	fmt.Println("wrote", out)
-	return gateErr
+	return errors.Join(gateErr, prunedGateErr)
+}
+
+// benchBatch times one estimator's full Estimate on the band and
+// returns its batch row at the current GOMAXPROCS.
+func benchBatch(rowName string, e scf.Estimator, band []complex128) (*Measurement, error) {
+	var stats *scf.Stats
+	var estErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, st, err := e.Estimate(band)
+			if err != nil {
+				estErr = err
+				b.FailNow()
+			}
+			stats = st
+		}
+	})
+	if estErr != nil {
+		return nil, fmt.Errorf("%s: %w", rowName, estErr)
+	}
+	return &Measurement{
+		Name:           rowName,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NsPerOp:        float64(r.NsPerOp()),
+		BytesPerOp:     r.AllocedBytesPerOp(),
+		AllocsPerOp:    r.AllocsPerOp(),
+		Iterations:     r.N,
+		FFTMults:       stats.FFTMults,
+		PointwiseMults: stats.DSCFMults,
+		TotalMults:     stats.TotalMults(),
+		SmoothingLen:   stats.Blocks,
+		ModelCycles:    stats.Cycles,
+	}, nil
+}
+
+// benchPruned runs the schema-7 alpha-pruning scenario: each estimator
+// does the same job twice — full plane, and pruned to the candidate set
+// — timing the batch op (Estimate + CFAR + feature extraction) and,
+// for streaming estimators, the serving-window op (Push + Snapshot +
+// CFAR + feature extraction + Reset: the exact per-decision cycle of
+// stream.Engine). The pruned strips are checked against the full plane
+// cell by cell; bit-identity means MaxAbsDiff exactly 0.
+func benchPruned(popts prunedOpts, p scf.Params, blocks int, band []complex128, seed uint64) ([]PrunedMeasurement, error) {
+	candidates, err := parseCounts(popts.alphaCSV, "-pruned-alpha")
+	if err != nil {
+		return nil, err
+	}
+	windows, err := parseCounts(popts.windowsCSV, "-pruned-windows")
+	if err != nil {
+		return nil, err
+	}
+	if windows == nil {
+		windows = []int{len(band)}
+	}
+	// The serve sweep may ask for windows longer than the batch band;
+	// extend the same signal to the largest requested window.
+	serveBand := band
+	for _, w := range windows {
+		if w > len(serveBand) {
+			if serveBand, err = tiledcfd.NewBPSKBand(w, 0.125, 8, 10, seed); err != nil {
+				return nil, err
+			}
+		}
+	}
+	pruned := p
+	pruned.AlphaCandidates = candidates
+	full := estimatorSet(p, blocks)
+	prunedSet := estimatorSet(pruned, blocks)
+	cfar := detect.CFAR{}
+	var rows []PrunedMeasurement
+	for _, name := range strings.Split(popts.estimators, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		fe, ok := full[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown estimator %q", name)
+		}
+		pe := prunedSet[name]
+		// Bit-identity first: the speedup only counts if the pruned
+		// strips are exactly the full-plane values.
+		fs, _, err := fe.Estimate(band)
+		if err != nil {
+			return nil, fmt.Errorf("%s full: %w", name, err)
+		}
+		ps, _, err := pe.Estimate(band)
+		if err != nil {
+			return nil, fmt.Errorf("%s pruned: %w", name, err)
+		}
+		diff := stripMaxAbsDiff(fs, ps)
+		fullNs, err := benchDecide(fe, cfar, band)
+		if err != nil {
+			return nil, fmt.Errorf("%s full: %w", name, err)
+		}
+		prunedNs, err := benchDecide(pe, cfar, band)
+		if err != nil {
+			return nil, fmt.Errorf("%s pruned: %w", name, err)
+		}
+		sf, fok := fe.(scf.StreamingEstimator)
+		sp, pok := pe.(scf.StreamingEstimator)
+		for _, w := range windows {
+			var serveFullNs, servePrunedNs float64
+			if fok && pok {
+				if serveFullNs, err = benchServeWindow(sf, cfar, serveBand[:w]); err != nil {
+					return nil, fmt.Errorf("%s full serve w=%d: %w", name, w, err)
+				}
+				if servePrunedNs, err = benchServeWindow(sp, cfar, serveBand[:w]); err != nil {
+					return nil, fmt.Errorf("%s pruned serve w=%d: %w", name, w, err)
+				}
+			}
+			row := PrunedMeasurement{
+				Name:               name,
+				Candidates:         candidates,
+				RowsComputed:       len(ps.Data),
+				RowsFull:           len(fs.Data),
+				FullNsPerOp:        fullNs,
+				PrunedNsPerOp:      prunedNs,
+				WindowSamples:      w,
+				MaxAbsDiff:         diff,
+				PrunedCellsSkipped: pruned.PrunedCellsSkipped(),
+				GOMAXPROCS:         runtime.GOMAXPROCS(0),
+			}
+			if prunedNs > 0 {
+				row.Speedup = fullNs / prunedNs
+			}
+			row.ServeFullNsPerOp, row.ServePrunedNsPerOp = serveFullNs, servePrunedNs
+			if servePrunedNs > 0 {
+				row.ServeSpeedup = serveFullNs / servePrunedNs
+			}
+			rows = append(rows, row)
+			fmt.Printf("%-8s pruned %d candidates w=%-5d: batch %10.0f -> %9.0f ns/op %5.1fx · serve %10.0f -> %9.0f ns/op %5.1fx (max |diff| %g)\n",
+				name, len(candidates), w, fullNs, prunedNs, row.Speedup,
+				serveFullNs, servePrunedNs, row.ServeSpeedup, diff)
+		}
+	}
+	return rows, nil
+}
+
+// benchDecide times one batch decision on the band: Estimate, the CFAR
+// verdict, and the feature-peak extraction the serving layer reports
+// with every decision (stream.Engine.decide does the same pair of passes
+// over the surface).
+func benchDecide(e scf.Estimator, cfar detect.CFAR, band []complex128) (float64, error) {
+	var opErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, _, err := e.Estimate(band)
+			if err == nil {
+				_, err = cfar.Examine(s)
+				featurePeak(s)
+			}
+			if err != nil {
+				opErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if opErr != nil {
+		return 0, opErr
+	}
+	return float64(r.NsPerOp()), nil
+}
+
+// featurePeak replicates the squared-magnitude feature scan of
+// stream.Engine.decide (its maxFeatureMinA with the CFAR default
+// MinAbsA), so the timed op spends exactly what the serving layer
+// spends per decision. On a pruned surface only the held rows are
+// searched.
+func featurePeak(s *scf.Surface) (f, a int) {
+	const minAbsA = 2 // detect.CFAR default
+	best := -1.0
+	m := s.M - 1
+	alphas := s.AlphaValues()
+	for i, row := range s.Data {
+		av := alphas[i]
+		if av > -minAbsA && av < minAbsA {
+			continue
+		}
+		for fi, v := range row {
+			if mag := real(v)*real(v) + imag(v)*imag(v); mag > best {
+				best, f, a = mag, fi-m, av
+			}
+		}
+	}
+	return f, a
+}
+
+// benchServeWindow times one serving window exactly as stream.Engine
+// spends it per decision: push the window's samples through the
+// estimator's accumulator, snapshot the surface, run the CFAR verdict
+// and the feature-peak extraction, and reset for the next window (the
+// non-cumulative serving mode). On a pruned channel every stage scales
+// with the candidate count — estimation touches only the held rows and
+// the snapshot/decision cost follows the sparse surface — which is the
+// end-to-end latency directed sensing buys in production.
+func benchServeWindow(e scf.StreamingEstimator, cfar detect.CFAR, band []complex128) (float64, error) {
+	acc, err := e.NewAccumulator()
+	if err != nil {
+		return 0, err
+	}
+	// Pre-flight outside the timer: a window too short for this
+	// estimator's first snapshot is reported as zero, not an error (the
+	// sweep may include windows below an estimator's smoothing needs).
+	if err := acc.Push(band); err != nil {
+		return 0, err
+	}
+	if !acc.Ready() {
+		return 0, nil
+	}
+	acc.Reset()
+	var opErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			acc.Reset()
+			if err := acc.Push(band); err != nil {
+				opErr = err
+				b.FailNow()
+			}
+			s, _, err := acc.Snapshot()
+			if err == nil {
+				_, err = cfar.Examine(s)
+				featurePeak(s)
+			}
+			if err != nil {
+				opErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if opErr != nil {
+		return 0, opErr
+	}
+	return float64(r.NsPerOp()), nil
+}
+
+// stripMaxAbsDiff returns the largest cellwise magnitude difference
+// between a full surface and a pruned one over the rows the pruned
+// surface holds.
+func stripMaxAbsDiff(full, pruned *scf.Surface) float64 {
+	worst := 0.0
+	alphas := pruned.AlphaValues()
+	for i, row := range pruned.Data {
+		fullRow := full.Row(alphas[i])
+		for j := range row {
+			if d := cmplx.Abs(row[j] - fullRow[j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
 }
 
 // benchMapping runs the schema-4 multi-tile mapping scenario: the

@@ -12,15 +12,28 @@
 //
 //	cfdserve [-listen addr] [-shards 1] [-quota 0] [-quota-burst 0]
 //	         [-selftest] [-channels 4] [-estimator fam] [-k 256] [-m 0]
-//	         [-hop 0] [-window 16384] [-workers 0] [-mode block|drop]
-//	         [-rate 0] [-duration 0] [-report 2s] [-http addr] [-seed 1]
-//	         [-threshold 0] [-cfar-scale 2] [-cumulative] [-quiet]
-//	         [-drain-grace 5s] [-shard-addrs a,b] [-health-interval 2s]
-//	         [-push-timeout 5s] [-fallback-local]
+//	         [-alpha 16,32] [-hop 0] [-window 16384] [-workers 0]
+//	         [-mode block|drop] [-rate 0] [-duration 0] [-report 2s]
+//	         [-http addr] [-seed 1] [-threshold 0] [-cfar-scale 2]
+//	         [-cumulative] [-quiet] [-drain-grace 5s] [-shard-addrs a,b]
+//	         [-health-interval 2s] [-push-timeout 5s] [-fallback-local]
 //	cfdserve -shard-of addr [-estimator fam] [-k 256] [-window 16384]
-//	         [-report 2s] [-duration 0] [-quiet]
+//	         [-alpha 16,32] [-report 2s] [-duration 0] [-quiet]
 //	cfdserve -connect addr [-channels 4] [-format cf32_le|ci16_le]
-//	         [-rate 0] [-duration 0] [-seed 1] [-k 256] [-quiet]
+//	         [-alpha 16,32] [-rate 0] [-duration 0] [-seed 1] [-k 256]
+//	         [-quiet]
+//
+// -alpha restricts estimation to the listed cycle-frequency bin offsets
+// (alpha pruning): only those strips of the spectral-correlation
+// surface, their mirrors and a=0 are computed — bit-identical to the
+// full plane on the computed rows, at a cost that scales with the
+// candidate count instead of the grid half-extent M. In serving mode
+// the set is the default for every channel; wire clients can override
+// it per channel in the open frame (as `-connect -alpha` does), and a
+// parent router forwards each channel's set to its remote shard worker,
+// so pruning follows the channel across handoffs and failovers. The
+// `cfd_pruned_cells_skipped_total` metric counts the cells never
+// computed.
 //
 // With neither -listen nor -selftest the daemon defaults to -selftest
 // (the zero-configuration demo). -quota enforces a per-connection
@@ -56,6 +69,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -91,6 +105,7 @@ type options struct {
 	channels   int
 	k, m       int
 	estimator  string
+	alpha      string
 	hop        int
 	window     int
 	ring       int
@@ -132,6 +147,7 @@ func main() {
 	flag.StringVar(&o.format, "format", "cf32_le", "wire sample format in -connect mode: cf32_le or ci16_le")
 	flag.IntVar(&o.channels, "channels", 4, "concurrent channels (selftest front ends or -connect streams)")
 	flag.StringVar(&o.estimator, "estimator", "fam", "surface estimator: "+strings.Join(tiledcfd.EstimatorNames(), ", "))
+	flag.StringVar(&o.alpha, "alpha", "", "comma-separated alpha-candidate bin offsets: restrict estimation to these cycle-frequency strips (mirrors and a=0 implied)")
 	flag.IntVar(&o.k, "k", 256, "FFT / channelizer size K")
 	flag.IntVar(&o.m, "m", 0, "grid half-extent M (0 = K/4)")
 	flag.IntVar(&o.hop, "hop", 0, "block/channelizer advance (0 = estimator default; rejected with ssca)")
@@ -259,8 +275,12 @@ type monitorSink struct {
 	mon *tiledcfd.ShardedMonitor
 }
 
-// OpenChannel registers the stream's channel id on its shard.
-func (s monitorSink) OpenChannel(meta wire.Meta) error { return s.mon.AddChannel(meta.ID) }
+// OpenChannel registers the stream's channel id on its shard, honouring
+// the alpha-candidate set the client put in the open frame (nil falls
+// back to the daemon's -alpha default).
+func (s monitorSink) OpenChannel(meta wire.Meta) error {
+	return s.mon.AddChannelCandidates(meta.ID, meta.AlphaCandidates)
+}
 
 // Push forwards decoded samples to the owning shard.
 func (s monitorSink) Push(id string, samples []complex128) (int, error) {
@@ -284,6 +304,10 @@ func run(ctx context.Context, o options, out io.Writer) (*serveStats, error) {
 	}
 	if o.mode != "block" && o.mode != "drop" {
 		return nil, fmt.Errorf("cfdserve: -mode=%q must be block or drop", o.mode)
+	}
+	candidates, err := parseAlpha(o.alpha)
+	if err != nil {
+		return nil, err
 	}
 	remotes := parseRemotes(o.shardAddrs)
 	if o.shards == 0 && len(remotes) == 0 {
@@ -316,7 +340,7 @@ func run(ctx context.Context, o options, out io.Writer) (*serveStats, error) {
 	mon, err := tiledcfd.NewShardedMonitor(
 		tiledcfd.Config{
 			K: o.k, M: o.m, Estimator: o.estimator, Hop: o.hop,
-			Threshold: o.threshold,
+			Threshold: o.threshold, AlphaCandidates: candidates,
 		},
 		tiledcfd.ShardedMonitorOptions{
 			MonitorOptions: tiledcfd.MonitorOptions{
@@ -456,6 +480,23 @@ func run(ctx context.Context, o options, out io.Writer) (*serveStats, error) {
 	return &st, nil
 }
 
+// parseAlpha turns the -alpha CSV into the candidate bin-offset set
+// (nil when the flag is unset, meaning full-plane estimation).
+func parseAlpha(csv string) ([]int, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		a, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("cfdserve: -alpha: bad bin offset %q: %v", f, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
 // parseRemotes turns the -shard-addrs CSV into the remote topology.
 func parseRemotes(csv string) []tiledcfd.RemoteShardOptions {
 	var remotes []tiledcfd.RemoteShardOptions
@@ -485,10 +526,14 @@ func runWorker(ctx context.Context, o options, out io.Writer) error {
 	if o.quiet {
 		logf = func(string, ...any) {}
 	}
+	candidates, err := parseAlpha(o.alpha)
+	if err != nil {
+		return err
+	}
 	w, err := tiledcfd.NewShardWorker(
 		tiledcfd.Config{
 			K: o.k, M: o.m, Estimator: o.estimator, Hop: o.hop,
-			Threshold: o.threshold,
+			Threshold: o.threshold, AlphaCandidates: candidates,
 		},
 		tiledcfd.ShardWorkerOptions{
 			MonitorOptions: tiledcfd.MonitorOptions{
@@ -600,6 +645,9 @@ func collectMetrics(e *wire.Exposition, mon *tiledcfd.ShardedMonitor, srv *wire.
 		"Decisions lost to a full or unread decision stream.", float64(st.DecisionsDropped))
 	e.Metric("cfd_engine_channels", "gauge",
 		"Registered channels.", float64(st.Channels))
+	e.Metric("cfd_pruned_cells_skipped_total", "counter",
+		"Surface cells never computed thanks to alpha-candidate pruning.",
+		float64(st.PrunedCellsSkipped))
 	e.Metric("cfd_engine_shards", "gauge",
 		"Live shard engines.", float64(st.Shards))
 	e.Metric("cfd_engine_handoffs_total", "counter",
@@ -720,6 +768,10 @@ func runClient(ctx context.Context, o options, out io.Writer) error {
 	default:
 		return fmt.Errorf("cfdserve: -format=%q must be cf32_le or ci16_le", o.format)
 	}
+	candidates, err := parseAlpha(o.alpha)
+	if err != nil {
+		return err
+	}
 	if o.duration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.duration)
@@ -739,9 +791,10 @@ func runClient(ctx context.Context, o options, out io.Writer) error {
 	errs := make(chan error, o.channels)
 	for i := 0; i < o.channels; i++ {
 		cs, err := c.Open(wire.Meta{
-			ID:           fmt.Sprintf("wire%02d", i),
-			Format:       format,
-			SampleRateHz: rate,
+			ID:              fmt.Sprintf("wire%02d", i),
+			Format:          format,
+			SampleRateHz:    rate,
+			AlphaCandidates: candidates,
 		})
 		if err != nil {
 			return err

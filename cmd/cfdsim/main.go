@@ -7,6 +7,7 @@
 //	cfdsim [-k 256] [-m 64] [-q 4] [-blocks 4] [-snr 6] [-carrier 0.125]
 //	       [-symlen 8] [-idle] [-threshold 0.3] [-seed 1]
 //	       [-estimator platform|direct|fam|ssca] [-hop n] [-workers n]
+//	       [-alpha 16,32] [-alpha-hz ...] [-rate hz]
 //
 // With -idle the band contains only noise (the H0 hypothesis); otherwise a
 // BPSK licensed user at the given SNR and normalised carrier frequency is
@@ -15,12 +16,21 @@
 // (the direct DSCF, the FFT Accumulation Method, or the Strip Spectral
 // Correlation Analyzer), which reports complex-multiplication counts
 // instead of hardware cycles.
+//
+// -alpha restricts a software estimator to a comma-separated list of
+// cycle-frequency bin offsets (alpha pruning): only the listed strips,
+// their mirrors and a=0 are computed, bit-identical to the full plane,
+// and cost scales with the candidate count instead of M. -alpha-hz
+// lists physical cycle frequencies instead, converted with the -rate
+// sample rate — a BPSK user has features at its symbol rate and twice
+// its carrier.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
 	"strings"
 
 	"tiledcfd"
@@ -45,7 +55,22 @@ func main() {
 		"block/channelizer advance in samples for -estimator=direct|fam|fam-q15 (0 = estimator default; rejected with ssca variants)")
 	workers := flag.Int("workers", 0,
 		"software-estimator worker goroutines (0 = one per CPU core, 1 = serial)")
+	alpha := flag.String("alpha", "",
+		"comma-separated alpha-candidate bin offsets (mirrors and a=0 implied); software estimators only")
+	alphaHz := flag.String("alpha-hz", "",
+		"comma-separated alpha candidates as physical cycle frequencies in Hz, converted with -rate")
+	rate := flag.Float64("rate", 0, "sample rate in Hz for -alpha-hz conversion")
 	flag.Parse()
+
+	candidates, err := parseAlphaFlags(*alpha, *alphaHz, *rate, tiledcfd.Config{K: *k, M: *m})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(candidates) > 0 && *estimator == "platform" {
+		log.Fatalf("-alpha requires a software estimator: the platform path computes the "+
+			"full surface on the modeled hardware (pick -estimator=%s)",
+			strings.Join(softwareEstimators(), "|"))
+	}
 
 	if *hop != 0 {
 		switch *estimator {
@@ -67,7 +92,6 @@ func main() {
 		n = *k + (*blocks-1)**hop
 	}
 	var band []complex128
-	var err error
 	if *idle {
 		band, err = tiledcfd.NewNoiseBand(n, 0.25, *seed)
 	} else {
@@ -80,6 +104,7 @@ func main() {
 	s, err := tiledcfd.Sense(band, tiledcfd.Config{
 		K: *k, M: *m, Q: *q, Blocks: *blocks, Threshold: *threshold,
 		Estimator: *estimator, Hop: *hop, Workers: *workers,
+		AlphaCandidates: candidates,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -92,6 +117,10 @@ func main() {
 	fmt.Printf("scenario:     %s\n", scenario)
 	fmt.Printf("platform:     K=%d, M=%d, Q=%d, %d block(s)\n", *k, mOrDefault(*m, *k), *q, *blocks)
 	fmt.Printf("estimator:    %s\n", s.Estimator)
+	if len(candidates) > 0 {
+		fmt.Printf("alpha:        pruned to candidates %v (%d of %d rows computed)\n",
+			candidates, prunedRows(candidates), 2*mOrDefault(*m, *k)-1)
+	}
 	fmt.Printf("verdict:      detected=%v  statistic=%.4f  threshold=%.4f\n",
 		s.Detected, s.Statistic, s.Threshold)
 	fmt.Printf("top feature:  f=%d a=%d\n", s.FeatureF, s.FeatureA)
@@ -119,6 +148,65 @@ func main() {
 	if s.ModelCycles > 0 {
 		fmt.Printf("modeled Montium cycles (Table-1 kernel accounting): %d\n", s.ModelCycles)
 	}
+}
+
+// parseAlphaFlags assembles the alpha-candidate set from the -alpha
+// (bin offsets) and -alpha-hz (physical frequencies via -rate) flags.
+func parseAlphaFlags(alpha, alphaHz string, rate float64, cfg tiledcfd.Config) ([]int, error) {
+	var out []int
+	if alpha != "" {
+		for _, f := range strings.Split(alpha, ",") {
+			a, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("-alpha: bad bin offset %q: %v", f, err)
+			}
+			out = append(out, a)
+		}
+	}
+	if alphaHz != "" {
+		if rate <= 0 {
+			return nil, fmt.Errorf("-alpha-hz requires -rate (the sample rate in Hz)")
+		}
+		for _, f := range strings.Split(alphaHz, ",") {
+			hz, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("-alpha-hz: bad frequency %q: %v", f, err)
+			}
+			a, err := cfg.AlphaBinForHz(hz, rate)
+			if err != nil {
+				return nil, fmt.Errorf("-alpha-hz %s: %v", strings.TrimSpace(f), err)
+			}
+			out = append(out, a)
+		}
+	} else if rate != 0 {
+		return nil, fmt.Errorf("-rate only has meaning with -alpha-hz")
+	}
+	return out, nil
+}
+
+// softwareEstimators is EstimatorNames without the hardware path.
+func softwareEstimators() []string {
+	var out []string
+	for _, n := range tiledcfd.EstimatorNames() {
+		if n != "platform" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// prunedRows counts the surface rows a candidate set keeps: a=0 plus
+// both mirrors of every distinct non-zero candidate.
+func prunedRows(candidates []int) int {
+	seen := map[int]bool{0: true}
+	rows := 1
+	for _, a := range candidates {
+		if !seen[a] {
+			seen[a] = true
+			rows += 2
+		}
+	}
+	return rows
 }
 
 func mOrDefault(m, k int) int {

@@ -19,11 +19,23 @@ type CFARDecision struct {
 // CFAR is a constant-false-alarm-rate variant of the blind CFD detector:
 // instead of an externally calibrated threshold it estimates the noise
 // floor of the cycle-frequency profile from the surface itself (the
-// median of the off-peak |a| >= MinAbsA rows) and declares a detection
-// when the peak exceeds Scale × floor. Because both peak and floor are
-// computed from the same surface, the false-alarm rate is insensitive to
-// the absolute noise level — the practical deployment mode for Cognitive
-// Radio, where no calibration channel exists.
+// median of the |a| >= MinAbsA rows, excluding the peak row and its
+// mirror — the cell under test carries the feature energy on both
+// mirrored offsets, so leaving it in the reference set would poison the
+// floor) and declares a detection when the peak exceeds Scale × floor.
+// Because both peak and floor are computed from the same surface, the
+// false-alarm rate is insensitive to the absolute noise level — the
+// practical deployment mode for Cognitive Radio, where no calibration
+// channel exists.
+//
+// On an alpha-pruned surface both the peak search and the floor median
+// run over the held candidate rows only, so the decision costs
+// O(|candidates|·F) instead of O(M·F); at least three held rows with
+// |a| >= MinAbsA must remain after the peak pair is excluded, so a
+// CFAR-decided channel needs at least three non-zero candidates —
+// ideally including reference strips where no feature is expected, so
+// the floor median stays at noise level even when every expected
+// feature is present.
 type CFAR struct {
 	// MinAbsA excludes offsets nearest the PSD row (default 2).
 	MinAbsA int
@@ -45,15 +57,19 @@ func (c CFAR) Examine(s *scf.Surface) (CFARDecision, error) {
 		return CFARDecision{}, fmt.Errorf("detect: CFAR MinAbsA=%d outside [1,%d]", minA, s.M-1)
 	}
 	prof := s.AlphaProfile()
-	var cells []float64
+	alphas := s.AlphaValues()
 	peak, peakA := 0.0, 0
-	for ai, v := range prof {
-		a := ai - (s.M - 1)
-		if a >= minA || a <= -minA {
+	for i, v := range prof {
+		a := alphas[i]
+		if (a >= minA || a <= -minA) && v > peak {
+			peak, peakA = v, a
+		}
+	}
+	cells := make([]float64, 0, len(prof))
+	for i, v := range prof {
+		a := alphas[i]
+		if (a >= minA || a <= -minA) && a != peakA && a != -peakA {
 			cells = append(cells, v)
-			if v > peak {
-				peak, peakA = v, a
-			}
 		}
 	}
 	if len(cells) < 3 {

@@ -28,19 +28,26 @@ func EnergyStatistic(x []complex128, noisePower float64) (float64, error) {
 // DSCF surface: the largest cycle-frequency profile value over |a| >=
 // minAbsA, normalised by the a=0 (PSD) profile value. Noise-only input
 // concentrates all correlation at a=0, so the statistic is small and,
-// crucially, independent of the absolute noise level.
+// crucially, independent of the absolute noise level. On an alpha-pruned
+// surface the search runs over the held candidate rows only.
 func CFDStatistic(s *scf.Surface, minAbsA int) (float64, error) {
 	if minAbsA < 1 || minAbsA > s.M-1 {
 		return 0, fmt.Errorf("detect: minAbsA=%d outside [1,%d]", minAbsA, s.M-1)
 	}
 	prof := s.AlphaProfile()
-	base := prof[s.M-1] // a = 0
+	alphas := s.AlphaValues()
+	base := 0.0
+	for i, a := range alphas {
+		if a == 0 {
+			base = prof[i]
+		}
+	}
 	if base <= 0 {
 		return 0, fmt.Errorf("detect: zero PSD row, cannot normalise")
 	}
 	best := 0.0
-	for ai, v := range prof {
-		a := ai - (s.M - 1)
+	for i, v := range prof {
+		a := alphas[i]
 		if a >= minAbsA || a <= -minAbsA {
 			if r := v / base; r > best {
 				best = r
@@ -51,17 +58,31 @@ func CFDStatistic(s *scf.Surface, minAbsA int) (float64, error) {
 }
 
 // KnownCycleStatistic returns the single-correlator statistic at the known
-// cycle offset a: the profile at a normalised by the a=0 profile.
+// cycle offset a: the profile at a normalised by the a=0 profile. An
+// alpha-pruned surface must hold row a (and row 0, which pruning always
+// keeps).
 func KnownCycleStatistic(s *scf.Surface, a int) (float64, error) {
 	if a == 0 || a > s.M-1 || a < -(s.M-1) {
 		return 0, fmt.Errorf("detect: cycle offset %d invalid (non-zero, |a| <= %d)", a, s.M-1)
 	}
+	if !s.HasRow(a) {
+		return 0, fmt.Errorf("detect: cycle offset %d pruned away (surface holds %v)", a, s.AlphaValues())
+	}
 	prof := s.AlphaProfile()
-	base := prof[s.M-1]
+	alphas := s.AlphaValues()
+	base, val := 0.0, 0.0
+	for i, av := range alphas {
+		switch av {
+		case 0:
+			base = prof[i]
+		case a:
+			val = prof[i]
+		}
+	}
 	if base <= 0 {
 		return 0, fmt.Errorf("detect: zero PSD row, cannot normalise")
 	}
-	return prof[a+s.M-1] / base, nil
+	return val / base, nil
 }
 
 // InvQ returns the inverse of the Gaussian tail function

@@ -74,9 +74,12 @@ type famAccumulator struct {
 	roots []complex128
 	win   []float64
 
-	// acc0/acc1 are the parity-split per-cell sums for rows a = 0..M-1,
-	// indexed [a][f+M-1]; ck0/ck1 are their copies at the last
-	// power-of-two hop count ckHops.
+	// rowSet lists the a >= 0 rows the accumulator maintains: 0..M-1, or
+	// only the candidate rows under alpha pruning.
+	rowSet []int
+	// acc0/acc1 are the parity-split per-cell sums, indexed
+	// [i][f+M-1] with i positional in rowSet; ck0/ck1 are their copies
+	// at the last power-of-two hop count ckHops.
 	acc0, acc1 [][]complex128
 	ck0, ck1   [][]complex128
 	hops       int
@@ -91,7 +94,14 @@ type famAccumulator struct {
 
 func (f *famAccumulator) init() {
 	m := f.p.M - 1
-	rows, cols := m+1, 2*m+1
+	f.rowSet = f.p.CandidateRows()
+	if f.rowSet == nil {
+		f.rowSet = make([]int, m+1)
+		for a := range f.rowSet {
+			f.rowSet[a] = a
+		}
+	}
+	rows, cols := len(f.rowSet), 2*m+1
 	grid := func() [][]complex128 {
 		data := make([][]complex128, rows)
 		cells := make([]complex128, rows*cols)
@@ -160,8 +170,8 @@ func (f *famAccumulator) Push(samples []complex128) error {
 		}
 		m := f.p.M - 1
 		mask := k - 1
-		for a := 0; a <= m; a++ {
-			row := tgt[a]
+		for i, a := range f.rowSet {
+			row := tgt[i]
 			pi := (a - m) & mask
 			qi := (-a - m) & mask
 			for fi := range row {
@@ -192,17 +202,16 @@ func (f *famAccumulator) Snapshot() (*scf.Surface, *scf.Stats, error) {
 	}
 	np := f.ckHops
 	inv := complex(1/float64(np), 0)
-	m := f.p.M - 1
-	s := scf.NewSurface(f.p.M)
-	for a := 0; a <= m; a++ {
-		row := s.Data[a+m]
-		c0, c1 := f.ck0[a], f.ck1[a]
+	s := scf.NewSurfaceFor(f.p)
+	for i, a := range f.rowSet {
+		row := s.Row(a)
+		c0, c1 := f.ck0[i], f.ck1[i]
 		for fi := range row {
 			row[fi] = (c0[fi] + c1[fi]) * inv
 		}
 	}
 	s.MirrorHermitian()
-	cells := f.p.P() * f.p.F()
+	cells := f.p.DSCFMults()
 	stats := &scf.Stats{
 		Blocks:    np,
 		FFTMults:  np*fft.ComplexMults(f.p.K) + cells*fft.ComplexMults(np),
@@ -286,9 +295,11 @@ type sscaAccumulator struct {
 	roots  []complex128
 	win    []float64
 
-	needed []int          // addressed channel indices, batch order
-	prods  [][]complex128 // per needed channel: product sequence, one entry per hop
-	hops   int
+	rowAlphas []int          // surface rows to fill: all of [-m, m], or the candidate set
+	needed    []int          // addressed channel indices, batch order
+	rotIdx    []int          // per needed channel: running derotation index (v·hops mod K)
+	prods     [][]complex128 // per needed channel: product sequence, one entry per hop
+	hops      int
 
 	buf      []complex128
 	bufStart int
@@ -299,14 +310,36 @@ type sscaAccumulator struct {
 
 func (s *sscaAccumulator) init() {
 	m := s.p.M - 1
-	seen := make([]bool, s.p.K)
-	for v := -2 * m; v <= 2*m; v++ {
-		if k := fft.BinIndex(s.p.K, v); !seen[k] {
-			seen[k] = true
-			s.needed = append(s.needed, k)
+	s.rowAlphas = s.p.SurfaceAlphas()
+	if s.rowAlphas == nil {
+		s.rowAlphas = make([]int, 2*m+1)
+		for i := range s.rowAlphas {
+			s.rowAlphas[i] = i - m
 		}
 	}
+	// Only the channels the held rows address get strips: the residues
+	// f+a mod K per row a — the full [-2m, 2m] band, or the candidate
+	// strips under alpha pruning.
+	seen := make([]bool, s.p.K)
+	for _, a := range s.rowAlphas {
+		for f := -m; f <= m; f++ {
+			if k := fft.BinIndex(s.p.K, f+a); !seen[k] {
+				seen[k] = true
+				s.needed = append(s.needed, k)
+			}
+		}
+	}
+	s.rotIdx = make([]int, len(s.needed))
 	s.prods = make([][]complex128, len(s.needed))
+	if s.nFixed != 0 {
+		// The strip length is known up front: reserve it so the
+		// steady-state Push loop never reallocates a product slice.
+		cells := make([]complex128, 0, len(s.needed)*s.nFixed)
+		for i := range s.prods {
+			s.prods[i] = cells[:0:s.nFixed]
+			cells = cells[s.nFixed:s.nFixed]
+		}
+	}
 	s.spec = make([]complex128, s.p.K)
 }
 
@@ -373,11 +406,17 @@ func (s *sscaAccumulator) Push(samples []complex128) error {
 		// The conjugate centre-aligned factor of this strip position.
 		xc := cmplx.Conj(s.buf[start-s.bufStart+centre])
 		// Downconvert only the needed channels and append their product
-		// entries. The exponent (start·v) mod k is a direct table index
-		// per channel (no sequential walk: needed is a sparse subset).
-		step := start & (k - 1)
+		// entries. The derotation exponent (start·v) mod k advances by
+		// exactly v per unit hop, so each channel carries a running table
+		// index (rotIdx) instead of recomputing the v·start product — and
+		// the spec/roots/prods headers are hoisted out of the per-channel
+		// loop so nothing is reloaded per iteration.
+		spec, roots, prods, rot := s.spec, s.roots, s.prods, s.rotIdx
+		mask := k - 1
 		for i, v := range s.needed {
-			s.prods[i] = append(s.prods[i], s.spec[v]*s.roots[(v*step)&(k-1)]*xc)
+			idx := rot[i]
+			prods[i] = append(prods[i], spec[v]*roots[idx]*xc)
+			rot[i] = (idx + v) & mask
 		}
 		s.hops++
 	}
@@ -411,17 +450,13 @@ func (s *sscaAccumulator) Snapshot() (*scf.Surface, *scf.Stats, error) {
 		if err := planN.Forward(u, s.prods[i][:n]); err != nil {
 			return nil, nil, err
 		}
-		idx := 0
-		for q := range u {
-			u[q] *= rootsN[idx]
-			idx = (idx + centre) & (n - 1)
-		}
+		derotate(u, rootsN, centre)
 		strips[k] = u
 	}
-	sf := scf.NewSurface(s.p.M)
+	sf := scf.NewSurfaceFor(s.p)
 	inv := complex(1/float64(n), 0)
-	for a := -m; a <= m; a++ {
-		row := sf.Data[a+m]
+	for i, a := range s.rowAlphas {
+		row := sf.Data[i]
 		for f := -m; f <= m; f++ {
 			u := strips[fft.BinIndex(s.p.K, f+a)]
 			q := fft.BinIndex(n, n/s.p.K*(a-f))
@@ -440,6 +475,9 @@ func (s *sscaAccumulator) Snapshot() (*scf.Surface, *scf.Stats, error) {
 func (s *sscaAccumulator) Reset() {
 	for i := range s.prods {
 		s.prods[i] = s.prods[i][:0]
+	}
+	for i := range s.rotIdx {
+		s.rotIdx[i] = 0
 	}
 	s.hops = 0
 	s.buf = s.buf[:0]

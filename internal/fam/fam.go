@@ -70,32 +70,49 @@ func (e FAM) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// The a >= 0 rows to evaluate: the full half-plane, or only the
+	// candidate rows when alpha pruning is on (the mirrors come from the
+	// final Hermitian pass either way, so pruning skips entire
+	// conjugate-product rows without touching the per-cell arithmetic).
+	m := p.M - 1
+	rowSet := p.CandidateRows()
+	if rowSet == nil {
+		rowSet = make([]int, m+1)
+		for a := range rowSet {
+			rowSet[a] = a
+		}
+	}
 	// Hoist the conjugation out of the α/f loops: every cell (f, a) reads
 	// conj of channel f-a, so conjugating each addressed channel once
 	// replaces (2M-1)²·P per-cell conjugations with one pass per channel.
-	// Only the residues f-a actually spans, [-2(M-1), 2(M-1)] mod K, are
-	// conjugated (with the default M = K/4 geometry that is nearly all of
-	// them, but small-M grids touch only a sliver of the K channels).
-	m := p.M - 1
-	chc := make([][]complex128, p.K)
-	ccells := make([]complex128, (4*m+1)*np)
-	for v := -2 * m; v <= 2*m; v++ {
-		k := fft.BinIndex(p.K, v)
-		if chc[k] != nil {
-			continue
+	// Only the residues f-a the evaluated rows span are conjugated (for
+	// the full default M = K/4 geometry that is nearly all of them, but
+	// small-M grids and pruned candidate sets touch only a sliver).
+	conjSet := make([]int, 0, 4*m+1)
+	seen := make([]bool, p.K)
+	for _, a := range rowSet {
+		for f := -m; f <= m; f++ {
+			if k := fft.BinIndex(p.K, f-a); !seen[k] {
+				seen[k] = true
+				conjSet = append(conjSet, k)
+			}
 		}
+	}
+	chc := make([][]complex128, p.K)
+	ccells := make([]complex128, len(conjSet)*np)
+	for _, k := range conjSet {
 		chc[k], ccells = ccells[:np], ccells[np:]
 		for n, c := range ch[k] {
 			chc[k][n] = cmplx.Conj(c)
 		}
 	}
-	s := scf.NewSurface(p.M)
+	s := scf.NewSurfaceFor(p)
 	// The FAM surface is exactly Hermitian in α: the cell (f, -a) sums
 	// x_{f-a}(n)·conj(x_{f+a}(n)) — the termwise conjugate of cell (f, a)
 	// in the same order — so only the a >= 0 rows are evaluated and the
 	// a < 0 rows mirrored by conjugation, bit-identical to evaluating
 	// them directly (conjugation is exact in floating point).
-	rows := m + 1
+	rows := len(rowSet)
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -104,8 +121,8 @@ func (e FAM) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
 		workers = rows
 	}
 	if workers <= 1 {
-		for a := 0; a <= m; a++ {
-			famRow(s.Data[a+m], ch, chc, p.K, a, m, np)
+		for _, a := range rowSet {
+			famRow(s.Row(a), ch, chc, p.K, a, m, np)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -113,8 +130,9 @@ func (e FAM) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				for a := w; a < rows; a += workers {
-					famRow(s.Data[a+m], ch, chc, p.K, a, m, np)
+				for i := w; i < rows; i += workers {
+					a := rowSet[i]
+					famRow(s.Row(a), ch, chc, p.K, a, m, np)
 				}
 			}(w)
 		}
@@ -124,8 +142,9 @@ func (e FAM) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
 	// Stats keep charging the canonical per-cell P-point second FFT —
 	// the operation-count model of the paper's complexity comparison —
 	// even though the implementation evaluates only its bin 0 as an O(P)
-	// dot product (model vs measured; see famRow and the README).
-	cells := p.P() * p.F()
+	// dot product (model vs measured; see famRow and the README). With
+	// alpha pruning the count covers only the held rows.
+	cells := p.DSCFMults()
 	stats := &scf.Stats{
 		Blocks:    np,
 		FFTMults:  np*fft.ComplexMults(p.K) + cells*fft.ComplexMults(np),
@@ -166,6 +185,20 @@ func famRow(row []complex128, ch, chc [][]complex128, k, a, m, np int) {
 		pi = (pi + 1) & mask
 		qi = (qi + 1) & mask
 	}
+}
+
+// WithAlphaCandidates implements scf.CandidateEstimator.
+func (e FAM) WithAlphaCandidates(alphas []int) (scf.StreamingEstimator, error) {
+	if len(alphas) == 0 {
+		return e, nil
+	}
+	p := famDefaults(e.Params, 0)
+	p.AlphaCandidates = append([]int(nil), alphas...)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e.Params = p
+	return e, nil
 }
 
 var _ scf.Estimator = FAM{}

@@ -100,8 +100,10 @@ func (e FAMQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) {
 	// order. Rows are independent, so they fan out across workers with
 	// bit-identical results.
 	m := p.M - 1
-	grid := newAccGrid(p.M)
-	rows := 2*m + 1
+	grid := newAccGridFor(p)
+	rowAlphas := grid.rowAlphas()
+	rows := len(rowAlphas)
+	cols := 2*m + 1
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -110,12 +112,12 @@ func (e FAMQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) {
 		workers = rows
 	}
 	rowJob := func(ai int) {
-		a := ai - m
+		a := rowAlphas[ai]
 		row := grid.data[ai]
 		mask := p.K - 1
 		pi := (a - m) & mask
 		qi := (-a - m) & mask
-		for fi := 0; fi < rows; fi++ {
+		for fi := 0; fi < cols; fi++ {
 			acc := &row[fi]
 			cp, cc := ch.ch[pi], ch.ch[qi]
 			for n := 0; n < np; n++ {
@@ -145,7 +147,7 @@ func (e FAMQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) {
 	// Products of two aligned channels carry 2^(2·emax); 1/np and the
 	// squared input conditioning gain are the residual gain.
 	s := grid.reduce(2*emax, surfaceGain(np, gain))
-	cells := p.P() * p.F()
+	cells := p.DSCFMults()
 	stats := &scf.Stats{
 		Blocks: np,
 		// The canonical operation model matches float FAM: a full P-point

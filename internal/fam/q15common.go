@@ -161,10 +161,16 @@ func (c *q15Channelizer) alignExponents() (emax int, shifted int64) {
 
 // accGrid is a full-precision int64 accumulator grid (Q30 units), the
 // wide intermediate both fixed backends reduce to a QSurface with one
-// surface-level block-floating-point rounding.
+// surface-level block-floating-point rounding. Under alpha pruning the
+// grid holds only the candidate rows (alphas non-nil, data[i] the row
+// for a = alphas[i]); the reduction then derives the surface exponent
+// from the computed cells alone, so a pruned QSurface is bit-exact
+// deterministic and converts exactly, but its raw words need not match
+// a full-plane run whose peak lives on an uncomputed row.
 type accGrid struct {
-	m    int
-	data [][]fixed.CAcc // data[a+m-1][f+m-1]
+	m      int
+	alphas []int          // nil = dense rows a in [-(m-1), m-1]
+	data   [][]fixed.CAcc // data[rowIndex][f+m-1]
 }
 
 func newAccGrid(m int) *accGrid {
@@ -175,6 +181,34 @@ func newAccGrid(m int) *accGrid {
 		data[i], cells = cells[:n], cells[n:]
 	}
 	return &accGrid{m: m, data: data}
+}
+
+// newAccGridFor sizes the grid for p: dense, or pruned to p's candidate
+// row set.
+func newAccGridFor(p scf.Params) *accGrid {
+	alphas := p.SurfaceAlphas()
+	if alphas == nil {
+		return newAccGrid(p.M)
+	}
+	n := 2*p.M - 1
+	data := make([][]fixed.CAcc, len(alphas))
+	cells := make([]fixed.CAcc, len(alphas)*n)
+	for i := range data {
+		data[i], cells = cells[:n], cells[n:]
+	}
+	return &accGrid{m: p.M, alphas: alphas, data: data}
+}
+
+// rowAlphas returns the offsets a of the grid's rows, in row order.
+func (g *accGrid) rowAlphas() []int {
+	if g.alphas != nil {
+		return g.alphas
+	}
+	out := make([]int, 2*g.m-1)
+	for i := range out {
+		out[i] = i - (g.m - 1)
+	}
+	return out
 }
 
 // reduce converts the grid to a QSurface: the peak component picks the
@@ -204,7 +238,12 @@ func (g *accGrid) reduce(accExp int, gain float64) *scf.QSurface {
 			}
 		}
 	}
-	out := scf.NewQSurface(g.m)
+	var out *scf.QSurface
+	if g.alphas != nil {
+		out = scf.NewSparseQSurface(g.m, g.alphas)
+	} else {
+		out = scf.NewQSurface(g.m)
+	}
 	out.Gain = gain
 	if amax == 0 {
 		out.Exp = accExp - 30

@@ -107,15 +107,30 @@ func (e SSCA) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
 		xc[i] = cmplx.Conj(x[i+centre])
 	}
 	m := p.M - 1
-	// The grid addresses channels k = f+a for f, a in [-m, m]: every
-	// residue of [-2m, 2m] mod K, computed up front so the independent
-	// strips can be fanned out across bounded workers.
+	// The rows the surface holds: all of [-m, m], or the candidate set
+	// (±a plus 0) when alpha pruning is on. SSCA computes each row
+	// directly — its strips are not Hermitian-mirrorable — so pruning
+	// keeps both signs explicitly.
+	rowAlphas := p.SurfaceAlphas()
+	if rowAlphas == nil {
+		rowAlphas = make([]int, 2*m+1)
+		for i := range rowAlphas {
+			rowAlphas[i] = i - m
+		}
+	}
+	// The held rows address channels k = f+a for f in [-m, m]: every
+	// residue of [a-m, a+m] mod K per row a, computed up front so the
+	// independent strips can be fanned out across bounded workers. With
+	// pruning only the strips whose cycle frequencies intersect the
+	// candidate rows are ever computed.
 	needed := make([]int, 0, 4*m+1)
 	seen := make([]bool, p.K)
-	for v := -2 * m; v <= 2*m; v++ {
-		if k := fft.BinIndex(p.K, v); !seen[k] {
-			seen[k] = true
-			needed = append(needed, k)
+	for _, a := range rowAlphas {
+		for f := -m; f <= m; f++ {
+			if k := fft.BinIndex(p.K, f+a); !seen[k] {
+				seen[k] = true
+				needed = append(needed, k)
+			}
 		}
 	}
 	strips := make([][]complex128, p.K)
@@ -139,13 +154,7 @@ func (e SSCA) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
 		if err := planN.Forward(u, prod); err != nil {
 			return err
 		}
-		// (q·centre) mod n advances by centre per bin; n is a power of
-		// two, so the reduction is a masked add.
-		idx := 0
-		for q := range u {
-			u[q] *= roots[idx]
-			idx = (idx + centre) & (n - 1)
-		}
+		derotate(u, roots, centre)
 		return nil
 	}
 	if workers <= 1 {
@@ -181,10 +190,10 @@ func (e SSCA) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
 			}
 		}
 	}
-	s := scf.NewSurface(p.M)
+	s := scf.NewSurfaceFor(p)
 	inv := complex(1/float64(n), 0)
-	for a := -m; a <= m; a++ {
-		row := s.Data[a+m]
+	for i, a := range rowAlphas {
+		row := s.Data[i]
 		for f := -m; f <= m; f++ {
 			u := strips[fft.BinIndex(p.K, f+a)]
 			q := fft.BinIndex(n, n/p.K*(a-f))
@@ -197,6 +206,37 @@ func (e SSCA) Estimate(x []complex128) (*scf.Surface, *scf.Stats, error) {
 		DSCFMults: n*p.K + len(needed)*n,
 	}
 	return s, stats, nil
+}
+
+// derotate divides the per-bin centre-shift phase e^{-j2πq·centre/n} out
+// of a strip transform by indexing the cached roots table. The exponent
+// (q·centre) mod n advances by centre per bin and n (= len(u) = len(roots))
+// is a power of two, so the reduction is a masked add — no per-bin
+// multiply, modulo or table-index recomputation, and no allocation. The
+// hoisted indexing reads exactly the root the naive roots[(q·centre)%n]
+// lookup would, so the derotated strips are bit-identical to it (guarded
+// by TestSSCADerotateGolden).
+func derotate(u, roots []complex128, centre int) {
+	mask := len(roots) - 1
+	idx := 0
+	for q := range u {
+		u[q] *= roots[idx]
+		idx = (idx + centre) & mask
+	}
+}
+
+// WithAlphaCandidates implements scf.CandidateEstimator.
+func (e SSCA) WithAlphaCandidates(alphas []int) (scf.StreamingEstimator, error) {
+	if len(alphas) == 0 {
+		return e, nil
+	}
+	p := famDefaults(e.Params, 1)
+	p.AlphaCandidates = append([]int(nil), alphas...)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e.Params = p
+	return e, nil
 }
 
 var _ scf.Estimator = SSCA{}

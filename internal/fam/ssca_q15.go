@@ -109,12 +109,24 @@ func (e SSCAQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) 
 		xc[i] = fixed.Conj(xq[i+centre])
 	}
 	m := p.M - 1
+	// The held rows (full plane, or the candidate set under alpha
+	// pruning) determine which channels need strips: residues f+a mod K
+	// per row a — exactly as the float SSCA prunes.
+	rowAlphas := p.SurfaceAlphas()
+	if rowAlphas == nil {
+		rowAlphas = make([]int, 2*m+1)
+		for i := range rowAlphas {
+			rowAlphas[i] = i - m
+		}
+	}
 	needed := make([]int, 0, 4*m+1)
 	seen := make([]bool, p.K)
-	for v := -2 * m; v <= 2*m; v++ {
-		if k := fft.BinIndex(p.K, v); !seen[k] {
-			seen[k] = true
-			needed = append(needed, k)
+	for _, a := range rowAlphas {
+		for f := -m; f <= m; f++ {
+			if k := fft.BinIndex(p.K, f+a); !seen[k] {
+				seen[k] = true
+				needed = append(needed, k)
+			}
 		}
 	}
 	planN, err := fft.NewFixedPlan(n)
@@ -200,9 +212,9 @@ func (e SSCAQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) 
 			eMin = ek
 		}
 	}
-	grid := newAccGrid(p.M)
-	for a := -m; a <= m; a++ {
-		row := grid.data[a+m]
+	grid := newAccGridFor(p)
+	for i, a := range rowAlphas {
+		row := grid.data[i]
 		for f := -m; f <= m; f++ {
 			k := fft.BinIndex(p.K, f+a)
 			u := strips[k][fft.BinIndex(n, n/p.K*(a-f))]
@@ -216,7 +228,7 @@ func (e SSCAQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) 
 	// Cell int64 = float·(n·gain²)·2^(15-Emin); reduce expects
 	// 2^(30-accExp), so accExp = 15+Emin.
 	s := grid.reduce(15+eMin, surfaceGain(n, gain))
-	cells := int64(p.P()) * int64(p.F())
+	cells := int64(p.DSCFMults())
 	stats := &scf.Stats{
 		Blocks:    n,
 		FFTMults:  n*fft.ComplexMults(p.K) + len(needed)*fft.ComplexMults(n),

@@ -39,6 +39,18 @@ func Roots(n int) ([]complex128, error) {
 		ang := -2 * math.Pi * float64(i) / float64(n)
 		r[i] = complex(math.Cos(ang), math.Sin(ang))
 	}
+	// Snap the axis roots to their exact values: cos/sin of the rounded
+	// angles leave ~1e-16 dirt in the components that are mathematically
+	// zero (and a -0 imaginary part at i=0). Exact axis entries let the
+	// transform kernels turn multiplies by 1 and -j into plain moves.
+	r[0] = 1
+	if n%2 == 0 {
+		r[n/2] = -1
+	}
+	if n%4 == 0 {
+		r[n/4] = complex(0, -1)
+		r[3*n/4] = complex(0, 1)
+	}
 	v, _ := rootsCache.LoadOrStore(n, r)
 	return v.([]complex128), nil
 }

@@ -80,12 +80,15 @@ func NewAccumulator(p Params) (Accumulator, error) {
 		}
 	}
 	return &directAccumulator{
-		p:     p,
-		plan:  plan,
-		win:   win,
-		sum:   NewSurface(p.M),
-		spec:  make([]complex128, p.K),
-		specc: make([]complex128, p.K),
+		p:         p,
+		plan:      plan,
+		win:       win,
+		rows:      p.CandidateRows(),
+		alphas:    p.SurfaceAlphas(),
+		dscfMults: p.DSCFMults(),
+		sum:       NewSurfaceFor(p),
+		spec:      make([]complex128, p.K),
+		specc:     make([]complex128, p.K),
 	}, nil
 }
 
@@ -110,6 +113,13 @@ type directAccumulator struct {
 	p    Params
 	plan *fft.Plan
 	win  []float64
+	rows []int // candidate a >= 0 rows; nil = full plane
+
+	// Snapshot runs once per serving decision, so the row layout and the
+	// per-block multiply count are computed once here instead of rebuilt
+	// (with their sorts) on every call.
+	alphas    []int // full signed row set of the snapshot surface; nil = dense
+	dscfMults int
 
 	sum    *Surface // unnormalised; only a >= 0 rows carry data
 	blocks int
@@ -138,8 +148,39 @@ func (d *directAccumulator) Ready() bool { return d.blocks >= 1 }
 
 // Push implements Accumulator.
 func (d *directAccumulator) Push(samples []complex128) error {
-	d.buf = append(d.buf, samples...)
 	d.total += len(samples)
+	if len(d.buf) == 0 {
+		// Fast path: with no pending tail, every completable block lies
+		// entirely inside the caller's chunk, so process it in place and
+		// buffer only the leftover suffix — skipping the whole-chunk copy
+		// the general path pays. (An empty buffer implies bufStart is at or
+		// before the next block start: TrimBefore never discards samples a
+		// future block still reads.)
+		chunkStart := d.bufStart
+		end := chunkStart + len(samples)
+		for {
+			start := d.blocks * d.p.Hop // absolute start of the next block
+			if start < chunkStart || start+d.p.K > end {
+				break
+			}
+			off := start - chunkStart
+			if err := d.processBlock(samples[off:off+d.p.K], start); err != nil {
+				return err
+			}
+		}
+		// Keep what the next (incomplete) block has already received.
+		from := d.blocks * d.p.Hop
+		if from < chunkStart {
+			from = chunkStart
+		}
+		if from > end {
+			from = end
+		}
+		d.buf = append(d.buf[:0], samples[from-chunkStart:]...)
+		d.bufStart = from
+		return nil
+	}
+	d.buf = append(d.buf, samples...)
 	for {
 		start := d.blocks * d.p.Hop // absolute start of the next block
 		if d.bufStart+len(d.buf) < start+d.p.K {
@@ -149,24 +190,39 @@ func (d *directAccumulator) Push(samples []complex128) error {
 			d.buf, d.bufStart = TrimBefore(d.buf, d.bufStart, start)
 			return nil
 		}
-		block := d.buf[start-d.bufStart : start-d.bufStart+d.p.K]
-		if d.win != nil {
-			if d.winbuf == nil {
-				d.winbuf = make([]complex128, d.p.K)
-			}
-			if err := fft.ApplyWindowInto(d.winbuf, block, d.win); err != nil {
-				return err
-			}
-			block = d.winbuf
-		}
-		if err := d.plan.Forward(d.spec, block); err != nil {
+		off := start - d.bufStart
+		if err := d.processBlock(d.buf[off:off+d.p.K], start); err != nil {
 			return err
 		}
-		phaseReference(d.spec, start, d.p.K)
-		conjInto(d.specc, d.spec)
-		accumulate(d.sum, d.spec, d.specc, d.p.M)
-		d.blocks++
 	}
+}
+
+// processBlock folds one complete analysis block (absolute sample index
+// start) into the running sum: the exact per-block pipeline of Compute.
+func (d *directAccumulator) processBlock(block []complex128, start int) error {
+	if d.win != nil {
+		if d.winbuf == nil {
+			d.winbuf = make([]complex128, d.p.K)
+		}
+		if err := fft.ApplyWindowInto(d.winbuf, block, d.win); err != nil {
+			return err
+		}
+		block = d.winbuf
+	}
+	if err := d.plan.Forward(d.spec, block); err != nil {
+		return err
+	}
+	phaseReference(d.spec, start, d.p.K)
+	if d.rows == nil {
+		conjInto(d.specc, d.spec)
+		accumulate(d.sum, d.spec, d.specc, d.p.M, d.rows)
+	} else {
+		// Pruned channels touch few rows: conjugate inline (exact)
+		// instead of paying the K-bin conjugation pass per block.
+		accumulateConj(d.sum, d.spec, d.rows, d.p.M)
+	}
+	d.blocks++
+	return nil
 }
 
 // Snapshot implements Accumulator.
@@ -175,16 +231,23 @@ func (d *directAccumulator) Snapshot() (*Surface, *Stats, error) {
 		return nil, nil, fmt.Errorf("scf: accumulator needs %d samples for a first block, has %d",
 			d.p.K, d.total)
 	}
-	out := NewSurface(d.p.M)
-	for i := d.p.M - 1; i < len(out.Data); i++ {
-		copy(out.Data[i], d.sum.Data[i])
+	var out *Surface
+	if d.alphas != nil {
+		out = NewSparseSurface(d.p.M, d.alphas)
+	} else {
+		out = NewSurface(d.p.M)
+	}
+	for i := range out.Data {
+		if out.alphaOf(i) >= 0 {
+			copy(out.Data[i], d.sum.Data[i])
+		}
 	}
 	out.Scale(1 / float64(d.blocks))
 	out.MirrorHermitian()
 	stats := &Stats{
 		Blocks:    d.blocks,
 		FFTMults:  d.blocks * fft.ComplexMults(d.p.K),
-		DSCFMults: d.blocks * d.p.DSCFMults(),
+		DSCFMults: d.blocks * d.dscfMults,
 	}
 	return out, stats, nil
 }

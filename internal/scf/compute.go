@@ -79,13 +79,22 @@ func Compute(x []complex128, p Params) (*Surface, *Stats, error) {
 			return nil, nil, err
 		}
 	}
-	s := NewSurface(p.M)
+	s := NewSurfaceFor(p)
+	rows := p.CandidateRows()
 	stats := &Stats{Blocks: p.Blocks}
+	// Per-block work counts are invariant across blocks; DSCFMults in
+	// particular rebuilds the sorted candidate row set on every call, so
+	// compute both once outside the integration loop.
+	fftMults, dscfMults := fft.ComplexMults(p.K), p.DSCFMults()
 	specBuf := fft.GetScratch(p.K)
 	defer fft.PutScratch(specBuf)
-	speccBuf := fft.GetScratch(p.K)
-	defer fft.PutScratch(speccBuf)
-	spec, specc := *specBuf, *speccBuf
+	spec := *specBuf
+	var specc []complex128
+	if rows == nil {
+		speccBuf := fft.GetScratch(p.K)
+		defer fft.PutScratch(speccBuf)
+		specc = *speccBuf
+	}
 	var winbuf []complex128
 	if win != nil {
 		winbufBuf := fft.GetScratch(p.K)
@@ -104,11 +113,21 @@ func Compute(x []complex128, p Params) (*Surface, *Stats, error) {
 		if err := plan.Forward(spec, block); err != nil {
 			return nil, nil, err
 		}
-		stats.FFTMults += fft.ComplexMults(p.K)
+		stats.FFTMults += fftMults
 		phaseReference(spec, start, p.K)
-		conjInto(specc, spec)
-		accumulate(s, spec, specc, p.M)
-		stats.DSCFMults += p.DSCFMults()
+		if rows == nil {
+			// The full plane reads every conjugated bin ~2M times, so one
+			// conjugation pass per block is cheaper than conjugating at
+			// every cell.
+			conjInto(specc, spec)
+			accumulate(s, spec, specc, p.M, rows)
+		} else {
+			// A pruned snapshot touches few rows; conjugating inline in
+			// the accumulation (exact, so cell values are unchanged)
+			// beats a full K-bin pass.
+			accumulateConj(s, spec, rows, p.M)
+		}
+		stats.DSCFMults += dscfMults
 	}
 	s.Scale(1 / float64(p.Blocks))
 	s.MirrorHermitian()
@@ -159,18 +178,113 @@ func conjInto(specc, spec []complex128) {
 // power of two (validated upstream), so the f±a bin wrap-around is a
 // masked increment instead of a per-cell modulo; the loop allocates
 // nothing.
-func accumulate(s *Surface, spec, specc []complex128, m int) {
+//
+// rows, when non-nil, restricts accumulation to the listed a >= 0 rows
+// (alpha-candidate pruning); nil means every row 0..m-1. The per-cell
+// arithmetic is unchanged, so pruned rows stay bit-identical to the
+// full-plane computation.
+func accumulate(s *Surface, spec, specc []complex128, m int, rows []int) {
 	k := len(spec)
 	mask := k - 1
-	for a := 0; a <= m-1; a++ {
-		row := s.Data[a+m-1]
-		pi := (a - (m - 1)) & mask
-		qi := (-a - (m - 1)) & mask
-		for fi := range row {
-			row[fi] += spec[pi] * specc[qi]
-			pi = (pi + 1) & mask
-			qi = (qi + 1) & mask
+	if rows == nil {
+		for a := 0; a <= m-1; a++ {
+			accumulateRow(s.Data[a+m-1], spec, specc, a, m, mask)
 		}
+		return
+	}
+	for _, a := range rows {
+		accumulateRow(s.Row(a), spec, specc, a, m, mask)
+	}
+}
+
+// accumulateRow adds one block's contribution to the row for offset a.
+// The f±a bin indices wrap around the spectrum at most once each across
+// the row, so instead of masking both indices every cell the loop runs
+// over contiguous segments between wrap points: each segment is a plain
+// three-slice multiply-accumulate that compiles without bounds checks.
+// Cells are visited in the same order with the same arithmetic as the
+// per-cell masked walk, so the accumulated values are unchanged.
+func accumulateRow(row, spec, specc []complex128, a, m, mask int) {
+	k := mask + 1
+	pi := (a - (m - 1)) & mask
+	qi := (-a - (m - 1)) & mask
+	for fi := 0; fi < len(row); {
+		n := len(row) - fi
+		if r := k - pi; r < n {
+			n = r
+		}
+		if r := k - qi; r < n {
+			n = r
+		}
+		rs := row[fi : fi+n : fi+n]
+		ps := spec[pi : pi+n : pi+n]
+		qs := specc[qi : qi+n : qi+n]
+		for i := range rs {
+			rs[i] += ps[i] * qs[i]
+		}
+		fi += n
+		pi = (pi + n) & mask
+		qi = (qi + n) & mask
+	}
+}
+
+// accumulateConj is the pruned-path variant of accumulate: it conjugates
+// the f-a operand inline instead of reading a precomputed conjugate
+// spectrum, saving the K-bin conjInto pass per block when only a few
+// candidate rows are held. Conjugation is exact, so every cell receives
+// contributions bit-identical to the conjInto-based full-plane path.
+func accumulateConj(s *Surface, spec []complex128, rows []int, m int) {
+	mask := len(spec) - 1
+	for _, a := range rows {
+		accumulateRowConj(s.Row(a), spec, a, m, mask)
+	}
+}
+
+// accumulateRowConj mirrors accumulateRow with the conjugation fused
+// into the product (same segment walk, same cell order).
+func accumulateRowConj(row, spec []complex128, a, m, mask int) {
+	k := mask + 1
+	pi := (a - (m - 1)) & mask
+	qi := (-a - (m - 1)) & mask
+	for fi := 0; fi < len(row); {
+		n := len(row) - fi
+		if r := k - pi; r < n {
+			n = r
+		}
+		if r := k - qi; r < n {
+			n = r
+		}
+		rs := row[fi : fi+n : fi+n]
+		ps := spec[pi : pi+n : pi+n]
+		qs := spec[qi : qi+n : qi+n]
+		// The conjugate is folded into the product algebraically —
+		// p·conj(q) = (pr·qr + pi·qi) + j(pi·qr - pr·qi) — the same four
+		// multiplies and adds the compiler emits for p·q, with the sign
+		// flips absorbed for free. Four cells at a time: iterations touch
+		// disjoint cells, so the unroll only exposes independent work.
+		i := 0
+		for ; i+3 < n; i += 4 {
+			p0, q0 := ps[i], qs[i]
+			p1, q1 := ps[i+1], qs[i+1]
+			p2, q2 := ps[i+2], qs[i+2]
+			p3, q3 := ps[i+3], qs[i+3]
+			rs[i] += complex(real(p0)*real(q0)+imag(p0)*imag(q0),
+				imag(p0)*real(q0)-real(p0)*imag(q0))
+			rs[i+1] += complex(real(p1)*real(q1)+imag(p1)*imag(q1),
+				imag(p1)*real(q1)-real(p1)*imag(q1))
+			rs[i+2] += complex(real(p2)*real(q2)+imag(p2)*imag(q2),
+				imag(p2)*real(q2)-real(p2)*imag(q2))
+			rs[i+3] += complex(real(p3)*real(q3)+imag(p3)*imag(q3),
+				imag(p3)*real(q3)-real(p3)*imag(q3))
+		}
+		for ; i < n; i++ {
+			p, q := ps[i], qs[i]
+			rs[i] += complex(real(p)*real(q)+imag(p)*imag(q),
+				imag(p)*real(q)-real(p)*imag(q))
+		}
+		fi += n
+		pi = (pi + n) & mask
+		qi = (qi + n) & mask
 	}
 }
 

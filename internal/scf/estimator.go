@@ -52,6 +52,36 @@ func (e Direct) Estimate(x []complex128) (*Surface, *Stats, error) {
 	return Compute(x, e.Params)
 }
 
+// CandidateEstimator is a streaming estimator that supports
+// alpha-candidate pruning: WithAlphaCandidates derives a variant
+// restricted to the given candidate rows (Params.AlphaCandidates
+// semantics — non-negative bin offsets, mirrors implied, a=0 always
+// kept). The stream engine uses it to give each channel its own
+// candidate set. All three float estimators implement it.
+type CandidateEstimator interface {
+	StreamingEstimator
+	// WithAlphaCandidates returns a copy of the estimator restricted to
+	// the candidate rows, or an error for an invalid set (out of range,
+	// duplicates). An empty set returns the estimator unchanged.
+	WithAlphaCandidates(alphas []int) (StreamingEstimator, error)
+}
+
+// WithAlphaCandidates implements CandidateEstimator.
+func (e Direct) WithAlphaCandidates(alphas []int) (StreamingEstimator, error) {
+	if len(alphas) == 0 {
+		return e, nil
+	}
+	p := e.Params.WithDefaults()
+	p.AlphaCandidates = append([]int(nil), alphas...)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e.Params = p
+	return e, nil
+}
+
+var _ CandidateEstimator = Direct{}
+
 // TotalMults returns the estimator's total complex-multiplication count,
 // the figure the estimator benchmarks compare side by side.
 func (s Stats) TotalMults() int { return s.FFTMults + s.DSCFMults }

@@ -39,6 +39,7 @@ func ComputeParallel(x []complex128, p Params, workers int) (*Surface, *Stats, e
 		}
 	}
 	partials := make([]*Surface, p.Blocks)
+	rows := p.CandidateRows()
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -77,8 +78,8 @@ func ComputeParallel(x []complex128, p Params, workers int) (*Surface, *Stats, e
 				}
 				phaseReference(spec, start, p.K)
 				conjInto(specc, spec)
-				s := NewSurface(p.M)
-				accumulate(s, spec, specc, p.M)
+				s := NewSurfaceFor(p)
+				accumulate(s, spec, specc, p.M, rows)
 				partials[n] = s
 			}
 		}(w)
@@ -92,9 +93,12 @@ func ComputeParallel(x []complex128, p Params, workers int) (*Surface, *Stats, e
 	// In-order merge keeps summation order identical to Compute. Only the
 	// a >= 0 rows carry data (accumulate leaves a < 0 to the final
 	// Hermitian mirror, exactly as Compute does).
-	out := NewSurface(p.M)
+	out := NewSurfaceFor(p)
 	for _, part := range partials {
-		for i := p.M - 1; i < len(out.Data); i++ {
+		for i := range out.Data {
+			if out.alphaOf(i) < 0 {
+				continue
+			}
 			for j := range out.Data[i] {
 				out.Data[i][j] += part.Data[i][j]
 			}

@@ -2,6 +2,8 @@ package scf
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"tiledcfd/internal/fft"
 )
@@ -23,6 +25,17 @@ type Params struct {
 	// Window is the analysis window; the paper's expression 2 implies
 	// Rectangular, the default.
 	Window fft.WindowKind
+	// AlphaCandidates, when non-empty, restricts estimation to a set of
+	// candidate cycle-frequency rows — directed sensing for a known
+	// modulation, where the caller knows which α it cares about (symbol
+	// rate, 2·carrier). Each entry is a non-negative row offset a in
+	// [0, M-1]; the Hermitian mirror row -a is implied, and the a=0 PSD
+	// row is always computed (detectors normalise against it). Estimators
+	// honouring the set produce a sparse Surface holding only those rows,
+	// bit-identical on them to the full-plane computation. Empty means
+	// the full (α, f) plane. Use AlphaBinForHz to build entries from
+	// physical cycle frequencies.
+	AlphaCandidates []int
 }
 
 // WithDefaults returns a copy of p with zero fields replaced by the
@@ -60,7 +73,80 @@ func (p Params) Validate() error {
 	if p.Hop < 1 {
 		return fmt.Errorf("scf: Hop=%d must be >= 1", p.Hop)
 	}
+	seen := make(map[int]bool, len(p.AlphaCandidates))
+	for _, a := range p.AlphaCandidates {
+		if a < 0 || a > p.M-1 {
+			return fmt.Errorf("scf: alpha candidate a=%d outside [0, %d]", a, p.M-1)
+		}
+		if seen[a] {
+			return fmt.Errorf("scf: duplicate alpha candidate a=%d", a)
+		}
+		seen[a] = true
+	}
 	return nil
+}
+
+// Pruned reports whether estimation is restricted to candidate
+// cycle-frequency rows.
+func (p Params) Pruned() bool { return len(p.AlphaCandidates) > 0 }
+
+// CandidateRows returns the sorted a >= 0 rows a pruned estimator
+// computes before Hermitian mirroring: the candidate set plus the a=0
+// PSD row. Nil when not pruned.
+func (p Params) CandidateRows() []int {
+	if !p.Pruned() {
+		return nil
+	}
+	rows := make([]int, 0, len(p.AlphaCandidates)+1)
+	rows = append(rows, p.AlphaCandidates...)
+	sort.Ints(rows)
+	if rows[0] != 0 {
+		rows = append([]int{0}, rows...)
+	}
+	return rows
+}
+
+// SurfaceAlphas returns the sorted full row set of a pruned surface —
+// every candidate, its Hermitian mirror, and a=0. Nil when not pruned.
+func (p Params) SurfaceAlphas() []int {
+	pos := p.CandidateRows()
+	if pos == nil {
+		return nil
+	}
+	alphas := make([]int, 0, 2*len(pos))
+	for i := len(pos) - 1; i >= 1; i-- {
+		alphas = append(alphas, -pos[i])
+	}
+	return append(alphas, pos...)
+}
+
+// PrunedCellsSkipped returns how many grid cells one pruned snapshot
+// avoids computing relative to the full (2M-1)² plane — the quantity
+// the serving stack counts as cfd_pruned_cells_skipped_total. Zero when
+// not pruned.
+func (p Params) PrunedCellsSkipped() int64 {
+	if !p.Pruned() {
+		return 0
+	}
+	return int64(p.P()-len(p.SurfaceAlphas())) * int64(p.F())
+}
+
+// AlphaBinForHz converts a physical cycle frequency to its grid row
+// offset: cell (f, a) correlates bins f+a and f-a, whose separation is
+// the cycle frequency α = 2a·fs/K, so a = round(α·K/(2·fs)). It errors
+// when the rounded row falls outside the candidate range [0, M-1] of
+// the (defaulted) geometry.
+func (p Params) AlphaBinForHz(alphaHz, sampleRateHz float64) (int, error) {
+	if sampleRateHz <= 0 {
+		return 0, fmt.Errorf("scf: sample rate %g Hz must be positive", sampleRateHz)
+	}
+	d := p.WithDefaults()
+	a := int(math.Round(alphaHz * float64(d.K) / (2 * sampleRateHz)))
+	if a < 0 || a > d.M-1 {
+		return 0, fmt.Errorf("scf: cycle frequency %g Hz maps to row a=%d outside [0, %d] (fs=%g Hz, K=%d)",
+			alphaHz, a, d.M-1, sampleRateHz, d.K)
+	}
+	return a, nil
 }
 
 // P returns the number of frequency offsets (and of initial-array
@@ -78,8 +164,14 @@ func (p Params) SamplesNeeded() int {
 
 // DSCFMults returns the number of complex multiplications one integration
 // step of the DSCF performs on the (2M-1)² grid. For M = K/4 this is
-// (K/2-1)² ≈ ¼K², the paper's section 2 count.
-func (p Params) DSCFMults() int { return p.P() * p.F() }
+// (K/2-1)² ≈ ¼K², the paper's section 2 count. With alpha candidates
+// set it counts only the rows the pruned surface holds.
+func (p Params) DSCFMults() int {
+	if p.Pruned() {
+		return len(p.SurfaceAlphas()) * p.F()
+	}
+	return p.P() * p.F()
+}
 
 // QuarterNSquared returns the paper's idealised ¼K² complex-multiplication
 // count for comparison with DSCFMults.

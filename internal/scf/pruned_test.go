@@ -1,0 +1,256 @@
+package scf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAlphaCandidateValidation: Validate rejects out-of-range and
+// duplicate candidates and accepts well-formed sets (including an
+// explicit 0).
+func TestAlphaCandidateValidation(t *testing.T) {
+	base := Params{K: 64, M: 16, Blocks: 1, Hop: 64}
+	cases := []struct {
+		name    string
+		alphas  []int
+		wantErr string
+	}{
+		{"negative", []int{-1}, "outside [0, 15]"},
+		{"too-large", []int{16}, "outside [0, 15]"},
+		{"duplicate", []int{4, 8, 4}, "duplicate alpha candidate a=4"},
+		{"valid", []int{3, 8, 15}, ""},
+		{"valid-with-zero", []int{0, 5}, ""},
+		{"empty", nil, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			p.AlphaCandidates = tc.alphas
+			err := p.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestCandidateRowSets: CandidateRows sorts and prepends the PSD row,
+// SurfaceAlphas adds the Hermitian mirrors in ascending order, and both
+// are nil when pruning is off.
+func TestCandidateRowSets(t *testing.T) {
+	p := Params{K: 64, M: 16, AlphaCandidates: []int{11, 4, 8}}
+	wantRows := []int{0, 4, 8, 11}
+	wantAlphas := []int{-11, -8, -4, 0, 4, 8, 11}
+	rows := p.CandidateRows()
+	if len(rows) != len(wantRows) {
+		t.Fatalf("CandidateRows = %v, want %v", rows, wantRows)
+	}
+	for i := range rows {
+		if rows[i] != wantRows[i] {
+			t.Fatalf("CandidateRows = %v, want %v", rows, wantRows)
+		}
+	}
+	alphas := p.SurfaceAlphas()
+	if len(alphas) != len(wantAlphas) {
+		t.Fatalf("SurfaceAlphas = %v, want %v", alphas, wantAlphas)
+	}
+	for i := range alphas {
+		if alphas[i] != wantAlphas[i] {
+			t.Fatalf("SurfaceAlphas = %v, want %v", alphas, wantAlphas)
+		}
+	}
+	// An explicit 0 candidate is not doubled.
+	p.AlphaCandidates = []int{0, 7}
+	if rows := p.CandidateRows(); len(rows) != 2 || rows[0] != 0 || rows[1] != 7 {
+		t.Fatalf("CandidateRows with explicit 0 = %v", rows)
+	}
+	p.AlphaCandidates = nil
+	if p.CandidateRows() != nil || p.SurfaceAlphas() != nil {
+		t.Fatal("unpruned params returned non-nil row sets")
+	}
+}
+
+// TestPrunedCellsSkipped: the skipped-cell count matches the sparse row
+// set on the paper geometry (the quantity cfd_pruned_cells_skipped_total
+// accumulates per decision).
+func TestPrunedCellsSkipped(t *testing.T) {
+	p := Params{K: 256, M: 64, AlphaCandidates: []int{16, 32, 11, 40}}
+	// 4 candidates → 4 mirrors + 4 + a=0 = 9 held rows of 127 planes.
+	want := int64(127-9) * 127
+	if got := p.PrunedCellsSkipped(); got != want {
+		t.Fatalf("PrunedCellsSkipped = %d, want %d", got, want)
+	}
+	p.AlphaCandidates = nil
+	if got := p.PrunedCellsSkipped(); got != 0 {
+		t.Fatalf("unpruned PrunedCellsSkipped = %d, want 0", got)
+	}
+}
+
+// TestAlphaBinForHz: physical cycle frequencies map to the grid rows
+// α = 2a·fs/K implies, and out-of-range frequencies are rejected.
+func TestAlphaBinForHz(t *testing.T) {
+	p := Params{} // paper defaults K=256, M=64
+	fs := 1e6
+	cases := []struct {
+		alphaHz float64
+		want    int
+	}{
+		{0, 0},
+		{fs / 8, 16},   // BPSK symbol rate fs/8
+		{fs / 4, 32},   // 2·carrier at carrier fs/8
+		{492187.5, 63}, // top row: 2·63·fs/256
+		{85937.5, 11},  // reference strip
+	}
+	for _, tc := range cases {
+		got, err := p.AlphaBinForHz(tc.alphaHz, fs)
+		if err != nil {
+			t.Fatalf("AlphaBinForHz(%g): %v", tc.alphaHz, err)
+		}
+		if got != tc.want {
+			t.Fatalf("AlphaBinForHz(%g) = %d, want %d", tc.alphaHz, got, tc.want)
+		}
+	}
+	if _, err := p.AlphaBinForHz(fs/2, fs); err == nil {
+		t.Fatal("AlphaBinForHz accepted a frequency above row M-1")
+	}
+	if _, err := p.AlphaBinForHz(-fs/8, fs); err == nil {
+		t.Fatal("AlphaBinForHz accepted a negative row")
+	}
+	if _, err := p.AlphaBinForHz(1000, 0); err == nil {
+		t.Fatal("AlphaBinForHz accepted a zero sample rate")
+	}
+}
+
+// requireStripsIdentical asserts every row a pruned surface holds is
+// bit-identical to the same row of the full-plane surface — the
+// tentpole's correctness contract.
+func requireStripsIdentical(t *testing.T, pruned, full *Surface, label string) {
+	t.Helper()
+	if !pruned.Pruned() {
+		t.Fatalf("%s: surface is not pruned", label)
+	}
+	for _, a := range pruned.AlphaValues() {
+		got, want := pruned.Row(a), full.Row(a)
+		for f := range want {
+			if got[f] != want[f] {
+				t.Fatalf("%s: row a=%d cell %d = %v, want %v (not bit-identical)",
+					label, a, f, got[f], want[f])
+			}
+		}
+	}
+}
+
+// TestComputePrunedMatchesFull: the pruned direct DSCF holds exactly the
+// candidate rows (plus mirrors and a=0), every held cell bit-identical
+// to the full-plane computation, across hop geometries and windows.
+func TestComputePrunedMatchesFull(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"paper-hop", Params{K: 64, M: 16, Blocks: 8}},
+		{"overlap", Params{K: 64, M: 16, Blocks: 12, Hop: 32}},
+		{"k256", Params{K: 256, M: 64, Blocks: 4}},
+	}
+	alphas := []int{4, 8, 3, 10}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pFull := tc.p.WithDefaults()
+			x := testBand(t, pFull.SamplesNeeded(), 11)
+			full, fullStats, err := Compute(x, pFull)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pPruned := pFull
+			pPruned.AlphaCandidates = alphas
+			pruned, prunedStats, err := Compute(x, pPruned)
+			if err != nil {
+				t.Fatal(err)
+			}
+			held := pPruned.SurfaceAlphas()
+			got := pruned.AlphaValues()
+			if len(got) != len(held) {
+				t.Fatalf("pruned surface holds %v, want %v", got, held)
+			}
+			for i := range held {
+				if got[i] != held[i] {
+					t.Fatalf("pruned surface holds %v, want %v", got, held)
+				}
+			}
+			if pruned.HasRow(5) {
+				t.Fatal("pruned surface holds non-candidate row a=5")
+			}
+			requireStripsIdentical(t, pruned, full, "pruned Compute")
+			if prunedStats.DSCFMults >= fullStats.DSCFMults {
+				t.Fatalf("pruned DSCFMults=%d not below full %d",
+					prunedStats.DSCFMults, fullStats.DSCFMults)
+			}
+		})
+	}
+}
+
+// TestDirectAccumulatorPrunedMatchesBatch: pruned streaming snapshots
+// are bit-identical to the pruned batch over the concatenation — and to
+// the full-plane strips — regardless of how the stream is chunked
+// (including the zero-copy whole-block fast path and ragged buffering).
+func TestDirectAccumulatorPrunedMatchesBatch(t *testing.T) {
+	pFull := Params{K: 64, M: 16, Blocks: 8}.WithDefaults()
+	pPruned := pFull
+	pPruned.AlphaCandidates = []int{4, 8, 3, 10}
+	x := testBand(t, pFull.SamplesNeeded(), 12)
+	full, _, err := Compute(x, pFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantStats, err := Compute(x, pPruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunkings := [][]int{
+		{len(x)},     // one push: zero-copy block fast path end to end
+		{64},         // exact block-sized pushes
+		{1, 7, 64},   // ragged: exercises the buffered path
+		{5, 129},     // straddles block boundaries
+		{63, 1, 192}, // alternates buffered and zero-copy processing
+	}
+	for _, sizes := range chunkings {
+		acc, err := NewAccumulator(pPruned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pushChunks(t, acc, x, sizes)
+		got, gotStats, err := acc.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, got, want, "pruned snapshot")
+		requireStripsIdentical(t, got, full, "pruned snapshot vs full plane")
+		if gotStats.DSCFMults != wantStats.DSCFMults || gotStats.Blocks != wantStats.Blocks {
+			t.Fatalf("chunks %v: stats %+v, want %+v", sizes, gotStats, wantStats)
+		}
+	}
+}
+
+// TestDirectPrunedEstimatorRejects: WithAlphaCandidates surfaces the
+// Params validation errors and passes an empty set through unchanged.
+func TestDirectPrunedEstimatorRejects(t *testing.T) {
+	e := Direct{Params: Params{K: 64, M: 16}}
+	for _, bad := range [][]int{{-3}, {16}, {2, 2}} {
+		if _, err := e.WithAlphaCandidates(bad); err == nil {
+			t.Fatalf("WithAlphaCandidates(%v) accepted an invalid set", bad)
+		}
+	}
+	se, err := e.WithAlphaCandidates(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.(Direct).Params.Pruned() {
+		t.Fatal("empty candidate set turned pruning on")
+	}
+}

@@ -25,7 +25,16 @@ type QSurface struct {
 	Exp int
 	// Gain is the residual scalar factor (exactly representable).
 	Gain float64
-	// Data holds the Q15 cells, indexed Data[a+M-1][f+M-1].
+	// Alphas, when non-nil, lists the row offsets the surface holds
+	// (alpha-candidate pruning), strictly ascending; Data[i] is the row
+	// for a = Alphas[i]. Nil means dense: Data[a+M-1]. Note the
+	// surface-level exponent is derived from the computed cells, so a
+	// pruned Q15 surface is bit-exact deterministic and converts exactly
+	// via Float, but its raw words need not match a full-plane run's
+	// (whose peak may live on a row the pruned run never computes).
+	Alphas []int
+	// Data holds the Q15 cells, one row per held offset, indexed
+	// Data[rowIndex][f+M-1].
 	Data [][]fixed.Complex
 }
 
@@ -41,16 +50,64 @@ func NewQSurface(m int) *QSurface {
 	return &QSurface{M: m, Gain: 1, Data: data}
 }
 
-// At returns the raw Q15 cell S_f^a.
+// NewSparseQSurface allocates a zeroed alpha-pruned Q15 surface holding
+// only the rows in alphas (NewSparseSurface semantics), with unit gain.
+func NewSparseQSurface(m int, alphas []int) *QSurface {
+	n := 2*m - 1
+	held := append([]int(nil), alphas...)
+	data := make([][]fixed.Complex, len(held))
+	cells := make([]fixed.Complex, len(held)*n)
+	for i := range data {
+		data[i], cells = cells[:n], cells[n:]
+	}
+	return &QSurface{M: m, Gain: 1, Alphas: held, Data: data}
+}
+
+// rowIndex returns the Data index of row a, or -1 when absent.
+func (s *QSurface) rowIndex(a int) int {
+	if s.Alphas == nil {
+		if a < -(s.M-1) || a > s.M-1 {
+			return -1
+		}
+		return a + s.M - 1
+	}
+	for i, v := range s.Alphas {
+		if v == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// alphaOf returns the offset a of Data row i.
+func (s *QSurface) alphaOf(i int) int {
+	if s.Alphas == nil {
+		return i - (s.M - 1)
+	}
+	return s.Alphas[i]
+}
+
+// At returns the raw Q15 cell S_f^a; it panics on a row the surface
+// does not hold (programming error).
 func (s *QSurface) At(f, a int) fixed.Complex {
-	return s.Data[a+s.M-1][f+s.M-1]
+	i := s.rowIndex(a)
+	if i < 0 {
+		panic(fmt.Sprintf("scf: QSurface.At(%d,%d) outside ±%d or pruned away", f, a, s.M-1))
+	}
+	return s.Data[i][f+s.M-1]
 }
 
 // Float converts the surface into float-path units: every cell becomes
 // Complex128()·2^Exp·Gain. The conversion is exact (powers of two and the
-// Gain factor carry no rounding of their own).
+// Gain factor carry no rounding of their own). A pruned Q15 surface
+// converts into an equally pruned float Surface.
 func (s *QSurface) Float() *Surface {
-	out := NewSurface(s.M)
+	var out *Surface
+	if s.Alphas != nil {
+		out = NewSparseSurface(s.M, s.Alphas)
+	} else {
+		out = NewSurface(s.M)
+	}
 	g := complex(math.Ldexp(s.Gain, s.Exp), 0)
 	for ai, row := range s.Data {
 		for fi, c := range row {
@@ -74,11 +131,17 @@ func (s *QSurface) Equal(o *QSurface) (bool, string) {
 	if s.Gain != o.Gain {
 		return false, fmt.Sprintf("gain %v vs %v", s.Gain, o.Gain)
 	}
+	if len(s.Data) != len(o.Data) {
+		return false, fmt.Sprintf("row count %d vs %d", len(s.Data), len(o.Data))
+	}
 	for ai := range s.Data {
+		if s.alphaOf(ai) != o.alphaOf(ai) {
+			return false, fmt.Sprintf("row %d holds a=%d vs a=%d", ai, s.alphaOf(ai), o.alphaOf(ai))
+		}
 		for fi := range s.Data[ai] {
 			if s.Data[ai][fi] != o.Data[ai][fi] {
 				return false, fmt.Sprintf("cell a=%d f=%d: %+v vs %+v",
-					ai-(s.M-1), fi-(s.M-1), s.Data[ai][fi], o.Data[ai][fi])
+					s.alphaOf(ai), fi-(s.M-1), s.Data[ai][fi], o.Data[ai][fi])
 			}
 		}
 	}
@@ -108,7 +171,12 @@ func (s *QSurface) Saturated() int {
 // other), used to push float reference surfaces through fixed-point
 // post-processing paths.
 func QuantiseSurface(s *Surface) *QSurface {
-	out := NewQSurface(s.M)
+	var out *QSurface
+	if s.Alphas != nil {
+		out = NewSparseQSurface(s.M, s.Alphas)
+	} else {
+		out = NewQSurface(s.M)
+	}
 	peak := 0.0
 	for _, row := range s.Data {
 		for _, v := range row {

@@ -228,17 +228,23 @@ func (g *guard) probe() error {
 // AddChannel registers a channel, allowing one redial retry so a fresh
 // registration survives a just-dropped link.
 func (g *guard) AddChannel(id string) error {
+	return g.AddChannelCandidates(id, nil)
+}
+
+// AddChannelCandidates registers a channel with an alpha-candidate set,
+// with the same one-redial retry policy as AddChannel.
+func (g *guard) AddChannelCandidates(id string, alphas []int) error {
 	if !g.allow() {
 		return ErrCircuitOpen
 	}
-	err := g.rs.AddChannel(id)
+	err := g.rs.AddChannelCandidates(id, alphas)
 	if err == nil {
 		g.success()
 		return nil
 	}
 	g.note(err)
 	if rerr := g.rs.Redial(); rerr == nil {
-		if err = g.rs.AddChannel(id); err == nil {
+		if err = g.rs.AddChannelCandidates(id, alphas); err == nil {
 			g.success()
 			return nil
 		}

@@ -39,8 +39,10 @@ type RemoteSink struct {
 	mu      sync.Mutex
 	cli     *wire.Client
 	streams map[string]*wire.ChannelStream
-	want    map[string]struct{}
-	closed  bool
+	// want maps each registered channel to its alpha-candidate set (nil =
+	// unpruned), so reconnects re-open channels with the same pruning.
+	want   map[string][]int
+	closed bool
 	// lastStats is the latest raw engine reading of the current worker
 	// incarnation, served while the link is down so aggregate accounting
 	// does not dip during an outage. base accumulates the counters of
@@ -67,7 +69,7 @@ func NewRemoteSink(addr string, pushTimeout time.Duration) *RemoteSink {
 		dialTimeout: DefaultDialTimeout,
 		pushTimeout: pushTimeout,
 		streams:     make(map[string]*wire.ChannelStream),
-		want:        make(map[string]struct{}),
+		want:        make(map[string][]int),
 		out:         make(chan stream.Decision, remoteDecisionBuffer),
 	}
 }
@@ -120,8 +122,8 @@ func (rs *RemoteSink) Redial() error {
 		cli.Close()
 		return fmt.Errorf("shard: subscribe %s: %w", rs.addr, err)
 	}
-	for id := range rs.want {
-		cs, err := cli.Open(wire.Meta{ID: id, Format: wire.FormatCF64})
+	for id, alphas := range rs.want {
+		cs, err := cli.Open(wire.Meta{ID: id, Format: wire.FormatCF64, AlphaCandidates: alphas})
 		if err != nil {
 			cli.Close()
 			return fmt.Errorf("shard: reopen %q on %s: %w", id, rs.addr, err)
@@ -170,6 +172,14 @@ func (rs *RemoteSink) Ping(timeout time.Duration) error {
 // AddChannel registers a channel on the worker and records it as
 // wanted, so reconnects re-open it.
 func (rs *RemoteSink) AddChannel(id string) error {
+	return rs.AddChannelCandidates(id, nil)
+}
+
+// AddChannelCandidates registers a channel restricted to the given
+// alpha-candidate set. The set travels in the wire open frame — the
+// worker's engine prunes server-side — and is remembered so reconnects
+// re-open the channel with the same pruning.
+func (rs *RemoteSink) AddChannelCandidates(id string, alphas []int) error {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	if rs.cli == nil {
@@ -178,11 +188,11 @@ func (rs *RemoteSink) AddChannel(id string) error {
 	if _, dup := rs.want[id]; dup {
 		return fmt.Errorf("shard: channel %q already exists on %s", id, rs.addr)
 	}
-	cs, err := rs.cli.Open(wire.Meta{ID: id, Format: wire.FormatCF64})
+	cs, err := rs.cli.Open(wire.Meta{ID: id, Format: wire.FormatCF64, AlphaCandidates: alphas})
 	if err != nil {
 		return err
 	}
-	rs.want[id] = struct{}{}
+	rs.want[id] = alphas
 	rs.streams[id] = cs
 	return nil
 }
@@ -193,7 +203,7 @@ func (rs *RemoteSink) Push(id string, samples []complex128) (int, error) {
 	cs := rs.streams[id]
 	rs.mu.Unlock()
 	if cs == nil {
-		if _, wanted := rs.wanted(id); !wanted {
+		if !rs.wanted(id) {
 			return 0, fmt.Errorf("shard: unknown channel %q on %s", id, rs.addr)
 		}
 		return 0, ErrNotConnected
@@ -205,11 +215,11 @@ func (rs *RemoteSink) Push(id string, samples []complex128) (int, error) {
 }
 
 // wanted reports whether id is registered on the sink.
-func (rs *RemoteSink) wanted(id string) (struct{}, bool) {
+func (rs *RemoteSink) wanted(id string) bool {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	v, ok := rs.want[id]
-	return v, ok
+	_, ok := rs.want[id]
+	return ok
 }
 
 // RemoveChannel quiesces and unregisters a channel on the worker,
@@ -285,6 +295,7 @@ func sumStats(base, cur stream.Stats) stream.Stats {
 	cur.Surfaces += base.Surfaces
 	cur.Detections += base.Detections
 	cur.DecisionsDropped += base.DecisionsDropped
+	cur.PrunedCellsSkipped += base.PrunedCellsSkipped
 	return cur
 }
 

@@ -117,6 +117,10 @@ type Stats struct {
 	// QueuedSamples is the momentary ingestion depth summed over live
 	// shards.
 	QueuedSamples int64
+	// PrunedCellsSkipped aggregates the surface cells never computed
+	// because of alpha-candidate pruning, across all shards (local and
+	// remote).
+	PrunedCellsSkipped int64
 	// Handoffs counts channel ownership moves.
 	Handoffs int64
 	// Retries counts remote push retry attempts; DeadlineExceeded the
@@ -161,6 +165,10 @@ func (s *shardState) epoch() int64 {
 // backpressured push.
 type entry struct {
 	id string
+	// alphas is the channel's alpha-candidate set (nil = the shard
+	// engines' configured default), re-applied at every handoff so the
+	// channel keeps pruning identically wherever it lands.
+	alphas []int
 
 	mu       sync.Mutex
 	owner    atomic.Pointer[shardState]
@@ -233,7 +241,7 @@ type Router struct {
 	closed  bool
 	// retired accumulates final counters of drained shards.
 	retiredIn, retiredDropped, retiredSurfaces, retiredDetections, retiredDecDropped int64
-	retiredRetries, retiredDeadline                                                  int64
+	retiredRetries, retiredDeadline, retiredPruned                                   int64
 
 	out              chan Decision
 	fwdWG            sync.WaitGroup
@@ -573,6 +581,13 @@ func (r *Router) ownerLocked(id string) *shardState {
 
 // AddChannel registers a channel on its rendezvous owner.
 func (r *Router) AddChannel(id string) error {
+	return r.AddChannelCandidates(id, nil)
+}
+
+// AddChannelCandidates registers a channel on its rendezvous owner with
+// an alpha-candidate set that follows the channel across handoffs and
+// failovers. A nil set means the shard engines' configured default.
+func (r *Router) AddChannelCandidates(id string, alphas []int) error {
 	if id == "" {
 		return fmt.Errorf("shard: empty channel id")
 	}
@@ -590,11 +605,11 @@ func (r *Router) AddChannel(id string) error {
 		r.mu.Unlock()
 		return fmt.Errorf("shard: no healthy shard to own %q", id)
 	}
-	e := &entry{id: id, epoch: own.epoch()}
+	e := &entry{id: id, alphas: append([]int(nil), alphas...), epoch: own.epoch()}
 	e.owner.Store(own)
 	r.entries[id] = e
 	r.mu.Unlock()
-	if err := own.sink.AddChannel(id); err != nil {
+	if err := own.sink.AddChannelCandidates(id, e.alphas); err != nil {
 		r.mu.Lock()
 		delete(r.entries, id)
 		r.mu.Unlock()
@@ -685,7 +700,7 @@ func (r *Router) handoff(e *entry, to *shardState) error {
 		}
 		e.resetTrackersLocked()
 	}
-	if err := to.sink.AddChannel(e.id); err != nil {
+	if err := to.sink.AddChannelCandidates(e.id, e.alphas); err != nil {
 		return fmt.Errorf("shard: handoff %q onto %s: %w", e.id, to.name, err)
 	}
 	e.epoch = to.epoch()
@@ -794,6 +809,7 @@ func (r *Router) DrainShard(name string) error {
 	r.retiredSurfaces += final.Surfaces
 	r.retiredDetections += final.Detections
 	r.retiredDecDropped += final.DecisionsDropped
+	r.retiredPruned += final.PrunedCellsSkipped
 	if s.g != nil {
 		r.retiredRetries += s.g.retries.Load()
 		r.retiredDeadline += s.g.deadlineExceeded.Load()
@@ -956,15 +972,16 @@ func (r *Router) Stats() Stats {
 		shards = append(shards, s)
 	}
 	st := Stats{
-		Shards:           len(r.live),
-		Channels:         len(r.entries),
-		SamplesIn:        r.retiredIn,
-		SamplesDropped:   r.retiredDropped,
-		Surfaces:         r.retiredSurfaces,
-		Detections:       r.retiredDetections,
-		DecisionsDropped: r.retiredDecDropped + r.decisionsDropped.Load(),
-		Retries:          r.retiredRetries,
-		DeadlineExceeded: r.retiredDeadline,
+		Shards:             len(r.live),
+		Channels:           len(r.entries),
+		SamplesIn:          r.retiredIn,
+		SamplesDropped:     r.retiredDropped,
+		Surfaces:           r.retiredSurfaces,
+		Detections:         r.retiredDetections,
+		DecisionsDropped:   r.retiredDecDropped + r.decisionsDropped.Load(),
+		Retries:            r.retiredRetries,
+		DeadlineExceeded:   r.retiredDeadline,
+		PrunedCellsSkipped: r.retiredPruned,
 	}
 	r.mu.RUnlock()
 	for _, s := range shards {
@@ -974,6 +991,7 @@ func (r *Router) Stats() Stats {
 		st.Surfaces += es.Surfaces
 		st.Detections += es.Detections
 		st.DecisionsDropped += es.DecisionsDropped
+		st.PrunedCellsSkipped += es.PrunedCellsSkipped
 		if !s.down.Load() {
 			st.QueuedSamples += es.QueuedSamples
 		}

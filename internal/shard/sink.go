@@ -14,6 +14,12 @@ import (
 type Sink interface {
 	// AddChannel registers a new channel on the shard.
 	AddChannel(id string) error
+	// AddChannelCandidates registers a new channel whose estimation is
+	// restricted to the given alpha-candidate offsets (plus mirrors and
+	// a=0). A nil set means the shard's configured default. Remote shards
+	// carry the set in the wire open frame, so the worker prunes exactly
+	// as a local engine would.
+	AddChannelCandidates(id string, alphas []int) error
 	// Push appends samples to a channel's stream in arrival order.
 	Push(id string, samples []complex128) (int, error)
 	// RemoveChannel quiesces and unregisters a channel, flushing a

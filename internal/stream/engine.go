@@ -52,6 +52,13 @@ type Config struct {
 	// space frees instead of discarding the overflow. Default false
 	// (drop-newest, counted in the stats).
 	Block bool
+	// AlphaCandidates, when non-empty, restricts every channel's
+	// estimation to the listed non-negative cycle-frequency offsets (plus
+	// their mirrors and a=0) — the alpha-pruned mode, where snapshot cost
+	// scales with the candidate count instead of M. The Estimator must
+	// implement scf.CandidateEstimator. Individual channels can override
+	// the set via AddChannelCandidates.
+	AlphaCandidates []int
 	// MinAbsA is the smallest |a| the decision layer searches (default
 	// 2, clear of PSD leakage around a=0).
 	MinAbsA int
@@ -138,6 +145,11 @@ type Stats struct {
 	// accepted into rings but not yet fed to an accumulator, summed over
 	// all channels.
 	QueuedSamples int64
+	// PrunedCellsSkipped counts surface cells never computed because of
+	// alpha-candidate pruning, summed over all snapshots: each pruned
+	// snapshot contributes (extent - heldRows) × extent cells. Zero when
+	// no channel prunes.
+	PrunedCellsSkipped int64
 	// Elapsed is the time since the engine started.
 	Elapsed time.Duration
 	// SamplesPerSec is the lifetime average SamplesIn/Elapsed.
@@ -184,6 +196,7 @@ type Engine struct {
 	samplesIn, samplesDropped atomic.Int64
 	surfaces, detections      atomic.Int64
 	decisionsDropped          atomic.Int64
+	prunedCellsSkipped        atomic.Int64
 }
 
 // channel is one monitored stream inside the engine.
@@ -227,7 +240,7 @@ func New(cfg Config) (*Engine, error) {
 			cfg.RingSamples, cfg.SnapshotSamples)
 	}
 	// Surface estimator misconfiguration now rather than at AddChannel.
-	if _, err := cfg.Estimator.NewAccumulator(); err != nil {
+	if _, err := accumulatorFor(cfg.Estimator, cfg.AlphaCandidates); err != nil {
 		return nil, err
 	}
 	e := &Engine{
@@ -245,13 +258,45 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// accumulatorFor builds a fresh accumulator, restricted to the given
+// alpha-candidate set when one is supplied. Estimators that cannot prune
+// (no scf.CandidateEstimator implementation) are rejected rather than
+// silently computing the full plane.
+func accumulatorFor(est scf.StreamingEstimator, alphas []int) (scf.Accumulator, error) {
+	if len(alphas) > 0 {
+		ce, ok := est.(scf.CandidateEstimator)
+		if !ok {
+			return nil, fmt.Errorf("stream: estimator %q does not support alpha candidates", est.Name())
+		}
+		pruned, err := ce.WithAlphaCandidates(alphas)
+		if err != nil {
+			return nil, err
+		}
+		est = pruned
+	}
+	return est.NewAccumulator()
+}
+
 // AddChannel registers a new monitored channel with fresh accumulator
-// state.
+// state, pruned to Config.AlphaCandidates when that is set.
 func (e *Engine) AddChannel(id string) error {
+	return e.AddChannelCandidates(id, nil)
+}
+
+// AddChannelCandidates registers a new monitored channel whose estimation
+// is restricted to the given non-negative alpha-candidate offsets (plus
+// mirrors and a=0). A nil set falls back to Config.AlphaCandidates; an
+// explicit non-empty set overrides it. The engine's estimator must
+// implement scf.CandidateEstimator whenever the effective set is
+// non-empty.
+func (e *Engine) AddChannelCandidates(id string, alphas []int) error {
 	if id == "" {
 		return fmt.Errorf("stream: empty channel id")
 	}
-	acc, err := e.cfg.Estimator.NewAccumulator()
+	if alphas == nil {
+		alphas = e.cfg.AlphaCandidates
+	}
+	acc, err := accumulatorFor(e.cfg.Estimator, alphas)
 	if err != nil {
 		return err
 	}
@@ -576,6 +621,10 @@ func (e *Engine) decide(ch *channel) {
 	ch.seq++
 	e.surfaces.Add(1)
 	ch.snapshots.Add(1)
+	if s.Pruned() {
+		extent := int64(s.Extent())
+		e.prunedCellsSkipped.Add((extent - int64(len(s.Data))) * extent)
+	}
 	if d.Detected {
 		ch.detections.Add(1)
 		e.detections.Add(1)
@@ -588,17 +637,19 @@ func (e *Engine) decide(ch *channel) {
 	}
 }
 
-// maxFeatureMinA locates the largest-magnitude cell over the rows
-// |a| >= minAbsA — the same search region the CFD statistic and the
+// maxFeatureMinA locates the largest-magnitude cell over the held rows
+// with |a| >= minAbsA — the same search region the CFD statistic and the
 // CFAR profile use, unlike Surface.MaxFeature which only excludes a=0.
+// On an alpha-pruned surface only the candidate rows are searched.
 func maxFeatureMinA(s *scf.Surface, minAbsA int) (f, a int) {
 	best := -1.0
 	m := s.M - 1
-	for av := -m; av <= m; av++ {
+	alphas := s.AlphaValues()
+	for i, row := range s.Data {
+		av := alphas[i]
 		if av > -minAbsA && av < minAbsA {
 			continue
 		}
-		row := s.Data[av+m]
 		for fi, v := range row {
 			if mag := real(v)*real(v) + imag(v)*imag(v); mag > best {
 				best, f, a = mag, fi-m, av
@@ -702,14 +753,15 @@ func (e *Engine) Stats() Stats {
 	e.mu.RUnlock()
 	elapsed := time.Since(e.start)
 	s := Stats{
-		Channels:         n,
-		SamplesIn:        e.samplesIn.Load(),
-		SamplesDropped:   e.samplesDropped.Load(),
-		Surfaces:         e.surfaces.Load(),
-		Detections:       e.detections.Load(),
-		DecisionsDropped: e.decisionsDropped.Load(),
-		QueuedSamples:    queued,
-		Elapsed:          elapsed,
+		Channels:           n,
+		SamplesIn:          e.samplesIn.Load(),
+		SamplesDropped:     e.samplesDropped.Load(),
+		Surfaces:           e.surfaces.Load(),
+		Detections:         e.detections.Load(),
+		DecisionsDropped:   e.decisionsDropped.Load(),
+		QueuedSamples:      queued,
+		PrunedCellsSkipped: e.prunedCellsSkipped.Load(),
+		Elapsed:            elapsed,
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		s.SamplesPerSec = float64(s.SamplesIn) / sec

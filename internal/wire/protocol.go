@@ -109,7 +109,19 @@ type Meta struct {
 	// CenterFreqHz is the tuned centre frequency (core:frequency);
 	// informational.
 	CenterFreqHz float64
+	// AlphaCandidates, when non-empty, restricts the channel's estimation
+	// to the listed non-negative cycle-frequency bin offsets (alpha
+	// pruning) — shipped in the open frame so a remote shard worker prunes
+	// exactly as a local engine would. Empty means the receiver's default
+	// (its configured candidate set, or the full plane). Encoded as a
+	// trailing extension, so peers that never set it interoperate with
+	// ones that do.
+	AlphaCandidates []int
 }
+
+// maxAlphaCandidates bounds the candidate list length on the wire; each
+// candidate is a u16 bin offset.
+const maxAlphaCandidates = 1024
 
 // validate checks the metadata bounds shared by client and server.
 func (m Meta) validate() error {
@@ -121,6 +133,14 @@ func (m Meta) validate() error {
 	}
 	if !m.Format.valid() {
 		return fmt.Errorf("wire: unknown sample format %d", m.Format)
+	}
+	if len(m.AlphaCandidates) > maxAlphaCandidates {
+		return fmt.Errorf("wire: %d alpha candidates, max %d", len(m.AlphaCandidates), maxAlphaCandidates)
+	}
+	for _, a := range m.AlphaCandidates {
+		if a < 0 || a > math.MaxUint16 {
+			return fmt.Errorf("wire: alpha candidate %d outside [0, %d]", a, math.MaxUint16)
+		}
 	}
 	return nil
 }
@@ -188,17 +208,28 @@ func readFrame(r *bufio.Reader, buf []byte, maxBytes int) (typ byte, payload, ne
 	return buf[0], buf[1:], buf, nil
 }
 
-// appendMeta encodes an open-frame payload.
+// appendMeta encodes an open-frame payload. The alpha-candidate list is
+// a trailing extension (u16 count, then one u16 per candidate) emitted
+// only when non-empty, so frames from peers that never prune keep the
+// original layout byte for byte.
 func appendMeta(dst []byte, ref uint16, m Meta) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, ref)
 	dst = append(dst, byte(m.Format))
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.SampleRateHz))
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.CenterFreqHz))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.ID)))
-	return append(dst, m.ID...)
+	dst = append(dst, m.ID...)
+	if len(m.AlphaCandidates) > 0 {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.AlphaCandidates)))
+		for _, a := range m.AlphaCandidates {
+			dst = binary.BigEndian.AppendUint16(dst, uint16(a))
+		}
+	}
+	return dst
 }
 
-// parseMeta decodes an open-frame payload.
+// parseMeta decodes an open-frame payload, accepting both the original
+// layout and the alpha-candidate trailing extension.
 func parseMeta(p []byte) (ref uint16, m Meta, err error) {
 	if len(p) < 2+1+8+8+2 {
 		return 0, m, fmt.Errorf("wire: open frame %d bytes, too short", len(p))
@@ -208,10 +239,27 @@ func parseMeta(p []byte) (ref uint16, m Meta, err error) {
 	m.SampleRateHz = math.Float64frombits(binary.BigEndian.Uint64(p[3:]))
 	m.CenterFreqHz = math.Float64frombits(binary.BigEndian.Uint64(p[11:]))
 	idLen := int(binary.BigEndian.Uint16(p[19:]))
-	if len(p) != 21+idLen {
+	if len(p) < 21+idLen {
 		return 0, m, fmt.Errorf("wire: open frame %d bytes, want %d for id of %d", len(p), 21+idLen, idLen)
 	}
-	m.ID = string(p[21:])
+	m.ID = string(p[21 : 21+idLen])
+	ext := p[21+idLen:]
+	if len(ext) > 0 {
+		if len(ext) < 2 {
+			return 0, m, fmt.Errorf("wire: open frame candidate extension %d bytes, too short", len(ext))
+		}
+		count := int(binary.BigEndian.Uint16(ext))
+		if len(ext) != 2+2*count {
+			return 0, m, fmt.Errorf("wire: open frame candidate extension %d bytes, want %d for %d candidates",
+				len(ext), 2+2*count, count)
+		}
+		if count > 0 {
+			m.AlphaCandidates = make([]int, count)
+			for i := range m.AlphaCandidates {
+				m.AlphaCandidates[i] = int(binary.BigEndian.Uint16(ext[2+2*i:]))
+			}
+		}
+	}
 	return ref, m, m.validate()
 }
 
