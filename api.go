@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tiledcfd/internal/core"
+	"tiledcfd/internal/detect"
 	"tiledcfd/internal/fam"
 	"tiledcfd/internal/mapping"
 	"tiledcfd/internal/perf"
@@ -37,8 +38,34 @@ type Config struct {
 	ClockMHz float64
 	// MinAbsA is the smallest |a| the blind detector searches (default 2).
 	MinAbsA int
-	// Threshold is the decision threshold on the CFD statistic.
+	// Threshold is the decision threshold on the CFD statistic — the
+	// legacy way to select fixed-threshold decisions. When Detector is
+	// empty, a positive Threshold behaves exactly as before (the "fixed"
+	// detector); see Detector for the registry-based selection.
 	Threshold float64
+	// Detector selects the decision layer by registry name
+	// (DetectorNames lists the registry):
+	//
+	//   - "cfar": the self-calibrating peak-over-floor detector on the
+	//     estimated surface (scale from MonitorOptions.CFARScale);
+	//   - "fixed": the externally calibrated threshold on the CFD
+	//     statistic (Threshold must be positive);
+	//   - "dg": the Dandawate–Giannakis asymptotic cyclostationarity
+	//     test — chi-square statistic on the cyclic-autocorrelation
+	//     vector at the AlphaCandidates cycles, thresholded in closed
+	//     form for TargetPfa with no calibration;
+	//   - "urriza": the multi-sequence cyclic-correlation significance
+	//     test (polyphase branches), also closed-form for TargetPfa.
+	//
+	// The asymptotic detectors (dg, urriza) require non-empty
+	// AlphaCandidates — the cycle set under test. An empty Detector
+	// keeps the legacy scalar-knob behaviour: Threshold > 0 means
+	// "fixed", otherwise "cfar".
+	Detector string
+	// TargetPfa is the false-alarm probability the asymptotic detectors
+	// (dg, urriza) hit by construction (default 0.05). Ignored by cfar
+	// and fixed.
+	TargetPfa float64
 	// Estimator selects how the spectral-correlation surface is
 	// computed (EstimatorNames lists the registry):
 	//
@@ -133,6 +160,60 @@ func EstimatorNames() []string {
 	return names
 }
 
+// DetectorNames returns the selectable Config.Detector values in
+// registry order — the list CLIs print in their -detector help and the
+// "unknown detector" error embeds. The registry lives in
+// internal/detect beside the implementations, so the list can never
+// drift from what NewMonitor actually accepts.
+func DetectorNames() []string { return detect.DeciderNames() }
+
+// decider resolves Config.Detector through the detect registry,
+// applying the legacy scalar-knob mapping when the name is empty
+// (Threshold > 0 selects "fixed", otherwise "cfar" — the pre-registry
+// behaviour, preserved exactly). The opts CFAR scale rides along so the
+// Monitor and batch paths build identical deciders.
+func (c Config) decider(cfarScale float64) (detect.Decider, error) {
+	name := c.Detector
+	if name == "" {
+		if c.Threshold > 0 {
+			name = "fixed"
+		} else {
+			name = "cfar"
+		}
+	}
+	dec, err := detect.NewDecider(name, detect.DeciderParams{
+		Scf:       c.params(0).WithDefaults(),
+		MinAbsA:   c.minAbsAOrDefault(),
+		Threshold: c.Threshold,
+		CFARScale: cfarScale,
+		TargetPfa: c.TargetPfa,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tiledcfd: %w", err)
+	}
+	return dec, nil
+}
+
+// batchDecider resolves the Decider for the one-shot paths (Sense,
+// Watch): nil when Detector is empty, keeping the legacy inline
+// fixed-threshold decision (and its path-specific detector labels)
+// untouched; a registry decider otherwise. Batch paths have no
+// MonitorOptions, so the CFAR scale takes the detector's default.
+func (c Config) batchDecider() (detect.Decider, error) {
+	if c.Detector == "" {
+		return nil, nil
+	}
+	return c.decider(0)
+}
+
+// minAbsAOrDefault mirrors the decision layers' historical default.
+func (c Config) minAbsAOrDefault() int {
+	if c.MinAbsA == 0 {
+		return 2
+	}
+	return c.MinAbsA
+}
+
 // streamingEstimatorNames returns the registry entries whose estimators
 // have an incremental form — the suggestions NewMonitor's errors offer.
 // Derived from the registry so the list tracks new backends by itself.
@@ -200,6 +281,11 @@ type Sensing struct {
 	// Estimator names the surface path that produced the verdict (one of
 	// EstimatorNames).
 	Estimator string
+	// Detector names the decision layer that produced the verdict: a
+	// registry name (DetectorNames) when Config.Detector was set,
+	// otherwise the legacy label of the path ("cfd" on the platform,
+	// "cfd-<estimator>" on the software paths).
+	Detector string
 	// Detected reports whether the cyclostationary statistic exceeded the
 	// threshold.
 	Detected bool
@@ -269,6 +355,10 @@ func Sense(x []complex128, cfg Config) (*Sensing, error) {
 	if err != nil {
 		return nil, err
 	}
+	dec, err := cfg.batchDecider()
+	if err != nil {
+		return nil, err
+	}
 	res, err := core.Run(x, core.Config{
 		SoC: soc.Config{
 			K: cfg.K, M: cfg.M, Q: cfg.Q,
@@ -276,6 +366,7 @@ func Sense(x []complex128, cfg Config) (*Sensing, error) {
 		},
 		MinAbsA:   cfg.MinAbsA,
 		Threshold: cfg.Threshold,
+		Decider:   dec,
 		Estimator: est,
 	})
 	if err != nil {
@@ -288,6 +379,7 @@ func Sense(x []complex128, cfg Config) (*Sensing, error) {
 	}
 	out := &Sensing{
 		Estimator:    name,
+		Detector:     res.Decision.Detector,
 		Detected:     res.Decision.Detected,
 		Statistic:    res.Decision.Statistic,
 		Threshold:    res.Decision.Threshold,
@@ -349,6 +441,10 @@ func Watch(stream []complex128, cfg Config) ([]WindowVerdict, error) {
 	if err != nil {
 		return nil, err
 	}
+	dec, err := cfg.batchDecider()
+	if err != nil {
+		return nil, err
+	}
 	mon, err := core.NewMonitor(core.Config{
 		SoC: soc.Config{
 			K: cfg.K, M: cfg.M, Q: cfg.Q,
@@ -356,6 +452,7 @@ func Watch(stream []complex128, cfg Config) ([]WindowVerdict, error) {
 		},
 		MinAbsA:   cfg.MinAbsA,
 		Threshold: cfg.Threshold,
+		Decider:   dec,
 		Estimator: est,
 	})
 	if err != nil {
@@ -404,9 +501,11 @@ type MonitorOptions struct {
 	// Backpressure makes Push block when a ring fills instead of
 	// dropping the overflow.
 	Backpressure bool
-	// CFARScale is the self-calibrating detector's peak-over-floor ratio
-	// (default 2). Used when Config.Threshold is zero; a positive
-	// Config.Threshold selects fixed-threshold decisions instead.
+	// CFARScale is the self-calibrating "cfar" detector's
+	// peak-over-floor ratio (default 2). With an empty Config.Detector
+	// this is the legacy selection pair: a positive Config.Threshold
+	// means fixed-threshold decisions, otherwise CFAR at this scale.
+	// Ignored by the asymptotic detectors (dg, urriza).
 	CFARScale float64
 }
 
@@ -422,6 +521,13 @@ type MonitorDecision struct {
 	Detected bool
 	// Statistic and Threshold carry the decision inputs.
 	Statistic, Threshold float64
+	// Detector names the decision layer that produced the verdict (one
+	// of DetectorNames).
+	Detector string
+	// TargetPfa is the false-alarm probability the detector was
+	// configured for; zero for the detectors that are not calibrated to
+	// one (cfar, fixed).
+	TargetPfa float64
 	// FeatureF/FeatureA locate the strongest cyclic feature (a != 0).
 	FeatureF, FeatureA int
 }
@@ -490,6 +596,8 @@ func toMonitorDecision(d stream.Decision) MonitorDecision {
 		Detected:  d.Detected,
 		Statistic: d.Statistic,
 		Threshold: d.Threshold,
+		Detector:  d.Detector,
+		TargetPfa: d.TargetPfa,
 		FeatureF:  d.FeatureF,
 		FeatureA:  d.FeatureA,
 	}
@@ -521,6 +629,10 @@ func monitorStreamConfig(cfg Config, opts MonitorOptions) (stream.Config, error)
 			"estimator: its un-reset accumulator grows without bound (one strip entry per " +
 			"addressed channel per sample); use windowed mode or another estimator")
 	}
+	dec, err := cfg.decider(opts.CFARScale)
+	if err != nil {
+		return stream.Config{}, err
+	}
 	return stream.Config{
 		Estimator:       sest,
 		SnapshotSamples: opts.SnapshotSamples,
@@ -532,6 +644,7 @@ func monitorStreamConfig(cfg Config, opts MonitorOptions) (stream.Config, error)
 		MinAbsA:         cfg.MinAbsA,
 		Threshold:       cfg.Threshold,
 		CFARScale:       opts.CFARScale,
+		Decider:         dec,
 	}, nil
 }
 
@@ -1007,11 +1120,37 @@ type ShardWorker struct {
 	once sync.Once
 }
 
-// shardWorkerSink adapts the hosted engine to the wire data plane.
-type shardWorkerSink struct{ eng *stream.Engine }
+// shardWorkerSink adapts the hosted engine to the wire data plane. It
+// keeps the worker's Config and CFAR scale so an open frame naming a
+// detector can build the per-channel decider with the worker's own
+// geometry and knobs.
+type shardWorkerSink struct {
+	eng       *stream.Engine
+	cfg       Config
+	cfarScale float64
+}
 
 func (s shardWorkerSink) OpenChannel(meta wire.Meta) error {
-	return s.eng.AddChannelCandidates(meta.ID, meta.AlphaCandidates)
+	if meta.Detector == "" {
+		return s.eng.AddChannelCandidates(meta.ID, meta.AlphaCandidates)
+	}
+	// The parent router pinned the channel's decision layer: rebuild it
+	// here from the shipped name, target Pfa and cycle set, over the
+	// worker's geometry — so a remote shard decides exactly as a local
+	// engine would.
+	c := s.cfg
+	c.Detector = meta.Detector
+	if meta.TargetPfa > 0 {
+		c.TargetPfa = meta.TargetPfa
+	}
+	if len(meta.AlphaCandidates) > 0 {
+		c.AlphaCandidates = meta.AlphaCandidates
+	}
+	dec, err := c.decider(s.cfarScale)
+	if err != nil {
+		return err
+	}
+	return s.eng.AddChannelDecider(meta.ID, meta.AlphaCandidates, dec)
 }
 func (s shardWorkerSink) Push(id string, samples []complex128) (int, error) {
 	return s.eng.Push(id, samples)
@@ -1029,7 +1168,7 @@ func NewShardWorker(cfg Config, opts ShardWorkerOptions) (*ShardWorker, error) {
 		return nil, err
 	}
 	srv, err := wire.NewServer(wire.ServerConfig{
-		Sink:          shardWorkerSink{eng},
+		Sink:          shardWorkerSink{eng: eng, cfg: cfg, cfarScale: opts.CFARScale},
 		Engine:        eng,
 		RemoveOnClose: true,
 		Logf:          opts.Logf,

@@ -73,6 +73,20 @@
 // rows, the pruning counterpart of -fail-below (and needs no baseline
 // file: full vs pruned run in the same process).
 //
+// Since PR 9 (schema 8) the artifact carries a detection scenario: the
+// ROC sweep of the asymptotic statistical detectors (internal/quant
+// RunROC) — estimator × detector × modulation × SNR, each curve traced
+// across target-Pfa operating points with measured Pd and Pfa per
+// point. The headline check is Pfa accuracy: the asymptotic tests
+// (Dandawate–Giannakis "dg", multi-sequence "urriza") derive their
+// thresholds in closed form from the target false-alarm probability
+// with no Monte-Carlo calibration, so every point's measured Pfa must
+// sit inside the binomial confidence interval around its target
+// (-roc-conf, default 0.99 for flake headroom). -roc-gate makes a
+// failed check exit non-zero; -roc-out additionally writes the ROC
+// report as its own artifact for plotting; -roc-trials 0 skips the
+// scenario.
+//
 // With -baseline, a previously written report is embedded and per-
 // estimator speedups (baseline ns / current ns) are computed, turning one
 // file into a before/after comparison:
@@ -294,6 +308,7 @@ type Report struct {
 	Geometry   Geometry                `json:"geometry"`
 	Note       string                  `json:"note"`
 	Results    []Measurement           `json:"results"`
+	Detection  *DetectionScenario      `json:"detection,omitempty"`
 	Pruned     []PrunedMeasurement     `json:"pruned,omitempty"`
 	FixedPoint []FixedPointMeasurement `json:"fixed_point,omitempty"`
 	Streaming  []StreamingMeasurement  `json:"streaming,omitempty"`
@@ -302,6 +317,16 @@ type Report struct {
 	Mapping    *MappingScenario        `json:"mapping,omitempty"`
 	Baseline   *Report                 `json:"baseline,omitempty"`
 	Speedup    map[string]float64      `json:"speedup_vs_baseline,omitempty"`
+}
+
+// DetectionScenario is the schema-8 detector ROC sweep: the full
+// quant.RunROC report plus the Pfa-accuracy summary the gate reads —
+// the worst |measured − target| Pfa error across asymptotic operating
+// points and the list of points outside their confidence interval.
+type DetectionScenario struct {
+	quant.ROCReport
+	WorstPfaErr float64  `json:"worst_pfa_err"`
+	PfaFailures []string `json:"pfa_failures,omitempty"`
 }
 
 // Geometry records the benchmark's estimator configuration.
@@ -347,6 +372,14 @@ func main() {
 			"exit non-zero if the best pruned serving-window speedup falls below this ratio (0 = never fail)")
 		prunedWindows = flag.String("pruned-windows", "1024,2048,8192",
 			"pruned scenario: serving-window sizes in samples to sweep (one row each)")
+		rocTrials = flag.Int("roc-trials", 200,
+			"detection scenario: Monte-Carlo trials per hypothesis per curve (0 = skip)")
+		rocConf = flag.Float64("roc-conf", 0.99,
+			"detection scenario: binomial confidence of the Pfa-accuracy check")
+		rocGate = flag.Bool("roc-gate", false,
+			"exit non-zero when any asymptotic operating point's measured Pfa falls outside its confidence interval")
+		rocOut = flag.String("roc-out", "",
+			"also write the detection scenario's ROC report to this standalone JSON path")
 	)
 	flag.Parse()
 	w := wireOpts{estimator: *wireEst, shardsCSV: *wireSh, channels: *wireCh,
@@ -354,8 +387,9 @@ func main() {
 	d := degradedOpts{estimator: *wireEst, shards: *degSh, channels: *degCh, samples: *degN}
 	p := prunedOpts{alphaCSV: *prunedAlpha, estimators: *prunedEst, failBelow: *prunedFailBelow,
 		windowsCSV: *prunedWindows}
+	r := rocOpts{trials: *rocTrials, confidence: *rocConf, gate: *rocGate, out: *rocOut}
 	if err := run(*out, *k, *m, *blocks, *seed, *names, *baseline, *failBelow, *batchProcs,
-		*streamCh, *streamN, *mapEst, *mapTiles, *mapStrats, w, d, p); err != nil {
+		*streamCh, *streamN, *mapEst, *mapTiles, *mapStrats, w, d, p, r); err != nil {
 		fmt.Fprintln(os.Stderr, "cfdbench:", err)
 		os.Exit(1)
 	}
@@ -367,6 +401,14 @@ type prunedOpts struct {
 	estimators string
 	failBelow  float64
 	windowsCSV string
+}
+
+// rocOpts bundles the schema-8 detection scenario parameters.
+type rocOpts struct {
+	trials     int
+	confidence float64
+	gate       bool
+	out        string
 }
 
 // wireOpts bundles the schema-5 wire-protocol scenario parameters.
@@ -406,7 +448,7 @@ func estimatorSet(p scf.Params, blocks int) map[string]scf.Estimator {
 
 func run(out string, k, m, blocks int, seed uint64, names, baseline string, failBelow float64,
 	batchProcs string, streamCh, streamN int, mapEst, mapTiles, mapStrats string,
-	wopts wireOpts, dopts degradedOpts, popts prunedOpts) error {
+	wopts wireOpts, dopts degradedOpts, popts prunedOpts, ropts rocOpts) error {
 	band, err := tiledcfd.NewBPSKBand(k*blocks, 0.125, 8, 10, seed)
 	if err != nil {
 		return err
@@ -414,7 +456,7 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 	p := scf.Params{K: k, M: m}
 	all := estimatorSet(p, blocks)
 	rep := Report{
-		Schema:     7, // 2: streaming; 3: fixed-point; 4: mapping; 5: wire; 6: degraded; 7: alpha pruning + GOMAXPROCS sweep
+		Schema:     8, // 2: streaming; 3: fixed-point; 4: mapping; 5: wire; 6: degraded; 7: alpha pruning + GOMAXPROCS sweep; 8: detector ROC
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -575,6 +617,38 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 		}
 		rep.Mapping = sc
 	}
+	var rocGateErr error
+	if ropts.trials > 0 {
+		roc, err := quant.RunROC(quant.ROCConfig{
+			Trials: ropts.trials, Confidence: ropts.confidence, Seed: seed,
+		})
+		if err != nil {
+			return fmt.Errorf("detection scenario: %w", err)
+		}
+		worst, failures := roc.PfaAccuracy()
+		rep.Detection = &DetectionScenario{
+			ROCReport: *roc, WorstPfaErr: worst, PfaFailures: failures,
+		}
+		fmt.Printf("detection ROC: %d curves, worst Pfa error %.4f, %d point(s) outside %.0f%% CI\n",
+			len(roc.Curves), worst, len(failures), 100*roc.Confidence)
+		if ropts.out != "" {
+			buf, err := json.MarshalIndent(roc, "", "  ")
+			if err != nil {
+				return err
+			}
+			buf = append(buf, '\n')
+			if err := os.WriteFile(ropts.out, buf, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("wrote", ropts.out)
+		}
+		if ropts.gate && len(failures) > 0 {
+			// Deferred like the other gates so the artifact that trips
+			// the check is the one written for inspection.
+			rocGateErr = fmt.Errorf("detector Pfa-accuracy gate: %d operating point(s) outside the %.0f%% CI: %s",
+				len(failures), 100*roc.Confidence, strings.Join(failures, "; "))
+		}
+	}
 	var gateErr error
 	if baseline != "" {
 		raw, err := os.ReadFile(baseline)
@@ -626,7 +700,7 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 		return err
 	}
 	fmt.Println("wrote", out)
-	return errors.Join(gateErr, prunedGateErr)
+	return errors.Join(gateErr, prunedGateErr, rocGateErr)
 }
 
 // benchBatch times one estimator's full Estimate on the band and

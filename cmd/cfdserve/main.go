@@ -118,6 +118,8 @@ type options struct {
 	seed       uint64
 	threshold  float64
 	cfarScale  float64
+	detector   string
+	targetPfa  float64
 	cumulative bool
 	quiet      bool
 
@@ -162,6 +164,8 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 1, "scenario seed")
 	flag.Float64Var(&o.threshold, "threshold", 0, "fixed CFD decision threshold (0 = self-calibrating CFAR)")
 	flag.Float64Var(&o.cfarScale, "cfar-scale", 2, "CFAR peak-over-floor detection ratio")
+	flag.StringVar(&o.detector, "detector", "", "decision layer: "+strings.Join(tiledcfd.DetectorNames(), ", ")+" (empty = legacy -threshold/-cfar-scale mapping)")
+	flag.Float64Var(&o.targetPfa, "pfa", 0, "target false-alarm probability for -detector=dg|urriza (0 = 0.05)")
 	flag.BoolVar(&o.cumulative, "cumulative", false, "integrate estimator state across windows instead of per-window reset")
 	flag.BoolVar(&o.quiet, "quiet", false, "suppress per-decision transition logging")
 	flag.Parse()
@@ -341,6 +345,7 @@ func run(ctx context.Context, o options, out io.Writer) (*serveStats, error) {
 		tiledcfd.Config{
 			K: o.k, M: o.m, Estimator: o.estimator, Hop: o.hop,
 			Threshold: o.threshold, AlphaCandidates: candidates,
+			Detector: o.detector, TargetPfa: o.targetPfa,
 		},
 		tiledcfd.ShardedMonitorOptions{
 			MonitorOptions: tiledcfd.MonitorOptions{
@@ -534,6 +539,7 @@ func runWorker(ctx context.Context, o options, out io.Writer) error {
 		tiledcfd.Config{
 			K: o.k, M: o.m, Estimator: o.estimator, Hop: o.hop,
 			Threshold: o.threshold, AlphaCandidates: candidates,
+			Detector: o.detector, TargetPfa: o.targetPfa,
 		},
 		tiledcfd.ShardWorkerOptions{
 			MonitorOptions: tiledcfd.MonitorOptions{

@@ -8,6 +8,7 @@
 //	       [-symlen 8] [-idle] [-threshold 0.3] [-seed 1]
 //	       [-estimator platform|direct|fam|ssca] [-hop n] [-workers n]
 //	       [-alpha 16,32] [-alpha-hz ...] [-rate hz]
+//	       [-detector cfar|fixed|dg|urriza] [-pfa 0.05]
 //
 // With -idle the band contains only noise (the H0 hypothesis); otherwise a
 // BPSK licensed user at the given SNR and normalised carrier frequency is
@@ -24,6 +25,12 @@
 // lists physical cycle frequencies instead, converted with the -rate
 // sample rate — a BPSK user has features at its symbol rate and twice
 // its carrier.
+//
+// -detector selects the decision layer by registry name. The
+// asymptotic detectors (dg, urriza) test the -alpha cycle set directly
+// on the samples and derive their threshold in closed form from the
+// -pfa target false-alarm probability — no calibration. Without
+// -detector the legacy mapping applies: the -threshold fixed decision.
 package main
 
 import (
@@ -60,6 +67,10 @@ func main() {
 	alphaHz := flag.String("alpha-hz", "",
 		"comma-separated alpha candidates as physical cycle frequencies in Hz, converted with -rate")
 	rate := flag.Float64("rate", 0, "sample rate in Hz for -alpha-hz conversion")
+	detector := flag.String("detector", "",
+		"decision layer: "+strings.Join(tiledcfd.DetectorNames(), ", ")+
+			" (\"\" = legacy -threshold fixed decision)")
+	pfa := flag.Float64("pfa", 0, "target false-alarm probability for -detector=dg|urriza (0 = 0.05)")
 	flag.Parse()
 
 	candidates, err := parseAlphaFlags(*alpha, *alphaHz, *rate, tiledcfd.Config{K: *k, M: *m})
@@ -105,6 +116,7 @@ func main() {
 		K: *k, M: *m, Q: *q, Blocks: *blocks, Threshold: *threshold,
 		Estimator: *estimator, Hop: *hop, Workers: *workers,
 		AlphaCandidates: candidates,
+		Detector:        *detector, TargetPfa: *pfa,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -117,6 +129,7 @@ func main() {
 	fmt.Printf("scenario:     %s\n", scenario)
 	fmt.Printf("platform:     K=%d, M=%d, Q=%d, %d block(s)\n", *k, mOrDefault(*m, *k), *q, *blocks)
 	fmt.Printf("estimator:    %s\n", s.Estimator)
+	fmt.Printf("detector:     %s\n", s.Detector)
 	if len(candidates) > 0 {
 		fmt.Printf("alpha:        pruned to candidates %v (%d of %d rows computed)\n",
 			candidates, prunedRows(candidates), 2*mOrDefault(*m, *k)-1)

@@ -15,7 +15,9 @@ import (
 var auditedPackages = []string{
 	".",
 	"internal/chaos",
+	"internal/detect",
 	"internal/scf",
+	"internal/sig",
 	"internal/shard",
 	"internal/stream",
 	"internal/tile",

@@ -3,11 +3,16 @@
 // set of candidate channels, decide per channel whether a licensed user is
 // transmitting, and list the free channels an ad-hoc network could claim.
 //
-// Each channel is sensed independently with the full pipeline on the
-// simulated 4-tile platform. Licensed users appear at different SNRs, down
-// to levels where plain energy measurement would be unreliable; the
-// cyclostationary statistic stays calibrated because it is normalised by
-// the channel's own PSD.
+// The decision layer comes from the pluggable detector registry
+// (Config.Detector / DetectorNames): the scan runs the Dandawate–
+// Giannakis asymptotic test ("dg") at the licensed class's known cycle
+// frequencies — a BPSK user at 8 samples per symbol has features at the
+// symbol rate and around the doubled carrier — with the threshold
+// derived in closed form from a target false-alarm probability. No
+// calibration run, no hand-tuned threshold: the statistic is
+// asymptotically chi-square under noise, so Pfa is set by construction.
+// Licensed users appear at different SNRs, down to levels where plain
+// energy measurement would be unreliable.
 //
 // Run: go run ./examples/spectrumsensing
 package main
@@ -15,6 +20,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"tiledcfd"
 )
@@ -29,16 +35,20 @@ type channel struct {
 }
 
 func main() {
-	// Sensing geometry: 64-point spectra, 31x31 DSCF, 32 integration
-	// blocks — a fast-scan configuration (the paper's full 256/127x127
-	// geometry is exercised in the quickstart example).
+	// Sensing geometry: 64-point spectra, 32 integration blocks of the
+	// software DSCF — a fast-scan configuration (the paper's full
+	// 256/127x127 platform geometry is exercised in the quickstart
+	// example). The alpha candidates are the licensed class's cycle
+	// bins at K=64: the symbol rate (64/8 = 8) and its first harmonic
+	// sideband (8/2 = 4), both inside the 31x31 pruned grid.
 	const (
 		k         = 64
 		m         = 16
 		blocks    = 32
 		n         = k * blocks
-		threshold = 0.30 // ~10% false-alarm rate at this geometry
+		targetPfa = 0.05
 	)
+	alphas := []int{8, 4}
 
 	channels := []channel{
 		{name: "ch-1 (public safety uplink)", occupied: true, snrDB: 8, carrier: 8.0 / k, seed: 11},
@@ -49,8 +59,10 @@ func main() {
 		{name: "ch-6", occupied: false, seed: 16},
 	}
 
-	fmt.Println("== spectrum scan: 6 candidate channels ==")
-	fmt.Printf("%-30s %-10s %-10s %-9s %s\n", "channel", "truth", "verdict", "statistic", "feature (a)")
+	fmt.Printf("== spectrum scan: 6 candidate channels ==\n")
+	fmt.Printf("registry detectors: %s — scanning with \"dg\" at Pfa %.2f\n\n",
+		strings.Join(tiledcfd.DetectorNames(), ", "), targetPfa)
+	fmt.Printf("%-30s %-10s %-10s %-9s %s\n", "channel", "truth", "verdict", "statistic", "threshold")
 	var free []string
 	for _, ch := range channels {
 		var band []complex128
@@ -64,7 +76,9 @@ func main() {
 			log.Fatal(err)
 		}
 		s, err := tiledcfd.Sense(band, tiledcfd.Config{
-			K: k, M: m, Q: 4, Blocks: blocks, Threshold: threshold, MinAbsA: 2,
+			K: k, M: m, Blocks: blocks, Estimator: "direct",
+			AlphaCandidates: alphas,
+			Detector:        "dg", TargetPfa: targetPfa,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -79,7 +93,7 @@ func main() {
 		} else {
 			free = append(free, ch.name)
 		}
-		fmt.Printf("%-30s %-10s %-10s %-9.3f a=%d\n", ch.name, truth, verdict, s.Statistic, s.FeatureA)
+		fmt.Printf("%-30s %-10s %-10s %-9.3f %.3f\n", ch.name, truth, verdict, s.Statistic, s.Threshold)
 	}
 	fmt.Println()
 	fmt.Printf("channels available for the ad-hoc network: %d\n", len(free))

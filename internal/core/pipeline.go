@@ -20,7 +20,13 @@ type Config struct {
 	MinAbsA int
 	// Threshold is the detection threshold on the CFD statistic; calibrate
 	// with detect.CalibrateThreshold for a target false-alarm rate.
+	// Ignored when Decider is set.
 	Threshold float64
+	// Decider, when set, replaces the fixed-threshold CFD decision with a
+	// registry decider (detect.NewDecider): surface detectors (cfar,
+	// fixed) evaluate the computed surface, sample-based asymptotic tests
+	// (dg, urriza) evaluate the raw input window.
+	Decider detect.Decider
 	// InputScale is the peak amplitude the input is conditioned to before
 	// Q15 quantisation (default 0.5, leaving 6 dB of headroom).
 	InputScale float64
@@ -107,21 +113,16 @@ func Run(x []complex128, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	surface := fx.Float(cfg.SoC.Blocks)
-	stat, err := detect.CFDStatistic(surface, cfg.MinAbsA)
+	decision, err := cfg.decide(surface, x[:need], "cfd")
 	if err != nil {
 		return nil, err
 	}
 	bt := cfg.Perf.BlockTimeMicros(report.CyclesPerBlock)
 	return &Result{
-		Fixed:   fx,
-		Surface: surface,
-		Report:  report,
-		Decision: detect.Decision{
-			Detector:  "cfd",
-			Statistic: stat,
-			Threshold: cfg.Threshold,
-			Detected:  stat > cfg.Threshold,
-		},
+		Fixed:                fx,
+		Surface:              surface,
+		Report:               report,
+		Decision:             decision,
 		BlockTimeMicros:      bt,
 		AnalysedBandwidthkHz: cfg.Perf.AnalysedBandwidthkHz(cfg.SoC.K, bt),
 		AreaMM2:              cfg.Perf.AreaMM2(cfg.SoC.Q),
@@ -139,18 +140,38 @@ func runEstimator(x []complex128, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %s estimator: %w", cfg.Estimator.Name(), err)
 	}
-	stat, err := detect.CFDStatistic(surface, cfg.MinAbsA)
+	decision, err := cfg.decide(surface, x, "cfd-"+cfg.Estimator.Name())
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		Surface: surface,
-		Stats:   stats,
-		Decision: detect.Decision{
-			Detector:  "cfd-" + cfg.Estimator.Name(),
-			Statistic: stat,
-			Threshold: cfg.Threshold,
-			Detected:  stat > cfg.Threshold,
-		},
+		Surface:  surface,
+		Stats:    stats,
+		Decision: decision,
+	}, nil
+}
+
+// decide applies the decision layer shared by both paths: the
+// configured Decider when one is set (its Decision carries the registry
+// detector name), otherwise the legacy fixed-threshold CFD statistic
+// under the path's historical detector label.
+func (c Config) decide(surface *scf.Surface, x []complex128, legacyName string) (detect.Decision, error) {
+	if c.Decider != nil {
+		d, err := c.Decider.Decide(surface, x)
+		if err != nil {
+			return detect.Decision{}, err
+		}
+		d.Detector = c.Decider.Name()
+		return d, nil
+	}
+	stat, err := detect.CFDStatistic(surface, c.MinAbsA)
+	if err != nil {
+		return detect.Decision{}, err
+	}
+	return detect.Decision{
+		Detector:  legacyName,
+		Statistic: stat,
+		Threshold: c.Threshold,
+		Detected:  stat > c.Threshold,
 	}, nil
 }

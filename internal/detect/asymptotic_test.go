@@ -1,0 +1,168 @@
+package detect
+
+import (
+	"testing"
+
+	"tiledcfd/internal/sig"
+)
+
+// measurePfa scores `trials` noise-only windows of n samples against the
+// detector's closed-form threshold and returns the false-alarm fraction.
+func measurePfa(t *testing.T, stat func([]complex128) (float64, error),
+	threshold float64, trials, n int, seed uint64) float64 {
+	t.Helper()
+	rng := sig.NewRand(seed)
+	src := sig.WGN{Sigma: 1, Rng: rng}
+	false_ := 0
+	for i := 0; i < trials; i++ {
+		s, err := stat(sig.Samples(&src, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > threshold {
+			false_++
+		}
+	}
+	return float64(false_) / float64(trials)
+}
+
+// The headline property of the asymptotic detectors: the closed-form
+// chi-square threshold hits the configured false-alarm probability with
+// no Monte-Carlo calibration. Measured Pfa over 2000 noise-only windows
+// must land inside the 95% binomial confidence interval of the target.
+func TestDGPfaMatchesClosedFormThreshold(t *testing.T) {
+	const trials, n = 2000, 4096
+	dg := DG{Cycles: []float64{0.25, 0.125}, Pfa: 0.05}
+	th, err := dg.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfa := measurePfa(t, dg.Statistic, th, trials, n, 2)
+	lo, hi, err := BinomialCI(dg.Pfa, trials, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfa < lo || pfa > hi {
+		t.Errorf("DG measured Pfa %.4f outside 95%% CI [%.4f, %.4f] of target %.2f",
+			pfa, lo, hi, dg.Pfa)
+	}
+}
+
+func TestUrrizaPfaMatchesClosedFormThreshold(t *testing.T) {
+	const trials, n = 2000, 4096
+	ur := Urriza{Cycles: []float64{0.25, 0.125}, Pfa: 0.05}
+	th, err := ur.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfa := measurePfa(t, ur.Statistic, th, trials, n, 2)
+	lo, hi, err := BinomialCI(ur.Pfa, trials, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfa < lo || pfa > hi {
+		t.Errorf("Urriza measured Pfa %.4f outside 95%% CI [%.4f, %.4f] of target %.2f",
+			pfa, lo, hi, ur.Pfa)
+	}
+}
+
+// Pfa tracking must hold across targets, not just at the default: a
+// stricter target must produce a proportionally rarer false alarm.
+func TestDGPfaTracksTarget(t *testing.T) {
+	const trials, n = 1000, 2048
+	for _, target := range []float64{0.01, 0.1} {
+		dg := DG{Cycles: []float64{0.25}, Pfa: target}
+		th, err := dg.Threshold()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pfa := measurePfa(t, dg.Statistic, th, trials, n, 7)
+		lo, hi, err := BinomialCI(target, trials, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pfa < lo || pfa > hi {
+			t.Errorf("DG at target %v measured %.4f outside 99%% CI [%.4f, %.4f]",
+				target, pfa, lo, hi)
+		}
+	}
+}
+
+// measurePd returns the detection fraction at the given SNR for a
+// modulated source buried in calibrated AWGN.
+func measurePd(t *testing.T, d DG, mk func(*sig.Rand) sig.Source,
+	snrDB float64, trials, n int, seed uint64) float64 {
+	t.Helper()
+	th, err := d.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sig.NewRand(seed)
+	hits := 0
+	for i := 0; i < trials; i++ {
+		clean := sig.Samples(mk(rng), n)
+		x, _, err := sig.AddAWGN(clean, snrDB, false, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := d.Statistic(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > th {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}
+
+// Pd must be monotone in SNR for the new modulations (within binomial
+// noise), and reach near-certain detection at the top of the sweep —
+// the sanity half of the ROC harness, asserted per modulation in CI.
+func TestDGPdMonotonicInSNR(t *testing.T) {
+	const trials, n = 100, 4096
+	const slack = 0.08 // binomial noise allowance at 100 trials
+	cases := []struct {
+		name string
+		d    DG
+		mk   func(*sig.Rand) sig.Source
+		snrs []float64
+	}{
+		{
+			name: "msk",
+			d:    DG{Cycles: []float64{2.0 * 10 / 64, 2.0 * 6 / 64}, Pfa: 0.05},
+			mk: func(rng *sig.Rand) sig.Source {
+				return &sig.MSK{Amp: 1, Carrier: 0.125, SymbolLen: 8, Rng: rng}
+			},
+			snrs: []float64{-16, -10, -4, 2},
+		},
+		{
+			name: "scfdma",
+			d:    DG{Cycles: []float64{2.0 * 2 / 64, 2.0 * 4 / 64}, Lags: []int{12}, Pfa: 0.05},
+			mk: func(rng *sig.Rand) sig.Source {
+				return &sig.SCFDMA{Amp: 1, NFFT: 12, CP: 4, Spread: 8, Start: 1, Rng: rng}
+			},
+			snrs: []float64{-10, -4, 2, 8},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prev := -1.0
+			var pds []float64
+			for i, snr := range c.snrs {
+				pd := measurePd(t, c.d, c.mk, snr, trials, n, uint64(31+i))
+				pds = append(pds, pd)
+				if pd < prev-slack {
+					t.Errorf("Pd not monotone in SNR: %v at %v dB after %v", pd, snr, prev)
+				}
+				if pd > prev {
+					prev = pd
+				}
+			}
+			if final := pds[len(pds)-1]; final < 0.95 {
+				t.Errorf("Pd %.2f at %v dB, want >= 0.95 (sweep %v)",
+					final, c.snrs[len(c.snrs)-1], pds)
+			}
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareCDF returns P(X <= x) for a chi-square random variable with
+// dof degrees of freedom: the regularized lower incomplete gamma
+// function P(dof/2, x/2). It is the H0 distribution of the asymptotic
+// cyclostationarity statistics (DG, Urriza), whose closed-form
+// thresholds come from inverting it.
+func ChiSquareCDF(x float64, dof int) (float64, error) {
+	if dof < 1 {
+		return 0, fmt.Errorf("detect: chi-square dof=%d must be >= 1", dof)
+	}
+	if x <= 0 {
+		return 0, nil
+	}
+	return regIncGammaP(float64(dof)/2, x/2)
+}
+
+// InvChiSquareCDF returns the chi-square quantile: the threshold t with
+// P(X <= t) = p for dof degrees of freedom. Inversion is by bisection on
+// the monotone CDF, accurate to ~1e-12 relative — exact enough that the
+// asymptotic detectors need no Monte-Carlo calibration step.
+func InvChiSquareCDF(p float64, dof int) (float64, error) {
+	if dof < 1 {
+		return 0, fmt.Errorf("detect: chi-square dof=%d must be >= 1", dof)
+	}
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("detect: chi-square quantile p=%v outside (0,1)", p)
+	}
+	// Bracket: the mean is dof, the tail decays exponentially; grow the
+	// upper edge until the CDF passes p.
+	lo, hi := 0.0, float64(dof)+10
+	for {
+		c, err := ChiSquareCDF(hi, dof)
+		if err != nil {
+			return 0, err
+		}
+		if c >= p {
+			break
+		}
+		hi *= 2
+		if hi > 1e9 {
+			return 0, fmt.Errorf("detect: chi-square quantile p=%v unreachable", p)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		c, err := ChiSquareCDF(mid, dof)
+		if err != nil {
+			return 0, err
+		}
+		if c < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// regIncGammaP computes the regularized lower incomplete gamma function
+// P(a, x) via the standard series (x < a+1) / continued-fraction
+// (x >= a+1) split (Numerical Recipes §6.2), stable over the full range
+// the detectors use.
+func regIncGammaP(a, x float64) (float64, error) {
+	if x < 0 || a <= 0 {
+		return 0, fmt.Errorf("detect: incomplete gamma P(%v, %v) out of domain", a, x)
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series: P(a,x) = x^a e^{-x} / Γ(a) · Σ x^n / (a(a+1)...(a+n)).
+		ap := a
+		sum := 1 / a
+		del := sum
+		for n := 0; n < 500; n++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-16 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+	}
+	// Continued fraction for Q(a,x) = 1 - P(a,x), modified Lentz method.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-16 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lg) * h
+	return 1 - q, nil
+}
+
+// BinomialCI returns the conf-level (e.g. 0.95) normal-approximation
+// confidence interval for an observed proportion when the true success
+// probability is p over n trials: p ± z·sqrt(p(1-p)/n), clamped to
+// [0, 1]. It is the acceptance band the Pfa-accuracy checks use: a
+// detector whose closed-form threshold is correct lands its measured
+// false-alarm rate inside the interval around the configured target.
+func BinomialCI(p float64, n int, conf float64) (lo, hi float64, err error) {
+	if n < 1 {
+		return 0, 0, fmt.Errorf("detect: binomial CI needs n >= 1, got %d", n)
+	}
+	if p <= 0 || p >= 1 {
+		return 0, 0, fmt.Errorf("detect: binomial CI p=%v outside (0,1)", p)
+	}
+	if conf <= 0 || conf >= 1 {
+		return 0, 0, fmt.Errorf("detect: binomial CI conf=%v outside (0,1)", conf)
+	}
+	z := InvQ((1 - conf) / 2)
+	w := z * math.Sqrt(p*(1-p)/float64(n))
+	lo, hi = p-w, p+w
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}

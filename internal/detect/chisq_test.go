@@ -1,0 +1,113 @@
+package detect
+
+import (
+	"math"
+	"testing"
+)
+
+// Textbook chi-square quantiles: InvChiSquareCDF must reproduce the
+// statistical-table values the closed-form thresholds are built from.
+func TestInvChiSquareCDFTableValues(t *testing.T) {
+	cases := []struct {
+		p    float64
+		dof  int
+		want float64
+	}{
+		{0.95, 2, 5.9915},
+		{0.99, 2, 9.2103},
+		{0.95, 4, 9.4877},
+		{0.99, 4, 13.2767},
+		{0.95, 8, 15.5073},
+		{0.90, 8, 13.3616},
+		{0.95, 1, 3.8415},
+	}
+	for _, c := range cases {
+		got, err := InvChiSquareCDF(c.p, c.dof)
+		if err != nil {
+			t.Fatalf("InvChiSquareCDF(%v, %d): %v", c.p, c.dof, err)
+		}
+		if math.Abs(got-c.want) > 5e-4 {
+			t.Errorf("InvChiSquareCDF(%v, %d) = %.4f, want %.4f", c.p, c.dof, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareCDFInverseRoundTrip(t *testing.T) {
+	for _, dof := range []int{1, 2, 4, 8, 32} {
+		for _, p := range []float64{0.01, 0.05, 0.5, 0.95, 0.999} {
+			x, err := InvChiSquareCDF(p, dof)
+			if err != nil {
+				t.Fatalf("quantile p=%v dof=%d: %v", p, dof, err)
+			}
+			back, err := ChiSquareCDF(x, dof)
+			if err != nil {
+				t.Fatalf("cdf x=%v dof=%d: %v", x, dof, err)
+			}
+			if math.Abs(back-p) > 1e-8 {
+				t.Errorf("CDF(InvCDF(%v, %d)) = %v, error %v", p, dof, back-p, math.Abs(back-p))
+			}
+		}
+	}
+}
+
+func TestInvChiSquareCDFMonotonicInP(t *testing.T) {
+	prev := 0.0
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999} {
+		x, err := InvChiSquareCDF(p, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x <= prev {
+			t.Fatalf("quantile not increasing: p=%v gives %v after %v", p, x, prev)
+		}
+		prev = x
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, err := InvChiSquareCDF(0, 2); err == nil {
+		t.Error("InvChiSquareCDF accepted p=0")
+	}
+	if _, err := InvChiSquareCDF(1, 2); err == nil {
+		t.Error("InvChiSquareCDF accepted p=1")
+	}
+	if _, err := InvChiSquareCDF(0.5, 0); err == nil {
+		t.Error("InvChiSquareCDF accepted dof=0")
+	}
+	if c, err := ChiSquareCDF(-1, 2); err != nil || c != 0 {
+		t.Errorf("ChiSquareCDF(-1, 2) = %v, %v; want 0 (left of support)", c, err)
+	}
+	if _, err := ChiSquareCDF(1, 0); err == nil {
+		t.Error("ChiSquareCDF accepted dof=0")
+	}
+}
+
+func TestBinomialCI(t *testing.T) {
+	// 95% CI at p=0.05 over 2000 trials: 0.05 ± 1.96·sqrt(0.05·0.95/2000).
+	lo, hi, err := BinomialCI(0.05, 2000, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := 1.959964 * math.Sqrt(0.05*0.95/2000)
+	if math.Abs(lo-(0.05-w)) > 1e-6 || math.Abs(hi-(0.05+w)) > 1e-6 {
+		t.Errorf("CI = [%v, %v], want [%v, %v]", lo, hi, 0.05-w, 0.05+w)
+	}
+	// Tails clamp to [0, 1].
+	lo, _, err = BinomialCI(0.001, 100, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 {
+		t.Errorf("low tail not clamped: %v", lo)
+	}
+	for _, bad := range []func() error{
+		func() error { _, _, err := BinomialCI(0, 100, 0.95); return err },
+		func() error { _, _, err := BinomialCI(1, 100, 0.95); return err },
+		func() error { _, _, err := BinomialCI(0.05, 0, 0.95); return err },
+		func() error { _, _, err := BinomialCI(0.05, 100, 1); return err },
+	} {
+		if bad() == nil {
+			t.Error("BinomialCI accepted an invalid argument")
+		}
+	}
+}

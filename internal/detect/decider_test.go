@@ -1,0 +1,123 @@
+package detect
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tiledcfd/internal/scf"
+	"tiledcfd/internal/sig"
+)
+
+func TestDeciderNames(t *testing.T) {
+	want := []string{"cfar", "fixed", "dg", "urriza"}
+	if got := DeciderNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("DeciderNames() = %v, want %v", got, want)
+	}
+}
+
+func TestNewDeciderUnknownErrorEnumeratesRegistry(t *testing.T) {
+	_, err := NewDecider("nope", DeciderParams{})
+	if err == nil {
+		t.Fatal("unknown detector accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown detector "nope"`) {
+		t.Errorf("error %q does not name the bad detector", msg)
+	}
+	for _, name := range DeciderNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not mention registered detector %q", msg, name)
+		}
+	}
+}
+
+func TestAsymptoticDecidersNeedAlphaCandidates(t *testing.T) {
+	for _, name := range []string{"dg", "urriza"} {
+		_, err := NewDecider(name, DeciderParams{Scf: scf.Params{K: 64}})
+		if err == nil {
+			t.Errorf("%s built without alpha candidates", name)
+		} else if !strings.Contains(err.Error(), "alpha candidates") {
+			t.Errorf("%s error %q does not explain the missing cycle set", name, err)
+		}
+	}
+}
+
+func TestDeciderContracts(t *testing.T) {
+	p := DeciderParams{
+		Scf:       scf.Params{K: 64, M: 16, Blocks: 8, AlphaCandidates: []int{8}}.WithDefaults(),
+		Threshold: 0.3,
+		TargetPfa: 0.02,
+	}
+	cases := []struct {
+		name         string
+		needsSamples bool
+		targetPfa    float64
+	}{
+		{"cfar", false, 0},
+		{"fixed", false, 0},
+		{"dg", true, 0.02},
+		{"urriza", true, 0.02},
+	}
+	for _, c := range cases {
+		d, err := NewDecider(c.name, p)
+		if err != nil {
+			t.Fatalf("build %s: %v", c.name, err)
+		}
+		if d.Name() != c.name {
+			t.Errorf("%s: Name() = %q", c.name, d.Name())
+		}
+		if d.NeedsSamples() != c.needsSamples {
+			t.Errorf("%s: NeedsSamples() = %v, want %v", c.name, d.NeedsSamples(), c.needsSamples)
+		}
+		if d.TargetPfa() != c.targetPfa {
+			t.Errorf("%s: TargetPfa() = %v, want %v", c.name, d.TargetPfa(), c.targetPfa)
+		}
+	}
+}
+
+func TestFixedDeciderRequiresPositiveThreshold(t *testing.T) {
+	if _, err := NewDecider("fixed", DeciderParams{}); err == nil {
+		t.Fatal("fixed decider built without a threshold")
+	}
+}
+
+// A dg decider built from DSCF alpha-candidate bins must separate a BPSK
+// user from noise on the samples alone, and stamp decisions with its
+// registry name and closed-form threshold.
+func TestDGDeciderDecides(t *testing.T) {
+	const n = 4096
+	p := DeciderParams{
+		Scf:       scf.Params{K: 64, M: 16, Blocks: 8, AlphaCandidates: []int{8, 4}}.WithDefaults(),
+		TargetPfa: 0.05,
+	}
+	d, err := NewDecider("dg", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sig.NewRand(3)
+	sigSrc := &sig.BPSK{Amp: 1, Carrier: 0.125, SymbolLen: 8, Rng: rng}
+	clean := sig.Samples(sigSrc, n)
+	band, _, err := sig.AddAWGN(clean, 6, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := d.Decide(nil, band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Detected {
+		t.Errorf("BPSK at 6 dB not detected: statistic %v threshold %v", dec.Statistic, dec.Threshold)
+	}
+	if dec.Detector != "dg" {
+		t.Errorf("decision detector = %q, want dg", dec.Detector)
+	}
+	noise := sig.Samples(&sig.WGN{Sigma: 1, Rng: rng}, n)
+	dec, err = d.Decide(nil, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Detected {
+		t.Errorf("noise flagged: statistic %v threshold %v", dec.Statistic, dec.Threshold)
+	}
+}

@@ -8,10 +8,10 @@ import (
 
 // Decision is the outcome of applying a detector with a threshold.
 type Decision struct {
-	Detector  string
-	Statistic float64
-	Threshold float64
-	Detected  bool
+	Detector  string  // registry name of the detector that decided
+	Statistic float64 // scalar decision statistic
+	Threshold float64 // threshold the statistic was compared against
+	Detected  bool    // Statistic > Threshold
 }
 
 // Detector computes a scalar decision statistic from sampled input.
@@ -28,7 +28,7 @@ type Detector interface {
 // gap between belief and truth is exactly the noise-uncertainty problem
 // that motivates CFD.
 type EnergyDetector struct {
-	AssumedNoisePower float64
+	AssumedNoisePower float64 // believed noise floor the energy is normalised by
 }
 
 // Name implements Detector.
@@ -43,7 +43,7 @@ func (d EnergyDetector) Statistic(x []complex128) (float64, error) {
 // a spectral-correlation surface and searches all cycle offsets
 // |a| >= MinAbsA.
 type CFDDetector struct {
-	Params scf.Params
+	Params scf.Params // surface geometry for the default direct DSCF
 	// MinAbsA excludes the offsets nearest a=0, where spectral leakage of
 	// the PSD row lives; 1 searches everything off the PSD row.
 	MinAbsA int
@@ -90,8 +90,8 @@ func estimateSurface(est scf.Estimator, p scf.Params, x []complex128) (*scf.Surf
 // reference [8]: the cycle offset A of the target signal is known a
 // priori (e.g. its doubled carrier), and only that offset is evaluated.
 type KnownCycleDetector struct {
-	Params scf.Params
-	A      int
+	Params scf.Params // surface geometry for the default direct DSCF
+	A      int        // the known cycle offset to evaluate
 	// Estimator optionally replaces the direct DSCF, as in CFDDetector.
 	Estimator scf.Estimator
 }

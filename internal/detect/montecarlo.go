@@ -70,8 +70,8 @@ func CalibrateThreshold(d Detector, sc Scenario, trials int, pfa float64, seed u
 
 // ROCPoint is one operating point of a receiver operating characteristic.
 type ROCPoint struct {
-	Threshold float64
-	Pfa, Pd   float64
+	Threshold float64 // decision threshold this point was scored at
+	Pfa, Pd   float64 // measured false-alarm and detection fractions
 }
 
 // ROC estimates the full receiver operating characteristic by scoring
@@ -113,9 +113,9 @@ func ROC(d Detector, sc Scenario, trials int, seed uint64) ([]ROCPoint, error) {
 
 // SweepPoint is one row of a Pd-vs-SNR sweep.
 type SweepPoint struct {
-	SNRdB float64
-	Pd    float64
-	Pfa   float64
+	SNRdB float64 // operating signal-to-noise ratio
+	Pd    float64 // measured detection probability at that SNR
+	Pfa   float64 // measured false-alarm probability at the calibrated threshold
 }
 
 // PdVsSNR runs, for each SNR, a threshold calibration at the requested

@@ -10,7 +10,7 @@ import (
 
 // ChannelDecision is the per-channel outcome of a scan.
 type ChannelDecision struct {
-	Channel int
+	Channel int // index into the scanned channel set
 	Decision
 }
 
@@ -18,8 +18,8 @@ type ChannelDecision struct {
 // channels — the Cognitive-Radio scan loop of the paper's introduction
 // (find under-utilised spectrum for the AAF ad-hoc network).
 type Scanner struct {
-	Detector  Detector
-	Threshold float64
+	Detector  Detector // statistic to apply per channel
+	Threshold float64  // shared decision threshold
 	// Workers bounds how many channels are evaluated concurrently.
 	// 0 or 1 scans serially; a negative value uses one worker per CPU.
 	// The detector must be safe for concurrent use (all detectors in

@@ -36,6 +36,17 @@ type RemoteSink struct {
 	dialTimeout time.Duration
 	pushTimeout time.Duration
 
+	// detector and targetPfa, when set via SetDetector, ride in every
+	// channel-open frame so the remote worker runs the same decision
+	// layer the local engines do ("" leaves the worker's default).
+	// defaultAlphas is the session-wide candidate set that rides along
+	// for channels without a per-channel override — the asymptotic
+	// detectors are built from the cycle set, so it must travel with
+	// them.
+	detector      string
+	targetPfa     float64
+	defaultAlphas []int
+
 	mu      sync.Mutex
 	cli     *wire.Client
 	streams map[string]*wire.ChannelStream
@@ -71,6 +82,36 @@ func NewRemoteSink(addr string, pushTimeout time.Duration) *RemoteSink {
 		streams:     make(map[string]*wire.ChannelStream),
 		want:        make(map[string][]int),
 		out:         make(chan stream.Decision, remoteDecisionBuffer),
+	}
+}
+
+// SetDetector selects the decision layer every subsequently opened
+// channel asks the remote worker to run (a detect registry name plus
+// the target false-alarm probability for the asymptotic detectors).
+// defaultAlphas is the session candidate set shipped with channels that
+// have no per-channel override, so the worker builds its decider from
+// the same cycle set the local engines default to. Call before
+// registering channels; "" keeps the worker's default.
+func (rs *RemoteSink) SetDetector(name string, targetPfa float64, defaultAlphas []int) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.detector = name
+	rs.targetPfa = targetPfa
+	rs.defaultAlphas = append([]int(nil), defaultAlphas...)
+}
+
+// openMeta assembles the open-frame metadata for one channel under
+// rs.mu.
+func (rs *RemoteSink) openMeta(id string, alphas []int) wire.Meta {
+	if alphas == nil {
+		alphas = rs.defaultAlphas
+	}
+	return wire.Meta{
+		ID:              id,
+		Format:          wire.FormatCF64,
+		AlphaCandidates: alphas,
+		Detector:        rs.detector,
+		TargetPfa:       rs.targetPfa,
 	}
 }
 
@@ -123,7 +164,7 @@ func (rs *RemoteSink) Redial() error {
 		return fmt.Errorf("shard: subscribe %s: %w", rs.addr, err)
 	}
 	for id, alphas := range rs.want {
-		cs, err := cli.Open(wire.Meta{ID: id, Format: wire.FormatCF64, AlphaCandidates: alphas})
+		cs, err := cli.Open(rs.openMeta(id, alphas))
 		if err != nil {
 			cli.Close()
 			return fmt.Errorf("shard: reopen %q on %s: %w", id, rs.addr, err)
@@ -188,7 +229,7 @@ func (rs *RemoteSink) AddChannelCandidates(id string, alphas []int) error {
 	if _, dup := rs.want[id]; dup {
 		return fmt.Errorf("shard: channel %q already exists on %s", id, rs.addr)
 	}
-	cs, err := rs.cli.Open(wire.Meta{ID: id, Format: wire.FormatCF64, AlphaCandidates: alphas})
+	cs, err := rs.cli.Open(rs.openMeta(id, alphas))
 	if err != nil {
 		return err
 	}

@@ -358,6 +358,15 @@ func (r *Router) addRemoteShardLocked(rc RemoteShard, seed int64) error {
 	gcfg := r.cfg.Guard
 	gcfg.Seed = seed
 	rs := NewRemoteSink(rc.Addr, gcfg.PushTimeout)
+	if dec := r.cfg.Engine.Decider; dec != nil && dec.TargetPfa() > 0 {
+		// Ship the asymptotic decision layer with every channel open so
+		// the worker decides identically — name, target Pfa and the
+		// cycle set (per-channel, or the session default) fully specify
+		// it. The legacy detectors (cfar, fixed) stay the worker's own
+		// configuration, as their scalar knobs do not travel on the wire
+		// (like geometry, they come from matching worker flags).
+		rs.SetDetector(dec.Name(), dec.TargetPfa(), r.cfg.Engine.AlphaCandidates)
+	}
 	g := newGuard(rs, gcfg)
 	s := &shardState{name: name, sink: g, remote: true, addr: rc.Addr, g: g}
 	r.shards[name] = s

@@ -1,0 +1,88 @@
+package sig
+
+import (
+	"fmt"
+	"math"
+)
+
+// Channel wraps any Source with composable channel effects, applied in
+// physical order: a static multipath FIR channel, then a carrier
+// frequency offset rotation, after an initial timing offset that
+// discards the first samples of the underlying stream. A zero-value
+// field disables its effect, so the wrapper is safe to apply
+// unconditionally and sweeps can toggle impairments independently.
+// (The batch-mode Impairments in pulse.go predates this wrapper and
+// remains for slice-at-a-time use; Channel is the streaming form that
+// composes with any Source.)
+type Channel struct {
+	Src Source // underlying clean-signal generator; required
+	// Multipath are the complex FIR channel taps h[0..L-1]; y(t) =
+	// Σ h[l]·x(t−l). Empty or a single unit tap means no multipath.
+	Multipath []complex128
+	// CFO is the carrier frequency offset in cycles per sample; the
+	// output is rotated by e^{j2π·CFO·t}.
+	CFO float64
+	// TimingOffset discards that many samples from the source before the
+	// first output sample, modelling an unknown symbol-timing phase.
+	TimingOffset int
+
+	k       int          // post-offset sample index, drives the CFO rotation
+	hist    []complex128 // last len(Multipath)-1 raw samples, FIR state
+	skipped bool
+}
+
+// Generate appends n impaired samples.
+func (im *Channel) Generate(dst []complex128, n int) []complex128 {
+	if im.Src == nil {
+		panic("sig: Channel needs a Src")
+	}
+	if im.TimingOffset < 0 {
+		panic(fmt.Sprintf("sig: Channel timing offset %d negative", im.TimingOffset))
+	}
+	if !im.skipped {
+		if im.TimingOffset > 0 {
+			im.Src.Generate(make([]complex128, 0, im.TimingOffset), im.TimingOffset)
+		}
+		im.skipped = true
+	}
+	raw := im.Src.Generate(make([]complex128, 0, n), n)
+	taps := im.Multipath
+	if len(taps) > 1 {
+		raw = im.fir(raw, taps)
+	} else if len(taps) == 1 {
+		for i := range raw {
+			raw[i] *= taps[0]
+		}
+	}
+	if im.CFO != 0 {
+		for i := range raw {
+			sn, cs := math.Sincos(2 * math.Pi * im.CFO * float64(im.k+i))
+			raw[i] *= complex(cs, sn)
+		}
+	}
+	im.k += n
+	return append(dst, raw...)
+}
+
+// fir convolves the block with the channel taps, carrying the tail of
+// the previous block as history so the channel is continuous across
+// Generate calls.
+func (im *Channel) fir(raw, taps []complex128) []complex128 {
+	order := len(taps) - 1
+	if im.hist == nil {
+		im.hist = make([]complex128, order)
+	}
+	ext := make([]complex128, 0, order+len(raw))
+	ext = append(ext, im.hist...)
+	ext = append(ext, raw...)
+	out := make([]complex128, len(raw))
+	for i := range out {
+		var sum complex128
+		for l, h := range taps {
+			sum += h * ext[order+i-l]
+		}
+		out[i] = sum
+	}
+	copy(im.hist, ext[len(ext)-order:])
+	return out
+}

@@ -1,0 +1,49 @@
+package sig
+
+import (
+	"fmt"
+	"math"
+)
+
+// MSK is minimum-shift keying on a real carrier: continuous-phase FSK
+// with modulation index h = 1/2, the minimum spacing that keeps the two
+// tones orthogonal. Each data bit advances the excess phase linearly by
+// ±π/2 over one symbol, so the instantaneous frequency toggles between
+// f_c ± 1/(4·SymbolLen) with no phase discontinuities — the
+// constant-envelope waveform of GSM's ancestor. Like the package's
+// BPSK, the signal is real passband: its cyclostationarity lives at
+// cycle frequencies around the doubled carrier, α = 2f_c ± m/(2T_sym),
+// which is what gives the detectors a feature distinct from the
+// rectangular-pulse BPSK spectrum.
+type MSK struct {
+	Amp       float64 // carrier amplitude
+	Carrier   float64 // cycles per sample
+	SymbolLen int     // samples per bit
+	Phase     float64 // initial carrier phase, radians
+	Rng       *Rand   // bit source; required
+
+	k      int     // sample index
+	excess float64 // accumulated excess phase, radians
+	bit    float64 // current bit, ±1
+}
+
+// Generate appends n samples of the MSK signal.
+func (m *MSK) Generate(dst []complex128, n int) []complex128 {
+	if m.Rng == nil {
+		panic("sig: MSK needs a Rng")
+	}
+	if m.SymbolLen < 1 {
+		panic(fmt.Sprintf("sig: MSK symbol length %d must be >= 1", m.SymbolLen))
+	}
+	step := math.Pi / (2 * float64(m.SymbolLen))
+	for i := 0; i < n; i++ {
+		if m.k%m.SymbolLen == 0 {
+			m.bit = m.Rng.Bit()
+		}
+		arg := 2*math.Pi*m.Carrier*float64(m.k) + m.excess + m.Phase
+		dst = append(dst, complex(m.Amp*math.Cos(arg), 0))
+		m.excess += m.bit * step
+		m.k++
+	}
+	return dst
+}

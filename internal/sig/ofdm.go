@@ -22,12 +22,12 @@ import (
 // whole symbols, padding the request up to the next boundary internally
 // and carrying the remainder over to the next call.
 type OFDM struct {
-	Amp        float64
-	NFFT       int // subcarriers (power of two >= 4)
-	CP         int // cyclic prefix length in samples (>= 1)
-	ActiveLow  int // first active subcarrier index (>= 1 to skip DC)
-	ActiveHigh int // last active subcarrier index (inclusive)
-	Rng        *Rand
+	Amp        float64 // time-domain amplitude scale
+	NFFT       int     // subcarriers (power of two >= 4)
+	CP         int     // cyclic prefix length in samples (>= 1)
+	ActiveLow  int     // first active subcarrier index (>= 1 to skip DC)
+	ActiveHigh int     // last active subcarrier index (inclusive)
+	Rng        *Rand   // QPSK data source; required
 
 	buf []complex128 // leftover samples of the last generated symbol
 }

@@ -74,12 +74,12 @@ func FIRFilter(x []complex128, taps []float64) ([]complex128, error) {
 // generates in one shot (stateless between calls is impractical for a
 // filtered stream), so Generate must be called with the full length.
 type ShapedBPSK struct {
-	Amp       float64
-	Carrier   float64
-	SymbolLen int
+	Amp       float64 // carrier amplitude
+	Carrier   float64 // cycles per sample
+	SymbolLen int     // samples per symbol
 	Beta      float64 // raised-cosine rolloff
 	Span      int     // filter span in symbols (even; default 6)
-	Rng       *Rand
+	Rng       *Rand   // symbol source; required
 }
 
 // Generate appends n samples of the shaped BPSK signal. It panics on a

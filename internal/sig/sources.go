@@ -23,10 +23,10 @@ func Samples(s Source, n int) []complex128 {
 // Real=true it produces the real cosine amp·cos(2πf·k + φ) instead, which
 // is the passband form whose spectrum is conjugate-symmetric.
 type Tone struct {
-	Amp   float64
+	Amp   float64 // carrier amplitude
 	Freq  float64 // cycles per sample
 	Phase float64 // radians
-	Real  bool
+	Real  bool    // emit the real cosine instead of the complex exponential
 	k     int
 }
 
@@ -48,11 +48,11 @@ func (t *Tone) Generate(dst []complex128, n int) []complex128 {
 // amp·(1 + depth·cos(2πf_mod·k))·cos(2πf_c·k + φ). AM exhibits strong
 // cyclostationarity at cycle frequencies 2·f_c and 2·f_c ± f_mod.
 type AM struct {
-	Amp     float64
+	Amp     float64 // carrier amplitude
 	Carrier float64 // cycles per sample
 	ModFreq float64 // cycles per sample
 	Depth   float64 // modulation index in [0,1]
-	Phase   float64
+	Phase   float64 // carrier phase in radians
 	k       int
 }
 
@@ -72,11 +72,11 @@ func (a *AM) Generate(dst []complex128, n int) []complex128 {
 // the doubled-carrier line at 2f_c is the feature classic CFD detectors
 // key on (Enserink & Cochran, ref [2] of the paper).
 type BPSK struct {
-	Amp       float64
+	Amp       float64 // carrier amplitude
 	Carrier   float64 // cycles per sample
 	SymbolLen int     // samples per symbol
-	Phase     float64
-	Rng       *Rand // symbol source; required
+	Phase     float64 // carrier phase in radians
+	Rng       *Rand   // symbol source; required
 	k         int
 	sym       float64
 }
@@ -106,11 +106,11 @@ func (b *BPSK) Generate(dst []complex128, n int) []complex128 {
 // doubled-carrier feature of BPSK but keeps symbol-rate features — the
 // textbook pair for showing that CFD can also discriminate modulations.
 type QPSK struct {
-	Amp       float64
-	Carrier   float64
-	SymbolLen int
-	Phase     float64
-	Rng       *Rand
+	Amp       float64 // carrier amplitude
+	Carrier   float64 // cycles per sample
+	SymbolLen int     // samples per symbol
+	Phase     float64 // carrier phase in radians
+	Rng       *Rand   // symbol source; required
 	k         int
 	i, q      float64
 }
@@ -142,9 +142,9 @@ func (b *QPSK) Generate(dst []complex128, n int) []complex128 {
 // circularly symmetric complex with per-component deviation Sigma/√2 so
 // that E|x|² = Sigma².
 type WGN struct {
-	Sigma float64
-	Real  bool
-	Rng   *Rand
+	Sigma float64 // total standard deviation: E|x|² = Sigma²
+	Real  bool    // real-valued noise instead of circular complex
+	Rng   *Rand   // sample source; required
 }
 
 // Generate appends n noise samples. It panics if Rng is nil.
@@ -164,7 +164,7 @@ func (w *WGN) Generate(dst []complex128, n int) []complex128 {
 
 // Mix sums several sources sample by sample.
 type Mix struct {
-	Sources []Source
+	Sources []Source // summed generators; all advance in lockstep
 }
 
 // Generate appends n summed samples.

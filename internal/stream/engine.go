@@ -62,13 +62,19 @@ type Config struct {
 	// MinAbsA is the smallest |a| the decision layer searches (default
 	// 2, clear of PSD leakage around a=0).
 	MinAbsA int
+	// Decider, when set, is the decision layer applied to every channel
+	// (build one with detect.NewDecider; individual channels can
+	// override it via AddChannelDecider). When nil, a legacy decider is
+	// built from the scalar knobs below: Threshold > 0 selects "fixed",
+	// otherwise "cfar" — the pre-registry behaviour, preserved
+	// bit-for-bit.
+	Decider detect.Decider
 	// Threshold, when positive, selects fixed-threshold decisions on the
-	// CFD statistic. When zero, decisions use the self-calibrating CFAR
-	// with CFARScale (default 2) — the deployment mode, needing no
-	// calibration channel.
+	// CFD statistic (the legacy "fixed" detector). Ignored when Decider
+	// is set.
 	Threshold float64
-	// CFARScale is the CFAR peak-over-floor ratio (default 2); ignored
-	// when Threshold is set.
+	// CFARScale is the legacy "cfar" peak-over-floor ratio (default 2);
+	// ignored when Threshold or Decider is set.
 	CFARScale float64
 	// DecisionBuffer is the capacity of the Decisions channel. A slow
 	// consumer never stalls sensing: overflowing decisions are dropped
@@ -116,12 +122,19 @@ type Decision struct {
 	// TotalSamples is the cumulative sample count the channel has
 	// processed when the decision was made.
 	TotalSamples int64
-	// Detected carries the verdict: the CFAR peak-over-floor ratio
-	// against CFARScale, or the CFD statistic against the fixed
-	// Threshold.
+	// Detected carries the verdict of the channel's decider — e.g. the
+	// CFAR peak-over-floor ratio against its scale, or an asymptotic
+	// chi-square statistic against its closed-form threshold.
 	Detected bool
 	// Statistic and Threshold are the compared decision inputs.
 	Statistic, Threshold float64
+	// Detector is the registry name of the decider that produced the
+	// verdict (cfar, fixed, dg, urriza).
+	Detector string
+	// TargetPfa is the configured false-alarm target of an
+	// asymptotic-threshold detector (dg, urriza); 0 for detectors
+	// thresholded by other means.
+	TargetPfa float64
 	// FeatureF/FeatureA locate the strongest cyclic feature (a != 0).
 	FeatureF, FeatureA int
 	// Estimator names the estimator that produced the surface.
@@ -180,6 +193,7 @@ type ChannelStats struct {
 // documentation for the architecture.
 type Engine struct {
 	cfg Config
+	dec detect.Decider // engine-wide default decision layer
 
 	mu       sync.RWMutex
 	channels map[string]*channel
@@ -214,6 +228,8 @@ type channel struct {
 	// draining the channel; the queued-flag protocol guarantees there is
 	// at most one at a time, with ch.mu handoffs ordering memory.
 	acc       scf.Accumulator
+	dec       detect.Decider // effective decider, never nil
+	win       []complex128   // window samples, buffered only when dec.NeedsSamples()
 	sinceSnap int
 	processed int64
 	seq       int64
@@ -243,7 +259,12 @@ func New(cfg Config) (*Engine, error) {
 	if _, err := accumulatorFor(cfg.Estimator, cfg.AlphaCandidates); err != nil {
 		return nil, err
 	}
+	dec, err := deciderFor(cfg)
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
+		dec:      dec,
 		cfg:      cfg,
 		channels: make(map[string]*channel),
 		work:     make(chan *channel, cfg.MaxChannels),
@@ -277,6 +298,24 @@ func accumulatorFor(est scf.StreamingEstimator, alphas []int) (scf.Accumulator, 
 	return est.NewAccumulator()
 }
 
+// deciderFor resolves the engine's default decision layer: the
+// explicitly configured Decider, or the legacy scalar-knob selection
+// (Threshold > 0 means fixed, otherwise CFAR).
+func deciderFor(cfg Config) (detect.Decider, error) {
+	if cfg.Decider != nil {
+		return cfg.Decider, nil
+	}
+	name := "cfar"
+	if cfg.Threshold > 0 {
+		name = "fixed"
+	}
+	return detect.NewDecider(name, detect.DeciderParams{
+		MinAbsA:   cfg.MinAbsA,
+		Threshold: cfg.Threshold,
+		CFARScale: cfg.CFARScale,
+	})
+}
+
 // AddChannel registers a new monitored channel with fresh accumulator
 // state, pruned to Config.AlphaCandidates when that is set.
 func (e *Engine) AddChannel(id string) error {
@@ -290,6 +329,15 @@ func (e *Engine) AddChannel(id string) error {
 // implement scf.CandidateEstimator whenever the effective set is
 // non-empty.
 func (e *Engine) AddChannelCandidates(id string, alphas []int) error {
+	return e.AddChannelDecider(id, alphas, nil)
+}
+
+// AddChannelDecider registers a new monitored channel with its own
+// decision layer, overriding the engine-wide decider for this channel
+// only — how remote shard workers run the exact detector the router's
+// open frame names. A nil decider falls back to the engine default; the
+// alpha-candidate semantics match AddChannelCandidates.
+func (e *Engine) AddChannelDecider(id string, alphas []int, dec detect.Decider) error {
 	if id == "" {
 		return fmt.Errorf("stream: empty channel id")
 	}
@@ -300,7 +348,10 @@ func (e *Engine) AddChannelCandidates(id string, alphas []int) error {
 	if err != nil {
 		return err
 	}
-	ch := &channel{id: id, ring: make([]complex128, e.cfg.RingSamples), acc: acc}
+	if dec == nil {
+		dec = e.dec
+	}
+	ch := &channel{id: id, ring: make([]complex128, e.cfg.RingSamples), acc: acc, dec: dec}
 	ch.cond = sync.NewCond(&ch.mu)
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -564,6 +615,14 @@ func (e *Engine) feed(ch *channel, chunk []complex128) {
 			ch.dead = true
 			return
 		}
+		if ch.dec.NeedsSamples() {
+			// Sample-based deciders (dg, urriza) see the raw samples of
+			// the span since the last decision; the buffer is released
+			// once a decision is made, so in cumulative mode the decider
+			// still evaluates only the newest window while the surface
+			// keeps integrating.
+			ch.win = append(ch.win, chunk[:n]...)
+		}
 		ch.sinceSnap += n
 		ch.processed += int64(n)
 		chunk = chunk[n:]
@@ -574,6 +633,7 @@ func (e *Engine) feed(ch *channel, chunk []complex128) {
 			// decision comes at the next boundary.
 			if ch.acc.Ready() {
 				e.decide(ch)
+				ch.win = ch.win[:0]
 				if !e.cfg.Cumulative {
 					ch.acc.Reset()
 				}
@@ -595,22 +655,18 @@ func (e *Engine) decide(ch *channel) {
 		WindowSamples: ch.acc.Samples(),
 		TotalSamples:  ch.processed,
 		Estimator:     ch.acc.Name(),
+		Detector:      ch.dec.Name(),
+		TargetPfa:     ch.dec.TargetPfa(),
 		At:            time.Now(),
 	}
-	if e.cfg.Threshold > 0 {
-		stat, err := detect.CFDStatistic(s, e.cfg.MinAbsA)
-		if err != nil {
-			return
-		}
-		d.Statistic, d.Threshold = stat, e.cfg.Threshold
-		d.Detected = stat > e.cfg.Threshold
-	} else {
-		cd, err := detect.CFAR{MinAbsA: e.cfg.MinAbsA, Scale: e.cfg.CFARScale}.Examine(s)
-		if err != nil {
-			return
-		}
-		d.Statistic, d.Threshold, d.Detected = cd.Statistic, cd.Threshold, cd.Detected
+	res, err := ch.dec.Decide(s, ch.win)
+	if err != nil {
+		// Data-dependent decider failures (e.g. a partial flush window
+		// too short for an asymptotic test) skip the window rather than
+		// killing the channel, like snapshot failures above.
+		return
 	}
+	d.Statistic, d.Threshold, d.Detected = res.Statistic, res.Threshold, res.Detected
 	// The reported feature is the strongest cell in the offsets the
 	// decision layer actually searched (|a| >= MinAbsA), so its
 	// coordinates always describe the peak behind the statistic.

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMetaRoundTrip drives appendMeta → parseMeta across every layout
+// generation: the original frame, the alpha-candidate extension, and
+// the detector extension (which forces the candidate extension, even
+// empty, because extensions are positional).
+func TestMetaRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Meta
+	}{
+		{"original", Meta{ID: "ch-1", Format: FormatCF32, SampleRateHz: 1e6, CenterFreqHz: 433e6}},
+		{"candidates", Meta{ID: "ch-2", Format: FormatCI16, AlphaCandidates: []int{8, 4, 65535}}},
+		{"detector-only", Meta{ID: "ch-3", Format: FormatCF64, Detector: "dg", TargetPfa: 0.05}},
+		{"candidates+detector", Meta{ID: "ch-4", Format: FormatCF32,
+			AlphaCandidates: []int{16, 32}, Detector: "urriza", TargetPfa: 0.01}},
+		{"detector-default-pfa", Meta{ID: "ch-5", Format: FormatCF32, Detector: "dg"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			buf := appendMeta(nil, 42, c.m)
+			ref, got, err := parseMeta(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref != 42 {
+				t.Errorf("ref = %d, want 42", ref)
+			}
+			if !reflect.DeepEqual(got, c.m) {
+				t.Errorf("round trip:\n got %+v\nwant %+v", got, c.m)
+			}
+		})
+	}
+}
+
+// A frame with no extensions must encode to the pre-extension layout
+// byte for byte: 2 ref + 1 format + 8 rate + 8 freq + 2 idlen + id.
+func TestMetaOriginalLayoutUnchanged(t *testing.T) {
+	m := Meta{ID: "legacy", Format: FormatCF32}
+	buf := appendMeta(nil, 1, m)
+	if want := 2 + 1 + 8 + 8 + 2 + len(m.ID); len(buf) != want {
+		t.Fatalf("legacy frame %d bytes, want %d — extension emitted without candidates or detector",
+			len(buf), want)
+	}
+}
+
+// Naming a detector with no candidates must still emit the candidate
+// extension (count 0) so the positional detector extension parses.
+func TestMetaDetectorForcesCandidateExtension(t *testing.T) {
+	m := Meta{ID: "d", Format: FormatCF32, Detector: "dg", TargetPfa: 0.05}
+	buf := appendMeta(nil, 1, m)
+	base := 2 + 1 + 8 + 8 + 2 + len(m.ID)
+	want := base + 2 /* count=0 */ + 1 + len(m.Detector) + 8
+	if len(buf) != want {
+		t.Fatalf("frame %d bytes, want %d", len(buf), want)
+	}
+	if buf[base] != 0 || buf[base+1] != 0 {
+		t.Fatalf("candidate count bytes = %v, want zero", buf[base:base+2])
+	}
+}
+
+func TestMetaDetectorValidation(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		m    Meta
+		want string
+	}{
+		{"long-name", Meta{ID: "x", Format: FormatCF32,
+			Detector: strings.Repeat("d", 256)}, "detector name"},
+		{"pfa-high", Meta{ID: "x", Format: FormatCF32, Detector: "dg", TargetPfa: 1}, "target pfa"},
+		{"pfa-negative", Meta{ID: "x", Format: FormatCF32, Detector: "dg", TargetPfa: -0.1}, "target pfa"},
+		{"pfa-without-detector", Meta{ID: "x", Format: FormatCF32, TargetPfa: 0.05}, "without a detector"},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.m.validate()
+			if err == nil {
+				t.Fatalf("meta %+v validated", c.m)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// Truncating the detector extension must be rejected, not misparsed.
+func TestMetaTruncatedDetectorExtension(t *testing.T) {
+	m := Meta{ID: "x", Format: FormatCF32, Detector: "urriza", TargetPfa: 0.05}
+	buf := appendMeta(nil, 1, m)
+	for cut := 1; cut <= 8; cut++ {
+		if _, _, err := parseMeta(buf[:len(buf)-cut]); err == nil {
+			t.Fatalf("frame truncated by %d bytes parsed", cut)
+		}
+	}
+}

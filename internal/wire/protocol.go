@@ -117,11 +117,26 @@ type Meta struct {
 	// trailing extension, so peers that never set it interoperate with
 	// ones that do.
 	AlphaCandidates []int
+	// Detector, when non-empty, names the decision layer the channel
+	// should run (a detect registry name) — shipped in the open frame so
+	// a remote shard worker decides exactly as the local engine would.
+	// Empty means the receiver's configured default. Encoded as a second
+	// trailing extension after the candidate list, so peers that never
+	// set it keep the earlier layouts byte for byte.
+	Detector string
+	// TargetPfa rides with Detector: the false-alarm probability the
+	// asymptotic detectors are calibrated to (0 means the receiver's
+	// default). Ignored when Detector is empty.
+	TargetPfa float64
 }
 
 // maxAlphaCandidates bounds the candidate list length on the wire; each
 // candidate is a u16 bin offset.
 const maxAlphaCandidates = 1024
+
+// maxDetectorLen bounds the detector name length on the wire (u8 length
+// prefix).
+const maxDetectorLen = 255
 
 // validate checks the metadata bounds shared by client and server.
 func (m Meta) validate() error {
@@ -141,6 +156,15 @@ func (m Meta) validate() error {
 		if a < 0 || a > math.MaxUint16 {
 			return fmt.Errorf("wire: alpha candidate %d outside [0, %d]", a, math.MaxUint16)
 		}
+	}
+	if len(m.Detector) > maxDetectorLen {
+		return fmt.Errorf("wire: detector name %d bytes long, max %d", len(m.Detector), maxDetectorLen)
+	}
+	if m.TargetPfa < 0 || m.TargetPfa >= 1 || math.IsNaN(m.TargetPfa) {
+		return fmt.Errorf("wire: target pfa %v outside [0, 1)", m.TargetPfa)
+	}
+	if m.Detector == "" && m.TargetPfa != 0 {
+		return fmt.Errorf("wire: target pfa %v without a detector name", m.TargetPfa)
 	}
 	return nil
 }
@@ -211,7 +235,11 @@ func readFrame(r *bufio.Reader, buf []byte, maxBytes int) (typ byte, payload, ne
 // appendMeta encodes an open-frame payload. The alpha-candidate list is
 // a trailing extension (u16 count, then one u16 per candidate) emitted
 // only when non-empty, so frames from peers that never prune keep the
-// original layout byte for byte.
+// original layout byte for byte. The detector selection is a second
+// trailing extension (u8 name length, name bytes, f64 target Pfa)
+// emitted only when a detector is named; because extensions are
+// positional, naming a detector forces the candidate extension too
+// (possibly with count zero).
 func appendMeta(dst []byte, ref uint16, m Meta) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, ref)
 	dst = append(dst, byte(m.Format))
@@ -219,11 +247,16 @@ func appendMeta(dst []byte, ref uint16, m Meta) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.CenterFreqHz))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.ID)))
 	dst = append(dst, m.ID...)
-	if len(m.AlphaCandidates) > 0 {
+	if len(m.AlphaCandidates) > 0 || m.Detector != "" {
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.AlphaCandidates)))
 		for _, a := range m.AlphaCandidates {
 			dst = binary.BigEndian.AppendUint16(dst, uint16(a))
 		}
+	}
+	if m.Detector != "" {
+		dst = append(dst, byte(len(m.Detector)))
+		dst = append(dst, m.Detector...)
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.TargetPfa))
 	}
 	return dst
 }
@@ -249,7 +282,7 @@ func parseMeta(p []byte) (ref uint16, m Meta, err error) {
 			return 0, m, fmt.Errorf("wire: open frame candidate extension %d bytes, too short", len(ext))
 		}
 		count := int(binary.BigEndian.Uint16(ext))
-		if len(ext) != 2+2*count {
+		if len(ext) < 2+2*count {
 			return 0, m, fmt.Errorf("wire: open frame candidate extension %d bytes, want %d for %d candidates",
 				len(ext), 2+2*count, count)
 		}
@@ -259,6 +292,16 @@ func parseMeta(p []byte) (ref uint16, m Meta, err error) {
 				m.AlphaCandidates[i] = int(binary.BigEndian.Uint16(ext[2+2*i:]))
 			}
 		}
+		ext = ext[2+2*count:]
+	}
+	if len(ext) > 0 {
+		nameLen := int(ext[0])
+		if len(ext) != 1+nameLen+8 {
+			return 0, m, fmt.Errorf("wire: open frame detector extension %d bytes, want %d for name of %d",
+				len(ext), 1+nameLen+8, nameLen)
+		}
+		m.Detector = string(ext[1 : 1+nameLen])
+		m.TargetPfa = math.Float64frombits(binary.BigEndian.Uint64(ext[1+nameLen:]))
 	}
 	return ref, m, m.validate()
 }
