@@ -87,6 +87,19 @@
 // report as its own artifact for plotting; -roc-trials 0 skips the
 // scenario.
 //
+// Since PR 10 (schema 9) the artifact carries a Q15-kernel scenario:
+// the fixed-point estimators run under the scalar reference kernels and
+// under the SWAR kernels (internal/fixed), interleaved round-robin in
+// one process with per-variant medians (absolute ns/op on a shared
+// runner is noisy; medians of interleaved rounds are stable), after a
+// bit-exactness check that both kernel implementations produce the
+// identical QSurface. Each row records the scalar-vs-SWAR kernel
+// speedup and the fixed-vs-float wall-clock ratio against the float
+// reference estimator, per -q15-procs GOMAXPROCS setting.
+// -q15-fail-below gates the run on fam-q15's float/fixed ratio (e.g.
+// 0.5 = fail when fam-q15 costs more than 2x float fam); -q15-rounds 0
+// skips the scenario.
+//
 // With -baseline, a previously written report is embedded and per-
 // estimator speedups (baseline ns / current ns) are computed, turning one
 // file into a before/after comparison:
@@ -104,10 +117,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"math/cmplx"
 	"net"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -120,6 +135,7 @@ import (
 	"tiledcfd/internal/chaos"
 	"tiledcfd/internal/detect"
 	"tiledcfd/internal/fam"
+	"tiledcfd/internal/fixed"
 	"tiledcfd/internal/quant"
 	"tiledcfd/internal/scf"
 	"tiledcfd/internal/shard"
@@ -196,6 +212,39 @@ type PrunedMeasurement struct {
 	// computed.
 	PrunedCellsSkipped int64 `json:"pruned_cells_skipped"`
 	GOMAXPROCS         int   `json:"gomaxprocs"`
+}
+
+// Q15KernelMeasurement is one fixed-point estimator's row of the
+// schema-9 Q15-kernel scenario: the same full estimate timed under the
+// scalar reference kernels and under the SWAR kernels, plus the float
+// reference estimator, all interleaved round-robin in one process and
+// reduced to per-variant medians. KernelSpeedup is what the SWAR
+// datapath buys over the scalar one; FixedOverFloat is the headline
+// cost of running the estimate in 16-bit words at all (the
+// -q15-fail-below gate reads its inverse).
+type Q15KernelMeasurement struct {
+	Name       string `json:"name"`
+	Reference  string `json:"reference"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Rounds     int    `json:"rounds"`
+	// Samples is the scenario's own steady-state workload length; the
+	// Q15 pipelines carry per-snapshot setup (quantisation, plan and
+	// root-table lookup) that the kernel ratio should amortise, so the
+	// scenario measures q15KernelBlocks blocks of K rather than the
+	// top-level -blocks band.
+	Samples int `json:"samples"`
+	// BitExact records the scenario's precondition check: the scalar and
+	// SWAR kernels produced the identical QSurface (words, exponent,
+	// gain) on the benchmark band. The run fails outright when false.
+	BitExact bool `json:"bit_exact"`
+	// Medians of the interleaved rounds, ns per full Estimate.
+	ScalarNsPerOp float64 `json:"scalar_ns_per_op"`
+	SWARNsPerOp   float64 `json:"swar_ns_per_op"`
+	FloatNsPerOp  float64 `json:"float_ns_per_op"`
+	// KernelSpeedup = scalar / SWAR (>1 means SWAR is faster).
+	KernelSpeedup float64 `json:"kernel_speedup"`
+	// FixedOverFloat = SWAR Q15 / float reference (1.0 = parity).
+	FixedOverFloat float64 `json:"fixed_over_float"`
 }
 
 // FixedPointMeasurement is one Q15 backend's accuracy row against its
@@ -310,6 +359,7 @@ type Report struct {
 	Results    []Measurement           `json:"results"`
 	Detection  *DetectionScenario      `json:"detection,omitempty"`
 	Pruned     []PrunedMeasurement     `json:"pruned,omitempty"`
+	Q15Kernel  []Q15KernelMeasurement  `json:"q15_kernel,omitempty"`
 	FixedPoint []FixedPointMeasurement `json:"fixed_point,omitempty"`
 	Streaming  []StreamingMeasurement  `json:"streaming,omitempty"`
 	Wire       []WireMeasurement       `json:"wire,omitempty"`
@@ -372,6 +422,12 @@ func main() {
 			"exit non-zero if the best pruned serving-window speedup falls below this ratio (0 = never fail)")
 		prunedWindows = flag.String("pruned-windows", "1024,2048,8192",
 			"pruned scenario: serving-window sizes in samples to sweep (one row each)")
+		q15Rounds = flag.Int("q15-rounds", 11,
+			"q15-kernel scenario: interleaved timing rounds per variant, odd for a clean median (0 = skip)")
+		q15Procs = flag.String("q15-procs", "1,0",
+			"q15-kernel scenario: comma-separated GOMAXPROCS per sweep row (0 = all cores)")
+		q15FailBelow = flag.Float64("q15-fail-below", 0,
+			"exit non-zero if fam-q15's float/fixed throughput ratio falls below this on every -q15-procs row (0.5 = fail when fam-q15 costs more than 2x float fam; 0 = never fail)")
 		rocTrials = flag.Int("roc-trials", 200,
 			"detection scenario: Monte-Carlo trials per hypothesis per curve (0 = skip)")
 		rocConf = flag.Float64("roc-conf", 0.99,
@@ -388,8 +444,9 @@ func main() {
 	p := prunedOpts{alphaCSV: *prunedAlpha, estimators: *prunedEst, failBelow: *prunedFailBelow,
 		windowsCSV: *prunedWindows}
 	r := rocOpts{trials: *rocTrials, confidence: *rocConf, gate: *rocGate, out: *rocOut}
+	q := q15Opts{rounds: *q15Rounds, procsCSV: *q15Procs, failBelow: *q15FailBelow}
 	if err := run(*out, *k, *m, *blocks, *seed, *names, *baseline, *failBelow, *batchProcs,
-		*streamCh, *streamN, *mapEst, *mapTiles, *mapStrats, w, d, p, r); err != nil {
+		*streamCh, *streamN, *mapEst, *mapTiles, *mapStrats, w, d, p, r, q); err != nil {
 		fmt.Fprintln(os.Stderr, "cfdbench:", err)
 		os.Exit(1)
 	}
@@ -401,6 +458,19 @@ type prunedOpts struct {
 	estimators string
 	failBelow  float64
 	windowsCSV string
+}
+
+// q15KernelBlocks is the minimum workload of the Q15-kernel scenario
+// in blocks of K samples: long enough that the Q15 pipelines' fixed
+// per-snapshot setup stops dominating and the measured ratio tracks
+// kernel throughput.
+const q15KernelBlocks = 32
+
+// q15Opts bundles the schema-9 Q15-kernel scenario parameters.
+type q15Opts struct {
+	rounds    int
+	procsCSV  string
+	failBelow float64
 }
 
 // rocOpts bundles the schema-8 detection scenario parameters.
@@ -433,30 +503,49 @@ type degradedOpts struct {
 var fixedRefs = map[string]string{"fam-q15": "fam", "ssca-q15": "ssca"}
 
 // estimatorSet builds the named batch estimators over one parameter
-// set (Blocks applies to the direct DSCF only).
-func estimatorSet(p scf.Params, blocks int) map[string]scf.Estimator {
+// set (Blocks applies to the direct DSCF only). peak is the benchmark
+// band's largest component magnitude; fixing it as the Q15 estimators'
+// InputPeak keeps their batch conditioning identical to the default
+// measured-peak path on that band while enabling their streaming
+// accumulators, which cannot measure a peak incrementally.
+func estimatorSet(p scf.Params, blocks int, peak float64) map[string]scf.Estimator {
 	direct := p
 	direct.Blocks = blocks
 	return map[string]scf.Estimator{
 		"direct":   scf.Direct{Params: direct},
 		"fam":      fam.FAM{Params: p},
 		"ssca":     fam.SSCA{Params: p},
-		"fam-q15":  fam.FAMQ15{Params: p},
-		"ssca-q15": fam.SSCAQ15{Params: p},
+		"fam-q15":  fam.FAMQ15{Params: p, InputPeak: peak},
+		"ssca-q15": fam.SSCAQ15{Params: p, InputPeak: peak},
 	}
+}
+
+// bandPeak returns the largest real/imaginary component magnitude in
+// band — the quantity the Q15 estimators condition against.
+func bandPeak(band []complex128) float64 {
+	var peak float64
+	for _, s := range band {
+		if v := math.Abs(real(s)); v > peak {
+			peak = v
+		}
+		if v := math.Abs(imag(s)); v > peak {
+			peak = v
+		}
+	}
+	return peak
 }
 
 func run(out string, k, m, blocks int, seed uint64, names, baseline string, failBelow float64,
 	batchProcs string, streamCh, streamN int, mapEst, mapTiles, mapStrats string,
-	wopts wireOpts, dopts degradedOpts, popts prunedOpts, ropts rocOpts) error {
+	wopts wireOpts, dopts degradedOpts, popts prunedOpts, ropts rocOpts, qopts q15Opts) error {
 	band, err := tiledcfd.NewBPSKBand(k*blocks, 0.125, 8, 10, seed)
 	if err != nil {
 		return err
 	}
 	p := scf.Params{K: k, M: m}
-	all := estimatorSet(p, blocks)
+	all := estimatorSet(p, blocks, bandPeak(band))
 	rep := Report{
-		Schema:     8, // 2: streaming; 3: fixed-point; 4: mapping; 5: wire; 6: degraded; 7: alpha pruning + GOMAXPROCS sweep; 8: detector ROC
+		Schema:     9, // 2: streaming; 3: fixed-point; 4: mapping; 5: wire; 6: degraded; 7: alpha pruning + GOMAXPROCS sweep; 8: detector ROC; 9: Q15 kernel datapath
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -547,6 +636,29 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 			}
 		}
 	}
+	var q15GateErr error
+	if qopts.rounds > 0 {
+		rows, err := benchQ15Kernel(qopts, all, band, k, seed)
+		if err != nil {
+			return fmt.Errorf("q15-kernel scenario: %w", err)
+		}
+		rep.Q15Kernel = rows
+		if qopts.failBelow > 0 {
+			// The gate holds the headline acceptance number on every
+			// GOMAXPROCS row: fam-q15 must stay within 1/failBelow of the
+			// float fam it shadows (0.5 = within 2x).
+			for _, r := range rows {
+				if r.Name != "fam-q15" || r.SWARNsPerOp <= 0 {
+					continue
+				}
+				if ratio := r.FloatNsPerOp / r.SWARNsPerOp; ratio < qopts.failBelow {
+					q15GateErr = errors.Join(q15GateErr, fmt.Errorf(
+						"q15-kernel regression: fam-q15@p%d float/fixed ratio %.2f below %.2f (fam-q15 costs %.2fx float fam)",
+						r.GOMAXPROCS, ratio, qopts.failBelow, r.FixedOverFloat))
+				}
+			}
+		}
+	}
 	// Fixed-point scenario: every requested Q15 backend against its float
 	// reference on the same band.
 	for _, name := range strings.Split(names, ",") {
@@ -580,8 +692,6 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 			}
 			sest, ok := all[name].(scf.StreamingEstimator)
 			if !ok {
-				// The Q15 backends have no incremental form; the batch and
-				// fixed-point scenarios cover them.
 				continue
 			}
 			sm, err := benchStreaming(name, sest, streamCh, streamN, band)
@@ -700,7 +810,143 @@ func run(out string, k, m, blocks int, seed uint64, names, baseline string, fail
 		return err
 	}
 	fmt.Println("wrote", out)
-	return errors.Join(gateErr, prunedGateErr, rocGateErr)
+	return errors.Join(gateErr, prunedGateErr, q15GateErr, rocGateErr)
+}
+
+// benchQ15Kernel runs the schema-9 Q15-kernel scenario. For each
+// -q15-procs setting and each fixed-point estimator, three variants of
+// the same full-band estimate — Q15 under the scalar kernels, Q15 under
+// the SWAR kernels, and the float reference — are first checked (the
+// two kernel implementations must produce the identical QSurface) and
+// then timed INTERLEAVED: each round times all variants back to back,
+// and the row keeps per-variant medians. Interleaving plus medians is
+// deliberate: on a shared runner, absolute ns/op between separate
+// benchmark invocations wanders by tens of percent, but the ratio of
+// medians over interleaved rounds holds steady — and ratios are what
+// the scenario exists to track. The band is the scenario's own: when
+// the top-level band is shorter than q15KernelBlocks blocks of K, a
+// longer one is synthesised from the same seed so the per-snapshot
+// fixed-point setup cost amortises the way a steady-state deployment
+// would see it.
+func benchQ15Kernel(qopts q15Opts, all map[string]scf.Estimator, band []complex128, k int, seed uint64) ([]Q15KernelMeasurement, error) {
+	procsList, err := parseCounts(qopts.procsCSV, "-q15-procs")
+	if err != nil {
+		return nil, err
+	}
+	if len(band) < q15KernelBlocks*k {
+		band, err = tiledcfd.NewBPSKBand(q15KernelBlocks*k, 0.125, 8, 10, seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Earlier scenarios leave the GC pacer tuned for their own heap
+	// shapes, which penalises the allocation-heavier Q15 variants far
+	// more than the float reference and skews the very ratio this
+	// scenario gates on. Settle the heap before timing anything.
+	runtime.GC()
+	debug.FreeOSMemory()
+	names := make([]string, 0, len(fixedRefs))
+	for name := range fixedRefs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var rows []Q15KernelMeasurement
+	for _, procs := range procsList {
+		if procs <= 0 {
+			procs = runtime.NumCPU()
+		}
+		prev := runtime.GOMAXPROCS(procs)
+		for _, name := range names {
+			fe := all[name].(quant.FixedEstimator)
+			ref := all[fixedRefs[name]]
+			row, err := benchQ15KernelOnce(name, fixedRefs[name], fe, ref, qopts.rounds, band)
+			if err != nil {
+				runtime.GOMAXPROCS(prev)
+				return nil, err
+			}
+			rows = append(rows, *row)
+			fmt.Printf("%-8s q15-kernel p=%d: swar %9.0f ns scalar %9.0f ns (%.2fx) · float %9.0f ns (fixed %.2fx float)\n",
+				name, row.GOMAXPROCS, row.SWARNsPerOp, row.ScalarNsPerOp, row.KernelSpeedup,
+				row.FloatNsPerOp, row.FixedOverFloat)
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+	return rows, nil
+}
+
+// benchQ15KernelOnce measures one estimator at the current GOMAXPROCS:
+// bit-exactness first, then the interleaved timing rounds.
+func benchQ15KernelOnce(name, refName string, fe quant.FixedEstimator, ref scf.Estimator,
+	rounds int, band []complex128) (*Q15KernelMeasurement, error) {
+	restore := fixed.Use(fixed.ScalarKernels{})
+	defer fixed.Use(restore)
+	qScalar, _, err := fe.EstimateQ15(band)
+	if err != nil {
+		return nil, fmt.Errorf("%s scalar: %w", name, err)
+	}
+	fixed.Use(fixed.SWARKernels{})
+	qSWAR, _, err := fe.EstimateQ15(band)
+	if err != nil {
+		return nil, fmt.Errorf("%s swar: %w", name, err)
+	}
+	if ok, diff := qScalar.Equal(qSWAR); !ok {
+		return nil, fmt.Errorf("%s: scalar and SWAR kernels disagree: %s", name, diff)
+	}
+	timeOne := func(kern fixed.Kernels, e scf.Estimator) (float64, error) {
+		if kern != nil {
+			fixed.Use(kern)
+		}
+		startAt := time.Now()
+		_, _, err := e.Estimate(band)
+		return float64(time.Since(startAt).Nanoseconds()), err
+	}
+	scalarNs := make([]float64, 0, rounds)
+	swarNs := make([]float64, 0, rounds)
+	floatNs := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		ns, err := timeOne(fixed.ScalarKernels{}, fe)
+		if err != nil {
+			return nil, fmt.Errorf("%s scalar: %w", name, err)
+		}
+		scalarNs = append(scalarNs, ns)
+		if ns, err = timeOne(fixed.SWARKernels{}, fe); err != nil {
+			return nil, fmt.Errorf("%s swar: %w", name, err)
+		}
+		swarNs = append(swarNs, ns)
+		if ns, err = timeOne(nil, ref); err != nil {
+			return nil, fmt.Errorf("%s float ref %s: %w", name, refName, err)
+		}
+		floatNs = append(floatNs, ns)
+	}
+	row := &Q15KernelMeasurement{
+		Name:          name,
+		Reference:     refName,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Rounds:        rounds,
+		Samples:       len(band),
+		BitExact:      true,
+		ScalarNsPerOp: median(scalarNs),
+		SWARNsPerOp:   median(swarNs),
+		FloatNsPerOp:  median(floatNs),
+	}
+	if row.SWARNsPerOp > 0 {
+		row.KernelSpeedup = row.ScalarNsPerOp / row.SWARNsPerOp
+		row.FixedOverFloat = row.SWARNsPerOp / row.FloatNsPerOp
+	}
+	return row, nil
+}
+
+// median returns the middle value of v (mean of the middle two for even
+// lengths); v is sorted in place.
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sort.Float64s(v)
+	if len(v)%2 == 1 {
+		return v[len(v)/2]
+	}
+	return (v[len(v)/2-1] + v[len(v)/2]) / 2
 }
 
 // benchBatch times one estimator's full Estimate on the band and
@@ -768,8 +1014,9 @@ func benchPruned(popts prunedOpts, p scf.Params, blocks int, band []complex128, 
 	}
 	pruned := p
 	pruned.AlphaCandidates = candidates
-	full := estimatorSet(p, blocks)
-	prunedSet := estimatorSet(pruned, blocks)
+	peak := bandPeak(band)
+	full := estimatorSet(p, blocks, peak)
+	prunedSet := estimatorSet(pruned, blocks, peak)
 	cfar := detect.CFAR{}
 	var rows []PrunedMeasurement
 	for _, name := range strings.Split(popts.estimators, ",") {

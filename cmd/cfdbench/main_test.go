@@ -1,0 +1,94 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"tiledcfd"
+	"tiledcfd/internal/scf"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(append([]float64(nil), c.in...)); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBandPeak(t *testing.T) {
+	band := []complex128{complex(0.25, -0.5), complex(-1.75, 0.125), complex(0, 1.5)}
+	if got := bandPeak(band); got != 1.75 {
+		t.Errorf("bandPeak = %v, want 1.75", got)
+	}
+	if got := bandPeak(nil); got != 0 {
+		t.Errorf("bandPeak(nil) = %v, want 0", got)
+	}
+}
+
+func TestParseCounts(t *testing.T) {
+	got, err := parseCounts("1, 0,8", "-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 0 || got[2] != 8 {
+		t.Fatalf("parseCounts = %v", got)
+	}
+	if _, err := parseCounts("1,x", "-test"); err == nil {
+		t.Fatal("parseCounts accepted a non-integer")
+	}
+}
+
+// TestBenchQ15KernelSmoke runs the schema-9 scenario end to end at a
+// tiny geometry: the scenario must extend the band to its steady-state
+// workload, verify scalar/SWAR bit-exactness, and emit one finite,
+// positive row per fixed-point estimator and GOMAXPROCS setting.
+func TestBenchQ15KernelSmoke(t *testing.T) {
+	const k, seed = 16, 7
+	band, err := tiledcfd.NewBPSKBand(4*k, 0.125, 8, 10, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := estimatorSet(scf.Params{K: k, M: 4}, 4, bandPeak(band))
+	rows, err := benchQ15Kernel(q15Opts{rounds: 1, procsCSV: "1"}, all, band, k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(fixedRefs) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(fixedRefs))
+	}
+	for _, r := range rows {
+		if !r.BitExact {
+			t.Errorf("%s: BitExact false", r.Name)
+		}
+		if r.Samples != q15KernelBlocks*k {
+			t.Errorf("%s: Samples = %d, want steady-state %d", r.Name, r.Samples, q15KernelBlocks*k)
+		}
+		if r.GOMAXPROCS != 1 || r.Rounds != 1 {
+			t.Errorf("%s: GOMAXPROCS/Rounds = %d/%d", r.Name, r.GOMAXPROCS, r.Rounds)
+		}
+		for label, v := range map[string]float64{
+			"scalar":           r.ScalarNsPerOp,
+			"swar":             r.SWARNsPerOp,
+			"float":            r.FloatNsPerOp,
+			"kernel_speedup":   r.KernelSpeedup,
+			"fixed_over_float": r.FixedOverFloat,
+		} {
+			if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Errorf("%s: %s = %v, want finite positive", r.Name, label, v)
+			}
+		}
+		if r.Reference != fixedRefs[r.Name] {
+			t.Errorf("%s: reference %q, want %q", r.Name, r.Reference, fixedRefs[r.Name])
+		}
+	}
+}

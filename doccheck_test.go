@@ -16,6 +16,8 @@ var auditedPackages = []string{
 	".",
 	"internal/chaos",
 	"internal/detect",
+	"internal/fft",
+	"internal/fixed",
 	"internal/scf",
 	"internal/sig",
 	"internal/shard",

@@ -28,20 +28,39 @@ func q15Backoff(scale float64) (float64, error) {
 	return scale, nil
 }
 
+// q15InputPeak validates an InputPeak field: zero means "measure the
+// peak from the batch input"; a positive finite value fixes the
+// conditioning reference (required for streaming).
+func q15InputPeak(peak float64) (float64, error) {
+	if peak < 0 || math.IsNaN(peak) || math.IsInf(peak, 0) {
+		return 0, fmt.Errorf("fam: InputPeak %v must be finite and >= 0", peak)
+	}
+	return peak, nil
+}
+
 // quantiseQ15 conditions the first n samples of x so the peak component
 // sits at backoff, then rounds to Q15 — the same front door core.Run
 // applies on the platform path (InputScale semantics). It returns the
 // quantised samples and the gain actually applied, which the caller
 // divides back out of the surface so fixed results stay in float-path
-// units. A zero input returns gain 0 (the surface is exactly zero).
-func quantiseQ15(x []complex128, n int, backoff float64) ([]fixed.Complex, float64) {
-	peak := 0.0
-	for i := 0; i < n; i++ {
-		if v := math.Abs(real(x[i])); v > peak {
-			peak = v
-		}
-		if v := math.Abs(imag(x[i])); v > peak {
-			peak = v
+// units.
+//
+// peak > 0 fixes the conditioning reference instead of measuring it
+// from the input — the deterministic front door the streaming
+// accumulators need (an incremental path cannot know the future peak).
+// Samples exceeding peak then saturate at the Q15 rails, exactly as a
+// fixed-gain ADC front end would. With peak == 0 the input's own peak
+// is measured; a zero input returns gain 0 (the surface is exactly
+// zero).
+func quantiseQ15(x []complex128, n int, backoff, peak float64) ([]fixed.Complex, float64) {
+	if peak == 0 {
+		for i := 0; i < n; i++ {
+			if v := math.Abs(real(x[i])); v > peak {
+				peak = v
+			}
+			if v := math.Abs(imag(x[i])); v > peak {
+				peak = v
+			}
 		}
 	}
 	out := make([]fixed.Complex, n)
@@ -68,21 +87,27 @@ func surfaceGain(smooth int, gain float64) float64 {
 
 // q15Channelizer is the fixed-point twin of channelize: blocks hops of a
 // k-point windowed block-floating-point FFT over xq, hop samples apart,
-// each channel downconverted by the Q15 roots table. ch[v][n] is channel
-// v of hop n, valued DFT_channel/2^exps[n] (each hop carries its own
-// tracked exponent). aligned reports how many values a subsequent
-// exponent alignment to max(exps) must touch (for cycle accounting).
+// each channel downconverted by the Q15 roots table. Storage is
+// hop-major: hops[n][v] is channel v of hop n, valued DFT_channel/
+// 2^exps[n] (each hop carries its own tracked exponent), so windowing,
+// the batched FFT, downconversion and exponent alignment all run over
+// contiguous rows; transpose gathers channel-major series for the
+// second-stage consumers.
 type q15Channelizer struct {
-	ch    [][]fixed.Complex
+	k     int
+	hops  [][]fixed.Complex
 	exps  []int
-	win   []fixed.Q15
 	fftCy int64 // modeled FFT kernel cycles spent
 	macCy int64 // modeled complex-MAC cycles spent (window + downconversion)
 }
 
-// channelizeQ15 runs the fixed channelizer. The caller guarantees
-// len(xq) >= k+(blocks-1)·hop.
-func channelizeQ15(xq []fixed.Complex, k, hop, blocks int, win []fixed.Q15, policy fft.ScalingPolicy) (*q15Channelizer, error) {
+// channelizeQ15 runs the fixed channelizer on the given kernels: all
+// hop rows are windowed, pushed through ONE shared plan invocation
+// (fft.FixedPlan.ForwardScaledBatchWith) and downconverted in place.
+// The caller guarantees len(xq) >= k+(blocks-1)·hop. The per-hop value
+// sequence is identical to running q15Hop hop by hop, which is how the
+// streaming accumulators reproduce it incrementally.
+func channelizeQ15(kern fixed.Kernels, xq []fixed.Complex, k, hop, blocks int, win []fixed.Q15, policy fft.ScalingPolicy) (*q15Channelizer, error) {
 	if win != nil && len(win) != k {
 		return nil, fmt.Errorf("fam: window length %d != channelizer size %d", len(win), k)
 	}
@@ -94,44 +119,54 @@ func channelizeQ15(xq []fixed.Complex, k, hop, blocks int, win []fixed.Q15, poli
 	if err != nil {
 		return nil, err
 	}
-	c := &q15Channelizer{
-		ch:   make([][]fixed.Complex, k),
-		exps: make([]int, blocks),
-		win:  win,
-	}
+	c := &q15Channelizer{k: k, hops: make([][]fixed.Complex, blocks)}
 	cells := make([]fixed.Complex, k*blocks)
-	for v := range c.ch {
-		c.ch[v], cells = cells[:blocks], cells[blocks:]
+	for n := range c.hops {
+		c.hops[n], cells = cells[:k:k], cells[k:]
 	}
-	spec := make([]fixed.Complex, k)
 	for n := 0; n < blocks; n++ {
-		start := n * hop
-		block := xq[start : start+k]
+		block := xq[n*hop : n*hop+k]
 		if win != nil {
-			for i := range spec {
-				spec[i] = fixed.CScale(block[i], win[i])
-			}
+			kern.ScaleReal(c.hops[n], block, win)
 			c.macCy += int64(k)
 		} else {
-			copy(spec, block)
+			copy(c.hops[n], block)
 		}
-		exp, err := plan.ForwardScaled(spec, spec, policy)
-		if err != nil {
-			return nil, err
-		}
-		c.exps[n] = exp
+	}
+	exps, err := plan.ForwardScaledBatchWith(kern, c.hops, policy)
+	if err != nil {
+		return nil, err
+	}
+	c.exps = exps
+	mask := k - 1
+	for n := 0; n < blocks; n++ {
 		// Downconvert with the absolute-time reference e^{-j2π·start·v/k},
 		// exactly as the float channelizer, but through the Q15 roots.
-		step := start & (k - 1)
-		idx := 0
-		for v := 0; v < k; v++ {
-			c.ch[v][n] = fixed.CMul(spec[v], roots[idx])
-			idx = (idx + step) & (k - 1)
-		}
+		kern.MulRoots(c.hops[n], c.hops[n], roots, 0, (n*hop)&mask, mask)
 		c.fftCy += montiumFFTCycles(k)
 		c.macCy += int64(k)
 	}
 	return c, nil
+}
+
+// q15Hop computes one channelizer hop row into dst (len k): optional
+// window, FFT under policy, downconversion for a block starting at
+// absolute sample `start`. It is the incremental unit of channelizeQ15
+// — same kernels, same order, bit-identical values — used by the
+// streaming accumulators.
+func q15Hop(kern fixed.Kernels, plan *fft.FixedPlan, roots []fixed.Complex, dst, block []fixed.Complex, win []fixed.Q15, start int, policy fft.ScalingPolicy) (int, error) {
+	if win != nil {
+		kern.ScaleReal(dst, block, win)
+	} else {
+		copy(dst, block)
+	}
+	exp, err := plan.ForwardScaledWith(kern, dst, dst, policy)
+	if err != nil {
+		return 0, err
+	}
+	k := len(dst)
+	kern.MulRoots(dst, dst, roots, 0, start&(k-1), k-1)
+	return exp, nil
 }
 
 // alignExponents renormalises every hop to the common exponent
@@ -139,8 +174,8 @@ func channelizeQ15(xq []fixed.Complex, k, hop, blocks int, win []fixed.Q15, poli
 // with round-half-up, after which every channel value is DFT/2^emax.
 // It returns emax and the number of values shifted (the alignment pass's
 // cycle cost). The shift order is fixed (hops ascending, channels
-// ascending), so the pass is bit-deterministic.
-func (c *q15Channelizer) alignExponents() (emax int, shifted int64) {
+// ascending within the kernel pass), so the pass is bit-deterministic.
+func (c *q15Channelizer) alignExponents(kern fixed.Kernels) (emax int, shifted int64) {
 	for _, e := range c.exps {
 		if e > emax {
 			emax = e
@@ -151,12 +186,97 @@ func (c *q15Channelizer) alignExponents() (emax int, shifted int64) {
 		if d == 0 {
 			continue
 		}
-		for v := range c.ch {
-			c.ch[v][n] = fixed.CRShiftRound(c.ch[v][n], d)
-		}
-		shifted += int64(len(c.ch))
+		kern.ShiftRound(c.hops[n], d)
+		shifted += int64(c.k)
 	}
 	return emax, shifted
+}
+
+// transpose gathers the listed channels into channel-major series:
+// out[v][n] = hops[n][v]. Only channels in needed are materialised
+// (out keeps nil rows elsewhere), so pruned runs pay for exactly the
+// channels their rows read. needed must be sorted ascending for cache-
+// friendly reads; duplicates are not allowed.
+func (c *q15Channelizer) transpose(needed []int) [][]fixed.Complex {
+	blocks := len(c.hops)
+	out := make([][]fixed.Complex, c.k)
+	cells := make([]fixed.Complex, len(needed)*blocks)
+	for _, v := range needed {
+		out[v], cells = cells[:blocks:blocks], cells[blocks:]
+	}
+	// Blocked over hops so each pass reuses the same small set of source
+	// cache lines across the whole channel list instead of streaming the
+	// full hop-major array once per channel (or thrashing writes the
+	// other way around).
+	const tile = 32
+	for n0 := 0; n0 < blocks; n0 += tile {
+		n1 := n0 + tile
+		if n1 > blocks {
+			n1 = blocks
+		}
+		for _, v := range needed {
+			row := out[v]
+			for n := n0; n < n1; n++ {
+				row[n] = c.hops[n][v]
+			}
+		}
+	}
+	return out
+}
+
+// transposeWide is transpose with the output rows pre-widened into the
+// fixed.WidenRow float64 layout fixed.Kernels.DotConjQ30 consumes:
+// out[v][2n], out[v][2n+1] = re, im of channel v at hop n, exact. The
+// FAM second stage runs thousands of dots over a few hundred channel
+// rows, so widening once here amortises the integer-to-float conversion
+// to nothing.
+func (c *q15Channelizer) transposeWide(needed []int) [][]float64 {
+	blocks := len(c.hops)
+	out := make([][]float64, c.k)
+	cells := make([]float64, 2*len(needed)*blocks)
+	for _, v := range needed {
+		out[v], cells = cells[:2*blocks:2*blocks], cells[2*blocks:]
+	}
+	const tile = 32
+	for n0 := 0; n0 < blocks; n0 += tile {
+		n1 := n0 + tile
+		if n1 > blocks {
+			n1 = blocks
+		}
+		for _, v := range needed {
+			row := out[v]
+			for n := n0; n < n1; n++ {
+				h := c.hops[n][v]
+				row[2*n] = float64(h.Re)
+				row[2*n+1] = float64(h.Im)
+			}
+		}
+	}
+	return out
+}
+
+// neededChannels returns the sorted set of channelizer bins the given
+// grid rows read: residues (f+a) mod k for every row a and f in
+// [-m, m], plus the (f-a) residues when mirror is set (the FAM dot
+// products read both factors; SSCA strips only read f+a).
+func neededChannels(k, m int, rows []int, mirror bool) []int {
+	seen := make([]bool, k)
+	mask := k - 1
+	for _, a := range rows {
+		for f := -m; f <= m; f++ {
+			seen[(f+a)&mask] = true
+			if mirror {
+				seen[(f-a)&mask] = true
+			}
+		}
+	}
+	needed := make([]int, 0, k)
+	for v, ok := range seen {
+		if ok {
+			needed = append(needed, v)
+		}
+	}
+	return needed
 }
 
 // accGrid is a full-precision int64 accumulator grid (Q30 units), the
@@ -209,6 +329,56 @@ func (g *accGrid) rowAlphas() []int {
 		out[i] = i - (g.m - 1)
 	}
 	return out
+}
+
+// rowIndex returns the grid row holding offset a, or -1 when the grid
+// does not hold it.
+func (g *accGrid) rowIndex(a int) int {
+	if g.alphas == nil {
+		i := a + g.m - 1
+		if i < 0 || i >= len(g.data) {
+			return -1
+		}
+		return i
+	}
+	lo, hi := 0, len(g.alphas)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.alphas[mid] < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(g.alphas) && g.alphas[lo] == a {
+		return lo
+	}
+	return -1
+}
+
+// mirrorHermitian fills every negative-offset row from its positive
+// counterpart at full accumulator precision: the DSCF term for (f, -a)
+// is X_{f-a}·conj(X_{f+a}), the termwise conjugate of the (f, a) term,
+// so the int64 accumulator for row -a is exactly (Re, -Im) of row +a —
+// integer sums make the identity exact, not approximate. Mirroring
+// before the single-rounding reduce is therefore bit-identical to
+// accumulating the negative rows directly, at half the dot-product
+// work. (SSCA must not use this: its strips are FFTs of distinct
+// product sequences, not termwise conjugates.)
+func (g *accGrid) mirrorHermitian() {
+	for i, a := range g.rowAlphas() {
+		if a >= 0 {
+			continue
+		}
+		j := g.rowIndex(-a)
+		if j < 0 {
+			continue
+		}
+		src, dst := g.data[j], g.data[i]
+		for fi := range dst {
+			dst[fi] = fixed.CAcc{Re: src[fi].Re, Im: -src[fi].Im}
+		}
+	}
 }
 
 // reduce converts the grid to a QSurface: the peak component picks the

@@ -18,7 +18,8 @@ import (
 // the conjugate full-rate input, block-floating-point N-point strip FFTs
 // with per-strip exponents, and a lossless (left-shift) exponent merge
 // into one int64 grid reduced to a Q15 surface by a single surface-level
-// rounding. Bit-exact deterministic across runs and Workers settings.
+// rounding. Bit-exact deterministic across runs, Workers settings and
+// fixed.Kernels implementations; Stats.Kernel records which kernels ran.
 type SSCAQ15 struct {
 	// Params configures the channelizer and grid exactly as for SSCA
 	// (K=256, M=K/4, rectangular window by default; Hop and Blocks are
@@ -28,13 +29,18 @@ type SSCAQ15 struct {
 	// largest power of two with N+K-1 <= len(x).
 	N int
 	// Workers bounds the goroutines computing strips concurrently.
-	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial path. Strips are
-	// independent integer computations, so every worker count produces
-	// bit-identical surfaces.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial path, which
+	// batches every strip FFT through one shared plan invocation. Strips
+	// are independent integer computations, so every worker count
+	// produces bit-identical surfaces.
 	Workers int
 	// InputScale is the peak amplitude the input is conditioned to
 	// before Q15 quantisation, as for FAMQ15 (0 = 0.5).
 	InputScale float64
+	// InputPeak, when positive, fixes the conditioning full-scale
+	// reference instead of measuring the batch peak, as for
+	// FAMQ15.InputPeak; required (non-zero) by NewAccumulator.
+	InputPeak float64
 	// Policy selects the per-stage FFT scaling, as for FAMQ15.
 	Policy fft.ScalingPolicy
 }
@@ -74,6 +80,10 @@ func (e SSCAQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) 
 	if err != nil {
 		return nil, nil, err
 	}
+	peak, err := q15InputPeak(e.InputPeak)
+	if err != nil {
+		return nil, nil, err
+	}
 	n := e.N
 	if n == 0 {
 		n = pow2Floor(len(x) - p.K + 1)
@@ -93,13 +103,27 @@ func (e SSCAQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) 
 	if err != nil {
 		return nil, nil, err
 	}
+	kern := fixed.Active()
 	need := n + p.K - 1
-	xq, gain := quantiseQ15(x, need, backoff)
-	ch, err := channelizeQ15(xq, p.K, 1, n, win, e.Policy)
+	xq, gain := quantiseQ15(x, need, backoff, peak)
+	ch, err := channelizeQ15(kern, xq, p.K, 1, n, win, e.Policy)
 	if err != nil {
 		return nil, nil, err
 	}
-	emax, aligned := ch.alignExponents()
+	return sscaQ15Finish(p, kern, ch, xq, gain, e.Workers, need, e.Policy)
+}
+
+// sscaQ15Finish runs the second stage of the Q15 SSCA on an already
+// channelized snapshot: exponent alignment, the per-channel strip FFTs
+// batched through one shared plan invocation per worker, derotation, the
+// lossless exponent merge into the int64 grid, and the single-rounding
+// surface reduction. It is shared verbatim by the batch estimator and
+// the streaming accumulator's Snapshot, which is what makes the two
+// bit-identical. The channelizer is consumed; xq must hold at least
+// n + K/2 quantised samples (the conjugate factor's span).
+func sscaQ15Finish(p scf.Params, kern fixed.Kernels, ch *q15Channelizer, xq []fixed.Complex, gain float64, workers, need int, policy fft.ScalingPolicy) (*scf.QSurface, *scf.Stats, error) {
+	n := len(ch.hops)
+	emax, aligned := ch.alignExponents(kern)
 	// The conjugate input factor is centre-aligned with the channelizer
 	// window (same group-delay argument as the float path) and shared by
 	// every strip. It is plain quantised input: exponent zero.
@@ -119,16 +143,7 @@ func (e SSCAQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) 
 			rowAlphas[i] = i - m
 		}
 	}
-	needed := make([]int, 0, 4*m+1)
-	seen := make([]bool, p.K)
-	for _, a := range rowAlphas {
-		for f := -m; f <= m; f++ {
-			if k := fft.BinIndex(p.K, f+a); !seen[k] {
-				seen[k] = true
-				needed = append(needed, k)
-			}
-		}
-	}
+	needed := neededChannels(p.K, m, rowAlphas, false)
 	planN, err := fft.NewFixedPlan(n)
 	if err != nil {
 		return nil, nil, err
@@ -137,35 +152,28 @@ func (e SSCAQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	strips := make([][]fixed.Complex, p.K)
+	// The channel-major series become the strips in place: the Q15
+	// product against xc, the N-point block-floating-point FFTs batched
+	// through one ForwardScaledBatchWith call per worker, and the
+	// per-bin derotation by e^{-j2πq·centre/N} through the Q15 roots.
+	strips := ch.transpose(needed)
 	stripExp := make([]int, p.K)
-	scells := make([]fixed.Complex, len(needed)*n)
-	for _, k := range needed {
-		strips[k], scells = scells[:n], scells[n:]
-	}
-	// One strip per needed channel: the Q15 product series against xc,
-	// its N-point block-floating-point FFT, and the per-bin derotation by
-	// e^{-j2πq·centre/N} through the Q15 roots. Strips are independent,
-	// so they fan out across bounded workers bit-identically.
-	stripJob := func(k int) error {
-		cs := ch.ch[k]
-		u := strips[k]
-		for i := 0; i < n; i++ {
-			u[i] = fixed.CMul(cs[i], xc[i])
+	stripJob := func(ks []int) error {
+		rows := make([][]fixed.Complex, len(ks))
+		for i, k := range ks {
+			kern.MulElems(strips[k], strips[k], xc)
+			rows[i] = strips[k]
 		}
-		exp, err := planN.ForwardScaled(u, u, e.Policy)
+		exps, err := planN.ForwardScaledBatchWith(kern, rows, policy)
 		if err != nil {
 			return err
 		}
-		stripExp[k] = exp
-		idx := 0
-		for q := range u {
-			u[q] = fixed.CMul(u[q], rootsN[idx])
-			idx = (idx + centre) & (n - 1)
+		for i, k := range ks {
+			stripExp[k] = exps[i]
+			kern.MulRoots(strips[k], strips[k], rootsN, 0, centre, n-1)
 		}
 		return nil
 	}
-	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -173,24 +181,21 @@ func (e SSCAQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) 
 		workers = len(needed)
 	}
 	if workers <= 1 {
-		for _, k := range needed {
-			if err := stripJob(k); err != nil {
-				return nil, nil, err
-			}
+		if err := stripJob(needed); err != nil {
+			return nil, nil, err
 		}
 	} else {
+		shards := make([][]int, workers)
+		for i, k := range needed {
+			shards[i%workers] = append(shards[i%workers], k)
+		}
 		errs := make([]error, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				for i := w; i < len(needed); i += workers {
-					if err := stripJob(needed[i]); err != nil {
-						errs[w] = err
-						return
-					}
-				}
+				errs[w] = stripJob(shards[w])
 			}(w)
 		}
 		wg.Wait()
@@ -238,6 +243,7 @@ func (e SSCAQ15) EstimateQ15(x []complex128) (*scf.QSurface, *scf.Stats, error) 
 			montium.MACKernelCycles(ch.macCy+2*int64(len(needed))*int64(n)) +
 			montium.ReadDataCycles(int64(need)) +
 			montium.AlignCycles(aligned+cells),
+		Kernel: kern.Name(),
 	}
 	// The batch backend runs the whole pipeline on one modeled tile;
 	// internal/tile schedules fill multi-tile breakdowns.

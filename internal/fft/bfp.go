@@ -55,61 +55,82 @@ const bfpSafeMax = 13000
 // overflow; exp sums the shifts, so weak blocks come out with small
 // exponents and their precision intact — the dynamic-range behaviour the
 // paper's section 4.1 argues 16-bit words need. dst and src may alias.
+//
+// The butterfly stages run on the process-wide fixed.Active() kernels;
+// every Kernels implementation produces identical output words and
+// exponent (see ForwardScaledWith).
 func (p *FixedPlan) ForwardScaled(dst, src []fixed.Complex, policy ScalingPolicy) (int, error) {
+	return p.ForwardScaledWith(fixed.Active(), dst, src, policy)
+}
+
+// ForwardScaledWith is ForwardScaled on an explicit kernel
+// implementation instead of the process-wide selection. The output
+// words and exponent are identical for every fixed.Kernels
+// implementation — the differential tests in this package run scalar
+// and SWAR side by side through this entry point.
+//
+// Both policies drive the same per-stage kernel loop: ScaleUniform runs
+// scaled butterflies (fixed.BFly semantics, bit-identical to Forward),
+// ScaleBFP runs unscaled butterflies with the conditional pre-shift.
+// The per-stage overflow scan is fused into the butterfly pass: each
+// Kernels.Stage call returns the block peak that decides the next
+// stage's shift, so BFP costs no separate scan passes after the first.
+func (p *FixedPlan) ForwardScaledWith(kern fixed.Kernels, dst, src []fixed.Complex, policy ScalingPolicy) (int, error) {
 	if len(src) != p.n || len(dst) != p.n {
 		return 0, fmt.Errorf("fft: fixed ForwardScaled length %d/%d, plan size %d", len(dst), len(src), p.n)
 	}
-	if policy == ScaleUniform {
-		if err := p.Forward(dst, src); err != nil {
-			return 0, err
-		}
-		return p.Stages(), nil
-	}
-	if policy != ScaleBFP {
+	if policy != ScaleBFP && policy != ScaleUniform {
 		return 0, fmt.Errorf("fft: unknown scaling policy %d", int(policy))
 	}
 	if &dst[0] != &src[0] {
 		copy(dst, src)
 	}
 	permuteInPlace(dst, p.rev)
+	if policy == ScaleUniform {
+		for s := range p.tw {
+			kern.Stage(dst, p.tw[s], 2<<s, true)
+		}
+		return p.Stages(), nil
+	}
 	exp := 0
+	mx := kern.AbsMax(dst)
 	for s := range p.tw {
 		// Pre-shift the block so this stage's worst-case growth fits Q15.
-		mx := int32(0)
-		for _, c := range dst {
-			if v := int32(c.Re); v > mx {
-				mx = v
-			} else if -v > mx {
-				mx = -v
-			}
-			if v := int32(c.Im); v > mx {
-				mx = v
-			} else if -v > mx {
-				mx = -v
-			}
-		}
 		sh := uint(0)
 		for m := mx; m > bfpSafeMax; m >>= 1 {
 			sh++
 		}
 		if sh > 0 {
-			for i := range dst {
-				dst[i] = fixed.CRShiftRound(dst[i], sh)
-			}
+			kern.ShiftRound(dst, sh)
 			exp += int(sh)
 		}
-		span := 2 << s
-		half := span / 2
-		w := p.tw[s]
-		for base := 0; base < p.n; base += span {
-			for i := 0; i < half; i++ {
-				lo, hi := fixed.BFlyNoScale(dst[base+i], dst[base+i+half], w[i])
-				dst[base+i] = lo
-				dst[base+i+half] = hi
-			}
-		}
+		mx = kern.Stage(dst, p.tw[s], 2<<s, false)
 	}
 	return exp, nil
+}
+
+// ForwardScaledBatch transforms every block in place under one policy
+// and returns the per-block exponents. It resolves the kernel selection
+// and reuses the plan tables across the whole batch — the entry point
+// the Q15 estimators use to push all channelizer hops (FAM) or all
+// demodulate strips (SSCA) of a snapshot through one plan invocation.
+func (p *FixedPlan) ForwardScaledBatch(blocks [][]fixed.Complex, policy ScalingPolicy) ([]int, error) {
+	return p.ForwardScaledBatchWith(fixed.Active(), blocks, policy)
+}
+
+// ForwardScaledBatchWith is ForwardScaledBatch on an explicit kernel
+// implementation. Each block is transformed in place; block i's tracked
+// exponent lands in element i of the returned slice.
+func (p *FixedPlan) ForwardScaledBatchWith(kern fixed.Kernels, blocks [][]fixed.Complex, policy ScalingPolicy) ([]int, error) {
+	exps := make([]int, len(blocks))
+	for i, b := range blocks {
+		e, err := p.ForwardScaledWith(kern, b, b, policy)
+		if err != nil {
+			return nil, fmt.Errorf("fft: batch block %d: %w", i, err)
+		}
+		exps[i] = e
+	}
+	return exps, nil
 }
 
 // fixedRootsCache memoises FixedRoots tables per size, mirroring the

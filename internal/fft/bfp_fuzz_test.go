@@ -1,0 +1,79 @@
+package fft
+
+import (
+	"testing"
+
+	"tiledcfd/internal/fixed"
+)
+
+// FuzzForwardScaledKernels decodes raw bytes into a power-of-two Q15
+// block and runs ForwardScaledWith through the scalar reference and
+// SWAR kernels under both scaling policies, requiring identical output
+// words and exponents. Under ScaleUniform it additionally checks the
+// result is bit-identical to the scalar Forward pass (the Montium
+// software twin), so kernel vectorization can never drift from the
+// Table-1 reference datapath.
+func FuzzForwardScaledKernels(f *testing.F) {
+	rail := make([]byte, 64)
+	for i := 0; i < len(rail); i += 2 {
+		rail[i], rail[i+1] = 0x00, 0x80 // MinQ15 everywhere: worst-case growth
+	}
+	f.Add(rail)
+	tie := make([]byte, 64)
+	for i := 0; i < len(tie); i += 4 {
+		tie[i], tie[i+1], tie[i+2], tie[i+3] = 0x01, 0x00, 0xff, 0xff // +1, -1: rounding-tie territory
+	}
+	f.Add(tie)
+	f.Add([]byte{0xff, 0x7f, 0x00, 0x80, 0x00, 0x00, 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := 2
+		for n*2 <= len(raw)/4 && n < 256 {
+			n *= 2
+		}
+		if len(raw) < 4*n {
+			return
+		}
+		src := make([]fixed.Complex, n)
+		for i := range src {
+			src[i] = fixed.Complex{
+				Re: fixed.Q15(int16(uint16(raw[4*i]) | uint16(raw[4*i+1])<<8)),
+				Im: fixed.Q15(int16(uint16(raw[4*i+2]) | uint16(raw[4*i+3])<<8)),
+			}
+		}
+		p, err := NewFixedPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, policy := range []ScalingPolicy{ScaleBFP, ScaleUniform} {
+			a := make([]fixed.Complex, n)
+			b := make([]fixed.Complex, n)
+			ea, err := p.ForwardScaledWith(fixed.ScalarKernels{}, a, src, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eb, err := p.ForwardScaledWith(fixed.SWARKernels{}, b, src, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ea != eb {
+				t.Fatalf("%v: exponent %d != %d", policy, ea, eb)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v: element %d: %v != %v", policy, i, a[i], b[i])
+				}
+			}
+			if policy == ScaleUniform {
+				ref := make([]fixed.Complex, n)
+				if err := p.Forward(ref, src); err != nil {
+					t.Fatal(err)
+				}
+				for i := range ref {
+					if a[i] != ref[i] {
+						t.Fatalf("uniform element %d: %v != Forward's %v", i, a[i], ref[i])
+					}
+				}
+			}
+		}
+	})
+}

@@ -11,13 +11,17 @@ type CAcc struct {
 	Re, Im int64 // Q30 accumulations
 }
 
-// AddProdConj accumulates x*conj(y) at full Q30 precision.
+// AddProdConj accumulates x*conj(y) at full Q30 precision — exact
+// int64 arithmetic, no rounding and no saturation until the caller
+// narrows the sum.
 func (a *CAcc) AddProdConj(x, y Complex) {
 	a.Re += int64(x.Re)*int64(y.Re) + int64(x.Im)*int64(y.Im)
 	a.Im += int64(x.Im)*int64(y.Re) - int64(x.Re)*int64(y.Im)
 }
 
-// AddProd accumulates x*y at full Q30 precision.
+// AddProd accumulates x*y at full Q30 precision — exact int64
+// arithmetic, no rounding and no saturation until the caller narrows
+// the sum.
 func (a *CAcc) AddProd(x, y Complex) {
 	a.Re += int64(x.Re)*int64(y.Re) - int64(x.Im)*int64(y.Im)
 	a.Im += int64(x.Re)*int64(y.Im) + int64(x.Im)*int64(y.Re)
@@ -46,6 +50,7 @@ func (a *CAcc) Float() complex128 {
 // sum; this is the bit-true model against which the systolic and Montium
 // simulations are verified.
 type CAccQ15 struct {
+	// V is the running saturating Q15 sum.
 	V Complex
 }
 

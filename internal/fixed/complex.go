@@ -5,6 +5,7 @@ import "math/cmplx"
 // Complex is a complex number with Q15 real and imaginary parts, the
 // natural datum of the Montium complex ALU.
 type Complex struct {
+	// Re and Im are the Q15 real and imaginary components.
 	Re, Im Q15
 }
 
@@ -57,19 +58,23 @@ func CMul(a, b Complex) Complex {
 
 // CMulConj returns a*conj(b), the product form used by the DSCF
 // (expression 3 of the paper): S_f^a accumulates X_{n,f+a}*conj(X_{n,f-a}).
+// Like CMul, each component is rounded half-up from the exact Q30
+// products and saturated to [MinQ15, MaxQ15].
 func CMulConj(a, b Complex) Complex {
 	re := int64(a.Re)*int64(b.Re) + int64(a.Im)*int64(b.Im) // Q30
 	im := int64(a.Im)*int64(b.Re) - int64(a.Re)*int64(b.Im) // Q30
 	return Complex{Re: roundQ30(re), Im: roundQ30(im)}
 }
 
-// CScale returns c * s for a real Q15 scale factor s.
+// CScale returns c * s for a real Q15 scale factor s, each component
+// rounded half-up and saturated to [MinQ15, MaxQ15].
 func CScale(c Complex, s Q15) Complex {
 	return Complex{Re: Mul(c.Re, s), Im: Mul(c.Im, s)}
 }
 
-// CHalf returns c/2 (arithmetic shift on both parts), the per-stage FFT
-// scaling step.
+// CHalf returns c/2 (truncating arithmetic shift on both parts, no
+// rounding and no saturation — halving cannot overflow), the per-stage
+// FFT scaling step.
 func CHalf(c Complex) Complex { return Complex{Re: Half(c.Re), Im: Half(c.Im)} }
 
 // roundQ30 converts a Q30 intermediate to Q15 with round-half-up and
@@ -88,7 +93,9 @@ func CMean(a, b Complex) Complex {
 	}
 }
 
-// CDiffMean returns (a-b)/2 at full precision.
+// CDiffMean returns (a-b)/2 at full precision: the difference is
+// formed in 32-bit before halving, so it cannot overflow and needs no
+// saturation.
 func CDiffMean(a, b Complex) Complex {
 	return Complex{
 		Re: Q15((int32(a.Re) - int32(b.Re)) >> 1),
@@ -167,7 +174,8 @@ func RShiftRound(q Q15, sh uint) Q15 {
 	return saturate32((int32(q) + 1<<(sh-1)) >> sh)
 }
 
-// CRShiftRound applies RShiftRound to both components.
+// CRShiftRound applies RShiftRound to both components (round-half-up,
+// no overflow possible for sh >= 1; sh == 0 is the identity).
 func CRShiftRound(c Complex, sh uint) Complex {
 	return Complex{Re: RShiftRound(c.Re, sh), Im: RShiftRound(c.Im, sh)}
 }

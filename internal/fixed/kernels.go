@@ -1,0 +1,479 @@
+package fixed
+
+import "sync/atomic"
+
+// Kernels is the pluggable implementation seam for the hot Q15 vector
+// kernels of the fixed-point datapath: FFT butterfly stages, block
+// scans, exponent-alignment shifts, element-wise complex products and
+// the wide conjugate dot product of the DSCF second stage.
+//
+// Every implementation MUST be bit-identical, element for element, to
+// the scalar reference kernels built from Add/Sub/CMul/BFly/
+// BFlyNoScale/CRShiftRound — same rounding (half-up), same saturation
+// to [MinQ15, MaxQ15], same tie behaviour. The differential fuzz
+// targets in this package and the FFT/estimator bit-exactness tests
+// enforce that contract; implementations are free to reorder work only
+// where the arithmetic is exact (integer accumulation, scans).
+type Kernels interface {
+	// Name identifies the implementation ("scalar", "swar") in stats
+	// and benchmark reports.
+	Name() string
+	// Stage runs one radix-2 DIT FFT stage of the given span in place
+	// over dst, using the stage twiddle table w (len(w) == span/2).
+	// scale selects the BFly per-stage 1/2 scaling; scale == false uses
+	// BFlyNoScale. Both saturate each output component independently.
+	// It returns the exact peak |component| of dst after the stage as
+	// an int32 (so |MinQ15| is representable), which the BFP driver
+	// uses as the next stage's overflow scan.
+	Stage(dst, w []Complex, span int, scale bool) int32
+	// AbsMax returns the exact peak |component| over v as an int32.
+	AbsMax(v []Complex) int32
+	// ShiftRound applies CRShiftRound(v[i], sh) in place to every
+	// element: arithmetic right shift with round-half-up, no overflow
+	// possible for sh >= 1.
+	ShiftRound(v []Complex, sh uint)
+	// ScaleReal sets dst[i] = CScale(src[i], w[i]): per-component Q15
+	// multiply, rounded half-up and saturated.
+	ScaleReal(dst, src []Complex, w []Q15)
+	// MulElems sets dst[i] = CMul(a[i], b[i]): full Q30 partial
+	// products, one round-half-up and saturation per component.
+	MulElems(dst, a, b []Complex)
+	// MulRoots sets dst[i] = CMul(src[i], roots[(off+i*step) & mask]),
+	// the strided root-of-unity rotation used by channelizer
+	// downconversion and strip derotation, with CMul's round-half-up
+	// and per-component saturation. len(roots) must be mask+1 (a power
+	// of two).
+	MulRoots(dst, src, roots []Complex, off, step, mask int)
+	// DotConjQ30 returns sum_i x_i*conj(y_i) accumulated at Q30 in int64
+	// (exact — no rounding or saturation), where x and y hold WidenRow
+	// layouts: x[2i] and x[2i+1] are the integer-valued Q15 re/im
+	// components of element i as float64. The widened operands let an
+	// implementation pick integer or floating accumulation — every Q15
+	// product is exact in float64 and bounded partial sums stay integral
+	// below 2^53 — without changing the required bit-exact int64 result.
+	// Entries of y beyond len(x) are ignored; len(y) must be >= len(x).
+	DotConjQ30(x, y []float64) (re, im int64)
+}
+
+// WidenRow widens a Q15 complex row into the interleaved float64 layout
+// DotConjQ30 consumes: dst[2i] = re_i, dst[2i+1] = im_i. The conversion
+// is exact — every Q15 value is a small integer, exactly representable
+// in float64. len(dst) must be at least 2*len(src).
+func WidenRow(dst []float64, src []Complex) {
+	for i, c := range src {
+		dst[2*i] = float64(c.Re)
+		dst[2*i+1] = float64(c.Im)
+	}
+}
+
+// active holds the process-wide kernel selection (a kernelsHolder).
+var active atomic.Value
+
+// kernelsHolder wraps a Kernels so differing concrete types can be
+// stored in one atomic.Value.
+type kernelsHolder struct{ k Kernels }
+
+func init() { active.Store(kernelsHolder{k: SWARKernels{}}) }
+
+// Active returns the process-wide kernel implementation used by the
+// fixed-point estimators and FFT plans. The default is SWARKernels.
+func Active() Kernels { return active.Load().(kernelsHolder).k }
+
+// Use installs k as the process-wide kernel implementation and returns
+// the previous one, so callers (tests, benchmarks) can restore it:
+//
+//	defer fixed.Use(fixed.Use(fixed.ScalarKernels{}))
+func Use(k Kernels) Kernels {
+	prev := Active()
+	active.Store(kernelsHolder{k: k})
+	return prev
+}
+
+// ScalarKernels is the reference Kernels implementation: plain loops
+// over the scalar saturating kernels (BFly, BFlyNoScale, CMul, CScale,
+// CRShiftRound, CAcc.AddProdConj), in exactly the order the estimators
+// used before the SWAR path existed. It is the oracle the differential
+// fuzz targets and bit-exactness tests compare against.
+type ScalarKernels struct{}
+
+// Name identifies the reference implementation.
+func (ScalarKernels) Name() string { return "scalar" }
+
+// Stage implements Kernels.Stage with per-butterfly BFly/BFlyNoScale
+// calls followed by a separate full-block scan.
+func (ScalarKernels) Stage(dst, w []Complex, span int, scale bool) int32 {
+	half := span / 2
+	for base := 0; base+span <= len(dst); base += span {
+		lo := dst[base : base+half]
+		hi := dst[base+half : base+span]
+		if scale {
+			for i := range lo {
+				lo[i], hi[i] = BFly(lo[i], hi[i], w[i])
+			}
+		} else {
+			for i := range lo {
+				lo[i], hi[i] = BFlyNoScale(lo[i], hi[i], w[i])
+			}
+		}
+	}
+	return absMaxRef(dst)
+}
+
+// AbsMax implements Kernels.AbsMax with a plain scan.
+func (ScalarKernels) AbsMax(v []Complex) int32 { return absMaxRef(v) }
+
+// ShiftRound implements Kernels.ShiftRound with per-element
+// CRShiftRound calls.
+func (ScalarKernels) ShiftRound(v []Complex, sh uint) {
+	for i := range v {
+		v[i] = CRShiftRound(v[i], sh)
+	}
+}
+
+// ScaleReal implements Kernels.ScaleReal with per-element CScale calls.
+func (ScalarKernels) ScaleReal(dst, src []Complex, w []Q15) {
+	for i := range dst {
+		dst[i] = CScale(src[i], w[i])
+	}
+}
+
+// MulElems implements Kernels.MulElems with per-element CMul calls.
+func (ScalarKernels) MulElems(dst, a, b []Complex) {
+	for i := range dst {
+		dst[i] = CMul(a[i], b[i])
+	}
+}
+
+// MulRoots implements Kernels.MulRoots with per-element CMul calls and
+// a masked index walk.
+func (ScalarKernels) MulRoots(dst, src, roots []Complex, off, step, mask int) {
+	idx := off & mask
+	for i := range dst {
+		dst[i] = CMul(src[i], roots[idx])
+		idx = (idx + step) & mask
+	}
+}
+
+// DotConjQ30 implements Kernels.DotConjQ30 by narrowing the widened
+// operands back to Q15 (exact — they are integer-valued by contract)
+// and accumulating with the reference CAcc integer arithmetic.
+func (ScalarKernels) DotConjQ30(x, y []float64) (re, im int64) {
+	var acc CAcc
+	for i := 0; i+1 < len(x); i += 2 {
+		acc.AddProdConj(
+			Complex{Re: Q15(x[i]), Im: Q15(x[i+1])},
+			Complex{Re: Q15(y[i]), Im: Q15(y[i+1])},
+		)
+	}
+	return acc.Re, acc.Im
+}
+
+// absMaxRef is the shared exact peak-magnitude scan. Magnitudes are
+// taken in int32 so |MinQ15| == 32768 is exact (a 16-bit abs would wrap
+// it to 0 and silently under-report the peak).
+func absMaxRef(v []Complex) int32 {
+	var mx int32
+	for i := range v {
+		mx = absMax2(mx, int32(v[i].Re))
+		mx = absMax2(mx, int32(v[i].Im))
+	}
+	return mx
+}
+
+// absMax2 returns max(mx, |v|) branchlessly on the abs.
+func absMax2(mx, v int32) int32 {
+	m := v >> 31
+	v = (v ^ m) - m
+	if v > mx {
+		return v
+	}
+	return mx
+}
+
+// satShift rounds a widened intermediate to Q15 range: (v + bias) >> sh
+// followed by saturation to [MinQ15, MaxQ15]. With bias = 1<<14 and
+// sh = 15 it is roundQ30; with bias = 1<<15 and sh = 16 it is
+// roundQ30half.
+func satShift(v, bias int64, sh uint) int32 {
+	v = (v + bias) >> sh
+	if v > int64(MaxQ15) {
+		v = int64(MaxQ15)
+	} else if v < int64(MinQ15) {
+		v = int64(MinQ15)
+	}
+	return int32(v)
+}
+
+// SWARKernels is the vectorized Kernels implementation: four butterflies
+// per loop iteration with the rounding arithmetic fully inlined, packed
+// uint64-lane shifts for exponent alignment (LaneRShiftRound), and
+// unrolled wide accumulation for the DSCF dot products. Every output is
+// bit-identical to ScalarKernels; only the schedule differs.
+type SWARKernels struct{}
+
+// Name identifies the vectorized implementation.
+func (SWARKernels) Name() string { return "swar" }
+
+// Stage implements Kernels.Stage. The butterfly arithmetic is the BFly/
+// BFlyNoScale sequence (Q30 twiddle products, one round-saturate per
+// component) inlined and unrolled four butterflies per iteration, with
+// the post-stage peak scan fused into the write-back so the BFP driver
+// needs no separate AbsMax pass per stage. The twiddle product uses the
+// three-multiply (Karatsuba) form — exact in int64, so the pre-rounding
+// Q30 intermediates are the same integers the four-multiply reference
+// produces.
+func (SWARKernels) Stage(dst, w []Complex, span int, scale bool) int32 {
+	bias, sh := int64(1)<<14, uint(15)
+	if scale {
+		bias, sh = int64(1)<<15, uint(16)
+	}
+	var mx int32
+	switch span {
+	case 2:
+		w0 := w[0]
+		wr := int64(w0.Re)
+		ws := int64(w0.Im) + wr
+		wd := int64(w0.Im) - wr
+		j := 0
+		for ; j+7 < len(dst); j += 8 {
+			blk := dst[j : j+8 : j+8]
+			for q := 0; q < 8; q += 2 {
+				a, b := blk[q], blk[q+1]
+				br, bi := int64(b.Re), int64(b.Im)
+				k1 := wr * (br + bi)
+				pre := k1 - bi*ws
+				pim := k1 + br*wd
+				are := int64(a.Re) << 15
+				aim := int64(a.Im) << 15
+				lr := satShift(are+pre, bias, sh)
+				li := satShift(aim+pim, bias, sh)
+				hr := satShift(are-pre, bias, sh)
+				hm := satShift(aim-pim, bias, sh)
+				blk[q] = Complex{Re: Q15(lr), Im: Q15(li)}
+				blk[q+1] = Complex{Re: Q15(hr), Im: Q15(hm)}
+				mx = absMax2(absMax2(absMax2(absMax2(mx, lr), li), hr), hm)
+			}
+		}
+		for ; j+1 < len(dst); j += 2 {
+			a, b := dst[j], dst[j+1]
+			br, bi := int64(b.Re), int64(b.Im)
+			k1 := wr * (br + bi)
+			pre := k1 - bi*ws
+			pim := k1 + br*wd
+			are := int64(a.Re) << 15
+			aim := int64(a.Im) << 15
+			lr := satShift(are+pre, bias, sh)
+			li := satShift(aim+pim, bias, sh)
+			hr := satShift(are-pre, bias, sh)
+			hm := satShift(aim-pim, bias, sh)
+			dst[j] = Complex{Re: Q15(lr), Im: Q15(li)}
+			dst[j+1] = Complex{Re: Q15(hr), Im: Q15(hm)}
+			mx = absMax2(absMax2(absMax2(absMax2(mx, lr), li), hr), hm)
+		}
+	case 4:
+		w0, w1 := w[0], w[1]
+		for base := 0; base+3 < len(dst); base += 4 {
+			blk := dst[base : base+4 : base+4]
+			for q := 0; q < 2; q++ {
+				tw := w0
+				if q == 1 {
+					tw = w1
+				}
+				wr := int64(tw.Re)
+				a, b := blk[q], blk[q+2]
+				br, bi := int64(b.Re), int64(b.Im)
+				k1 := wr * (br + bi)
+				pre := k1 - bi*(int64(tw.Im)+wr)
+				pim := k1 + br*(int64(tw.Im)-wr)
+				are := int64(a.Re) << 15
+				aim := int64(a.Im) << 15
+				lr := satShift(are+pre, bias, sh)
+				li := satShift(aim+pim, bias, sh)
+				hr := satShift(are-pre, bias, sh)
+				hm := satShift(aim-pim, bias, sh)
+				blk[q] = Complex{Re: Q15(lr), Im: Q15(li)}
+				blk[q+2] = Complex{Re: Q15(hr), Im: Q15(hm)}
+				mx = absMax2(absMax2(absMax2(absMax2(mx, lr), li), hr), hm)
+			}
+		}
+	default:
+		half := span / 2
+		for base := 0; base+span <= len(dst); base += span {
+			lo := dst[base : base+half : base+half]
+			hi := dst[base+half : base+span : base+span]
+			tw := w[:half:half]
+			// half is a power of two >= 4, so the 4-wide unroll has no
+			// remainder.
+			for i := 0; i+3 < half; i += 4 {
+				for q := i; q < i+4; q++ {
+					wq := tw[q]
+					wr := int64(wq.Re)
+					a, b := lo[q], hi[q]
+					br, bi := int64(b.Re), int64(b.Im)
+					k1 := wr * (br + bi)
+					pre := k1 - bi*(int64(wq.Im)+wr)
+					pim := k1 + br*(int64(wq.Im)-wr)
+					are := int64(a.Re) << 15
+					aim := int64(a.Im) << 15
+					lr := satShift(are+pre, bias, sh)
+					li := satShift(aim+pim, bias, sh)
+					hr := satShift(are-pre, bias, sh)
+					hm := satShift(aim-pim, bias, sh)
+					lo[q] = Complex{Re: Q15(lr), Im: Q15(li)}
+					hi[q] = Complex{Re: Q15(hr), Im: Q15(hm)}
+					mx = absMax2(absMax2(absMax2(absMax2(mx, lr), li), hr), hm)
+				}
+			}
+		}
+	}
+	return mx
+}
+
+// AbsMax implements Kernels.AbsMax with a two-wide unrolled branchless
+// scan; the result is the same exact maximum the reference scan finds.
+func (SWARKernels) AbsMax(v []Complex) int32 {
+	var mx0, mx1 int32
+	i := 0
+	for ; i+1 < len(v); i += 2 {
+		a, b := v[i], v[i+1]
+		mx0 = absMax2(absMax2(mx0, int32(a.Re)), int32(a.Im))
+		mx1 = absMax2(absMax2(mx1, int32(b.Re)), int32(b.Im))
+	}
+	if i < len(v) {
+		mx0 = absMax2(absMax2(mx0, int32(v[i].Re)), int32(v[i].Im))
+	}
+	if mx1 > mx0 {
+		return mx1
+	}
+	return mx0
+}
+
+// ShiftRound implements Kernels.ShiftRound by packing two complex
+// elements (four Q15 components) per uint64 lane word and applying the
+// LaneRShiftRound round-half-up identity with the shift-dependent masks
+// hoisted out of the loop.
+func (SWARKernels) ShiftRound(v []Complex, sh uint) {
+	if sh == 0 {
+		return
+	}
+	if sh > 15 {
+		for i := range v {
+			v[i] = CRShiftRound(v[i], sh)
+		}
+		return
+	}
+	mult := Lane((1 << sh) - 1)
+	top := laneRep(uint64(mult) << (16 - sh))
+	i := 0
+	for ; i+1 < len(v); i += 2 {
+		l := Lane(uint16(v[i].Re)) | Lane(uint16(v[i].Im))<<16 |
+			Lane(uint16(v[i+1].Re))<<32 | Lane(uint16(v[i+1].Im))<<48
+		// Arithmetic shift per lane with hoisted masks, then the exact
+		// round-half-up identity: (q+2^(sh-1))>>sh == (q>>sh) + bit
+		// sh-1 of q. The carry add wraps within lanes (laneWrapAdd).
+		asr := ((l >> sh) &^ top) | ((((l & laneSign) >> 15) * mult) << (16 - sh))
+		carry := (l >> (sh - 1)) & laneOnes
+		r := ((asr & laneLow15) + carry) ^ (asr & laneSign)
+		v[i] = Complex{Re: Q15(uint16(r)), Im: Q15(uint16(r >> 16))}
+		v[i+1] = Complex{Re: Q15(uint16(r >> 32)), Im: Q15(uint16(r >> 48))}
+	}
+	if i < len(v) {
+		v[i] = CRShiftRound(v[i], sh)
+	}
+}
+
+// ScaleReal implements Kernels.ScaleReal with the Q15 multiply inlined
+// (int32 product, round-half-up at bit 14, saturate).
+func (SWARKernels) ScaleReal(dst, src []Complex, w []Q15) {
+	n := len(dst)
+	src = src[:n:n]
+	w = w[:n:n]
+	for i := 0; i < n; i++ {
+		s := int64(w[i])
+		dst[i] = Complex{
+			Re: Q15(satShift(int64(src[i].Re)*s, 1<<14, 15)),
+			Im: Q15(satShift(int64(src[i].Im)*s, 1<<14, 15)),
+		}
+	}
+}
+
+// MulElems implements Kernels.MulElems with the CMul arithmetic inlined
+// (Q30 partial products, one round-saturate per component).
+func (SWARKernels) MulElems(dst, a, b []Complex) {
+	n := len(dst)
+	a = a[:n:n]
+	b = b[:n:n]
+	for i := 0; i < n; i++ {
+		ar, ai := int64(a[i].Re), int64(a[i].Im)
+		br, bi := int64(b[i].Re), int64(b[i].Im)
+		k1 := br * (ar + ai)
+		dst[i] = Complex{
+			Re: Q15(satShift(k1-ai*(bi+br), 1<<14, 15)),
+			Im: Q15(satShift(k1+ar*(bi-br), 1<<14, 15)),
+		}
+	}
+}
+
+// MulRoots implements Kernels.MulRoots with the CMul arithmetic inlined
+// and the masked root-index walk kept in a register.
+func (SWARKernels) MulRoots(dst, src, roots []Complex, off, step, mask int) {
+	n := len(dst)
+	src = src[:n:n]
+	idx := off & mask
+	for i := 0; i < n; i++ {
+		r := roots[idx]
+		idx = (idx + step) & mask
+		ar, ai := int64(src[i].Re), int64(src[i].Im)
+		br, bi := int64(r.Re), int64(r.Im)
+		k1 := br * (ar + ai)
+		dst[i] = Complex{
+			Re: Q15(satShift(k1-ai*(bi+br), 1<<14, 15)),
+			Im: Q15(satShift(k1+ar*(bi-br), 1<<14, 15)),
+		}
+	}
+}
+
+// dotChunk is the number of widened float64 entries the SWAR dot
+// accumulates per floating chunk before spilling into int64. A chunk
+// holds dotChunk/2 = 2^15 terms; each term contributes two products of
+// magnitude <= 2^31 per component, so a partial sum stays below
+// 2^15 · 2^31 = 2^46 — integral and far inside float64's 2^53 exact
+// range, which is what keeps the floating accumulation bit-exact.
+const dotChunk = 1 << 16
+
+// DotConjQ30 implements Kernels.DotConjQ30 with float64 multiply-add
+// pipelines on the pre-widened operands, two interleaved accumulator
+// pairs per chunk, spilled exactly into int64 every dotChunk entries.
+// All intermediates are integers below 2^53 (see dotChunk), so every
+// float64 operation is exact and the result matches the reference
+// integer accumulation bit for bit; the win is multiplier throughput
+// (the FPU retires two mul/add pairs per cycle where the 64-bit integer
+// multiplier sustains about one).
+func (SWARKernels) DotConjQ30(x, y []float64) (re, im int64) {
+	n := len(x)
+	y = y[:n]
+	for base := 0; base < n; base += dotChunk {
+		end := base + dotChunk
+		if end > n {
+			end = n
+		}
+		var re0, im0, re1, im1 float64
+		i := base
+		for ; i+3 < end; i += 4 {
+			xr0, xi0, yr0, yi0 := x[i], x[i+1], y[i], y[i+1]
+			xr1, xi1, yr1, yi1 := x[i+2], x[i+3], y[i+2], y[i+3]
+			re0 += xr0*yr0 + xi0*yi0
+			im0 += xi0*yr0 - xr0*yi0
+			re1 += xr1*yr1 + xi1*yi1
+			im1 += xi1*yr1 - xr1*yi1
+		}
+		for ; i+1 < end; i += 2 {
+			xr0, xi0, yr0, yi0 := x[i], x[i+1], y[i], y[i+1]
+			re0 += xr0*yr0 + xi0*yi0
+			im0 += xi0*yr0 - xr0*yi0
+		}
+		re += int64(re0 + re1)
+		im += int64(im0 + im1)
+	}
+	return re, im
+}

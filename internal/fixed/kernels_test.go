@@ -1,0 +1,189 @@
+package fixed
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randComplexSlice fills a slice with edge-biased random values.
+func randComplexSlice(rng *rand.Rand, n int) []Complex {
+	v := make([]Complex, n)
+	for i := range v {
+		v[i] = Complex{Re: randQ15(rng), Im: randQ15(rng)}
+	}
+	return v
+}
+
+// TestUseRestoresPrevious covers the process-wide kernel selection.
+func TestUseRestoresPrevious(t *testing.T) {
+	orig := Active()
+	prev := Use(ScalarKernels{})
+	if prev.Name() != orig.Name() {
+		t.Fatalf("Use returned %q, want previous %q", prev.Name(), orig.Name())
+	}
+	if Active().Name() != "scalar" {
+		t.Fatalf("Active() = %q after Use(scalar)", Active().Name())
+	}
+	Use(prev)
+	if Active().Name() != orig.Name() {
+		t.Fatalf("Active() = %q after restore, want %q", Active().Name(), orig.Name())
+	}
+}
+
+// TestKernelsDifferential drives every Kernels method with identical
+// inputs through the scalar reference and the SWAR implementation and
+// requires bit-identical results, across sizes, spans, shifts and
+// stride patterns.
+func TestKernelsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sk, vk := ScalarKernels{}, SWARKernels{}
+	if sk.Name() == vk.Name() {
+		t.Fatal("kernel names must differ")
+	}
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		for it := 0; it < 50; it++ {
+			base := randComplexSlice(rng, n)
+
+			// Stage across every span dividing n, both scalings.
+			for span := 2; span <= n; span <<= 1 {
+				w := randComplexSlice(rng, span/2)
+				for _, scale := range []bool{false, true} {
+					a := append([]Complex(nil), base...)
+					b := append([]Complex(nil), base...)
+					ma := sk.Stage(a, w, span, scale)
+					mb := vk.Stage(b, w, span, scale)
+					if ma != mb {
+						t.Fatalf("n=%d span=%d scale=%v: Stage max %d != %d", n, span, scale, ma, mb)
+					}
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("n=%d span=%d scale=%v: Stage element %d: %v != %v", n, span, scale, i, a[i], b[i])
+						}
+					}
+				}
+			}
+
+			if ma, mb := sk.AbsMax(base), vk.AbsMax(base); ma != mb {
+				t.Fatalf("n=%d: AbsMax %d != %d", n, ma, mb)
+			}
+
+			for _, sh := range []uint{0, 1, 2, 5, 14, 15, 16} {
+				a := append([]Complex(nil), base...)
+				b := append([]Complex(nil), base...)
+				sk.ShiftRound(a, sh)
+				vk.ShiftRound(b, sh)
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("n=%d sh=%d: ShiftRound element %d: %v != %v", n, sh, i, a[i], b[i])
+					}
+				}
+			}
+
+			wq := make([]Q15, n)
+			for i := range wq {
+				wq[i] = randQ15(rng)
+			}
+			sa := make([]Complex, n)
+			sb := make([]Complex, n)
+			sk.ScaleReal(sa, base, wq)
+			vk.ScaleReal(sb, base, wq)
+			for i := range sa {
+				if sa[i] != sb[i] {
+					t.Fatalf("n=%d: ScaleReal element %d: %v != %v", n, i, sa[i], sb[i])
+				}
+			}
+
+			other := randComplexSlice(rng, n)
+			sk.MulElems(sa, base, other)
+			vk.MulElems(sb, base, other)
+			for i := range sa {
+				if sa[i] != sb[i] {
+					t.Fatalf("n=%d: MulElems element %d: %v != %v", n, i, sa[i], sb[i])
+				}
+			}
+
+			roots := randComplexSlice(rng, 64)
+			off, step := rng.Intn(1024), rng.Intn(1024)
+			sk.MulRoots(sa, base, roots, off, step, 63)
+			vk.MulRoots(sb, base, roots, off, step, 63)
+			for i := range sa {
+				if sa[i] != sb[i] {
+					t.Fatalf("n=%d: MulRoots element %d: %v != %v", n, i, sa[i], sb[i])
+				}
+			}
+
+			bw, ow := widenRow(base), widenRow(other)
+			re0, im0 := sk.DotConjQ30(bw, ow)
+			re1, im1 := vk.DotConjQ30(bw, ow)
+			if re0 != re1 || im0 != im1 {
+				t.Fatalf("n=%d: DotConjQ30 (%d,%d) != (%d,%d)", n, re0, im0, re1, im1)
+			}
+		}
+	}
+}
+
+// TestKernelsOddLengths exercises the unrolled SWAR loops on lengths
+// that leave remainders (the estimators only pass power-of-two slices
+// to Stage, but scans, shifts and dots see arbitrary lengths).
+func TestKernelsOddLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sk, vk := ScalarKernels{}, SWARKernels{}
+	for _, n := range []int{1, 3, 5, 7, 9, 31, 33} {
+		v := randComplexSlice(rng, n)
+		o := randComplexSlice(rng, n)
+		if ma, mb := sk.AbsMax(v), vk.AbsMax(v); ma != mb {
+			t.Fatalf("n=%d: AbsMax %d != %d", n, ma, mb)
+		}
+		a := append([]Complex(nil), v...)
+		b := append([]Complex(nil), v...)
+		sk.ShiftRound(a, 3)
+		vk.ShiftRound(b, 3)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: ShiftRound element %d: %v != %v", n, i, a[i], b[i])
+			}
+		}
+		re0, im0 := sk.DotConjQ30(widenRow(v), widenRow(o))
+		re1, im1 := vk.DotConjQ30(widenRow(v), widenRow(o))
+		if re0 != re1 || im0 != im1 {
+			t.Fatalf("n=%d: DotConjQ30 (%d,%d) != (%d,%d)", n, re0, im0, re1, im1)
+		}
+	}
+}
+
+// widenRow is a test convenience wrapper over WidenRow.
+func widenRow(v []Complex) []float64 {
+	out := make([]float64, 2*len(v))
+	WidenRow(out, v)
+	return out
+}
+
+// TestDotConjQ30ChunkSpill crosses the SWAR floating-accumulation chunk
+// boundary with worst-case rail products, so the int64 spill path is
+// exercised at the magnitudes the exactness argument is tightest for.
+func TestDotConjQ30ChunkSpill(t *testing.T) {
+	terms := dotChunk/2 + 1000
+	x := make([]Complex, terms)
+	y := make([]Complex, terms)
+	for i := range x {
+		x[i] = Complex{Re: MinQ15, Im: MinQ15}
+		y[i] = Complex{Re: MinQ15, Im: MaxQ15}
+	}
+	xw, yw := widenRow(x), widenRow(y)
+	re0, im0 := ScalarKernels{}.DotConjQ30(xw, yw)
+	re1, im1 := SWARKernels{}.DotConjQ30(xw, yw)
+	if re0 != re1 || im0 != im1 {
+		t.Fatalf("chunked DotConjQ30 (%d,%d) != reference (%d,%d)", re1, im1, re0, im0)
+	}
+}
+
+// TestAbsMaxExactAtRail pins the scan edge a 16-bit abs would get
+// wrong: |MinQ15| must report 32768, not wrap to 0.
+func TestAbsMaxExactAtRail(t *testing.T) {
+	v := []Complex{{Re: MinQ15, Im: 0}}
+	for _, k := range []Kernels{ScalarKernels{}, SWARKernels{}} {
+		if got := k.AbsMax(v); got != 32768 {
+			t.Fatalf("%s: AbsMax(MinQ15) = %d, want 32768", k.Name(), got)
+		}
+	}
+}

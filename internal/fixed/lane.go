@@ -1,0 +1,212 @@
+package fixed
+
+// SWAR (SIMD-within-a-register) lane arithmetic: four Q15 values packed
+// into one uint64 word, processed with plain integer operations and no
+// unsafe. Each lane operation is bit-identical to applying the scalar
+// kernel of the same name to every lane independently — the differential
+// fuzz targets in lane_fuzz_test.go enforce that contract over the full
+// int16 range, including the saturation and rounding-tie edges.
+//
+// The lane kernels exist for throughput, not for different numerics: the
+// Montium cycle model keeps charging the scalar Table-1 costs (see
+// PAPER_MAPPING.md), and the scalar kernels remain selectable as the
+// reference path through the Kernels seam in kernels.go.
+
+// Lane packs four Q15 values into a single uint64. Lane index i occupies
+// bits [16i, 16i+15], so lane 0 is the least-significant halfword.
+type Lane uint64
+
+// Replicated bit masks used by the SWAR formulas.
+const (
+	laneSign  Lane = 0x8000800080008000 // the sign bit of every lane
+	laneLow15 Lane = 0x7fff7fff7fff7fff // the magnitude bits of every lane
+	laneOnes  Lane = 0x0001000100010001 // +1 in every lane
+)
+
+// laneRep replicates a sub-2^16 pattern into all four lanes.
+func laneRep(v uint64) Lane { return Lane(v * 0x0001000100010001) }
+
+// PackLane packs four Q15 values into a Lane, a at lane 0 through d at
+// lane 3.
+func PackLane(a, b, c, d Q15) Lane {
+	return Lane(uint16(a)) | Lane(uint16(b))<<16 | Lane(uint16(c))<<32 | Lane(uint16(d))<<48
+}
+
+// At returns lane i (0..3) as a Q15 value.
+func (l Lane) At(i int) Q15 { return Q15(uint16(l >> (16 * uint(i)))) }
+
+// Unpack splits the Lane back into its four Q15 values, lane 0 first.
+func (l Lane) Unpack() (a, b, c, d Q15) {
+	return l.At(0), l.At(1), l.At(2), l.At(3)
+}
+
+// laneWrapAdd adds a and b lane-wise with ordinary two's-complement
+// wrapping in every lane (no saturation, no carry across lanes). The sign
+// bits are added through XOR so a carry out of bit 14 never propagates
+// into the neighbouring lane.
+func laneWrapAdd(a, b Lane) Lane {
+	return ((a & laneLow15) + (b & laneLow15)) ^ ((a ^ b) & laneSign)
+}
+
+// laneBlend selects sat in the lanes flagged by the sign-bit mask ovf and
+// keeps v elsewhere. ovf must only have sign bits set.
+func laneBlend(v, sat, ovf Lane) Lane {
+	m := (ovf >> 15) * 0xffff // widen each flagged sign bit to a full-lane mask
+	return (v &^ m) | (sat & m)
+}
+
+// laneSatTowards returns, per lane, the saturation value matching the
+// sign of a: MaxQ15 where a is non-negative, MinQ15 where a is negative.
+func laneSatTowards(a Lane) Lane {
+	return laneLow15 + ((a >> 15) & laneOnes)
+}
+
+// LaneAdd returns the lane-wise saturating sum a+b. Each lane saturates
+// independently to [MinQ15, MaxQ15], exactly like the scalar Add kernel.
+func LaneAdd(a, b Lane) Lane {
+	sum := laneWrapAdd(a, b)
+	// A lane overflowed iff the operands agree in sign and the wrapped
+	// sum disagrees with them.
+	ovf := ^(a ^ b) & (a ^ sum) & laneSign
+	if ovf == 0 {
+		return sum
+	}
+	return laneBlend(sum, laneSatTowards(a), ovf)
+}
+
+// LaneSub returns the lane-wise saturating difference a-b. Each lane
+// saturates independently to [MinQ15, MaxQ15], exactly like the scalar
+// Sub kernel.
+func LaneSub(a, b Lane) Lane {
+	// Borrow-isolated subtraction: bias the minuend sign bits high so a
+	// borrow out of bit 14 never crosses into the next lane, then patch
+	// the sign bits back via XOR.
+	diff := ((a | laneSign) - (b &^ laneSign)) ^ ((a ^ ^b) & laneSign)
+	// A lane overflowed iff the operands disagree in sign and the result
+	// disagrees with the minuend.
+	ovf := (a ^ b) & (a ^ diff) & laneSign
+	if ovf == 0 {
+		return diff
+	}
+	return laneBlend(diff, laneSatTowards(a), ovf)
+}
+
+// laneASR arithmetically shifts every lane right by sh bits
+// (1 <= sh <= 15), replicating each lane's sign bit into the vacated
+// positions.
+func laneASR(l Lane, sh uint) Lane {
+	topMask := laneRep(((1 << sh) - 1) << (16 - sh))
+	ext := (((l & laneSign) >> 15) * Lane((1<<sh)-1)) << (16 - sh)
+	return ((l >> sh) &^ topMask) | ext
+}
+
+// LaneRShiftRound arithmetically shifts every lane right by sh bits with
+// round-half-up (ties toward +infinity), bit-identical per lane to the
+// scalar RShiftRound kernel. Like RShiftRound, the result cannot
+// overflow for sh >= 1, so no saturation step is needed; sh = 0 returns
+// l unchanged.
+func LaneRShiftRound(l Lane, sh uint) Lane {
+	if sh == 0 {
+		return l
+	}
+	if sh > 15 {
+		// Degenerate shifts collapse every lane to 0 or the rounded sign;
+		// delegate to the scalar kernel lane by lane.
+		a, b, c, d := l.Unpack()
+		return PackLane(RShiftRound(a, sh), RShiftRound(b, sh), RShiftRound(c, sh), RShiftRound(d, sh))
+	}
+	// Exact identity in two's complement:
+	//   (q + 2^(sh-1)) >> sh  ==  (q >> sh) + ((q >> (sh-1)) & 1)
+	// i.e. round-half-up equals truncation plus the bit shifted past the
+	// point. The carry add is wrapping (a lane holding 0x7fff plus 1 must
+	// not bleed into its neighbour), which laneWrapAdd guarantees.
+	carry := laneASR(l, sh-1) & laneOnes
+	return laneWrapAdd(laneASR(l, sh), carry)
+}
+
+// CLane packs four Complex values lane-wise: lane i of Re and lane i of
+// Im together form element i.
+type CLane struct {
+	// Re holds the four real parts.
+	Re Lane
+	// Im holds the four imaginary parts.
+	Im Lane
+}
+
+// PackCLane packs src[0..3] into a CLane. src must hold at least four
+// elements.
+func PackCLane(src []Complex) CLane {
+	_ = src[3]
+	return CLane{
+		Re: PackLane(src[0].Re, src[1].Re, src[2].Re, src[3].Re),
+		Im: PackLane(src[0].Im, src[1].Im, src[2].Im, src[3].Im),
+	}
+}
+
+// Unpack writes the four elements of c into dst[0..3]. dst must hold at
+// least four elements.
+func (c CLane) Unpack(dst []Complex) {
+	_ = dst[3]
+	dst[0] = Complex{Re: c.Re.At(0), Im: c.Im.At(0)}
+	dst[1] = Complex{Re: c.Re.At(1), Im: c.Im.At(1)}
+	dst[2] = Complex{Re: c.Re.At(2), Im: c.Im.At(2)}
+	dst[3] = Complex{Re: c.Re.At(3), Im: c.Im.At(3)}
+}
+
+// At returns element i (0..3) of the packed vector.
+func (c CLane) At(i int) Complex { return Complex{Re: c.Re.At(i), Im: c.Im.At(i)} }
+
+// CLaneMul returns the lane-wise complex product a*b, each lane
+// bit-identical to the scalar CMul kernel: partial products at Q30, one
+// round-half-up and saturation per output component.
+func CLaneMul(a, b CLane) CLane {
+	var out CLane
+	for i := 0; i < 4; i++ {
+		ar, ai := int64(a.Re.At(i)), int64(a.Im.At(i))
+		br, bi := int64(b.Re.At(i)), int64(b.Im.At(i))
+		re := roundQ30(ar*br - ai*bi)
+		im := roundQ30(ar*bi + ai*br)
+		out.Re |= Lane(uint16(re)) << (16 * uint(i))
+		out.Im |= Lane(uint16(im)) << (16 * uint(i))
+	}
+	return out
+}
+
+// CLaneBFly computes four radix-2 butterflies lane-wise with the
+// per-stage 1/2 scaling, each lane bit-identical to the scalar BFly
+// kernel (lo = (a+w*b)/2, hi = (a-w*b)/2, single rounding and saturation
+// per component).
+func CLaneBFly(a, b, w CLane) (lo, hi CLane) {
+	for i := 0; i < 4; i++ {
+		l, h := BFly(a.At(i), b.At(i), w.At(i))
+		sh := 16 * uint(i)
+		lo.Re |= Lane(uint16(l.Re)) << sh
+		lo.Im |= Lane(uint16(l.Im)) << sh
+		hi.Re |= Lane(uint16(h.Re)) << sh
+		hi.Im |= Lane(uint16(h.Im)) << sh
+	}
+	return lo, hi
+}
+
+// CLaneBFlyNoScale computes four radix-2 butterflies lane-wise WITHOUT
+// the per-stage 1/2 scaling, each lane bit-identical to the scalar
+// BFlyNoScale kernel (lo = a+w*b, hi = a-w*b, saturating).
+func CLaneBFlyNoScale(a, b, w CLane) (lo, hi CLane) {
+	for i := 0; i < 4; i++ {
+		l, h := BFlyNoScale(a.At(i), b.At(i), w.At(i))
+		sh := 16 * uint(i)
+		lo.Re |= Lane(uint16(l.Re)) << sh
+		lo.Im |= Lane(uint16(l.Im)) << sh
+		hi.Re |= Lane(uint16(h.Re)) << sh
+		hi.Im |= Lane(uint16(h.Im)) << sh
+	}
+	return lo, hi
+}
+
+// CLaneRShiftRound applies LaneRShiftRound to both component vectors,
+// the lane-wise form of the scalar CRShiftRound exponent-alignment
+// kernel: round-half-up per lane, bit-identical to the scalar path
+// (no overflow possible for sh >= 1).
+func CLaneRShiftRound(c CLane, sh uint) CLane {
+	return CLane{Re: LaneRShiftRound(c.Re, sh), Im: LaneRShiftRound(c.Im, sh)}
+}

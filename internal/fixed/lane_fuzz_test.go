@@ -1,0 +1,269 @@
+package fixed
+
+import "testing"
+
+// The fuzz targets below differentially test every SWAR lane kernel
+// against its scalar reference over the full int16 range. The seed
+// corpora under testdata/fuzz pin the historically dangerous inputs:
+// the MinQ15*MinQ15 product (the only overflowing Q15 product), the
+// saturating rails, and the round-half-up ties. CI runs each target
+// for a short budget (see .github/workflows/ci.yml, fuzz-smoke job);
+// `go test -fuzz FuzzName ./internal/fixed` explores further.
+
+// splitmix64 expands a salt into deterministic filler lanes so each
+// fuzz input also exercises arbitrary neighbour-lane contents.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// saltComplex derives a filler complex value from a salt stream.
+func saltComplex(s *uint64) Complex {
+	*s = splitmix64(*s)
+	return Complex{Re: Q15(int16(*s)), Im: Q15(int16(*s >> 16))}
+}
+
+// laneProbe builds CLane operands that carry the fuzzed values in lane
+// `pos` and salt-derived values elsewhere, returning the packed lanes.
+func laneProbe(pos int, a, b, w Complex, salt uint64) (la, lb, lw CLane, used [3][4]Complex) {
+	s := salt
+	for i := 0; i < 4; i++ {
+		ai, bi, wi := saltComplex(&s), saltComplex(&s), saltComplex(&s)
+		if i == pos {
+			ai, bi, wi = a, b, w
+		}
+		used[0][i], used[1][i], used[2][i] = ai, bi, wi
+		sh := 16 * uint(i)
+		la.Re |= Lane(uint16(ai.Re)) << sh
+		la.Im |= Lane(uint16(ai.Im)) << sh
+		lb.Re |= Lane(uint16(bi.Re)) << sh
+		lb.Im |= Lane(uint16(bi.Im)) << sh
+		lw.Re |= Lane(uint16(wi.Re)) << sh
+		lw.Im |= Lane(uint16(wi.Im)) << sh
+	}
+	return la, lb, lw, used
+}
+
+func FuzzLaneAddSub(f *testing.F) {
+	f.Add(int16(-32768), int16(-32768), int16(-32768), int16(-32768),
+		int16(-32768), int16(-32768), int16(-32768), int16(-32768))
+	f.Add(int16(32767), int16(1), int16(-32768), int16(-1),
+		int16(16384), int16(16384), int16(-16384), int16(-16385))
+	f.Add(int16(0), int16(0), int16(1), int16(-1),
+		int16(32767), int16(-32768), int16(-32768), int16(32767))
+	f.Fuzz(func(t *testing.T, a0, a1, a2, a3, b0, b1, b2, b3 int16) {
+		a := PackLane(Q15(a0), Q15(a1), Q15(a2), Q15(a3))
+		b := PackLane(Q15(b0), Q15(b1), Q15(b2), Q15(b3))
+		sum, diff := LaneAdd(a, b), LaneSub(a, b)
+		for i := 0; i < 4; i++ {
+			if want := Add(a.At(i), b.At(i)); sum.At(i) != want {
+				t.Fatalf("LaneAdd lane %d: %d+%d = %d, want %d", i, a.At(i), b.At(i), sum.At(i), want)
+			}
+			if want := Sub(a.At(i), b.At(i)); diff.At(i) != want {
+				t.Fatalf("LaneSub lane %d: %d-%d = %d, want %d", i, a.At(i), b.At(i), diff.At(i), want)
+			}
+		}
+	})
+}
+
+func FuzzLaneRShiftRound(f *testing.F) {
+	f.Add(int16(-32768), int16(32767), int16(-1), int16(1), uint8(1))
+	f.Add(int16(-32768), int16(-32768), int16(-32768), int16(-32768), uint8(15))
+	f.Add(int16(3), int16(-3), int16(5), int16(-5), uint8(2)) // round-half ties
+	f.Add(int16(0x7fff), int16(0x7ffe), int16(1), int16(2), uint8(16))
+	f.Fuzz(func(t *testing.T, v0, v1, v2, v3 int16, shRaw uint8) {
+		sh := uint(shRaw % 20)
+		l := PackLane(Q15(v0), Q15(v1), Q15(v2), Q15(v3))
+		got := LaneRShiftRound(l, sh)
+		for i := 0; i < 4; i++ {
+			if want := RShiftRound(l.At(i), sh); got.At(i) != want {
+				t.Fatalf("sh=%d lane %d: RShiftRound(%d) = %d, want %d", sh, i, l.At(i), got.At(i), want)
+			}
+		}
+	})
+}
+
+func FuzzCLaneMul(f *testing.F) {
+	f.Add(int16(-32768), int16(-32768), int16(-32768), int16(-32768), uint8(0), uint64(0))
+	f.Add(int16(-32768), int16(0), int16(-32768), int16(0), uint8(3), uint64(1))
+	f.Add(int16(181), int16(181), int16(181), int16(-181), uint8(1), uint64(2)) // near the Q30 rounding tie
+	f.Fuzz(func(t *testing.T, ar, ai, br, bi int16, posRaw uint8, salt uint64) {
+		pos := int(posRaw % 4)
+		a := Complex{Re: Q15(ar), Im: Q15(ai)}
+		b := Complex{Re: Q15(br), Im: Q15(bi)}
+		la, lb, _, used := laneProbe(pos, a, b, Complex{}, salt)
+		got := CLaneMul(la, lb)
+		for i := 0; i < 4; i++ {
+			if want := CMul(used[0][i], used[1][i]); got.At(i) != want {
+				t.Fatalf("lane %d: CLaneMul(%v,%v) = %v, want %v", i, used[0][i], used[1][i], got.At(i), want)
+			}
+		}
+	})
+}
+
+func FuzzCLaneBFly(f *testing.F) {
+	f.Add(int16(-32768), int16(-32768), int16(-32768), int16(-32768), int16(-32768), int16(-32768), uint8(0), uint64(0))
+	f.Add(int16(32767), int16(32767), int16(32767), int16(32767), int16(32767), int16(0), uint8(2), uint64(7))
+	f.Add(int16(1), int16(-1), int16(1), int16(-1), int16(23170), int16(-23170), uint8(1), uint64(3))
+	f.Fuzz(func(t *testing.T, ar, ai, br, bi, wr, wi int16, posRaw uint8, salt uint64) {
+		pos := int(posRaw % 4)
+		a := Complex{Re: Q15(ar), Im: Q15(ai)}
+		b := Complex{Re: Q15(br), Im: Q15(bi)}
+		w := Complex{Re: Q15(wr), Im: Q15(wi)}
+		la, lb, lw, used := laneProbe(pos, a, b, w, salt)
+		lo, hi := CLaneBFly(la, lb, lw)
+		lon, hin := CLaneBFlyNoScale(la, lb, lw)
+		for i := 0; i < 4; i++ {
+			wlo, whi := BFly(used[0][i], used[1][i], used[2][i])
+			if lo.At(i) != wlo || hi.At(i) != whi {
+				t.Fatalf("lane %d: CLaneBFly got (%v,%v), want (%v,%v)", i, lo.At(i), hi.At(i), wlo, whi)
+			}
+			wlon, whin := BFlyNoScale(used[0][i], used[1][i], used[2][i])
+			if lon.At(i) != wlon || hin.At(i) != whin {
+				t.Fatalf("lane %d: CLaneBFlyNoScale got (%v,%v), want (%v,%v)", i, lon.At(i), hin.At(i), wlon, whin)
+			}
+		}
+	})
+}
+
+func FuzzCLaneRShiftRound(f *testing.F) {
+	f.Add(int16(-32768), int16(32767), uint8(1), uint8(0), uint64(0))
+	f.Add(int16(-1), int16(1), uint8(15), uint8(3), uint64(9))
+	f.Fuzz(func(t *testing.T, re, im int16, shRaw, posRaw uint8, salt uint64) {
+		sh := uint(shRaw % 18)
+		pos := int(posRaw % 4)
+		c := Complex{Re: Q15(re), Im: Q15(im)}
+		la, _, _, used := laneProbe(pos, c, Complex{}, Complex{}, salt)
+		got := CLaneRShiftRound(la, sh)
+		for i := 0; i < 4; i++ {
+			if want := CRShiftRound(used[0][i], sh); got.At(i) != want {
+				t.Fatalf("lane %d sh=%d: got %v, want %v", i, sh, got.At(i), want)
+			}
+		}
+	})
+}
+
+func FuzzSaturateInt(f *testing.F) {
+	f.Add(int64(1) << 62)
+	f.Add(int64(-1) << 62)
+	f.Add(int64(32767))
+	f.Add(int64(32768))
+	f.Add(int64(-32768))
+	f.Add(int64(-32769))
+	f.Fuzz(func(t *testing.T, v int64) {
+		got := SaturateInt(v)
+		want := v
+		if want > int64(MaxQ15) {
+			want = int64(MaxQ15)
+		}
+		if want < int64(MinQ15) {
+			want = int64(MinQ15)
+		}
+		if int64(got) != want {
+			t.Fatalf("SaturateInt(%d) = %d, want %d", v, got, want)
+		}
+		if SaturateInt(int64(got)) != got {
+			t.Fatalf("SaturateInt not idempotent at %d", v)
+		}
+	})
+}
+
+// FuzzKernelsSlices interprets raw bytes as a complex block and runs
+// the slice-level Kernels methods (Stage under both scalings, AbsMax,
+// ShiftRound, MulElems, DotConjQ30) through the scalar reference and
+// the SWAR implementation, requiring bit-identical state after every
+// step.
+func FuzzKernelsSlices(f *testing.F) {
+	f.Add([]byte{0x00, 0x80, 0x00, 0x80, 0x00, 0x80, 0x00, 0x80}, uint8(1), uint8(1))
+	f.Add([]byte{0xff, 0x7f, 0xff, 0x7f, 0x01, 0x00, 0x00, 0x80, 0xff, 0x7f, 0xff, 0x7f, 0x01, 0x00, 0x00, 0x80}, uint8(2), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, spanRaw, shRaw uint8) {
+		// Decode pairs of little-endian int16 into complex values; keep
+		// the block a power of two in [2, 64] so Stage spans divide it.
+		n := 2
+		for n*2 <= len(raw)/4 && n < 64 {
+			n *= 2
+		}
+		if len(raw) < 4*n {
+			return
+		}
+		v := make([]Complex, n)
+		for i := range v {
+			v[i] = Complex{
+				Re: Q15(int16(uint16(raw[4*i]) | uint16(raw[4*i+1])<<8)),
+				Im: Q15(int16(uint16(raw[4*i+2]) | uint16(raw[4*i+3])<<8)),
+			}
+		}
+		span := 2 << (int(spanRaw) % (bitsLen(n) - 1))
+		sh := uint(shRaw % 17)
+		sk, vk := ScalarKernels{}, SWARKernels{}
+
+		a := append([]Complex(nil), v...)
+		b := append([]Complex(nil), v...)
+		w := fuzzTwiddleTable(span / 2)
+		for _, scale := range []bool{false, true} {
+			ma := sk.Stage(a, w, span, scale)
+			mb := vk.Stage(b, w, span, scale)
+			if ma != mb {
+				t.Fatalf("Stage span=%d scale=%v: max %d != %d", span, scale, ma, mb)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("Stage span=%d scale=%v element %d: %v != %v", span, scale, i, a[i], b[i])
+				}
+			}
+		}
+		if ma, mb := sk.AbsMax(a), vk.AbsMax(b); ma != mb {
+			t.Fatalf("AbsMax %d != %d", ma, mb)
+		}
+		sk.ShiftRound(a, sh)
+		vk.ShiftRound(b, sh)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("ShiftRound sh=%d element %d: %v != %v", sh, i, a[i], b[i])
+			}
+		}
+		da := make([]Complex, n)
+		db := make([]Complex, n)
+		sk.MulElems(da, a, v)
+		vk.MulElems(db, b, v)
+		for i := range da {
+			if da[i] != db[i] {
+				t.Fatalf("MulElems element %d: %v != %v", i, da[i], db[i])
+			}
+		}
+		aw, bw, vw := widenRow(a), widenRow(b), widenRow(v)
+		re0, im0 := sk.DotConjQ30(aw, vw)
+		re1, im1 := vk.DotConjQ30(bw, vw)
+		if re0 != re1 || im0 != im1 {
+			t.Fatalf("DotConjQ30 (%d,%d) != (%d,%d)", re0, im0, re1, im1)
+		}
+	})
+}
+
+// bitsLen returns the bit length of a positive int.
+func bitsLen(n int) int {
+	l := 0
+	for ; n > 0; n >>= 1 {
+		l++
+	}
+	return l
+}
+
+// fuzzTwiddleTable builds a deterministic twiddle-like table (unit-ish
+// magnitudes plus rails) for the Stage fuzz target.
+func fuzzTwiddleTable(half int) []Complex {
+	w := make([]Complex, half)
+	s := uint64(half)
+	for i := range w {
+		w[i] = saltComplex(&s)
+	}
+	if half > 0 {
+		w[0] = Complex{Re: MaxQ15, Im: 0}
+	}
+	if half > 1 {
+		w[1] = Complex{Re: MinQ15, Im: MinQ15}
+	}
+	return w
+}

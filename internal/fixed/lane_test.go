@@ -1,0 +1,149 @@
+package fixed
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// edgeQ15 are the values where saturating and rounding arithmetic is
+// most likely to diverge between implementations: the rails, the
+// half-scale points, and the neighbourhood of zero.
+var edgeQ15 = []Q15{
+	MinQ15, MinQ15 + 1, -16385, -16384, -16383, -1, 0, 1,
+	16383, 16384, 16385, MaxQ15 - 1, MaxQ15,
+}
+
+// randQ15 draws a Q15 biased toward the edge cases.
+func randQ15(rng *rand.Rand) Q15 {
+	if rng.Intn(4) == 0 {
+		return edgeQ15[rng.Intn(len(edgeQ15))]
+	}
+	return Q15(rng.Intn(65536) - 32768)
+}
+
+// randLane fills all four lanes independently.
+func randLane(rng *rand.Rand) Lane {
+	return PackLane(randQ15(rng), randQ15(rng), randQ15(rng), randQ15(rng))
+}
+
+func TestPackLaneRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for it := 0; it < 1000; it++ {
+		a, b, c, d := randQ15(rng), randQ15(rng), randQ15(rng), randQ15(rng)
+		l := PackLane(a, b, c, d)
+		ga, gb, gc, gd := l.Unpack()
+		if ga != a || gb != b || gc != c || gd != d {
+			t.Fatalf("round trip (%d,%d,%d,%d) -> (%d,%d,%d,%d)", a, b, c, d, ga, gb, gc, gd)
+		}
+	}
+}
+
+// TestLaneAddSubDifferential checks every lane of LaneAdd/LaneSub
+// against the scalar saturating kernels, with independent random
+// neighbours in the other lanes to catch cross-lane carry or borrow
+// bleed.
+func TestLaneAddSubDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	check := func(a, b Lane) {
+		t.Helper()
+		sum, diff := LaneAdd(a, b), LaneSub(a, b)
+		for i := 0; i < 4; i++ {
+			if want := Add(a.At(i), b.At(i)); sum.At(i) != want {
+				t.Fatalf("LaneAdd lane %d: %d+%d = %d, want %d", i, a.At(i), b.At(i), sum.At(i), want)
+			}
+			if want := Sub(a.At(i), b.At(i)); diff.At(i) != want {
+				t.Fatalf("LaneSub lane %d: %d-%d = %d, want %d", i, a.At(i), b.At(i), diff.At(i), want)
+			}
+		}
+	}
+	// Exhaustive over the edge grid in one lane position at a time.
+	for _, x := range edgeQ15 {
+		for _, y := range edgeQ15 {
+			for pos := 0; pos < 4; pos++ {
+				a, b := randLane(rng), randLane(rng)
+				a = a&^(Lane(0xffff)<<(16*uint(pos))) | Lane(uint16(x))<<(16*uint(pos))
+				b = b&^(Lane(0xffff)<<(16*uint(pos))) | Lane(uint16(y))<<(16*uint(pos))
+				check(a, b)
+			}
+		}
+	}
+	for it := 0; it < 20000; it++ {
+		check(randLane(rng), randLane(rng))
+	}
+}
+
+// TestLaneRShiftRoundDifferential checks every lane and every shift
+// amount (including the degenerate > 15 shifts) against the scalar
+// RShiftRound, whose rounding ties go toward +infinity.
+func TestLaneRShiftRoundDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for sh := uint(0); sh <= 17; sh++ {
+		for it := 0; it < 4000; it++ {
+			l := randLane(rng)
+			got := LaneRShiftRound(l, sh)
+			for i := 0; i < 4; i++ {
+				if want := RShiftRound(l.At(i), sh); got.At(i) != want {
+					t.Fatalf("sh=%d lane %d: RShiftRound(%d) = %d, want %d", sh, i, l.At(i), got.At(i), want)
+				}
+			}
+		}
+	}
+}
+
+// randCLane packs four random complex values.
+func randCLane(rng *rand.Rand) CLane {
+	return CLane{Re: randLane(rng), Im: randLane(rng)}
+}
+
+// TestCLaneKernelsDifferential checks CLaneMul, CLaneBFly,
+// CLaneBFlyNoScale and CLaneRShiftRound lane-by-lane against the scalar
+// complex kernels.
+func TestCLaneKernelsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for it := 0; it < 20000; it++ {
+		a, b, w := randCLane(rng), randCLane(rng), randCLane(rng)
+		mul := CLaneMul(a, b)
+		lo, hi := CLaneBFly(a, b, w)
+		lon, hin := CLaneBFlyNoScale(a, b, w)
+		sh := uint(rng.Intn(16))
+		shr := CLaneRShiftRound(a, sh)
+		for i := 0; i < 4; i++ {
+			ai, bi, wi := a.At(i), b.At(i), w.At(i)
+			if want := CMul(ai, bi); mul.At(i) != want {
+				t.Fatalf("CLaneMul lane %d: %v*%v = %v, want %v", i, ai, bi, mul.At(i), want)
+			}
+			wlo, whi := BFly(ai, bi, wi)
+			if lo.At(i) != wlo || hi.At(i) != whi {
+				t.Fatalf("CLaneBFly lane %d: got (%v,%v), want (%v,%v)", i, lo.At(i), hi.At(i), wlo, whi)
+			}
+			wlon, whin := BFlyNoScale(ai, bi, wi)
+			if lon.At(i) != wlon || hin.At(i) != whin {
+				t.Fatalf("CLaneBFlyNoScale lane %d: got (%v,%v), want (%v,%v)", i, lon.At(i), hin.At(i), wlon, whin)
+			}
+			if want := CRShiftRound(ai, sh); shr.At(i) != want {
+				t.Fatalf("CLaneRShiftRound lane %d sh=%d: got %v, want %v", i, sh, shr.At(i), want)
+			}
+		}
+	}
+}
+
+func TestPackCLaneRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := make([]Complex, 4)
+	dst := make([]Complex, 4)
+	for it := 0; it < 1000; it++ {
+		for i := range src {
+			src[i] = Complex{Re: randQ15(rng), Im: randQ15(rng)}
+		}
+		c := PackCLane(src)
+		c.Unpack(dst)
+		for i := range src {
+			if dst[i] != src[i] {
+				t.Fatalf("PackCLane round trip element %d: %v != %v", i, dst[i], src[i])
+			}
+			if c.At(i) != src[i] {
+				t.Fatalf("CLane.At(%d) = %v, want %v", i, c.At(i), src[i])
+			}
+		}
+	}
+}

@@ -60,15 +60,17 @@ func Mul(a, b Q15) Q15 {
 	return saturate32((p + (1 << 14)) >> 15)
 }
 
-// MulNoRound returns the Q15 product a*b truncated (floor) at bit 15.
-// It models datapaths without a rounding adder; kept for ablation studies.
+// MulNoRound returns the Q15 product a*b truncated (floor) at bit 15
+// and saturated to [MinQ15, MaxQ15]. It models datapaths without a
+// rounding adder; kept for ablation studies.
 func MulNoRound(a, b Q15) Q15 {
 	p := int32(a) * int32(b)
 	return saturate32(p >> 15)
 }
 
-// Half returns a/2 rounded toward negative infinity (arithmetic shift),
-// the scaling step applied per FFT stage by the Montium FFT kernel.
+// Half returns a/2 rounded toward negative infinity (arithmetic shift,
+// no saturation — halving cannot overflow), the scaling step applied
+// per FFT stage by the Montium FFT kernel.
 func Half(a Q15) Q15 { return a >> 1 }
 
 // saturate32 clamps a 32-bit intermediate result into the Q15 range.

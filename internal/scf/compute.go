@@ -30,6 +30,12 @@ type Stats struct {
 	// backends report their whole cost as tile 0). Empty when no tile
 	// model applies. Summed Compute equals Cycles when both are set.
 	PerTile []TileCycles
+	// Kernel names the fixed-point kernel implementation the surface was
+	// computed with (fixed.Kernels.Name(), e.g. "swar" or "scalar").
+	// Empty for float estimators, which have no kernel seam. The choice
+	// never changes surface bits — it is recorded so benchmark output can
+	// attribute timings to the datapath that produced them.
+	Kernel string
 }
 
 // TileCycles is one modeled tile's share of a multi-tile schedule: the

@@ -1,0 +1,120 @@
+package scf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// roundTripSurface builds a float surface whose cells are exactly
+// representable at one power-of-two scale, the precondition under which
+// the QuantiseSurface/Float pair must round-trip bit-for-bit.
+func roundTripSurface(rng *rand.Rand, m int, alphas []int, exp int) *Surface {
+	var s *Surface
+	if alphas != nil {
+		s = NewSparseSurface(m, alphas)
+	} else {
+		s = NewSurface(m)
+	}
+	scale := math.Ldexp(1.0/32768, exp)
+	cell := func() float64 {
+		// Leave the negative rail out of the peak position race: a peak of
+		// exactly -1.0 renormalises to the next exponent, which is a value-
+		// preserving but not bit-preserving representation change.
+		return float64(rng.Intn(1<<16-1)-(1<<15-1)) * scale
+	}
+	for ai, row := range s.Data {
+		for fi := range row {
+			s.Data[ai][fi] = complex(cell(), cell())
+		}
+	}
+	// Pin a top-half peak so QuantiseSurface picks exactly exp back.
+	s.Data[0][0] = complex(float64(16384+rng.Intn(16383))*scale, 0)
+	return s
+}
+
+// TestQSurfaceRoundTripExact is the conversion-pair property the Q15
+// test layer leans on: for surfaces whose cells live on a single
+// power-of-two grid (every surface QuantiseSurface itself emits does),
+// QuantiseSurface∘Float is the identity on the Q15 words, the exponent
+// and the gain — across dense and alpha-pruned geometries, extents and
+// exponents well below and above unity.
+func TestQSurfaceRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	geoms := []struct {
+		name   string
+		m      int
+		alphas []int
+	}{
+		{"dense-m2", 2, nil},
+		{"dense-m16", 16, nil},
+		{"dense-m64", 64, nil},
+		{"pruned-m16", 16, []int{-11, -3, 0, 3, 11}},
+		{"pruned-m64", 64, []int{0, 17, 40, 63}},
+	}
+	for _, g := range geoms {
+		for _, exp := range []int{-40, -7, 0, 1, 13, 40} {
+			ref := roundTripSurface(rng, g.m, g.alphas, exp)
+			q := QuantiseSurface(ref)
+			if q.Exp != exp {
+				t.Fatalf("%s exp=%d: QuantiseSurface chose exponent %d", g.name, exp, q.Exp)
+			}
+			q2 := QuantiseSurface(q.Float())
+			if ok, diff := q.Equal(q2); !ok {
+				t.Errorf("%s exp=%d: QuantiseSurface(Float(q)) != q: %s", g.name, exp, diff)
+			}
+			// And Float itself is exact: each cell reconstructs the
+			// original grid value with zero error.
+			f := q.Float()
+			for ai, row := range f.Data {
+				for fi, v := range row {
+					if v != ref.Data[ai][fi] {
+						t.Fatalf("%s exp=%d: Float cell (%d,%d) = %v, want exactly %v",
+							g.name, exp, ai, fi, v, ref.Data[ai][fi])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQSurfaceRoundTripZero pins the degenerate case: an all-zero
+// surface quantises to the zero QSurface (exponent 0) and converts back
+// to exactly zero.
+func TestQSurfaceRoundTripZero(t *testing.T) {
+	q := QuantiseSurface(NewSurface(8))
+	if q.Exp != 0 {
+		t.Fatalf("zero surface exponent %d", q.Exp)
+	}
+	for _, row := range q.Float().Data {
+		for _, v := range row {
+			if v != 0 {
+				t.Fatalf("zero surface converts to %v", v)
+			}
+		}
+	}
+	if ok, diff := q.Equal(QuantiseSurface(q.Float())); !ok {
+		t.Errorf("zero surface round trip: %s", diff)
+	}
+}
+
+// TestQSurfaceGainExactness checks the residual Gain factor carries
+// through Float with no rounding of its own: scaling a QSurface's gain
+// by an exactly-representable factor scales every converted cell by
+// exactly that factor.
+func TestQSurfaceGainExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	q := QuantiseSurface(roundTripSurface(rng, 16, nil, 3))
+	base := q.Float()
+	for _, gain := range []float64{0.5, 0.25, 3, 1.0 / 64} {
+		scaled := &QSurface{M: q.M, Exp: q.Exp, Gain: q.Gain * gain, Alphas: q.Alphas, Data: q.Data}
+		f := scaled.Float()
+		for ai, row := range f.Data {
+			for fi, v := range row {
+				if want := base.Data[ai][fi] * complex(gain, 0); v != want {
+					t.Fatalf("gain %v: cell (%d,%d) = %v, want exactly %v", gain, ai, fi, v, want)
+				}
+			}
+		}
+	}
+}
